@@ -1,0 +1,57 @@
+//! Criterion benches for Figure 5: discrete counterfactuals on uniformly
+//! random data, SAT vs IQP/MILP. Parameters are scaled down from the paper's
+//! sweep so `cargo bench` completes quickly; the `fig5` binary runs the full
+//! printable sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knn_core::counterfactual::hamming::{closest_milp_with, closest_sat};
+use knn_core::OddK;
+use knn_datasets::random::{random_boolean_dataset, random_boolean_point};
+use knn_milp::MilpConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_sat");
+    group.sample_size(10);
+    for &(n_points, dim) in &[(100usize, 30usize), (200, 30), (100, 40), (200, 40)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n_points}_n{dim}")),
+            &(n_points, dim),
+            |b, &(n_points, dim)| {
+                let mut rng = StdRng::seed_from_u64(42);
+                let ds = random_boolean_dataset(&mut rng, n_points, dim, 0.5);
+                let x = random_boolean_point(&mut rng, dim);
+                b.iter(|| {
+                    let out = closest_sat(&ds, OddK::ONE, &x);
+                    criterion::black_box(out)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iqp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_iqp");
+    group.sample_size(10);
+    for &(n_points, dim) in &[(20usize, 10usize), (30, 15)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n_points}_n{dim}")),
+            &(n_points, dim),
+            |b, &(n_points, dim)| {
+                let mut rng = StdRng::seed_from_u64(42);
+                let ds = random_boolean_dataset(&mut rng, n_points, dim, 0.5);
+                let x = random_boolean_point(&mut rng, dim);
+                b.iter(|| {
+                    let out = closest_milp_with(&ds, &x, MilpConfig::with_max_nodes(500_000));
+                    criterion::black_box(out)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_iqp);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for Figure 6: ℓ1 minimal sufficient reasons (panel a)
+//! and ℓ2 counterfactuals (panel b) on the digit workload. Scaled down; the
+//! `fig6` binary runs the full printable sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knn_core::abductive::l1::minimal_sufficient_reason_f64;
+use knn_core::counterfactual::l2::L2Counterfactual;
+use knn_core::OddK;
+use knn_datasets::digits::{digits_dataset, render_digit, DigitsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_msr_l1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a_msr_l1");
+    group.sample_size(10);
+    for &(side, n_total) in &[(8usize, 60usize), (10, 60), (12, 100)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("side{side}_N{n_total}")),
+            &(side, n_total),
+            |b, &(side, n_total)| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let cfg = DigitsConfig::new(side);
+                let ds = digits_dataset(&mut rng, &cfg, &[4, 9], 4, n_total / 2);
+                let query = render_digit(&mut rng, 4, &cfg);
+                b.iter(|| criterion::black_box(minimal_sufficient_reason_f64(&ds, &query)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cf_l2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b_cf_l2");
+    group.sample_size(10);
+    for &(side, n_total) in &[(8usize, 60usize), (10, 60), (12, 100)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("side{side}_N{n_total}")),
+            &(side, n_total),
+            |b, &(side, n_total)| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let cfg = DigitsConfig::new(side);
+                let ds = digits_dataset(&mut rng, &cfg, &[4, 9], 4, n_total / 2);
+                let query = render_digit(&mut rng, 4, &cfg);
+                let cf = L2Counterfactual::new(&ds, OddK::ONE);
+                b.iter(|| criterion::black_box(cf.infimum(&query)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_msr_l1, bench_cf_l2);
+criterion_main!(benches);

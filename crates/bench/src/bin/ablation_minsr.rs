@@ -1,0 +1,96 @@
+//! Beyond the paper: how good are polynomial upper bounds for the NP-hard
+//! **Minimum Sufficient Reason** problem? (§10, third open problem: "can
+//! k-Minimum Sufficient Reason be tackled using polynomial-time approximation
+//! algorithms that produce a sufficient reason whose size is reasonably close
+//! to the minimum?")
+//!
+//! On random discrete instances this harness compares, per instance:
+//!   * `exact`   — the implicit-hitting-set loop with exact hitting sets
+//!                 (ground-truth minimum);
+//!   * `greedy`  — the same loop with greedy hitting sets (polynomial per
+//!                 iteration, the classic ln-approximation shape);
+//!   * `minimal` — Proposition 2's greedy-deletion minimal SR (polynomial,
+//!                 what the tractable Check-SR settings give you for free).
+//!
+//! Usage: cargo run --release -p knn-bench --bin ablation_minsr
+//!        [--rounds 200] [--dim 10] [--points 12] [--k 1|3]
+
+use knn_bench::{arg_value, Stats};
+use knn_core::abductive::hamming::HammingAbductive;
+use knn_core::abductive::minimum::HittingSetMode;
+use knn_core::{BooleanKnn, OddK};
+use knn_datasets::random::{random_boolean_dataset, random_boolean_point};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let rounds: usize = arg_value("--rounds").map(|s| s.parse().unwrap()).unwrap_or(200);
+    let dim: usize = arg_value("--dim").map(|s| s.parse().unwrap()).unwrap_or(10);
+    let points: usize = arg_value("--points").map(|s| s.parse().unwrap()).unwrap_or(12);
+    let k = OddK::of(arg_value("--k").map(|s| s.parse().unwrap()).unwrap_or(1));
+
+    println!("Minimum-SR approximability probe (discrete, k = {}, n = {dim}, N = {points})", k.get());
+    println!("{rounds} random instances; sizes and size-ratios vs the exact minimum\n");
+
+    let mut ratios_greedy = Vec::new();
+    let mut ratios_minimal = Vec::new();
+    let mut greedy_opt = 0usize;
+    let mut minimal_opt = 0usize;
+    let mut t_exact = Vec::new();
+    let mut t_greedy = Vec::new();
+    let mut t_minimal = Vec::new();
+
+    for round in 0..rounds {
+        let mut rng = StdRng::seed_from_u64(0xAB1A + round as u64);
+        let ds = random_boolean_dataset(&mut rng, points, dim, 0.5);
+        let x = random_boolean_point(&mut rng, dim);
+        let ab = HammingAbductive::new(&ds, k);
+        let knn = BooleanKnn::new(&ds, k);
+        let _ = knn.classify(&x);
+
+        let t0 = Instant::now();
+        let exact = ab.minimum_with(&x, HittingSetMode::Exact);
+        t_exact.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let greedy = ab.minimum_with(&x, HittingSetMode::Greedy);
+        t_greedy.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let minimal = ab.minimal(&x);
+        t_minimal.push(t0.elapsed().as_secs_f64());
+
+        assert!(exact.len() <= greedy.len());
+        assert!(exact.len() <= minimal.len());
+        if exact.is_empty() {
+            // Label constant over the whole cube: every method returns ∅.
+            ratios_greedy.push(1.0);
+            ratios_minimal.push(1.0);
+            greedy_opt += 1;
+            minimal_opt += 1;
+            continue;
+        }
+        ratios_greedy.push(greedy.len() as f64 / exact.len() as f64);
+        ratios_minimal.push(minimal.len() as f64 / exact.len() as f64);
+        if greedy.len() == exact.len() {
+            greedy_opt += 1;
+        }
+        if minimal.len() == exact.len() {
+            minimal_opt += 1;
+        }
+    }
+
+    let summarize = |name: &str, ratios: &[f64], opt: usize, times: &[f64]| {
+        let s = Stats::from_samples(ratios);
+        let worst = ratios.iter().cloned().fold(1.0f64, f64::max);
+        let t = Stats::from_samples(times);
+        println!(
+            "{name:>8}: mean ratio {:.4} ±{:.4}  worst {:.3}  optimal on {}/{}  mean time {:.2e}s",
+            s.mean, s.ci95, worst, opt, ratios.len(), t.mean
+        );
+    };
+    println!("            (ratio = size / exact-minimum size; 1.0 = optimal)");
+    summarize("greedy", &ratios_greedy, greedy_opt, &t_greedy);
+    summarize("minimal", &ratios_minimal, minimal_opt, &t_minimal);
+    let te = Stats::from_samples(&t_exact);
+    println!("   exact: mean time {:.2e}s (IHS + exact hitting sets)", te.mean);
+}

@@ -1,0 +1,87 @@
+//! Figure 2: minimum-distance ℓ2 counterfactuals over ℝ², k = 1 — rendered
+//! as an ASCII decision-region map with the input point, its optimal
+//! counterfactual and the connecting segment.
+//!
+//! cargo run --release -p knn-bench --bin fig2_voronoi
+
+use knn_core::counterfactual::l2::L2Counterfactual;
+use knn_core::{ContinuousKnn, Label, LpMetric, OddK};
+use knn_datasets::blobs::figure2_layout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const W: usize = 78;
+const H: usize = 36;
+const XMIN: f64 = -3.2;
+const XMAX: f64 = 3.2;
+const YMIN: f64 = -3.2;
+const YMAX: f64 = 3.2;
+
+fn to_cell(x: f64, y: f64) -> Option<(usize, usize)> {
+    let cx = ((x - XMIN) / (XMAX - XMIN) * W as f64) as isize;
+    let cy = ((YMAX - y) / (YMAX - YMIN) * H as f64) as isize;
+    (cx >= 0 && cx < W as isize && cy >= 0 && cy < H as isize)
+        .then_some((cx as usize, cy as usize))
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let ds = figure2_layout(&mut rng);
+    let knn = ContinuousKnn::new(&ds, LpMetric::L2, OddK::ONE);
+    let cf = L2Counterfactual::new(&ds, OddK::ONE);
+
+    // Region map: '.' negative (blue in the paper), '+' positive (red).
+    let mut grid = vec![vec![' '; W]; H];
+    for (r, row) in grid.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let x = XMIN + (c as f64 + 0.5) / W as f64 * (XMAX - XMIN);
+            let y = YMAX - (r as f64 + 0.5) / H as f64 * (YMAX - YMIN);
+            *cell = match knn.classify(&[x, y]) {
+                Label::Positive => '+',
+                Label::Negative => '.',
+            };
+        }
+    }
+    // Training points.
+    for (p, l) in ds.iter() {
+        if let Some((c, r)) = to_cell(p[0], p[1]) {
+            grid[r][c] = if l == Label::Positive { 'P' } else { 'N' };
+        }
+    }
+    // The illustrated input point and its optimal counterfactual.
+    let input = [0.4, 0.6];
+    let inf = cf.infimum(&input).expect("both classes present");
+    let target = &inf.closure_witness;
+    // Segment between them.
+    for t in 0..60 {
+        let s = t as f64 / 59.0;
+        let x = input[0] + s * (target[0] - input[0]);
+        let y = input[1] + s * (target[1] - input[1]);
+        if let Some((c, r)) = to_cell(x, y) {
+            if grid[r][c] == '+' || grid[r][c] == '.' {
+                grid[r][c] = '*';
+            }
+        }
+    }
+    if let Some((c, r)) = to_cell(input[0], input[1]) {
+        grid[r][c] = 'X';
+    }
+    if let Some((c, r)) = to_cell(target[0], target[1]) {
+        grid[r][c] = 'Y';
+    }
+
+    println!("Figure 2 — ℓ2 counterfactual geometry (k = 1)");
+    println!("'+' positive region, '.' negative region, P/N training points,");
+    println!("X input point, Y optimal counterfactual, * the connecting segment\n");
+    for row in &grid {
+        println!("{}", row.iter().collect::<String>());
+    }
+    println!(
+        "\ninput X = {input:?} classified {:?}; optimal counterfactual Y = ({:.3}, {:.3}) at ℓ2 distance {:.3} (attained: {})",
+        knn.classify(&input),
+        target[0],
+        target[1],
+        inf.dist_sq.sqrt(),
+        inf.attained,
+    );
+}

@@ -1,0 +1,55 @@
+//! Figures 3–4: the set of points equidistant from two points ā, c̄ under ℓ2
+//! (a hyperplane — the linchpin of Section 5's tractability results) versus
+//! ℓ1 (a piecewise-linear region that can have full-dimensional pieces —
+//! why Section 6's problems turn hard).
+//!
+//! cargo run --release -p knn-bench --bin fig3_bisectors
+
+const W: usize = 64;
+const H: usize = 32;
+const SPAN: f64 = 4.0;
+
+fn render(name: &str, dist: impl Fn(f64, f64, f64, f64) -> f64) {
+    let (ax, ay) = (-1.0, -0.6);
+    let (cx, cy) = (1.2, 0.9);
+    println!("{name}: 'a'/'c' the two points, '=' equidistant band, '<' closer to a, '>' closer to c\n");
+    for r in 0..H {
+        let mut line = String::with_capacity(W);
+        for col in 0..W {
+            let x = -SPAN + (col as f64 + 0.5) / W as f64 * 2.0 * SPAN;
+            let y = SPAN - (r as f64 + 0.5) / H as f64 * 2.0 * SPAN;
+            let da = dist(x, y, ax, ay);
+            let dc = dist(x, y, cx, cy);
+            let cell_w = 2.0 * SPAN / W as f64;
+            let ch = if (x - ax).abs() < cell_w && (y - ay).abs() < cell_w * 2.0 {
+                'a'
+            } else if (x - cx).abs() < cell_w && (y - cy).abs() < cell_w * 2.0 {
+                'c'
+            } else if (da - dc).abs() < 0.08 {
+                '='
+            } else if da < dc {
+                '<'
+            } else {
+                '>'
+            };
+            line.push(ch);
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figures 3 and 4 — equidistant sets under ℓ2 vs ℓ1\n");
+    render("Figure 3 (ℓ2: the bisector is a straight hyperplane)", |x, y, px, py| {
+        ((x - px).powi(2) + (y - py).powi(2)).sqrt()
+    });
+    render("Figure 4 (ℓ1: the bisector bends and can fatten)", |x, y, px, py| {
+        (x - px).abs() + (y - py).abs()
+    });
+    println!(
+        "Under ℓ2 the constraint d(y,a) ≤ d(y,c) is linear in y — Prop 1 regions are\n\
+         polyhedra and Prop 3 / Thm 2 get polynomial algorithms. Under ℓ1 it is not,\n\
+         and Thm 4 / Thm 5 show the corresponding problems are NP-/coNP-complete."
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 6: explanation runtimes on digit images (the MNIST substitute),
+//! sweeping the image side length and training-set size.
+//!
+//! * panel (a): minimal sufficient reason under ℓ1, k = 1 (Prop 4 + greedy);
+//! * panel (b): closest counterfactual under ℓ2, k = 1 (Thm 2, projection QPs).
+//!
+//! Usage:
+//!   cargo run --release -p knn-bench --bin fig6 -- --which msr
+//!   cargo run --release -p knn-bench --bin fig6 -- --which cf
+//!   ... [--sides 12,16,20,24,28] [--sizes 250,500,750,1000] [--repeats 5] [--full]
+
+use knn_bench::{arg_flag, arg_value, parse_list, print_row, time_runs};
+use knn_core::abductive::l1::minimal_sufficient_reason_f64;
+use knn_core::counterfactual::l2::L2Counterfactual;
+use knn_core::OddK;
+use knn_datasets::digits::{digits_dataset, render_digit, DigitsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let which = arg_value("--which").unwrap_or_else(|| "msr".to_string());
+    let full = arg_flag("--full");
+    let repeats: usize = arg_value("--repeats")
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(if full { 5 } else { 3 });
+    let sides = arg_value("--sides").map(|s| parse_list(&s)).unwrap_or_else(|| {
+        if full {
+            vec![12, 16, 20, 24, 28]
+        } else {
+            vec![8, 10, 12]
+        }
+    });
+    let sizes = arg_value("--sizes").map(|s| parse_list(&s)).unwrap_or_else(|| {
+        if full {
+            vec![250, 500, 750, 1000]
+        } else {
+            vec![100, 200]
+        }
+    });
+
+    println!(
+        "Figure 6{} — {} on digit images (MNIST substitute)",
+        if which == "msr" { "a" } else { "b" },
+        if which == "msr" { "minimal sufficient reasons (ℓ1)" } else { "counterfactuals (ℓ2)" }
+    );
+    println!("sides = {sides:?}, N = {sizes:?}, repeats = {repeats}\n");
+    println!("series = N (training size), x = image side length, y = seconds\n");
+
+    for &n_total in &sizes {
+        for &side in &sides {
+            let per_class = (n_total / 2).max(1);
+            let stats = time_runs(repeats, |run| {
+                let mut rng = StdRng::seed_from_u64((n_total * 100 + side) as u64 + run as u64);
+                let cfg = DigitsConfig::new(side);
+                // 4-vs-9, the paper's running pair.
+                let ds = digits_dataset(&mut rng, &cfg, &[4, 9], 4, per_class);
+                let query = render_digit(&mut rng, 4, &cfg);
+                match which.as_str() {
+                    "msr" => {
+                        let sr = minimal_sufficient_reason_f64(&ds, &query);
+                        assert!(sr.len() <= side * side);
+                    }
+                    "cf" => {
+                        let cf = L2Counterfactual::new(&ds, OddK::ONE);
+                        let inf = cf.infimum(&query).expect("both classes present");
+                        assert!(inf.dist_sq >= 0.0);
+                    }
+                    other => panic!("unknown --which {other}"),
+                }
+            });
+            print_row(&format!("N={n_total}"), side, stats);
+        }
+        println!();
+    }
+}

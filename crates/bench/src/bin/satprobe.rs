@@ -1,0 +1,30 @@
+use knn_core::satenc::DiscreteModel;
+use knn_core::{BooleanKnn, OddK};
+use knn_datasets::digits::{binarize, binary_digits_dataset, render_digit, DigitsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let side: usize = std::env::args().nth(1).unwrap().parse().unwrap();
+    let per: usize = std::env::args().nth(2).unwrap().parse().unwrap();
+    let cfg = DigitsConfig::new(side);
+    let mut rng = StdRng::seed_from_u64(4000);
+    let ds = binary_digits_dataset(&mut rng, &cfg, &[4, 9], 4, per);
+    let test = binarize(&render_digit(&mut rng, 4, &cfg), 0.5);
+    let knn = BooleanKnn::new(&ds, OddK::ONE);
+    let target = knn.classify(&test).flip();
+    eprintln!("target {target:?} dim {} pts {}", ds.dim(), ds.len());
+    let mut m = DiscreteModel::build(&ds, OddK::ONE, &test, target);
+    let t0 = Instant::now();
+    let first = m.solve_within(ds.dim()).unwrap();
+    let mut best = test.hamming(&first);
+    eprintln!("UB {} in {:?} (conflicts {})", best, t0.elapsed(), m.conflicts());
+    loop {
+        let t = Instant::now();
+        match m.solve_within(best - 1) {
+            Some(z) => { best = test.hamming(&z); eprintln!("improved to {} in {:?} (conflicts {})", best, t.elapsed(), m.conflicts()); }
+            None => { eprintln!("optimal {} proof in {:?} (conflicts {})", best, t.elapsed(), m.conflicts()); break; }
+        }
+    }
+}

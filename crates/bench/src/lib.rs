@@ -1,0 +1,100 @@
+//! Shared harness utilities for the paper-reproduction binaries.
+//!
+//! Every figure/table binary prints the same rows/series the paper reports:
+//! mean wall-clock time with a 95% confidence interval over repeated runs
+//! (the paper uses 30 repeats for Figure 5 and 5 for Figure 6; the defaults
+//! here are smaller so a full sweep finishes on a laptop — pass `--full` to
+//! match the paper's parameters).
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Mean and 95% CI of a sample of seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Sample mean (seconds).
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (normal approximation).
+    pub ci95: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Computes stats from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Stats {
+        let n = samples.len();
+        assert!(n >= 1);
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let ci95 = 1.96 * (var / n as f64).sqrt();
+        Stats { mean, ci95, n }
+    }
+}
+
+/// Times `runs` executions of `f` (re-seeded per run by the caller).
+pub fn time_runs(runs: usize, mut f: impl FnMut(usize)) -> Stats {
+    let mut samples = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let t0 = Instant::now();
+        f(r);
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    Stats::from_samples(&samples)
+}
+
+/// Reads `--name value` style arguments (no external clap in the offline set).
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Presence of a bare `--flag`.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Parses a comma-separated list of integers.
+pub fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',').map(|t| t.trim().parse().expect("integer list")).collect()
+}
+
+/// Prints one experiment row in a fixed format shared by the fig binaries.
+pub fn print_row(series: &str, x: usize, stats: Stats) {
+    println!(
+        "{series:>12}  x={x:<5}  mean={:>9.4}s  ±{:.4}s  (n={})",
+        stats.mean, stats.ci95, stats.n
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_samples() {
+        let s = Stats::from_samples(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn stats_ci_grows_with_variance() {
+        let tight = Stats::from_samples(&[1.0, 1.1, 0.9]);
+        let loose = Stats::from_samples(&[0.0, 2.0, 1.0]);
+        assert!(loose.ci95 > tight.ci95);
+    }
+
+    #[test]
+    fn parse_list_roundtrip() {
+        assert_eq!(parse_list("50, 100,150"), vec![50, 100, 150]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Abductive explanations in the discrete setting (Prop 6, Cor 4, Thm 7, Thm 8).
+//!
+//! * k = 1: Check-SR is polynomial — the counterexample, if one exists, can
+//!   always be chosen among the *projections* `ȳ_X` of opposite-class points
+//!   (x̄ on `X`, the data point elsewhere); Proposition 6's proof shows that
+//!   flipping a counterexample's free coordinates toward its witness point
+//!   only strengthens it.
+//! * k ≥ 3: Check-SR is coNP-complete (Thm 7); we search for counterexamples
+//!   with the incremental SAT model of [`crate::satenc`].
+//! * Minimum-SR is NP-complete for k = 1 (Cor 6) and Σ₂ᵖ-complete for k ≥ 3
+//!   (Thm 8); both run through the implicit-hitting-set loop whose oracle is
+//!   the respective checker — exactly the oracle structure of the paper's
+//!   upper-bound arguments.
+
+use crate::abductive::minimum::{minimum_sufficient_reason, HittingSetMode};
+use crate::classifier::BooleanKnn;
+use crate::satenc::DiscreteModel;
+use crate::SrCheck;
+use knn_space::{BitVec, BooleanDataset, OddK};
+
+/// Sufficient-reason engine for the discrete setting.
+pub struct HammingAbductive<'a> {
+    ds: &'a BooleanDataset,
+    k: OddK,
+}
+
+impl<'a> HammingAbductive<'a> {
+    /// Builds the engine for `f^k_{S⁺,S⁻}` under the Hamming distance.
+    pub fn new(ds: &'a BooleanDataset, k: OddK) -> Self {
+        assert!(ds.len() >= k.get() as usize);
+        HammingAbductive { ds, k }
+    }
+
+    fn classifier(&self) -> BooleanKnn<'a> {
+        BooleanKnn::new(self.ds, self.k)
+    }
+
+    /// Check Sufficient Reason. Polynomial for k = 1 (Prop 6); SAT-backed
+    /// coNP computation for k ≥ 3 (Thm 7).
+    pub fn check(&self, x: &BitVec, fixed: &[usize]) -> SrCheck<BitVec> {
+        if self.k == OddK::ONE {
+            self.check_k1(x, fixed)
+        } else {
+            self.check_sat(x, fixed)
+        }
+    }
+
+    /// The polynomial k = 1 checker (Proposition 6).
+    pub fn check_k1(&self, x: &BitVec, fixed: &[usize]) -> SrCheck<BitVec> {
+        assert_eq!(self.k, OddK::ONE, "the projected-witness argument needs k = 1");
+        assert_eq!(x.len(), self.ds.dim());
+        let knn = self.classifier();
+        let label = knn.classify(x);
+        let candidates = self.ds.indices_of(label.flip());
+        for &ci in &candidates {
+            let cand = self.ds.point(ci);
+            let mut y = cand.clone();
+            for &i in fixed {
+                y.set(i, x.get(i));
+            }
+            if knn.classify(&y) != label {
+                return SrCheck::NotSufficient { witness: y };
+            }
+        }
+        SrCheck::Sufficient
+    }
+
+    /// The SAT-backed checker for any odd k (builds a fresh model per call;
+    /// use [`HammingAbductive::session`] for repeated queries on the same x̄).
+    pub fn check_sat(&self, x: &BitVec, fixed: &[usize]) -> SrCheck<BitVec> {
+        let mut session = self.session(x);
+        session.check(fixed)
+    }
+
+    /// Convenience boolean form of [`HammingAbductive::check`].
+    pub fn is_sufficient(&self, x: &BitVec, fixed: &[usize]) -> bool {
+        self.check(x, fixed).is_sufficient()
+    }
+
+    /// An incremental checking session for repeated queries on one `x̄`
+    /// (greedy minimal-SR and the IHS loop reuse learned clauses this way).
+    pub fn session(&self, x: &BitVec) -> CheckSession<'a, '_> {
+        let label = self.classifier().classify(x);
+        let model = if self.k == OddK::ONE {
+            None
+        } else {
+            Some(DiscreteModel::build(self.ds, self.k, x, label.flip()))
+        };
+        CheckSession { owner: self, x: x.clone(), model }
+    }
+
+    /// A minimal sufficient reason: polynomial for k = 1 (Cor 4), coNP-oracle
+    /// greedy for k ≥ 3 (still n oracle calls, each a SAT solve).
+    pub fn minimal(&self, x: &BitVec) -> Vec<usize> {
+        let mut session = self.session(x);
+        super::greedy_minimal(self.ds.dim(), None, |s| session.check(s).is_sufficient())
+    }
+
+    /// A minimum sufficient reason — NP-complete for k = 1 (Cor 6),
+    /// Σ₂ᵖ-complete for k ≥ 3 (Thm 8). Exact implicit-hitting-set loop.
+    pub fn minimum(&self, x: &BitVec) -> Vec<usize> {
+        self.minimum_with(x, HittingSetMode::Exact)
+    }
+
+    /// Minimum-SR with a selectable hitting-set mode.
+    pub fn minimum_with(&self, x: &BitVec, mode: HittingSetMode) -> Vec<usize> {
+        let mut session = self.session(x);
+        let xc = x.clone();
+        minimum_sufficient_reason(
+            self.ds.dim(),
+            mode,
+            move |s| session.check(s),
+            move |w| xc.diff_indices(w),
+        )
+    }
+
+    /// Decision form of Minimum Sufficient Reason: is there a sufficient
+    /// reason of size ≤ `l`? (The Σ₂ᵖ-complete problem of Theorem 8.)
+    pub fn has_sufficient_reason_of_size(&self, x: &BitVec, l: usize) -> bool {
+        self.minimum(x).len() <= l
+    }
+}
+
+/// Incremental Check-SR session bound to one anchor point.
+pub struct CheckSession<'a, 'b> {
+    owner: &'b HammingAbductive<'a>,
+    x: BitVec,
+    model: Option<DiscreteModel>,
+}
+
+impl CheckSession<'_, '_> {
+    /// Checks whether `fixed` is a sufficient reason for the session's `x̄`.
+    pub fn check(&mut self, fixed: &[usize]) -> SrCheck<BitVec> {
+        match &mut self.model {
+            None => self.owner.check_k1(&self.x, fixed),
+            Some(model) => match model.solve_with_fixed(fixed) {
+                Some(witness) => SrCheck::NotSufficient { witness },
+                None => SrCheck::Sufficient,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use knn_space::Label;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn example2() -> BooleanDataset {
+        let to_bv = |v: [u8; 3]| BitVec::from_bits(&v);
+        let pos = vec![to_bv([0, 1, 1]), to_bv([1, 0, 1]), to_bv([1, 1, 1])];
+        let mut neg = Vec::new();
+        for m in 0..8u8 {
+            let bv = to_bv([m & 1, (m >> 1) & 1, (m >> 2) & 1]);
+            if !pos.contains(&bv) {
+                neg.push(bv);
+            }
+        }
+        BooleanDataset::from_sets(pos, neg)
+    }
+
+    #[test]
+    fn example_2_check_and_minimum() {
+        let ds = example2();
+        let ab = HammingAbductive::new(&ds, OddK::ONE);
+        let x = BitVec::zeros(3);
+        assert!(ab.is_sufficient(&x, &[0, 1]));
+        assert!(ab.is_sufficient(&x, &[2]));
+        assert!(!ab.is_sufficient(&x, &[0]));
+        assert!(!ab.is_sufficient(&x, &[1]));
+        assert!(!ab.is_sufficient(&x, &[]));
+        assert_eq!(ab.minimum(&x), vec![2]);
+        assert!(ab.has_sufficient_reason_of_size(&x, 1));
+        let minimal = ab.minimal(&x);
+        assert!(minimal == vec![2] || minimal == vec![0, 1]);
+    }
+
+    #[test]
+    fn k1_checker_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for round in 0..60 {
+            let dim = rng.gen_range(2..7usize);
+            let npts = rng.gen_range(2..8usize);
+            let mut ds = BooleanDataset::new(dim);
+            for i in 0..npts {
+                let p: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+                let l = if i % 2 == 0 { Label::Positive } else { Label::Negative };
+                ds.push(p, l);
+            }
+            let ab = HammingAbductive::new(&ds, OddK::ONE);
+            let knn = BooleanKnn::new(&ds, OddK::ONE);
+            let x: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+            let fixed: Vec<usize> = (0..dim).filter(|_| rng.gen_bool(0.4)).collect();
+            assert_eq!(
+                ab.is_sufficient(&x, &fixed),
+                brute::is_sufficient_reason(&knn, &x, &fixed),
+                "round {round}: fixed={fixed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k3_sat_checker_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..30 {
+            let dim = rng.gen_range(2..6usize);
+            let npts = rng.gen_range(4..8usize);
+            let mut ds = BooleanDataset::new(dim);
+            for i in 0..npts {
+                let p: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+                let l = if i % 2 == 0 { Label::Positive } else { Label::Negative };
+                ds.push(p, l);
+            }
+            let ab = HammingAbductive::new(&ds, OddK::THREE);
+            let knn = BooleanKnn::new(&ds, OddK::THREE);
+            let x: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+            let fixed: Vec<usize> = (0..dim).filter(|_| rng.gen_bool(0.4)).collect();
+            assert_eq!(
+                ab.is_sufficient(&x, &fixed),
+                brute::is_sufficient_reason(&knn, &x, &fixed),
+                "round {round}: fixed={fixed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimum_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for round in 0..25 {
+            let dim = rng.gen_range(2..6usize);
+            let npts = rng.gen_range(3..7usize);
+            let k = if rng.gen_bool(0.4) && npts >= 3 { OddK::THREE } else { OddK::ONE };
+            let mut ds = BooleanDataset::new(dim);
+            for i in 0..npts {
+                let p: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+                let l = if i % 2 == 0 { Label::Positive } else { Label::Negative };
+                ds.push(p, l);
+            }
+            let ab = HammingAbductive::new(&ds, k);
+            let knn = BooleanKnn::new(&ds, k);
+            let x: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+            let got = ab.minimum(&x);
+            let want = brute::minimum_sufficient_reason(&knn, &x);
+            assert_eq!(got.len(), want.len(), "round {round}: {got:?} vs {want:?}");
+            assert!(brute::is_sufficient_reason(&knn, &x, &got));
+        }
+    }
+
+    #[test]
+    fn minimal_is_sufficient_and_minimal() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..20 {
+            let dim = rng.gen_range(2..6usize);
+            let npts = rng.gen_range(2..7usize);
+            let mut ds = BooleanDataset::new(dim);
+            for i in 0..npts {
+                let p: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+                let l = if i % 2 == 0 { Label::Positive } else { Label::Negative };
+                ds.push(p, l);
+            }
+            let ab = HammingAbductive::new(&ds, OddK::ONE);
+            let knn = BooleanKnn::new(&ds, OddK::ONE);
+            let x: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+            let minimal = ab.minimal(&x);
+            assert!(brute::is_sufficient_reason(&knn, &x, &minimal));
+            for i in 0..minimal.len() {
+                let mut sub = minimal.clone();
+                sub.remove(i);
+                assert!(!brute::is_sufficient_reason(&knn, &x, &sub));
+            }
+        }
+    }
+
+    #[test]
+    fn witness_agrees_on_fixed_and_flips_label() {
+        let ds = example2();
+        let ab = HammingAbductive::new(&ds, OddK::ONE);
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        let x = BitVec::zeros(3);
+        match ab.check(&x, &[0]) {
+            SrCheck::NotSufficient { witness } => {
+                assert!(!witness.get(0));
+                assert_ne!(knn.classify(&witness), knn.classify(&x));
+            }
+            SrCheck::Sufficient => panic!("{{0}} is not sufficient in Example 2"),
+        }
+    }
+}

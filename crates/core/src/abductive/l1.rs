@@ -1,0 +1,266 @@
+//! Abductive explanations under ℓ1 for k = 1 (Proposition 4, Corollary 3).
+//!
+//! The key fact from the proof of Prop 4: writing points as `(v₁, v₂)` with
+//! `v₁` the projection to the fixed set `X`, the ℓ1 norm splits as
+//! `‖(x₁,y₂) − (a₁,a₂)‖₁ = ‖x₁−a₁‖₁ + ‖y₂−a₂‖₁`, and for a candidate
+//! witness class point `ā` the right-hand side `‖y₂−c̄₂‖₁ − ‖y₂−ā₂‖₁` is
+//! maximized at `y₂ = ā₂` by the triangle inequality. So it suffices to test,
+//! for each opposite-class point, the completion that **copies that point's
+//! free coordinates** — a polynomial set of candidates.
+
+use crate::abductive::minimum::{minimum_sufficient_reason, HittingSetMode};
+use crate::classifier::ContinuousKnn;
+use crate::SrCheck;
+use knn_num::Field;
+use knn_space::{ContinuousDataset, Label, LpMetric, OddK};
+
+/// Sufficient-reason engine for the ℓ1 setting with k = 1.
+#[derive(Clone, Debug)]
+pub struct L1Abductive<'a, F> {
+    ds: &'a ContinuousDataset<F>,
+}
+
+impl<'a, F: Field> L1Abductive<'a, F> {
+    /// Builds the engine (k = 1; the problem is coNP-complete for k ≥ 3,
+    /// Theorem 5, and this crate deliberately offers no fast path there).
+    pub fn new(ds: &'a ContinuousDataset<F>) -> Self {
+        assert!(ds.len() >= 1);
+        L1Abductive { ds }
+    }
+
+    fn classifier(&self) -> ContinuousKnn<'a, F> {
+        ContinuousKnn::new(self.ds, LpMetric::L1, OddK::ONE)
+    }
+
+    /// Builds the candidate completion: `x̄` on `fixed`, `v̄` elsewhere.
+    fn completion(&self, x: &[F], v: &[F], fixed: &[usize]) -> Vec<F> {
+        (0..x.len())
+            .map(|i| if fixed.contains(&i) { x[i].clone() } else { v[i].clone() })
+            .collect()
+    }
+
+    /// `1`-Check Sufficient Reason(ℝ, D₁) — polynomial (Prop 4).
+    pub fn check(&self, x: &[F], fixed: &[usize]) -> SrCheck<Vec<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        let metric = LpMetric::L1;
+        let label = self.classifier().classify(x);
+        // Candidate witnesses come from the class opposite to f(x); the
+        // witness condition is non-strict when certifying a positive label
+        // (optimistic ties) and strict when certifying a negative one.
+        let (cand_label, other_label) = (label.flip(), label);
+        let candidates = self.ds.indices_of(cand_label);
+        let others = self.ds.indices_of(other_label);
+        for &ci in &candidates {
+            let y = self.completion(x, self.ds.point(ci), fixed);
+            let d_self = metric.dist_pow(&y, self.ds.point(ci));
+            let beaten = others.iter().any(|&oi| {
+                let d_other = metric.dist_pow(&y, self.ds.point(oi));
+                match cand_label {
+                    // Need d(y, candidate) ≤ d(y, every other) to certify f(y)=1.
+                    Label::Positive => d_other < d_self,
+                    // Need strict d(y, candidate) < d(y, every other) for f(y)=0.
+                    Label::Negative => !(d_self < d_other),
+                }
+            });
+            if !beaten {
+                debug_assert_eq!(self.classifier().classify(&y), cand_label);
+                return SrCheck::NotSufficient { witness: y };
+            }
+        }
+        SrCheck::Sufficient
+    }
+
+    /// Convenience boolean form of [`L1Abductive::check`].
+    pub fn is_sufficient(&self, x: &[F], fixed: &[usize]) -> bool {
+        self.check(x, fixed).is_sufficient()
+    }
+
+    /// A minimal sufficient reason in polynomial time (Cor 3 via Prop 2).
+    pub fn minimal(&self, x: &[F]) -> Vec<usize> {
+        super::greedy_minimal(self.ds.dim(), None, |s| self.is_sufficient(x, s))
+    }
+
+    /// A minimum sufficient reason — NP-complete (Cor 6); exact IHS loop.
+    pub fn minimum(&self, x: &[F]) -> Vec<usize> {
+        self.minimum_with(x, HittingSetMode::Exact)
+    }
+
+    /// Minimum-SR with a selectable hitting-set mode.
+    pub fn minimum_with(&self, x: &[F], mode: HittingSetMode) -> Vec<usize> {
+        minimum_sufficient_reason(
+            self.ds.dim(),
+            mode,
+            |s| self.check(x, s),
+            |w| {
+                (0..x.len())
+                    .filter(|&i| !(w[i].clone() - x[i].clone()).is_zero())
+                    .collect()
+            },
+        )
+    }
+}
+
+/// Fast `f64` minimal-SR used by the Figure 6a harness: same algorithm as
+/// [`L1Abductive::minimal`], with the inner "is the candidate beaten?" scan
+/// implemented with early-abort accumulation (the FAISS role in §9.2).
+pub fn minimal_sufficient_reason_f64(ds: &ContinuousDataset<f64>, x: &[f64]) -> Vec<usize> {
+    let n = ds.dim();
+    let knn = ContinuousKnn::new(ds, LpMetric::L1, OddK::ONE);
+    let label = knn.classify(x);
+    let cand_label = label.flip();
+    let cands: Vec<&[f64]> = ds.iter().filter(|&(_, l)| l == cand_label).map(|(p, _)| p).collect();
+    let others: Vec<&[f64]> = ds.iter().filter(|&(_, l)| l == label).map(|(p, _)| p).collect();
+    let strict = cand_label == Label::Negative;
+
+    // `fixed` is represented as a membership mask for O(1) lookups.
+    let mut in_x = vec![true; n];
+    let is_sufficient = |in_x: &[bool]| -> bool {
+        let mut y = vec![0.0f64; n];
+        'cand: for cand in &cands {
+            for i in 0..n {
+                y[i] = if in_x[i] { x[i] } else { cand[i] };
+            }
+            let d_self: f64 = y.iter().zip(cand.iter()).map(|(a, b)| (a - b).abs()).sum();
+            for other in &others {
+                // Early-abort accumulation: once the partial sum passes
+                // d_self the point cannot beat the candidate.
+                let mut acc = 0.0;
+                let mut beaten = true;
+                for i in 0..n {
+                    acc += (y[i] - other[i]).abs();
+                    if strict {
+                        if acc > d_self {
+                            beaten = false;
+                            break;
+                        }
+                    } else if acc >= d_self {
+                        beaten = false;
+                        break;
+                    }
+                }
+                // `beaten` ⇒ this other point is closer (or ties, in the
+                // strict regime), killing the candidate.
+                if beaten {
+                    continue 'cand;
+                }
+            }
+            return false; // candidate survives → counterexample exists
+        }
+        true
+    };
+
+    if !is_sufficient(&in_x) {
+        // Defensive: the full set is always sufficient; floating-point should
+        // never reach here, but return the full set rather than panic.
+        return (0..n).collect();
+    }
+    for i in 0..n {
+        in_x[i] = false;
+        if !is_sufficient(&in_x) {
+            in_x[i] = true;
+        }
+    }
+    (0..n).filter(|&i| in_x[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_num::Rat;
+
+    fn r(p: i64) -> Rat {
+        Rat::from_int(p)
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let ds = ContinuousDataset::from_sets(vec![vec![r(0)]], vec![vec![r(4)]]);
+        let ab = L1Abductive::new(&ds);
+        let x = [r(1)];
+        assert!(!ab.is_sufficient(&x, &[]));
+        assert!(ab.is_sufficient(&x, &[0]));
+        assert_eq!(ab.minimal(&x), vec![0]);
+    }
+
+    #[test]
+    fn irrelevant_coordinate() {
+        // Classification depends only on coordinate 0 (same layout as the ℓ2
+        // test; under ℓ1 the same reasoning applies).
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![r(-1), r(0)], vec![r(-1), r(5)]],
+            vec![vec![r(1), r(0)], vec![r(1), r(5)]],
+        );
+        let ab = L1Abductive::new(&ds);
+        let x = [r(-1), r(2)];
+        assert!(ab.is_sufficient(&x, &[0]));
+        assert!(!ab.is_sufficient(&x, &[1]));
+        assert_eq!(ab.minimal(&x), vec![0]);
+        assert_eq!(ab.minimum(&x), vec![0]);
+    }
+
+    #[test]
+    fn strictness_asymmetry_on_ties() {
+        // Positive at 0, negative at 2; x = 1 is EXACTLY tied → optimistic
+        // f(x) = 1. The empty set is sufficient iff every y has f(y) = 1,
+        // which fails (y near 2). Fixing nothing → insufficient.
+        let ds = ContinuousDataset::from_sets(vec![vec![r(0)]], vec![vec![r(2)]]);
+        let ab = L1Abductive::new(&ds);
+        let x = [r(1)];
+        let knn = ContinuousKnn::new(&ds, LpMetric::L1, OddK::ONE);
+        assert_eq!(knn.classify(&x), Label::Positive);
+        assert!(!ab.is_sufficient(&x, &[]));
+        // The witness must be STRICTLY closer to the negative point.
+        match ab.check(&x, &[]) {
+            SrCheck::NotSufficient { witness } => {
+                assert_eq!(knn.classify(&witness), Label::Negative);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn agrees_with_l2_on_axis_separated_data() {
+        // When data differ on a single coordinate, ℓ1 and ℓ2 induce the same
+        // classifier, so sufficiency must agree.
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![r(-2), r(1)]],
+            vec![vec![r(2), r(1)]],
+        );
+        let l1 = L1Abductive::new(&ds);
+        let l2 = crate::abductive::l2::L2Abductive::new(&ds, OddK::ONE);
+        let x = [r(-1), r(7)];
+        for fixed in [vec![], vec![0], vec![1], vec![0, 1]] {
+            assert_eq!(
+                l1.is_sufficient(&x, &fixed),
+                l2.is_sufficient(&x, &fixed),
+                "fixed = {fixed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_f64_variant_matches_exact() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let dim = rng.gen_range(1..5usize);
+            let npos = rng.gen_range(1..4usize);
+            let nneg = rng.gen_range(1..4usize);
+            let pos: Vec<Vec<f64>> = (0..npos)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-4i64..5) as f64).collect())
+                .collect();
+            let neg: Vec<Vec<f64>> = (0..nneg)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-4i64..5) as f64).collect())
+                .collect();
+            let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-4i64..5) as f64).collect();
+            let dsf = ContinuousDataset::from_sets(pos.clone(), neg.clone());
+            let fast = minimal_sufficient_reason_f64(&dsf, &x);
+            // Exact rational reference.
+            let dsr = dsf.map_field(|&v| Rat::from_f64(v));
+            let xr: Vec<Rat> = x.iter().map(|&v| Rat::from_f64(v)).collect();
+            let exact = L1Abductive::new(&dsr).minimal(&xr);
+            assert_eq!(fast, exact, "pos={pos:?} neg={neg:?} x={x:?}");
+        }
+    }
+}

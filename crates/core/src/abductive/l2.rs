@@ -1,0 +1,199 @@
+//! Abductive explanations under ℓ2 (Proposition 3, Corollary 1, Corollary 6).
+//!
+//! `X` is **not** a sufficient reason for `x̄` iff the affine subspace
+//! `U(X, x̄) = {ȳ : ȳᵢ = x̄ᵢ ∀i ∈ X}` intersects the opposite decision
+//! region, which by Proposition 1 is a union of polynomially many (for fixed
+//! k) polyhedra — closed ones for the positive region (plain LP feasibility),
+//! open ones for the negative region (strict feasibility via the ε-LP).
+
+use crate::abductive::minimum::{minimum_sufficient_reason, HittingSetMode};
+use crate::classifier::ContinuousKnn;
+use crate::regions::region_polyhedra;
+use crate::SrCheck;
+use knn_num::Field;
+use knn_space::{ContinuousDataset, Label, LpMetric, OddK};
+
+/// Sufficient-reason engine for the ℓ2 setting.
+#[derive(Clone, Debug)]
+pub struct L2Abductive<'a, F> {
+    ds: &'a ContinuousDataset<F>,
+    k: OddK,
+}
+
+impl<'a, F: Field> L2Abductive<'a, F> {
+    /// Builds the engine for `f^k_{S⁺,S⁻}` under ℓ2.
+    pub fn new(ds: &'a ContinuousDataset<F>, k: OddK) -> Self {
+        assert!(ds.len() >= k.get() as usize);
+        L2Abductive { ds, k }
+    }
+
+    fn classifier(&self) -> ContinuousKnn<'a, F> {
+        ContinuousKnn::new(self.ds, LpMetric::L2, self.k)
+    }
+
+    /// `k`-Check Sufficient Reason(ℝ, D₂) — polynomial for fixed k (Prop 3).
+    pub fn check(&self, x: &[F], fixed: &[usize]) -> SrCheck<Vec<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        let label = self.classifier().classify(x);
+        let target = label.flip();
+        for mut poly in region_polyhedra(self.ds, self.k, target) {
+            for &i in fixed {
+                poly.fix_coord(i, x[i].clone());
+            }
+            let witness = match target {
+                Label::Positive => poly.feasible_point(),
+                Label::Negative => poly.strict_feasible_point(),
+            };
+            if let Some(w) = witness {
+                debug_assert_eq!(self.classifier().classify(&w), target);
+                return SrCheck::NotSufficient { witness: w };
+            }
+        }
+        SrCheck::Sufficient
+    }
+
+    /// Convenience boolean form of [`L2Abductive::check`].
+    pub fn is_sufficient(&self, x: &[F], fixed: &[usize]) -> bool {
+        self.check(x, fixed).is_sufficient()
+    }
+
+    /// A *minimal* sufficient reason in polynomial time (Cor 1 via Prop 2).
+    pub fn minimal(&self, x: &[F]) -> Vec<usize> {
+        super::greedy_minimal(self.ds.dim(), None, |s| self.is_sufficient(x, s))
+    }
+
+    /// A *minimum* sufficient reason — NP-complete (Cor 6); exact via the
+    /// implicit-hitting-set loop with the polynomial check as oracle.
+    pub fn minimum(&self, x: &[F]) -> Vec<usize> {
+        self.minimum_with(x, HittingSetMode::Exact)
+    }
+
+    /// Minimum-SR loop with a choice of hitting-set mode (`Greedy` gives the
+    /// polynomial upper-bound heuristic of §10's approximation question).
+    pub fn minimum_with(&self, x: &[F], mode: HittingSetMode) -> Vec<usize> {
+        minimum_sufficient_reason(
+            self.ds.dim(),
+            mode,
+            |s| self.check(x, s),
+            |w| {
+                (0..x.len())
+                    .filter(|&i| {
+                        let d = w[i].clone() - x[i].clone();
+                        !d.is_zero()
+                    })
+                    .collect()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_num::Rat;
+
+    fn r(p: i64) -> Rat {
+        Rat::from_int(p)
+    }
+
+    /// 1-D: positives at -1 and 1, negative at 3; x = 0 (positive).
+    /// The empty set is NOT sufficient (points near 3 are negative) but any
+    /// coordinate fix is: fixing x₁ = 0 pins the whole point in 1-D.
+    #[test]
+    fn one_dimensional_check() {
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![r(-1)], vec![r(1)]],
+            vec![vec![r(3)]],
+        );
+        let ab = L2Abductive::new(&ds, OddK::ONE);
+        let x = [r(0)];
+        assert!(!ab.is_sufficient(&x, &[]));
+        assert!(ab.is_sufficient(&x, &[0]));
+        assert_eq!(ab.minimal(&x), vec![0]);
+        assert_eq!(ab.minimum(&x), vec![0]);
+    }
+
+    /// 2-D: classification depends only on coordinate 0; coordinate 1 is
+    /// irrelevant, so {0} must be the minimal and minimum sufficient reason.
+    #[test]
+    fn irrelevant_coordinate_dropped() {
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![r(-1), r(0)], vec![r(-1), r(5)]],
+            vec![vec![r(1), r(0)], vec![r(1), r(5)]],
+        );
+        let ab = L2Abductive::new(&ds, OddK::ONE);
+        let x = [r(-1), r(2)];
+        // x is positive; fixing coordinate 0 = -1 keeps any (−1, y₂) closer to
+        // some positive than to every negative? d((−1,y), (−1,p))² = (y−p)²;
+        // d to negatives = 4 + (y−q)². min over p of (y−p)² ≤ min over q 4+(y−q)²
+        // iff min_p (y−p)² ≤ 4 + min_q (y−q)². With p,q ∈ {0,5} equal sets:
+        // min_p = min_q → always ≤. So {0} is sufficient.
+        assert!(ab.is_sufficient(&x, &[0]));
+        assert!(!ab.is_sufficient(&x, &[1]));
+        assert!(!ab.is_sufficient(&x, &[]));
+        assert_eq!(ab.minimum(&x), vec![0]);
+        assert_eq!(ab.minimal(&x), vec![0]);
+    }
+
+    /// The witness returned by a failed check must agree with x on the fixed
+    /// coordinates and flip the label.
+    #[test]
+    fn witness_properties() {
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![r(0), r(0)]],
+            vec![vec![r(4), r(4)]],
+        );
+        let ab = L2Abductive::new(&ds, OddK::ONE);
+        let x = [r(0), r(0)];
+        match ab.check(&x, &[0]) {
+            SrCheck::NotSufficient { witness } => {
+                assert_eq!(witness[0], r(0));
+                let knn = ContinuousKnn::new(&ds, LpMetric::L2, OddK::ONE);
+                assert_eq!(knn.classify(&witness), Label::Negative);
+            }
+            SrCheck::Sufficient => panic!("x₂ can push the point into the negative cell"),
+        }
+    }
+
+    /// k = 3 with a positive cluster outvoting a single negative.
+    #[test]
+    fn k3_check() {
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![r(-1)], vec![r(0)], vec![r(1)]],
+            vec![vec![r(10)]],
+        );
+        let ab = L2Abductive::new(&ds, OddK::THREE);
+        let x = [r(0)];
+        // With k=3, any point sees at least 2 positives among its 3 nearest
+        // (only one negative exists) → label is always positive → ∅ sufficient.
+        assert!(ab.is_sufficient(&x, &[]));
+        assert_eq!(ab.minimum(&x), Vec::<usize>::new());
+    }
+
+    /// Minimum can be smaller than what a poorly-ordered greedy finds
+    /// (Example 2's phenomenon, continuous analogue).
+    #[test]
+    fn minimum_never_larger_than_minimal() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..15 {
+            let dim = rng.gen_range(1..4usize);
+            let npts = rng.gen_range(2..5usize);
+            let pos: Vec<Vec<Rat>> = (0..npts.div_ceil(2))
+                .map(|_| (0..dim).map(|_| r(rng.gen_range(-3i64..4))).collect())
+                .collect();
+            let neg: Vec<Vec<Rat>> = (0..npts / 2 + 1)
+                .map(|_| (0..dim).map(|_| r(rng.gen_range(-3i64..4))).collect())
+                .collect();
+            let ds = ContinuousDataset::from_sets(pos, neg);
+            let ab = L2Abductive::new(&ds, OddK::ONE);
+            let x: Vec<Rat> = (0..dim).map(|_| r(rng.gen_range(-3i64..4))).collect();
+            let minimal = ab.minimal(&x);
+            let minimum = ab.minimum(&x);
+            assert!(minimum.len() <= minimal.len());
+            assert!(ab.is_sufficient(&x, &minimum));
+            assert!(ab.is_sufficient(&x, &minimal));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Exact minimum sufficient reasons via implicit hitting sets.
+//!
+//! A set `X` is a sufficient reason for `x̄` iff it *hits* (intersects) the
+//! deviation set `D(ȳ) = {i : ȳᵢ ≠ x̄ᵢ}` of **every** counterexample `ȳ`
+//! (every point classified differently from `x̄`): if `X ∩ D(ȳ) = ∅` then `ȳ`
+//! agrees with `x̄` on `X` and refutes sufficiency, and conversely. A minimum
+//! sufficient reason is therefore a minimum hitting set of an implicitly
+//! given family — solved by the classic counterexample-guided loop:
+//!
+//! 1. compute a minimum hitting set `X` of the counterexamples found so far;
+//! 2. ask the Check-SR oracle whether `X` is sufficient;
+//! 3. if yes, `X` is optimal (it hits a *subset* of all deviation sets with
+//!    minimum cardinality, and every sufficient reason hits all of them);
+//!    if no, add the new counterexample's deviation set and repeat.
+//!
+//! Each iteration adds a deviation set disjoint from the current `X`, so the
+//! family strictly grows and the loop terminates. This single engine solves
+//! the NP-complete continuous cases (Cor 6) with the LP oracle and the
+//! Σ₂ᵖ-complete discrete case (Thm 8) with the SAT oracle — the oracle
+//! *is* the complexity-theoretic NP/coNP oracle of the upper-bound proofs.
+
+use crate::SrCheck;
+
+/// Exact minimum hitting set over explicit sets, by branch & bound.
+/// `sets` must be nonempty sets of indices `< n`.
+pub fn min_hitting_set(sets: &[Vec<usize>], n: usize) -> Vec<usize> {
+    debug_assert!(sets.iter().all(|s| !s.is_empty() && s.iter().all(|&i| i < n)));
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    let mut best: Vec<usize> = greedy_hitting_set(sets);
+    let mut chosen: Vec<usize> = Vec::new();
+    branch(sets, &mut chosen, &mut best);
+    best
+}
+
+fn branch(sets: &[Vec<usize>], chosen: &mut Vec<usize>, best: &mut Vec<usize>) {
+    // Lower bound: chosen + a greedy packing of pairwise-disjoint unhit sets.
+    let unhit: Vec<&Vec<usize>> = sets
+        .iter()
+        .filter(|s| !s.iter().any(|i| chosen.contains(i)))
+        .collect();
+    if unhit.is_empty() {
+        if chosen.len() < best.len() {
+            *best = chosen.clone();
+        }
+        return;
+    }
+    let mut packing = 0usize;
+    let mut used: Vec<usize> = Vec::new();
+    for s in &unhit {
+        if s.iter().all(|i| !used.contains(i)) {
+            packing += 1;
+            used.extend_from_slice(s);
+        }
+    }
+    if chosen.len() + packing >= best.len() {
+        return;
+    }
+    // Branch on the smallest unhit set.
+    let pivot = unhit.iter().min_by_key(|s| s.len()).unwrap();
+    let candidates: Vec<usize> = (*pivot).clone();
+    for e in candidates {
+        chosen.push(e);
+        branch(sets, chosen, best);
+        chosen.pop();
+    }
+}
+
+/// Classical `ln m`-approximate greedy hitting set (also exposed as the
+/// polynomial heuristic the paper's §10 asks about).
+pub fn greedy_hitting_set(sets: &[Vec<usize>]) -> Vec<usize> {
+    let mut hit = vec![false; sets.len()];
+    let mut out: Vec<usize> = Vec::new();
+    loop {
+        let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+        for (si, s) in sets.iter().enumerate() {
+            if !hit[si] {
+                for &e in s {
+                    *counts.entry(e).or_insert(0) += 1;
+                }
+            }
+        }
+        let Some((&e, _)) = counts.iter().max_by_key(|(_, &c)| c) else {
+            break;
+        };
+        out.push(e);
+        for (si, s) in sets.iter().enumerate() {
+            if s.contains(&e) {
+                hit[si] = true;
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// How the hitting sets proposed to the oracle are optimized.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HittingSetMode {
+    /// Branch & bound exact minimum — the returned reason is a true minimum
+    /// sufficient reason.
+    Exact,
+    /// Greedy approximate hitting sets — polynomial per iteration, returns a
+    /// sufficient reason that upper-bounds the minimum (§10's approximation
+    /// question).
+    Greedy,
+}
+
+/// The implicit-hitting-set loop. `check` is the setting-specific Check-SR
+/// oracle; `deviation` extracts `D(ȳ)` from its counterexample witness.
+///
+/// Returns the sufficient reason found (minimum when `mode == Exact`).
+pub fn minimum_sufficient_reason<P>(
+    n: usize,
+    mode: HittingSetMode,
+    mut check: impl FnMut(&[usize]) -> SrCheck<P>,
+    mut deviation: impl FnMut(&P) -> Vec<usize>,
+) -> Vec<usize> {
+    let mut family: Vec<Vec<usize>> = Vec::new();
+    loop {
+        let candidate = match mode {
+            HittingSetMode::Exact => min_hitting_set(&family, n),
+            HittingSetMode::Greedy => greedy_hitting_set(&family),
+        };
+        match check(&candidate) {
+            SrCheck::Sufficient => return candidate,
+            SrCheck::NotSufficient { witness } => {
+                let d = deviation(&witness);
+                assert!(
+                    !d.is_empty(),
+                    "counterexample must deviate from x somewhere (it has a different label)"
+                );
+                assert!(
+                    d.iter().all(|i| !candidate.contains(i)),
+                    "counterexample must agree with x on the candidate set"
+                );
+                family.push(d);
+            }
+        }
+        assert!(
+            family.len() <= (1usize << n.min(24)),
+            "implicit hitting set loop failed to terminate"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hitting_set_examples() {
+        // {0,1}, {1,2}, {2,3}: {1,2} hits all, size 2; no single element does.
+        let sets = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        let hs = min_hitting_set(&sets, 4);
+        assert_eq!(hs.len(), 2);
+        for s in &sets {
+            assert!(s.iter().any(|e| hs.contains(e)));
+        }
+    }
+
+    #[test]
+    fn hitting_set_single_element_dominates() {
+        let sets = vec![vec![0, 5], vec![1, 5], vec![2, 5], vec![3, 5]];
+        assert_eq!(min_hitting_set(&sets, 6), vec![5]);
+    }
+
+    #[test]
+    fn hitting_set_disjoint_sets_need_one_each() {
+        let sets = vec![vec![0], vec![1], vec![2]];
+        let hs = min_hitting_set(&sets, 3);
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn greedy_hits_everything() {
+        let sets = vec![vec![0, 1], vec![2], vec![1, 2, 3]];
+        let hs = greedy_hitting_set(&sets);
+        for s in &sets {
+            assert!(s.iter().any(|e| hs.contains(e)));
+        }
+    }
+
+    #[test]
+    fn ihs_loop_against_synthetic_oracle() {
+        // Ground truth: counterexamples are all nonempty subsets of {0,1,2}
+        // avoiding X... simulate: X sufficient iff it contains 2 or both 0,1
+        // (Example-2 shape). Counterexample deviation sets: {2,0}, {2,1} — the
+        // complement structure; emulate with a fixed family.
+        let truth: Vec<Vec<usize>> = vec![vec![0, 2], vec![1, 2]];
+        let check = |x: &[usize]| {
+            for t in &truth {
+                if !t.iter().any(|i| x.contains(i)) {
+                    return SrCheck::NotSufficient { witness: t.clone() };
+                }
+            }
+            SrCheck::Sufficient
+        };
+        let got = minimum_sufficient_reason(3, HittingSetMode::Exact, check, |w| w.clone());
+        assert_eq!(got, vec![2], "the single hitter {{2}} is the minimum");
+    }
+
+    #[test]
+    fn ihs_greedy_mode_returns_sufficient_set() {
+        let truth: Vec<Vec<usize>> = vec![vec![0, 1], vec![1, 2], vec![0, 2]];
+        let check = |x: &[usize]| {
+            for t in &truth {
+                if !t.iter().any(|i| x.contains(i)) {
+                    return SrCheck::NotSufficient { witness: t.clone() };
+                }
+            }
+            SrCheck::Sufficient
+        };
+        let got =
+            minimum_sufficient_reason(3, HittingSetMode::Greedy, check, |w| w.clone());
+        for t in &truth {
+            assert!(t.iter().any(|i| got.contains(i)));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Abductive explanations (sufficient reasons).
+//!
+//! * [`greedy_minimal`] — Proposition 2: any polynomial Check-SR oracle yields
+//!   a polynomial *minimal* sufficient reason by greedy deletion.
+//! * [`minimum`] — exact *minimum* sufficient reasons by an implicit hitting
+//!   set (counterexample-guided) loop, with the per-setting oracles below.
+//! * [`l2`] — Proposition 3 / Corollary 1 (ℓ2, any odd k, polynomial).
+//! * [`l1`] — Proposition 4 / Corollary 3 (ℓ1, k = 1, polynomial).
+//! * [`hamming`] — Proposition 6 / Corollary 4 (k = 1, polynomial) and the
+//!   SAT-based checker for k ≥ 3 (coNP-complete, Theorem 7).
+
+pub mod hamming;
+pub mod l1;
+pub mod l2;
+pub mod minimum;
+
+/// Greedy minimal sufficient reason (Proposition 2): start from a sufficient
+/// set (the full `0..n` unless `start` is given) and drop components while the
+/// set stays sufficient. Exactly `|start|` oracle calls.
+///
+/// The result is *minimal* (no proper subset is sufficient) but not
+/// necessarily *minimum* (Example 2 of the paper separates the two).
+pub fn greedy_minimal(
+    n: usize,
+    start: Option<Vec<usize>>,
+    mut is_sufficient: impl FnMut(&[usize]) -> bool,
+) -> Vec<usize> {
+    let mut x: Vec<usize> = start.unwrap_or_else(|| (0..n).collect());
+    debug_assert!(is_sufficient(&x), "greedy_minimal must start from a sufficient set");
+    let mut i = 0;
+    while i < x.len() {
+        let mut candidate = x.clone();
+        candidate.remove(i);
+        if is_sufficient(&candidate) {
+            x = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_respects_monotone_oracle() {
+        // Oracle: sufficient iff contains {1} or contains both {0, 3}.
+        let oracle = |s: &[usize]| s.contains(&1) || (s.contains(&0) && s.contains(&3));
+        let got = greedy_minimal(5, None, oracle);
+        // Greedy drops 0 ({1,2,3,4} OK via 1), keeps 1 only at the end:
+        // every later deletion still leaves {1}, so the result is {1}.
+        assert_eq!(got, vec![1]);
+        assert!(oracle(&got));
+        for i in 0..got.len() {
+            let mut sub = got.clone();
+            sub.remove(i);
+            assert!(!oracle(&sub), "result must be minimal");
+        }
+    }
+
+    #[test]
+    fn greedy_from_given_start() {
+        let oracle = |s: &[usize]| s.contains(&1);
+        let got = greedy_minimal(5, Some(vec![1, 2]), oracle);
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn greedy_on_always_sufficient_oracle_returns_empty() {
+        let got = greedy_minimal(4, None, |_| true);
+        assert!(got.is_empty());
+    }
+}

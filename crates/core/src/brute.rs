@@ -1,0 +1,227 @@
+//! Exponential reference oracles for the discrete setting.
+//!
+//! These implement the problem definitions *literally* — enumerate all
+//! completions / all subsets / all points — and anchor the correctness of
+//! every polynomial algorithm and solver encoding in the test suite and in
+//! the Table 1 harness. They are deliberately simple; do not use them beyond
+//! ~20 dimensions.
+
+use crate::classifier::BooleanKnn;
+use knn_space::BitVec;
+
+/// Enumerates all completions of `x` outside `fixed` and reports whether the
+/// label ever changes — the literal definition of a sufficient reason.
+pub fn is_sufficient_reason(knn: &BooleanKnn<'_>, x: &BitVec, fixed: &[usize]) -> bool {
+    let n = x.len();
+    assert!(n <= 24, "brute force limited to small dimension");
+    let free: Vec<usize> = (0..n).filter(|i| !fixed.contains(i)).collect();
+    let base_label = knn.classify(x);
+    let mut y = x.clone();
+    for mask in 0u64..(1u64 << free.len()) {
+        for (bit, &i) in free.iter().enumerate() {
+            y.set(i, (mask >> bit) & 1 == 1);
+        }
+        if knn.classify(&y) != base_label {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds a counterexample completion (if any) for the sufficient-reason check.
+pub fn sufficient_reason_counterexample(
+    knn: &BooleanKnn<'_>,
+    x: &BitVec,
+    fixed: &[usize],
+) -> Option<BitVec> {
+    let n = x.len();
+    assert!(n <= 24);
+    let free: Vec<usize> = (0..n).filter(|i| !fixed.contains(i)).collect();
+    let base_label = knn.classify(x);
+    let mut y = x.clone();
+    for mask in 0u64..(1u64 << free.len()) {
+        for (bit, &i) in free.iter().enumerate() {
+            y.set(i, (mask >> bit) & 1 == 1);
+        }
+        if knn.classify(&y) != base_label {
+            return Some(y);
+        }
+    }
+    None
+}
+
+/// The size of a minimum sufficient reason, by enumerating subsets in
+/// increasing cardinality. Always terminates: the full set is sufficient.
+pub fn minimum_sufficient_reason(knn: &BooleanKnn<'_>, x: &BitVec) -> Vec<usize> {
+    let n = x.len();
+    assert!(n <= 20, "subset enumeration limited to tiny dimension");
+    for size in 0..=n {
+        let mut subset: Vec<usize> = Vec::with_capacity(size);
+        if let Some(found) = search(knn, x, 0, size, &mut subset) {
+            return found;
+        }
+    }
+    unreachable!("the full component set is always a sufficient reason");
+}
+
+fn search(
+    knn: &BooleanKnn<'_>,
+    x: &BitVec,
+    start: usize,
+    size: usize,
+    subset: &mut Vec<usize>,
+) -> Option<Vec<usize>> {
+    if subset.len() == size {
+        return is_sufficient_reason(knn, x, subset).then(|| subset.clone());
+    }
+    if x.len() - start < size - subset.len() {
+        return None;
+    }
+    for i in start..x.len() {
+        subset.push(i);
+        if let Some(found) = search(knn, x, i + 1, size, subset) {
+            return Some(found);
+        }
+        subset.pop();
+    }
+    None
+}
+
+/// The closest counterfactual by exhaustive scan of `{0,1}ⁿ`, ties broken by
+/// the numerically smallest point. `None` if the whole space has one label.
+pub fn closest_counterfactual(knn: &BooleanKnn<'_>, x: &BitVec) -> Option<(BitVec, usize)> {
+    let n = x.len();
+    assert!(n <= 24);
+    let base_label = knn.classify(x);
+    let mut best: Option<(BitVec, usize)> = None;
+    for mask in 0u64..(1u64 << n) {
+        let y = BitVec::from_bools(&(0..n).map(|i| (mask >> i) & 1 == 1).collect::<Vec<_>>());
+        if knn.classify(&y) != base_label {
+            let d = x.hamming(&y);
+            if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
+                best = Some((y, d));
+            }
+        }
+    }
+    best
+}
+
+/// Decision version: is there a counterfactual within distance `l`?
+pub fn counterfactual_within(knn: &BooleanKnn<'_>, x: &BitVec, l: usize) -> bool {
+    closest_counterfactual(knn, x).is_some_and(|(_, d)| d <= l)
+}
+
+/// All minimal sufficient reasons (for studying Example 2-style situations).
+pub fn all_minimal_sufficient_reasons(knn: &BooleanKnn<'_>, x: &BitVec) -> Vec<Vec<usize>> {
+    let n = x.len();
+    assert!(n <= 12, "exhaustive minimal-SR enumeration is for tiny instances");
+    let mut sufficient: Vec<Vec<usize>> = Vec::new();
+    for mask in 0u32..(1 << n) {
+        let subset: Vec<usize> = (0..n).filter(|i| (mask >> i) & 1 == 1).collect();
+        if is_sufficient_reason(knn, x, &subset) {
+            sufficient.push(subset);
+        }
+    }
+    sufficient
+        .iter()
+        .filter(|s| {
+            !sufficient
+                .iter()
+                .any(|t| t.len() < s.len() && t.iter().all(|i| s.contains(i)))
+                && !sufficient
+                    .iter()
+                    .any(|t| t.len() == s.len() && t != *s && t.iter().all(|i| s.contains(i)))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_space::{BooleanDataset, OddK};
+
+    /// The dataset of the paper's Example 2: S⁺ = {011, 101, 111} (components
+    /// written (v1,v2,v3)), S⁻ = the rest, x = 000, k = 1.
+    fn example2() -> BooleanDataset {
+        let to_bv = |v: [u8; 3]| BitVec::from_bits(&v);
+        let pos = vec![to_bv([0, 1, 1]), to_bv([1, 0, 1]), to_bv([1, 1, 1])];
+        let mut neg = Vec::new();
+        for m in 0..8u8 {
+            let v = [m & 1, (m >> 1) & 1, (m >> 2) & 1];
+            let bv = to_bv(v);
+            if !pos.contains(&bv) {
+                neg.push(bv);
+            }
+        }
+        BooleanDataset::from_sets(pos, neg)
+    }
+
+    #[test]
+    fn example_2_sufficient_reasons() {
+        let ds = example2();
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        let x = BitVec::zeros(3);
+        // The paper: {1,2} (components 1,2 → indices 0,1) and {3} (index 2)
+        // are sufficient; {1}, {2}, ∅ are not.
+        assert!(is_sufficient_reason(&knn, &x, &[0, 1]));
+        assert!(is_sufficient_reason(&knn, &x, &[2]));
+        assert!(!is_sufficient_reason(&knn, &x, &[0]));
+        assert!(!is_sufficient_reason(&knn, &x, &[1]));
+        assert!(!is_sufficient_reason(&knn, &x, &[]));
+    }
+
+    #[test]
+    fn example_2_minimum_and_minimal() {
+        let ds = example2();
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        let x = BitVec::zeros(3);
+        assert_eq!(minimum_sufficient_reason(&knn, &x), vec![2]);
+        let minimal = all_minimal_sufficient_reasons(&knn, &x);
+        assert!(minimal.contains(&vec![0, 1]));
+        assert!(minimal.contains(&vec![2]));
+        assert_eq!(minimal.len(), 2);
+    }
+
+    #[test]
+    fn superset_of_sufficient_reason_is_sufficient() {
+        let ds = example2();
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        let x = BitVec::zeros(3);
+        assert!(is_sufficient_reason(&knn, &x, &[0, 2]));
+        assert!(is_sufficient_reason(&knn, &x, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn counterexample_witness_flips_label() {
+        let ds = example2();
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        let x = BitVec::zeros(3);
+        let w = sufficient_reason_counterexample(&knn, &x, &[0]).unwrap();
+        assert_eq!(w.get(0), false, "witness must agree with x on the fixed set");
+        assert_ne!(knn.classify(&w), knn.classify(&x));
+        assert!(sufficient_reason_counterexample(&knn, &x, &[2]).is_none());
+    }
+
+    #[test]
+    fn closest_counterfactual_on_example2() {
+        let ds = example2();
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        let x = BitVec::zeros(3);
+        // f(x)=0; the nearest positively-classified point: some point at
+        // distance 2 (e.g. 011 itself is positive: d=2).
+        let (y, d) = closest_counterfactual(&knn, &x).unwrap();
+        assert_eq!(d, 2);
+        assert_ne!(knn.classify(&y), knn.classify(&x));
+        assert!(counterfactual_within(&knn, &x, 2));
+        assert!(!counterfactual_within(&knn, &x, 1));
+    }
+
+    #[test]
+    fn full_set_always_sufficient() {
+        let ds = example2();
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        let x = BitVec::ones(3);
+        assert!(is_sufficient_reason(&knn, &x, &[0, 1, 2]));
+    }
+}

@@ -1,0 +1,299 @@
+//! Counterfactuals under ℓ1 — NP-complete even for singleton classes
+//! (Theorem 4) — solved exactly by a big-M 0–1 MILP model on `knn-milp`.
+//!
+//! Model (k = 1, target label `t`): variables `ȳ ∈ ℝⁿ` (bounded by the data's
+//! coordinate range: moving a coordinate into the range shrinks all distances
+//! equally, so an optimal `ȳ` exists inside it), objective `Σ tᵢ` with
+//! `tᵢ ≥ ±(x̄ᵢ − yᵢ)`, witness selector `u_a` per point of the target class
+//! (`Σ u_a = 1`), and per pair `(a, c)`:
+//!
+//! > `Σᵢ T^a_i ≤ Σᵢ S^c_i + M(1 − u_a) [− δ]`
+//!
+//! where `T^a_i ≥ |yᵢ − aᵢ|` *over*-approximates the witness distance and
+//! `S^c_i ≤ |yᵢ − cᵢ|` *under*-approximates the competitor distance through
+//! big-M sign binaries — making the constraint sound, and tight at an optimum.
+//! The `δ` term enforces the strict inequality needed when flipping a positive
+//! point; like the paper's own implementation (§9.2 "ignoring tie-breaking
+//! concerns"), the float path treats strictness with a small margin.
+
+use crate::classifier::ContinuousKnn;
+use knn_lp::Rel;
+use knn_milp::{MilpOutcome, MilpProblem};
+use knn_space::{ContinuousDataset, Label, LpMetric, OddK};
+
+/// Strictness margin for the `f(ȳ) = 0` target (see module docs).
+pub const STRICTNESS_DELTA: f64 = 1e-6;
+
+/// Counterfactual engine for the ℓ1 setting, k = 1.
+#[derive(Clone, Debug)]
+pub struct L1Counterfactual<'a> {
+    ds: &'a ContinuousDataset<f64>,
+}
+
+impl<'a> L1Counterfactual<'a> {
+    /// Builds the engine (k = 1; Theorem 4 shows NP-completeness already at
+    /// `|S⁺| = |S⁻| = 1`, so there is no poly special case to dispatch to).
+    pub fn new(ds: &'a ContinuousDataset<f64>) -> Self {
+        assert!(!ds.is_empty());
+        L1Counterfactual { ds }
+    }
+
+    fn classifier(&self) -> ContinuousKnn<'a, f64> {
+        ContinuousKnn::new(self.ds, LpMetric::L1, OddK::ONE)
+    }
+
+    /// The minimum ℓ1 distance to a counterfactual and a witness, or `None`
+    /// when one of the classes is empty (label constant).
+    pub fn closest(&self, x: &[f64]) -> Option<(Vec<f64>, f64)> {
+        let n = self.ds.dim();
+        assert_eq!(x.len(), n);
+        let label = self.classifier().classify(x);
+        let target = label.flip();
+        let witnesses = self.ds.indices_of(target);
+        let competitors = self.ds.indices_of(label);
+        if witnesses.is_empty() {
+            return None;
+        }
+        if competitors.is_empty() {
+            return Some((x.to_vec(), 0.0)); // everything is the target label
+        }
+        let strict = target == Label::Negative;
+
+        // Coordinate range bounds for y (see module docs) and big-M.
+        let mut lo = x.to_vec();
+        let mut hi = x.to_vec();
+        for (p, _) in self.ds.iter() {
+            for i in 0..n {
+                lo[i] = lo[i].min(p[i]);
+                hi[i] = hi[i].max(p[i]);
+            }
+        }
+        let span: f64 = (0..n).map(|i| hi[i] - lo[i]).sum::<f64>().max(1.0);
+        let big_m = 4.0 * span + 4.0;
+
+        // Variable layout:
+        //   y:      0 .. n
+        //   t:      n .. 2n                     (|x − y|, objective)
+        //   u_a:    2n .. 2n + W                (witness selectors, binary)
+        //   T^a_i:  block per witness           (n each)
+        //   S^c_i:  block per competitor        (n each)
+        //   z^c_i:  sign binaries per competitor (n each)
+        let w_cnt = witnesses.len();
+        let c_cnt = competitors.len();
+        let y0 = 0;
+        let t0 = n;
+        let u0 = 2 * n;
+        let ta0 = u0 + w_cnt;
+        let sc0 = ta0 + w_cnt * n;
+        let zc0 = sc0 + c_cnt * n;
+        let total = zc0 + c_cnt * n;
+        let mut m = MilpProblem::new(total);
+        for i in 0..n {
+            m.set_lower(y0 + i, lo[i]);
+            m.set_upper(y0 + i, hi[i]);
+            m.set_lower(t0 + i, 0.0);
+        }
+        for (wi, _) in witnesses.iter().enumerate() {
+            m.set_binary(u0 + wi);
+            for i in 0..n {
+                m.set_lower(ta0 + wi * n + i, 0.0);
+            }
+        }
+        for (ci, _) in competitors.iter().enumerate() {
+            for i in 0..n {
+                m.set_binary(zc0 + ci * n + i);
+                m.set_lower(sc0 + ci * n + i, 0.0);
+            }
+        }
+
+        // t_i ≥ ±(x_i − y_i)
+        for i in 0..n {
+            m.add_constraint(vec![(t0 + i, 1.0), (y0 + i, 1.0)], Rel::Ge, x[i]);
+            m.add_constraint(vec![(t0 + i, 1.0), (y0 + i, -1.0)], Rel::Ge, -x[i]);
+        }
+        // Exactly one witness.
+        m.add_constraint(
+            (0..w_cnt).map(|wi| (u0 + wi, 1.0)).collect(),
+            Rel::Eq,
+            1.0,
+        );
+        // T^a_i ≥ ±(y_i − a_i)
+        for (wi, &widx) in witnesses.iter().enumerate() {
+            let a = self.ds.point(widx);
+            for i in 0..n {
+                let v = ta0 + wi * n + i;
+                m.add_constraint(vec![(v, 1.0), (y0 + i, -1.0)], Rel::Ge, -a[i]);
+                m.add_constraint(vec![(v, 1.0), (y0 + i, 1.0)], Rel::Ge, a[i]);
+            }
+        }
+        // S^c_i ≤ |y_i − c_i| via sign binaries.
+        for (ci, &cidx) in competitors.iter().enumerate() {
+            let c = self.ds.point(cidx);
+            for i in 0..n {
+                let s = sc0 + ci * n + i;
+                let z = zc0 + ci * n + i;
+                // S ≤ (y_i − c_i) + M(1 − z)
+                m.add_constraint(
+                    vec![(s, 1.0), (y0 + i, -1.0), (z, big_m)],
+                    Rel::Le,
+                    -c[i] + big_m,
+                );
+                // S ≤ (c_i − y_i) + M z
+                m.add_constraint(
+                    vec![(s, 1.0), (y0 + i, 1.0), (z, -big_m)],
+                    Rel::Le,
+                    c[i],
+                );
+            }
+        }
+        // Pair constraints: u_a = 1 ⇒ ΣT^a ≤ ΣS^c (− δ).
+        let delta = if strict { STRICTNESS_DELTA } else { 0.0 };
+        for (wi, _) in witnesses.iter().enumerate() {
+            for (ci, _) in competitors.iter().enumerate() {
+                let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(2 * n + 1);
+                for i in 0..n {
+                    coeffs.push((ta0 + wi * n + i, 1.0));
+                    coeffs.push((sc0 + ci * n + i, -1.0));
+                }
+                coeffs.push((u0 + wi, big_m));
+                m.add_constraint(coeffs, Rel::Le, big_m - delta);
+            }
+        }
+        let mut objective = vec![0.0; total];
+        for i in 0..n {
+            objective[t0 + i] = 1.0;
+        }
+        match m.minimize(&objective) {
+            MilpOutcome::Optimal { x: sol, value } => {
+                let y: Vec<f64> = (0..n).map(|i| sol[y0 + i]).collect();
+                Some((y, value))
+            }
+            MilpOutcome::Infeasible => None,
+            other => panic!("L1 counterfactual MILP did not converge: {other:?}"),
+        }
+    }
+
+    /// Decision form: is there a counterfactual within ℓ1 distance `l`?
+    pub fn within(&self, x: &[f64], l: f64) -> bool {
+        self.closest(x).is_some_and(|(_, d)| d <= l + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dimensional_singletons() {
+        // Positive at 0, negative at 4; x = 0 → flip needs |y| past the
+        // bisector at 2: distance 2 (+δ for strictness).
+        let ds = ContinuousDataset::from_sets(vec![vec![0.0]], vec![vec![4.0]]);
+        let cf = L1Counterfactual::new(&ds);
+        let (y, d) = cf.closest(&[0.0]).unwrap();
+        assert!((d - 2.0).abs() < 1e-3, "distance {d}");
+        let knn = ContinuousKnn::new(&ds, LpMetric::L1, OddK::ONE);
+        assert_eq!(knn.classify(&y), Label::Negative);
+    }
+
+    #[test]
+    fn negative_to_positive_no_strictness() {
+        // x on the negative side; ties classify positive, so the bisector
+        // point itself is a valid counterfactual: distance exactly 2.
+        let ds = ContinuousDataset::from_sets(vec![vec![0.0]], vec![vec![4.0]]);
+        let cf = L1Counterfactual::new(&ds);
+        let (y, d) = cf.closest(&[4.0]).unwrap();
+        assert!((d - 2.0).abs() < 1e-6, "distance {d}");
+        let knn = ContinuousKnn::new(&ds, LpMetric::L1, OddK::ONE);
+        assert_eq!(knn.classify(&y), Label::Positive);
+    }
+
+    #[test]
+    fn two_dimensional_diamond_geometry() {
+        // ℓ1 balls are diamonds: positive at (0,0), negative at (2,2);
+        // from x = (0,0) the flip region boundary {y : d(y,neg) ≤ d(y,pos)}
+        // is the anti-diagonal line x+y = 2 (ℓ1 bisector between the points
+        // in this diagonal configuration contains the segment); minimum ℓ1
+        // distance from origin is 2.
+        let ds = ContinuousDataset::from_sets(vec![vec![0.0, 0.0]], vec![vec![2.0, 2.0]]);
+        let cf = L1Counterfactual::new(&ds);
+        let (y, d) = cf.closest(&[0.0, 0.0]).unwrap();
+        assert!((d - 2.0).abs() < 1e-3, "distance {d} at witness {y:?}");
+        let knn = ContinuousKnn::new(&ds, LpMetric::L1, OddK::ONE);
+        assert_eq!(knn.classify(&y), Label::Negative);
+    }
+
+    #[test]
+    fn multiple_witness_candidates() {
+        // Two positives; x negative; the model must pick the cheaper witness.
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![10.0], vec![3.0]],
+            vec![vec![0.0]],
+        );
+        let cf = L1Counterfactual::new(&ds);
+        let (_, d) = cf.closest(&[0.0]).unwrap();
+        // Bisector between 0 and 3 is at 1.5; ties go positive → d = 1.5.
+        assert!((d - 1.5).abs() < 1e-6, "distance {d}");
+    }
+
+    #[test]
+    fn within_decision() {
+        let ds = ContinuousDataset::from_sets(vec![vec![0.0]], vec![vec![4.0]]);
+        let cf = L1Counterfactual::new(&ds);
+        assert!(cf.within(&[4.0], 2.0));
+        assert!(!cf.within(&[4.0], 1.9));
+    }
+
+    #[test]
+    fn brute_grid_agrees_on_random_instances() {
+        // Compare the MILP optimum against a fine grid scan in 1-D/2-D.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        for round in 0..10 {
+            let dim = rng.gen_range(1..3usize);
+            let npos = rng.gen_range(1..3usize);
+            let nneg = rng.gen_range(1..3usize);
+            let gen_pt = |rng: &mut StdRng| -> Vec<f64> {
+                (0..dim).map(|_| rng.gen_range(-3i64..4) as f64).collect()
+            };
+            let pos: Vec<Vec<f64>> = (0..npos).map(|_| gen_pt(&mut rng)).collect();
+            let neg: Vec<Vec<f64>> = (0..nneg).map(|_| gen_pt(&mut rng)).collect();
+            let ds = ContinuousDataset::from_sets(pos, neg);
+            let knn = ContinuousKnn::new(&ds, LpMetric::L1, OddK::ONE);
+            let x = gen_pt(&mut rng);
+            let label = knn.classify(&x);
+            let Some((_, milp_d)) = L1Counterfactual::new(&ds).closest(&x) else {
+                continue;
+            };
+            // Grid scan at resolution 1/4 over [-5, 5]^dim.
+            let steps = 41i64;
+            let mut grid_best = f64::INFINITY;
+            let mut idx = vec![0i64; dim];
+            'grid: loop {
+                let y: Vec<f64> = idx.iter().map(|&i| -5.0 + 0.25 * i as f64).collect();
+                if knn.classify(&y) != label {
+                    let d: f64 = x.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum();
+                    grid_best = grid_best.min(d);
+                }
+                for i in 0..dim {
+                    idx[i] += 1;
+                    if idx[i] < steps {
+                        continue 'grid;
+                    }
+                    idx[i] = 0;
+                }
+                break;
+            }
+            // The grid can only overestimate the optimum.
+            assert!(
+                milp_d <= grid_best + 1e-6,
+                "round {round}: MILP {milp_d} worse than grid {grid_best}"
+            );
+            // And it cannot be drastically below the grid resolution bound.
+            assert!(
+                grid_best <= milp_d + 0.25 * dim as f64 + 1e-6,
+                "round {round}: grid {grid_best} too far above MILP {milp_d}"
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Counterfactual explanations: the closest differently-classified point.
+//!
+//! * [`l2`] — polynomial for every odd k via per-polyhedron projection QPs
+//!   (Theorem 2) including witness computation (Corollary 2);
+//! * [`l1`] — NP-complete even for `|S⁺| = |S⁻| = (k+1)/2` (Theorem 4);
+//!   solved exactly by a big-M MILP model;
+//! * [`hamming`] — NP-complete (Theorem 6); solved by the paper's novel
+//!   guarded-cardinality SAT encoding (§9.2), by the linearized IQP model on
+//!   the branch & bound MILP solver, and by brute force for validation;
+//! * [`lp_general`] — a local-search probe of §10's first open problem:
+//!   heuristic counterfactuals for ℓp with `p ⩾ 3` (where the Prop-1 cells
+//!   are not polyhedra), cross-validated against the exact engines at
+//!   `p ∈ {1, 2}`.
+
+pub mod hamming;
+pub mod l1;
+pub mod l2;
+pub mod lp_general;

@@ -1,0 +1,209 @@
+//! The Proposition 1 decomposition of the classifier's decision regions into
+//! polyhedra, for the ℓ2 metric.
+//!
+//! Under ℓ2, `d(ȳ, ā) ≤ d(ȳ, c̄)` is the linear inequality
+//! `2(c̄ − ā)·ȳ ≤ c̄·c̄ − ā·ā` (§5, Figure 3), so by Proposition 1:
+//!
+//! * `{ȳ : f(ȳ) = 1}` is the union over pairs `(A ⊆ S⁺, |A| = maj;
+//!   B ⊆ S⁻, |B| = min)` of the **closed** polyhedra
+//!   `{ȳ : d(ȳ,ā) ≤ d(ȳ,c̄) ∀ā∈A, c̄∈S⁻\B}`;
+//! * `{ȳ : f(ȳ) = 0}` is the union of the corresponding **open** polyhedra
+//!   with the roles of `S⁺`/`S⁻` swapped and strict inequalities.
+//!
+//! Taking `|B| = min` exactly (instead of ≤ min) is WLOG: growing `B` only
+//! removes constraints. The number of polyhedra is `O(|S⁺∪S⁻|^{k})` —
+//! polynomial for fixed k, which is where the `n^{O(k)}` running time of
+//! Propositions 3 and Theorem 2 comes from.
+
+use knn_num::Field;
+use knn_space::{ContinuousDataset, Label, OddK};
+use knn_qp::Polyhedron;
+
+/// Iterator over all size-`r` index subsets of `0..n` (lexicographic).
+pub(crate) struct Combinations {
+    n: usize,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    pub(crate) fn new(n: usize, r: usize) -> Self {
+        Combinations { n, idx: (0..r).collect(), done: r > n }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.idx.clone();
+        let r = self.idx.len();
+        if r == 0 {
+            self.done = true;
+            return Some(current);
+        }
+        // Advance to the next combination.
+        let mut i = r;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.idx[i] != i + self.n - r {
+                self.idx[i] += 1;
+                for j in i + 1..r {
+                    self.idx[j] = self.idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// The halfspace row for `d₂(ȳ, ā) (≤ or <) d₂(ȳ, c̄)`:
+/// coefficients `2(c̄ − ā)` and right-hand side `c̄·c̄ − ā·ā`.
+pub fn bisector_row<F: Field>(a: &[F], c: &[F]) -> (Vec<F>, F) {
+    let coeffs: Vec<F> = a
+        .iter()
+        .zip(c)
+        .map(|(ai, ci)| {
+            let d = ci.clone() - ai.clone();
+            d.clone() + d
+        })
+        .collect();
+    let rhs = knn_num::field::norm_sq(c) - knn_num::field::norm_sq(a);
+    (coeffs, rhs)
+}
+
+/// Enumerates the Prop 1 polyhedra of the region `{ȳ : f(ȳ) = target}`.
+///
+/// Each yielded [`Polyhedron`] is the *closure*; for `target = Negative` the
+/// true region piece is its strict interior (w.r.t. the inequality rows), and
+/// callers must use strict feasibility / the closure argument of Theorem 2.
+pub fn region_polyhedra<'a, F: Field>(
+    ds: &'a ContinuousDataset<F>,
+    k: OddK,
+    target: Label,
+) -> impl Iterator<Item = Polyhedron<F>> + 'a {
+    region_polyhedra_with_anchors(ds, k, target).map(|(p, _)| p)
+}
+
+/// Like [`region_polyhedra`], additionally yielding the dataset indices of
+/// the witness set `A` — useful as warm starts for projection QPs (any point
+/// of `A` lies in the **closed** polyhedron when `A` is a singleton, and is a
+/// candidate feasible point in general).
+pub fn region_polyhedra_with_anchors<'a, F: Field>(
+    ds: &'a ContinuousDataset<F>,
+    k: OddK,
+    target: Label,
+) -> impl Iterator<Item = (Polyhedron<F>, Vec<usize>)> + 'a {
+    let (same, other) = match target {
+        Label::Positive => (ds.indices_of(Label::Positive), ds.indices_of(Label::Negative)),
+        Label::Negative => (ds.indices_of(Label::Negative), ds.indices_of(Label::Positive)),
+    };
+    let maj = k.majority();
+    let min_sz = k.minority().min(other.len());
+    let n = ds.dim();
+    let a_choices: Vec<Vec<usize>> = Combinations::new(same.len(), maj).collect();
+    let b_choices: Vec<Vec<usize>> = Combinations::new(other.len(), min_sz).collect();
+    a_choices.into_iter().flat_map(move |a_sel| {
+        let same = same.clone();
+        let other = other.clone();
+        let b_choices = b_choices.clone();
+        b_choices.into_iter().map(move |b_sel| {
+            let mut poly = Polyhedron::whole_space(n);
+            for &ai in &a_sel {
+                let a_pt = ds.point(same[ai]);
+                for (oj, &o) in other.iter().enumerate() {
+                    if b_sel.contains(&oj) {
+                        continue;
+                    }
+                    let c_pt = ds.point(o);
+                    let (row, rhs) = bisector_row(a_pt, c_pt);
+                    poly.add_le(row, rhs);
+                }
+            }
+            let anchors: Vec<usize> = a_sel.iter().map(|&ai| same[ai]).collect();
+            (poly, anchors)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_num::Rat;
+    use knn_space::LpMetric;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn combinations_enumeration() {
+        let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+        assert_eq!(all, vec![
+            vec![0, 1], vec![0, 2], vec![0, 3],
+            vec![1, 2], vec![1, 3], vec![2, 3],
+        ]);
+        assert_eq!(Combinations::new(3, 0).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
+        assert_eq!(Combinations::new(2, 3).count(), 0);
+        assert_eq!(Combinations::new(5, 5).count(), 1);
+    }
+
+    #[test]
+    fn bisector_is_equidistance_boundary() {
+        let a = [Rat::from_int(0i64), Rat::from_int(0i64)];
+        let c = [Rat::from_int(2i64), Rat::from_int(0i64)];
+        let (row, rhs) = bisector_row(&a, &c);
+        // Midpoint (1, 0) lies exactly on the hyperplane.
+        let mid = [Rat::one(), Rat::zero()];
+        assert_eq!(knn_num::field::dot(&row, &mid), rhs);
+        // Points closer to a satisfy the ≤.
+        let near_a = [Rat::frac(1, 2), Rat::one()];
+        assert!(knn_num::field::dot(&row, &near_a) < rhs);
+    }
+
+    /// Membership in ∪(polyhedra) must coincide with the classifier's regions.
+    #[test]
+    fn region_union_matches_classifier() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..40 {
+            let dim = rng.gen_range(1..3usize);
+            let n_pos = rng.gen_range(1..4usize);
+            let n_neg = rng.gen_range(1..4usize);
+            let k = OddK::of(if (n_pos + n_neg) >= 3 && rng.gen_bool(0.4) { 3 } else { 1 });
+            if n_pos + n_neg < k.get() as usize {
+                continue;
+            }
+            let rnd_pt = |rng: &mut StdRng| -> Vec<Rat> {
+                (0..dim).map(|_| Rat::from_int(rng.gen_range(-3i64..4))).collect()
+            };
+            let pos: Vec<Vec<Rat>> = (0..n_pos).map(|_| rnd_pt(&mut rng)).collect();
+            let neg: Vec<Vec<Rat>> = (0..n_neg).map(|_| rnd_pt(&mut rng)).collect();
+            let ds = ContinuousDataset::from_sets(pos, neg);
+            let knn = crate::ContinuousKnn::new(&ds, LpMetric::L2, k);
+            for _ in 0..10 {
+                let q = rnd_pt(&mut rng);
+                let label = knn.classify(&q);
+                let in_pos_union = region_polyhedra(&ds, k, Label::Positive)
+                    .any(|p| p.contains(&q));
+                let in_neg_union = region_polyhedra(&ds, k, Label::Negative)
+                    .any(|p| p.contains_strictly(&q));
+                assert_eq!(
+                    label == Label::Positive,
+                    in_pos_union,
+                    "positive region mismatch at {q:?}"
+                );
+                assert_eq!(
+                    label == Label::Negative,
+                    in_neg_union,
+                    "negative region mismatch at {q:?}"
+                );
+            }
+        }
+    }
+}

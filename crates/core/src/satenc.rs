@@ -1,0 +1,402 @@
+//! The SAT model of the discrete setting: an incremental encoding of
+//! `f^k_{S⁺,S⁻}(z̄) = target` over variables `z̄ ∈ {0,1}ⁿ`.
+//!
+//! For k = 1 and `target = 0` this is **exactly the paper's novel encoding**
+//! (§9.2): a selector `c_o` per negative point `ō` with clause `⋁ c_o`, and
+//! per pair `(ō, s̄)` the guarded cardinality constraint
+//!
+//! > `c_o ⇒ Σ_{i∈Δ₀} ¬z_i + Σ_{i∈Δ₁} z_i ≥ ⌊(|Δ₀|+|Δ₁|)/2⌋ + 1`
+//!
+//! expressing `d_H(z̄, ō) < d_H(z̄, s̄)`. We generalize it to any odd k via
+//! Proposition 1: selectors `s_a` over the witness class A (`Σ s_a ≥ (k+1)/2`),
+//! exclusion selectors `t_c` over the other class B (`Σ t_c ≤ (k−1)/2`), and a
+//! guard `g_{a,c}` per pair activated by `s_a ∧ ¬t_c`.
+//!
+//! Two lazily-added families of *assumption* literals make the one solver
+//! instance serve every query incrementally:
+//! * `e_i ⇒ z_i = x̄_i` — fixing coordinate `i` (sufficient-reason checks);
+//! * `g_r ⇒ d_H(z̄, x̄) ≤ r` — distance bounds (counterfactual binary search).
+
+use knn_sat::{Lit, SolveResult, Solver, Var};
+use knn_space::{BitVec, BooleanDataset, Label, OddK};
+use std::collections::BTreeMap;
+
+/// Incremental SAT model for "`z̄` is classified `target`".
+pub struct DiscreteModel {
+    solver: Solver,
+    z: Vec<Var>,
+    x: BitVec,
+    eq_lits: Vec<Lit>,
+    dist_guards: BTreeMap<usize, Lit>,
+    /// Whether the constraint set is trivially unsatisfiable (no witness
+    /// candidates at all).
+    trivially_unsat: bool,
+}
+
+impl DiscreteModel {
+    /// Builds the model for dataset `ds`, neighborhood size `k`, anchor point
+    /// `x` (used for the `e_i` and distance literals) and target label.
+    pub fn build(ds: &BooleanDataset, k: OddK, x: &BitVec, target: Label) -> Self {
+        assert_eq!(x.len(), ds.dim());
+        let n = ds.dim();
+        let mut solver = Solver::new();
+        let z = solver.new_vars(n);
+        // Bias the search toward the anchor: close counterfactuals are found
+        // early, which the descending distance search then only has to prove
+        // optimal.
+        for (i, &v) in z.iter().enumerate() {
+            solver.set_phase(v, x.get(i));
+        }
+
+        // Equality-assumption literals e_i ⇒ (z_i = x_i).
+        let eq_lits: Vec<Lit> = (0..n)
+            .map(|i| {
+                let e = solver.new_var().pos();
+                solver.add_clause(&[e.negate(), z[i].lit(x.get(i))]);
+                e
+            })
+            .collect();
+
+        // Witness class A and excluded class B per Proposition 1.
+        let (a_label, strict) = match target {
+            Label::Positive => (Label::Positive, false),
+            Label::Negative => (Label::Negative, true),
+        };
+        let a_idx = ds.indices_of(a_label);
+        let b_idx = ds.indices_of(a_label.flip());
+        let maj = k.majority();
+        let min_sz = k.minority();
+
+        let mut trivially_unsat = false;
+        if a_idx.len() < maj {
+            trivially_unsat = true;
+        } else {
+            let s_a: Vec<Lit> = a_idx.iter().map(|_| solver.new_var().pos()).collect();
+            solver.add_card_ge(None, &s_a, maj as u32);
+            // Exclusion selectors are only materialized when the budget is
+            // positive; with min_sz = 0 (k = 1) the guard of a pair constraint
+            // is the witness selector itself — the paper's exact encoding.
+            let t_c: Vec<Lit> = if min_sz == 0 {
+                Vec::new()
+            } else {
+                b_idx.iter().map(|_| solver.new_var().pos()).collect()
+            };
+            if !t_c.is_empty() && min_sz < t_c.len() {
+                // At most min_sz exclusions: Σ ¬t_c ≥ |B| − min_sz.
+                let neg_t: Vec<Lit> = t_c.iter().map(|l| l.negate()).collect();
+                solver.add_card_ge(None, &neg_t, (t_c.len() - min_sz) as u32);
+            }
+            for (ai, &a) in a_idx.iter().enumerate() {
+                for (ci, &c) in b_idx.iter().enumerate() {
+                    // Skip pairs the exclusion budget can always absorb.
+                    if min_sz >= b_idx.len() {
+                        continue;
+                    }
+                    let a_pt = ds.point(a);
+                    let c_pt = ds.point(c);
+                    let diff = a_pt.diff_indices(c_pt);
+                    let d = diff.len();
+                    // Bound for d(z,a) < d(z,c): agreements with a on the
+                    // differing set ≥ ⌊d/2⌋+1; non-strict: ≥ ⌈d/2⌉.
+                    let bound = if strict { d / 2 + 1 } else { d.div_ceil(2) };
+                    let lits: Vec<Lit> = diff.iter().map(|&i| z[i].lit(a_pt.get(i))).collect();
+                    // Guard: s_a ∧ ¬t_c ⇒ constraint. With |B| = 0 or when the
+                    // pair constraint is trivial we can simplify.
+                    if bound == 0 {
+                        continue; // constraint trivially true
+                    }
+                    if bound > d {
+                        // Constraint unsatisfiable: forbid s_a ∧ ¬t_c.
+                        let mut clause = vec![s_a[ai].negate()];
+                        if !t_c.is_empty() {
+                            clause.push(t_c[ci]);
+                        }
+                        solver.add_clause(&clause);
+                        continue;
+                    }
+                    if t_c.is_empty() {
+                        // k = 1 shape: guard is the selector itself (the
+                        // paper's encoding).
+                        solver.add_card_ge(Some(s_a[ai]), &lits, bound as u32);
+                    } else {
+                        let g = solver.new_var().pos();
+                        solver.add_clause(&[g, s_a[ai].negate(), t_c[ci]]);
+                        solver.add_card_ge(Some(g), &lits, bound as u32);
+                    }
+                }
+            }
+        }
+
+        DiscreteModel {
+            solver,
+            z,
+            x: x.clone(),
+            eq_lits,
+            dist_guards: BTreeMap::new(),
+            trivially_unsat,
+        }
+    }
+
+    /// The guard literal for `d_H(z, x) ≤ r`, creating it on first use.
+    fn distance_guard(&mut self, r: usize) -> Lit {
+        let n = self.z.len();
+        if let Some(&g) = self.dist_guards.get(&r) {
+            return g;
+        }
+        let g = self.solver.new_var().pos();
+        // Σ agreements with x ≥ n − r.
+        let agree: Vec<Lit> = (0..n).map(|i| self.z[i].lit(self.x.get(i))).collect();
+        self.solver.add_card_ge(Some(g), &agree, (n - r) as u32);
+        self.dist_guards.insert(r, g);
+        g
+    }
+
+    fn extract(&self) -> BitVec {
+        BitVec::from_bools(
+            &self
+                .z
+                .iter()
+                .map(|&v| self.solver.value(v).unwrap_or(false))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Is there a `z` with `f(z) = target` agreeing with `x` on `fixed`?
+    /// (The complement of Check-SR: SAT ⇔ `fixed` is *not* sufficient.)
+    pub fn solve_with_fixed(&mut self, fixed: &[usize]) -> Option<BitVec> {
+        if self.trivially_unsat {
+            return None;
+        }
+        let assumptions: Vec<Lit> = fixed.iter().map(|&i| self.eq_lits[i]).collect();
+        match self.solver.solve_with(&assumptions) {
+            SolveResult::Sat => Some(self.extract()),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Is there a `z` with `f(z) = target` and `d_H(z, x) ≤ r`?
+    pub fn solve_within(&mut self, r: usize) -> Option<BitVec> {
+        if self.trivially_unsat {
+            return None;
+        }
+        let g = self.distance_guard(r.min(self.z.len()));
+        match self.solver.solve_with(&[g]) {
+            SolveResult::Sat => Some(self.extract()),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Budgeted variant of [`DiscreteModel::solve_within`]: `None` when the
+    /// conflict budget ran out before an answer.
+    pub fn solve_within_limited(
+        &mut self,
+        r: usize,
+        max_conflicts: u64,
+    ) -> Option<Option<BitVec>> {
+        if self.trivially_unsat {
+            return Some(None);
+        }
+        let g = self.distance_guard(r.min(self.z.len()));
+        match self.solver.solve_limited(&[g], max_conflicts) {
+            Some(SolveResult::Sat) => Some(Some(self.extract())),
+            Some(SolveResult::Unsat) => Some(None),
+            None => None,
+        }
+    }
+
+    /// Anytime closest-counterfactual search: descends from the first model
+    /// like [`DiscreteModel::closest`], but spends at most `max_conflicts`
+    /// CDCL conflicts per step. Returns the best witness found and whether it
+    /// was **proven** optimal (`true`) or is only budget-best (`false`).
+    pub fn closest_budgeted(&mut self, max_conflicts: u64) -> Option<(BitVec, usize, bool)> {
+        let n = self.z.len();
+        let first = self.solve_within(n)?;
+        let mut best_d = self.x.hamming(&first);
+        let mut best = first;
+        let proven = loop {
+            if best_d == 0 {
+                break true;
+            }
+            match self.solve_within_limited(best_d - 1, max_conflicts) {
+                Some(Some(z)) => {
+                    best_d = self.x.hamming(&z);
+                    best = z;
+                }
+                Some(None) => break true,
+                None => break false,
+            }
+        };
+        Some((best, best_d, proven))
+    }
+
+    /// The closest `z` with `f(z) = target`.
+    ///
+    /// §9.2 suggests binary or linear search on the distance bound. UNSAT
+    /// queries (bounds below the optimum) are by far the hardest for a CDCL
+    /// solver, so the default is a **descending** search: start from the
+    /// trivial bound, repeatedly ask for something strictly better than the
+    /// incumbent, and stop at the single final UNSAT proof of optimality.
+    pub fn closest(&mut self) -> Option<(BitVec, usize)> {
+        let n = self.z.len();
+        let first = self.solve_within(n)?;
+        let mut best_d = self.x.hamming(&first);
+        let mut best = first;
+        while best_d > 0 {
+            match self.solve_within(best_d - 1) {
+                Some(z) => {
+                    let d = self.x.hamming(&z);
+                    debug_assert!(d < best_d);
+                    best = z;
+                    best_d = d;
+                }
+                None => break,
+            }
+        }
+        Some((best, best_d))
+    }
+
+    /// [`DiscreteModel::closest`] with classic binary search (kept for the
+    /// search-strategy comparison in the benchmark suite).
+    pub fn closest_binary_search(&mut self) -> Option<(BitVec, usize)> {
+        let n = self.z.len();
+        let first = self.solve_within(n)?;
+        let mut best_d = self.x.hamming(&first);
+        let mut best = first;
+        let (mut lo, mut hi) = (0usize, best_d);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.solve_within(mid) {
+                Some(z) => {
+                    let d = self.x.hamming(&z);
+                    debug_assert!(d <= mid);
+                    best = z;
+                    best_d = d;
+                    hi = d;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        Some((best, best_d))
+    }
+
+    /// Solver statistics (conflicts) for the benchmark harness.
+    pub fn conflicts(&self) -> u64 {
+        self.solver.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::BooleanKnn;
+
+    fn example2() -> BooleanDataset {
+        let to_bv = |v: [u8; 3]| BitVec::from_bits(&v);
+        let pos = vec![to_bv([0, 1, 1]), to_bv([1, 0, 1]), to_bv([1, 1, 1])];
+        let mut neg = Vec::new();
+        for m in 0..8u8 {
+            let bv = to_bv([m & 1, (m >> 1) & 1, (m >> 2) & 1]);
+            if !pos.contains(&bv) {
+                neg.push(bv);
+            }
+        }
+        BooleanDataset::from_sets(pos, neg)
+    }
+
+    #[test]
+    fn model_finds_positive_witnesses() {
+        let ds = example2();
+        let x = BitVec::zeros(3);
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        // f(x) = 0; a positive-classified z exists (e.g. 111).
+        let mut m = DiscreteModel::build(&ds, OddK::ONE, &x, Label::Positive);
+        let z = m.solve_with_fixed(&[]).expect("positive region nonempty");
+        assert_eq!(knn.classify(&z), Label::Positive);
+    }
+
+    #[test]
+    fn fixed_coordinates_respected() {
+        let ds = example2();
+        let x = BitVec::zeros(3);
+        let mut m = DiscreteModel::build(&ds, OddK::ONE, &x, Label::Positive);
+        // {2} (component 3) is a sufficient reason in Example 2, so fixing it
+        // makes the search UNSAT; {0} is not sufficient.
+        assert!(m.solve_with_fixed(&[2]).is_none());
+        let w = m.solve_with_fixed(&[0]).expect("{0} is not sufficient");
+        assert!(!w.get(0));
+    }
+
+    #[test]
+    fn closest_counterfactual_distance() {
+        let ds = example2();
+        let x = BitVec::zeros(3);
+        let knn = BooleanKnn::new(&ds, OddK::ONE);
+        assert_eq!(knn.classify(&x), Label::Negative);
+        let mut m = DiscreteModel::build(&ds, OddK::ONE, &x, Label::Positive);
+        let (z, d) = m.closest().expect("counterfactual exists");
+        assert_eq!(d, 2, "brute force says the closest positive point is at 2");
+        assert_eq!(knn.classify(&z), Label::Positive);
+        assert_eq!(x.hamming(&z), 2);
+    }
+
+    #[test]
+    fn model_agrees_with_brute_force_randomly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(55);
+        for round in 0..30 {
+            let dim = rng.gen_range(2..7usize);
+            let npts = rng.gen_range(3..8usize);
+            let k = if npts >= 3 && rng.gen_bool(0.4) { OddK::THREE } else { OddK::ONE };
+            let mut ds = BooleanDataset::new(dim);
+            for i in 0..npts {
+                let p: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+                let l = if i < npts.div_ceil(2) { Label::Positive } else { Label::Negative };
+                ds.push(p, l);
+            }
+            let knn = BooleanKnn::new(&ds, k);
+            let x: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+            let fx = knn.classify(&x);
+            let target = fx.flip();
+            let mut m = DiscreteModel::build(&ds, k, &x, target);
+            let brute = crate::brute::closest_counterfactual(&knn, &x);
+            let sat = m.closest();
+            match (brute, sat) {
+                (None, None) => {}
+                (Some((_, bd)), Some((z, sd))) => {
+                    assert_eq!(bd, sd, "round {round}: distance mismatch");
+                    assert_eq!(knn.classify(&z), target, "round {round}: bad witness");
+                }
+                (b, s) => panic!("round {round}: brute {b:?} vs sat {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn k3_fixed_search_matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(56);
+        for round in 0..25 {
+            let dim = rng.gen_range(2..6usize);
+            let npts = rng.gen_range(4..8usize);
+            let mut ds = BooleanDataset::new(dim);
+            for i in 0..npts {
+                let p: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+                let l = if i % 2 == 0 { Label::Positive } else { Label::Negative };
+                ds.push(p, l);
+            }
+            let knn = BooleanKnn::new(&ds, OddK::THREE);
+            let x: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+            let target = knn.classify(&x).flip();
+            let fixed: Vec<usize> = (0..dim).filter(|_| rng.gen_bool(0.4)).collect();
+            let mut m = DiscreteModel::build(&ds, OddK::THREE, &x, target);
+            let sat_says_counterexample = m.solve_with_fixed(&fixed).is_some();
+            let brute_sufficient = crate::brute::is_sufficient_reason(&knn, &x, &fixed);
+            assert_eq!(
+                sat_says_counterexample, !brute_sufficient,
+                "round {round}: fixed={fixed:?}"
+            );
+        }
+    }
+}

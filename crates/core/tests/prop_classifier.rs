@@ -1,0 +1,137 @@
+//! Property tests for the paper-facing semantics: the order-statistic
+//! classifier vs the literal subset definition (§2), permutation
+//! equivariance, sufficient-reason monotonicity, and SAT/brute counterfactual
+//! agreement — all on arbitrary small discrete instances.
+
+use knn_core::classifier::subset_definition_label;
+use knn_core::counterfactual::hamming::closest_sat;
+use knn_core::{brute, BooleanKnn, OddK};
+use knn_space::{BitVec, BooleanDataset, Label};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Instance {
+    dim: usize,
+    points: Vec<(Vec<bool>, bool)>, // (bits, is_positive)
+    x: Vec<bool>,
+    k3: bool,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2..=5usize).prop_flat_map(|dim| {
+        (
+            prop::collection::vec(
+                (prop::collection::vec(any::<bool>(), dim), any::<bool>()),
+                3..=7,
+            ),
+            prop::collection::vec(any::<bool>(), dim),
+            any::<bool>(),
+        )
+            .prop_map(move |(points, x, k3)| Instance { dim, points, x, k3 })
+    })
+}
+
+fn dataset(inst: &Instance) -> BooleanDataset {
+    let mut ds = BooleanDataset::new(inst.dim);
+    for (bits, pos) in &inst.points {
+        ds.push(
+            BitVec::from_bools(bits),
+            if *pos { Label::Positive } else { Label::Negative },
+        );
+    }
+    ds
+}
+
+fn k_of(inst: &Instance) -> OddK {
+    if inst.k3 && inst.points.len() >= 3 {
+        OddK::THREE
+    } else {
+        OddK::ONE
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The order-statistic rule equals the paper's literal subset definition.
+    #[test]
+    fn classifier_matches_subset_definition(inst in instance_strategy()) {
+        let ds = dataset(&inst);
+        let k = k_of(&inst);
+        let x = BitVec::from_bools(&inst.x);
+        let knn = BooleanKnn::new(&ds, k);
+        let dists: Vec<(usize, Label)> =
+            ds.iter().map(|(p, l)| (p.hamming(&x), l)).collect();
+        prop_assert_eq!(knn.classify(&x), subset_definition_label(&dists, k));
+    }
+
+    /// Permuting the coordinates of every vector leaves the label unchanged.
+    #[test]
+    fn classification_is_permutation_equivariant(inst in instance_strategy(), seed in any::<u64>()) {
+        let k = k_of(&inst);
+        let perm = {
+            // Fisher–Yates with a deterministic xorshift.
+            let mut p: Vec<usize> = (0..inst.dim).collect();
+            let mut s = seed | 1;
+            for i in (1..p.len()).rev() {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                p.swap(i, (s as usize) % (i + 1));
+            }
+            p
+        };
+        let apply = |bits: &[bool]| -> Vec<bool> {
+            (0..bits.len()).map(|i| bits[perm[i]]).collect()
+        };
+        let ds = dataset(&inst);
+        let mut permuted = Instance { points: vec![], ..inst.clone() };
+        for (bits, pos) in &inst.points {
+            permuted.points.push((apply(bits), *pos));
+        }
+        permuted.x = apply(&inst.x);
+        let dsp = dataset(&permuted);
+        let a = BooleanKnn::new(&ds, k).classify(&BitVec::from_bools(&inst.x));
+        let b = BooleanKnn::new(&dsp, k).classify(&BitVec::from_bools(&permuted.x));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Supersets of sufficient reasons are sufficient; subsets of
+    /// insufficient sets are insufficient (monotonicity of Check-SR).
+    #[test]
+    fn sufficient_reasons_are_monotone(inst in instance_strategy(), mask in any::<u8>()) {
+        let ds = dataset(&inst);
+        let k = k_of(&inst);
+        let x = BitVec::from_bools(&inst.x);
+        let knn = BooleanKnn::new(&ds, k);
+        let set: Vec<usize> = (0..inst.dim).filter(|i| (mask >> i) & 1 == 1).collect();
+        let sufficient = brute::is_sufficient_reason(&knn, &x, &set);
+        if sufficient {
+            let sup: Vec<usize> = (0..inst.dim).collect();
+            prop_assert!(brute::is_sufficient_reason(&knn, &x, &sup));
+        } else if !set.is_empty() {
+            let sub = &set[..set.len() - 1];
+            // Removing an element cannot make an insufficient set sufficient.
+            prop_assert!(!brute::is_sufficient_reason(&knn, &x, sub)
+                || brute::is_sufficient_reason(&knn, &x, &set));
+        }
+    }
+
+    /// SAT counterfactuals match the exhaustive oracle on distance and both
+    /// return genuinely flipped witnesses.
+    #[test]
+    fn sat_counterfactual_matches_brute(inst in instance_strategy()) {
+        let ds = dataset(&inst);
+        let k = k_of(&inst);
+        let x = BitVec::from_bools(&inst.x);
+        let knn = BooleanKnn::new(&ds, k);
+        let label = knn.classify(&x);
+        match (closest_sat(&ds, k, &x), brute::closest_counterfactual(&knn, &x)) {
+            (None, None) => {}
+            (Some((z, d)), Some((_, bd))) => {
+                prop_assert_eq!(d, bd);
+                prop_assert_eq!(knn.classify(&z), label.flip());
+                prop_assert_eq!(x.hamming(&z), d);
+            }
+            (a, b) => prop_assert!(false, "SAT {a:?} vs brute {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Gaussian blob datasets (the Figure 2 illustration workload).
+
+use knn_space::{ContinuousDataset, Label};
+use rand::Rng;
+
+/// A Gaussian cluster specification.
+#[derive(Clone, Debug)]
+pub struct Blob {
+    /// Cluster mean.
+    pub center: Vec<f64>,
+    /// Isotropic standard deviation.
+    pub sigma: f64,
+    /// Class of the cluster's samples.
+    pub label: Label,
+    /// Number of samples to draw.
+    pub count: usize,
+}
+
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..1.0));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a dataset from a mixture of isotropic Gaussians.
+pub fn blobs_dataset(rng: &mut impl Rng, blobs: &[Blob]) -> ContinuousDataset<f64> {
+    let dim = blobs.first().expect("need at least one blob").center.len();
+    assert!(blobs.iter().all(|b| b.center.len() == dim));
+    let mut ds = ContinuousDataset::new(dim);
+    for b in blobs {
+        for _ in 0..b.count {
+            let p: Vec<f64> = b.center.iter().map(|&c| c + b.sigma * gaussian(rng)).collect();
+            ds.push(p, b.label);
+        }
+    }
+    ds
+}
+
+/// The two-class 2-D layout used by the Figure 2 harness: a positive cluster
+/// ring around a negative core, plus satellite clusters, giving the curved
+/// decision boundary the figure illustrates.
+pub fn figure2_layout(rng: &mut impl Rng) -> ContinuousDataset<f64> {
+    blobs_dataset(
+        rng,
+        &[
+            Blob { center: vec![0.0, 0.0], sigma: 0.45, label: Label::Negative, count: 24 },
+            Blob { center: vec![2.1, 0.4], sigma: 0.4, label: Label::Positive, count: 14 },
+            Blob { center: vec![-1.6, 1.6], sigma: 0.35, label: Label::Positive, count: 12 },
+            Blob { center: vec![0.3, -2.1], sigma: 0.4, label: Label::Positive, count: 12 },
+            Blob { center: vec![-1.9, -1.4], sigma: 0.35, label: Label::Negative, count: 10 },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blob_counts_and_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = blobs_dataset(
+            &mut rng,
+            &[
+                Blob { center: vec![0.0, 0.0], sigma: 0.1, label: Label::Negative, count: 5 },
+                Blob { center: vec![5.0, 5.0], sigma: 0.1, label: Label::Positive, count: 7 },
+            ],
+        );
+        assert_eq!(ds.len(), 12);
+        assert_eq!(ds.count_of(Label::Positive), 7);
+    }
+
+    #[test]
+    fn samples_concentrate_near_centers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = blobs_dataset(
+            &mut rng,
+            &[Blob { center: vec![3.0, -1.0], sigma: 0.2, label: Label::Positive, count: 50 }],
+        );
+        for (p, _) in ds.iter() {
+            let d = ((p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2)).sqrt();
+            assert!(d < 1.5, "sample {p:?} is implausibly far from its center");
+        }
+    }
+
+    #[test]
+    fn figure2_layout_has_both_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = figure2_layout(&mut rng);
+        assert!(ds.count_of(Label::Positive) > 10);
+        assert!(ds.count_of(Label::Negative) > 10);
+        assert_eq!(ds.dim(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Knapsack and Partition instances — sources of the ℓ1 hardness reductions
+//! (Theorems 4 and 5) — with brute-force ground-truth solvers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The knapsack variant used in the proof of Theorem 4: can items of at least
+/// **half the total value** fit within capacity `w_max`?
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HalfValueKnapsack {
+    /// Item weights (positive).
+    pub weights: Vec<u64>,
+    /// Item values (positive).
+    pub values: Vec<u64>,
+    /// Knapsack capacity `W`.
+    pub capacity: u64,
+}
+
+impl HalfValueKnapsack {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True iff there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Brute-force decision: is there `T` with `Σ_{i∈T} w_i ≤ W` and
+    /// `Σ_{i∈T} v_i ≥ (Σ v)/2`? (Exponential; small instances only.)
+    pub fn brute_force(&self) -> bool {
+        let n = self.len();
+        assert!(n <= 22, "brute force limited to small instances");
+        let total: u64 = self.values.iter().sum();
+        for mask in 0u32..(1u32 << n) {
+            let mut w = 0u64;
+            let mut v = 0u64;
+            for i in 0..n {
+                if (mask >> i) & 1 == 1 {
+                    w += self.weights[i];
+                    v += self.values[i];
+                }
+            }
+            // value ≥ total/2  ⟺  2·value ≥ total (avoids integer halving).
+            if w <= self.capacity && 2 * v >= total {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Random half-value knapsack instance.
+pub fn random_knapsack(rng: &mut impl Rng, n: usize, max_weight: u64, max_value: u64) -> HalfValueKnapsack {
+    let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=max_weight)).collect();
+    let values: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=max_value)).collect();
+    let total_w: u64 = weights.iter().sum();
+    let capacity = rng.gen_range(1..=total_w.max(1));
+    HalfValueKnapsack { weights, values, capacity }
+}
+
+/// A Partition instance: positive integers `v_1..v_n`; is there `T` with
+/// `Σ_{i∈T} v_i = Σ_{i∉T} v_i`? (Source of Theorem 5's reduction.)
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PartitionInstance {
+    /// The multiset of positive integers.
+    pub values: Vec<u64>,
+}
+
+impl PartitionInstance {
+    /// Brute-force decision (exponential; small instances only).
+    pub fn brute_force(&self) -> bool {
+        let n = self.values.len();
+        assert!(n <= 22, "brute force limited to small instances");
+        let total: u64 = self.values.iter().sum();
+        if total % 2 != 0 {
+            return false;
+        }
+        for mask in 0u32..(1u32 << n) {
+            let mut s = 0u64;
+            for i in 0..n {
+                if (mask >> i) & 1 == 1 {
+                    s += self.values[i];
+                }
+            }
+            if 2 * s == total {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Random partition instance.
+pub fn random_partition(rng: &mut impl Rng, n: usize, max_value: u64) -> PartitionInstance {
+    PartitionInstance { values: (0..n).map(|_| rng.gen_range(1..=max_value)).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn knapsack_decisions() {
+        // Two items of value 5 each, total 10; need ≥ 5 within capacity.
+        let yes = HalfValueKnapsack { weights: vec![3, 4], values: vec![5, 5], capacity: 3 };
+        assert!(yes.brute_force());
+        let no = HalfValueKnapsack { weights: vec![3, 4], values: vec![5, 5], capacity: 2 };
+        assert!(!no.brute_force());
+    }
+
+    #[test]
+    fn knapsack_needs_combination() {
+        // Must take both small items to reach half the value.
+        let inst = HalfValueKnapsack {
+            weights: vec![2, 2, 10],
+            values: vec![3, 3, 6],
+            capacity: 4,
+        };
+        assert!(inst.brute_force());
+        let tight = HalfValueKnapsack {
+            weights: vec![2, 2, 10],
+            values: vec![3, 3, 6],
+            capacity: 3,
+        };
+        assert!(!tight.brute_force());
+    }
+
+    #[test]
+    fn partition_decisions() {
+        assert!(PartitionInstance { values: vec![1, 2, 3] }.brute_force());
+        assert!(!PartitionInstance { values: vec![1, 2, 4] }.brute_force());
+        assert!(PartitionInstance { values: vec![2, 2] }.brute_force());
+        assert!(!PartitionInstance { values: vec![1] }.brute_force());
+        assert!(!PartitionInstance { values: vec![1, 1, 1] }.brute_force());
+    }
+
+    #[test]
+    fn random_instances_well_formed() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let k = random_knapsack(&mut rng, 6, 9, 9);
+        assert_eq!(k.len(), 6);
+        assert!(k.weights.iter().all(|&w| w >= 1));
+        let p = random_partition(&mut rng, 6, 12);
+        assert!(p.values.iter().all(|&v| v >= 1));
+    }
+}

@@ -1,0 +1,265 @@
+//! Undirected graphs and brute-force solvers for the reduction sources
+//! (Vertex Cover, Clique, Independent Set).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph { n, edges: BTreeSet::new() }
+    }
+
+    /// Builds a graph from an edge list (self-loops rejected).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        assert_ne!(u, v, "self-loops not allowed");
+        self.edges.insert((u.min(v), u.max(v)));
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge list (u < v), sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// True iff `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Degree of vertex `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.edges.iter().filter(|&&(a, b)| a == u || b == u).count()
+    }
+
+    /// True iff every vertex has the same degree; returns it.
+    pub fn regular_degree(&self) -> Option<usize> {
+        if self.n == 0 {
+            return Some(0);
+        }
+        let d = self.degree(0);
+        (1..self.n).all(|u| self.degree(u) == d).then_some(d)
+    }
+
+    /// True iff `cover` touches every edge.
+    pub fn is_vertex_cover(&self, cover: &[usize]) -> bool {
+        self.edges
+            .iter()
+            .all(|&(u, v)| cover.contains(&u) || cover.contains(&v))
+    }
+
+    /// True iff `set` is a clique.
+    pub fn is_clique(&self, set: &[usize]) -> bool {
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True iff `set` is independent.
+    pub fn is_independent(&self, set: &[usize]) -> bool {
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                if self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Brute-force minimum vertex cover size (exponential; small graphs only).
+    pub fn min_vertex_cover_size(&self) -> usize {
+        assert!(self.n <= 24, "brute force limited to small graphs");
+        for size in 0..=self.n {
+            if self.exists_subset(size, |s| self.is_vertex_cover(s)) {
+                return size;
+            }
+        }
+        self.n
+    }
+
+    /// Brute-force check: is there a vertex cover of size ≤ `k`?
+    pub fn has_vertex_cover_of_size(&self, k: usize) -> bool {
+        self.min_vertex_cover_size() <= k
+    }
+
+    /// Brute-force check: is there a clique of size ≥ `k`?
+    pub fn has_clique_of_size(&self, k: usize) -> bool {
+        assert!(self.n <= 24, "brute force limited to small graphs");
+        if k == 0 {
+            return true;
+        }
+        self.exists_subset(k, |s| self.is_clique(s))
+    }
+
+    /// Brute-force maximum independent set size.
+    pub fn max_independent_set_size(&self) -> usize {
+        assert!(self.n <= 24, "brute force limited to small graphs");
+        (0..=self.n)
+            .rev()
+            .find(|&size| self.exists_subset(size, |s| self.is_independent(s)))
+            .unwrap_or(0)
+    }
+
+    fn exists_subset(&self, size: usize, pred: impl Fn(&[usize]) -> bool) -> bool {
+        let mut subset: Vec<usize> = Vec::with_capacity(size);
+        self.search_subsets(0, size, &mut subset, &pred)
+    }
+
+    fn search_subsets(
+        &self,
+        start: usize,
+        size: usize,
+        subset: &mut Vec<usize>,
+        pred: &impl Fn(&[usize]) -> bool,
+    ) -> bool {
+        if subset.len() == size {
+            return pred(subset);
+        }
+        if self.n - start < size - subset.len() {
+            return false;
+        }
+        for v in start..self.n {
+            subset.push(v);
+            if self.search_subsets(v + 1, size, subset, pred) {
+                subset.pop();
+                return true;
+            }
+            subset.pop();
+        }
+        false
+    }
+}
+
+/// Erdős–Rényi random graph `G(n, p)`.
+pub fn random_graph(rng: &mut impl Rng, n: usize, p: f64) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random `d`-regular graph via the pairing model with rejection (needs
+/// `n·d` even, `d < n`; retries until a simple graph is produced).
+pub fn random_regular_graph(rng: &mut impl Rng, n: usize, d: usize) -> Graph {
+    assert!(d < n && (n * d) % 2 == 0, "invalid regular graph parameters");
+    'retry: loop {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            stubs.swap(i, rng.gen_range(0..=i));
+        }
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || g.has_edge(u, v) {
+                continue 'retry;
+            }
+            g.add_edge(u, v);
+        }
+        return g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn basics() {
+        let g = triangle();
+        assert_eq!(g.n_edges(), 3);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn vertex_cover_brute_force() {
+        let g = triangle();
+        assert_eq!(g.min_vertex_cover_size(), 2);
+        assert!(g.is_vertex_cover(&[0, 1]));
+        assert!(!g.is_vertex_cover(&[0]));
+        // Path on 4 vertices: cover size 2.
+        let p4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(p4.min_vertex_cover_size(), 2);
+        // Star K_{1,4}: cover size 1.
+        let star = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(star.min_vertex_cover_size(), 1);
+    }
+
+    #[test]
+    fn clique_and_independent_set() {
+        let g = triangle();
+        assert!(g.has_clique_of_size(3));
+        assert!(!g.has_clique_of_size(4));
+        assert_eq!(g.max_independent_set_size(), 1);
+        let empty = Graph::new(5);
+        assert_eq!(empty.max_independent_set_size(), 5);
+        assert!(empty.has_clique_of_size(1));
+        assert!(!empty.has_clique_of_size(2));
+    }
+
+    #[test]
+    fn gallai_identity_on_random_graphs() {
+        // α(G) + τ(G) = n (observation 1 in the proof of Theorem 9).
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let g = random_graph(&mut rng, 8, 0.4);
+            assert_eq!(g.max_independent_set_size() + g.min_vertex_cover_size(), 8);
+        }
+    }
+
+    #[test]
+    fn regular_graph_generation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_regular_graph(&mut rng, 8, 3);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert_eq!(g.n_edges(), 12);
+    }
+}

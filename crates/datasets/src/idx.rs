@@ -1,0 +1,244 @@
+//! Reader for the IDX file format — the container MNIST ships in
+//! (`train-images-idx3-ubyte` / `train-labels-idx1-ubyte`).
+//!
+//! The synthetic stroke digits of [`crate::digits`] stand in for MNIST in the
+//! offline experiments (DESIGN.md §1), but a user with the real files can
+//! load them here and run the paper's *exact* Figure 1 / Figure 6 workloads:
+//!
+//! ```no_run
+//! # use knn_datasets::idx;
+//! let images = idx::read_idx_images(&std::fs::read("train-images-idx3-ubyte").unwrap()).unwrap();
+//! let labels = idx::read_idx_labels(&std::fs::read("train-labels-idx1-ubyte").unwrap()).unwrap();
+//! let ds = idx::one_vs_rest(&images, &labels, &[4, 9], 4, 500).unwrap();
+//! ```
+//!
+//! Format (per Y. LeCun's spec): big-endian; magic `0x00 0x00 <type> <rank>`
+//! with `type = 0x08` (unsigned byte) for MNIST; then `rank` big-endian u32
+//! dimension sizes; then the data, row-major.
+
+use knn_space::{BitVec, BooleanDataset, ContinuousDataset, Label};
+
+/// A decoded IDX image stack: `count` images of `rows × cols` bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IdxImages {
+    /// Number of images.
+    pub count: usize,
+    /// Image height.
+    pub rows: usize,
+    /// Image width.
+    pub cols: usize,
+    /// Row-major pixel bytes, `count * rows * cols` long.
+    pub pixels: Vec<u8>,
+}
+
+impl IdxImages {
+    /// The `i`-th image as `f64` grayscale in `[0, 1]`.
+    pub fn image(&self, i: usize) -> Vec<f64> {
+        let sz = self.rows * self.cols;
+        self.pixels[i * sz..(i + 1) * sz].iter().map(|&b| b as f64 / 255.0).collect()
+    }
+}
+
+/// Decoding errors with enough context to debug a truncated download.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IdxError {
+    /// Fewer than 4 header bytes, or bad magic prefix / element type.
+    BadMagic,
+    /// The rank in the magic does not match the reader used (images need
+    /// rank 3, labels rank 1).
+    WrongRank {
+        /// The rank this reader handles.
+        expected: u8,
+        /// The rank found in the file.
+        got: u8,
+    },
+    /// The payload is shorter than the header promises.
+    Truncated {
+        /// Bytes the header promises.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Image/label pairing mismatch or an out-of-range request.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for IdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdxError::BadMagic => write!(f, "not an unsigned-byte IDX file"),
+            IdxError::WrongRank { expected, got } => {
+                write!(f, "IDX rank {got}, expected {expected}")
+            }
+            IdxError::Truncated { expected, got } => {
+                write!(f, "IDX payload truncated: {got} of {expected} bytes")
+            }
+            IdxError::Inconsistent(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+fn header(bytes: &[u8], expected_rank: u8) -> Result<Vec<usize>, IdxError> {
+    if bytes.len() < 4 || bytes[0] != 0 || bytes[1] != 0 || bytes[2] != 0x08 {
+        return Err(IdxError::BadMagic);
+    }
+    let rank = bytes[3];
+    if rank != expected_rank {
+        return Err(IdxError::WrongRank { expected: expected_rank, got: rank });
+    }
+    let need = 4 + 4 * rank as usize;
+    if bytes.len() < need {
+        return Err(IdxError::Truncated { expected: need, got: bytes.len() });
+    }
+    Ok((0..rank as usize)
+        .map(|i| {
+            let o = 4 + 4 * i;
+            u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]) as usize
+        })
+        .collect())
+}
+
+/// Decodes a rank-3 unsigned-byte IDX file (MNIST images).
+pub fn read_idx_images(bytes: &[u8]) -> Result<IdxImages, IdxError> {
+    let dims = header(bytes, 3)?;
+    let (count, rows, cols) = (dims[0], dims[1], dims[2]);
+    let data = &bytes[16..];
+    let expected = count * rows * cols;
+    if data.len() < expected {
+        return Err(IdxError::Truncated { expected: expected + 16, got: bytes.len() });
+    }
+    Ok(IdxImages { count, rows, cols, pixels: data[..expected].to_vec() })
+}
+
+/// Decodes a rank-1 unsigned-byte IDX file (MNIST labels).
+pub fn read_idx_labels(bytes: &[u8]) -> Result<Vec<u8>, IdxError> {
+    let dims = header(bytes, 1)?;
+    let count = dims[0];
+    let data = &bytes[8..];
+    if data.len() < count {
+        return Err(IdxError::Truncated { expected: count + 8, got: bytes.len() });
+    }
+    Ok(data[..count].to_vec())
+}
+
+/// Builds the paper's one-vs-rest grayscale dataset from decoded MNIST:
+/// among images whose label is in `classes`, the first `n_per_class` of each
+/// are taken; `positive_digit` is the positive class (§9.1's protocol).
+pub fn one_vs_rest(
+    images: &IdxImages,
+    labels: &[u8],
+    classes: &[u8],
+    positive_digit: u8,
+    n_per_class: usize,
+) -> Result<ContinuousDataset<f64>, IdxError> {
+    if images.count != labels.len() {
+        return Err(IdxError::Inconsistent(format!(
+            "{} images but {} labels",
+            images.count,
+            labels.len()
+        )));
+    }
+    if !classes.contains(&positive_digit) {
+        return Err(IdxError::Inconsistent(format!(
+            "positive digit {positive_digit} not among the selected classes"
+        )));
+    }
+    let mut ds = ContinuousDataset::new(images.rows * images.cols);
+    let mut taken = vec![0usize; 256];
+    for i in 0..images.count {
+        let l = labels[i];
+        if classes.contains(&l) && taken[l as usize] < n_per_class {
+            taken[l as usize] += 1;
+            let label =
+                if l == positive_digit { Label::Positive } else { Label::Negative };
+            ds.push(images.image(i), label);
+        }
+    }
+    Ok(ds)
+}
+
+/// The binarized (threshold 0.5) variant of [`one_vs_rest`] — the discrete
+/// setting of Figure 1.
+pub fn one_vs_rest_binary(
+    images: &IdxImages,
+    labels: &[u8],
+    classes: &[u8],
+    positive_digit: u8,
+    n_per_class: usize,
+) -> Result<BooleanDataset, IdxError> {
+    let gray = one_vs_rest(images, labels, classes, positive_digit, n_per_class)?;
+    let mut ds = BooleanDataset::new(gray.dim());
+    for (p, l) in gray.iter() {
+        ds.push(BitVec::from_bools(&p.iter().map(|&v| v >= 0.5).collect::<Vec<_>>()), l);
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a valid rank-3 IDX byte blob.
+    fn make_images(count: usize, rows: usize, cols: usize) -> Vec<u8> {
+        let mut b = vec![0, 0, 0x08, 3];
+        for d in [count, rows, cols] {
+            b.extend_from_slice(&(d as u32).to_be_bytes());
+        }
+        for i in 0..count * rows * cols {
+            b.push((i % 251) as u8);
+        }
+        b
+    }
+
+    fn make_labels(labels: &[u8]) -> Vec<u8> {
+        let mut b = vec![0, 0, 0x08, 1];
+        b.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        b.extend_from_slice(labels);
+        b
+    }
+
+    #[test]
+    fn roundtrip_images_and_labels() {
+        let img = read_idx_images(&make_images(3, 2, 2)).unwrap();
+        assert_eq!((img.count, img.rows, img.cols), (3, 2, 2));
+        assert_eq!(img.image(0), vec![0.0, 1.0 / 255.0, 2.0 / 255.0, 3.0 / 255.0]);
+        let labels = read_idx_labels(&make_labels(&[4, 9, 4])).unwrap();
+        assert_eq!(labels, vec![4, 9, 4]);
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        assert_eq!(read_idx_images(&[]).unwrap_err(), IdxError::BadMagic);
+        assert_eq!(read_idx_images(&[0, 0, 0x0D, 3, 0]).unwrap_err(), IdxError::BadMagic);
+        assert_eq!(
+            read_idx_images(&make_labels(&[1, 2])).unwrap_err(),
+            IdxError::WrongRank { expected: 3, got: 1 }
+        );
+        let mut truncated = make_images(2, 2, 2);
+        truncated.truncate(18);
+        assert!(matches!(read_idx_images(&truncated).unwrap_err(), IdxError::Truncated { .. }));
+    }
+
+    #[test]
+    fn one_vs_rest_selects_and_labels() {
+        let images = read_idx_images(&make_images(6, 2, 2)).unwrap();
+        let labels = [4u8, 9, 4, 9, 4, 7];
+        let ds = one_vs_rest(&images, &labels, &[4, 9], 4, 2).unwrap();
+        assert_eq!(ds.len(), 4, "2 fours + 2 nines; the 7 is skipped");
+        assert_eq!(ds.count_of(Label::Positive), 2);
+        let bin = one_vs_rest_binary(&images, &labels, &[4, 9], 9, 2).unwrap();
+        assert_eq!(bin.count_of(Label::Positive), 2);
+    }
+
+    #[test]
+    fn inconsistencies_are_reported() {
+        let images = read_idx_images(&make_images(3, 2, 2)).unwrap();
+        assert!(one_vs_rest(&images, &[1, 2], &[1], 1, 1).is_err(), "count mismatch");
+        assert!(
+            one_vs_rest(&images, &[1, 2, 3], &[1, 2], 3, 1).is_err(),
+            "positive class not selected"
+        );
+    }
+}

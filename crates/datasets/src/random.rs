@@ -1,0 +1,110 @@
+//! Uniform random datasets (the Figure 5 workload).
+
+use knn_space::{BitVec, BooleanDataset, ContinuousDataset, Label};
+use rand::Rng;
+
+/// Uniformly random boolean dataset: `n_points` samples from `{0,1}^dim`,
+/// labeled by independent Bernoulli(`p_positive`) draws — the synthetic
+/// workload of §9.1 (which uses `p = 1/2`).
+///
+/// Guarantees at least one point of each class when `n_points ≥ 2` by
+/// re-labeling the first two points if a class is missing (an all-one-class
+/// training set makes every explanation problem degenerate).
+pub fn random_boolean_dataset(
+    rng: &mut impl Rng,
+    n_points: usize,
+    dim: usize,
+    p_positive: f64,
+) -> BooleanDataset {
+    assert!(n_points >= 2, "need at least two points");
+    let mut ds = BooleanDataset::new(dim);
+    let mut labels: Vec<Label> = (0..n_points)
+        .map(|_| if rng.gen_bool(p_positive) { Label::Positive } else { Label::Negative })
+        .collect();
+    if !labels.contains(&Label::Positive) {
+        labels[0] = Label::Positive;
+    }
+    if !labels.contains(&Label::Negative) {
+        labels[1] = Label::Negative;
+    }
+    for label in labels {
+        let point: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+        ds.push(point, label);
+    }
+    ds
+}
+
+/// A uniformly random query point in `{0,1}^dim`.
+pub fn random_boolean_point(rng: &mut impl Rng, dim: usize) -> BitVec {
+    (0..dim).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+/// Uniformly random continuous dataset over `[-1, 1]^dim` with Bernoulli labels.
+pub fn random_real_dataset(
+    rng: &mut impl Rng,
+    n_points: usize,
+    dim: usize,
+    p_positive: f64,
+) -> ContinuousDataset<f64> {
+    assert!(n_points >= 2);
+    let mut ds = ContinuousDataset::new(dim);
+    let mut labels: Vec<Label> = (0..n_points)
+        .map(|_| if rng.gen_bool(p_positive) { Label::Positive } else { Label::Negative })
+        .collect();
+    if !labels.contains(&Label::Positive) {
+        labels[0] = Label::Positive;
+    }
+    if !labels.contains(&Label::Negative) {
+        labels[1] = Label::Negative;
+    }
+    for label in labels {
+        let point: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        ds.push(point, label);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boolean_dataset_shape_and_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = random_boolean_dataset(&mut rng, 50, 16, 0.5);
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.dim(), 16);
+        assert!(ds.count_of(Label::Positive) >= 1);
+        assert!(ds.count_of(Label::Negative) >= 1);
+    }
+
+    #[test]
+    fn extreme_label_probability_still_has_both_classes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ds = random_boolean_dataset(&mut rng, 20, 8, 0.0);
+        assert_eq!(ds.count_of(Label::Positive), 1);
+        let ds2 = random_boolean_dataset(&mut rng, 20, 8, 1.0);
+        assert_eq!(ds2.count_of(Label::Negative), 1);
+    }
+
+    #[test]
+    fn real_dataset_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ds = random_real_dataset(&mut rng, 30, 4, 0.5);
+        for (p, _) in ds.iter() {
+            assert!(p.iter().all(|&v| (-1.0..1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_boolean_dataset(&mut StdRng::seed_from_u64(9), 10, 12, 0.5);
+        let b = random_boolean_dataset(&mut StdRng::seed_from_u64(9), 10, 12, 0.5);
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.label(i), b.label(i));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Reference linear-scan index over any field and ℓp metric.
+
+use knn_num::Field;
+use knn_space::LpMetric;
+
+/// Exact k-NN by linear scan. Distances are compared on their p-th powers,
+/// which is exact in the `Rat` instantiation.
+#[derive(Clone, Debug)]
+pub struct BruteForceIndex<F> {
+    points: Vec<Vec<F>>,
+    metric: LpMetric,
+}
+
+impl<F: Field> BruteForceIndex<F> {
+    /// Builds the index (stores the points).
+    pub fn new(points: Vec<Vec<F>>, metric: LpMetric) -> Self {
+        BruteForceIndex { points, metric }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stored point `i`.
+    pub fn point(&self, i: usize) -> &[F] {
+        &self.points[i]
+    }
+
+    /// The `k` nearest neighbors of `q` as `(index, distance^p)`, sorted by
+    /// distance then index.
+    pub fn knn(&self, q: &[F], k: usize) -> Vec<(usize, F)> {
+        let all: Vec<(usize, F)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, self.metric.dist_pow(q, p)))
+            .collect();
+        crate::finalize_neighbors(all, k)
+    }
+
+    /// The nearest neighbor of `q` (index, distance^p); `None` when empty.
+    pub fn nearest(&self, q: &[F]) -> Option<(usize, F)> {
+        self.knn(q, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_num::Rat;
+
+    #[test]
+    fn nearest_and_knn() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let idx = BruteForceIndex::new(pts, LpMetric::L2);
+        assert_eq!(idx.len(), 3);
+        let nn = idx.nearest(&[0.9, 0.1]).unwrap();
+        assert_eq!(nn.0, 1);
+        let two = idx.knn(&[0.0, 0.0], 2);
+        assert_eq!(two[0].0, 0);
+        assert_eq!(two[1].0, 1);
+    }
+
+    #[test]
+    fn tie_break_by_index() {
+        let pts = vec![vec![1.0], vec![-1.0], vec![1.0]];
+        let idx = BruteForceIndex::new(pts, LpMetric::L1);
+        let nn = idx.knn(&[0.0], 3);
+        assert_eq!(nn.iter().map(|x| x.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exact_ties_with_rationals() {
+        let pts = vec![
+            vec![Rat::frac(1, 3), Rat::zero()],
+            vec![Rat::frac(-1, 3), Rat::zero()],
+        ];
+        let idx = BruteForceIndex::new(pts, LpMetric::L2);
+        let nn = idx.knn(&[Rat::zero(), Rat::zero()], 2);
+        assert_eq!(nn[0].1, nn[1].1, "exactly equidistant");
+        assert_eq!(nn[0].0, 0, "tie broken by index");
+    }
+}

@@ -1,0 +1,112 @@
+//! Bit-packed linear scan for the discrete setting.
+
+use knn_space::BitVec;
+
+/// Exact k-NN over `{0,1}ⁿ` with XOR/popcount and an early-abort scan.
+///
+/// For the dataset sizes of the paper's experiments (hundreds to thousands of
+/// points, dimensions ≤ ~800) a well-vectorized scan beats tree structures on
+/// binary data; this is the discrete analogue of the FAISS flat index.
+#[derive(Clone, Debug)]
+pub struct HammingIndex {
+    points: Vec<BitVec>,
+}
+
+impl HammingIndex {
+    /// Builds the index.
+    pub fn new(points: Vec<BitVec>) -> Self {
+        if let Some(first) = points.first() {
+            assert!(points.iter().all(|p| p.len() == first.len()));
+        }
+        HammingIndex { points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stored point `i`.
+    pub fn point(&self, i: usize) -> &BitVec {
+        &self.points[i]
+    }
+
+    /// The `k` nearest neighbors of `q` as `(index, hamming distance)`.
+    pub fn knn(&self, q: &BitVec, k: usize) -> Vec<(usize, usize)> {
+        let all: Vec<(usize, usize)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.hamming(q)))
+            .collect();
+        crate::finalize_neighbors(all, k)
+    }
+
+    /// The nearest neighbor of `q`; `None` when empty.
+    pub fn nearest(&self, q: &BitVec) -> Option<(usize, usize)> {
+        self.knn(q, 1).into_iter().next()
+    }
+
+    /// All points within Hamming distance `r` of `q` (the "ball query" used by
+    /// brute-force counterfactual search), sorted by distance then index.
+    pub fn within(&self, q: &BitVec, r: usize) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let d = p.hamming(q);
+                (d <= r).then_some((i, d))
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &[u8]) -> BitVec {
+        BitVec::from_bits(bits)
+    }
+
+    #[test]
+    fn nearest_neighbors() {
+        let idx = HammingIndex::new(vec![
+            bv(&[0, 0, 0, 0]),
+            bv(&[1, 1, 0, 0]),
+            bv(&[1, 1, 1, 1]),
+        ]);
+        let q = bv(&[1, 0, 0, 0]);
+        assert_eq!(idx.nearest(&q), Some((0, 1)));
+        let knn = idx.knn(&q, 3);
+        assert_eq!(knn, vec![(0, 1), (1, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn within_ball() {
+        let idx = HammingIndex::new(vec![
+            bv(&[0, 0]),
+            bv(&[0, 1]),
+            bv(&[1, 1]),
+        ]);
+        let q = bv(&[0, 0]);
+        assert_eq!(idx.within(&q, 1), vec![(0, 0), (1, 1)]);
+        assert_eq!(idx.within(&q, 2).len(), 3);
+        assert_eq!(idx.within(&q, 0), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = HammingIndex::new(vec![]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(&bv(&[0])), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! KD-tree for dense `f64` points under any ℓp metric.
+//!
+//! Standard median-split construction and branch-and-bound k-NN search. The
+//! pruning bound uses the splitting-plane distance raised to the p-th power,
+//! which lower-bounds the true `dist^p` for every p ≥ 1, so search is exact
+//! for all ℓp metrics.
+
+use knn_space::LpMetric;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        /// Indices into the point array.
+        items: Vec<u32>,
+    },
+    Split {
+        axis: u16,
+        value: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// An exact KD-tree index.
+#[derive(Debug)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    metric: LpMetric,
+    root: Node,
+}
+
+const LEAF_SIZE: usize = 12;
+
+/// Max-heap entry so the `BinaryHeap` keeps the *worst* current neighbor on top.
+struct HeapItem {
+    dist: f64,
+    idx: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.idx == other.idx
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Larger distance first; on ties, larger index first so that the
+        // retained set prefers smaller indices (deterministic order).
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl KdTree {
+    /// Builds the tree in `O(n log² n)`.
+    pub fn new(points: Vec<Vec<f64>>, metric: LpMetric) -> Self {
+        assert!(!points.is_empty(), "KdTree needs at least one point");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim));
+        let mut items: Vec<u32> = (0..points.len() as u32).collect();
+        let root = Self::build(&points, &mut items, 0, dim);
+        KdTree { points, metric, root }
+    }
+
+    fn build(points: &[Vec<f64>], items: &mut [u32], depth: usize, dim: usize) -> Node {
+        if items.len() <= LEAF_SIZE {
+            return Node::Leaf { items: items.to_vec() };
+        }
+        let axis = depth % dim;
+        items.sort_by(|&a, &b| {
+            points[a as usize][axis]
+                .partial_cmp(&points[b as usize][axis])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mid = items.len() / 2;
+        let value = points[items[mid] as usize][axis];
+        let (l, r) = items.split_at_mut(mid);
+        // Degenerate axis (all equal): fall back to a leaf to guarantee progress.
+        if l.is_empty() || r.is_empty() {
+            return Node::Leaf { items: items.to_vec() };
+        }
+        Node::Split {
+            axis: axis as u16,
+            value,
+            left: Box::new(Self::build(points, l, depth + 1, dim)),
+            right: Box::new(Self::build(points, r, depth + 1, dim)),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff no points are indexed (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `k` nearest neighbors of `q` as `(index, distance^p)`, sorted.
+    pub fn knn(&self, q: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        self.search(&self.root, q, k, &mut heap);
+        let out: Vec<(usize, f64)> = heap.into_iter().map(|h| (h.idx, h.dist)).collect();
+        crate::finalize_neighbors(out, k)
+    }
+
+    /// The nearest neighbor of `q`.
+    pub fn nearest(&self, q: &[f64]) -> (usize, f64) {
+        self.knn(q, 1)[0]
+    }
+
+    fn search(&self, node: &Node, q: &[f64], k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        match node {
+            Node::Leaf { items } => {
+                for &i in items {
+                    let d = self.metric.dist_pow(q, &self.points[i as usize]);
+                    if heap.len() < k {
+                        heap.push(HeapItem { dist: d, idx: i as usize });
+                    } else if let Some(top) = heap.peek() {
+                        if d < top.dist || (d == top.dist && (i as usize) < top.idx) {
+                            heap.pop();
+                            heap.push(HeapItem { dist: d, idx: i as usize });
+                        }
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right } => {
+                let delta = q[*axis as usize] - value;
+                let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+                self.search(near, q, k, heap);
+                // Visit the far side only if the splitting plane is closer
+                // than the current worst neighbor (p-th power comparison).
+                let plane_pow = delta.abs().powi(self.metric.p() as i32);
+                let must_visit = heap.len() < k
+                    || heap.peek().is_some_and(|top| plane_pow <= top.dist);
+                if must_visit {
+                    self.search(far, q, k, heap);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(rng: &mut StdRng, n: usize, d: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| (0..d).map(|_| rng.gen_range(-10.0..10.0)).collect()).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_l2() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = random_points(&mut rng, 300, 5);
+        let tree = KdTree::new(pts.clone(), LpMetric::L2);
+        let brute = BruteForceIndex::new(pts, LpMetric::L2);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..5).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let a = tree.knn(&q, 7);
+            let b = brute.knn(&q, 7);
+            assert_eq!(
+                a.iter().map(|x| x.0).collect::<Vec<_>>(),
+                b.iter().map(|x| x.0).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_l1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = random_points(&mut rng, 200, 3);
+        let tree = KdTree::new(pts.clone(), LpMetric::L1);
+        let brute = BruteForceIndex::new(pts, LpMetric::L1);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            assert_eq!(tree.nearest(&q).0, brute.nearest(&q).unwrap().0);
+        }
+    }
+
+    #[test]
+    fn duplicated_coordinates() {
+        // Many identical points stress the degenerate-split path.
+        let mut pts = vec![vec![1.0, 1.0]; 40];
+        pts.push(vec![2.0, 2.0]);
+        let tree = KdTree::new(pts, LpMetric::L2);
+        assert_eq!(tree.nearest(&[2.1, 2.1]).0, 40);
+        assert_eq!(tree.nearest(&[1.0, 1.0]).0, 0);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let tree = KdTree::new(pts, LpMetric::L2);
+        let nn = tree.knn(&[0.2], 10);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Exact nearest-neighbor search structures (the FAISS substitute of §9.2).
+//!
+//! The explanation algorithms only ever need *exact* k-NN queries — the
+//! optimistic classifier's tie handling makes approximate search unsound — so
+//! this crate provides exact structures with different performance envelopes:
+//!
+//! * [`BruteForceIndex`] — linear scan, any ℓp, any field; the reference.
+//! * [`KdTree`] — axis-aligned splits with branch-and-bound search for dense
+//!   `f64` data under any ℓp (per-axis distance lower bounds are valid for
+//!   every p ≥ 1); the workhorse behind the Figure 6a sweep.
+//! * [`VpTree`] — vantage-point tree for arbitrary metrics given as a
+//!   closure, pruning through the triangle inequality.
+//! * [`HammingIndex`] — bit-packed linear scan with per-word popcount and
+//!   early abort; the discrete-setting workhorse.
+//!
+//! All structures return `(point index, distance key)` pairs sorted by
+//! distance, ties broken by index, so every caller observes identical,
+//! deterministic neighbor orders.
+//!
+//! ```
+//! use knn_index::KdTree;
+//! use knn_space::LpMetric;
+//!
+//! let tree = KdTree::new(
+//!     vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![5.0, 5.0]],
+//!     LpMetric::L2,
+//! );
+//! let hits = tree.knn(&[0.9, 0.1], 2);            // (index, ℓ2²) pairs
+//! assert_eq!(hits[0].0, 1);                        // (1,0) is closest
+//! assert_eq!(hits[1].0, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod hamming;
+pub mod kdtree;
+pub mod vptree;
+
+pub use brute::BruteForceIndex;
+pub use hamming::HammingIndex;
+pub use kdtree::KdTree;
+pub use vptree::VpTree;
+
+/// Sorts `(index, key)` pairs by key then index, truncating to `k`.
+pub(crate) fn finalize_neighbors<D: PartialOrd>(mut out: Vec<(usize, D)>, k: usize) -> Vec<(usize, D)> {
+    out.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    out.truncate(k);
+    out
+}

@@ -1,0 +1,217 @@
+//! Vantage-point tree for arbitrary metrics.
+//!
+//! Works with any distance function satisfying the triangle inequality —
+//! including the Hamming distance on [`knn_space::BitVec`] and true ℓp
+//! distances (note: the *p-th power* of an ℓp distance for p ≥ 2 does **not**
+//! satisfy the triangle inequality, so this structure takes real distances).
+
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Vec<u32>),
+    Ball {
+        center: u32,
+        radius: f64,
+        inside: Box<Node>,
+        outside: Box<Node>,
+    },
+}
+
+/// An exact VP-tree over points of type `P` with a caller-supplied metric.
+pub struct VpTree<P> {
+    points: Vec<P>,
+    dist: Box<dyn Fn(&P, &P) -> f64 + Send + Sync>,
+    root: Node,
+}
+
+const LEAF_SIZE: usize = 10;
+
+struct HeapItem {
+    dist: f64,
+    idx: usize,
+}
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.idx == other.idx
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl<P> VpTree<P> {
+    /// Builds the tree with the given metric.
+    pub fn new(points: Vec<P>, dist: impl Fn(&P, &P) -> f64 + Send + Sync + 'static) -> Self {
+        assert!(!points.is_empty(), "VpTree needs at least one point");
+        let mut items: Vec<u32> = (0..points.len() as u32).collect();
+        let root = Self::build(&points, &dist, &mut items);
+        VpTree { points, dist: Box::new(dist), root }
+    }
+
+    fn build(points: &[P], dist: &impl Fn(&P, &P) -> f64, items: &mut Vec<u32>) -> Node {
+        if items.len() <= LEAF_SIZE {
+            return Node::Leaf(items.clone());
+        }
+        // First item is the vantage point (deterministic choice).
+        let vp = items[0];
+        let mut rest: Vec<(u32, f64)> = items[1..]
+            .iter()
+            .map(|&i| (i, dist(&points[vp as usize], &points[i as usize])))
+            .collect();
+        rest.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = rest.len() / 2;
+        let radius = rest[mid].1;
+        let mut inside: Vec<u32> = rest[..mid].iter().map(|x| x.0).collect();
+        let mut outside: Vec<u32> = rest[mid..].iter().map(|x| x.0).collect();
+        if inside.is_empty() || outside.is_empty() {
+            return Node::Leaf(items.clone());
+        }
+        Node::Ball {
+            center: vp,
+            radius,
+            inside: Box::new(Self::build(points, dist, &mut inside)),
+            outside: Box::new(Self::build(points, dist, &mut outside)),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff no points are indexed (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `k` nearest neighbors of `q` as `(index, distance)`, sorted.
+    pub fn knn(&self, q: &P, k: usize) -> Vec<(usize, f64)> {
+        let mut heap = BinaryHeap::new();
+        self.search(&self.root, q, k, &mut heap);
+        let out: Vec<(usize, f64)> = heap.into_iter().map(|h| (h.idx, h.dist)).collect();
+        crate::finalize_neighbors(out, k)
+    }
+
+    /// The nearest neighbor of `q`.
+    pub fn nearest(&self, q: &P) -> (usize, f64) {
+        self.knn(q, 1)[0]
+    }
+
+    fn offer(&self, heap: &mut BinaryHeap<HeapItem>, k: usize, idx: usize, d: f64) {
+        if heap.len() < k {
+            heap.push(HeapItem { dist: d, idx });
+        } else if let Some(top) = heap.peek() {
+            if d < top.dist || (d == top.dist && idx < top.idx) {
+                heap.pop();
+                heap.push(HeapItem { dist: d, idx });
+            }
+        }
+    }
+
+    fn search(&self, node: &Node, q: &P, k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        match node {
+            Node::Leaf(items) => {
+                for &i in items {
+                    let d = (self.dist)(q, &self.points[i as usize]);
+                    self.offer(heap, k, i as usize, d);
+                }
+            }
+            Node::Ball { center, radius, inside, outside } => {
+                let d = (self.dist)(q, &self.points[*center as usize]);
+                self.offer(heap, k, *center as usize, d);
+                let worst = |heap: &BinaryHeap<HeapItem>| {
+                    if heap.len() < k {
+                        f64::INFINITY
+                    } else {
+                        heap.peek().map_or(f64::INFINITY, |t| t.dist)
+                    }
+                };
+                let (near, far, plane_gap) = if d < *radius {
+                    (inside, outside, radius - d)
+                } else {
+                    (outside, inside, d - radius)
+                };
+                self.search(near, q, k, heap);
+                if plane_gap <= worst(heap) {
+                    self.search(far, q, k, heap);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_space::BitVec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hamming_vp_tree_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 250;
+        let dim = 64;
+        let pts: Vec<BitVec> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let tree = VpTree::new(pts.clone(), |a: &BitVec, b: &BitVec| a.hamming(b) as f64);
+        for _ in 0..40 {
+            let q: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+            let got = tree.knn(&q, 5);
+            let mut want: Vec<(usize, f64)> =
+                pts.iter().enumerate().map(|(i, p)| (i, p.hamming(&q) as f64)).collect();
+            want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            want.truncate(5);
+            assert_eq!(
+                got.iter().map(|x| x.0).collect::<Vec<_>>(),
+                want.iter().map(|x| x.0).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn euclidean_vp_tree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pts: Vec<Vec<f64>> = (0..150)
+            .map(|_| (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let l2 = |a: &Vec<f64>, b: &Vec<f64>| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        let tree = VpTree::new(pts.clone(), l2);
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..4).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            let (gi, _) = tree.nearest(&q);
+            let mut bi = 0;
+            for i in 1..pts.len() {
+                if l2(&pts[i], &q) < l2(&pts[bi], &q) {
+                    bi = i;
+                }
+            }
+            assert_eq!(gi, bi);
+        }
+    }
+
+    #[test]
+    fn identical_points() {
+        let pts = vec![BitVec::zeros(8); 30];
+        let tree = VpTree::new(pts, |a: &BitVec, b: &BitVec| a.hamming(b) as f64);
+        let q = BitVec::ones(8);
+        let nn = tree.knn(&q, 3);
+        assert_eq!(nn.len(), 3);
+        assert!(nn.iter().all(|&(_, d)| d == 8.0));
+    }
+}

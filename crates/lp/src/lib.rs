@@ -1,0 +1,37 @@
+//! Linear programming for the `explainable-knn` workspace.
+//!
+//! A two-phase dense-tableau simplex solver, generic over [`knn_num::Field`]:
+//! exact big-rational arithmetic for the theory-facing paths (tie-correct
+//! feasibility of the polyhedra in Propositions 1 and 3) and tolerance-based
+//! `f64` for the benchmarking paths and as the relaxation engine of `knn-milp`.
+//!
+//! Strict inequalities — needed because the set `{x : f(x) = 0}` of the
+//! optimistic k-NN classifier is a union of *open* polyhedra — are handled by
+//! the ε-maximization reduction used in the proof of Proposition 3: every
+//! strict row `l(x) > r` becomes `l(x) − ε ≥ r` and the solver maximizes `ε`;
+//! the strict system is feasible iff the optimum has `ε > 0`.
+//!
+//! Anti-cycling: Dantzig pricing with an automatic switch to Bland's rule
+//! after a stall, which guarantees termination in the exact instantiation.
+//!
+//! ```
+//! use knn_lp::{LpProblem, LpOutcome, Objective, Rel};
+//!
+//! // max x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6,  x, y ∈ [0, 10].
+//! let mut lp = LpProblem::<f64>::new(2);
+//! lp.set_lower(0, 0.0); lp.set_upper(0, 10.0);
+//! lp.set_lower(1, 0.0); lp.set_upper(1, 10.0);
+//! lp.add_dense(&[1.0, 2.0], Rel::Le, 4.0);
+//! lp.add_dense(&[3.0, 1.0], Rel::Le, 6.0);
+//! match lp.solve(&[1.0, 1.0], Objective::Maximize) {
+//!     LpOutcome::Optimal { value, .. } => assert!((value - 2.8).abs() < 1e-9),
+//!     other => panic!("{other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{LpOutcome, LpProblem, Objective, Rel};

@@ -1,0 +1,150 @@
+//! Property tests for the simplex solver on boxed random programs:
+//! feasibility of returned optima, dominance over sampled feasible points,
+//! and no false infeasibility verdicts.
+
+use knn_lp::{LpOutcome, LpProblem, Objective, Rel};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-6;
+
+#[derive(Clone, Debug)]
+struct BoxedLp {
+    n: usize,
+    upper: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // a·x ≤ b
+    objective: Vec<f64>,
+}
+
+fn lp_strategy() -> impl Strategy<Value = BoxedLp> {
+    (1..=4usize).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1..=6i32, n),
+            prop::collection::vec(
+                (prop::collection::vec(-3..=3i32, n), 0..=8i32),
+                0..=5,
+            ),
+            prop::collection::vec(-4..=4i32, n),
+        )
+            .prop_map(move |(upper, rows, obj)| BoxedLp {
+                n,
+                upper: upper.into_iter().map(f64::from).collect(),
+                rows: rows
+                    .into_iter()
+                    .map(|(a, b)| {
+                        (a.into_iter().map(f64::from).collect(), f64::from(b))
+                    })
+                    .collect(),
+                objective: obj.into_iter().map(f64::from).collect(),
+            })
+    })
+}
+
+fn build(lp: &BoxedLp) -> LpProblem<f64> {
+    let mut p = LpProblem::new(lp.n);
+    for j in 0..lp.n {
+        p.set_lower(j, 0.0);
+        p.set_upper(j, lp.upper[j]);
+    }
+    for (a, b) in &lp.rows {
+        p.add_dense(a, Rel::Le, *b);
+    }
+    p
+}
+
+fn feasible(lp: &BoxedLp, x: &[f64]) -> bool {
+    x.iter().zip(&lp.upper).all(|(&xi, &u)| (-TOL..=u + TOL).contains(&xi))
+        && lp.rows.iter().all(|(a, b)| {
+            a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + TOL
+        })
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Deterministic low-discrepancy samples in the box (no RNG in proptest body).
+fn box_samples(lp: &BoxedLp, count: usize) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(count + 1);
+    out.push(vec![0.0; lp.n]); // the origin is always in the box
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..count {
+        let mut x = Vec::with_capacity(lp.n);
+        for j in 0..lp.n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            x.push(u * lp.upper[j]);
+        }
+        out.push(x);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A boxed LP is never unbounded; optima are feasible and dominate every
+    /// sampled feasible point; `Infeasible` verdicts are never contradicted
+    /// by a sampled feasible point.
+    #[test]
+    fn boxed_lps_solve_correctly(lp in lp_strategy()) {
+        let p = build(&lp);
+        match p.solve(&lp.objective, Objective::Maximize) {
+            LpOutcome::Unbounded => prop_assert!(false, "boxed LP cannot be unbounded"),
+            LpOutcome::Optimal { x, value } => {
+                prop_assert!(feasible(&lp, &x), "optimum infeasible: {x:?}");
+                prop_assert!((dot(&lp.objective, &x) - value).abs() < 1e-5);
+                for y in box_samples(&lp, 64) {
+                    if feasible(&lp, &y) {
+                        prop_assert!(
+                            dot(&lp.objective, &y) <= value + 1e-5,
+                            "sample {y:?} beats reported optimum {value}"
+                        );
+                    }
+                }
+            }
+            LpOutcome::Infeasible => {
+                for y in box_samples(&lp, 64) {
+                    prop_assert!(
+                        !feasible(&lp, &y),
+                        "solver said infeasible but {y:?} is feasible"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Minimize(c) = -Maximize(-c) on the same program.
+    #[test]
+    fn minimize_is_negated_maximize(lp in lp_strategy()) {
+        let p = build(&lp);
+        let neg: Vec<f64> = lp.objective.iter().map(|c| -c).collect();
+        match (p.solve(&lp.objective, Objective::Minimize), p.solve(&neg, Objective::Maximize)) {
+            (LpOutcome::Optimal { value: a, .. }, LpOutcome::Optimal { value: b, .. }) => {
+                prop_assert!((a + b).abs() < 1e-5, "min {a} vs -max {b}");
+            }
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (a, b) => prop_assert!(false, "verdict mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Adding a redundant row (implied by the box) never changes the optimum.
+    #[test]
+    fn redundant_rows_are_harmless(lp in lp_strategy()) {
+        let p = build(&lp);
+        let before = p.solve(&lp.objective, Objective::Maximize);
+        let mut q = build(&lp);
+        // Σ x_j ≤ Σ upper_j holds for every box point.
+        let slack: f64 = lp.upper.iter().sum::<f64>() + 1.0;
+        q.add_dense(&vec![1.0; lp.n], Rel::Le, slack);
+        let after = q.solve(&lp.objective, Objective::Maximize);
+        match (before, after) {
+            (LpOutcome::Optimal { value: a, .. }, LpOutcome::Optimal { value: b, .. }) => {
+                prop_assert!((a - b).abs() < 1e-5);
+            }
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (a, b) => prop_assert!(false, "verdict changed: {a:?} vs {b:?}"),
+        }
+    }
+}

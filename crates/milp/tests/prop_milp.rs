@@ -1,0 +1,117 @@
+//! Property tests for the branch & bound MILP solver: on arbitrary small
+//! mixed 0–1 programs, every configuration (node order × rounding heuristic)
+//! must agree with a reference that enumerates the binary assignments and
+//! solves the continuous remainder as an LP.
+
+use knn_lp::{LpOutcome, LpProblem, Objective, Rel};
+use knn_milp::{MilpConfig, MilpOutcome, MilpProblem, NodeOrder};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-5;
+
+#[derive(Clone, Debug)]
+struct Mixed {
+    nb: usize,                   // binary variables
+    nc: usize,                   // continuous variables, each in [0, 4]
+    rows: Vec<(Vec<f64>, f64)>,  // a·x ≤ b over all nb + nc variables
+    objective: Vec<f64>,
+}
+
+fn mixed_strategy() -> impl Strategy<Value = Mixed> {
+    (1..=4usize, 0..=2usize).prop_flat_map(|(nb, nc)| {
+        let n = nb + nc;
+        (
+            prop::collection::vec(
+                (prop::collection::vec(-3..=3i32, n), 0..=7i32),
+                1..=4,
+            ),
+            prop::collection::vec(-4..=4i32, n),
+        )
+            .prop_map(move |(rows, obj)| Mixed {
+                nb,
+                nc,
+                rows: rows
+                    .into_iter()
+                    .map(|(a, b)| (a.into_iter().map(f64::from).collect(), f64::from(b)))
+                    .collect(),
+                objective: obj.into_iter().map(f64::from).collect(),
+            })
+    })
+}
+
+fn build(m: &Mixed) -> MilpProblem {
+    let n = m.nb + m.nc;
+    let mut p = MilpProblem::new(n);
+    for j in 0..m.nb {
+        p.set_binary(j);
+    }
+    for j in m.nb..n {
+        p.set_lower(j, 0.0);
+        p.set_upper(j, 4.0);
+    }
+    for (a, b) in &m.rows {
+        p.add_dense(a, Rel::Le, *b);
+    }
+    p
+}
+
+/// Reference: enumerate binaries, LP the continuous tail.
+fn reference(m: &Mixed) -> Option<f64> {
+    let n = m.nb + m.nc;
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << m.nb) {
+        let mut lp = LpProblem::new(n);
+        for j in 0..m.nb {
+            let v = ((mask >> j) & 1) as f64;
+            lp.set_lower(j, v);
+            lp.set_upper(j, v);
+        }
+        for j in m.nb..n {
+            lp.set_lower(j, 0.0);
+            lp.set_upper(j, 4.0);
+        }
+        for (a, b) in &m.rows {
+            lp.add_dense(a, Rel::Le, *b);
+        }
+        if let LpOutcome::Optimal { value, .. } = lp.solve(&m.objective, Objective::Maximize) {
+            best = Some(best.map_or(value, |b: f64| b.max(value)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_configuration_matches_the_reference(m in mixed_strategy()) {
+        let p = build(&m);
+        let want = reference(&m);
+        for order in [NodeOrder::DepthFirst, NodeOrder::BestBound] {
+            for rounding in [false, true] {
+                let cfg = MilpConfig {
+                    node_order: order,
+                    rounding_heuristic: rounding,
+                    ..Default::default()
+                };
+                match (p.solve(&m.objective, Objective::Maximize, cfg), want) {
+                    (MilpOutcome::Optimal { x, value }, Some(w)) => {
+                        prop_assert!((value - w).abs() < TOL,
+                            "{order:?}/rounding={rounding}: {value} vs reference {w}");
+                        // The reported point must itself be feasible & consistent.
+                        for (a, b) in &m.rows {
+                            let lhs: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum();
+                            prop_assert!(lhs <= b + TOL);
+                        }
+                        for (j, &xj) in x.iter().enumerate().take(m.nb) {
+                            prop_assert!((xj - xj.round()).abs() < TOL, "binary {j} fractional");
+                        }
+                    }
+                    (MilpOutcome::Infeasible, None) => {}
+                    (got, w) => prop_assert!(false,
+                        "{order:?}/rounding={rounding}: {got:?} vs reference {w:?}"),
+                }
+            }
+        }
+    }
+}

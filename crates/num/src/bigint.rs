@@ -1,0 +1,757 @@
+//! Sign-magnitude arbitrary-precision integers.
+//!
+//! Little-endian `u32` limbs, schoolbook multiplication and Knuth Algorithm D
+//! division. The magnitudes that arise in the paper's constructions and in
+//! exact simplex pivoting stay small (tens of limbs), so asymptotically fancy
+//! algorithms are not needed; correctness and predictability are.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariant: `mag` has no trailing zero limbs, and `sign == 0` iff `mag` is empty.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BigInt {
+    sign: i8,
+    mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        BigInt { sign: 0, mag: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    /// True iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// True iff `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// True iff `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// Sign of the integer as -1, 0 or 1.
+    pub fn signum(&self) -> i8 {
+        self.sign
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt { sign: self.sign.abs(), mag: self.mag.clone() }
+    }
+
+    /// Number of significant bits of the magnitude (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// True iff the integer is even.
+    pub fn is_even(&self) -> bool {
+        self.mag.first().map_or(true, |l| l % 2 == 0)
+    }
+
+    fn normalized(sign: i8, mut mag: Vec<u32>) -> Self {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            if a[i] != b[i] {
+                return a[i].cmp(&b[i]);
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> BASE_BITS;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Computes `a - b` assuming `a >= b` (as magnitudes).
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << BASE_BITS)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> BASE_BITS;
+            }
+            let mut k = i + b.len();
+            while carry > 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> BASE_BITS;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Shift magnitude left by `bits` (< 32).
+    fn shl_bits(mag: &[u32], bits: u32) -> Vec<u32> {
+        debug_assert!(bits < 32);
+        if bits == 0 {
+            return mag.to_vec();
+        }
+        let mut out = Vec::with_capacity(mag.len() + 1);
+        let mut carry = 0u32;
+        for &l in mag {
+            out.push((l << bits) | carry);
+            carry = (((l as u64) >> (32 - bits)) & u32::MAX as u64) as u32;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// Shift magnitude right by `bits` (< 32).
+    fn shr_bits(mag: &[u32], bits: u32) -> Vec<u32> {
+        debug_assert!(bits < 32);
+        if bits == 0 {
+            return mag.to_vec();
+        }
+        let mut out = vec![0u32; mag.len()];
+        let mut carry = 0u32;
+        for i in (0..mag.len()).rev() {
+            out[i] = (mag[i] >> bits) | carry;
+            carry = mag[i] << (32 - bits);
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Knuth Algorithm D: divides magnitudes, returning `(quotient, remainder)`.
+    fn div_rem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem = 0u64;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << BASE_BITS) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+        // Normalize so the top divisor limb has its high bit set.
+        let shift = b.last().unwrap().leading_zeros();
+        let mut u = Self::shl_bits(a, shift);
+        let v = Self::shl_bits(b, shift);
+        let n = v.len();
+        let m = u.len() - n;
+        u.push(0);
+        let mut q = vec![0u32; m + 1];
+        let v_top = v[n - 1] as u64;
+        let v_next = v[n - 2] as u64;
+        for j in (0..=m).rev() {
+            // Estimate the quotient digit from the top two limbs.
+            let num = ((u[j + n] as u64) << BASE_BITS) | u[j + n - 1] as u64;
+            let mut qhat = num / v_top;
+            let mut rhat = num % v_top;
+            while qhat >= 1u64 << BASE_BITS
+                || qhat * v_next > ((rhat << BASE_BITS) | u[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >= 1u64 << BASE_BITS {
+                    break;
+                }
+            }
+            // Multiply-subtract u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * v[i] as u64 + carry;
+                carry = p >> BASE_BITS;
+                let t = u[j + i] as i64 - (p as u32) as i64 - borrow;
+                if t < 0 {
+                    u[j + i] = (t + (1i64 << BASE_BITS)) as u32;
+                    borrow = 1;
+                } else {
+                    u[j + i] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = u[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // qhat was one too large; add back.
+                u[j + n] = (t + (1i64 << BASE_BITS)) as u32;
+                qhat -= 1;
+                let mut carry2 = 0u64;
+                for i in 0..n {
+                    let s = u[j + i] as u64 + v[i] as u64 + carry2;
+                    u[j + i] = s as u32;
+                    carry2 = s >> BASE_BITS;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry2 as u32);
+            } else {
+                u[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        u.truncate(n);
+        let r = Self::shr_bits(&u, shift);
+        (q, r)
+    }
+
+    /// Logical right shift of the magnitude by an arbitrary bit count
+    /// (sign preserved; shifts toward zero).
+    pub fn shr(&self, bits: usize) -> BigInt {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.mag.len() {
+            return BigInt::zero();
+        }
+        let shifted = Self::shr_bits(&self.mag[limb_shift..], (bits % 32) as u32);
+        BigInt::normalized(self.sign, shifted)
+    }
+
+    /// Truncated division with remainder: `self = q * other + r`, with
+    /// `|r| < |other|` and `r` sharing the sign of `self` (like Rust's `%`).
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        let (qm, rm) = Self::div_rem_mag(&self.mag, &other.mag);
+        let q = Self::normalized(self.sign * other.sign, qm);
+        let r = Self::normalized(self.sign, rm);
+        (q, r)
+    }
+
+    /// Greatest common divisor of the absolute values (always non-negative).
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Raises `self` to a non-negative integer power by repeated squaring.
+    pub fn pow(&self, mut e: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Approximate value as `f64` (may overflow to infinity).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.mag.iter().rev() {
+            v = v * 4294967296.0 + l as f64;
+        }
+        if self.sign < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Exact conversion to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.mag.len() > 2 {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for (i, &l) in self.mag.iter().enumerate() {
+            v |= (l as u64) << (32 * i);
+        }
+        if self.sign >= 0 {
+            (v <= i64::MAX as u64).then_some(v as i64)
+        } else if v <= i64::MAX as u64 + 1 {
+            Some((v as i64).wrapping_neg())
+        } else {
+            None
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<usize> for BigInt {
+    fn from(v: usize) -> Self {
+        BigInt::from(v as i128)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        let sign = match v.cmp(&0) {
+            Ordering::Less => -1,
+            Ordering::Equal => 0,
+            Ordering::Greater => 1,
+        };
+        let mut m = v.unsigned_abs();
+        let mut mag = Vec::new();
+        while m > 0 {
+            mag.push((m & u32::MAX as u128) as u32);
+            m >>= 32;
+        }
+        BigInt { sign, mag }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        let mag_ord = Self::cmp_mag(&self.mag, &other.mag);
+        if self.sign >= 0 {
+            mag_ord
+        } else {
+            mag_ord.reverse()
+        }
+    }
+}
+
+macro_rules! forward_ref_binop {
+    ($imp:ident, $method:ident for $t:ty) => {
+        impl $imp<$t> for $t {
+            type Output = $t;
+            fn $method(self, rhs: $t) -> $t {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $imp<&$t> for $t {
+            type Output = $t;
+            fn $method(self, rhs: &$t) -> $t {
+                (&self).$method(rhs)
+            }
+        }
+        impl $imp<$t> for &$t {
+            type Output = $t;
+            fn $method(self, rhs: $t) -> $t {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if self.sign == rhs.sign {
+            BigInt::normalized(self.sign, BigInt::add_mag(&self.mag, &rhs.mag))
+        } else {
+            match BigInt::cmp_mag(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::normalized(self.sign, BigInt::sub_mag(&self.mag, &rhs.mag))
+                }
+                Ordering::Less => {
+                    BigInt::normalized(rhs.sign, BigInt::sub_mag(&rhs.mag, &self.mag))
+                }
+            }
+        }
+    }
+}
+forward_ref_binop!(Add, add for BigInt);
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+forward_ref_binop!(Sub, sub for BigInt);
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::normalized(self.sign * rhs.sign, BigInt::mul_mag(&self.mag, &rhs.mag))
+    }
+}
+forward_ref_binop!(Mul, mul for BigInt);
+
+impl Div<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+forward_ref_binop!(Div, div for BigInt);
+
+impl Rem<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+forward_ref_binop!(Rem, rem for BigInt);
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = -self.sign;
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut chunks = Vec::new();
+        let chunk_base = BigInt::from(1_000_000_000i64);
+        let mut cur = self.abs();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&chunk_base);
+            chunks.push(r.mag.first().copied().unwrap_or(0));
+            cur = q;
+        }
+        if self.sign < 0 {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for c in chunks.iter().rev().skip(1) {
+            write!(f, "{:09}", c)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+/// Error type for parsing a [`BigInt`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer literal")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError);
+        }
+        let ten9 = BigInt::from(1_000_000_000i64);
+        let mut acc = BigInt::zero();
+        let bytes = digits.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(9);
+            let chunk: u64 = digits[i..i + take].parse().map_err(|_| ParseBigIntError)?;
+            let scale = BigInt::from(10i64).pow(take as u32);
+            acc = &(&acc * &scale) + &BigInt::from(chunk);
+            let _ = &ten9;
+            i += take;
+        }
+        Ok(if neg { -acc } else { acc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(b(2) + b(3), b(5));
+        assert_eq!(b(-2) + b(3), b(1));
+        assert_eq!(b(2) - b(3), b(-1));
+        assert_eq!(b(-4) * b(5), b(-20));
+        assert_eq!(b(20) / b(6), b(3));
+        assert_eq!(b(20) % b(6), b(2));
+        assert_eq!(b(-20) / b(6), b(-3));
+        assert_eq!(b(-20) % b(6), b(-2));
+    }
+
+    #[test]
+    fn zero_identities() {
+        assert!(BigInt::zero().is_zero());
+        assert_eq!(b(7) + BigInt::zero(), b(7));
+        assert_eq!(b(7) * BigInt::zero(), BigInt::zero());
+        assert_eq!(b(0), -b(0));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "-1", "123456789012345678901234567890", "-987654321000000000000001"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a3".parse::<BigInt>().is_err());
+        assert!("--1".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn big_multiplication_known_value() {
+        let a: BigInt = "123456789123456789123456789".parse().unwrap();
+        let c = &a * &a;
+        assert_eq!(
+            c.to_string(),
+            "15241578780673678546105778281054720515622620750190521"
+        );
+    }
+
+    #[test]
+    fn division_large_by_medium() {
+        let a: BigInt = "100000000000000000000000000000000000007".parse().unwrap();
+        let d: BigInt = "12345678910111213".parse().unwrap();
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&(&q * &d) + &r, a);
+        assert!(r.abs() < d.abs());
+    }
+
+    #[test]
+    fn gcd_examples() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(7).gcd(&b(0)), b(7));
+    }
+
+    #[test]
+    fn pow_examples() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(10).pow(0), b(1));
+        assert_eq!(b(-3).pow(3), b(-27));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(b(-5) < b(-4));
+        assert!(b(-1) < b(0));
+        assert!(b(0) < b(1));
+        let big: BigInt = "99999999999999999999".parse().unwrap();
+        assert!(b(1) < big);
+        assert!(-big.clone() < b(1));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(b(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(b(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!(b(i64::MAX as i128 + 1).to_i64(), None);
+        assert_eq!(b(-42).to_i64(), Some(-42));
+    }
+
+    #[test]
+    fn bit_len() {
+        assert_eq!(BigInt::zero().bit_len(), 0);
+        assert_eq!(b(1).bit_len(), 1);
+        assert_eq!(b(255).bit_len(), 8);
+        assert_eq!(b(256).bit_len(), 9);
+        assert_eq!(BigInt::from(1i64 << 40).bit_len(), 41);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in any::<i128>(), c in any::<i128>()) {
+            prop_assert_eq!(b(a) + b(c), b(c) + b(a));
+        }
+
+        #[test]
+        fn prop_roundtrip_i128(a in any::<i64>()) {
+            // i64 values times a large factor still roundtrip through div_rem.
+            let big = &b(a as i128) * &b(1_000_000_007i128);
+            let (q, r) = big.div_rem(&b(1_000_000_007i128));
+            prop_assert_eq!(q, b(a as i128));
+            prop_assert!(r.is_zero());
+        }
+
+        #[test]
+        fn prop_mul_matches_i128(a in -(1i64<<40)..(1i64<<40), c in -(1i64<<40)..(1i64<<40)) {
+            prop_assert_eq!(b(a as i128) * b(c as i128), b(a as i128 * c as i128));
+        }
+
+        #[test]
+        fn prop_div_rem_invariant(a in any::<i128>(), c in any::<i128>()) {
+            prop_assume!(c != 0);
+            let (q, r) = b(a).div_rem(&b(c));
+            prop_assert_eq!(&(&q * &b(c)) + &r, b(a));
+            prop_assert!(r.abs() < b(c).abs());
+        }
+
+        #[test]
+        fn prop_gcd_divides(a in any::<i64>(), c in any::<i64>()) {
+            let g = b(a as i128).gcd(&b(c as i128));
+            if !g.is_zero() {
+                prop_assert!((b(a as i128) % &g).is_zero());
+                prop_assert!((b(c as i128) % &g).is_zero());
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(c, 0);
+            }
+        }
+
+        #[test]
+        fn prop_string_roundtrip(a in any::<i128>()) {
+            let v = b(a);
+            let s = v.to_string();
+            prop_assert_eq!(s.parse::<BigInt>().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_distributive(a in any::<i64>(), c in any::<i64>(), d in any::<i64>()) {
+            let (a, c, d) = (b(a as i128), b(c as i128), b(d as i128));
+            prop_assert_eq!(&a * &(&c + &d), &(&a * &c) + &(&a * &d));
+        }
+    }
+}

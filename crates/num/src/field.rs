@@ -1,0 +1,171 @@
+//! The [`Field`] abstraction over exact rationals and tolerance-based floats.
+//!
+//! Every continuous-setting algorithm in the workspace (simplex, active-set QP,
+//! the ℓ2/ℓ1 explanation procedures) is generic over this trait. Instantiating
+//! with [`Rat`] yields exact, tie-correct computation — the mode all theory
+//! tests run in. Instantiating with `f64` yields the fast benchmarking mode,
+//! where sign tests are made against a small tolerance, mirroring what
+//! floating-point LP/QP solvers do in practice.
+
+use crate::rat::Rat;
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An ordered field with sign queries, as needed by the solvers.
+pub trait Field:
+    Clone
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embeds a machine integer.
+    fn from_i64(v: i64) -> Self;
+    /// Embeds a float; exact for [`Rat`] (dyadic decomposition).
+    fn from_f64(v: f64) -> Self;
+    /// Approximate float value (for reporting).
+    fn to_f64(&self) -> f64;
+    /// True iff the value is (numerically) zero.
+    fn is_zero(&self) -> bool;
+    /// True iff the value is (numerically) strictly positive.
+    fn is_positive(&self) -> bool;
+    /// True iff the value is (numerically) strictly negative.
+    fn is_negative(&self) -> bool;
+    /// Absolute value.
+    fn abs(&self) -> Self;
+    /// Whether this instantiation is exact (no tolerance).
+    fn exact() -> bool;
+}
+
+/// Comparison tolerance used by the `f64` instantiation.
+pub const F64_TOL: f64 = 1e-9;
+
+impl Field for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    fn is_zero(&self) -> bool {
+        self.abs() <= F64_TOL
+    }
+    fn is_positive(&self) -> bool {
+        *self > F64_TOL
+    }
+    fn is_negative(&self) -> bool {
+        *self < -F64_TOL
+    }
+    fn abs(&self) -> Self {
+        f64::abs(*self)
+    }
+    fn exact() -> bool {
+        false
+    }
+}
+
+impl Field for Rat {
+    fn zero() -> Self {
+        Rat::zero()
+    }
+    fn one() -> Self {
+        Rat::one()
+    }
+    fn from_i64(v: i64) -> Self {
+        Rat::from_int(v)
+    }
+    fn from_f64(v: f64) -> Self {
+        Rat::from_f64(v)
+    }
+    fn to_f64(&self) -> f64 {
+        Rat::to_f64(self)
+    }
+    fn is_zero(&self) -> bool {
+        Rat::is_zero(self)
+    }
+    fn is_positive(&self) -> bool {
+        Rat::is_positive(self)
+    }
+    fn is_negative(&self) -> bool {
+        Rat::is_negative(self)
+    }
+    fn abs(&self) -> Self {
+        Rat::abs(self)
+    }
+    fn exact() -> bool {
+        true
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot<F: Field>(a: &[F], b: &[F]) -> F {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = F::zero();
+    for (x, y) in a.iter().zip(b) {
+        acc = acc + x.clone() * y.clone();
+    }
+    acc
+}
+
+/// Squared Euclidean norm of a slice.
+pub fn norm_sq<F: Field>(a: &[F]) -> F {
+    dot(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_tolerance_semantics() {
+        assert!(Field::is_zero(&0.0f64));
+        assert!(Field::is_zero(&1e-12f64));
+        assert!(Field::is_positive(&1e-3f64));
+        assert!(!Field::is_positive(&1e-12f64));
+        assert!(Field::is_negative(&-1e-3f64));
+    }
+
+    #[test]
+    fn rat_exact_semantics() {
+        let tiny = Rat::new(1i64.into(), 1_000_000_000_000i64.into());
+        assert!(Field::is_positive(&tiny));
+        assert!(!Field::is_zero(&tiny));
+        assert!(Rat::exact());
+        assert!(!<f64 as Field>::exact());
+    }
+
+    #[test]
+    fn generic_dot_product() {
+        fn compute<F: Field>() -> F {
+            dot(
+                &[F::from_i64(1), F::from_i64(2), F::from_i64(3)],
+                &[F::from_i64(4), F::from_i64(5), F::from_i64(6)],
+            )
+        }
+        assert_eq!(compute::<f64>(), 32.0);
+        assert_eq!(compute::<Rat>(), Rat::from_int(32i64));
+    }
+
+    #[test]
+    fn norm_sq_matches_dot() {
+        let v = [Rat::frac(1, 2), Rat::frac(-3, 4)];
+        assert_eq!(norm_sq(&v), Rat::frac(13, 16));
+    }
+}

@@ -1,0 +1,27 @@
+//! Exact arbitrary-precision arithmetic for the `explainable-knn` workspace.
+//!
+//! The k-NN explanation problems studied by the paper are extremely sensitive to
+//! ties: the *optimistic* classification rule distinguishes `d(x,a) ≤ d(x,c)`
+//! from `d(x,a) < d(x,c)`, and several hardness constructions place points at
+//! exactly equal distances. Floating point cannot decide those ties reliably, so
+//! the theory-facing code paths run on exact rationals ([`Rat`]) backed by a
+//! sign-magnitude big integer ([`BigInt`]).
+//!
+//! The [`Field`] trait abstracts over the exact ([`Rat`]) and approximate
+//! (`f64`, tolerance-based) instantiations so that the LP/QP solvers and the
+//! explanation algorithms are written once and used in both modes:
+//! `Rat` is the ground truth in tests, `f64` is the benchmarking path.
+//!
+//! Only `rand`/`proptest`/`criterion`/`crossbeam`/`parking_lot`/`bytes`/`serde`
+//! are available offline, so this crate implements the big-number substrate from
+//! scratch (see DESIGN.md §1).
+
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod field;
+pub mod rat;
+
+pub use bigint::BigInt;
+pub use field::Field;
+pub use rat::Rat;

@@ -1,0 +1,482 @@
+//! Exact rational numbers as normalized [`BigInt`] fractions.
+
+use crate::bigint::BigInt;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariant: `den > 0` and `gcd(num, den) == 1` (with `num == 0 ⇒ den == 1`).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rat {
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Rat { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Rat { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Builds `num / den`, normalizing sign and common factors.
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rat::zero();
+        }
+        let g = num.gcd(&den);
+        let (mut num, mut den) = (&num / &g, &den / &g);
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
+    }
+
+    /// Builds the integer rational `v/1`.
+    pub fn from_int<T: Into<BigInt>>(v: T) -> Self {
+        Rat { num: v.into(), den: BigInt::one() }
+    }
+
+    /// Builds `p/q` from machine integers.
+    pub fn frac(p: i64, q: i64) -> Self {
+        Rat::new(BigInt::from(p), BigInt::from(q))
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff the value is > 0.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True iff the value is < 0.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Sign as -1, 0 or 1.
+    pub fn signum(&self) -> i8 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Integer power (negative exponents allowed for nonzero values).
+    pub fn pow(&self, e: i32) -> Rat {
+        if e >= 0 {
+            Rat { num: self.num.pow(e as u32), den: self.den.pow(e as u32) }
+        } else {
+            self.recip().pow(-e)
+        }
+    }
+
+    /// Approximate `f64` value.
+    ///
+    /// Works for operands of any magnitude by dividing ~60-bit prefixes of the
+    /// numerator and denominator and rescaling by the bit-length difference,
+    /// so values near the subnormal range still convert correctly.
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let nb = self.num.bit_len() as i64;
+        let db = self.den.bit_len() as i64;
+        if nb < 900 && db < 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        let n_top = self.num.abs().shr((nb - 60).max(0) as usize).to_f64();
+        let d_top = self.den.shr((db - 60).max(0) as usize).to_f64();
+        let exp = (nb - 60).max(0) - (db - 60).max(0);
+        let sign = if self.num.is_negative() { -1.0 } else { 1.0 };
+        let mut v = n_top / d_top;
+        // powi saturates sensibly for very large/small exponents.
+        v *= 2.0f64.powi(exp.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+        sign * v
+    }
+
+    /// Exact conversion from an `f64` (every finite float is a dyadic rational).
+    ///
+    /// Panics on NaN or infinity.
+    pub fn from_f64(v: f64) -> Rat {
+        assert!(v.is_finite(), "cannot convert non-finite float to Rat");
+        if v == 0.0 {
+            return Rat::zero();
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let mantissa = if exponent == 0 {
+            (bits & 0xf_ffff_ffff_ffff) << 1
+        } else {
+            (bits & 0xf_ffff_ffff_ffff) | 0x10_0000_0000_0000
+        };
+        // value = sign * mantissa * 2^(exponent - 1075)
+        let e = exponent - 1075;
+        let m = BigInt::from(mantissa) * BigInt::from(sign);
+        if e >= 0 {
+            Rat::from_int(m * BigInt::from(2i64).pow(e as u32))
+        } else {
+            Rat::new(m, BigInt::from(2i64).pow((-e) as u32))
+        }
+    }
+
+    /// Floor of the rational as a big integer.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling of the rational as a big integer.
+    pub fn ceil(&self) -> BigInt {
+        -((-self.clone()).floor())
+    }
+
+    /// The minimum of two rationals (by value).
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two rationals (by value).
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::from_int(v)
+    }
+}
+
+impl From<BigInt> for Rat {
+    fn from(v: BigInt) -> Self {
+        Rat::from_int(v)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  (b, d > 0)  ⟺  a*d vs c*b
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+macro_rules! forward_ref_binop_rat {
+    ($imp:ident, $method:ident) => {
+        impl $imp<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $imp<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                (&self).$method(rhs)
+            }
+        }
+        impl $imp<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl Add<&Rat> for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        Rat::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+forward_ref_binop_rat!(Add, add);
+
+impl Sub<&Rat> for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        Rat::new(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+forward_ref_binop_rat!(Sub, sub);
+
+impl Mul<&Rat> for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+forward_ref_binop_rat!(Mul, mul);
+
+impl Div<&Rat> for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &Rat) -> Rat {
+        assert!(!rhs.is_zero(), "division by zero rational");
+        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+forward_ref_binop_rat!(Div, div);
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        -self.clone()
+    }
+}
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == BigInt::one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+/// Error type for parsing a [`Rat`] from a string such as `"-3/4"` or `"2.5"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError;
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal")
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((n, d)) = s.split_once('/') {
+            let n: BigInt = n.trim().parse().map_err(|_| ParseRatError)?;
+            let d: BigInt = d.trim().parse().map_err(|_| ParseRatError)?;
+            if d.is_zero() {
+                return Err(ParseRatError);
+            }
+            return Ok(Rat::new(n, d));
+        }
+        if let Some((int, frac)) = s.split_once('.') {
+            let neg = int.trim_start().starts_with('-');
+            let int: BigInt = if int.is_empty() || int == "-" {
+                BigInt::zero()
+            } else {
+                int.parse().map_err(|_| ParseRatError)?
+            };
+            if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseRatError);
+            }
+            let scale = BigInt::from(10i64).pow(frac.len() as u32);
+            let frac_val: BigInt = frac.parse().map_err(|_| ParseRatError)?;
+            let mag = &(&int.abs() * &scale) + &frac_val;
+            let signed = if neg { -mag } else { mag };
+            return Ok(Rat::new(signed, scale));
+        }
+        let n: BigInt = s.parse().map_err(|_| ParseRatError)?;
+        Ok(Rat::from_int(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(p: i64, q: i64) -> Rat {
+        Rat::frac(p, q)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(0, 5).denom(), &BigInt::one());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+    }
+
+    #[test]
+    fn ordering_cross_multiplication() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 2) > r(10, 3));
+        assert_eq!(r(3, 9), r(1, 3));
+    }
+
+    #[test]
+    fn f64_exact_roundtrip() {
+        for v in [0.0, 1.0, -2.5, 0.1, 1e-30, 123456.789, f64::MIN_POSITIVE] {
+            let rv = Rat::from_f64(v);
+            assert_eq!(rv.to_f64(), v, "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(6, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(6, 2).ceil(), BigInt::from(3i64));
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("3/4".parse::<Rat>().unwrap(), r(3, 4));
+        assert_eq!("-3/4".parse::<Rat>().unwrap(), r(-3, 4));
+        assert_eq!("2.5".parse::<Rat>().unwrap(), r(5, 2));
+        assert_eq!("-0.125".parse::<Rat>().unwrap(), r(-1, 8));
+        assert_eq!("17".parse::<Rat>().unwrap(), r(17, 1));
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("a.b".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn pow_negative_exponent() {
+        assert_eq!(r(2, 3).pow(-2), r(9, 4));
+        assert_eq!(r(2, 3).pow(0), Rat::one());
+        assert_eq!(r(2, 3).pow(3), r(8, 27));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(r(-3, 7).recip(), r(-7, 3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in -1000i64..1000, b in 1i64..100, c in -1000i64..1000, d in 1i64..100) {
+            let x = r(a, b);
+            let y = r(c, d);
+            prop_assert_eq!(&x + &y, &y + &x);
+            prop_assert_eq!(&x * &y, &y * &x);
+            prop_assert_eq!(&(&x + &y) - &y, x.clone());
+            if !y.is_zero() {
+                prop_assert_eq!(&(&x / &y) * &y, x.clone());
+            }
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_f64(a in -10_000i64..10_000, b in 1i64..1000,
+                                             c in -10_000i64..10_000, d in 1i64..1000) {
+            let (x, y) = (r(a, b), r(c, d));
+            let (fx, fy) = (a as f64 / b as f64, c as f64 / d as f64);
+            if (fx - fy).abs() > 1e-6 {
+                prop_assert_eq!(x < y, fx < fy);
+            }
+        }
+
+        #[test]
+        fn prop_from_f64_exact(v in -1.0e15f64..1.0e15) {
+            let rv = Rat::from_f64(v);
+            prop_assert_eq!(rv.to_f64(), v);
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(a in any::<i64>(), b in 1i64..1_000_000) {
+            let x = r(a, b);
+            prop_assert_eq!(x.to_string().parse::<Rat>().unwrap(), x);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Dense exact linear algebra helpers (Gaussian elimination).
+
+use knn_num::Field;
+
+/// Solves the square system `M z = w` by Gaussian elimination with partial
+/// pivoting (largest |pivot| — meaningful for `f64`, harmless for `Rat`).
+///
+/// Returns `None` if `M` is singular.
+pub fn solve_square<F: Field>(m: &[Vec<F>], w: &[F]) -> Option<Vec<F>> {
+    let n = m.len();
+    debug_assert!(m.iter().all(|row| row.len() == n));
+    debug_assert_eq!(w.len(), n);
+    // Augmented matrix.
+    let mut a: Vec<Vec<F>> = m
+        .iter()
+        .zip(w)
+        .map(|(row, b)| {
+            let mut r = row.clone();
+            r.push(b.clone());
+            r
+        })
+        .collect();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = None;
+        let mut best = F::zero();
+        for (i, row) in a.iter().enumerate().skip(col) {
+            let v = row[col].abs();
+            if !v.is_zero() && (piv.is_none() || v > best) {
+                piv = Some(i);
+                best = v;
+            }
+        }
+        let piv = piv?;
+        a.swap(col, piv);
+        let inv = F::one() / a[col][col].clone();
+        for j in col..=n {
+            a[col][j] = a[col][j].clone() * inv.clone();
+        }
+        for i in 0..n {
+            if i == col {
+                continue;
+            }
+            let f = a[i][col].clone();
+            if f.is_zero() {
+                continue;
+            }
+            for j in col..=n {
+                a[i][j] = a[i][j].clone() - f.clone() * a[col][j].clone();
+            }
+        }
+    }
+    Some(a.into_iter().map(|row| row[row.len() - 1].clone()).collect())
+}
+
+/// Reduces `rows` (with right-hand sides) to an independent subset spanning the
+/// same affine constraints. Returns the indices of the kept rows, or `None` if
+/// the system is inconsistent (a zero row with nonzero rhs).
+pub fn independent_rows<F: Field>(rows: &[(Vec<F>, F)]) -> Option<Vec<usize>> {
+    if rows.is_empty() {
+        return Some(Vec::new());
+    }
+    let n = rows[0].0.len();
+    let mut kept: Vec<usize> = Vec::new();
+    // Row-echelon accumulation of the kept rows.
+    let mut echelon: Vec<(Vec<F>, F)> = Vec::new();
+    for (idx, (a, b)) in rows.iter().enumerate() {
+        let mut v = a.clone();
+        let mut rhs = b.clone();
+        for (e, erhs) in &echelon {
+            // Eliminate using the leading entry of e.
+            let lead = e.iter().position(|c| !c.is_zero()).unwrap();
+            if !v[lead].is_zero() {
+                let f = v[lead].clone() / e[lead].clone();
+                for j in 0..n {
+                    v[j] = v[j].clone() - f.clone() * e[j].clone();
+                }
+                rhs = rhs - f * erhs.clone();
+            }
+        }
+        if v.iter().all(|c| c.is_zero()) {
+            if !rhs.is_zero() {
+                return None; // inconsistent
+            }
+            continue; // dependent row
+        }
+        echelon.push((v, rhs));
+        kept.push(idx);
+    }
+    Some(kept)
+}
+
+/// Computes `M v` for a dense matrix (rows) and vector.
+pub fn mat_vec<F: Field>(m: &[Vec<F>], v: &[F]) -> Vec<F> {
+    m.iter().map(|row| knn_num::field::dot(row, v)).collect()
+}
+
+/// Computes the Gram matrix `A Aᵀ` of the given rows.
+pub fn gram<F: Field>(a: &[Vec<F>]) -> Vec<Vec<F>> {
+    a.iter()
+        .map(|ri| a.iter().map(|rj| knn_num::field::dot(ri, rj)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_num::Rat;
+
+    fn r(p: i64) -> Rat {
+        Rat::from_int(p)
+    }
+
+    #[test]
+    fn solve_2x2_exact() {
+        let m = vec![vec![r(2), r(1)], vec![r(1), r(3)]];
+        let w = vec![r(5), r(10)];
+        let z = solve_square(&m, &w).unwrap();
+        assert_eq!(z, vec![r(1), r(3)]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = vec![vec![r(1), r(2)], vec![r(2), r(4)]];
+        assert!(solve_square(&m, &vec![r(1), r(2)]).is_none());
+    }
+
+    #[test]
+    fn solve_with_pivoting_f64() {
+        let m = vec![vec![1e-12, 1.0], vec![1.0, 1.0]];
+        let w = vec![1.0, 2.0];
+        let z = solve_square(&m, &w).unwrap();
+        assert!((z[0] - 1.0).abs() < 1e-6);
+        assert!((z[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_rows_filtering() {
+        let rows = vec![
+            (vec![r(1), r(0)], r(1)),
+            (vec![r(2), r(0)], r(2)), // dependent, consistent
+            (vec![r(0), r(1)], r(3)),
+        ];
+        assert_eq!(independent_rows(&rows).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn inconsistent_rows_detected() {
+        let rows = vec![(vec![r(1), r(1)], r(1)), (vec![r(2), r(2)], r(3))];
+        assert!(independent_rows(&rows).is_none());
+    }
+
+    #[test]
+    fn gram_and_matvec() {
+        let a = vec![vec![r(1), r(2)], vec![r(3), r(4)]];
+        assert_eq!(mat_vec(&a, &[r(1), r(1)]), vec![r(3), r(7)]);
+        let g = gram(&a);
+        assert_eq!(g[0], vec![r(5), r(11)]);
+        assert_eq!(g[1], vec![r(11), r(25)]);
+    }
+}

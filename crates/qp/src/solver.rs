@@ -1,0 +1,374 @@
+//! Active-set projection onto a polyhedron.
+
+use crate::linalg::{gram, independent_rows, mat_vec, solve_square};
+use crate::polyhedron::Polyhedron;
+use knn_num::field::{dot, norm_sq};
+use knn_num::Field;
+
+/// Result of a projection QP.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QpOutcome<F> {
+    /// The closest point of the polyhedron to `x` and the squared distance.
+    Optimal {
+        /// The projection of `x` onto the polyhedron.
+        y: Vec<F>,
+        /// `‖x − y‖²`.
+        dist_sq: F,
+    },
+    /// The polyhedron is empty.
+    Infeasible,
+}
+
+impl<F: Field> QpOutcome<F> {
+    /// The optimal point, if any.
+    pub fn point(&self) -> Option<&[F]> {
+        match self {
+            QpOutcome::Optimal { y, .. } => Some(y),
+            QpOutcome::Infeasible => None,
+        }
+    }
+
+    /// The squared distance, if feasible.
+    pub fn dist_sq(&self) -> Option<&F> {
+        match self {
+            QpOutcome::Optimal { dist_sq, .. } => Some(dist_sq),
+            QpOutcome::Infeasible => None,
+        }
+    }
+}
+
+/// Minimizes `‖x − y‖²` over the closed polyhedron (Theorem 2's subproblem).
+///
+/// Strictly convex objective ⇒ the active-set iteration terminates finitely;
+/// with the exact field it is exact. The multiplier *drop* rule picks the most
+/// negative multiplier (lowest index on ties) and the *add* rule picks the
+/// first blocking constraint, which avoids cycling in practice; a generous
+/// iteration cap guards the float instantiation.
+pub fn project_onto_polyhedron<F: Field>(x: &[F], poly: &Polyhedron<F>) -> QpOutcome<F> {
+    project_onto_polyhedron_from(x, poly, None)
+}
+
+/// [`project_onto_polyhedron`] with an optional warm start: when `start` is a
+/// feasible point of the polyhedron, the phase-1 LP is skipped entirely —
+/// the dominant cost when projecting onto many Voronoi-type cells whose
+/// owning data point is trivially feasible (Theorem 2's inner loop).
+pub fn project_onto_polyhedron_from<F: Field>(
+    x: &[F],
+    poly: &Polyhedron<F>,
+    start: Option<&[F]>,
+) -> QpOutcome<F> {
+    let n = poly.dim();
+    assert_eq!(x.len(), n);
+
+    // Independent equality rows (also detects inconsistent equalities early).
+    let eqs = poly.eqs();
+    let Some(eq_keep) = independent_rows(eqs) else {
+        return QpOutcome::Infeasible;
+    };
+    let eq_rows: Vec<(Vec<F>, F)> = eq_keep.iter().map(|&i| eqs[i].clone()).collect();
+
+    let warm = start.filter(|s| poly.contains(s)).map(|s| s.to_vec());
+    let Some(mut y) = warm.or_else(|| poly.feasible_point()) else {
+        return QpOutcome::Infeasible;
+    };
+
+    let ineqs = poly.ineqs();
+    let mut working: Vec<usize> = Vec::new(); // indices into ineqs
+    let cap = 200 + 20 * (n + ineqs.len() + eq_rows.len());
+
+    for _iter in 0..cap {
+        // Active matrix A: equality rows first, then working inequalities.
+        let active: Vec<&Vec<F>> = eq_rows
+            .iter()
+            .map(|(a, _)| a)
+            .chain(working.iter().map(|&j| &ineqs[j].0))
+            .collect();
+        let r: Vec<F> = x.iter().zip(&y).map(|(xi, yi)| xi.clone() - yi.clone()).collect();
+
+        // Project r onto the null space of A.
+        let p = if active.is_empty() {
+            r.clone()
+        } else {
+            let a_rows: Vec<Vec<F>> = active.iter().map(|a| (*a).clone()).collect();
+            let g = gram(&a_rows);
+            let ar = mat_vec(&a_rows, &r);
+            match solve_square(&g, &ar) {
+                Some(z) => {
+                    let mut p = r.clone();
+                    for (zi, row) in z.iter().zip(&a_rows) {
+                        for (pk, ak) in p.iter_mut().zip(row) {
+                            *pk = pk.clone() - zi.clone() * ak.clone();
+                        }
+                    }
+                    p
+                }
+                None => {
+                    // Dependent working set (can only happen through degenerate
+                    // additions); drop the most recently added inequality.
+                    working.pop();
+                    continue;
+                }
+            }
+        };
+
+        if norm_sq(&p).is_zero() {
+            // Stationary on the active set: check multipliers.
+            if working.is_empty() {
+                return finish(x, y);
+            }
+            let a_rows: Vec<Vec<F>> = eq_rows
+                .iter()
+                .map(|(a, _)| a.clone())
+                .chain(working.iter().map(|&j| ineqs[j].0.clone()))
+                .collect();
+            let g = gram(&a_rows);
+            let two_r: Vec<F> = r.iter().map(|v| v.clone() + v.clone()).collect();
+            let rhs = mat_vec(&a_rows, &two_r);
+            let Some(lambda) = solve_square(&g, &rhs) else {
+                working.pop();
+                continue;
+            };
+            // Multipliers of the working inequalities sit after the equalities.
+            let mut worst: Option<(usize, F)> = None;
+            for (pos, &j) in working.iter().enumerate() {
+                let l = &lambda[eq_rows.len() + pos];
+                if l.is_negative() {
+                    match &worst {
+                        Some((_, w)) if *l >= *w => {}
+                        _ => worst = Some((pos, l.clone())),
+                    }
+                }
+                let _ = j;
+            }
+            match worst {
+                None => return finish(x, y),
+                Some((pos, _)) => {
+                    working.remove(pos);
+                }
+            }
+            continue;
+        }
+
+        // Line search toward y + p, blocked by inactive inequalities.
+        let mut alpha = F::one();
+        let mut blocker: Option<usize> = None;
+        for (j, (a, b)) in ineqs.iter().enumerate() {
+            if working.contains(&j) {
+                continue;
+            }
+            let d = dot(a, &p);
+            if d.is_positive() {
+                let slack = b.clone() - dot(a, &y);
+                let t = slack / d;
+                let t = if t.is_negative() { F::zero() } else { t };
+                if t < alpha {
+                    alpha = t;
+                    blocker = Some(j);
+                }
+            }
+        }
+        if !alpha.is_zero() {
+            for (yk, pk) in y.iter_mut().zip(&p) {
+                *yk = yk.clone() + alpha.clone() * pk.clone();
+            }
+        }
+        if let Some(j) = blocker {
+            working.push(j);
+        }
+    }
+    panic!("active-set QP exceeded {cap} iterations; numerically stuck");
+}
+
+fn finish<F: Field>(x: &[F], y: Vec<F>) -> QpOutcome<F> {
+    let diff: Vec<F> = x.iter().zip(&y).map(|(a, b)| a.clone() - b.clone()).collect();
+    let dist_sq = norm_sq(&diff);
+    QpOutcome::Optimal { y, dist_sq }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_num::Rat;
+
+    fn r(p: i64, q: i64) -> Rat {
+        Rat::frac(p, q)
+    }
+
+    fn unit_box() -> Polyhedron<Rat> {
+        let mut p = Polyhedron::whole_space(2);
+        p.add_ge(vec![r(1, 1), r(0, 1)], r(0, 1));
+        p.add_le(vec![r(1, 1), r(0, 1)], r(1, 1));
+        p.add_ge(vec![r(0, 1), r(1, 1)], r(0, 1));
+        p.add_le(vec![r(0, 1), r(1, 1)], r(1, 1));
+        p
+    }
+
+    #[test]
+    fn interior_point_projects_to_itself() {
+        let x = [r(1, 2), r(1, 3)];
+        match project_onto_polyhedron(&x, &unit_box()) {
+            QpOutcome::Optimal { y, dist_sq } => {
+                assert_eq!(y, vec![r(1, 2), r(1, 3)]);
+                assert!(dist_sq.is_zero());
+            }
+            _ => panic!("feasible box"),
+        }
+    }
+
+    #[test]
+    fn face_projection() {
+        let x = [r(2, 1), r(1, 2)];
+        match project_onto_polyhedron(&x, &unit_box()) {
+            QpOutcome::Optimal { y, dist_sq } => {
+                assert_eq!(y, vec![r(1, 1), r(1, 2)]);
+                assert_eq!(dist_sq, r(1, 1));
+            }
+            _ => panic!("feasible box"),
+        }
+    }
+
+    #[test]
+    fn corner_projection() {
+        let x = [r(3, 1), r(4, 1)];
+        match project_onto_polyhedron(&x, &unit_box()) {
+            QpOutcome::Optimal { y, dist_sq } => {
+                assert_eq!(y, vec![r(1, 1), r(1, 1)]);
+                assert_eq!(dist_sq, r(13, 1)); // 2² + 3²
+            }
+            _ => panic!("feasible box"),
+        }
+    }
+
+    #[test]
+    fn projection_onto_affine_line() {
+        // Project the origin onto {x + y = 1}: closest point (1/2, 1/2).
+        let mut p = Polyhedron::whole_space(2);
+        p.add_eq(vec![r(1, 1), r(1, 1)], r(1, 1));
+        match project_onto_polyhedron(&[r(0, 1), r(0, 1)], &p) {
+            QpOutcome::Optimal { y, dist_sq } => {
+                assert_eq!(y, vec![r(1, 2), r(1, 2)]);
+                assert_eq!(dist_sq, r(1, 2));
+            }
+            _ => panic!("line is nonempty"),
+        }
+    }
+
+    #[test]
+    fn projection_onto_simplex() {
+        // {x ≥ 0, y ≥ 0, x + y ≤ 1} from (2,2) → (1/2, 1/2).
+        let mut p = Polyhedron::whole_space(2);
+        p.add_ge(vec![r(1, 1), r(0, 1)], r(0, 1));
+        p.add_ge(vec![r(0, 1), r(1, 1)], r(0, 1));
+        p.add_le(vec![r(1, 1), r(1, 1)], r(1, 1));
+        match project_onto_polyhedron(&[r(2, 1), r(2, 1)], &p) {
+            QpOutcome::Optimal { y, dist_sq } => {
+                assert_eq!(y, vec![r(1, 2), r(1, 2)]);
+                assert_eq!(dist_sq, r(9, 2));
+            }
+            _ => panic!("simplex is nonempty"),
+        }
+    }
+
+    #[test]
+    fn infeasible_polyhedron() {
+        let mut p = Polyhedron::whole_space(1);
+        p.add_ge(vec![r(1, 1)], r(1, 1));
+        p.add_le(vec![r(1, 1)], r(0, 1));
+        assert_eq!(
+            project_onto_polyhedron(&[r(0, 1)], &p),
+            QpOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn redundant_constraints_tolerated() {
+        let mut p = unit_box();
+        // Duplicate a face twice more.
+        p.add_le(vec![r(1, 1), r(0, 1)], r(1, 1));
+        p.add_le(vec![r(2, 1), r(0, 1)], r(2, 1));
+        match project_onto_polyhedron(&[r(5, 1), r(1, 2)], &p) {
+            QpOutcome::Optimal { y, .. } => assert_eq!(y, vec![r(1, 1), r(1, 2)]),
+            _ => panic!("feasible"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_equalities() {
+        let mut p = Polyhedron::whole_space(2);
+        p.add_eq(vec![r(1, 1), r(1, 1)], r(1, 1));
+        p.add_eq(vec![r(2, 1), r(2, 1)], r(3, 1));
+        assert_eq!(
+            project_onto_polyhedron(&[r(0, 1), r(0, 1)], &p),
+            QpOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn exact_and_float_agree_on_random_projections() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..4usize);
+            let m = rng.gen_range(1..6usize);
+            let mut pr = Polyhedron::<Rat>::whole_space(n);
+            let mut pf = Polyhedron::<f64>::whole_space(n);
+            for _ in 0..m {
+                let a: Vec<i64> = (0..n).map(|_| rng.gen_range(-3i64..4)).collect();
+                if a.iter().all(|&v| v == 0) {
+                    continue;
+                }
+                let b = rng.gen_range(0i64..8);
+                pr.add_le(a.iter().map(|&v| Rat::from_int(v)).collect(), Rat::from_int(b));
+                pf.add_le(a.iter().map(|&v| v as f64).collect(), b as f64);
+            }
+            let x: Vec<i64> = (0..n).map(|_| rng.gen_range(-5i64..6)).collect();
+            let xr: Vec<Rat> = x.iter().map(|&v| Rat::from_int(v)).collect();
+            let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+            let or = project_onto_polyhedron(&xr, &pr);
+            let of = project_onto_polyhedron(&xf, &pf);
+            match (or, of) {
+                (
+                    QpOutcome::Optimal { dist_sq: dr, y: yr },
+                    QpOutcome::Optimal { dist_sq: df, .. },
+                ) => {
+                    assert!(
+                        (dr.to_f64() - df).abs() < 1e-6,
+                        "distance mismatch: exact {dr} vs float {df}"
+                    );
+                    assert!(pr.contains(&yr), "exact projection must stay feasible");
+                }
+                (QpOutcome::Infeasible, QpOutcome::Infeasible) => {}
+                (a, b) => panic!("outcome class mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn optimality_dominates_random_feasible_points() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let poly = unit_box();
+        for _ in 0..40 {
+            let x = [
+                Rat::frac(rng.gen_range(-40i64..40), 8),
+                Rat::frac(rng.gen_range(-40i64..40), 8),
+            ];
+            let QpOutcome::Optimal { dist_sq, .. } = project_onto_polyhedron(&x, &poly) else {
+                panic!("box feasible");
+            };
+            for _ in 0..10 {
+                let z = [
+                    Rat::frac(rng.gen_range(0i64..=8), 8),
+                    Rat::frac(rng.gen_range(0i64..=8), 8),
+                ];
+                let d: Rat = norm_sq(&[
+                    x[0].clone() - z[0].clone(),
+                    x[1].clone() - z[1].clone(),
+                ]);
+                assert!(d >= dist_sq, "random feasible point beats 'optimal' projection");
+            }
+        }
+    }
+}

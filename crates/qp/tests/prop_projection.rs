@@ -1,0 +1,142 @@
+//! Property tests for the projection QP (`min ‖x − y‖²` over a polyhedron):
+//! feasibility, optimality against sampled feasible points, and the
+//! variational characterization of Euclidean projections.
+
+use knn_qp::{project_onto_polyhedron, Polyhedron, QpOutcome};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-5;
+
+/// A random polyhedron guaranteed nonempty: every halfspace is offset to
+/// keep a designated anchor point feasible with nonnegative slack.
+#[derive(Clone, Debug)]
+struct Instance {
+    n: usize,
+    anchor: Vec<f64>,
+    halfspaces: Vec<(Vec<f64>, f64)>, // a·y ≤ b with a·anchor ≤ b
+    x: Vec<f64>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1..=4usize).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-2.0..2.0f64, n),
+            prop::collection::vec(
+                (prop::collection::vec(-2.0..2.0f64, n), 0.0..1.5f64),
+                1..=6,
+            ),
+            prop::collection::vec(-3.0..3.0f64, n),
+        )
+            .prop_map(move |(anchor, rows, x)| {
+                let halfspaces = rows
+                    .into_iter()
+                    .filter(|(a, _)| a.iter().any(|&c| c.abs() > 1e-6))
+                    .map(|(a, slack)| {
+                        let b = dot(&a, &anchor) + slack;
+                        (a, b)
+                    })
+                    .collect();
+                Instance { n, anchor, halfspaces, x }
+            })
+    })
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn build(inst: &Instance) -> Polyhedron<f64> {
+    let mut p = Polyhedron::whole_space(inst.n);
+    for (a, b) in &inst.halfspaces {
+        p.add_le(a.clone(), *b);
+    }
+    p
+}
+
+fn feasible(inst: &Instance, y: &[f64]) -> bool {
+    inst.halfspaces.iter().all(|(a, b)| dot(a, y) <= b + TOL)
+}
+
+/// Deterministic feasible samples: blends of the anchor and projections of
+/// box points toward it (all convex blends with the anchor stay feasible
+/// only if the other end is feasible, so rejection-filter the blends).
+fn feasible_samples(inst: &Instance) -> Vec<Vec<f64>> {
+    let mut out = vec![inst.anchor.clone()];
+    let mut state = 0xD1B5_4A32_D192_ED03u64;
+    for _ in 0..96 {
+        let mut y = Vec::with_capacity(inst.n);
+        for j in 0..inst.n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            y.push(inst.anchor[j] + (u - 0.5) * 4.0);
+        }
+        if feasible(inst, &y) {
+            out.push(y);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The projection exists (anchor guarantees nonemptiness), is feasible,
+    /// reports the right distance, and no sampled feasible point is closer.
+    #[test]
+    fn projection_is_feasible_and_closest(inst in instance_strategy()) {
+        let poly = build(&inst);
+        match project_onto_polyhedron(&inst.x, &poly) {
+            QpOutcome::Infeasible => {
+                prop_assert!(false, "anchor {:?} is feasible by construction", inst.anchor);
+            }
+            QpOutcome::Optimal { y, dist_sq: d } => {
+                prop_assert!(feasible(&inst, &y), "projection {y:?} infeasible");
+                prop_assert!((dist_sq(&inst.x, &y) - d).abs() < 1e-4,
+                    "reported dist_sq {d} vs actual {}", dist_sq(&inst.x, &y));
+                for s in feasible_samples(&inst) {
+                    prop_assert!(
+                        dist_sq(&inst.x, &s) >= d - 1e-4,
+                        "sample {s:?} closer than the projection"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Variational inequality: `⟨x − p, y − p⟩ ≤ 0` for all feasible y —
+    /// the defining property of Euclidean projection onto a convex set.
+    #[test]
+    fn variational_inequality_holds(inst in instance_strategy()) {
+        let poly = build(&inst);
+        if let QpOutcome::Optimal { y: p, .. } = project_onto_polyhedron(&inst.x, &poly) {
+            let xm: Vec<f64> = inst.x.iter().zip(&p).map(|(a, b)| a - b).collect();
+            for s in feasible_samples(&inst) {
+                let sm: Vec<f64> = s.iter().zip(&p).map(|(a, b)| a - b).collect();
+                prop_assert!(
+                    dot(&xm, &sm) <= 1e-3,
+                    "⟨x−p, y−p⟩ = {} > 0 for feasible {s:?}",
+                    dot(&xm, &sm)
+                );
+            }
+        }
+    }
+
+    /// Projecting a feasible point returns (essentially) the point itself.
+    #[test]
+    fn projection_of_feasible_point_is_identity(inst in instance_strategy()) {
+        let poly = build(&inst);
+        if let QpOutcome::Optimal { dist_sq: d, .. } =
+            project_onto_polyhedron(&inst.anchor, &poly)
+        {
+            prop_assert!(d < 1e-6, "anchor is feasible; distance must be ~0, got {d}");
+        } else {
+            prop_assert!(false, "nonempty polyhedron reported infeasible");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Proposition 5 and Theorem 6: Vertex Cover → p-BMCF → k-Counterfactual
+//! ({0,1}, D_H).
+//!
+//! `p`-Boolean Matrix Column Flipping: given an `m × n` boolean matrix `B`
+//! and `ℓ ≤ n`, is there a column set `T`, `|T| ≤ ℓ`, such that after
+//! flipping the columns of `T` at least `m − p` rows have weight ≤ **`|T|`**?
+//!
+//! **Erratum note.** The paper states the row-weight bound as `|T| − 1`.
+//! Carrying out the distance bookkeeping of Theorem 6's construction exactly
+//! (and checking it mechanically against brute force — see the tests) gives:
+//! with `x̄ = 1̄`, anchor flips `T` inside the matrix block, every `S⁻` tail
+//! sits at distance `n − |T| + p` and the row `b` of `S⁺` at
+//! `n − w_T(b) + p + 1`, so `f(ȳ) = 0` ⟺ the `(p+1)`-st largest flipped row
+//! weight is ≤ `|T|` — the bound `|T| − 1` makes the published equivalence
+//! fail on small instances (e.g. rows `{01011, 00011, 01001}`, `ℓ = 1`,
+//! `p = 1`). We therefore use the corrected bound; the NP-hardness chain is
+//! unaffected and even simplifies: flipping a column set `T` turns an edge
+//! row's weight into `|T| + 2 − 2|e ∩ T|`, so "weight ≤ |T|" is *exactly*
+//! "`T` covers `e`", and Vertex Cover embeds with no extra column.
+
+use knn_core::{BitVec, BooleanDataset, OddK};
+use knn_datasets::Graph;
+
+/// A p-BMCF instance (with the corrected weight bound; see module docs).
+#[derive(Clone, Debug)]
+pub struct BmcfInstance {
+    /// Row-major boolean matrix.
+    pub rows: Vec<BitVec>,
+    /// Column budget `ℓ`.
+    pub budget: usize,
+    /// The slack parameter `p`.
+    pub p: usize,
+}
+
+impl BmcfInstance {
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.len())
+    }
+
+    /// Evaluates a specific column set `T` against the BMCF condition:
+    /// at least `m − p` rows of the column-flipped matrix have weight ≤ `|T|`.
+    pub fn satisfied_by(&self, t: &[usize]) -> bool {
+        if t.len() > self.budget {
+            return false;
+        }
+        let mut good_rows = 0;
+        for row in &self.rows {
+            let mut w = 0usize;
+            for i in 0..row.len() {
+                if row.get(i) != t.contains(&i) {
+                    w += 1;
+                }
+            }
+            if w <= t.len() {
+                good_rows += 1;
+            }
+        }
+        good_rows + self.p >= self.rows.len()
+    }
+
+    /// Brute-force decision (exponential in the number of columns).
+    pub fn brute_force(&self) -> bool {
+        let n = self.n_cols();
+        assert!(n <= 20);
+        for mask in 0u32..(1u32 << n) {
+            if (mask.count_ones() as usize) > self.budget {
+                continue;
+            }
+            let t: Vec<usize> = (0..n).filter(|i| (mask >> i) & 1 == 1).collect();
+            if self.satisfied_by(&t) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Proposition 5 (simplified by the corrected bound): modified Vertex Cover
+/// (cover all but ≤ p edges with ≤ ℓ vertices) → p-BMCF on the transposed
+/// incidence matrix with the same budget.
+pub fn vertex_cover_to_bmcf(g: &Graph, l: usize, p: usize) -> BmcfInstance {
+    let n = g.n_vertices();
+    let mut rows = Vec::with_capacity(g.n_edges());
+    for (u, v) in g.edges() {
+        let mut row = BitVec::zeros(n);
+        row.set(u, true);
+        row.set(v, true);
+        rows.push(row);
+    }
+    BmcfInstance { rows, budget: l, p }
+}
+
+/// Brute-force for the modified Vertex Cover source problem: is there
+/// `V' ⊆ V`, `|V'| ≤ l`, covering at least `|E| − p` edges?
+pub fn almost_vertex_cover(g: &Graph, l: usize, p: usize) -> bool {
+    let n = g.n_vertices();
+    assert!(n <= 20);
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    for mask in 0u32..(1u32 << n) {
+        if (mask.count_ones() as usize) > l {
+            continue;
+        }
+        let covered = edges
+            .iter()
+            .filter(|&&(u, v)| (mask >> u) & 1 == 1 || (mask >> v) & 1 == 1)
+            .count();
+        if covered + p >= edges.len() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The discrete counterfactual instance of Theorem 6.
+#[derive(Clone, Debug)]
+pub struct HammingCfInstance {
+    /// The dataset.
+    pub ds: BooleanDataset,
+    /// The anchor `x̄ = 1̄`.
+    pub x: BitVec,
+    /// The distance bound `ℓ`.
+    pub radius: usize,
+    /// The neighborhood size `k = 2p + 1`.
+    pub k: OddK,
+}
+
+/// Theorem 6: p-BMCF → (2p+1)-Counterfactual({0,1}, D_H).
+///
+/// The instance must satisfy the proof's normalizations: no repeated rows,
+/// every row with at least two 0s **and two 1s** (the incidence rows of
+/// Proposition 5 satisfy both for n ≥ 4 — two 1s keep all positives closer
+/// to `x̄ = 1̄` than the one-hot negatives, so `f(x̄) = 1`), and `m ≥ p + 1`.
+pub fn bmcf_to_counterfactual(inst: &BmcfInstance) -> HammingCfInstance {
+    let n = inst.n_cols();
+    let p = inst.p;
+    let m = inst.rows.len();
+    assert!(m >= p + 1, "need at least p+1 rows");
+    let dim = n + p + 1;
+    let mut pos = Vec::with_capacity(m);
+    for row in &inst.rows {
+        assert!(
+            row.len() - row.weight() >= 2 && row.weight() >= 2,
+            "each row needs at least two 0s and two 1s (proof normalization)"
+        );
+        pos.push(row.concat(&BitVec::zeros(p + 1)));
+    }
+    // S⁻: the p+1 tails 0ⁿ⁺ʲ 1 0^{p−j}.
+    let mut neg = Vec::with_capacity(p + 1);
+    for j in 0..=p {
+        let mut t = BitVec::zeros(dim);
+        t.set(n + j, true);
+        neg.push(t);
+    }
+    HammingCfInstance {
+        ds: BooleanDataset::from_sets(pos, neg),
+        x: BitVec::ones(dim),
+        radius: inst.budget,
+        k: OddK::of((2 * p + 1) as u32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_core::classifier::BooleanKnn;
+    use knn_core::counterfactual::hamming::within_sat;
+    use knn_core::Label;
+    use knn_datasets::graphs::random_graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bmcf_brute_force_sanity() {
+        // Rows 1100 and 0110: T = {1} flips column 1: rows become 1000 (w=1 ≤ 1)
+        // and 0010 (w=1 ≤ 1): satisfied with budget 1 and p = 0.
+        let rows = vec![
+            BitVec::from_bits(&[1, 1, 0, 0]),
+            BitVec::from_bits(&[0, 1, 1, 0]),
+        ];
+        let inst = BmcfInstance { rows: rows.clone(), budget: 1, p: 0 };
+        assert!(inst.satisfied_by(&[1]));
+        assert!(inst.brute_force());
+        // Budget 0: both rows keep weight 2 > 0: unsatisfied.
+        let zero = BmcfInstance { rows, budget: 0, p: 0 };
+        assert!(!zero.brute_force());
+    }
+
+    #[test]
+    fn vc_to_bmcf_equivalence() {
+        let mut rng = StdRng::seed_from_u64(130);
+        for round in 0..30 {
+            let g = random_graph(&mut rng, 5, 0.6);
+            if g.n_edges() < 2 {
+                continue;
+            }
+            let p = rng.gen_range(0..2usize);
+            let l = rng.gen_range(0..4usize);
+            let bmcf = vertex_cover_to_bmcf(&g, l, p);
+            assert_eq!(
+                almost_vertex_cover(&g, l, p),
+                bmcf.brute_force(),
+                "round {round}: G={g:?} l={l} p={p}"
+            );
+        }
+    }
+
+    fn random_bmcf(rng: &mut StdRng, p: usize) -> Option<BmcfInstance> {
+        let n = rng.gen_range(4..6usize);
+        let m = rng.gen_range(p + 1..p + 4);
+        let mut rows: Vec<BitVec> = Vec::new();
+        for _ in 0..m {
+            // Between 2 and n−2 ones per row (normalization: two 1s, two 0s).
+            let mut row = BitVec::zeros(n);
+            let ones = rng.gen_range(2..=(n - 2));
+            let mut idxs: Vec<usize> = (0..n).collect();
+            for i in (1..idxs.len()).rev() {
+                idxs.swap(i, rng.gen_range(0..=i));
+            }
+            for &i in idxs.iter().take(ones) {
+                row.set(i, true);
+            }
+            if rows.contains(&row) {
+                return None; // repeated rows violate the normalization
+            }
+            rows.push(row);
+        }
+        let budget = rng.gen_range(1..=n);
+        Some(BmcfInstance { rows, budget, p })
+    }
+
+    #[test]
+    fn bmcf_to_cf_equivalence_p0_and_p1() {
+        let mut rng = StdRng::seed_from_u64(131);
+        let mut tested = 0;
+        while tested < 30 {
+            let p = rng.gen_range(0..2usize);
+            let Some(inst) = random_bmcf(&mut rng, p) else {
+                continue;
+            };
+            tested += 1;
+            let cf = bmcf_to_counterfactual(&inst);
+            let knn = BooleanKnn::new(&cf.ds, cf.k);
+            assert_eq!(knn.classify(&cf.x), Label::Positive, "f(x̄) = 1 by construction");
+            let sat = within_sat(&cf.ds, cf.k, &cf.x, cf.radius);
+            assert_eq!(inst.brute_force(), sat, "instance {inst:?}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_vertex_cover_to_counterfactual() {
+        // Full pipeline: VC → BMCF → CF, checked against brute-force VC.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]); // path, τ = 2
+        for l in 1..4usize {
+            let bmcf = vertex_cover_to_bmcf(&g, l, 0);
+            let cf = bmcf_to_counterfactual(&bmcf);
+            let sat = within_sat(&cf.ds, cf.k, &cf.x, cf.radius);
+            assert_eq!(
+                g.has_vertex_cover_of_size(l),
+                sat,
+                "budget {l}: τ(G) = {}",
+                g.min_vertex_cover_size()
+            );
+        }
+    }
+}

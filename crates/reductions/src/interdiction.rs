@@ -1,0 +1,199 @@
+//! Theorems 8 and 9: Σ₂ᵖ-completeness of Minimum-SR in the discrete setting.
+//!
+//! * [`independent_set_interdiction`] / [`exists_forall_vertex_cover`] —
+//!   brute-force ground truth for the two quantified graph problems;
+//! * [`isi_to_eavc`] — Theorem 9's reduction `(G, p, q) ↦ (G, p, |V| − q)`;
+//! * [`eavc_to_minimum_sr`] — Theorem 8: the `(S⁺, S⁻, x̄)` of Theorem 7
+//!   turns ∃∀-VC into "is there a sufficient reason of size ≤ p?".
+
+use crate::vc_check_sr::{self, VcCheckSrInstance};
+use knn_core::OddK;
+use knn_datasets::Graph;
+
+/// Brute force for Independent Set Interdiction: is there `S ⊆ V`, `|S| ≤ p`,
+/// meeting every independent set of size ≥ q?
+pub fn independent_set_interdiction(g: &Graph, p: usize, q: usize) -> bool {
+    let n = g.n_vertices();
+    assert!(n <= 16);
+    'outer: for s_mask in 0u32..(1u32 << n) {
+        if (s_mask.count_ones() as usize) > p {
+            continue;
+        }
+        // Every independent set of size ≥ q must intersect S.
+        for i_mask in 0u32..(1u32 << n) {
+            if (i_mask.count_ones() as usize) < q || i_mask & s_mask != 0 {
+                continue;
+            }
+            let set: Vec<usize> = (0..n).filter(|v| (i_mask >> v) & 1 == 1).collect();
+            if g.is_independent(&set) {
+                continue 'outer; // S misses this independent set
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Brute force for ∃∀-Vertex-Cover: is there `S ⊆ V`, `|S| ≤ p`, such that no
+/// superset `S' ⊇ S` with `|S'| ≤ q` is a vertex cover?
+pub fn exists_forall_vertex_cover(g: &Graph, p: usize, q: usize) -> bool {
+    let n = g.n_vertices();
+    assert!(n <= 16);
+    'outer: for s_mask in 0u32..(1u32 << n) {
+        if (s_mask.count_ones() as usize) > p {
+            continue;
+        }
+        for sp_mask in 0u32..(1u32 << n) {
+            if sp_mask & s_mask != s_mask || (sp_mask.count_ones() as usize) > q {
+                continue;
+            }
+            let cover: Vec<usize> = (0..n).filter(|v| (sp_mask >> v) & 1 == 1).collect();
+            if g.is_vertex_cover(&cover) {
+                continue 'outer; // a small covering superset exists
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Theorem 9: ISI`(G, p, q)` ⟺ ∃∀-VC`(G, p, |V| − q)`.
+pub fn isi_to_eavc(g: &Graph, p: usize, q: usize) -> (Graph, usize, usize) {
+    (g.clone(), p, g.n_vertices().saturating_sub(q))
+}
+
+/// Theorem 9's normalization: pushes an ∃∀-VC instance into the regime
+/// `n/2 ≤ q ≤ n − 2` needed by Theorem 8. Returns `None` when the instance is
+/// trivially NO (`q ≥ n − 1`: every ≥(n−1)-subset is a cover).
+pub fn normalize_eavc(g: &Graph, p: usize, q: usize) -> Option<(Graph, usize, usize)> {
+    let n = g.n_vertices();
+    if q >= n.saturating_sub(1) {
+        return None;
+    }
+    if 2 * q >= n {
+        return Some((g.clone(), p, q));
+    }
+    let fresh = n - 2 * q;
+    let mut g2 = Graph::new(n + fresh);
+    for (u, v) in g.edges() {
+        g2.add_edge(u, v);
+    }
+    for f in 0..fresh {
+        for v in 0..n {
+            g2.add_edge(n + f, v);
+        }
+    }
+    Some((g2, p, n - q))
+}
+
+/// Theorem 8: builds the Minimum-SR instance (the decision is
+/// "∃ sufficient reason of size ≤ p"). `q` must be normalized.
+pub fn eavc_to_minimum_sr(g: &Graph, q: usize, k: OddK) -> VcCheckSrInstance {
+    vc_check_sr::instance(g, q, k)
+}
+
+/// End-to-end decision of ∃∀-VC through the Minimum-SR reduction, using the
+/// exact IHS Minimum-SR solver of `knn-core` (whose oracle is the SAT
+/// checker — the same NP/coNP oracle stack as the Σ₂ᵖ upper bound).
+pub fn eavc_via_minimum_sr(g: &Graph, p: usize, q: usize, k: OddK) -> bool {
+    assert!(p < q, "the problem definition requires p < q");
+    match normalize_eavc(g, p, q) {
+        None => false,
+        Some((g2, p2, q2)) => {
+            let inst = eavc_to_minimum_sr(&g2, q2, k);
+            let ab = knn_core::abductive::hamming::HammingAbductive::new(&inst.ds, inst.k);
+            ab.has_sufficient_reason_of_size(&inst.x, p2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_datasets::graphs::random_graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn isi_examples() {
+        // Triangle: independent sets of size ≥ 2 don't exist → any S works,
+        // including the empty set.
+        let tri = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(independent_set_interdiction(&tri, 0, 2));
+        // Empty graph on 3 vertices: independent sets of size 2 = all pairs;
+        // hitting all pairs needs ≥ 2 vertices.
+        let empty = Graph::new(3);
+        assert!(!independent_set_interdiction(&empty, 1, 2));
+        assert!(independent_set_interdiction(&empty, 2, 2));
+    }
+
+    #[test]
+    fn eavc_examples() {
+        // Path 0-1-2: covers of size ≤ 1: {1}. ∃∀-VC(p=1, q=1): pick S={0}:
+        // supersets of size ≤1 = {0} itself, not a cover → YES.
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(exists_forall_vertex_cover(&path, 1, 1));
+        // With q=2 and p=1: S={0}: {0,1} is a cover ⊇ S → fails; S={2}:
+        // {1,2} covers; S={1}: {1} covers already... every S fails → NO.
+        assert!(!exists_forall_vertex_cover(&path, 1, 2));
+    }
+
+    #[test]
+    fn theorem9_reduction_equivalence() {
+        let mut rng = StdRng::seed_from_u64(150);
+        for round in 0..30 {
+            let g = random_graph(&mut rng, 5, 0.5);
+            let p = rng.gen_range(0..3usize);
+            let q = rng.gen_range(1..5usize);
+            let (g2, p2, q2) = isi_to_eavc(&g, p, q);
+            assert_eq!(
+                independent_set_interdiction(&g, p, q),
+                exists_forall_vertex_cover(&g2, p2, q2),
+                "round {round}: G={g:?} p={p} q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn eavc_normalization_preserves_answer() {
+        let mut rng = StdRng::seed_from_u64(151);
+        for round in 0..20 {
+            let g = random_graph(&mut rng, 5, 0.5);
+            if g.n_edges() == 0 {
+                continue;
+            }
+            let p = rng.gen_range(0..2usize);
+            let q = rng.gen_range(p + 1..5usize);
+            match normalize_eavc(&g, p, q) {
+                None => assert!(!exists_forall_vertex_cover(&g, p, q), "round {round}"),
+                Some((g2, p2, q2)) => {
+                    assert_eq!(
+                        exists_forall_vertex_cover(&g, p, q),
+                        exists_forall_vertex_cover(&g2, p2, q2),
+                        "round {round}: G={g:?} p={p} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem8_end_to_end_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let mut tested = 0;
+        while tested < 6 {
+            let g = random_graph(&mut rng, 4, 0.6);
+            if g.n_edges() < 2 {
+                continue;
+            }
+            let p = rng.gen_range(0..2usize);
+            let q = rng.gen_range(p + 1..4usize);
+            tested += 1;
+            assert_eq!(
+                eavc_via_minimum_sr(&g, p, q, OddK::THREE),
+                exists_forall_vertex_cover(&g, p, q),
+                "G={g:?} p={p} q={q}"
+            );
+        }
+    }
+}

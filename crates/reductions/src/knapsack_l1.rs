@@ -1,0 +1,202 @@
+//! Theorem 4: half-value Knapsack → k-Counterfactual(ℝ, D₁), with
+//! `|S⁺| = |S⁻| = (k+1)/2`.
+//!
+//! Construction (k = 1): `x̄ = 0ⁿ`, radius `ℓ = W`, `S⁺ = {ḡ}` with
+//! `g_i = w_i`, `S⁻ = {h̄}` with `h_i = w_i − γ·v_i`, `γ = 1/(2·max v)`.
+//! Items placed in the knapsack correspond to coordinates pushed from `0` to
+//! `w_i` (the right end of the interval `[h_i, g_i]`), contributing `γ·v_i`
+//! to the distance-difference budget.
+//!
+//! The general-k padding adds `(k−1)/2` points per class on the first axis
+//! and one extra coordinate pinning the padding points near the ball.
+
+use knn_core::{ContinuousDataset, Label, OddK};
+use knn_datasets::combinatorial::HalfValueKnapsack;
+use knn_num::Rat;
+
+/// A continuous counterfactual instance over exact rationals.
+#[derive(Clone, Debug)]
+pub struct L1CfInstance {
+    /// The dataset.
+    pub ds: ContinuousDataset<Rat>,
+    /// The anchor point.
+    pub x: Vec<Rat>,
+    /// The distance bound `ℓ`.
+    pub radius: Rat,
+    /// The neighborhood size.
+    pub k: OddK,
+}
+
+/// Theorem 4's base construction (k = 1).
+pub fn instance_k1(inst: &HalfValueKnapsack) -> L1CfInstance {
+    let n = inst.len();
+    assert!(n >= 1);
+    let max_v = *inst.values.iter().max().unwrap();
+    let gamma = Rat::frac(1, 2 * max_v as i64);
+    let g: Vec<Rat> = inst.weights.iter().map(|&w| Rat::from_int(w as i64)).collect();
+    let h: Vec<Rat> = inst
+        .weights
+        .iter()
+        .zip(&inst.values)
+        .map(|(&w, &v)| Rat::from_int(w as i64) - gamma.clone() * Rat::from_int(v as i64))
+        .collect();
+    L1CfInstance {
+        ds: ContinuousDataset::from_sets(vec![g], vec![h]),
+        x: vec![Rat::zero(); n],
+        radius: Rat::from_int(inst.capacity as i64),
+        k: OddK::ONE,
+    }
+}
+
+/// The padding step: lifts a k = 1 instance with `|S⁺| = |S⁻| = 1` to an
+/// equivalent instance for odd `k ≥ 1` with `|S⁺| = |S⁻| = (k+1)/2`
+/// (the proof's final paragraph).
+pub fn pad_to_k(base: &L1CfInstance, k: OddK) -> L1CfInstance {
+    assert_eq!(base.k, OddK::ONE);
+    assert_eq!(base.ds.count_of(Label::Positive), 1);
+    assert_eq!(base.ds.count_of(Label::Negative), 1);
+    let n = base.ds.dim();
+    if k == OddK::ONE {
+        return base.clone();
+    }
+    let kk = k.get() as i64;
+    // M = 10(ℓ + k): the padding points dominate inside the ball.
+    let m_val = Rat::from_int(10) * (base.radius.clone() + Rat::from_int(kk));
+    let mut ds = ContinuousDataset::new(n + 1);
+    // Original points get the extra coordinate M.
+    for (p, l) in base.ds.iter() {
+        let mut q = p.to_vec();
+        q.push(m_val.clone());
+        ds.push(q, l);
+    }
+    // Padding points p_j = (j, 0, …, 0 | 0): first (k−1)/2 positive, rest negative.
+    for j in 1..=(kk - 1) {
+        let mut p = vec![Rat::zero(); n + 1];
+        p[0] = Rat::from_int(j);
+        let label = if j <= (kk - 1) / 2 { Label::Positive } else { Label::Negative };
+        ds.push(p, label);
+    }
+    let mut x = base.x.clone();
+    x.push(Rat::zero());
+    L1CfInstance { ds, x, radius: base.radius.clone(), k }
+}
+
+/// Decides the constructed instance exactly, using the structure established
+/// in the proof: an optimal counterfactual may be assumed to have
+/// `y_i ∈ {0, w_i}` per coordinate (and 0 in all padding coordinates), so the
+/// decision reduces to scanning item subsets — this *is* the backward
+/// direction of the equivalence, and serves as the exact decision procedure
+/// for equivalence testing. Exponential, small instances only.
+pub fn decide_by_restriction(inst: &HalfValueKnapsack, cf: &L1CfInstance) -> bool {
+    use knn_core::classifier::ContinuousKnn;
+    use knn_core::LpMetric;
+    let n = inst.len();
+    assert!(n <= 16);
+    let knn = ContinuousKnn::new(&cf.ds, LpMetric::L1, cf.k);
+    let base_label = knn.classify(&cf.x);
+    for mask in 0u32..(1 << n) {
+        let mut y = cf.x.clone();
+        let mut dist = Rat::zero();
+        for i in 0..n {
+            if (mask >> i) & 1 == 1 {
+                y[i] = Rat::from_int(inst.weights[i] as i64);
+                dist = dist + y[i].clone();
+            }
+        }
+        if dist <= cf.radius && knn.classify(&y) != base_label {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_core::classifier::ContinuousKnn;
+    use knn_core::LpMetric;
+    use knn_datasets::combinatorial::random_knapsack;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn anchor_is_negative() {
+        let inst = HalfValueKnapsack { weights: vec![2, 3], values: vec![4, 5], capacity: 3 };
+        let cf = instance_k1(&inst);
+        let knn = ContinuousKnn::new(&cf.ds, LpMetric::L1, OddK::ONE);
+        assert_eq!(knn.classify(&cf.x), Label::Negative, "‖h̄‖₁ < ‖ḡ‖₁ ⇒ f(0̄) = 0");
+    }
+
+    #[test]
+    fn equivalence_via_restriction_k1() {
+        let mut rng = StdRng::seed_from_u64(110);
+        for round in 0..30 {
+            let inst = random_knapsack(&mut rng, 5, 6, 6);
+            let cf = instance_k1(&inst);
+            assert_eq!(
+                inst.brute_force(),
+                decide_by_restriction(&inst, &cf),
+                "round {round}: {inst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_against_milp_solver_k1() {
+        // Cross-check with the exact MILP counterfactual solver (f64).
+        let mut rng = StdRng::seed_from_u64(111);
+        for round in 0..12 {
+            let inst = random_knapsack(&mut rng, 4, 5, 5);
+            let cf = instance_k1(&inst);
+            let dsf = cf.ds.map_field(|r| r.to_f64());
+            let xf: Vec<f64> = cf.x.iter().map(|r| r.to_f64()).collect();
+            let milp = knn_core::counterfactual::l1::L1Counterfactual::new(&dsf);
+            let (_, dist) = milp.closest(&xf).expect("both classes nonempty");
+            let says_yes = dist <= cf.radius.to_f64() + 1e-6;
+            assert_eq!(
+                inst.brute_force(),
+                says_yes,
+                "round {round}: optimal CF distance {dist}, W = {}",
+                cf.radius
+            );
+        }
+    }
+
+    #[test]
+    fn padding_preserves_the_answer() {
+        let mut rng = StdRng::seed_from_u64(112);
+        for round in 0..15 {
+            let inst = random_knapsack(&mut rng, 4, 5, 5);
+            let base = instance_k1(&inst);
+            let padded = pad_to_k(&base, OddK::THREE);
+            assert_eq!(padded.ds.count_of(Label::Positive), 2);
+            assert_eq!(padded.ds.count_of(Label::Negative), 2);
+            // The anchor keeps its label.
+            let knn = ContinuousKnn::new(&padded.ds, LpMetric::L1, OddK::THREE);
+            assert_eq!(knn.classify(&padded.x), Label::Negative);
+            // Decision equivalence through the restricted scan (padding
+            // coordinates stay 0 per the proof).
+            let got = {
+                let n = inst.len();
+                let base_label = knn.classify(&padded.x);
+                let mut yes = false;
+                for mask in 0u32..(1 << n) {
+                    let mut y = padded.x.clone();
+                    let mut dist = Rat::zero();
+                    for i in 0..n {
+                        if (mask >> i) & 1 == 1 {
+                            y[i] = Rat::from_int(inst.weights[i] as i64);
+                            dist = dist + y[i].clone();
+                        }
+                    }
+                    if dist <= padded.radius && knn.classify(&y) != base_label {
+                        yes = true;
+                        break;
+                    }
+                }
+                yes
+            };
+            assert_eq!(inst.brute_force(), got, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Executable hardness reductions from the paper.
+//!
+//! Every lower bound in Table 1 is proved by a many-one (or Turing) reduction
+//! from a classical hard problem. This crate implements each construction
+//! **as code**, together with equivalence checkers that validate, on
+//! exhaustively solvable instances, that the source problem's answer matches
+//! the target explanation problem's answer computed by `knn-core`'s
+//! algorithms. This both documents the constructions and acts as a deep
+//! integration test of the classifier semantics (the constructions are
+//! razor-sharp about ties).
+//!
+//! | Module | Theorem | Reduction |
+//! |---|---|---|
+//! | [`vertex_cover_msr`] | Thm 1 | Vertex Cover → Minimum-SR (discrete k = 1; continuous ℓp, any odd k) |
+//! | [`clique_l2`] | Thm 3 (Lemmas 2–3) | k-RegClique → (2k−1)-Counterfactual(ℝ, D₂) |
+//! | [`knapsack_l1`] | Thm 4 | Half-value Knapsack → k-Counterfactual(ℝ, D₁) |
+//! | [`partition_l1`] | Thm 5 | Partition → k-Check-SR(ℝ, D₁), k ≥ 3 |
+//! | [`bmcf`] | Prop 5 + Thm 6 | Vertex Cover → p-BMCF → k-Counterfactual({0,1}, D_H) |
+//! | [`vc_check_sr`] | Thm 7 | Vertex Cover → k-Check-SR({0,1}, D_H), k ≥ 3 |
+//! | [`interdiction`] | Thm 9 + Thm 8 | Independent-Set-Interdiction → ∃∀-VC → k-Minimum-SR({0,1}, D_H) |
+
+#![warn(missing_docs)]
+
+pub mod bmcf;
+pub mod clique_l2;
+pub mod interdiction;
+pub mod knapsack_l1;
+pub mod partition_l1;
+pub mod vc_check_sr;
+pub mod vertex_cover_msr;

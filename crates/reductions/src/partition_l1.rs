@@ -1,0 +1,159 @@
+//! Theorem 5: Partition → k-Check Sufficient Reason(ℝ, D₁), for odd k ≥ 3.
+//!
+//! Construction (multiplicity-free form): dimension `(k+1) + n`. The first
+//! `k+1` coordinates are auxiliary one-hot tags, one per dataset point; the
+//! last `n` carry the partition values:
+//!
+//! * `ᾱ = 0̄ₙ` (positive, 1 copy), `β̄ = 2v̄` (positive, (k−1)/2 copies),
+//!   `γ̄ = v̄` (negative, (k+1)/2 copies);
+//! * `x̄ = 0̄` and the queried set `X` is the block of auxiliary coordinates.
+//!
+//! `X` is **not** a sufficient reason iff the Partition instance has a
+//! solution — hence Check-SR is coNP-hard.
+
+use knn_core::{ContinuousDataset, Label, OddK};
+use knn_datasets::combinatorial::PartitionInstance;
+use knn_num::Rat;
+
+/// The constructed Check-SR instance.
+#[derive(Clone, Debug)]
+pub struct CheckSrInstance {
+    /// The dataset.
+    pub ds: ContinuousDataset<Rat>,
+    /// The anchor point `x̄ = 0̄`.
+    pub x: Vec<Rat>,
+    /// The queried component set `X` (the auxiliary block).
+    pub fixed: Vec<usize>,
+    /// The neighborhood size.
+    pub k: OddK,
+}
+
+/// Builds the Theorem 5 instance for odd `k ≥ 3`.
+pub fn instance(inst: &PartitionInstance, k: OddK) -> CheckSrInstance {
+    assert!(k.get() >= 3, "Theorem 5 concerns k ≥ 3");
+    let n = inst.values.len();
+    let kk = k.get() as usize;
+    let aux = kk + 1;
+    let dim = aux + n;
+    let v: Vec<Rat> = inst.values.iter().map(|&x| Rat::from_int(x as i64)).collect();
+
+    let block = |tag: usize, values: &[Rat]| -> Vec<Rat> {
+        let mut p = vec![Rat::zero(); dim];
+        p[tag] = Rat::one();
+        p[aux..].clone_from_slice(values);
+        p
+    };
+
+    let zero_block: Vec<Rat> = vec![Rat::zero(); n];
+    let two_v: Vec<Rat> = v.iter().map(|x| x.clone() + x.clone()).collect();
+
+    let mut ds = ContinuousDataset::new(dim);
+    let mut tag = 0;
+    // ᾱ: positive, multiplicity 1.
+    ds.push(block(tag, &zero_block), Label::Positive);
+    tag += 1;
+    // β̄: positive, multiplicity (k−1)/2.
+    for _ in 0..k.minority() {
+        ds.push(block(tag, &two_v), Label::Positive);
+        tag += 1;
+    }
+    // γ̄: negative, multiplicity (k+1)/2.
+    for _ in 0..k.majority() {
+        ds.push(block(tag, &v), Label::Negative);
+        tag += 1;
+    }
+    debug_assert_eq!(tag, aux);
+    CheckSrInstance {
+        ds,
+        x: vec![Rat::zero(); dim],
+        fixed: (0..aux).collect(),
+        k,
+    }
+}
+
+/// Exact decision of the constructed instance via the proof's restriction:
+/// a counterexample, if one exists, can be taken with `z_i ∈ {0, 2vᵢ}` on the
+/// value coordinates and `x̄`'s zeros on the auxiliary block. Scanning these
+/// `2ⁿ` candidates with the exact classifier decides Check-SR on this family.
+pub fn is_sufficient_by_restriction(inst: &PartitionInstance, cf: &CheckSrInstance) -> bool {
+    use knn_core::classifier::ContinuousKnn;
+    use knn_core::LpMetric;
+    let n = inst.values.len();
+    assert!(n <= 16);
+    let aux = cf.fixed.len();
+    let knn = ContinuousKnn::new(&cf.ds, LpMetric::L1, cf.k);
+    let base = knn.classify(&cf.x);
+    for mask in 0u32..(1 << n) {
+        let mut z = cf.x.clone();
+        for i in 0..n {
+            if (mask >> i) & 1 == 1 {
+                z[aux + i] = Rat::from_int(2 * inst.values[i] as i64);
+            }
+        }
+        if knn.classify(&z) != base {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_core::classifier::ContinuousKnn;
+    use knn_core::LpMetric;
+    use knn_datasets::combinatorial::random_partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn anchor_is_negative() {
+        let p = PartitionInstance { values: vec![1, 2, 3] };
+        let cf = instance(&p, OddK::THREE);
+        let knn = ContinuousKnn::new(&cf.ds, LpMetric::L1, OddK::THREE);
+        assert_eq!(knn.classify(&cf.x), Label::Negative, "f(x̄) = 0 by construction");
+    }
+
+    #[test]
+    fn known_instances() {
+        // {1,2,3} partitions (1+2 = 3): X is NOT sufficient.
+        let yes = PartitionInstance { values: vec![1, 2, 3] };
+        let cf = instance(&yes, OddK::THREE);
+        assert!(!is_sufficient_by_restriction(&yes, &cf));
+        // {1,2,4} does not partition: X IS sufficient.
+        let no = PartitionInstance { values: vec![1, 2, 4] };
+        let cf = instance(&no, OddK::THREE);
+        assert!(is_sufficient_by_restriction(&no, &cf));
+    }
+
+    #[test]
+    fn equivalence_random_k3_and_k5() {
+        let mut rng = StdRng::seed_from_u64(120);
+        for round in 0..25 {
+            let p = random_partition(&mut rng, 5, 8);
+            for k in [OddK::THREE, OddK::of(5)] {
+                let cf = instance(&p, k);
+                assert_eq!(
+                    is_sufficient_by_restriction(&p, &cf),
+                    !p.brute_force(),
+                    "round {round}, k={k}: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_witness_is_counterexample() {
+        // For a YES partition instance, the restricted z built from a solution
+        // must be classified positive (the counterexample of the proof).
+        let p = PartitionInstance { values: vec![2, 3, 5] }; // 2+3 = 5
+        let cf = instance(&p, OddK::THREE);
+        let knn = ContinuousKnn::new(&cf.ds, LpMetric::L1, OddK::THREE);
+        let aux = cf.fixed.len();
+        // T = {0, 1} (values 2 and 3): z = (0…0 | 4, 6, 0).
+        let mut z = cf.x.clone();
+        z[aux] = Rat::from_int(4);
+        z[aux + 1] = Rat::from_int(6);
+        assert_eq!(knn.classify(&z), Label::Positive);
+    }
+}

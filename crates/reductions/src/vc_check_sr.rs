@@ -1,0 +1,232 @@
+//! Theorem 7: Vertex Cover → k-Check Sufficient Reason({0,1}, D_H), k ≥ 3.
+//!
+//! Under the normalization `n/2 ≤ q ≤ n − 2` (achieved by the padding step
+//! below), the constructed dataset over `{0,1}^{n + (k+1)/2 + (2q−n)}` has
+//! the property that the **empty set** is not a sufficient reason for
+//! `x̄ = 0̄` iff `G` has a vertex cover of size ≤ q. The same `(S⁺, S⁻, x̄)`
+//! is reused by Theorem 8's Σ₂ᵖ-hardness of Minimum-SR.
+
+use knn_core::{BitVec, BooleanDataset, OddK};
+use knn_datasets::Graph;
+
+/// The constructed Check-SR instance.
+#[derive(Clone, Debug)]
+pub struct VcCheckSrInstance {
+    /// The dataset.
+    pub ds: BooleanDataset,
+    /// The anchor `x̄ = 0̄`.
+    pub x: BitVec,
+    /// The neighborhood size.
+    pub k: OddK,
+    /// The (possibly padded) graph's vertex count `n`.
+    pub n: usize,
+    /// The cover budget `q` after normalization.
+    pub q: usize,
+}
+
+/// Result of normalizing a Vertex Cover budget.
+#[derive(Clone, Debug)]
+pub enum Normalized {
+    /// The instance is trivially YES (`q ≥ n − 1`, or `q = 0` on an edgeless graph).
+    TrivialYes,
+    /// The instance is trivially NO (`q = 0` with at least one edge; the
+    /// fresh-vertex padding needs `q ≥ 1`).
+    TrivialNo,
+    /// A normalized instance with `n/2 ≤ q ≤ n − 2`.
+    Instance(Graph, usize),
+}
+
+/// Normalizes a Vertex Cover instance to `n/2 ≤ q ≤ n − 2` (proof of Thm 7):
+/// when `1 ≤ q < n/2`, add `n − 2q` fresh vertices adjacent to all original
+/// ones and replace `q` by `n − q`.
+pub fn normalize(g: &Graph, q: usize) -> Normalized {
+    let n = g.n_vertices();
+    if q >= n.saturating_sub(1) {
+        return Normalized::TrivialYes; // any n−1 vertices cover everything
+    }
+    if q == 0 {
+        return if g.n_edges() == 0 { Normalized::TrivialYes } else { Normalized::TrivialNo };
+    }
+    if 2 * q >= n {
+        return Normalized::Instance(g.clone(), q);
+    }
+    let fresh = n - 2 * q;
+    let mut g2 = Graph::new(n + fresh);
+    for (u, v) in g.edges() {
+        g2.add_edge(u, v);
+    }
+    for f in 0..fresh {
+        for v in 0..n {
+            g2.add_edge(n + f, v);
+        }
+    }
+    Normalized::Instance(g2, n - q)
+}
+
+/// Theorem 7's construction for a normalized instance (`n/2 ≤ q ≤ n − 2`).
+pub fn instance(g: &Graph, q: usize, k: OddK) -> VcCheckSrInstance {
+    let n = g.n_vertices();
+    assert!(k.get() >= 3, "Theorem 7 concerns k ≥ 3");
+    assert!(2 * q >= n && q <= n - 2, "instance must be normalized first");
+    assert!(g.n_edges() >= 1);
+    let maj = k.majority();
+    let tail = 2 * q - n;
+    let dim = n + maj + tail;
+
+    // β ranges over {0,1}^maj \ {0}.
+    let mut neg = Vec::new();
+    for (u, v) in g.edges() {
+        for beta_mask in 1u32..(1u32 << maj) {
+            let mut p = BitVec::zeros(dim);
+            p.set(u, true);
+            p.set(v, true);
+            for h in 0..maj {
+                if (beta_mask >> h) & 1 == 1 {
+                    p.set(n + h, true);
+                }
+            }
+            for t in 0..tail {
+                p.set(n + maj + t, true);
+            }
+            neg.push(p);
+        }
+    }
+    // S⁺ = {(0ⁿ, α₁, 1^tail)} ∪ {(1ⁿ, α_h, 0^tail) : h = 2..maj}.
+    let mut pos = Vec::new();
+    {
+        let mut p = BitVec::zeros(dim);
+        p.set(n, true); // α₁
+        for t in 0..tail {
+            p.set(n + maj + t, true);
+        }
+        pos.push(p);
+    }
+    for h in 1..maj {
+        let mut p = BitVec::zeros(dim);
+        for i in 0..n {
+            p.set(i, true);
+        }
+        p.set(n + h, true);
+        pos.push(p);
+    }
+    VcCheckSrInstance { ds: BooleanDataset::from_sets(pos, neg), x: BitVec::zeros(dim), k, n, q }
+}
+
+/// End-to-end: does `G` have a vertex cover of size ≤ `q`, decided through
+/// the reduction and the SAT-backed Check-SR of `knn-core`? (YES ⟺ the empty
+/// set is NOT sufficient.) Returns the trivial answer for degenerate budgets.
+pub fn vertex_cover_via_check_sr(g: &Graph, q: usize, k: OddK) -> bool {
+    match normalize(g, q) {
+        Normalized::TrivialYes => true,
+        Normalized::TrivialNo => false,
+        Normalized::Instance(g2, q2) => {
+            let inst = instance(&g2, q2, k);
+            let ab = knn_core::abductive::hamming::HammingAbductive::new(&inst.ds, inst.k);
+            !ab.is_sufficient(&inst.x, &[])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_core::classifier::BooleanKnn;
+    use knn_core::Label;
+    use knn_datasets::graphs::random_graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn normalization_preserves_the_answer() {
+        let mut rng = StdRng::seed_from_u64(140);
+        for _ in 0..20 {
+            let g = random_graph(&mut rng, 6, 0.5);
+            if g.n_edges() == 0 {
+                continue;
+            }
+            let q = rng.gen_range(0..5usize);
+            match normalize(&g, q) {
+                Normalized::TrivialYes => assert!(g.has_vertex_cover_of_size(q)),
+                Normalized::TrivialNo => assert!(!g.has_vertex_cover_of_size(q)),
+                Normalized::Instance(g2, q2) => {
+                    assert!(2 * q2 >= g2.n_vertices() && q2 <= g2.n_vertices() - 2);
+                    assert_eq!(
+                        g.has_vertex_cover_of_size(q),
+                        g2.has_vertex_cover_of_size(q2),
+                        "G={g:?} q={q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_is_negative() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let Normalized::Instance(g2, q2) = normalize(&g, 2) else {
+            panic!("q = 2 = n − 2 is non-trivial");
+        };
+        let inst = instance(&g2, q2, OddK::THREE);
+        let knn = BooleanKnn::new(&inst.ds, inst.k);
+        assert_eq!(knn.classify(&inst.x), Label::Negative, "f(x̄) = 0 by construction");
+    }
+
+    #[test]
+    fn equivalence_on_small_graphs_k3() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let mut tested = 0;
+        while tested < 12 {
+            let g = random_graph(&mut rng, 5, 0.5);
+            if g.n_edges() == 0 {
+                continue;
+            }
+            let q = rng.gen_range(1..4usize);
+            tested += 1;
+            assert_eq!(
+                vertex_cover_via_check_sr(&g, q, OddK::THREE),
+                g.has_vertex_cover_of_size(q),
+                "G={g:?} q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn equivalence_k5() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]); // 4-cycle, τ = 2
+        for q in 1..3usize {
+            assert_eq!(
+                vertex_cover_via_check_sr(&g, q, OddK::of(5)),
+                g.has_vertex_cover_of_size(q),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn witness_translates_back_to_a_cover() {
+        // For a YES instance, any counterexample z yields a cover of size ≤ q+1
+        // whose q-subsets are covers (property (2) in the proof).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]); // 4-cycle, τ = 2
+        let Normalized::Instance(g2, q2) = normalize(&g, 2) else {
+            panic!("q = 2 = n − 2 is non-trivial");
+        };
+        let inst = instance(&g2, q2, OddK::THREE);
+        let ab = knn_core::abductive::hamming::HammingAbductive::new(&inst.ds, inst.k);
+        match ab.check(&inst.x, &[]) {
+            knn_core::SrCheck::NotSufficient { witness } => {
+                let c: Vec<usize> = (0..inst.n).filter(|&i| !witness.get(i)).collect();
+                assert!(c.len() <= inst.q + 1);
+                if c.len() <= inst.q {
+                    assert!(g2.is_vertex_cover(&c));
+                } else {
+                    for drop in 0..c.len() {
+                        let mut sub = c.clone();
+                        sub.remove(drop);
+                        assert!(g2.is_vertex_cover(&sub));
+                    }
+                }
+            }
+            knn_core::SrCheck::Sufficient => panic!("triangle has a 2-cover"),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Theorem 1: Vertex Cover → Minimum Sufficient Reason.
+//!
+//! **Discrete, k = 1** — `x̄ = 0ⁿ`, `S⁻` the edge incidence vectors, `S⁺` the
+//! "guards": each edge vector with one of its two 1s flipped to 0. The proof
+//! shows the sufficient reasons of `x̄` are *exactly* the vertex covers.
+//!
+//! **Continuous, any odd k, any ℓp** — each edge is represented by
+//! `(k+1)/2` copies at heights `1 + ε_h` (with `1/2 > ε₁ > ⋯ > ε_{(k+1)/2}`)
+//! and guards replace a `1 + ε_h` coordinate by `ε_h`.
+
+use knn_core::{BitVec, BooleanDataset, ContinuousDataset, Label, OddK};
+use knn_datasets::Graph;
+use knn_num::Rat;
+
+/// Discrete instance of Minimum-SR produced from a Vertex Cover instance.
+#[derive(Clone, Debug)]
+pub struct DiscreteMsrInstance {
+    /// The dataset (S⁺ = guards, S⁻ = edge vectors).
+    pub ds: BooleanDataset,
+    /// The anchor point `x̄ = 0ⁿ`.
+    pub x: BitVec,
+}
+
+/// Theorem 1(1): builds the discrete k = 1 instance.
+/// Requires at least one edge.
+pub fn discrete_instance(g: &Graph) -> DiscreteMsrInstance {
+    assert!(g.n_edges() >= 1, "the construction needs at least one edge");
+    let n = g.n_vertices();
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (u, v) in g.edges() {
+        let mut y = BitVec::zeros(n);
+        y.set(u, true);
+        y.set(v, true);
+        neg.push(y.clone());
+        // Guards: flip the first and second set components back to 0.
+        pos.push(y.with_flipped(u));
+        pos.push(y.with_flipped(v));
+    }
+    DiscreteMsrInstance { ds: BooleanDataset::from_sets(pos, neg), x: BitVec::zeros(n) }
+}
+
+/// Continuous instance of Minimum-SR (Theorem 1(2)); the same point set works
+/// for every integer p ≥ 1.
+#[derive(Clone, Debug)]
+pub struct ContinuousMsrInstance {
+    /// The dataset over exact rationals.
+    pub ds: ContinuousDataset<Rat>,
+    /// The anchor point `x̄ = 0ⁿ`.
+    pub x: Vec<Rat>,
+    /// The neighborhood size the instance targets.
+    pub k: OddK,
+}
+
+/// Theorem 1(2): builds the continuous instance for neighborhood size `k`.
+pub fn continuous_instance(g: &Graph, k: OddK) -> ContinuousMsrInstance {
+    assert!(g.n_edges() >= 1);
+    let n = g.n_vertices();
+    let maj = k.majority();
+    // 1/2 > ε₁ > … > ε_maj > 0: take ε_h = 1 / (2(h + 1)).
+    let eps: Vec<Rat> = (1..=maj).map(|h| Rat::frac(1, 2 * (h as i64 + 1))).collect();
+    let mut ds = ContinuousDataset::new(n);
+    for (u, v) in g.edges() {
+        for e in &eps {
+            let mut y = vec![Rat::zero(); n];
+            y[u] = Rat::one() + e.clone();
+            y[v] = Rat::one() + e.clone();
+            // Guards first (S⁺): one coordinate dropped to ε_h.
+            let mut g1 = y.clone();
+            g1[u] = e.clone();
+            let mut g2 = y.clone();
+            g2[v] = e.clone();
+            ds.push(g1, Label::Positive);
+            ds.push(g2, Label::Positive);
+            ds.push(y, Label::Negative);
+        }
+    }
+    ContinuousMsrInstance { ds, x: vec![Rat::zero(); n], k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_core::abductive::hamming::HammingAbductive;
+    use knn_core::abductive::l1::L1Abductive;
+    use knn_core::abductive::l2::L2Abductive;
+    use knn_core::classifier::{BooleanKnn, ContinuousKnn};
+    use knn_core::LpMetric;
+    use knn_datasets::graphs::random_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_graphs() -> Vec<Graph> {
+        let mut gs = vec![
+            Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]), // triangle
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]), // path
+            Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]), // star
+            Graph::from_edges(4, &[(0, 1), (2, 3)]),         // matching
+        ];
+        let mut rng = StdRng::seed_from_u64(100);
+        for _ in 0..4 {
+            let g = random_graph(&mut rng, 5, 0.5);
+            if g.n_edges() >= 1 {
+                gs.push(g);
+            }
+        }
+        gs
+    }
+
+    #[test]
+    fn discrete_anchor_is_positive() {
+        for g in small_graphs() {
+            let inst = discrete_instance(&g);
+            let knn = BooleanKnn::new(&inst.ds, OddK::ONE);
+            assert_eq!(knn.classify(&inst.x), Label::Positive, "f(x̄) must be 1");
+        }
+    }
+
+    #[test]
+    fn discrete_sufficient_reasons_are_exactly_vertex_covers() {
+        for g in small_graphs() {
+            if g.n_vertices() > 5 {
+                continue;
+            }
+            let inst = discrete_instance(&g);
+            let ab = HammingAbductive::new(&inst.ds, OddK::ONE);
+            for mask in 0u32..(1 << g.n_vertices()) {
+                let subset: Vec<usize> =
+                    (0..g.n_vertices()).filter(|i| (mask >> i) & 1 == 1).collect();
+                assert_eq!(
+                    ab.is_sufficient(&inst.x, &subset),
+                    g.is_vertex_cover(&subset),
+                    "graph {g:?}, subset {subset:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_minimum_sr_equals_minimum_vertex_cover() {
+        for g in small_graphs() {
+            let inst = discrete_instance(&g);
+            let ab = HammingAbductive::new(&inst.ds, OddK::ONE);
+            let msr = ab.minimum(&inst.x);
+            assert_eq!(
+                msr.len(),
+                g.min_vertex_cover_size(),
+                "graph {g:?}: MSR {msr:?}"
+            );
+            assert!(g.is_vertex_cover(&msr), "an MSR must itself be a cover");
+        }
+    }
+
+    #[test]
+    fn continuous_anchor_is_positive_l2_and_l1() {
+        for g in small_graphs() {
+            for k in [OddK::ONE, OddK::THREE] {
+                let inst = continuous_instance(&g, k);
+                let l2 = ContinuousKnn::new(&inst.ds, LpMetric::L2, k);
+                assert_eq!(l2.classify(&inst.x), Label::Positive);
+                let l1 = ContinuousKnn::new(&inst.ds, LpMetric::L1, k);
+                assert_eq!(l1.classify(&inst.x), Label::Positive);
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_l2_minimum_sr_equals_vertex_cover_k1() {
+        for g in small_graphs() {
+            if g.n_vertices() > 4 || g.n_edges() > 4 {
+                continue; // LP-heavy; keep instances small
+            }
+            let inst = continuous_instance(&g, OddK::ONE);
+            let ab = L2Abductive::new(&inst.ds, OddK::ONE);
+            let msr = ab.minimum(&inst.x);
+            assert_eq!(msr.len(), g.min_vertex_cover_size(), "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn continuous_l2_minimum_sr_equals_vertex_cover_k3() {
+        // One modest instance: the triangle with k = 3.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let inst = continuous_instance(&g, OddK::THREE);
+        let ab = L2Abductive::new(&inst.ds, OddK::THREE);
+        let msr = ab.minimum(&inst.x);
+        assert_eq!(msr.len(), g.min_vertex_cover_size());
+    }
+
+    #[test]
+    fn continuous_l1_minimum_sr_equals_vertex_cover_k1() {
+        for g in small_graphs() {
+            if g.n_vertices() > 5 {
+                continue;
+            }
+            let inst = continuous_instance(&g, OddK::ONE);
+            let ab = L1Abductive::new(&inst.ds);
+            let msr = ab.minimum(&inst.x);
+            assert_eq!(msr.len(), g.min_vertex_cover_size(), "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn guards_are_strictly_closer_than_edges() {
+        // The construction's balance: every guard is closer to x̄ than every
+        // edge vector, for both metrics and all ε levels.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let inst = continuous_instance(&g, OddK::THREE);
+        let m2 = LpMetric::L2;
+        let mut guard_max: Option<Rat> = None;
+        let mut edge_min: Option<Rat> = None;
+        for (p, l) in inst.ds.iter() {
+            let d = m2.dist_pow(&inst.x, p);
+            match l {
+                Label::Positive => {
+                    guard_max = Some(guard_max.map_or(d.clone(), |g: Rat| g.max(d)))
+                }
+                Label::Negative => {
+                    edge_min = Some(edge_min.map_or(d.clone(), |g: Rat| g.min(d)))
+                }
+            }
+        }
+        assert!(guard_max.unwrap() < edge_min.unwrap());
+    }
+}

@@ -1,0 +1,125 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index into per-variable arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn neg(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// The literal of this variable with the given polarity.
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+/// A literal: a variable with a polarity, encoded as `var << 1 | sign`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True iff this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Negation.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Index into per-literal arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "¬x{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued assignment state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// Truth value of a literal given its variable's assignment.
+    pub fn of_lit(self, lit: Lit) -> LBool {
+        match (self, lit.is_positive()) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, true) | (LBool::False, false) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(3);
+        assert_eq!(v.pos().index(), 6);
+        assert_eq!(v.neg().index(), 7);
+        assert_eq!(v.pos().negate(), v.neg());
+        assert_eq!(v.neg().negate(), v.pos());
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_positive());
+        assert!(!v.neg().is_positive());
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(v.lit(false), v.neg());
+    }
+
+    #[test]
+    fn lbool_of_lit() {
+        assert_eq!(LBool::True.of_lit(Var(0).pos()), LBool::True);
+        assert_eq!(LBool::True.of_lit(Var(0).neg()), LBool::False);
+        assert_eq!(LBool::False.of_lit(Var(0).neg()), LBool::True);
+        assert_eq!(LBool::Undef.of_lit(Var(0).pos()), LBool::Undef);
+    }
+}

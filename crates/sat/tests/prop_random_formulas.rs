@@ -1,0 +1,142 @@
+//! Property tests for the CDCL solver: on arbitrary small formulas (clauses
+//! plus guarded and unguarded cardinality constraints), the solver's verdict
+//! must match exhaustive enumeration, and every `Sat` model must actually
+//! satisfy every constraint.
+
+use knn_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// One literal per variable index (no duplicate / complementary pairs).
+#[derive(Clone, Debug)]
+struct CardSpec {
+    guard: Option<(usize, bool)>,
+    lits: Vec<(usize, bool)>,
+    bound: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Formula {
+    nvars: usize,
+    clauses: Vec<Vec<(usize, bool)>>,
+    cards: Vec<CardSpec>,
+}
+
+fn clause_strategy(nvars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::btree_map(0..nvars, any::<bool>(), 1..=3.min(nvars))
+        .prop_map(|m| m.into_iter().collect())
+}
+
+fn card_strategy(nvars: usize) -> impl Strategy<Value = CardSpec> {
+    (
+        prop::option::of((0..nvars, any::<bool>())),
+        prop::collection::btree_map(0..nvars, any::<bool>(), 2..=nvars),
+        1..=4u32,
+    )
+        .prop_map(|(guard, lits, bound)| CardSpec {
+            guard,
+            lits: lits.into_iter().collect(),
+            bound,
+        })
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    (3..=9usize).prop_flat_map(|nvars| {
+        (
+            prop::collection::vec(clause_strategy(nvars), 0..8),
+            prop::collection::vec(card_strategy(nvars), 0..4),
+        )
+            .prop_map(move |(clauses, cards)| Formula { nvars, clauses, cards })
+    })
+}
+
+fn lit_true(assign: u32, (v, pos): (usize, bool)) -> bool {
+    ((assign >> v) & 1 == 1) == pos
+}
+
+fn brute_force(f: &Formula) -> Option<u32> {
+    'outer: for assign in 0u32..(1 << f.nvars) {
+        for c in &f.clauses {
+            if !c.iter().any(|&l| lit_true(assign, l)) {
+                continue 'outer;
+            }
+        }
+        for card in &f.cards {
+            let active = card.guard.map_or(true, |g| lit_true(assign, g));
+            if active {
+                let sum = card.lits.iter().filter(|&&l| lit_true(assign, l)).count();
+                if (sum as u32) < card.bound {
+                    continue 'outer;
+                }
+            }
+        }
+        return Some(assign);
+    }
+    None
+}
+
+fn build_solver(f: &Formula) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = s.new_vars(f.nvars);
+    for c in &f.clauses {
+        let lits: Vec<Lit> = c.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        s.add_clause(&lits);
+    }
+    for card in &f.cards {
+        let lits: Vec<Lit> = card.lits.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        let guard = card.guard.map(|(v, pos)| vars[v].lit(pos));
+        s.add_card_ge(guard, &lits, card.bound);
+    }
+    s
+}
+
+fn model_satisfies(f: &Formula, s: &Solver) -> bool {
+    let val = |v: usize| s.value(Var(v as u32)).unwrap_or(false);
+    let lit = |(v, pos): (usize, bool)| val(v) == pos;
+    f.clauses.iter().all(|c| c.iter().any(|&l| lit(l)))
+        && f.cards.iter().all(|card| {
+            let active = card.guard.map_or(true, |g| lit(g));
+            !active
+                || card.lits.iter().filter(|&&l| lit(l)).count() as u32 >= card.bound
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Verdict matches exhaustive enumeration; models check out.
+    #[test]
+    fn solver_matches_brute_force(f in formula_strategy()) {
+        let brute = brute_force(&f);
+        let mut s = build_solver(&f);
+        match s.solve() {
+            SolveResult::Sat => {
+                prop_assert!(brute.is_some(), "solver SAT but brute force UNSAT");
+                prop_assert!(model_satisfies(&f, &s), "model violates a constraint");
+            }
+            SolveResult::Unsat => {
+                prop_assert!(brute.is_none(), "solver UNSAT but {:?} works", brute);
+            }
+        }
+    }
+
+    /// Solving twice (incremental reuse) gives the same verdict, and solving
+    /// under assumptions is consistent with adding unit clauses.
+    #[test]
+    fn assumptions_agree_with_unit_clauses(f in formula_strategy(), pol in any::<bool>()) {
+        let mut s = build_solver(&f);
+        let first = s.solve();
+        let again = s.solve();
+        prop_assert_eq!(first, again, "re-solve changed the verdict");
+
+        // Assume literal (v0, pol); compare with a fresh solver that adds it
+        // as a unit clause.
+        let assumption = Var(0).lit(pol);
+        let with_assumption = s.solve_with(&[assumption]);
+        let mut s2 = build_solver(&f);
+        s2.add_clause(&[assumption]);
+        let with_unit = s2.solve();
+        prop_assert_eq!(with_assumption, with_unit);
+        // And the original formula is still solvable as before afterwards.
+        prop_assert_eq!(s.solve(), first, "assumptions leaked into the formula");
+    }
+}

@@ -1,0 +1,259 @@
+//! Labeled datasets `(S⁺, S⁻)` in the continuous and discrete settings.
+
+use crate::bitvec::BitVec;
+use crate::label::Label;
+use knn_num::Field;
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset of real vectors (the continuous setting).
+///
+/// Points are stored densely; `S⁺`/`S⁻` are recovered through the labels. The
+/// paper allows `S⁺ ∩ S⁻ ≠ ∅` only implicitly (distinct points); duplicated
+/// points are permitted here and behave like multiplicities.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ContinuousDataset<F> {
+    dim: usize,
+    points: Vec<Vec<F>>,
+    labels: Vec<Label>,
+}
+
+impl<F: Field> ContinuousDataset<F> {
+    /// An empty dataset of the given dimension.
+    pub fn new(dim: usize) -> Self {
+        ContinuousDataset { dim, points: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Builds a dataset from explicit positive and negative example sets.
+    pub fn from_sets(positives: Vec<Vec<F>>, negatives: Vec<Vec<F>>) -> Self {
+        let dim = positives
+            .first()
+            .or(negatives.first())
+            .map(|p| p.len())
+            .expect("dataset needs at least one point");
+        let mut ds = ContinuousDataset::new(dim);
+        for p in positives {
+            ds.push(p, Label::Positive);
+        }
+        for n in negatives {
+            ds.push(n, Label::Negative);
+        }
+        ds
+    }
+
+    /// Appends a labeled point; panics on dimension mismatch.
+    pub fn push(&mut self, point: Vec<F>, label: Label) {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        self.points.push(point);
+        self.labels.push(label);
+    }
+
+    /// The feature dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of points `|S⁺ ∪ S⁻|` (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `i`-th point.
+    pub fn point(&self, i: usize) -> &[F] {
+        &self.points[i]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i]
+    }
+
+    /// Iterator over `(point, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[F], Label)> + '_ {
+        self.points.iter().map(|p| p.as_slice()).zip(self.labels.iter().copied())
+    }
+
+    /// Indices of points with the given label.
+    pub fn indices_of(&self, label: Label) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == label).collect()
+    }
+
+    /// Points with the given label, cloned into a vector.
+    pub fn points_of(&self, label: Label) -> Vec<Vec<F>> {
+        self.iter().filter(|&(_, l)| l == label).map(|(p, _)| p.to_vec()).collect()
+    }
+
+    /// Number of points with the given label.
+    pub fn count_of(&self, label: Label) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// Converts all coordinates to another field (e.g. `Rat → f64`).
+    pub fn map_field<G: Field>(&self, f: impl Fn(&F) -> G) -> ContinuousDataset<G> {
+        ContinuousDataset {
+            dim: self.dim,
+            points: self.points.iter().map(|p| p.iter().map(&f).collect()).collect(),
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+/// A labeled dataset of boolean vectors (the discrete setting).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BooleanDataset {
+    dim: usize,
+    points: Vec<BitVec>,
+    labels: Vec<Label>,
+}
+
+impl BooleanDataset {
+    /// An empty dataset of the given dimension.
+    pub fn new(dim: usize) -> Self {
+        BooleanDataset { dim, points: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Builds a dataset from explicit positive and negative example sets.
+    pub fn from_sets(positives: Vec<BitVec>, negatives: Vec<BitVec>) -> Self {
+        let dim = positives
+            .first()
+            .or(negatives.first())
+            .map(|p| p.len())
+            .expect("dataset needs at least one point");
+        let mut ds = BooleanDataset::new(dim);
+        for p in positives {
+            ds.push(p, Label::Positive);
+        }
+        for n in negatives {
+            ds.push(n, Label::Negative);
+        }
+        ds
+    }
+
+    /// Appends a labeled point; panics on dimension mismatch.
+    pub fn push(&mut self, point: BitVec, label: Label) {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        self.points.push(point);
+        self.labels.push(label);
+    }
+
+    /// The feature dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `i`-th point.
+    pub fn point(&self, i: usize) -> &BitVec {
+        &self.points[i]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i]
+    }
+
+    /// Iterator over `(point, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitVec, Label)> + '_ {
+        self.points.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Indices of points with the given label.
+    pub fn indices_of(&self, label: Label) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == label).collect()
+    }
+
+    /// Points with the given label, cloned.
+    pub fn points_of(&self, label: Label) -> Vec<BitVec> {
+        self.iter().filter(|&(_, l)| l == label).map(|(p, _)| p.clone()).collect()
+    }
+
+    /// Number of points with the given label.
+    pub fn count_of(&self, label: Label) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// Views the dataset as a continuous one over a field (bits become 0/1),
+    /// so the continuous algorithms can run on discrete data.
+    pub fn to_continuous<F: Field>(&self) -> ContinuousDataset<F> {
+        let mut ds = ContinuousDataset::new(self.dim);
+        for (p, l) in self.iter() {
+            ds.push(
+                p.iter().map(|b| if b { F::one() } else { F::zero() }).collect(),
+                l,
+            );
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_accessors() {
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![0.0, 1.0], vec![1.0, 1.0]],
+            vec![vec![0.0, 0.0]],
+        );
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.count_of(Label::Positive), 2);
+        assert_eq!(ds.count_of(Label::Negative), 1);
+        assert_eq!(ds.indices_of(Label::Negative), vec![2]);
+        assert_eq!(ds.point(0), &[0.0, 1.0]);
+        assert_eq!(ds.label(2), Label::Negative);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn continuous_dimension_checked() {
+        let mut ds = ContinuousDataset::<f64>::new(2);
+        ds.push(vec![1.0], Label::Positive);
+    }
+
+    #[test]
+    fn boolean_accessors() {
+        let ds = BooleanDataset::from_sets(
+            vec![BitVec::from_bits(&[0, 1, 1])],
+            vec![BitVec::from_bits(&[0, 0, 0]), BitVec::from_bits(&[1, 1, 1])],
+        );
+        assert_eq!(ds.dim(), 3);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.points_of(Label::Negative).len(), 2);
+    }
+
+    #[test]
+    fn boolean_to_continuous() {
+        let ds = BooleanDataset::from_sets(
+            vec![BitVec::from_bits(&[1, 0])],
+            vec![BitVec::from_bits(&[0, 1])],
+        );
+        let c = ds.to_continuous::<f64>();
+        assert_eq!(c.point(0), &[1.0, 0.0]);
+        assert_eq!(c.point(1), &[0.0, 1.0]);
+        assert_eq!(c.label(0), Label::Positive);
+    }
+
+    #[test]
+    fn map_field_roundtrip() {
+        use knn_num::Rat;
+        let ds = ContinuousDataset::from_sets(vec![vec![0.5, -1.5]], vec![vec![2.0, 0.0]]);
+        let exact = ds.map_field(|&v| Rat::from_f64(v));
+        assert_eq!(exact.point(0)[0], Rat::frac(1, 2));
+        assert_eq!(exact.point(1)[0], Rat::from_int(2i64));
+    }
+}

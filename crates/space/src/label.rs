@@ -1,0 +1,81 @@
+//! Binary classification labels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two classes of the paper's binary setting: points of `S⁺` are
+/// [`Label::Positive`], points of `S⁻` are [`Label::Negative`].
+///
+/// The classifier output `f(x̄) ∈ {0,1}` maps `1 ↦ Positive`, `0 ↦ Negative`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Label {
+    /// Class 1.
+    Positive,
+    /// Class 0.
+    Negative,
+}
+
+impl Label {
+    /// The other class.
+    pub fn flip(self) -> Label {
+        match self {
+            Label::Positive => Label::Negative,
+            Label::Negative => Label::Positive,
+        }
+    }
+
+    /// The paper's `{0,1}` encoding of the classifier output.
+    pub fn as_bit(self) -> u8 {
+        match self {
+            Label::Positive => 1,
+            Label::Negative => 0,
+        }
+    }
+
+    /// Inverse of [`Label::as_bit`] (any nonzero value is positive).
+    pub fn from_bit(bit: u8) -> Label {
+        if bit != 0 {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+
+    /// True iff `self == Positive`.
+    pub fn is_positive(self) -> bool {
+        matches!(self, Label::Positive)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Positive => write!(f, "+"),
+            Label::Negative => write!(f, "-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Label::Positive.flip().flip(), Label::Positive);
+        assert_eq!(Label::Negative.flip(), Label::Positive);
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        assert_eq!(Label::from_bit(Label::Positive.as_bit()), Label::Positive);
+        assert_eq!(Label::from_bit(Label::Negative.as_bit()), Label::Negative);
+        assert_eq!(Label::from_bit(7), Label::Positive);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Label::Positive.to_string(), "+");
+        assert_eq!(Label::Negative.to_string(), "-");
+    }
+}

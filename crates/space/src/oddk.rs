@@ -1,0 +1,80 @@
+//! The odd neighborhood-size parameter `k`.
+//!
+//! The paper restricts to odd `k` (footnote 1: even `k` makes the optimistic
+//! tie-breaking degenerate). [`OddK`] enforces this at construction time and
+//! exposes the majority/minority sizes `(k+1)/2` and `(k−1)/2` that appear
+//! throughout Proposition 1 and the hardness constructions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An odd integer `k ≥ 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct OddK(u32);
+
+impl OddK {
+    /// `k = 1` (the most common case in practice; §9 experiments use it).
+    pub const ONE: OddK = OddK(1);
+    /// `k = 3`.
+    pub const THREE: OddK = OddK(3);
+
+    /// Builds an odd `k`. Returns `None` for even or zero values.
+    pub fn new(k: u32) -> Option<OddK> {
+        (k % 2 == 1).then_some(OddK(k))
+    }
+
+    /// Builds an odd `k`, panicking on invalid input.
+    pub fn of(k: u32) -> OddK {
+        OddK::new(k).unwrap_or_else(|| panic!("k must be odd and positive, got {k}"))
+    }
+
+    /// The value of `k`.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// `(k+1)/2`, the majority size in Proposition 1.
+    pub fn majority(self) -> usize {
+        ((self.0 + 1) / 2) as usize
+    }
+
+    /// `(k−1)/2`, the excluded-minority size in Proposition 1.
+    pub fn minority(self) -> usize {
+        ((self.0 - 1) / 2) as usize
+    }
+}
+
+impl fmt::Display for OddK {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(OddK::new(1), Some(OddK::ONE));
+        assert_eq!(OddK::new(2), None);
+        assert_eq!(OddK::new(0), None);
+        assert_eq!(OddK::of(5).get(), 5);
+    }
+
+    #[test]
+    fn majority_minority() {
+        assert_eq!(OddK::ONE.majority(), 1);
+        assert_eq!(OddK::ONE.minority(), 0);
+        assert_eq!(OddK::THREE.majority(), 2);
+        assert_eq!(OddK::THREE.minority(), 1);
+        assert_eq!(OddK::of(7).majority(), 4);
+        assert_eq!(OddK::of(7).minority(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn of_rejects_even() {
+        OddK::of(4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Explaining nearest-neighbor **retrieval** — the vector-database / RAG
+//! scenario from the paper's introduction ("in Retrieval-Augmented Generation
+//! systems ... the goal is to identify the most relevant sections of a
+//! document for a given query ... by performing a nearest-neighbor query
+//! within a textual-embedding space").
+//!
+//! A retrieval decision is a 1-NN classification: "does the query land closer
+//! to corpus cluster A or corpus cluster B?" — so the paper's machinery
+//! answers retrieval-audit questions directly:
+//!
+//! * **abductive**: which embedding dimensions *alone* pin the routing of
+//!   this query to the `databases` shelf? (minimal sufficient reason, ℓ2,
+//!   Proposition 3);
+//! * **counterfactual**: what is the smallest embedding perturbation after
+//!   which the query retrieves from the `networking` shelf instead?
+//!   (Theorem 2 / Corollary 2).
+//!
+//! Embeddings here are synthetic topic mixtures (DESIGN.md §1 substitution:
+//! no embedding model ships offline); the geometry exercised — clustered
+//! unit-scale dense vectors — is the same.
+//!
+//! Run with: `cargo run --release --example rag_retrieval`
+
+use explainable_knn::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dimension names make the feature-index explanations readable — in a real
+/// deployment these would come from a sparse autoencoder or feature probe.
+const DIMS: [&str; 8] = [
+    "sql-syntax",
+    "query-planning",
+    "storage-engines",
+    "transactions",
+    "packet-routing",
+    "congestion-control",
+    "tls-handshake",
+    "dns-resolution",
+];
+
+/// A synthetic embedding: topic-aligned dimensions high, others low noise.
+fn embed(rng: &mut StdRng, topic_dims: &[usize]) -> Vec<f64> {
+    (0..DIMS.len())
+        .map(|i| {
+            let base = if topic_dims.contains(&i) { 0.8 } else { 0.05 };
+            base + rng.gen_range(-0.05..0.05)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2025);
+
+    // Corpus: a "databases" shelf (dims 0-3) and a "networking" shelf (4-7).
+    let db_docs: Vec<Vec<f64>> = (0..6).map(|_| embed(&mut rng, &[0, 1, 2, 3])).collect();
+    let net_docs: Vec<Vec<f64>> = (0..6).map(|_| embed(&mut rng, &[4, 5, 6, 7])).collect();
+    let ds = ContinuousDataset::from_sets(db_docs, net_docs);
+
+    // The user's query: mostly databases, with a networking tinge
+    // ("how do distributed databases handle connection timeouts?").
+    let mut query = embed(&mut rng, &[1, 2]);
+    query[5] = 0.45; // congestion-control flavor
+    query[6] = 0.30; // tls flavor
+
+    let knn = ContinuousKnn::new(&ds, LpMetric::L2, OddK::ONE);
+    let shelf = |l: Label| if l.is_positive() { "databases" } else { "networking" };
+    let label = knn.classify(&query);
+    println!("query routed to: the `{}` shelf\n", shelf(label));
+
+    // ---- Abductive audit -------------------------------------------------
+    // Under ℓ2 with unbounded features, freeing almost any single dimension
+    // admits an extreme-valued counterexample, so minimal ℓ2 reasons are
+    // near-total — an instructive artifact of the continuous setting. The ℓ1
+    // audit (Proposition 4, the Figure-6a path) is the informative one: its
+    // counterexamples substitute actual corpus values.
+    let l2_reason = L2Abductive::new(&ds, OddK::ONE).minimal(&query);
+    let reason = L1Abductive::new(&ds).minimal(&query);
+    println!(
+        "minimal sufficient reason — ℓ1 audit (ℓ2 needs {} of {} dims: unbounded\n\
+         completions make single freed dimensions flippable):",
+        l2_reason.len(),
+        DIMS.len()
+    );
+    for &i in &reason {
+        println!("  [{i}] {:<20} = {:.3}", DIMS[i], query[i]);
+    }
+    println!(
+        "  (any query agreeing on these {} of {} dimensions routes identically under ℓ1)\n",
+        reason.len(),
+        DIMS.len()
+    );
+
+    // ---- Counterfactual audit --------------------------------------------
+    let cf = L2Counterfactual::new(&ds, OddK::ONE);
+    let inf = cf.infimum(&query).expect("both shelves nonempty");
+    println!(
+        "smallest embedding change that flips the routing: ‖Δ‖₂ = {:.4}",
+        inf.dist_sq.sqrt()
+    );
+    let witness = cf
+        .within(&query, &(inf.dist_sq * 1.02 + 1e-9))
+        .expect("witness just past the infimum");
+    println!("a concrete re-routed query (changes ≥ 0.02 shown):");
+    for i in 0..DIMS.len() {
+        let delta = witness[i] - query[i];
+        if delta.abs() >= 0.02 {
+            println!(
+                "  [{i}] {:<20} {:.3} → {:.3}  (Δ {delta:+.3})",
+                DIMS[i], query[i], witness[i]
+            );
+        }
+    }
+    assert_eq!(knn.classify(&witness), label.flip());
+    println!(
+        "\nre-routed query retrieves from: the `{}` shelf",
+        shelf(knn.classify(&witness))
+    );
+
+    // ---- Per-document view ------------------------------------------------
+    // The classic "data perspective" the paper contrasts with: which corpus
+    // document actually won the retrieval, before and after.
+    let nearest = |q: &[f64]| {
+        (0..ds.len())
+            .min_by(|&a, &b| {
+                let da = LpMetric::L2.dist_f64(q, ds.point(a));
+                let db = LpMetric::L2.dist_f64(q, ds.point(b));
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+    };
+    println!(
+        "\nnearest document before: #{} ({})  —  after: #{} ({})",
+        nearest(&query),
+        shelf(ds.label(nearest(&query))),
+        nearest(&witness),
+        shelf(ds.label(nearest(&witness))),
+    );
+    println!(
+        "\nThe feature-perspective explanation ({} dims + one Δ vector) stays this\n\
+         small at any corpus size; the data-perspective one grows with the corpus\n\
+         and says nothing about *which aspects* of the query mattered (cf. §1).",
+        reason.len()
+    );
+}

@@ -1,0 +1,86 @@
+//! `xknn` — explain k-NN classifications from the shell.
+//!
+//! ```text
+//! xknn <command> --data <file> --point "v1,v2,..." [options]
+//!
+//! commands:
+//!   classify          the optimistic k-NN label of the point (§2)
+//!   minimal-sr        a minimal sufficient reason (Prop 2 + the per-metric checker)
+//!   minimum-sr        an exact minimum sufficient reason (NP-hard/Σ₂ᵖ: IHS solver)
+//!   check-sr          is --features a sufficient reason? (counterexample if not)
+//!   counterfactual    the closest counterfactual under the metric
+//!
+//! options:
+//!   --data <file>     labeled points: `+ 1.0 2.0` / `- 0 1 1`; `#` comments
+//!   --point <csv>     the query point
+//!   --metric <m>      l2 (default) | l1 | lp:<p> | hamming
+//!   --k <odd>         neighborhood size (default 1)
+//!   --features <csv>  feature indices for check-sr
+//! ```
+//!
+//! The tool refuses (metric, k, command) combinations outside the paper's
+//! tractability boundary instead of silently approximating; see Table 1.
+
+use explainable_knn::cli::{
+    parse_dataset, parse_indices, parse_point, run_query, MetricChoice, QueryOutput,
+};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("xknn: {msg}");
+    eprintln!("run with no arguments for usage");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let Some(command) = argv.get(1).filter(|c| !c.starts_with("--")).cloned() else {
+        println!("usage: xknn <classify|minimal-sr|minimum-sr|check-sr|counterfactual>");
+        println!("            --data <file> --point \"v1,v2,...\"");
+        println!("            [--metric l2|l1|lp:<p>|hamming] [--k <odd>] [--features i,j,...]");
+        std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
+    };
+
+    let data_path = arg("--data").unwrap_or_else(|| fail("--data <file> is required"));
+    let text = std::fs::read_to_string(&data_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {data_path}: {e}")));
+    let data = parse_dataset(&text).unwrap_or_else(|e| fail(&e));
+
+    let point_s = arg("--point").unwrap_or_else(|| fail("--point \"v1,v2,...\" is required"));
+    let x = parse_point(&point_s).unwrap_or_else(|e| fail(&e));
+
+    let metric = MetricChoice::parse(&arg("--metric").unwrap_or_else(|| "l2".into()))
+        .unwrap_or_else(|e| fail(&e));
+    let k: u32 = arg("--k")
+        .map(|s| s.parse().unwrap_or_else(|_| fail("--k must be an integer")))
+        .unwrap_or(1);
+    let features = arg("--features")
+        .map(|s| parse_indices(&s, data.continuous.dim()).unwrap_or_else(|e| fail(&e)));
+
+    match run_query(&data, metric, k, &command, &x, features.as_deref()) {
+        Err(e) => fail(&e),
+        Ok(QueryOutput::Label(l)) => println!("label: {l}"),
+        Ok(QueryOutput::Reason(r)) => {
+            println!("sufficient reason ({} of {} features): {r:?}", r.len(), x.len());
+        }
+        Ok(QueryOutput::Check { sufficient: true, .. }) => println!("sufficient: yes"),
+        Ok(QueryOutput::Check { sufficient: false, witness }) => {
+            println!("sufficient: no");
+            if let Some(w) = witness {
+                println!("counterexample (same fixed features, different label): {w:?}");
+            }
+        }
+        Ok(QueryOutput::Counterfactual { point, dist, proven }) => {
+            println!("counterfactual: {point:?}");
+            println!(
+                "distance: {dist} ({})",
+                if proven { "proven optimal" } else { "heuristic upper bound" }
+            );
+        }
+        Ok(QueryOutput::NoCounterfactual) => println!("no counterfactual exists"),
+    }
+}

@@ -1,0 +1,476 @@
+//! Parsing and dispatch for the `xknn` command-line tool.
+//!
+//! The tool reads a labeled dataset from a plain-text file (one point per
+//! line, `+`/`-` label first, then whitespace- or comma-separated feature
+//! values; `#` starts a comment) and answers the paper's explanation queries
+//! from the shell. Everything testable lives here; `src/bin/xknn.rs` is a
+//! thin wrapper.
+
+use crate::prelude::*;
+
+/// Which metric space family the query runs in (§2 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricChoice {
+    /// Continuous, ℓ2 — every explanation problem except Minimum-SR is
+    /// polynomial (Table 1, first row).
+    L2,
+    /// Continuous, ℓ1 — Check-SR is polynomial only at k = 1 (second row).
+    L1,
+    /// Continuous, general ℓp (`p ⩾ 3`) — complexity open (§10); served by
+    /// the heuristic engine.
+    Lp(u32),
+    /// Discrete `{0,1}ⁿ` with the Hamming distance (third row).
+    Hamming,
+}
+
+impl MetricChoice {
+    /// Parses `l2`, `l1`, `hamming`, or `lp:<p>`.
+    pub fn parse(s: &str) -> Result<MetricChoice, String> {
+        match s {
+            "l2" => Ok(MetricChoice::L2),
+            "l1" => Ok(MetricChoice::L1),
+            "hamming" | "h" => Ok(MetricChoice::Hamming),
+            other => {
+                if let Some(p) = other.strip_prefix("lp:") {
+                    let p: u32 =
+                        p.parse().map_err(|_| format!("bad ℓp exponent in `{other}`"))?;
+                    if p == 0 {
+                        return Err("ℓp exponent must be positive".into());
+                    }
+                    Ok(match p {
+                        1 => MetricChoice::L1,
+                        2 => MetricChoice::L2,
+                        _ => MetricChoice::Lp(p),
+                    })
+                } else {
+                    Err(format!("unknown metric `{other}` (try l2, l1, lp:<p>, hamming)"))
+                }
+            }
+        }
+    }
+}
+
+/// A dataset parsed from text — continuous always; boolean view when every
+/// value is 0/1.
+#[derive(Clone, Debug)]
+pub struct ParsedData {
+    /// Continuous view (always available).
+    pub continuous: ContinuousDataset<f64>,
+    /// Boolean view, present iff every value in the file was 0 or 1.
+    pub boolean: Option<BooleanDataset>,
+}
+
+/// Parses one feature vector: comma- or whitespace-separated floats.
+pub fn parse_point(s: &str) -> Result<Vec<f64>, String> {
+    let toks: Vec<&str> =
+        s.split(|c: char| c == ',' || c.is_whitespace()).filter(|t| !t.is_empty()).collect();
+    if toks.is_empty() {
+        return Err("empty point".into());
+    }
+    toks.iter()
+        .map(|t| match t.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            Ok(_) => Err(format!("non-finite value `{t}`")),
+            Err(_) => Err(format!("bad number `{t}`")),
+        })
+        .collect()
+}
+
+/// Parses a full dataset file (see module docs for the format).
+pub fn parse_dataset(text: &str) -> Result<ParsedData, String> {
+    let mut points: Vec<(Vec<f64>, Label)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = match line.as_bytes()[0] {
+            b'+' => (Label::Positive, &line[1..]),
+            b'-' => (Label::Negative, &line[1..]),
+            _ => {
+                return Err(format!(
+                    "line {}: must start with `+` or `-` label",
+                    lineno + 1
+                ))
+            }
+        };
+        let vals = parse_point(rest).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some((first, _)) = points.first() {
+            if first.len() != vals.len() {
+                return Err(format!(
+                    "line {}: dimension {} does not match first point's {}",
+                    lineno + 1,
+                    vals.len(),
+                    first.len()
+                ));
+            }
+        }
+        points.push((vals, label));
+    }
+    if points.is_empty() {
+        return Err("dataset file contains no points".into());
+    }
+    let dim = points[0].0.len();
+    let mut continuous = ContinuousDataset::new(dim);
+    let mut all_binary = true;
+    for (vals, label) in &points {
+        all_binary &= vals.iter().all(|&v| v == 0.0 || v == 1.0);
+        continuous.push(vals.clone(), *label);
+    }
+    let boolean = all_binary.then(|| {
+        let mut ds = BooleanDataset::new(dim);
+        for (vals, label) in &points {
+            ds.push(
+                BitVec::from_bools(&vals.iter().map(|&v| v == 1.0).collect::<Vec<_>>()),
+                *label,
+            );
+        }
+        ds
+    });
+    Ok(ParsedData { continuous, boolean })
+}
+
+/// Parses a comma-separated feature-index list (`0,3,7`).
+pub fn parse_indices(s: &str, dim: usize) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for t in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let i: usize = t.parse().map_err(|_| format!("bad index `{t}`"))?;
+        if i >= dim {
+            return Err(format!("index {i} out of range (dimension {dim})"));
+        }
+        out.push(i);
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// One executed query's result, rendered for the terminal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutput {
+    /// `classify`.
+    Label(Label),
+    /// `minimal-sr` / `minimum-sr`: feature indices.
+    Reason(Vec<usize>),
+    /// `check-sr`: verdict plus a counterexample when not sufficient.
+    Check {
+        /// Whether the given feature set is a sufficient reason.
+        sufficient: bool,
+        /// A counterexample completion when it is not.
+        witness: Option<Vec<f64>>,
+    },
+    /// `counterfactual`: witness, distance, and whether it was proven optimal.
+    Counterfactual {
+        /// The differently-classified point.
+        point: Vec<f64>,
+        /// Its distance from the query under the chosen metric.
+        dist: f64,
+        /// `true` for exact engines; `false` for the ℓp heuristic.
+        proven: bool,
+    },
+    /// No counterfactual exists (a class is empty).
+    NoCounterfactual,
+}
+
+/// Runs one query against the parsed data. `k` must be odd. Returns a
+/// human-readable error for unsupported (metric, k, command) combinations —
+/// the CLI surfaces Table 1's boundaries rather than silently approximating.
+pub fn run_query(
+    data: &ParsedData,
+    metric: MetricChoice,
+    k: u32,
+    command: &str,
+    x: &[f64],
+    features: Option<&[usize]>,
+) -> Result<QueryOutput, String> {
+    let k = OddK::new(k).ok_or_else(|| format!("k must be odd, got {k}"))?;
+    if x.len() != data.continuous.dim() {
+        return Err(format!(
+            "point dimension {} does not match dataset dimension {}",
+            x.len(),
+            data.continuous.dim()
+        ));
+    }
+    let need_bool = || -> Result<(&BooleanDataset, BitVec), String> {
+        let ds = data
+            .boolean
+            .as_ref()
+            .ok_or("the hamming metric needs a 0/1 dataset".to_string())?;
+        if x.iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err("the hamming metric needs a 0/1 query point".into());
+        }
+        Ok((ds, BitVec::from_bools(&x.iter().map(|&v| v == 1.0).collect::<Vec<_>>())))
+    };
+
+    match (command, metric) {
+        ("classify", MetricChoice::Hamming) => {
+            let (ds, bx) = need_bool()?;
+            Ok(QueryOutput::Label(BooleanKnn::new(ds, k).classify(&bx)))
+        }
+        ("classify", m) => {
+            let p = metric_p(m);
+            Ok(QueryOutput::Label(
+                ContinuousKnn::new(&data.continuous, LpMetric::new(p), k).classify(x),
+            ))
+        }
+
+        ("minimal-sr", MetricChoice::L2) => {
+            Ok(QueryOutput::Reason(L2Abductive::new(&data.continuous, k).minimal(x)))
+        }
+        ("minimal-sr", MetricChoice::L1) => {
+            require_k1(k, "minimal-sr under ℓ1 (Thm 5: coNP-complete for k ⩾ 3)")?;
+            Ok(QueryOutput::Reason(L1Abductive::new(&data.continuous).minimal(x)))
+        }
+        ("minimal-sr", MetricChoice::Hamming) => {
+            let (ds, bx) = need_bool()?;
+            Ok(QueryOutput::Reason(HammingAbductive::new(ds, k).minimal(&bx)))
+        }
+
+        ("minimum-sr", MetricChoice::L2) => {
+            Ok(QueryOutput::Reason(L2Abductive::new(&data.continuous, k).minimum(x)))
+        }
+        ("minimum-sr", MetricChoice::L1) => {
+            require_k1(k, "minimum-sr under ℓ1")?;
+            Ok(QueryOutput::Reason(L1Abductive::new(&data.continuous).minimum(x)))
+        }
+        ("minimum-sr", MetricChoice::Hamming) => {
+            let (ds, bx) = need_bool()?;
+            Ok(QueryOutput::Reason(HammingAbductive::new(ds, k).minimum(&bx)))
+        }
+
+        ("check-sr", m) => {
+            let fixed = features.ok_or("check-sr needs --features")?;
+            let check = match m {
+                MetricChoice::L2 => L2Abductive::new(&data.continuous, k).check(x, fixed),
+                MetricChoice::L1 => {
+                    require_k1(k, "check-sr under ℓ1 (Thm 5)")?;
+                    L1Abductive::new(&data.continuous).check(x, fixed)
+                }
+                MetricChoice::Hamming => {
+                    let (ds, bx) = need_bool()?;
+                    return Ok(match HammingAbductive::new(ds, k).check(&bx, fixed) {
+                        SrCheck::Sufficient => {
+                            QueryOutput::Check { sufficient: true, witness: None }
+                        }
+                        SrCheck::NotSufficient { witness } => QueryOutput::Check {
+                            sufficient: false,
+                            witness: Some(
+                                witness.iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+                            ),
+                        },
+                    });
+                }
+                MetricChoice::Lp(p) => {
+                    return Err(format!(
+                        "check-sr under ℓ{p} is not implemented (complexity open, §10)"
+                    ))
+                }
+            };
+            Ok(match check {
+                SrCheck::Sufficient => QueryOutput::Check { sufficient: true, witness: None },
+                SrCheck::NotSufficient { witness } => {
+                    QueryOutput::Check { sufficient: false, witness: Some(witness) }
+                }
+            })
+        }
+
+        ("counterfactual", MetricChoice::L2) => {
+            let cf = L2Counterfactual::new(&data.continuous, k);
+            match cf.infimum(x) {
+                None => Ok(QueryOutput::NoCounterfactual),
+                Some(inf) => {
+                    let dist = inf.dist_sq.sqrt();
+                    let radius = inf.dist_sq * 1.0001 + 1e-12;
+                    let point = cf
+                        .within(x, &radius)
+                        .ok_or("internal: witness missing just past the infimum")?;
+                    Ok(QueryOutput::Counterfactual { point, dist, proven: true })
+                }
+            }
+        }
+        ("counterfactual", MetricChoice::L1) => {
+            require_k1(k, "counterfactual under ℓ1 via the k = 1 MILP model")?;
+            match L1Counterfactual::new(&data.continuous).closest(x) {
+                None => Ok(QueryOutput::NoCounterfactual),
+                Some((point, dist)) => {
+                    Ok(QueryOutput::Counterfactual { point, dist, proven: true })
+                }
+            }
+        }
+        ("counterfactual", MetricChoice::Lp(p)) => {
+            let engine = knn_core::counterfactual::lp_general::LpGeneralCounterfactual::new(
+                &data.continuous,
+                LpMetric::new(p),
+                k,
+            );
+            match engine.closest(x) {
+                None => Ok(QueryOutput::NoCounterfactual),
+                Some(w) => Ok(QueryOutput::Counterfactual {
+                    point: w.point,
+                    dist: w.dist,
+                    proven: false, // heuristic upper bound (§10 open problem)
+                }),
+            }
+        }
+        ("counterfactual", MetricChoice::Hamming) => {
+            let (ds, bx) = need_bool()?;
+            match hamming_counterfactual::closest_sat(ds, k, &bx) {
+                None => Ok(QueryOutput::NoCounterfactual),
+                Some((point, d)) => Ok(QueryOutput::Counterfactual {
+                    point: point.iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
+                    dist: d as f64,
+                    proven: true,
+                }),
+            }
+        }
+
+        (other, _) => Err(format!(
+            "unknown command `{other}` (try classify, minimal-sr, minimum-sr, check-sr, counterfactual)"
+        )),
+    }
+}
+
+fn metric_p(m: MetricChoice) -> u32 {
+    match m {
+        MetricChoice::L1 => 1,
+        MetricChoice::L2 => 2,
+        MetricChoice::Lp(p) => p,
+        MetricChoice::Hamming => unreachable!("handled by the boolean path"),
+    }
+}
+
+fn require_k1(k: OddK, what: &str) -> Result<(), String> {
+    if k.get() != 1 {
+        return Err(format!("{what} requires k = 1, got k = {}", k.get()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOOL_DATA: &str = "\
+# a comment line
++ 1 1 1
++ 1,1,0   # trailing comment
+- 0 0 0
+- 0 0 1
+";
+
+    const CONT_DATA: &str = "\
++ 2.0 2.0
++ 3.0 1.5
+- -1.0 -1.0
+- 0.0 -2.0
+";
+
+    #[test]
+    fn parses_boolean_dataset_with_both_views() {
+        let d = parse_dataset(BOOL_DATA).unwrap();
+        assert_eq!(d.continuous.len(), 4);
+        assert_eq!(d.continuous.dim(), 3);
+        let b = d.boolean.expect("all-binary file gets a boolean view");
+        assert_eq!(b.count_of(Label::Positive), 2);
+    }
+
+    #[test]
+    fn continuous_dataset_has_no_boolean_view() {
+        let d = parse_dataset(CONT_DATA).unwrap();
+        assert!(d.boolean.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse_dataset("").is_err());
+        assert!(parse_dataset("x 1 2").is_err(), "missing label");
+        assert!(parse_dataset("+ 1 2\n- 1 2 3").is_err(), "dimension mismatch");
+        assert!(parse_dataset("+ 1 two").is_err(), "non-numeric");
+        assert!(parse_dataset("+\n").is_err(), "empty point");
+        assert!(parse_dataset("+ 1e309 0").is_err(), "overflowing literal → inf");
+        assert!(parse_dataset("+ NaN 0").is_err(), "NaN rejected");
+    }
+
+    #[test]
+    fn metric_parsing() {
+        assert_eq!(MetricChoice::parse("l2"), Ok(MetricChoice::L2));
+        assert_eq!(MetricChoice::parse("lp:2"), Ok(MetricChoice::L2));
+        assert_eq!(MetricChoice::parse("lp:1"), Ok(MetricChoice::L1));
+        assert_eq!(MetricChoice::parse("lp:3"), Ok(MetricChoice::Lp(3)));
+        assert_eq!(MetricChoice::parse("hamming"), Ok(MetricChoice::Hamming));
+        assert!(MetricChoice::parse("lp:0").is_err());
+        assert!(MetricChoice::parse("cosine").is_err());
+    }
+
+    #[test]
+    fn index_parsing_bounds_checked() {
+        assert_eq!(parse_indices("2, 0, 2", 3).unwrap(), vec![0, 2]);
+        assert!(parse_indices("3", 3).is_err());
+        assert!(parse_indices("x", 3).is_err());
+    }
+
+    #[test]
+    fn classify_and_explain_roundtrip_hamming() {
+        let d = parse_dataset(BOOL_DATA).unwrap();
+        let x = [0.0, 1.0, 0.0];
+        let out = run_query(&d, MetricChoice::Hamming, 1, "classify", &x, None).unwrap();
+        assert!(matches!(out, QueryOutput::Label(_)));
+        let QueryOutput::Reason(sr) =
+            run_query(&d, MetricChoice::Hamming, 1, "minimal-sr", &x, None).unwrap()
+        else {
+            panic!()
+        };
+        let QueryOutput::Check { sufficient, .. } =
+            run_query(&d, MetricChoice::Hamming, 1, "check-sr", &x, Some(&sr)).unwrap()
+        else {
+            panic!()
+        };
+        assert!(sufficient, "a minimal SR must check as sufficient");
+        let QueryOutput::Counterfactual { dist, proven, .. } =
+            run_query(&d, MetricChoice::Hamming, 1, "counterfactual", &x, None).unwrap()
+        else {
+            panic!()
+        };
+        assert!(proven);
+        assert!(dist >= 1.0);
+    }
+
+    #[test]
+    fn classify_and_explain_roundtrip_l2() {
+        let d = parse_dataset(CONT_DATA).unwrap();
+        let x = [1.0, 1.0];
+        let QueryOutput::Counterfactual { point, dist, proven } =
+            run_query(&d, MetricChoice::L2, 1, "counterfactual", &x, None).unwrap()
+        else {
+            panic!()
+        };
+        assert!(proven);
+        assert!(dist > 0.0);
+        let knn = ContinuousKnn::new(&d.continuous, LpMetric::L2, OddK::ONE);
+        assert_ne!(knn.classify(&point), knn.classify(&x));
+    }
+
+    #[test]
+    fn lp3_counterfactual_is_heuristic() {
+        let d = parse_dataset(CONT_DATA).unwrap();
+        let out =
+            run_query(&d, MetricChoice::Lp(3), 1, "counterfactual", &[1.0, 1.0], None).unwrap();
+        match out {
+            QueryOutput::Counterfactual { proven, .. } => assert!(!proven),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table1_boundaries_are_surfaced() {
+        let d = parse_dataset(CONT_DATA).unwrap();
+        // ℓ1 with k = 3: Check-SR is coNP-complete — refused, not approximated.
+        let err =
+            run_query(&d, MetricChoice::L1, 3, "minimal-sr", &[1.0, 1.0], None).unwrap_err();
+        assert!(err.contains("k = 1"), "{err}");
+        // even k rejected.
+        assert!(run_query(&d, MetricChoice::L2, 2, "classify", &[1.0, 1.0], None).is_err());
+        // dimension mismatch rejected.
+        assert!(run_query(&d, MetricChoice::L2, 1, "classify", &[1.0], None).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the CLI's dataset parser: rendered datasets round-trip
+//! exactly, and arbitrary input text never panics the parser.
+
+use explainable_knn::cli::{parse_dataset, parse_point};
+use explainable_knn::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct FileSpec {
+    dim: usize,
+    rows: Vec<(bool, Vec<f64>)>,
+}
+
+fn file_strategy() -> impl Strategy<Value = FileSpec> {
+    (1..=5usize).prop_flat_map(|dim| {
+        prop::collection::vec(
+            (any::<bool>(), prop::collection::vec(-8..=8i32, dim)),
+            1..=10,
+        )
+        .prop_map(move |rows| FileSpec {
+            dim,
+            rows: rows
+                .into_iter()
+                .map(|(pos, vals)| (pos, vals.into_iter().map(|v| v as f64 / 4.0).collect()))
+                .collect(),
+        })
+    })
+}
+
+fn render(spec: &FileSpec, sep_comma: bool, with_comments: bool) -> String {
+    let mut out = String::new();
+    if with_comments {
+        out.push_str("# generated file\n\n");
+    }
+    for (pos, vals) in &spec.rows {
+        out.push(if *pos { '+' } else { '-' });
+        let sep = if sep_comma { "," } else { " " };
+        let body: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+        out.push(' ');
+        out.push_str(&body.join(sep));
+        if with_comments {
+            out.push_str("  # row");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Rendered files parse back to exactly the same dataset, under either
+    /// separator and with or without comments.
+    #[test]
+    fn roundtrip(spec in file_strategy(), comma in any::<bool>(), comments in any::<bool>()) {
+        let text = render(&spec, comma, comments);
+        let parsed = parse_dataset(&text).expect("rendered file must parse");
+        prop_assert_eq!(parsed.continuous.len(), spec.rows.len());
+        prop_assert_eq!(parsed.continuous.dim(), spec.dim);
+        for (i, (pos, vals)) in spec.rows.iter().enumerate() {
+            prop_assert_eq!(parsed.continuous.point(i), &vals[..]);
+            let want = if *pos { Label::Positive } else { Label::Negative };
+            prop_assert_eq!(parsed.continuous.label(i), want);
+        }
+        // The boolean view appears exactly when every value is 0/1.
+        let all_binary =
+            spec.rows.iter().all(|(_, v)| v.iter().all(|&x| x == 0.0 || x == 1.0));
+        prop_assert_eq!(parsed.boolean.is_some(), all_binary);
+    }
+
+    /// No input string can panic the parser (it may reject, never crash).
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_dataset(&text);
+        let _ = parse_point(&text);
+    }
+
+    /// Structured junk built from the grammar's own tokens also never panics.
+    #[test]
+    fn token_soup_never_panics(
+        toks in prop::collection::vec(
+            prop::sample::select(vec!["+", "-", "#", ",", " ", "\n", "1", "0.5", "x", "1e309"]),
+            0..60,
+        )
+    ) {
+        let text: String = toks.concat();
+        let _ = parse_dataset(&text);
+    }
+}
