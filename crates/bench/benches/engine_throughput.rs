@@ -1,0 +1,127 @@
+//! Batch-engine throughput: queries/second for Hamming, ℓ1 and ℓ2 batches,
+//! cold (fresh engine) vs warm (identical batch against the populated
+//! explanation cache), written to `BENCH_engine.json` at the workspace root
+//! so future PRs have a perf trajectory to compare against.
+//!
+//! Run with `cargo bench -p knn-bench --bench engine_throughput`.
+//! Pass `--full` for the larger workload (more queries, bigger dataset).
+
+use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    metric: &'static str,
+    k: u32,
+    queries: usize,
+    /// Effort budget for the engine serving this workload. The ℓ1 batch runs
+    /// budgeted: its exact counterfactual MILP (Thm 4, NP-complete even for
+    /// singleton classes) blows up at this dataset size, so the planner
+    /// demotes those queries to the heuristic route — which is exactly the
+    /// budget's job.
+    budget: Option<u64>,
+}
+
+fn requests(w: &Workload, dim: usize, rng: &mut StdRng) -> Vec<Request> {
+    (0..w.queries)
+        .map(|i| {
+            let point: Vec<String> =
+                (0..dim).map(|_| if rng.gen_bool(0.5) { "1" } else { "0" }.into()).collect();
+            // Mixed abductive + counterfactual traffic; weights roughly follow
+            // an interactive-explanation session (mostly classify, then drill
+            // into reasons and counterfactuals).
+            let cmd = match i % 10 {
+                0..=3 => "classify",
+                4..=6 => "minimal-sr",
+                7 => "check-sr",
+                _ => "counterfactual",
+            };
+            let features = if cmd == "check-sr" { ",\"features\":[0,1]" } else { "" };
+            let line = format!(
+                r#"{{"id":"{}-{i}","cmd":"{cmd}","metric":"{}","k":{},"point":[{}]{features}}}"#,
+                w.name,
+                w.metric,
+                w.k,
+                point.join(",")
+            );
+            Request::from_json_line(&line, &i.to_string()).expect("generated request parses")
+        })
+        .collect()
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (n_points, dim, q) = if full { (60, 14, 400) } else { (30, 10, 120) };
+
+    let mut rng = StdRng::seed_from_u64(2025);
+    let boolean = knn_datasets::random::random_boolean_dataset(&mut rng, n_points, dim, 0.5);
+    let continuous = boolean.to_continuous::<f64>();
+
+    let workloads = [
+        Workload { name: "hamming", metric: "hamming", k: 3, queries: q, budget: None },
+        Workload { name: "l1", metric: "l1", k: 1, queries: q, budget: Some(50_000) },
+        Workload { name: "l2", metric: "l2", k: 1, queries: q, budget: None },
+    ];
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"points\": {n_points}, \"dim\": {dim}, \"queries\": {q}, \"workers\": {}}},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    for (wi, w) in workloads.iter().enumerate() {
+        let reqs = requests(w, dim, &mut rng);
+        let engine = ExplanationEngine::new(
+            EngineData::new(continuous.clone(), Some(boolean.clone())),
+            EngineConfig { effort_budget: w.budget, ..EngineConfig::default() },
+        );
+
+        let t0 = Instant::now();
+        let (cold_resps, cold_stats) = engine.run_batch_with_stats(&reqs);
+        let cold = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let (warm_resps, warm_stats) = engine.run_batch_with_stats(&reqs);
+        let warm = t1.elapsed().as_secs_f64();
+
+        // Sanity: warm run is pure cache, and bytes are identical.
+        assert_eq!(warm_stats.cache_hits, reqs.len(), "warm run must be all hits");
+        for (a, b) in cold_resps.iter().zip(&warm_resps) {
+            assert_eq!(a.to_json_line(), b.to_json_line(), "cache must be transparent");
+        }
+        let errors = cold_resps.iter().filter(|r| r.result.is_err()).count();
+        for r in cold_resps.iter().filter(|r| r.result.is_err()).take(3) {
+            eprintln!("{}: error response: {}", w.name, r.to_json_line());
+        }
+        assert_eq!(errors, 0, "{}: benchmark queries must all be served", w.name);
+
+        let cold_qps = reqs.len() as f64 / cold;
+        let warm_qps = reqs.len() as f64 / warm;
+        println!(
+            "{:<8} cold {:>9.1} q/s ({} workers)   warm {:>11.1} q/s   speedup {:>6.1}x",
+            w.name,
+            cold_qps,
+            cold_stats.workers,
+            warm_qps,
+            warm_qps / cold_qps
+        );
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{\"cold_qps\": {:.1}, \"warm_qps\": {:.1}, \"cache_speedup\": {:.1}}}{}",
+            w.name,
+            cold_qps,
+            warm_qps,
+            warm_qps / cold_qps,
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

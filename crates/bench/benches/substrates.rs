@@ -37,11 +37,8 @@ fn cardinality_ablation(c: &mut Criterion) {
                         uniq.sort();
                         uniq.dedup();
                         // Drop complementary pairs to keep the constraint well-formed.
-                        let clean: Vec<Lit> = uniq
-                            .iter()
-                            .copied()
-                            .filter(|l| !uniq.contains(&l.negate()))
-                            .collect();
+                        let clean: Vec<Lit> =
+                            uniq.iter().copied().filter(|l| !uniq.contains(&l.negate())).collect();
                         if clean.len() < 3 {
                             continue;
                         }
@@ -74,9 +71,8 @@ fn classifier_and_index(c: &mut Criterion) {
 
     group.bench_function("kdtree_knn_N2000_d8", |b| {
         let mut rng = StdRng::seed_from_u64(11);
-        let pts: Vec<Vec<f64>> = (0..2000)
-            .map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            (0..2000).map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
         let tree = knn_index::KdTree::new(pts, knn_space::LpMetric::L2);
         let q: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
         b.iter(|| criterion::black_box(tree.knn(&q, 5)));
@@ -96,9 +92,7 @@ fn classifier_and_index(c: &mut Criterion) {
             lp.add_dense(&a, knn_lp::Rel::Le, rng.gen_range(5.0..50.0));
         }
         let c_vec: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..2.0)).collect();
-        b.iter(|| {
-            criterion::black_box(lp.solve(&c_vec, knn_lp::Objective::Maximize))
-        });
+        b.iter(|| criterion::black_box(lp.solve(&c_vec, knn_lp::Objective::Maximize)));
     });
 
     group.bench_function("qp_projection_f64_d50_m30", |b| {
@@ -176,10 +170,7 @@ fn milp_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let configs: [(&str, MilpConfig); 3] = [
         ("dfs", MilpConfig::default()),
-        (
-            "dfs+rounding",
-            MilpConfig { rounding_heuristic: true, ..Default::default() },
-        ),
+        ("dfs+rounding", MilpConfig { rounding_heuristic: true, ..Default::default() }),
         (
             "best_bound+rounding",
             MilpConfig {
@@ -194,13 +185,17 @@ fn milp_ablation(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(15);
             let ds = random_boolean_dataset(&mut rng, 25, 12, 0.5);
             let x = random_boolean_point(&mut rng, 12);
-            b.iter(|| {
-                criterion::black_box(closest_milp_with(&ds, &x, cfg.clone()).unwrap())
-            });
+            b.iter(|| criterion::black_box(closest_milp_with(&ds, &x, cfg.clone()).unwrap()));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, cardinality_ablation, classifier_and_index, index_ablation, milp_ablation);
+criterion_group!(
+    benches,
+    cardinality_ablation,
+    classifier_and_index,
+    index_ablation,
+    milp_ablation
+);
 criterion_main!(benches);

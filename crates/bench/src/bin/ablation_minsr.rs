@@ -5,12 +5,12 @@
 //! to the minimum?")
 //!
 //! On random discrete instances this harness compares, per instance:
-//!   * `exact`   — the implicit-hitting-set loop with exact hitting sets
-//!                 (ground-truth minimum);
-//!   * `greedy`  — the same loop with greedy hitting sets (polynomial per
-//!                 iteration, the classic ln-approximation shape);
-//!   * `minimal` — Proposition 2's greedy-deletion minimal SR (polynomial,
-//!                 what the tractable Check-SR settings give you for free).
+//! * `exact` — the implicit-hitting-set loop with exact hitting sets
+//!   (ground-truth minimum);
+//! * `greedy` — the same loop with greedy hitting sets (polynomial per
+//!   iteration, the classic ln-approximation shape);
+//! * `minimal` — Proposition 2's greedy-deletion minimal SR (polynomial,
+//!   what the tractable Check-SR settings give you for free).
 //!
 //! Usage: cargo run --release -p knn-bench --bin ablation_minsr
 //!        [--rounds 200] [--dim 10] [--points 12] [--k 1|3]
@@ -30,7 +30,10 @@ fn main() {
     let points: usize = arg_value("--points").map(|s| s.parse().unwrap()).unwrap_or(12);
     let k = OddK::of(arg_value("--k").map(|s| s.parse().unwrap()).unwrap_or(1));
 
-    println!("Minimum-SR approximability probe (discrete, k = {}, n = {dim}, N = {points})", k.get());
+    println!(
+        "Minimum-SR approximability probe (discrete, k = {}, n = {dim}, N = {points})",
+        k.get()
+    );
     println!("{rounds} random instances; sizes and size-ratios vs the exact minimum\n");
 
     let mut ratios_greedy = Vec::new();
@@ -79,15 +82,16 @@ fn main() {
         }
     }
 
-    let summarize = |name: &str, ratios: &[f64], opt: usize, times: &[f64]| {
-        let s = Stats::from_samples(ratios);
-        let worst = ratios.iter().cloned().fold(1.0f64, f64::max);
-        let t = Stats::from_samples(times);
-        println!(
+    let summarize =
+        |name: &str, ratios: &[f64], opt: usize, times: &[f64]| {
+            let s = Stats::from_samples(ratios);
+            let worst = ratios.iter().cloned().fold(1.0f64, f64::max);
+            let t = Stats::from_samples(times);
+            println!(
             "{name:>8}: mean ratio {:.4} ±{:.4}  worst {:.3}  optimal on {}/{}  mean time {:.2e}s",
             s.mean, s.ci95, worst, opt, ratios.len(), t.mean
         );
-    };
+        };
     println!("            (ratio = size / exact-minimum size; 1.0 = optimal)");
     summarize("greedy", &ratios_greedy, greedy_opt, &t_greedy);
     summarize("minimal", &ratios_minimal, minimal_opt, &t_minimal);

@@ -19,8 +19,7 @@ use std::time::Instant;
 fn main() {
     let rounds: usize = arg_value("--rounds").map(|s| s.parse().unwrap()).unwrap_or(10);
     let dims = arg_value("--dims").map(|s| parse_list(&s)).unwrap_or_else(|| vec![30, 60]);
-    let sizes =
-        arg_value("--points").map(|s| parse_list(&s)).unwrap_or_else(|| vec![100, 200]);
+    let sizes = arg_value("--points").map(|s| parse_list(&s)).unwrap_or_else(|| vec![100, 200]);
 
     println!("SAT distance-search ablation: descending vs binary (k = 1)\n");
     for &n_points in &sizes {
@@ -30,8 +29,7 @@ fn main() {
             let mut c_desc = 0u64;
             let mut c_bin = 0u64;
             for run in 0..rounds {
-                let mut rng =
-                    StdRng::seed_from_u64((n_points * 7919 + dim) as u64 + run as u64);
+                let mut rng = StdRng::seed_from_u64((n_points * 7919 + dim) as u64 + run as u64);
                 let ds = random_boolean_dataset(&mut rng, n_points, dim, 0.5);
                 let x = random_boolean_point(&mut rng, dim);
                 let knn = BooleanKnn::new(&ds, OddK::ONE);

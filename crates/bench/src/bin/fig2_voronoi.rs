@@ -20,8 +20,7 @@ const YMAX: f64 = 3.2;
 fn to_cell(x: f64, y: f64) -> Option<(usize, usize)> {
     let cx = ((x - XMIN) / (XMAX - XMIN) * W as f64) as isize;
     let cy = ((YMAX - y) / (YMAX - YMIN) * H as f64) as isize;
-    (cx >= 0 && cx < W as isize && cy >= 0 && cy < H as isize)
-        .then_some((cx as usize, cy as usize))
+    (cx >= 0 && cx < W as isize && cy >= 0 && cy < H as isize).then_some((cx as usize, cy as usize))
 }
 
 fn main() {

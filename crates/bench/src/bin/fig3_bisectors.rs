@@ -12,7 +12,9 @@ const SPAN: f64 = 4.0;
 fn render(name: &str, dist: impl Fn(f64, f64, f64, f64) -> f64) {
     let (ax, ay) = (-1.0, -0.6);
     let (cx, cy) = (1.2, 0.9);
-    println!("{name}: 'a'/'c' the two points, '=' equidistant band, '<' closer to a, '>' closer to c\n");
+    println!(
+        "{name}: 'a'/'c' the two points, '=' equidistant band, '<' closer to a, '>' closer to c\n"
+    );
     for r in 0..H {
         let mut line = String::with_capacity(W);
         for col in 0..W {

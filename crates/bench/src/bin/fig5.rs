@@ -23,9 +23,8 @@ use rand::SeedableRng;
 fn main() {
     let method = arg_value("--method").unwrap_or_else(|| "sat".to_string());
     let full = arg_flag("--full");
-    let repeats: usize = arg_value("--repeats")
-        .map(|s| s.parse().unwrap())
-        .unwrap_or(if full { 30 } else { 3 });
+    let repeats: usize =
+        arg_value("--repeats").map(|s| s.parse().unwrap()).unwrap_or(if full { 30 } else { 3 });
     let dims = arg_value("--dims").map(|s| parse_list(&s)).unwrap_or_else(|| {
         if full {
             vec![50, 100, 150, 200, 250, 300, 350]
@@ -42,7 +41,11 @@ fn main() {
         }
     });
 
-    println!("Figure 5{} — discrete counterfactuals via {}", if method == "sat" { "b" } else { "a" }, method.to_uppercase());
+    println!(
+        "Figure 5{} — discrete counterfactuals via {}",
+        if method == "sat" { "b" } else { "a" },
+        method.to_uppercase()
+    );
     println!("dims = {dims:?}, N = {sizes:?}, repeats = {repeats}\n");
     println!("series = N (total training points), x = dimension n, y = seconds\n");
 

@@ -20,9 +20,8 @@ use rand::SeedableRng;
 fn main() {
     let which = arg_value("--which").unwrap_or_else(|| "msr".to_string());
     let full = arg_flag("--full");
-    let repeats: usize = arg_value("--repeats")
-        .map(|s| s.parse().unwrap())
-        .unwrap_or(if full { 5 } else { 3 });
+    let repeats: usize =
+        arg_value("--repeats").map(|s| s.parse().unwrap()).unwrap_or(if full { 5 } else { 3 });
     let sides = arg_value("--sides").map(|s| parse_list(&s)).unwrap_or_else(|| {
         if full {
             vec![12, 16, 20, 24, 28]

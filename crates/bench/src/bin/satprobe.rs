@@ -23,8 +23,24 @@ fn main() {
     loop {
         let t = Instant::now();
         match m.solve_within(best - 1) {
-            Some(z) => { best = test.hamming(&z); eprintln!("improved to {} in {:?} (conflicts {})", best, t.elapsed(), m.conflicts()); }
-            None => { eprintln!("optimal {} proof in {:?} (conflicts {})", best, t.elapsed(), m.conflicts()); break; }
+            Some(z) => {
+                best = test.hamming(&z);
+                eprintln!(
+                    "improved to {} in {:?} (conflicts {})",
+                    best,
+                    t.elapsed(),
+                    m.conflicts()
+                );
+            }
+            None => {
+                eprintln!(
+                    "optimal {} proof in {:?} (conflicts {})",
+                    best,
+                    t.elapsed(),
+                    m.conflicts()
+                );
+                break;
+            }
         }
     }
 }

@@ -17,7 +17,9 @@ use knn_core::{brute, BitVec, BooleanDataset, BooleanKnn, ContinuousDataset, Odd
 use knn_datasets::combinatorial::{random_knapsack, random_partition};
 use knn_datasets::graphs::random_graph;
 use knn_num::Rat;
-use knn_reductions::{bmcf, interdiction, knapsack_l1, partition_l1, vc_check_sr, vertex_cover_msr};
+use knn_reductions::{
+    bmcf, interdiction, knapsack_l1, partition_l1, vc_check_sr, vertex_cover_msr,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,8 +79,7 @@ fn main() {
         let npts = rng.gen_range(2..6);
         let (bds, x) = random_bool_ds(rng, npts, dim);
         let cds = bds.to_continuous::<Rat>();
-        let xr: Vec<Rat> =
-            x.iter().map(|b| if b { Rat::one() } else { Rat::zero() }).collect();
+        let xr: Vec<Rat> = x.iter().map(|b| if b { Rat::one() } else { Rat::zero() }).collect();
         let ab = L2Abductive::new(&cds, OddK::ONE);
         // Sufficiency in the continuous relaxation implies sufficiency over
         // the binary completions (the cube is a subset of ℝⁿ).
@@ -111,8 +112,7 @@ fn main() {
         let npts = rng.gen_range(2..6);
         let (bds, x) = random_bool_ds(rng, npts, dim);
         let cds = bds.to_continuous::<Rat>();
-        let xr: Vec<Rat> =
-            x.iter().map(|b| if b { Rat::one() } else { Rat::zero() }).collect();
+        let xr: Vec<Rat> = x.iter().map(|b| if b { Rat::one() } else { Rat::zero() }).collect();
         let fixed: Vec<usize> = (0..dim).filter(|_| rng.gen_bool(0.5)).collect();
         let ab = L1Abductive::new(&cds);
         let knn = BooleanKnn::new(&bds, OddK::ONE);
@@ -122,7 +122,7 @@ fn main() {
     check("partition answer survives the Thm 5 reduction (k=3)", 8, |rng, _| {
         let p = random_partition(rng, 5, 8);
         let inst = partition_l1::instance(&p, OddK::THREE);
-        partition_l1::is_sufficient_by_restriction(&p, &inst) == !p.brute_force()
+        partition_l1::is_sufficient_by_restriction(&p, &inst) != p.brute_force()
     });
 
     println!("({{0,1}}, D_H) — Counterfactual: NP-complete (Thm 6); VC → BMCF → CF");
@@ -131,7 +131,8 @@ fn main() {
         let npts = rng.gen_range(2..7);
         let (ds, x) = random_bool_ds(rng, npts, dim);
         let knn = BooleanKnn::new(&ds, OddK::ONE);
-        match (brute::closest_counterfactual(&knn, &x), cf_hamming::closest_sat(&ds, OddK::ONE, &x)) {
+        match (brute::closest_counterfactual(&knn, &x), cf_hamming::closest_sat(&ds, OddK::ONE, &x))
+        {
             (None, None) => true,
             (Some((_, a)), Some((_, b))) => a == b,
             _ => false,
@@ -164,8 +165,7 @@ fn main() {
             return true;
         }
         let q = rng.gen_range(1..3usize);
-        vc_check_sr::vertex_cover_via_check_sr(&g, q, OddK::THREE)
-            == g.has_vertex_cover_of_size(q)
+        vc_check_sr::vertex_cover_via_check_sr(&g, q, OddK::THREE) == g.has_vertex_cover_of_size(q)
     });
 
     println!("({{0,1}}, D_H) — Minimum-SR: NP-c k=1 (Cor 6); Σ₂ᵖ-complete k≥3 (Thm 8)");

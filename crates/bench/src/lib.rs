@@ -51,9 +51,7 @@ pub fn time_runs(runs: usize, mut f: impl FnMut(usize)) -> Stats {
 /// Reads `--name value` style arguments (no external clap in the offline set).
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Presence of a bare `--flag`.

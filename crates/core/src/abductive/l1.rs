@@ -24,7 +24,7 @@ impl<'a, F: Field> L1Abductive<'a, F> {
     /// Builds the engine (k = 1; the problem is coNP-complete for k ≥ 3,
     /// Theorem 5, and this crate deliberately offers no fast path there).
     pub fn new(ds: &'a ContinuousDataset<F>) -> Self {
-        assert!(ds.len() >= 1);
+        assert!(!ds.is_empty());
         L1Abductive { ds }
     }
 
@@ -34,9 +34,7 @@ impl<'a, F: Field> L1Abductive<'a, F> {
 
     /// Builds the candidate completion: `x̄` on `fixed`, `v̄` elsewhere.
     fn completion(&self, x: &[F], v: &[F], fixed: &[usize]) -> Vec<F> {
-        (0..x.len())
-            .map(|i| if fixed.contains(&i) { x[i].clone() } else { v[i].clone() })
-            .collect()
+        (0..x.len()).map(|i| if fixed.contains(&i) { x[i].clone() } else { v[i].clone() }).collect()
     }
 
     /// `1`-Check Sufficient Reason(ℝ, D₁) — polynomial (Prop 4).
@@ -59,7 +57,9 @@ impl<'a, F: Field> L1Abductive<'a, F> {
                     // Need d(y, candidate) ≤ d(y, every other) to certify f(y)=1.
                     Label::Positive => d_other < d_self,
                     // Need strict d(y, candidate) < d(y, every other) for f(y)=0.
-                    Label::Negative => !(d_self < d_other),
+                    Label::Negative => {
+                        d_self.partial_cmp(&d_other) != Some(std::cmp::Ordering::Less)
+                    }
                 }
             });
             if !beaten {
@@ -91,11 +91,7 @@ impl<'a, F: Field> L1Abductive<'a, F> {
             self.ds.dim(),
             mode,
             |s| self.check(x, s),
-            |w| {
-                (0..x.len())
-                    .filter(|&i| !(w[i].clone() - x[i].clone()).is_zero())
-                    .collect()
-            },
+            |w| (0..x.len()).filter(|&i| !(w[i].clone() - x[i].clone()).is_zero()).collect(),
         )
     }
 }
@@ -222,10 +218,7 @@ mod tests {
     fn agrees_with_l2_on_axis_separated_data() {
         // When data differ on a single coordinate, ℓ1 and ℓ2 induce the same
         // classifier, so sufficiency must agree.
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![r(-2), r(1)]],
-            vec![vec![r(2), r(1)]],
-        );
+        let ds = ContinuousDataset::from_sets(vec![vec![r(-2), r(1)]], vec![vec![r(2), r(1)]]);
         let l1 = L1Abductive::new(&ds);
         let l2 = crate::abductive::l2::L2Abductive::new(&ds, OddK::ONE);
         let x = [r(-1), r(7)];

@@ -8,7 +8,7 @@
 
 use crate::abductive::minimum::{minimum_sufficient_reason, HittingSetMode};
 use crate::classifier::ContinuousKnn;
-use crate::regions::region_polyhedra;
+use crate::regions::{region_polyhedra, RegionCache};
 use crate::SrCheck;
 use knn_num::Field;
 use knn_space::{ContinuousDataset, Label, LpMetric, OddK};
@@ -41,11 +41,50 @@ impl<'a, F: Field> L2Abductive<'a, F> {
                 poly.fix_coord(i, x[i].clone());
             }
             let witness = match target {
-                Label::Positive => poly.feasible_point(),
+                // The positive region is closed, so any feasible point works —
+                // but a bisector-boundary point classifies by exact tie-break,
+                // which the float instantiation cannot reproduce reliably.
+                // Prefer an interior witness and keep the boundary fallback
+                // for measure-zero cells.
+                Label::Positive => poly.strict_feasible_point().or_else(|| poly.feasible_point()),
                 Label::Negative => poly.strict_feasible_point(),
             };
             if let Some(w) = witness {
-                debug_assert_eq!(self.classifier().classify(&w), target);
+                if self.classifier().classify(&w) != target {
+                    // Exact fields satisfy Prop 1 on the nose; a float LP can
+                    // return a point a rounding error onto the wrong side of a
+                    // bisector. Such a point certifies nothing — keep looking.
+                    debug_assert!(!F::exact(), "exact witness must classify as target");
+                    continue;
+                }
+                return SrCheck::NotSufficient { witness: w };
+            }
+        }
+        SrCheck::Sufficient
+    }
+
+    /// [`L2Abductive::check`] against a shared, pre-enumerated
+    /// [`RegionCache`] (built for the same dataset and `k`): the batch
+    /// engine's hot path. The polyhedra are used read-only; the affine
+    /// restriction `U(X, x̄)` is applied per-LP.
+    pub fn check_in(&self, x: &[F], fixed: &[usize], regions: &RegionCache<F>) -> SrCheck<Vec<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        assert_eq!(regions.k(), self.k, "region cache built for a different k");
+        let label = self.classifier().classify(x);
+        let target = label.flip();
+        let fixed_vals: Vec<(usize, F)> = fixed.iter().map(|&i| (i, x[i].clone())).collect();
+        for poly in regions.polyhedra(target) {
+            let witness = match target {
+                Label::Positive => poly
+                    .strict_feasible_point_fixed(&fixed_vals)
+                    .or_else(|| poly.feasible_point_fixed(&fixed_vals)),
+                Label::Negative => poly.strict_feasible_point_fixed(&fixed_vals),
+            };
+            if let Some(w) = witness {
+                if self.classifier().classify(&w) != target {
+                    debug_assert!(!F::exact(), "exact witness must classify as target");
+                    continue;
+                }
                 return SrCheck::NotSufficient { witness: w };
             }
         }
@@ -62,6 +101,11 @@ impl<'a, F: Field> L2Abductive<'a, F> {
         super::greedy_minimal(self.ds.dim(), None, |s| self.is_sufficient(x, s))
     }
 
+    /// [`L2Abductive::minimal`] over a shared [`RegionCache`].
+    pub fn minimal_in(&self, x: &[F], regions: &RegionCache<F>) -> Vec<usize> {
+        super::greedy_minimal(self.ds.dim(), None, |s| self.check_in(x, s, regions).is_sufficient())
+    }
+
     /// A *minimum* sufficient reason — NP-complete (Cor 6); exact via the
     /// implicit-hitting-set loop with the polynomial check as oracle.
     pub fn minimum(&self, x: &[F]) -> Vec<usize> {
@@ -75,15 +119,33 @@ impl<'a, F: Field> L2Abductive<'a, F> {
             self.ds.dim(),
             mode,
             |s| self.check(x, s),
-            |w| {
-                (0..x.len())
-                    .filter(|&i| {
-                        let d = w[i].clone() - x[i].clone();
-                        !d.is_zero()
-                    })
-                    .collect()
-            },
+            |w| Self::deviation(x, w),
         )
+    }
+
+    /// [`L2Abductive::minimum_with`] over a shared [`RegionCache`].
+    pub fn minimum_in(
+        &self,
+        x: &[F],
+        mode: HittingSetMode,
+        regions: &RegionCache<F>,
+    ) -> Vec<usize> {
+        minimum_sufficient_reason(
+            self.ds.dim(),
+            mode,
+            |s| self.check_in(x, s, regions),
+            |w| Self::deviation(x, w),
+        )
+    }
+
+    /// The deviation set `D(ȳ) = {i : ȳᵢ ≠ x̄ᵢ}` of a counterexample.
+    fn deviation(x: &[F], w: &[F]) -> Vec<usize> {
+        (0..x.len())
+            .filter(|&i| {
+                let d = w[i].clone() - x[i].clone();
+                !d.is_zero()
+            })
+            .collect()
     }
 }
 
@@ -101,10 +163,7 @@ mod tests {
     /// coordinate fix is: fixing x₁ = 0 pins the whole point in 1-D.
     #[test]
     fn one_dimensional_check() {
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![r(-1)], vec![r(1)]],
-            vec![vec![r(3)]],
-        );
+        let ds = ContinuousDataset::from_sets(vec![vec![r(-1)], vec![r(1)]], vec![vec![r(3)]]);
         let ab = L2Abductive::new(&ds, OddK::ONE);
         let x = [r(0)];
         assert!(!ab.is_sufficient(&x, &[]));
@@ -139,10 +198,7 @@ mod tests {
     /// coordinates and flip the label.
     #[test]
     fn witness_properties() {
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![r(0), r(0)]],
-            vec![vec![r(4), r(4)]],
-        );
+        let ds = ContinuousDataset::from_sets(vec![vec![r(0), r(0)]], vec![vec![r(4), r(4)]]);
         let ab = L2Abductive::new(&ds, OddK::ONE);
         let x = [r(0), r(0)];
         match ab.check(&x, &[0]) {

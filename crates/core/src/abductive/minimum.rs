@@ -36,10 +36,8 @@ pub fn min_hitting_set(sets: &[Vec<usize>], n: usize) -> Vec<usize> {
 
 fn branch(sets: &[Vec<usize>], chosen: &mut Vec<usize>, best: &mut Vec<usize>) {
     // Lower bound: chosen + a greedy packing of pairwise-disjoint unhit sets.
-    let unhit: Vec<&Vec<usize>> = sets
-        .iter()
-        .filter(|s| !s.iter().any(|i| chosen.contains(i)))
-        .collect();
+    let unhit: Vec<&Vec<usize>> =
+        sets.iter().filter(|s| !s.iter().any(|i| chosen.contains(i))).collect();
     if unhit.is_empty() {
         if chosen.len() < best.len() {
             *best = chosen.clone();
@@ -212,8 +210,7 @@ mod tests {
             }
             SrCheck::Sufficient
         };
-        let got =
-            minimum_sufficient_reason(3, HittingSetMode::Greedy, check, |w| w.clone());
+        let got = minimum_sufficient_reason(3, HittingSetMode::Greedy, check, |w| w.clone());
         for t in &truth {
             assert!(t.iter().any(|i| got.contains(i)));
         }

@@ -125,9 +125,7 @@ pub fn all_minimal_sufficient_reasons(knn: &BooleanKnn<'_>, x: &BitVec) -> Vec<V
     sufficient
         .iter()
         .filter(|s| {
-            !sufficient
-                .iter()
-                .any(|t| t.len() < s.len() && t.iter().all(|i| s.contains(i)))
+            !sufficient.iter().any(|t| t.len() < s.len() && t.iter().all(|i| s.contains(i)))
                 && !sufficient
                     .iter()
                     .any(|t| t.len() == s.len() && t != *s && t.iter().all(|i| s.contains(i)))
@@ -198,7 +196,7 @@ mod tests {
         let knn = BooleanKnn::new(&ds, OddK::ONE);
         let x = BitVec::zeros(3);
         let w = sufficient_reason_counterexample(&knn, &x, &[0]).unwrap();
-        assert_eq!(w.get(0), false, "witness must agree with x on the fixed set");
+        assert!(!w.get(0), "witness must agree with x on the fixed set");
         assert_ne!(knn.classify(&w), knn.classify(&x));
         assert!(sufficient_reason_counterexample(&knn, &x, &[2]).is_none());
     }

@@ -31,9 +31,8 @@ pub(crate) fn optimistic_label<D: PartialOrd + Clone>(
             Label::Negative => neg.push(d),
         }
     }
-    let sort = |v: &mut Vec<D>| {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-    };
+    let sort =
+        |v: &mut Vec<D>| v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     sort(&mut pos);
     sort(&mut neg);
     match (pos.get(maj - 1), neg.get(maj - 1)) {
@@ -87,10 +86,7 @@ impl<'a, F: Field> ContinuousKnn<'a, F> {
     /// Classifies `x` with optimistic tie-breaking.
     pub fn classify(&self, x: &[F]) -> Label {
         assert_eq!(x.len(), self.ds.dim());
-        optimistic_label(
-            self.ds.iter().map(|(p, l)| (self.metric.dist_pow(x, p), l)),
-            self.k,
-        )
+        optimistic_label(self.ds.iter().map(|(p, l)| (self.metric.dist_pow(x, p), l)), self.k)
     }
 }
 
@@ -158,9 +154,9 @@ pub fn subset_definition_label<D: PartialOrd + Clone>(dists: &[(D, Label)], k: O
                 .map(|&i| &dists[i].0)
                 .max_by(|a, b| a.partial_cmp(b).unwrap())
                 .unwrap();
-            return (0..dists.len()).filter(|i| !chosen.contains(i)).all(|i| {
-                dists[i].0.partial_cmp(max_in) != Some(std::cmp::Ordering::Less)
-            });
+            return (0..dists.len())
+                .filter(|i| !chosen.contains(i))
+                .all(|i| dists[i].0.partial_cmp(max_in) != Some(std::cmp::Ordering::Less));
         }
         if idx.len() - start < k - chosen.len() {
             return false;
@@ -202,10 +198,8 @@ mod tests {
 
     #[test]
     fn exact_tie_with_rationals() {
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![Rat::frac(1, 3)]],
-            vec![vec![Rat::frac(-1, 3)]],
-        );
+        let ds =
+            ContinuousDataset::from_sets(vec![vec![Rat::frac(1, 3)]], vec![vec![Rat::frac(-1, 3)]]);
         let knn = ContinuousKnn::new(&ds, LpMetric::L2, OddK::ONE);
         assert_eq!(knn.classify(&[Rat::zero()]), Label::Positive);
         assert_eq!(knn.classify(&[Rat::frac(-1, 1000000)]), Label::Negative);
@@ -214,10 +208,8 @@ mod tests {
     #[test]
     fn three_nn_majority() {
         // Two positives near the origin, two negatives to the right.
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![0.1], vec![-0.1]],
-            vec![vec![1.0], vec![1.4]],
-        );
+        let ds =
+            ContinuousDataset::from_sets(vec![vec![0.1], vec![-0.1]], vec![vec![1.0], vec![1.4]]);
         let knn = ContinuousKnn::new(&ds, LpMetric::L2, OddK::THREE);
         // From 0: both positives are the 2 nearest → positive.
         assert_eq!(knn.classify(&[0.0]), Label::Positive);
@@ -233,11 +225,7 @@ mod tests {
             .collect();
         let pos: Vec<BitVec> = vec![all[0b110].clone(), all[0b101].clone(), all[0b111].clone()];
         // Note: paper writes vectors (v1,v2,v3); our bit i = component i+1.
-        let neg: Vec<BitVec> = all
-            .iter()
-            .filter(|p| !pos.contains(p))
-            .cloned()
-            .collect();
+        let neg: Vec<BitVec> = all.iter().filter(|p| !pos.contains(p)).cloned().collect();
         let ds = BooleanDataset::from_sets(pos, neg);
         let knn = BooleanKnn::new(&ds, OddK::ONE);
         assert_eq!(knn.classify(&BitVec::zeros(3)), Label::Negative);
@@ -250,7 +238,7 @@ mod tests {
         // (small integer coordinates in 1-D force frequent equal distances).
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..300 {
-            let k = OddK::of([1, 3, 5][rng.gen_range(0..3)]);
+            let k = OddK::of([1, 3, 5][rng.gen_range(0..3usize)]);
             let n_points = rng.gen_range(k.get() as usize..k.get() as usize + 6);
             let dists: Vec<(usize, Label)> = (0..n_points)
                 .map(|_| {
@@ -272,7 +260,7 @@ mod tests {
         // d(x,a) ≤ d(x,c) for all a∈A, c∈S⁻\B. Checked exhaustively.
         let mut rng = StdRng::seed_from_u64(78);
         for _ in 0..200 {
-            let k = OddK::of([1, 3][rng.gen_range(0..2)]);
+            let k = OddK::of([1, 3][rng.gen_range(0..2usize)]);
             let maj = k.majority();
             let n_pos = rng.gen_range(maj..maj + 3);
             let n_neg = rng.gen_range(maj..maj + 3);
@@ -295,9 +283,7 @@ mod tests {
                         continue;
                     }
                     let ok = (0..n_pos).filter(|i| (a_mask >> i) & 1 == 1).all(|i| {
-                        (0..n_neg)
-                            .filter(|j| (b_mask >> j) & 1 == 0)
-                            .all(|j| pos[i] <= neg[j])
+                        (0..n_neg).filter(|j| (b_mask >> j) & 1 == 0).all(|j| pos[i] <= neg[j])
                     });
                     if ok {
                         prop1a = true;
@@ -314,10 +300,8 @@ mod tests {
         // Only positives exist and k exceeds... dataset of 3 positives, 1 negative, k=3:
         // the maj-th (2nd) negative distance doesn't exist → positive wins when
         // it has a 2nd point.
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![5.0], vec![6.0], vec![7.0]],
-            vec![vec![0.0]],
-        );
+        let ds =
+            ContinuousDataset::from_sets(vec![vec![5.0], vec![6.0], vec![7.0]], vec![vec![0.0]]);
         let knn = ContinuousKnn::new(&ds, LpMetric::L2, OddK::THREE);
         assert_eq!(knn.classify(&[0.0]), Label::Positive);
     }

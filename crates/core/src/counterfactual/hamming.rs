@@ -145,7 +145,11 @@ pub fn closest_milp_with(
             m.add_constraint(row2, Rel::Ge, cnst - big_m);
         }
         // Exactly one selector.
-        m.add_constraint(idxs.iter().enumerate().map(|(j, _)| (v0 + j, 1.0)).collect(), Rel::Eq, 1.0);
+        m.add_constraint(
+            idxs.iter().enumerate().map(|(j, _)| (v0 + j, 1.0)).collect(),
+            Rel::Eq,
+            1.0,
+        );
     };
     add_min_constraints(&mut m, dp, vp0, &pos);
     add_min_constraints(&mut m, dm, vm0, &neg);
@@ -298,7 +302,7 @@ mod tests {
         let ds = knn_datasets::random::random_boolean_dataset(&mut rng, 60, 40, 0.5);
         let x = knn_datasets::random::random_boolean_point(&mut rng, 40);
         let (z, d) = closest_sat(&ds, OddK::ONE, &x).expect("both classes present");
-        assert!(d >= 1 && d <= 40);
+        assert!((1..=40).contains(&d));
         let knn = BooleanKnn::new(&ds, OddK::ONE);
         assert_ne!(knn.classify(&z), knn.classify(&x));
     }

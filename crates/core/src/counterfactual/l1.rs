@@ -112,11 +112,7 @@ impl<'a> L1Counterfactual<'a> {
             m.add_constraint(vec![(t0 + i, 1.0), (y0 + i, -1.0)], Rel::Ge, -x[i]);
         }
         // Exactly one witness.
-        m.add_constraint(
-            (0..w_cnt).map(|wi| (u0 + wi, 1.0)).collect(),
-            Rel::Eq,
-            1.0,
-        );
+        m.add_constraint((0..w_cnt).map(|wi| (u0 + wi, 1.0)).collect(), Rel::Eq, 1.0);
         // T^a_i ≥ ±(y_i − a_i)
         for (wi, &widx) in witnesses.iter().enumerate() {
             let a = self.ds.point(widx);
@@ -139,11 +135,7 @@ impl<'a> L1Counterfactual<'a> {
                     -c[i] + big_m,
                 );
                 // S ≤ (c_i − y_i) + M z
-                m.add_constraint(
-                    vec![(s, 1.0), (y0 + i, 1.0), (z, -big_m)],
-                    Rel::Le,
-                    c[i],
-                );
+                m.add_constraint(vec![(s, 1.0), (y0 + i, 1.0), (z, -big_m)], Rel::Le, c[i]);
             }
         }
         // Pair constraints: u_a = 1 ⇒ ΣT^a ≤ ΣS^c (− δ).
@@ -225,10 +217,7 @@ mod tests {
     #[test]
     fn multiple_witness_candidates() {
         // Two positives; x negative; the model must pick the cheaper witness.
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![10.0], vec![3.0]],
-            vec![vec![0.0]],
-        );
+        let ds = ContinuousDataset::from_sets(vec![vec![10.0], vec![3.0]], vec![vec![0.0]]);
         let cf = L1Counterfactual::new(&ds);
         let (_, d) = cf.closest(&[0.0]).unwrap();
         // Bisector between 0 and 3 is at 1.5; ties go positive → d = 1.5.

@@ -11,7 +11,7 @@
 //!   interior-pointing direction found by LP (Corollary 2).
 
 use crate::classifier::ContinuousKnn;
-use crate::regions::region_polyhedra;
+use crate::regions::{region_polyhedra, RegionCache};
 use knn_lp::{LpProblem, Rel};
 use knn_num::field::dot;
 use knn_num::Field;
@@ -53,10 +53,29 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
     pub fn infimum(&self, x: &[F]) -> Option<CfInfimum<F>> {
         assert_eq!(x.len(), self.ds.dim());
         let target = self.classifier().classify(x).flip();
+        self.infimum_over(x, target, region_polyhedra(self.ds, self.k, target))
+    }
+
+    /// [`L2Counterfactual::infimum`] against a shared, pre-enumerated
+    /// [`RegionCache`] (built for the same dataset and `k`).
+    pub fn infimum_in(&self, x: &[F], regions: &RegionCache<F>) -> Option<CfInfimum<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        assert_eq!(regions.k(), self.k, "region cache built for a different k");
+        let target = self.classifier().classify(x).flip();
+        self.infimum_over(x, target, regions.polyhedra(target).iter())
+    }
+
+    fn infimum_over<B: std::borrow::Borrow<Polyhedron<F>>>(
+        &self,
+        x: &[F],
+        target: Label,
+        polys: impl IntoIterator<Item = B>,
+    ) -> Option<CfInfimum<F>> {
         let mut best: Option<CfInfimum<F>> = None;
-        for poly in region_polyhedra(self.ds, self.k, target) {
+        for poly in polys {
+            let poly = poly.borrow();
             let candidate = match target {
-                Label::Positive => match project_onto_polyhedron(x, &poly) {
+                Label::Positive => match project_onto_polyhedron(x, poly) {
                     QpOutcome::Optimal { y, dist_sq } => {
                         Some(CfInfimum { dist_sq, closure_witness: y, attained: true })
                     }
@@ -67,7 +86,7 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
                     if poly.strict_feasible_point().is_none() {
                         None
                     } else {
-                        match project_onto_polyhedron(x, &poly) {
+                        match project_onto_polyhedron(x, poly) {
                             QpOutcome::Optimal { y, dist_sq } => {
                                 let attained = poly.contains_strictly(&y);
                                 Some(CfInfimum { dist_sq, closure_witness: y, attained })
@@ -93,11 +112,29 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
     pub fn within(&self, x: &[F], radius_sq: &F) -> Option<Vec<F>> {
         assert_eq!(x.len(), self.ds.dim());
         let target = self.classifier().classify(x).flip();
-        for poly in region_polyhedra(self.ds, self.k, target) {
+        self.within_over(x, radius_sq, target, region_polyhedra(self.ds, self.k, target))
+    }
+
+    /// [`L2Counterfactual::within`] against a shared [`RegionCache`].
+    pub fn within_in(&self, x: &[F], radius_sq: &F, regions: &RegionCache<F>) -> Option<Vec<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        assert_eq!(regions.k(), self.k, "region cache built for a different k");
+        let target = self.classifier().classify(x).flip();
+        self.within_over(x, radius_sq, target, regions.polyhedra(target).iter())
+    }
+
+    fn within_over<B: std::borrow::Borrow<Polyhedron<F>>>(
+        &self,
+        x: &[F],
+        radius_sq: &F,
+        target: Label,
+        polys: impl IntoIterator<Item = B>,
+    ) -> Option<Vec<F>> {
+        for poly in polys {
+            let poly = poly.borrow();
             match target {
                 Label::Positive => {
-                    if let QpOutcome::Optimal { y, dist_sq } = project_onto_polyhedron(x, &poly)
-                    {
+                    if let QpOutcome::Optimal { y, dist_sq } = project_onto_polyhedron(x, poly) {
                         if !(dist_sq.clone() - radius_sq.clone()).is_positive() {
                             // The projection may sit exactly on the cell
                             // boundary. That is a *correct* witness: the
@@ -108,7 +145,10 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
                             // use the exact `Rat` instantiation or step
                             // slightly past the boundary when a strict
                             // witness is needed downstream.
-                            debug_assert_eq!(self.classifier().classify(&y), target);
+                            debug_assert!(
+                                !F::exact() || self.classifier().classify(&y) == target,
+                                "exact witness must classify as target"
+                            );
                             return Some(y);
                         }
                     }
@@ -117,12 +157,14 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
                     if poly.strict_feasible_point().is_none() {
                         continue;
                     }
-                    if let QpOutcome::Optimal { y, dist_sq } = project_onto_polyhedron(x, &poly)
-                    {
+                    if let QpOutcome::Optimal { y, dist_sq } = project_onto_polyhedron(x, poly) {
                         // Strictly inside the ball is required (Thm 2 proof).
                         if (radius_sq.clone() - dist_sq).is_positive() {
-                            let w = nudge_into_interior(x, &poly, y, radius_sq);
-                            debug_assert_eq!(self.classifier().classify(&w), target);
+                            let w = nudge_into_interior(x, poly, y, radius_sq);
+                            debug_assert!(
+                                !F::exact() || self.classifier().classify(&w) == target,
+                                "exact witness must classify as target"
+                            );
                             return Some(w);
                         }
                     }
@@ -155,16 +197,11 @@ fn nudge_into_interior<F: Field>(
             lp.add_dense(a, Rel::Lt, F::zero());
         }
     }
-    let beta = lp
-        .strict_feasible()
-        .expect("nonempty open polyhedron admits an interior direction");
+    let beta = lp.strict_feasible().expect("nonempty open polyhedron admits an interior direction");
     let mut eps = F::one();
     for _ in 0..256 {
-        let cand: Vec<F> = y
-            .iter()
-            .zip(&beta)
-            .map(|(yi, bi)| yi.clone() + eps.clone() * bi.clone())
-            .collect();
+        let cand: Vec<F> =
+            y.iter().zip(&beta).map(|(yi, bi)| yi.clone() + eps.clone() * bi.clone()).collect();
         let d: Vec<F> = x.iter().zip(&cand).map(|(a, b)| a.clone() - b.clone()).collect();
         let dist_ok = !(knn_num::field::norm_sq(&d) - radius_sq.clone()).is_positive();
         if dist_ok && poly.contains_strictly(&cand) {
@@ -229,10 +266,7 @@ mod tests {
         // Positives on the left half-plane (x≤0 region via points), negative
         // at (4,0); query at origin is positive; closest counterfactual lies
         // on the bisector x₁ = 2 → distance 2 (not attained, open region).
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![r(0), r(0)]],
-            vec![vec![r(4), r(0)]],
-        );
+        let ds = ContinuousDataset::from_sets(vec![vec![r(0), r(0)]], vec![vec![r(4), r(0)]]);
         let cf = L2Counterfactual::new(&ds, OddK::ONE);
         let x = [r(0), r(0)];
         let inf = cf.infimum(&x).unwrap();
@@ -273,10 +307,7 @@ mod tests {
     #[test]
     fn no_counterfactual_when_region_empty() {
         // Two positives, k = 3, a single negative can never out-vote: f ≡ 1.
-        let ds = ContinuousDataset::from_sets(
-            vec![vec![r(0)], vec![r(1)]],
-            vec![vec![r(10)]],
-        );
+        let ds = ContinuousDataset::from_sets(vec![vec![r(0)], vec![r(1)]], vec![vec![r(10)]]);
         let cf = L2Counterfactual::new(&ds, OddK::THREE);
         let x = [r(0)];
         assert!(cf.infimum(&x).is_none());
@@ -292,12 +323,10 @@ mod tests {
             let dim = rng.gen_range(1..4usize);
             let npos = rng.gen_range(1..4usize);
             let nneg = rng.gen_range(1..4usize);
-            let pos: Vec<Vec<i64>> = (0..npos)
-                .map(|_| (0..dim).map(|_| rng.gen_range(-4i64..5)).collect())
-                .collect();
-            let neg: Vec<Vec<i64>> = (0..nneg)
-                .map(|_| (0..dim).map(|_| rng.gen_range(-4i64..5)).collect())
-                .collect();
+            let pos: Vec<Vec<i64>> =
+                (0..npos).map(|_| (0..dim).map(|_| rng.gen_range(-4i64..5)).collect()).collect();
+            let neg: Vec<Vec<i64>> =
+                (0..nneg).map(|_| (0..dim).map(|_| rng.gen_range(-4i64..5)).collect()).collect();
             let x: Vec<i64> = (0..dim).map(|_| rng.gen_range(-4i64..5)).collect();
             let to_r = |v: &Vec<i64>| -> Vec<Rat> { v.iter().map(|&a| r(a)).collect() };
             let to_f = |v: &Vec<i64>| -> Vec<f64> { v.iter().map(|&a| a as f64).collect() };

@@ -139,12 +139,8 @@ impl<'a> LpGeneralCounterfactual<'a> {
         let target = label.flip();
 
         // Anchor points of the opposite class, closest first.
-        let mut anchors: Vec<&[f64]> = self
-            .ds
-            .iter()
-            .filter(|(_, l)| *l == target)
-            .map(|(p, _)| p)
-            .collect();
+        let mut anchors: Vec<&[f64]> =
+            self.ds.iter().filter(|(_, l)| *l == target).map(|(p, _)| p).collect();
         if anchors.is_empty() {
             return None;
         }
@@ -183,9 +179,8 @@ impl<'a> LpGeneralCounterfactual<'a> {
         z: &[f64],
         target: Label,
     ) -> Option<Vec<f64>> {
-        let at = |t: f64| -> Vec<f64> {
-            x.iter().zip(z).map(|(xi, zi)| xi + t * (zi - xi)).collect()
-        };
+        let at =
+            |t: f64| -> Vec<f64> { x.iter().zip(z).map(|(xi, zi)| xi + t * (zi - xi)).collect() };
         // Coarse scan for the first t with f = target.
         let steps = self.config.scan_steps.max(2);
         let mut hit_t: Option<f64> = None;
@@ -243,8 +238,7 @@ impl<'a> LpGeneralCounterfactual<'a> {
                     continue;
                 }
                 let scale = step / norm_sq.sqrt();
-                let moved: Vec<f64> =
-                    y.iter().zip(&cand).map(|(yi, di)| yi + scale * di).collect();
+                let moved: Vec<f64> = y.iter().zip(&cand).map(|(yi, di)| yi + scale * di).collect();
                 let d = self.dist(x, &moved);
                 if d < best_d && knn.classify(&moved) == target {
                     y = moved;
@@ -445,10 +439,8 @@ mod tests {
             let m = 60;
             for i in 0..=m {
                 for j in 0..=m {
-                    let y = vec![
-                        -3.0 + 6.0 * i as f64 / m as f64,
-                        -3.0 + 6.0 * j as f64 / m as f64,
-                    ];
+                    let y =
+                        vec![-3.0 + 6.0 * i as f64 / m as f64, -3.0 + 6.0 * j as f64 / m as f64];
                     if knn.classify(&y) == target {
                         grid_best = grid_best.min(metric.dist_f64(&x, &y));
                     }

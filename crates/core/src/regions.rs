@@ -16,8 +16,8 @@
 //! Propositions 3 and Theorem 2 comes from.
 
 use knn_num::Field;
-use knn_space::{ContinuousDataset, Label, OddK};
 use knn_qp::Polyhedron;
+use knn_space::{ContinuousDataset, Label, OddK};
 
 /// Iterator over all size-`r` index subsets of `0..n` (lexicographic).
 pub(crate) struct Combinations {
@@ -134,6 +134,47 @@ pub fn region_polyhedra_with_anchors<'a, F: Field>(
     })
 }
 
+/// The Prop 1 decomposition of **both** decision regions, materialized once
+/// and shared across queries.
+///
+/// Enumerating the polyhedra costs `O(n^k)` bisector-row constructions per
+/// query; a batch of q queries over one immutable dataset repeats that work
+/// q times. `RegionCache::build` pays it once, and the `*_in` variants of the
+/// ℓ2 abductive / counterfactual engines then answer every query against the
+/// shared slices (the polyhedra are never mutated — fixed coordinates are
+/// applied at the LP level via [`Polyhedron::feasible_point_fixed`]).
+#[derive(Clone, Debug)]
+pub struct RegionCache<F> {
+    k: OddK,
+    positive: Vec<Polyhedron<F>>,
+    negative: Vec<Polyhedron<F>>,
+}
+
+impl<F: Field> RegionCache<F> {
+    /// Materializes the decomposition for `f^k` over `ds`.
+    pub fn build(ds: &ContinuousDataset<F>, k: OddK) -> Self {
+        RegionCache {
+            k,
+            positive: region_polyhedra(ds, k, Label::Positive).collect(),
+            negative: region_polyhedra(ds, k, Label::Negative).collect(),
+        }
+    }
+
+    /// The `k` this cache was built for.
+    pub fn k(&self) -> OddK {
+        self.k
+    }
+
+    /// The polyhedra whose union (closed for `Positive`, strict interiors for
+    /// `Negative`) is the `target` decision region.
+    pub fn polyhedra(&self, target: Label) -> &[Polyhedron<F>] {
+        match target {
+            Label::Positive => &self.positive,
+            Label::Negative => &self.negative,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,10 +186,10 @@ mod tests {
     #[test]
     fn combinations_enumeration() {
         let all: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
-        assert_eq!(all, vec![
-            vec![0, 1], vec![0, 2], vec![0, 3],
-            vec![1, 2], vec![1, 3], vec![2, 3],
-        ]);
+        assert_eq!(
+            all,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3],]
+        );
         assert_eq!(Combinations::new(3, 0).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
         assert_eq!(Combinations::new(2, 3).count(), 0);
         assert_eq!(Combinations::new(5, 5).count(), 1);
@@ -189,10 +230,10 @@ mod tests {
             for _ in 0..10 {
                 let q = rnd_pt(&mut rng);
                 let label = knn.classify(&q);
-                let in_pos_union = region_polyhedra(&ds, k, Label::Positive)
-                    .any(|p| p.contains(&q));
-                let in_neg_union = region_polyhedra(&ds, k, Label::Negative)
-                    .any(|p| p.contains_strictly(&q));
+                let in_pos_union =
+                    region_polyhedra(&ds, k, Label::Positive).any(|p| p.contains(&q));
+                let in_neg_union =
+                    region_polyhedra(&ds, k, Label::Negative).any(|p| p.contains_strictly(&q));
                 assert_eq!(
                     label == Label::Positive,
                     in_pos_union,

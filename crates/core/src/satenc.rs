@@ -153,11 +153,7 @@ impl DiscreteModel {
 
     fn extract(&self) -> BitVec {
         BitVec::from_bools(
-            &self
-                .z
-                .iter()
-                .map(|&v| self.solver.value(v).unwrap_or(false))
-                .collect::<Vec<_>>(),
+            &self.z.iter().map(|&v| self.solver.value(v).unwrap_or(false)).collect::<Vec<_>>(),
         )
     }
 
@@ -188,11 +184,7 @@ impl DiscreteModel {
 
     /// Budgeted variant of [`DiscreteModel::solve_within`]: `None` when the
     /// conflict budget ran out before an answer.
-    pub fn solve_within_limited(
-        &mut self,
-        r: usize,
-        max_conflicts: u64,
-    ) -> Option<Option<BitVec>> {
+    pub fn solve_within_limited(&mut self, r: usize, max_conflicts: u64) -> Option<Option<BitVec>> {
         if self.trivially_unsat {
             return Some(None);
         }

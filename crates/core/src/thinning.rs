@@ -152,10 +152,8 @@ mod tests {
         for metric in [LpMetric::L1, LpMetric::L2] {
             let mut ds = ContinuousDataset::new(3);
             for _ in 0..25 {
-                let p: Vec<f64> =
-                    (0..3).map(|_| 1.0 + rng.gen_range(-0.4..0.4)).collect();
-                let q: Vec<f64> =
-                    (0..3).map(|_| -1.0 + rng.gen_range(-0.4..0.4)).collect();
+                let p: Vec<f64> = (0..3).map(|_| 1.0 + rng.gen_range(-0.4..0.4)).collect();
+                let q: Vec<f64> = (0..3).map(|_| -1.0 + rng.gen_range(-0.4..0.4)).collect();
                 ds.push(p, Label::Positive);
                 ds.push(q, Label::Negative);
             }

@@ -34,10 +34,7 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
 fn dataset(inst: &Instance) -> BooleanDataset {
     let mut ds = BooleanDataset::new(inst.dim);
     for (bits, pos) in &inst.points {
-        ds.push(
-            BitVec::from_bools(bits),
-            if *pos { Label::Positive } else { Label::Negative },
-        );
+        ds.push(BitVec::from_bools(bits), if *pos { Label::Positive } else { Label::Negative });
     }
     ds
 }

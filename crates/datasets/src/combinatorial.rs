@@ -52,7 +52,12 @@ impl HalfValueKnapsack {
 }
 
 /// Random half-value knapsack instance.
-pub fn random_knapsack(rng: &mut impl Rng, n: usize, max_weight: u64, max_value: u64) -> HalfValueKnapsack {
+pub fn random_knapsack(
+    rng: &mut impl Rng,
+    n: usize,
+    max_weight: u64,
+    max_value: u64,
+) -> HalfValueKnapsack {
     let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=max_weight)).collect();
     let values: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=max_value)).collect();
     let total_w: u64 = weights.iter().sum();
@@ -74,7 +79,7 @@ impl PartitionInstance {
         let n = self.values.len();
         assert!(n <= 22, "brute force limited to small instances");
         let total: u64 = self.values.iter().sum();
-        if total % 2 != 0 {
+        if !total.is_multiple_of(2) {
             return false;
         }
         for mask in 0u32..(1u32 << n) {
@@ -115,17 +120,11 @@ mod tests {
     #[test]
     fn knapsack_needs_combination() {
         // Must take both small items to reach half the value.
-        let inst = HalfValueKnapsack {
-            weights: vec![2, 2, 10],
-            values: vec![3, 3, 6],
-            capacity: 4,
-        };
+        let inst =
+            HalfValueKnapsack { weights: vec![2, 2, 10], values: vec![3, 3, 6], capacity: 4 };
         assert!(inst.brute_force());
-        let tight = HalfValueKnapsack {
-            weights: vec![2, 2, 10],
-            values: vec![3, 3, 6],
-            capacity: 3,
-        };
+        let tight =
+            HalfValueKnapsack { weights: vec![2, 2, 10], values: vec![3, 3, 6], capacity: 3 };
         assert!(!tight.brute_force());
     }
 

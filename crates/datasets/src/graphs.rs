@@ -70,9 +70,7 @@ impl Graph {
 
     /// True iff `cover` touches every edge.
     pub fn is_vertex_cover(&self, cover: &[usize]) -> bool {
-        self.edges
-            .iter()
-            .all(|&(u, v)| cover.contains(&u) || cover.contains(&v))
+        self.edges.iter().all(|&(u, v)| cover.contains(&u) || cover.contains(&v))
     }
 
     /// True iff `set` is a clique.
@@ -179,9 +177,9 @@ pub fn random_graph(rng: &mut impl Rng, n: usize, p: f64) -> Graph {
 /// Random `d`-regular graph via the pairing model with rejection (needs
 /// `n·d` even, `d < n`; retries until a simple graph is produced).
 pub fn random_regular_graph(rng: &mut impl Rng, n: usize, d: usize) -> Graph {
-    assert!(d < n && (n * d) % 2 == 0, "invalid regular graph parameters");
+    assert!(d < n && (n * d).is_multiple_of(2), "invalid regular graph parameters");
     'retry: loop {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         // Fisher-Yates shuffle.
         for i in (1..stubs.len()).rev() {
             stubs.swap(i, rng.gen_range(0..=i));

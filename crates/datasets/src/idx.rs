@@ -151,8 +151,7 @@ pub fn one_vs_rest(
         let l = labels[i];
         if classes.contains(&l) && taken[l as usize] < n_per_class {
             taken[l as usize] += 1;
-            let label =
-                if l == positive_digit { Label::Positive } else { Label::Negative };
+            let label = if l == positive_digit { Label::Positive } else { Label::Negative };
             ds.push(images.image(i), label);
         }
     }

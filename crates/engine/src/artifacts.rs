@@ -1,0 +1,156 @@
+//! Shared, lazily-built artifacts over the engine's immutable dataset.
+//!
+//! Three families, all built at most once per engine and shared (via `Arc`)
+//! by every worker:
+//!
+//! * **per-class neighbor indexes** — a KD-tree per `(ℓp, class)` and a
+//!   bit-packed Hamming index per class. The optimistic rule of §2 reduces to
+//!   comparing the `maj`-th order statistics of the per-class distance
+//!   multisets, so classification needs exactly one `maj`-NN probe per class;
+//! * **Prop 1 region caches** — the ℓ2 decision-region polyhedra per `k`
+//!   ([`RegionCache`]), feeding the `*_in` fast paths of the ℓ2 abductive and
+//!   counterfactual engines;
+//! * the **boolean view** of a 0/1 continuous dataset, owned by
+//!   [`EngineData`] itself.
+//!
+//! Each family's map mutex is held only long enough to fetch (or create) the
+//! per-key cell; the build itself runs under the cell's `OnceLock`, so
+//! concurrent requesters of the *same* artifact block and share one build
+//! while distinct artifacts (e.g. region caches for k = 1 and k = 3) build
+//! in parallel.
+
+use knn_core::regions::RegionCache;
+use knn_index::{HammingIndex, KdTree};
+use knn_space::{BitVec, BooleanDataset, ContinuousDataset, Label, LpMetric, OddK};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The engine's immutable dataset: the continuous view always, the boolean
+/// view when every coordinate is 0/1.
+#[derive(Clone, Debug)]
+pub struct EngineData {
+    /// Continuous view.
+    pub continuous: ContinuousDataset<f64>,
+    /// Boolean view, when the data is binary.
+    pub boolean: Option<BooleanDataset>,
+}
+
+impl EngineData {
+    /// Wraps pre-built views.
+    pub fn new(continuous: ContinuousDataset<f64>, boolean: Option<BooleanDataset>) -> Self {
+        EngineData { continuous, boolean }
+    }
+
+    /// Builds from the continuous view alone, deriving the boolean view when
+    /// every value is 0 or 1.
+    pub fn from_continuous(continuous: ContinuousDataset<f64>) -> Self {
+        let all_binary = continuous.iter().all(|(p, _)| p.iter().all(|&v| v == 0.0 || v == 1.0));
+        let boolean = all_binary.then(|| {
+            let mut ds = BooleanDataset::new(continuous.dim());
+            for (p, label) in continuous.iter() {
+                ds.push(
+                    BitVec::from_bools(&p.iter().map(|&v| v == 1.0).collect::<Vec<_>>()),
+                    label,
+                );
+            }
+            ds
+        });
+        EngineData { continuous, boolean }
+    }
+}
+
+/// A keyed family of build-once artifacts: the map mutex guards only cell
+/// lookup/creation, and each cell's `OnceLock` serializes same-key builds
+/// while distinct keys build concurrently.
+#[derive(Debug)]
+struct Family<K, V> {
+    cells: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Family<K, V> {
+    fn default() -> Self {
+        Family { cells: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Family<K, V> {
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        let cell = self.cells.lock().unwrap().entry(key).or_default().clone();
+        cell.get_or_init(|| Arc::new(build())).clone()
+    }
+}
+
+/// Lazily-built shared artifacts (see module docs).
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    kd_class: Family<(u32, Label), KdTree>,
+    hamming_class: Family<Label, HammingIndex>,
+    l2_regions: Family<u32, RegionCache<f64>>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The KD-tree over the `label` class under ℓp, building it on first use.
+    pub fn kd_class_index(&self, data: &EngineData, p: u32, label: Label) -> Arc<KdTree> {
+        self.kd_class.get_or_build((p, label), || {
+            KdTree::new(data.continuous.points_of(label), LpMetric::new(p))
+        })
+    }
+
+    /// The Hamming index over the `label` class. The caller must have checked
+    /// that the boolean view exists.
+    pub fn hamming_class_index(&self, data: &EngineData, label: Label) -> Arc<HammingIndex> {
+        self.hamming_class.get_or_build(label, || {
+            let ds = data.boolean.as_ref().expect("hamming artifact needs the boolean view");
+            HammingIndex::new(ds.points_of(label))
+        })
+    }
+
+    /// The Prop 1 ℓ2 region cache for `k`, building it on first use.
+    pub fn l2_regions(&self, data: &EngineData, k: OddK) -> Arc<RegionCache<f64>> {
+        self.l2_regions.get_or_build(k.get(), || RegionCache::build(&data.continuous, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> EngineData {
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![1.0, 1.0], vec![1.0, 0.0]],
+            vec![vec![0.0, 0.0], vec![0.0, 1.0]],
+        );
+        EngineData::from_continuous(ds)
+    }
+
+    #[test]
+    fn binary_data_gets_boolean_view() {
+        let d = toy();
+        assert!(d.boolean.is_some());
+        assert_eq!(d.boolean.as_ref().unwrap().count_of(Label::Positive), 2);
+        let nonbin = EngineData::from_continuous(ContinuousDataset::from_sets(
+            vec![vec![0.5]],
+            vec![vec![0.0]],
+        ));
+        assert!(nonbin.boolean.is_none());
+    }
+
+    #[test]
+    fn artifacts_are_shared_not_rebuilt() {
+        let d = toy();
+        let store = ArtifactStore::new();
+        let a = store.kd_class_index(&d, 2, Label::Positive);
+        let b = store.kd_class_index(&d, 2, Label::Positive);
+        assert!(Arc::ptr_eq(&a, &b), "same artifact instance on the second request");
+        let r1 = store.l2_regions(&d, OddK::ONE);
+        let r2 = store.l2_regions(&d, OddK::ONE);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        assert!(!r1.polyhedra(Label::Positive).is_empty());
+    }
+}

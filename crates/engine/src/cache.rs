@@ -1,0 +1,108 @@
+//! A small LRU cache for completed explanations.
+//!
+//! The engine's responses are pure functions of `(dataset, config, request)`,
+//! so caching is transparent: a hit returns byte-identical output to a
+//! recompute, and the determinism guarantee survives any interleaving of
+//! hits and misses across workers.
+//!
+//! Recency is tracked with a monotone tick and a `BTreeMap<tick, key>` side
+//! index, giving `O(log n)` get / insert / evict without unsafe code or an
+//! intrusive list.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A least-recently-used map with a fixed capacity.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, tick: 0, map: HashMap::new(), recency: BTreeMap::new() }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let (_, old_tick) = self.map.get(key)?;
+        let old_tick = *old_tick;
+        self.tick += 1;
+        let tick = self.tick;
+        self.recency.remove(&old_tick);
+        self.recency.insert(tick, key.clone());
+        let entry = self.map.get_mut(key).unwrap();
+        entry.1 = tick;
+        Some(&entry.0)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when over capacity. No-op when the capacity is 0.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old_tick)) = self.map.get(&key) {
+            self.recency.remove(&{ *old_tick });
+        }
+        self.recency.insert(tick, key.clone());
+        self.map.insert(key, (value, tick));
+        while self.map.len() > self.capacity {
+            let (_, victim) = self.recency.pop_first().expect("recency tracks every entry");
+            self.map.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a; b is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh + new value; b is LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+}

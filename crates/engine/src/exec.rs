@@ -1,0 +1,290 @@
+//! Executes one planned request against the shared dataset and artifacts.
+//!
+//! Everything here is deterministic: the SAT, MILP, LP, QP and greedy engines
+//! below contain no randomness, and the only "budget" the executor honors is
+//! the engine's *logical* effort budget (CDCL conflicts, greedy hitting
+//! sets), so a response depends solely on `(dataset, config, request)` — not
+//! on the worker that ran it, the batch it arrived in, or the cache state.
+
+use crate::artifacts::{ArtifactStore, EngineData};
+use crate::plan::{plan, Plan, Route};
+use crate::request::{Outcome, QueryKind, Request, Response};
+use knn_core::abductive::hamming::HammingAbductive;
+use knn_core::abductive::l1::L1Abductive;
+use knn_core::abductive::l2::L2Abductive;
+use knn_core::abductive::minimum::HittingSetMode;
+use knn_core::counterfactual::hamming as hamming_cf;
+use knn_core::counterfactual::l1::L1Counterfactual;
+use knn_core::counterfactual::l2::L2Counterfactual;
+use knn_core::counterfactual::lp_general::LpGeneralCounterfactual;
+use knn_core::SrCheck;
+use knn_space::{BitVec, Label, LpMetric, OddK};
+
+/// Runs `req` to completion. `effort_budget` is the engine-level logical
+/// budget (`None` = exact everywhere).
+pub fn execute(
+    data: &EngineData,
+    artifacts: &ArtifactStore,
+    req: &Request,
+    effort_budget: Option<u64>,
+) -> Response {
+    let planned = match plan(req, effort_budget.is_some()) {
+        Ok(p) => p,
+        Err(e) => return error_response(req, e),
+    };
+    match execute_planned(data, artifacts, req, &planned, effort_budget) {
+        Ok(outcome) => {
+            Response { id: req.id.clone(), route: planned.tag.to_string(), result: Ok(outcome) }
+        }
+        Err(e) => error_response(req, e),
+    }
+}
+
+fn error_response(req: &Request, msg: String) -> Response {
+    Response { id: req.id.clone(), route: "error".to_string(), result: Err(msg) }
+}
+
+fn execute_planned(
+    data: &EngineData,
+    artifacts: &ArtifactStore,
+    req: &Request,
+    planned: &Plan,
+    effort_budget: Option<u64>,
+) -> Result<Outcome, String> {
+    let dim = data.continuous.dim();
+    if req.point.len() != dim {
+        return Err(format!(
+            "point dimension {} does not match dataset dimension {dim}",
+            req.point.len()
+        ));
+    }
+    if let Some(f) = &req.features {
+        if let Some(&max) = f.iter().max() {
+            if max >= dim {
+                return Err(format!("feature index {max} out of range (dimension {dim})"));
+            }
+        }
+    }
+    if req.kind == QueryKind::CheckSr && req.features.is_none() {
+        return Err("check-sr needs `features`".into());
+    }
+    let k = OddK::new(req.k).ok_or_else(|| format!("k must be odd, got {}", req.k))?;
+    if data.continuous.len() < k.get() as usize {
+        return Err(format!(
+            "dataset has {} points, fewer than k = {}",
+            data.continuous.len(),
+            req.k
+        ));
+    }
+    let x = &req.point;
+    let fixed: &[usize] = req.features.as_deref().unwrap_or(&[]);
+
+    // Boolean-view accessors for the Hamming routes.
+    let need_bool = || -> Result<(&knn_space::BooleanDataset, BitVec), String> {
+        let ds =
+            data.boolean.as_ref().ok_or("the hamming metric needs a 0/1 dataset".to_string())?;
+        if x.iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err("the hamming metric needs a 0/1 query point".into());
+        }
+        Ok((ds, BitVec::from_bools(&x.iter().map(|&v| v == 1.0).collect::<Vec<_>>())))
+    };
+
+    match planned.route {
+        Route::ClassifyHamming => {
+            let (_, bx) = need_bool()?;
+            Ok(Outcome::Label(classify_hamming_indexed(data, artifacts, &bx, k)))
+        }
+        Route::ClassifyContinuous => {
+            let p = req.metric.lp_exponent().expect("hamming routed to ClassifyHamming");
+            Ok(Outcome::Label(classify_continuous_indexed(data, artifacts, x, p, k)))
+        }
+
+        Route::L2Check => {
+            let regions = artifacts.l2_regions(data, k);
+            let ab = L2Abductive::new(&data.continuous, k);
+            Ok(check_outcome(ab.check_in(x, fixed, &regions)))
+        }
+        Route::L2Minimal => {
+            let regions = artifacts.l2_regions(data, k);
+            let ab = L2Abductive::new(&data.continuous, k);
+            Ok(Outcome::Reason { features: ab.minimal_in(x, &regions), optimal: true })
+        }
+        Route::L2Minimum => {
+            let regions = artifacts.l2_regions(data, k);
+            let ab = L2Abductive::new(&data.continuous, k);
+            let mode = ihs_mode(planned);
+            Ok(Outcome::Reason {
+                features: ab.minimum_in(x, mode, &regions),
+                optimal: mode == HittingSetMode::Exact,
+            })
+        }
+        Route::L2Cf => {
+            let regions = artifacts.l2_regions(data, k);
+            let cf = L2Counterfactual::new(&data.continuous, k);
+            match cf.infimum_in(x, &regions) {
+                None => Ok(Outcome::NoCounterfactual),
+                Some(inf) => {
+                    let dist = inf.dist_sq.sqrt();
+                    // Step just past an unattained infimum (Thm 2's closure
+                    // argument); factor and slack match the CLI's single-query
+                    // path, and the additive slack must clear the f64 field's
+                    // 1e-9 comparison tolerance for boundary queries.
+                    let radius = inf.dist_sq * 1.0001 + 1e-6;
+                    let point = cf
+                        .within_in(x, &radius, &regions)
+                        .ok_or("internal: witness missing just past the infimum")?;
+                    Ok(Outcome::Counterfactual { point, dist, proven: true })
+                }
+            }
+        }
+
+        Route::L1Check => {
+            let ab = L1Abductive::new(&data.continuous);
+            Ok(check_outcome(ab.check(x, fixed)))
+        }
+        Route::L1Minimal => {
+            let ab = L1Abductive::new(&data.continuous);
+            Ok(Outcome::Reason { features: ab.minimal(x), optimal: true })
+        }
+        Route::L1Minimum => {
+            let ab = L1Abductive::new(&data.continuous);
+            let mode = ihs_mode(planned);
+            Ok(Outcome::Reason {
+                features: ab.minimum_with(x, mode),
+                optimal: mode == HittingSetMode::Exact,
+            })
+        }
+        Route::L1CfMilp => match L1Counterfactual::new(&data.continuous).closest(x) {
+            None => Ok(Outcome::NoCounterfactual),
+            Some((point, dist)) => Ok(Outcome::Counterfactual { point, dist, proven: true }),
+        },
+
+        Route::HammingCheckK1 | Route::HammingCheckSat => {
+            let (ds, bx) = need_bool()?;
+            let ab = HammingAbductive::new(ds, k);
+            Ok(match ab.check(&bx, fixed) {
+                SrCheck::Sufficient => Outcome::Check { sufficient: true, witness: None },
+                SrCheck::NotSufficient { witness } => {
+                    Outcome::Check { sufficient: false, witness: Some(bits_to_f64(&witness)) }
+                }
+            })
+        }
+        Route::HammingMinimal => {
+            let (ds, bx) = need_bool()?;
+            Ok(Outcome::Reason {
+                features: HammingAbductive::new(ds, k).minimal(&bx),
+                optimal: true,
+            })
+        }
+        Route::HammingMinimum => {
+            let (ds, bx) = need_bool()?;
+            let mode = ihs_mode(planned);
+            Ok(Outcome::Reason {
+                features: HammingAbductive::new(ds, k).minimum_with(&bx, mode),
+                optimal: mode == HittingSetMode::Exact,
+            })
+        }
+        Route::HammingCf => {
+            let (ds, bx) = need_bool()?;
+            match effort_budget {
+                None => match hamming_cf::closest_sat(ds, k, &bx) {
+                    None => Ok(Outcome::NoCounterfactual),
+                    Some((point, d)) => Ok(Outcome::Counterfactual {
+                        point: bits_to_f64(&point),
+                        dist: d as f64,
+                        proven: true,
+                    }),
+                },
+                Some(budget) => match hamming_cf::closest_sat_budgeted(ds, k, &bx, budget) {
+                    None => Ok(Outcome::NoCounterfactual),
+                    Some((point, d, proven)) => Ok(Outcome::Counterfactual {
+                        point: bits_to_f64(&point),
+                        dist: d as f64,
+                        proven,
+                    }),
+                },
+            }
+        }
+
+        Route::LpHeuristicCf => {
+            let p = req.metric.lp_exponent().expect("heuristic CF routes only from ℓ1/ℓp");
+            let engine = LpGeneralCounterfactual::new(&data.continuous, LpMetric::new(p), k);
+            match engine.closest(x) {
+                None => Ok(Outcome::NoCounterfactual),
+                Some(w) => {
+                    Ok(Outcome::Counterfactual { point: w.point, dist: w.dist, proven: false })
+                }
+            }
+        }
+    }
+}
+
+fn ihs_mode(planned: &Plan) -> HittingSetMode {
+    if planned.budgeted {
+        HittingSetMode::Greedy
+    } else {
+        HittingSetMode::Exact
+    }
+}
+
+fn check_outcome(check: SrCheck<Vec<f64>>) -> Outcome {
+    match check {
+        SrCheck::Sufficient => Outcome::Check { sufficient: true, witness: None },
+        SrCheck::NotSufficient { witness } => {
+            Outcome::Check { sufficient: false, witness: Some(witness) }
+        }
+    }
+}
+
+fn bits_to_f64(bits: &BitVec) -> Vec<f64> {
+    bits.iter().map(|b| if b { 1.0 } else { 0.0 }).collect()
+}
+
+/// The optimistic rule via per-class maj-NN probes: positive wins iff its
+/// maj-th order statistic is ≤ the negative one (ties positive, §2).
+fn classify_hamming_indexed(
+    data: &EngineData,
+    artifacts: &ArtifactStore,
+    bx: &BitVec,
+    k: OddK,
+) -> Label {
+    let maj = k.majority();
+    let ds = data.boolean.as_ref().expect("checked by caller");
+    let pos_stat = (ds.count_of(Label::Positive) >= maj)
+        .then(|| artifacts.hamming_class_index(data, Label::Positive).knn(bx, maj)[maj - 1].1);
+    let neg_stat = (ds.count_of(Label::Negative) >= maj)
+        .then(|| artifacts.hamming_class_index(data, Label::Negative).knn(bx, maj)[maj - 1].1);
+    optimistic_from_stats(pos_stat, neg_stat)
+}
+
+/// Continuous analogue of [`classify_hamming_indexed`], comparing p-th-power
+/// distance keys from the per-class KD-trees.
+fn classify_continuous_indexed(
+    data: &EngineData,
+    artifacts: &ArtifactStore,
+    x: &[f64],
+    p: u32,
+    k: OddK,
+) -> Label {
+    let maj = k.majority();
+    let pos_stat = (data.continuous.count_of(Label::Positive) >= maj)
+        .then(|| artifacts.kd_class_index(data, p, Label::Positive).knn(x, maj)[maj - 1].1);
+    let neg_stat = (data.continuous.count_of(Label::Negative) >= maj)
+        .then(|| artifacts.kd_class_index(data, p, Label::Negative).knn(x, maj)[maj - 1].1);
+    optimistic_from_stats(pos_stat, neg_stat)
+}
+
+fn optimistic_from_stats<D: PartialOrd>(pos: Option<D>, neg: Option<D>) -> Label {
+    match (pos, neg) {
+        (Some(rp), Some(rn)) => {
+            if rp.partial_cmp(&rn) != Some(std::cmp::Ordering::Greater) {
+                Label::Positive
+            } else {
+                Label::Negative
+            }
+        }
+        (Some(_), None) => Label::Positive,
+        (None, Some(_)) => Label::Negative,
+        (None, None) => unreachable!("dataset at least k ≥ 2·maj − 1 points"),
+    }
+}

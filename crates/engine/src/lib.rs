@@ -1,0 +1,486 @@
+//! # knn-engine — concurrent batch explanation serving
+//!
+//! The paper's algorithms (knn-core) answer one explanation query at a time;
+//! real explanation workloads arrive in batches over one immutable dataset.
+//! This crate adds the serving layer:
+//!
+//! * an [`ExplanationEngine`] owning the dataset plus lazily-built shared
+//!   artifacts (per-class neighbor indexes, the Prop 1 ℓ2 region
+//!   decomposition) — see [`artifacts`];
+//! * a **query planner** routing each `(query, metric, k)` to the correct
+//!   algorithm per the paper's Table 1, refusing intractable cells and
+//!   demoting exponential tails to anytime/greedy variants under a
+//!   deterministic effort budget — see [`plan`];
+//! * a **worker pool** (std threads, no extra dependencies) executing
+//!   batches concurrently with byte-deterministic, order-preserving output —
+//!   [`ExplanationEngine::run_batch`];
+//! * a **memoization layer**: the artifact store above plus an LRU cache of
+//!   completed explanations keyed by the canonicalized query — see [`cache`];
+//! * a JSON-lines wire format for the `xknn batch` subcommand — see
+//!   [`request`] and [`json`].
+//!
+//! ## Determinism contract
+//!
+//! For a fixed dataset and [`EngineConfig`], the response *line* for a request
+//! is a pure function of the request payload. Worker count, batch order,
+//! scheduling, and cache hits cannot change a single output byte — the
+//! property the engine's tests pin down. This is why effort budgets are
+//! logical (CDCL conflicts, greedy hitting sets), never wall-clock.
+//!
+//! ```
+//! use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
+//! use knn_space::ContinuousDataset;
+//!
+//! let ds = ContinuousDataset::from_sets(
+//!     vec![vec![2.0, 2.0], vec![3.0, 1.5]],
+//!     vec![vec![-1.0, -1.0], vec![0.0, -2.0]],
+//! );
+//! let engine = ExplanationEngine::new(EngineData::from_continuous(ds), EngineConfig::default());
+//!
+//! let batch: Vec<Request> = [
+//!     r#"{"id":"a","cmd":"classify","point":[1.0,1.0]}"#,
+//!     r#"{"id":"b","cmd":"counterfactual","metric":"l2","point":[1.0,1.0]}"#,
+//! ]
+//! .iter()
+//! .enumerate()
+//! .map(|(i, line)| Request::from_json_line(line, &i.to_string()).unwrap())
+//! .collect();
+//!
+//! let responses = engine.run_batch(&batch);
+//! assert_eq!(responses[0].to_json_line(), r#"{"id":"a","ok":true,"route":"kdtree-class-index","label":"+"}"#);
+//! assert!(responses[1].to_json_line().contains("\"proven\":true"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod cache;
+pub mod exec;
+pub mod json;
+pub mod plan;
+pub mod request;
+
+pub use artifacts::{ArtifactStore, EngineData};
+pub use plan::{plan, Complexity, Plan, Route};
+pub use request::{CacheKey, Metric, Outcome, QueryKind, Request, Response};
+
+use cache::LruCache;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Engine-level configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for batches (`0` = all available cores).
+    pub workers: usize,
+    /// Capacity of the completed-explanation LRU (`0` disables it).
+    pub cache_capacity: usize,
+    /// Deterministic effort budget for the exponential routes (CDCL conflicts
+    /// for the SAT counterfactual; greedy hitting sets for minimum-SR).
+    /// `None` runs everything exact. Never wall-clock: see the crate docs.
+    pub effort_budget: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig { workers: 0, cache_capacity: 4096, effort_budget: None }
+    }
+}
+
+/// Aggregate statistics of one [`ExplanationEngine::run_batch_with_stats`] call.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Responses served from the explanation cache.
+    pub cache_hits: usize,
+    /// Responses that are errors (refused routes, malformed payloads).
+    pub errors: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the batch.
+    pub wall: Duration,
+}
+
+type CachedResult = (String, Result<Outcome, String>);
+
+/// The batch explanation server. See the crate docs for the architecture.
+pub struct ExplanationEngine {
+    config: EngineConfig,
+    data: EngineData,
+    artifacts: ArtifactStore,
+    cache: Mutex<LruCache<CacheKey, CachedResult>>,
+    /// Single-flight table: identical requests racing in one batch coalesce
+    /// onto the first worker's computation instead of each paying the full
+    /// (possibly exponential) route cost before the LRU is populated.
+    inflight: Mutex<HashMap<CacheKey, Arc<Mutex<Option<CachedResult>>>>>,
+}
+
+impl ExplanationEngine {
+    /// Builds an engine over `data`.
+    pub fn new(data: EngineData, config: EngineConfig) -> Self {
+        let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        ExplanationEngine {
+            config,
+            data,
+            artifacts: ArtifactStore::new(),
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The dataset this engine serves.
+    pub fn data(&self) -> &EngineData {
+        &self.data
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Answers one request (through the cache).
+    pub fn run(&self, req: &Request) -> Response {
+        self.run_one(req).0
+    }
+
+    /// Runs the executor with panic isolation: a panicking route (degenerate
+    /// geometry tripping an internal solver assert) becomes an error
+    /// *response* for that request instead of killing the whole batch — the
+    /// same per-request isolation malformed and refused requests get. The
+    /// panic message is itself deterministic for a given input, so the
+    /// determinism contract holds for these lines too.
+    fn execute_guarded(&self, req: &Request) -> Response {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec::execute(&self.data, &self.artifacts, req, self.config.effort_budget)
+        }));
+        match outcome {
+            Ok(resp) => resp,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Response {
+                    id: req.id.clone(),
+                    route: "error".to_string(),
+                    result: Err(format!("internal panic: {msg}")),
+                }
+            }
+        }
+    }
+
+    /// `run` plus whether the response came from the cache (or was coalesced
+    /// onto another worker's in-flight computation).
+    fn run_one(&self, req: &Request) -> (Response, bool) {
+        if self.config.cache_capacity == 0 {
+            return (self.execute_guarded(req), false);
+        }
+        let key = req.cache_key();
+        if let Some((route, result)) = self.cache.lock().unwrap().get(&key) {
+            return (
+                Response { id: req.id.clone(), route: route.clone(), result: result.clone() },
+                true,
+            );
+        }
+        // Cache miss: claim or join the in-flight slot for this key. The
+        // claimant locks its slot *before* publishing it to the table, so a
+        // joiner can never observe an unlocked-but-empty slot and recompute.
+        let own_slot = Arc::new(Mutex::new(None));
+        let mut own_guard = own_slot.lock().unwrap();
+        let joined = match self.inflight.lock().unwrap().entry(key.clone()) {
+            Entry::Occupied(e) => Some(e.get().clone()),
+            Entry::Vacant(v) => {
+                v.insert(own_slot.clone());
+                None
+            }
+        };
+        if let Some(theirs) = joined {
+            drop(own_guard);
+            // Blocks until the computing worker releases the slot. Caching is
+            // transparent (responses are pure functions of the request), so
+            // this changes cost, never bytes.
+            let guard = theirs.lock().unwrap();
+            if let Some((route, result)) = guard.as_ref() {
+                return (
+                    Response { id: req.id.clone(), route: route.clone(), result: result.clone() },
+                    true,
+                );
+            }
+            // Unreachable unless the computing worker died without
+            // publishing; compute independently as a last resort.
+            drop(guard);
+            return (self.execute_guarded(req), false);
+        }
+        let resp = self.execute_guarded(req);
+        *own_guard = Some((resp.route.clone(), resp.result.clone()));
+        self.cache.lock().unwrap().insert(key.clone(), (resp.route.clone(), resp.result.clone()));
+        drop(own_guard);
+        self.inflight.lock().unwrap().remove(&key);
+        (resp, false)
+    }
+
+    /// Executes a batch concurrently. The returned vector is index-aligned
+    /// with `requests`, and its contents are byte-identical for every worker
+    /// count and for any permutation of a batch (modulo the matching
+    /// permutation of the output).
+    pub fn run_batch(&self, requests: &[Request]) -> Vec<Response> {
+        self.run_batch_with_stats(requests).0
+    }
+
+    /// [`ExplanationEngine::run_batch`] with aggregate statistics.
+    pub fn run_batch_with_stats(&self, requests: &[Request]) -> (Vec<Response>, BatchStats) {
+        let started = Instant::now();
+        let workers = self.effective_workers(requests.len());
+        let hits = AtomicUsize::new(0);
+        let mut responses: Vec<Option<Response>> = Vec::with_capacity(requests.len());
+        responses.resize_with(requests.len(), || None);
+
+        if workers <= 1 {
+            for (i, req) in requests.iter().enumerate() {
+                let (resp, hit) = self.run_one(req);
+                if hit {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+                responses[i] = Some(resp);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, Response, bool)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= requests.len() {
+                            break;
+                        }
+                        let (resp, hit) = self.run_one(&requests[i]);
+                        if tx.send((i, resp, hit)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                for (i, resp, hit) in rx {
+                    if hit {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    responses[i] = Some(resp);
+                }
+            });
+        }
+
+        let responses: Vec<Response> =
+            responses.into_iter().map(|r| r.expect("every index answered")).collect();
+        let stats = BatchStats {
+            requests: requests.len(),
+            cache_hits: hits.load(Ordering::Relaxed),
+            errors: responses.iter().filter(|r| r.result.is_err()).count(),
+            workers,
+            wall: started.elapsed(),
+        };
+        (responses, stats)
+    }
+
+    /// Parses a JSON-lines batch (blank lines skipped; a malformed line
+    /// becomes an error *response* in place, so the output stream stays
+    /// aligned with the input), runs it, and returns the response lines plus
+    /// stats.
+    pub fn run_jsonl(&self, input: &str) -> (String, BatchStats) {
+        // Requests and parse failures both carry (output slot, 1-based input
+        // line number); id-less requests and error lines are identified by
+        // the line number, matching the `line N:` prefix of parse errors.
+        let mut requests: Vec<(usize, Request)> = Vec::new();
+        let mut parse_errors: Vec<(usize, usize, String)> = Vec::new();
+        for (lineno, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let slot = requests.len() + parse_errors.len();
+            match Request::from_json_line(line, &(lineno + 1).to_string()) {
+                Ok(r) => requests.push((slot, r)),
+                Err(e) => {
+                    parse_errors.push((slot, lineno + 1, format!("line {}: {e}", lineno + 1)))
+                }
+            }
+        }
+        let reqs: Vec<Request> = requests.iter().map(|(_, r)| r.clone()).collect();
+        let (resps, stats) = self.run_batch_with_stats(&reqs);
+
+        let total = requests.len() + parse_errors.len();
+        let mut lines: Vec<Option<String>> = vec![None; total];
+        for ((slot, _), resp) in requests.iter().zip(&resps) {
+            lines[*slot] = Some(resp.to_json_line());
+        }
+        for (slot, lineno, err) in &parse_errors {
+            let resp = Response {
+                id: lineno.to_string(),
+                route: "error".to_string(),
+                result: Err(err.clone()),
+            };
+            lines[*slot] = Some(resp.to_json_line());
+        }
+        let mut out = String::new();
+        for line in lines.into_iter().flatten() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let stats =
+            BatchStats { requests: total, errors: stats.errors + parse_errors.len(), ..stats };
+        (out, stats)
+    }
+
+    fn effective_workers(&self, batch_len: usize) -> usize {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let configured = if self.config.workers == 0 { hw } else { self.config.workers };
+        configured.clamp(1, batch_len.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_space::ContinuousDataset;
+
+    fn engine(config: EngineConfig) -> ExplanationEngine {
+        // 0/1 dataset → both the continuous and the boolean views exist, so
+        // every metric is servable.
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 1.0]],
+            vec![vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 1.0], vec![0.0, 1.0, 0.0]],
+        );
+        ExplanationEngine::new(EngineData::from_continuous(ds), config)
+    }
+
+    fn req(line: &str) -> Request {
+        Request::from_json_line(line, "0").unwrap()
+    }
+
+    #[test]
+    fn classify_matches_reference_classifier() {
+        let e = engine(EngineConfig::default());
+        for (metric, point) in
+            [("l2", "[0.9,0.2,0.4]"), ("l1", "[0.1,0.9,0.2]"), ("hamming", "[1,0,0]")]
+        {
+            for k in [1u32, 3] {
+                let r = req(&format!(
+                    r#"{{"cmd":"classify","metric":"{metric}","k":{k},"point":{point}}}"#
+                ));
+                let resp = e.run(&r);
+                let Ok(Outcome::Label(fast)) = resp.result else {
+                    panic!("classify failed: {resp:?}")
+                };
+                // Reference: the O(n·d) scan classifier.
+                let expected = match r.metric {
+                    Metric::Hamming => {
+                        let ds = e.data().boolean.as_ref().unwrap();
+                        let bx = knn_space::BitVec::from_bools(
+                            &r.point.iter().map(|&v| v == 1.0).collect::<Vec<_>>(),
+                        );
+                        knn_core::BooleanKnn::new(ds, knn_space::OddK::of(k)).classify(&bx)
+                    }
+                    m => {
+                        let p = m.lp_exponent().unwrap();
+                        knn_core::ContinuousKnn::new(
+                            &e.data().continuous,
+                            knn_space::LpMetric::new(p),
+                            knn_space::OddK::of(k),
+                        )
+                        .classify(&r.point)
+                    }
+                };
+                assert_eq!(fast, expected, "metric {metric} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_serves_identical_bytes() {
+        let e = engine(EngineConfig::default());
+        let r = req(r#"{"id":"x","cmd":"counterfactual","metric":"hamming","point":[1,0,0]}"#);
+        let (first, hit1) = e.run_one(&r);
+        let (second, hit2) = e.run_one(&r);
+        assert!(!hit1);
+        assert!(hit2, "second identical query must hit the cache");
+        assert_eq!(first.to_json_line(), second.to_json_line());
+    }
+
+    #[test]
+    fn batch_output_is_order_preserving_and_id_stable() {
+        let e = engine(EngineConfig { workers: 4, ..EngineConfig::default() });
+        let reqs: Vec<Request> = (0..40)
+            .map(|i| {
+                req(&format!(
+                    r#"{{"id":"q{i}","cmd":"classify","metric":"l2","point":[{},0.5,0.25]}}"#,
+                    (i as f64) / 7.0 - 2.0
+                ))
+            })
+            .collect();
+        let resps = e.run_batch(&reqs);
+        assert_eq!(resps.len(), 40);
+        for (i, r) in resps.iter().enumerate() {
+            assert_eq!(r.id, format!("q{i}"), "output stays index-aligned");
+        }
+    }
+
+    #[test]
+    fn jsonl_stream_keeps_malformed_lines_aligned() {
+        let e = engine(EngineConfig::default());
+        let input = "\n{\"cmd\":\"classify\",\"point\":[1,1,1]}\nnot json\n{\"cmd\":\"fly\",\"point\":[1,1,1]}\n";
+        let (out, stats) = e.run_jsonl(input);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert!(lines[1].contains("\"ok\":false"), "{}", lines[1]);
+        assert!(lines[2].contains("unknown cmd"), "{}", lines[2]);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn executor_panics_become_error_responses() {
+        // A deliberately inconsistent EngineData (boolean view of a different
+        // dimension) makes the Hamming route panic inside knn-core; the
+        // engine must convert that into an error response for the one
+        // request and keep serving the rest of the batch.
+        let continuous = ContinuousDataset::from_sets(vec![vec![1.0, 1.0]], vec![vec![0.0, 0.0]]);
+        let mut boolean = knn_space::BooleanDataset::new(3);
+        boolean.push(knn_space::BitVec::from_bits(&[1, 1, 1]), knn_space::Label::Positive);
+        boolean.push(knn_space::BitVec::from_bits(&[0, 0, 0]), knn_space::Label::Negative);
+        let e = ExplanationEngine::new(
+            EngineData::new(continuous, Some(boolean)),
+            EngineConfig { workers: 2, ..EngineConfig::default() },
+        );
+        let batch = [
+            req(r#"{"id":"bad","cmd":"classify","metric":"hamming","point":[1,0]}"#),
+            req(r#"{"id":"good","cmd":"classify","metric":"l2","point":[1.0,0.0]}"#),
+        ];
+        let resps = e.run_batch(&batch);
+        let err = resps[0].result.as_ref().unwrap_err();
+        assert!(err.contains("internal panic"), "{err}");
+        assert!(resps[1].result.is_ok(), "other requests keep being served");
+    }
+
+    #[test]
+    fn budget_demotes_and_flags() {
+        let exact = engine(EngineConfig::default());
+        let budgeted =
+            engine(EngineConfig { effort_budget: Some(1_000_000), ..EngineConfig::default() });
+        let r = req(r#"{"cmd":"minimum-sr","metric":"hamming","k":3,"point":[1,0,0]}"#);
+        let Ok(Outcome::Reason { features: exact_sr, optimal: true }) = exact.run(&r).result else {
+            panic!("exact run failed")
+        };
+        let Ok(Outcome::Reason { features: greedy_sr, optimal: false }) = budgeted.run(&r).result
+        else {
+            panic!("budgeted run must flag optimal=false")
+        };
+        assert!(greedy_sr.len() >= exact_sr.len(), "greedy upper-bounds the minimum");
+    }
+}

@@ -1,0 +1,419 @@
+//! The engine's wire format: one JSON object per request / response line.
+//!
+//! ```text
+//! {"id":"q1","cmd":"counterfactual","metric":"l2","k":1,"point":[1.5,1.0]}
+//! {"id":"q2","cmd":"check-sr","metric":"hamming","k":3,"point":[1,0,1],"features":[0,2]}
+//! ```
+//!
+//! `cmd` is one of `classify`, `minimal-sr`, `minimum-sr`, `check-sr`,
+//! `counterfactual`; `metric` is `l2` (default), `l1`, `lp:<p>`, or
+//! `hamming`; `k` defaults to 1. Responses echo the request `id` and are
+//! byte-deterministic: the same request against the same engine always
+//! produces the same line, regardless of worker count, batch order, or cache
+//! state.
+
+use crate::json::{parse, Value};
+use knn_space::Label;
+
+/// The five explanation queries of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// The optimistic k-NN label (§2).
+    Classify,
+    /// A (subset-)minimal sufficient reason (Prop 2).
+    MinimalSr,
+    /// A minimum-cardinality sufficient reason (NP-hard / Σ₂ᵖ).
+    MinimumSr,
+    /// Is the given feature set a sufficient reason?
+    CheckSr,
+    /// The closest differently-classified point.
+    Counterfactual,
+}
+
+impl QueryKind {
+    /// The wire name (`classify`, `minimal-sr`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Classify => "classify",
+            QueryKind::MinimalSr => "minimal-sr",
+            QueryKind::MinimumSr => "minimum-sr",
+            QueryKind::CheckSr => "check-sr",
+            QueryKind::Counterfactual => "counterfactual",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Result<QueryKind, String> {
+        match s {
+            "classify" => Ok(QueryKind::Classify),
+            "minimal-sr" => Ok(QueryKind::MinimalSr),
+            "minimum-sr" => Ok(QueryKind::MinimumSr),
+            "check-sr" => Ok(QueryKind::CheckSr),
+            "counterfactual" => Ok(QueryKind::Counterfactual),
+            other => Err(format!(
+                "unknown cmd `{other}` (try classify, minimal-sr, minimum-sr, check-sr, counterfactual)"
+            )),
+        }
+    }
+}
+
+/// The metric of a request, normalized (`lp:1` ≡ `l1`, `lp:2` ≡ `l2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Continuous ℓ2.
+    L2,
+    /// Continuous ℓ1.
+    L1,
+    /// Continuous ℓp for `p ≥ 3`.
+    Lp(u32),
+    /// Discrete Hamming over `{0,1}ⁿ`.
+    Hamming,
+}
+
+impl Metric {
+    /// Parses `l2`, `l1`, `hamming`/`h`, or `lp:<p>` (normalizing p = 1, 2).
+    pub fn parse(s: &str) -> Result<Metric, String> {
+        match s {
+            "l2" => Ok(Metric::L2),
+            "l1" => Ok(Metric::L1),
+            "hamming" | "h" => Ok(Metric::Hamming),
+            other => {
+                let p: u32 =
+                    other.strip_prefix("lp:").and_then(|p| p.parse().ok()).ok_or_else(|| {
+                        format!("unknown metric `{other}` (try l2, l1, lp:<p>, hamming)")
+                    })?;
+                match p {
+                    0 => Err("ℓp exponent must be positive".into()),
+                    1 => Ok(Metric::L1),
+                    2 => Ok(Metric::L2),
+                    p => Ok(Metric::Lp(p)),
+                }
+            }
+        }
+    }
+
+    /// The wire name.
+    pub fn name(self) -> String {
+        match self {
+            Metric::L2 => "l2".into(),
+            Metric::L1 => "l1".into(),
+            Metric::Lp(p) => format!("lp:{p}"),
+            Metric::Hamming => "hamming".into(),
+        }
+    }
+
+    /// The ℓp exponent for the continuous metrics; `None` for Hamming.
+    pub fn lp_exponent(self) -> Option<u32> {
+        match self {
+            Metric::L1 => Some(1),
+            Metric::L2 => Some(2),
+            Metric::Lp(p) => Some(p),
+            Metric::Hamming => None,
+        }
+    }
+}
+
+/// One explanation query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the response (defaults to the
+    /// 1-based input line number when absent in a JSON-lines batch, matching
+    /// the `line N:` prefix of parse errors).
+    pub id: String,
+    /// Which query to run.
+    pub kind: QueryKind,
+    /// Which metric space to run it in.
+    pub metric: Metric,
+    /// Neighborhood size (odd).
+    pub k: u32,
+    /// The query point.
+    pub point: Vec<f64>,
+    /// Feature indices for `check-sr`.
+    pub features: Option<Vec<usize>>,
+}
+
+impl Request {
+    /// Parses one JSON-lines request. `default_id` is used when the object
+    /// carries no `"id"` member.
+    pub fn from_json_line(line: &str, default_id: &str) -> Result<Request, String> {
+        let v = parse(line)?;
+        if !matches!(v, Value::Object(_)) {
+            return Err("request must be a JSON object".into());
+        }
+        let id = match v.get("id") {
+            None => default_id.to_string(),
+            Some(Value::String(s)) => s.clone(),
+            Some(Value::Number(n)) => Value::Number(*n).to_json(),
+            Some(_) => return Err("`id` must be a string or number".into()),
+        };
+        let kind =
+            QueryKind::parse(v.get("cmd").and_then(Value::as_str).ok_or("missing `cmd` member")?)?;
+        let metric = match v.get("metric") {
+            None => Metric::L2,
+            Some(m) => Metric::parse(m.as_str().ok_or("`metric` must be a string")?)?,
+        };
+        let k = match v.get("k") {
+            None => 1,
+            Some(kv) => {
+                let k64 = kv.as_u64().ok_or("`k` must be a non-negative integer")?;
+                u32::try_from(k64).map_err(|_| format!("`k` = {k64} is out of range"))?
+            }
+        };
+        let point = v
+            .get("point")
+            .and_then(Value::as_array)
+            .ok_or("missing `point` array")?
+            .iter()
+            .map(|x| x.as_f64().ok_or_else(|| "`point` must contain numbers".to_string()))
+            .collect::<Result<Vec<f64>, String>>()?;
+        if point.is_empty() {
+            return Err("`point` must not be empty".into());
+        }
+        let features = match v.get("features") {
+            None => None,
+            Some(f) => {
+                let mut idx = f
+                    .as_array()
+                    .ok_or("`features` must be an array")?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64().map(|u| u as usize).ok_or_else(|| {
+                            "`features` must contain non-negative integers".to_string()
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                idx.sort_unstable();
+                idx.dedup();
+                Some(idx)
+            }
+        };
+        Ok(Request { id, kind, metric, k, point, features })
+    }
+
+    /// Serializes back to a JSON line (used by generators and tests).
+    pub fn to_json_line(&self) -> String {
+        let mut members = vec![
+            ("id".to_string(), Value::String(self.id.clone())),
+            ("cmd".to_string(), Value::String(self.kind.name().to_string())),
+            ("metric".to_string(), Value::String(self.metric.name())),
+            ("k".to_string(), Value::Number(self.k as f64)),
+            (
+                "point".to_string(),
+                Value::Array(self.point.iter().map(|&x| Value::Number(x)).collect()),
+            ),
+        ];
+        if let Some(f) = &self.features {
+            members.push((
+                "features".to_string(),
+                Value::Array(f.iter().map(|&i| Value::Number(i as f64)).collect()),
+            ));
+        }
+        Value::Object(members).to_json()
+    }
+
+    /// The canonical cache key: everything that determines the answer, with
+    /// the point's bits (not its printed form) to avoid `-0.0`/rounding
+    /// aliasing. Excludes `id`.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey {
+            kind: self.kind,
+            metric: self.metric,
+            k: self.k,
+            point_bits: self.point.iter().map(|x| x.to_bits()).collect(),
+            features: self.features.clone(),
+        }
+    }
+}
+
+/// See [`Request::cache_key`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    kind: QueryKind,
+    metric: Metric,
+    k: u32,
+    point_bits: Vec<u64>,
+    features: Option<Vec<usize>>,
+}
+
+/// The meat of a successful response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// `classify`.
+    Label(Label),
+    /// `minimal-sr` / `minimum-sr`; `optimal` is false when a budgeted plan
+    /// fell back to the greedy hitting-set heuristic.
+    Reason {
+        /// The feature indices, ascending.
+        features: Vec<usize>,
+        /// Whether the reason is a proven minimum (`minimum-sr` only; always
+        /// true for `minimal-sr`, whose guarantee is subset-minimality).
+        optimal: bool,
+    },
+    /// `check-sr`.
+    Check {
+        /// Whether the feature set pins the label.
+        sufficient: bool,
+        /// Counterexample completion when not sufficient.
+        witness: Option<Vec<f64>>,
+    },
+    /// `counterfactual`.
+    Counterfactual {
+        /// The differently-classified point.
+        point: Vec<f64>,
+        /// The optimal (infimum) counterfactual distance under the request
+        /// metric. When the infimum is not attained (ℓ2 with an open target
+        /// region, Thm 2), `point` is a witness *just past* it, so
+        /// `d(point, x)` can exceed `dist` by the closure slack (~1e-3 of
+        /// the distance); for heuristic routes `dist` is `d(point, x)`.
+        dist: f64,
+        /// Whether the distance is proven optimal.
+        proven: bool,
+    },
+    /// `counterfactual` when the opposite class region is empty.
+    NoCounterfactual,
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: String,
+    /// The planner's route tag (e.g. `l2-qp`, `hamming-sat`), or `error`.
+    pub route: String,
+    /// The outcome, or an error message.
+    pub result: Result<Outcome, String>,
+}
+
+impl Response {
+    /// Serializes to the deterministic JSON line.
+    pub fn to_json_line(&self) -> String {
+        let mut members = vec![("id".to_string(), Value::String(self.id.clone()))];
+        match &self.result {
+            Err(msg) => {
+                members.push(("ok".to_string(), Value::Bool(false)));
+                members.push(("error".to_string(), Value::String(msg.clone())));
+            }
+            Ok(outcome) => {
+                members.push(("ok".to_string(), Value::Bool(true)));
+                members.push(("route".to_string(), Value::String(self.route.clone())));
+                match outcome {
+                    Outcome::Label(l) => {
+                        members.push((
+                            "label".to_string(),
+                            Value::String(
+                                if *l == Label::Positive { "+" } else { "-" }.to_string(),
+                            ),
+                        ));
+                    }
+                    Outcome::Reason { features, optimal } => {
+                        members.push((
+                            "reason".to_string(),
+                            Value::Array(
+                                features.iter().map(|&i| Value::Number(i as f64)).collect(),
+                            ),
+                        ));
+                        members.push(("optimal".to_string(), Value::Bool(*optimal)));
+                    }
+                    Outcome::Check { sufficient, witness } => {
+                        members.push(("sufficient".to_string(), Value::Bool(*sufficient)));
+                        if let Some(w) = witness {
+                            members.push((
+                                "witness".to_string(),
+                                Value::Array(w.iter().map(|&x| Value::Number(x)).collect()),
+                            ));
+                        }
+                    }
+                    Outcome::Counterfactual { point, dist, proven } => {
+                        members.push((
+                            "counterfactual".to_string(),
+                            Value::Array(point.iter().map(|&x| Value::Number(x)).collect()),
+                        ));
+                        members.push(("dist".to_string(), Value::Number(*dist)));
+                        members.push(("proven".to_string(), Value::Bool(*proven)));
+                    }
+                    Outcome::NoCounterfactual => {
+                        members.push(("counterfactual".to_string(), Value::Null));
+                    }
+                }
+            }
+        }
+        Value::Object(members).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let line = r#"{"id":"a","cmd":"check-sr","metric":"hamming","k":3,"point":[1,0,1],"features":[2,0,2]}"#;
+        let r = Request::from_json_line(line, "0").unwrap();
+        assert_eq!(r.kind, QueryKind::CheckSr);
+        assert_eq!(r.metric, Metric::Hamming);
+        assert_eq!(r.k, 3);
+        assert_eq!(r.features, Some(vec![0, 2]), "features sorted + deduped");
+        let r2 = Request::from_json_line(&r.to_json_line(), "0").unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let r = Request::from_json_line(r#"{"cmd":"classify","point":[0.5]}"#, "17").unwrap();
+        assert_eq!(r.id, "17");
+        assert_eq!(r.metric, Metric::L2);
+        assert_eq!(r.k, 1);
+    }
+
+    #[test]
+    fn metric_normalization() {
+        assert_eq!(Metric::parse("lp:2"), Ok(Metric::L2));
+        assert_eq!(Metric::parse("lp:1"), Ok(Metric::L1));
+        assert_eq!(Metric::parse("lp:7"), Ok(Metric::Lp(7)));
+        assert!(Metric::parse("lp:0").is_err());
+        assert!(Metric::parse("cosine").is_err());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"cmd":"fly","point":[1]}"#,
+            r#"{"cmd":"classify"}"#,
+            r#"{"cmd":"classify","point":[]}"#,
+            r#"{"cmd":"classify","point":[1],"k":-3}"#,
+            r#"{"cmd":"classify","point":[1],"k":4294967297}"#,
+            r#"{"cmd":"classify","point":["a"]}"#,
+        ] {
+            assert!(Request::from_json_line(bad, "0").is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_id_but_not_payload() {
+        let a =
+            Request::from_json_line(r#"{"id":"a","cmd":"classify","point":[1,2]}"#, "0").unwrap();
+        let b =
+            Request::from_json_line(r#"{"id":"b","cmd":"classify","point":[1,2]}"#, "1").unwrap();
+        let c =
+            Request::from_json_line(r#"{"id":"a","cmd":"classify","point":[1,3]}"#, "2").unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn response_lines_are_compact_json() {
+        let ok = Response {
+            id: "q".into(),
+            route: "l2-qp".into(),
+            result: Ok(Outcome::Counterfactual { point: vec![1.0, 2.5], dist: 2.0, proven: true }),
+        };
+        assert_eq!(
+            ok.to_json_line(),
+            r#"{"id":"q","ok":true,"route":"l2-qp","counterfactual":[1,2.5],"dist":2,"proven":true}"#
+        );
+        let err = Response { id: "q".into(), route: "error".into(), result: Err("boom".into()) };
+        assert_eq!(err.to_json_line(), r#"{"id":"q","ok":false,"error":"boom"}"#);
+    }
+}

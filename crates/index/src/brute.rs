@@ -35,12 +35,8 @@ impl<F: Field> BruteForceIndex<F> {
     /// The `k` nearest neighbors of `q` as `(index, distance^p)`, sorted by
     /// distance then index.
     pub fn knn(&self, q: &[F], k: usize) -> Vec<(usize, F)> {
-        let all: Vec<(usize, F)> = self
-            .points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, self.metric.dist_pow(q, p)))
-            .collect();
+        let all: Vec<(usize, F)> =
+            self.points.iter().enumerate().map(|(i, p)| (i, self.metric.dist_pow(q, p))).collect();
         crate::finalize_neighbors(all, k)
     }
 
@@ -77,10 +73,7 @@ mod tests {
 
     #[test]
     fn exact_ties_with_rationals() {
-        let pts = vec![
-            vec![Rat::frac(1, 3), Rat::zero()],
-            vec![Rat::frac(-1, 3), Rat::zero()],
-        ];
+        let pts = vec![vec![Rat::frac(1, 3), Rat::zero()], vec![Rat::frac(-1, 3), Rat::zero()]];
         let idx = BruteForceIndex::new(pts, LpMetric::L2);
         let nn = idx.knn(&[Rat::zero(), Rat::zero()], 2);
         assert_eq!(nn[0].1, nn[1].1, "exactly equidistant");

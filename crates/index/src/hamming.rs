@@ -38,12 +38,8 @@ impl HammingIndex {
 
     /// The `k` nearest neighbors of `q` as `(index, hamming distance)`.
     pub fn knn(&self, q: &BitVec, k: usize) -> Vec<(usize, usize)> {
-        let all: Vec<(usize, usize)> = self
-            .points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, p.hamming(q)))
-            .collect();
+        let all: Vec<(usize, usize)> =
+            self.points.iter().enumerate().map(|(i, p)| (i, p.hamming(q))).collect();
         crate::finalize_neighbors(all, k)
     }
 
@@ -79,11 +75,7 @@ mod tests {
 
     #[test]
     fn nearest_neighbors() {
-        let idx = HammingIndex::new(vec![
-            bv(&[0, 0, 0, 0]),
-            bv(&[1, 1, 0, 0]),
-            bv(&[1, 1, 1, 1]),
-        ]);
+        let idx = HammingIndex::new(vec![bv(&[0, 0, 0, 0]), bv(&[1, 1, 0, 0]), bv(&[1, 1, 1, 1])]);
         let q = bv(&[1, 0, 0, 0]);
         assert_eq!(idx.nearest(&q), Some((0, 1)));
         let knn = idx.knn(&q, 3);
@@ -92,11 +84,7 @@ mod tests {
 
     #[test]
     fn within_ball() {
-        let idx = HammingIndex::new(vec![
-            bv(&[0, 0]),
-            bv(&[0, 1]),
-            bv(&[1, 1]),
-        ]);
+        let idx = HammingIndex::new(vec![bv(&[0, 0]), bv(&[0, 1]), bv(&[1, 1])]);
         let q = bv(&[0, 0]);
         assert_eq!(idx.within(&q, 1), vec![(0, 0), (1, 1)]);
         assert_eq!(idx.within(&q, 2).len(), 3);

@@ -141,8 +141,8 @@ impl KdTree {
                 // Visit the far side only if the splitting plane is closer
                 // than the current worst neighbor (p-th power comparison).
                 let plane_pow = delta.abs().powi(self.metric.p() as i32);
-                let must_visit = heap.len() < k
-                    || heap.peek().is_some_and(|top| plane_pow <= top.dist);
+                let must_visit =
+                    heap.len() < k || heap.peek().is_some_and(|top| plane_pow <= top.dist);
                 if must_visit {
                     self.search(far, q, k, heap);
                 }

@@ -43,11 +43,12 @@ pub use kdtree::KdTree;
 pub use vptree::VpTree;
 
 /// Sorts `(index, key)` pairs by key then index, truncating to `k`.
-pub(crate) fn finalize_neighbors<D: PartialOrd>(mut out: Vec<(usize, D)>, k: usize) -> Vec<(usize, D)> {
+pub(crate) fn finalize_neighbors<D: PartialOrd>(
+    mut out: Vec<(usize, D)>,
+    k: usize,
+) -> Vec<(usize, D)> {
     out.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
+        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
     });
     out.truncate(k);
     out

@@ -10,12 +10,7 @@ use std::collections::BinaryHeap;
 #[derive(Debug)]
 enum Node {
     Leaf(Vec<u32>),
-    Ball {
-        center: u32,
-        radius: f64,
-        inside: Box<Node>,
-        outside: Box<Node>,
-    },
+    Ball { center: u32, radius: f64, inside: Box<Node>, outside: Box<Node> },
 }
 
 /// An exact VP-tree over points of type `P` with a caller-supplied metric.
@@ -60,9 +55,9 @@ impl<P> VpTree<P> {
         VpTree { points, dist: Box::new(dist), root }
     }
 
-    fn build(points: &[P], dist: &impl Fn(&P, &P) -> f64, items: &mut Vec<u32>) -> Node {
+    fn build(points: &[P], dist: &impl Fn(&P, &P) -> f64, items: &mut [u32]) -> Node {
         if items.len() <= LEAF_SIZE {
-            return Node::Leaf(items.clone());
+            return Node::Leaf(items.to_vec());
         }
         // First item is the vantage point (deterministic choice).
         let vp = items[0];
@@ -76,7 +71,7 @@ impl<P> VpTree<P> {
         let mut inside: Vec<u32> = rest[..mid].iter().map(|x| x.0).collect();
         let mut outside: Vec<u32> = rest[mid..].iter().map(|x| x.0).collect();
         if inside.is_empty() || outside.is_empty() {
-            return Node::Leaf(items.clone());
+            return Node::Leaf(items.to_vec());
         }
         Node::Ball {
             center: vp,
@@ -164,9 +159,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 250;
         let dim = 64;
-        let pts: Vec<BitVec> = (0..n)
-            .map(|_| (0..dim).map(|_| rng.gen_bool(0.5)).collect())
-            .collect();
+        let pts: Vec<BitVec> =
+            (0..n).map(|_| (0..dim).map(|_| rng.gen_bool(0.5)).collect()).collect();
         let tree = VpTree::new(pts.clone(), |a: &BitVec, b: &BitVec| a.hamming(b) as f64);
         for _ in 0..40 {
             let q: BitVec = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
@@ -185,9 +179,8 @@ mod tests {
     #[test]
     fn euclidean_vp_tree() {
         let mut rng = StdRng::seed_from_u64(8);
-        let pts: Vec<Vec<f64>> = (0..150)
-            .map(|_| (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect())
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            (0..150).map(|_| (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect()).collect();
         let l2 = |a: &Vec<f64>, b: &Vec<f64>| -> f64 {
             a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
         };

@@ -16,10 +16,7 @@ struct Workload {
 fn workload() -> impl Strategy<Value = Workload> {
     (1..=5usize).prop_flat_map(|dim| {
         (
-            prop::collection::vec(
-                prop::collection::vec(-4..=4i32, dim),
-                1..=24,
-            ),
+            prop::collection::vec(prop::collection::vec(-4..=4i32, dim), 1..=24),
             prop::collection::vec(-4..=4i32, dim),
             1..=8usize,
         )

@@ -59,8 +59,8 @@ impl<F: Field> Tableau<F> {
                 continue;
             }
             for j in 0..w {
-                let v = self.data[i * w + j].clone()
-                    - factor.clone() * self.data[row * w + j].clone();
+                let v =
+                    self.data[i * w + j].clone() - factor.clone() * self.data[row * w + j].clone();
                 self.data[i * w + j] = v;
             }
             self.set(i, col, F::zero());
@@ -122,10 +122,7 @@ impl<F: Field> Tableau<F> {
             let ratio = self.rhs(i).clone() / a.clone();
             let better = match &best {
                 None => true,
-                Some((bi, br)) => {
-                    ratio < *br
-                        || (ratio == *br && self.basis[i] < self.basis[*bi])
-                }
+                Some((bi, br)) => ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi]),
             };
             if better {
                 best = Some((i, ratio));
@@ -194,11 +191,7 @@ impl<F: Field> LpProblem<F> {
     }
 }
 
-fn solve_impl<F: Field>(
-    problem: &LpProblem<F>,
-    objective: &[F],
-    sense: Objective,
-) -> LpOutcome<F> {
+fn solve_impl<F: Field>(problem: &LpProblem<F>, objective: &[F], sense: Objective) -> LpOutcome<F> {
     // --- Standard-form transformation -------------------------------------
     let mut ncols = 0usize;
     let mut colmap: Vec<ColMap<F>> = Vec::with_capacity(problem.n);
@@ -352,8 +345,7 @@ fn solve_impl<F: Field>(
             return LpOutcome::Infeasible;
         }
         // Drive remaining artificials out of the basis (or detect redundancy).
-        let is_artificial =
-            |j: usize| artificial_cols.iter().any(|&a| a == Some(j));
+        let is_artificial = |j: usize| artificial_cols.contains(&Some(j));
         for i in 0..m {
             if is_artificial(tab.basis[i]) {
                 let mut pivot_col = None;
@@ -409,8 +401,7 @@ fn solve_impl<F: Field>(
         let factor = tab.at(m, tab.basis[i]).clone();
         if !factor.is_zero() {
             for j in 0..w {
-                let v =
-                    tab.data[m * w + j].clone() - factor.clone() * tab.data[i * w + j].clone();
+                let v = tab.data[m * w + j].clone() - factor.clone() * tab.data[i * w + j].clone();
                 tab.data[m * w + j] = v;
             }
         }

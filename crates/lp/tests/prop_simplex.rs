@@ -19,10 +19,7 @@ fn lp_strategy() -> impl Strategy<Value = BoxedLp> {
     (1..=4usize).prop_flat_map(|n| {
         (
             prop::collection::vec(1..=6i32, n),
-            prop::collection::vec(
-                (prop::collection::vec(-3..=3i32, n), 0..=8i32),
-                0..=5,
-            ),
+            prop::collection::vec((prop::collection::vec(-3..=3i32, n), 0..=8i32), 0..=5),
             prop::collection::vec(-4..=4i32, n),
         )
             .prop_map(move |(upper, rows, obj)| BoxedLp {
@@ -30,9 +27,7 @@ fn lp_strategy() -> impl Strategy<Value = BoxedLp> {
                 upper: upper.into_iter().map(f64::from).collect(),
                 rows: rows
                     .into_iter()
-                    .map(|(a, b)| {
-                        (a.into_iter().map(f64::from).collect(), f64::from(b))
-                    })
+                    .map(|(a, b)| (a.into_iter().map(f64::from).collect(), f64::from(b)))
                     .collect(),
                 objective: obj.into_iter().map(f64::from).collect(),
             })
@@ -53,9 +48,10 @@ fn build(lp: &BoxedLp) -> LpProblem<f64> {
 
 fn feasible(lp: &BoxedLp, x: &[f64]) -> bool {
     x.iter().zip(&lp.upper).all(|(&xi, &u)| (-TOL..=u + TOL).contains(&xi))
-        && lp.rows.iter().all(|(a, b)| {
-            a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + TOL
-        })
+        && lp
+            .rows
+            .iter()
+            .all(|(a, b)| a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + TOL)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {

@@ -175,12 +175,8 @@ impl MilpProblem {
     /// Adds a dense constraint.
     pub fn add_dense(&mut self, a: &[f64], rel: Rel, rhs: f64) {
         assert_eq!(a.len(), self.n);
-        let coeffs = a
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c != 0.0)
-            .map(|(j, &c)| (j, c))
-            .collect();
+        let coeffs =
+            a.iter().enumerate().filter(|(_, &c)| c != 0.0).map(|(j, &c)| (j, c)).collect();
         self.add_constraint(coeffs, rel, rhs);
     }
 
@@ -302,14 +298,9 @@ impl MilpProblem {
                         }
                         Some(j) => {
                             if config.rounding_heuristic {
-                                if let Some((hx, hv)) =
-                                    self.round_and_repair(&x, &fixings, &obj)
-                                {
+                                if let Some((hx, hv)) = self.round_and_repair(&x, &fixings, &obj) {
                                     stats.heuristic_lps += 1;
-                                    if best
-                                        .as_ref()
-                                        .is_none_or(|(_, inc)| hv < *inc - INT_TOL)
-                                    {
+                                    if best.as_ref().is_none_or(|(_, inc)| hv < *inc - INT_TOL) {
                                         best = Some((hx, hv));
                                         stats.incumbent_updates += 1;
                                     }
@@ -584,10 +575,9 @@ mod tests {
                 MilpConfig { node_order: NodeOrder::BestBound, ..Default::default() },
             );
             match (dfs, bb) {
-                (
-                    MilpOutcome::Optimal { value: a, .. },
-                    MilpOutcome::Optimal { value: b, .. },
-                ) => assert!((a - b).abs() < 1e-6, "round {round}: dfs {a} vs best-bound {b}"),
+                (MilpOutcome::Optimal { value: a, .. }, MilpOutcome::Optimal { value: b, .. }) => {
+                    assert!((a - b).abs() < 1e-6, "round {round}: dfs {a} vs best-bound {b}")
+                }
                 (MilpOutcome::Infeasible, MilpOutcome::Infeasible) => {}
                 (a, b) => panic!("round {round}: {a:?} vs {b:?}"),
             }
@@ -619,10 +609,9 @@ mod tests {
             );
             assert!(stats.nodes >= 1);
             match (plain, heur) {
-                (
-                    MilpOutcome::Optimal { value: a, .. },
-                    MilpOutcome::Optimal { value: b, .. },
-                ) => assert!((a - b).abs() < 1e-6),
+                (MilpOutcome::Optimal { value: a, .. }, MilpOutcome::Optimal { value: b, .. }) => {
+                    assert!((a - b).abs() < 1e-6)
+                }
                 (a, b) => panic!("{a:?} vs {b:?}"),
             }
         }
@@ -644,10 +633,9 @@ mod tests {
                 MilpConfig { branch_priority: prio, ..Default::default() },
             );
             match (&base, &with) {
-                (
-                    MilpOutcome::Optimal { value: a, .. },
-                    MilpOutcome::Optimal { value: b, .. },
-                ) => assert!((a - b).abs() < 1e-6),
+                (MilpOutcome::Optimal { value: a, .. }, MilpOutcome::Optimal { value: b, .. }) => {
+                    assert!((a - b).abs() < 1e-6)
+                }
                 (a, b) => panic!("{a:?} vs {b:?}"),
             }
         }
@@ -696,9 +684,10 @@ mod tests {
             let mut best: Option<f64> = None;
             for mask in 0u32..(1 << n) {
                 let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
-                if rows.iter().all(|(a, b)| {
-                    a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + 1e-9
-                }) {
+                if rows
+                    .iter()
+                    .all(|(a, b)| a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + 1e-9)
+                {
                     let v = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum::<f64>();
                     best = Some(best.map_or(v, |bv: f64| bv.max(v)));
                 }

@@ -11,9 +11,9 @@ const TOL: f64 = 1e-5;
 
 #[derive(Clone, Debug)]
 struct Mixed {
-    nb: usize,                   // binary variables
-    nc: usize,                   // continuous variables, each in [0, 4]
-    rows: Vec<(Vec<f64>, f64)>,  // a·x ≤ b over all nb + nc variables
+    nb: usize,                  // binary variables
+    nc: usize,                  // continuous variables, each in [0, 4]
+    rows: Vec<(Vec<f64>, f64)>, // a·x ≤ b over all nb + nc variables
     objective: Vec<f64>,
 }
 
@@ -21,10 +21,7 @@ fn mixed_strategy() -> impl Strategy<Value = Mixed> {
     (1..=4usize, 0..=2usize).prop_flat_map(|(nb, nc)| {
         let n = nb + nc;
         (
-            prop::collection::vec(
-                (prop::collection::vec(-3..=3i32, n), 0..=7i32),
-                1..=4,
-            ),
+            prop::collection::vec((prop::collection::vec(-3..=3i32, n), 0..=7i32), 1..=4),
             prop::collection::vec(-4..=4i32, n),
         )
             .prop_map(move |(rows, obj)| Mixed {

@@ -68,7 +68,7 @@ impl BigInt {
 
     /// True iff the integer is even.
     pub fn is_even(&self) -> bool {
-        self.mag.first().map_or(true, |l| l % 2 == 0)
+        self.mag.first().is_none_or(|l| l % 2 == 0)
     }
 
     fn normalized(sign: i8, mut mag: Vec<u32>) -> Self {
@@ -644,10 +644,7 @@ mod tests {
     fn big_multiplication_known_value() {
         let a: BigInt = "123456789123456789123456789".parse().unwrap();
         let c = &a * &a;
-        assert_eq!(
-            c.to_string(),
-            "15241578780673678546105778281054720515622620750190521"
-        );
+        assert_eq!(c.to_string(), "15241578780673678546105778281054720515622620750190521");
     }
 
     #[test]

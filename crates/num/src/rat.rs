@@ -239,10 +239,7 @@ macro_rules! forward_ref_binop_rat {
 impl Add<&Rat> for &Rat {
     type Output = Rat;
     fn add(self, rhs: &Rat) -> Rat {
-        Rat::new(
-            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
-            &self.den * &rhs.den,
-        )
+        Rat::new(&(&self.num * &rhs.den) + &(&rhs.num * &self.den), &self.den * &rhs.den)
     }
 }
 forward_ref_binop_rat!(Add, add);
@@ -250,10 +247,7 @@ forward_ref_binop_rat!(Add, add);
 impl Sub<&Rat> for &Rat {
     type Output = Rat;
     fn sub(self, rhs: &Rat) -> Rat {
-        Rat::new(
-            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
-            &self.den * &rhs.den,
-        )
+        Rat::new(&(&self.num * &rhs.den) - &(&rhs.num * &self.den), &self.den * &rhs.den)
     }
 }
 forward_ref_binop_rat!(Sub, sub);

@@ -97,9 +97,7 @@ pub fn mat_vec<F: Field>(m: &[Vec<F>], v: &[F]) -> Vec<F> {
 
 /// Computes the Gram matrix `A Aᵀ` of the given rows.
 pub fn gram<F: Field>(a: &[Vec<F>]) -> Vec<Vec<F>> {
-    a.iter()
-        .map(|ri| a.iter().map(|rj| knn_num::field::dot(ri, rj)).collect())
-        .collect()
+    a.iter().map(|ri| a.iter().map(|rj| knn_num::field::dot(ri, rj)).collect()).collect()
 }
 
 #[cfg(test)]
@@ -122,7 +120,7 @@ mod tests {
     #[test]
     fn singular_detected() {
         let m = vec![vec![r(1), r(2)], vec![r(2), r(4)]];
-        assert!(solve_square(&m, &vec![r(1), r(2)]).is_none());
+        assert!(solve_square(&m, &[r(1), r(2)]).is_none());
     }
 
     #[test]

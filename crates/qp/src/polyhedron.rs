@@ -63,25 +63,15 @@ impl<F: Field> Polyhedron<F> {
 
     /// Evaluates membership of `y` (closed semantics).
     pub fn contains(&self, y: &[F]) -> bool {
-        self.ineqs
-            .iter()
-            .all(|(a, b)| !(knn_num::field::dot(a, y) - b.clone()).is_positive())
-            && self
-                .eqs
-                .iter()
-                .all(|(a, b)| (knn_num::field::dot(a, y) - b.clone()).is_zero())
+        self.ineqs.iter().all(|(a, b)| !(knn_num::field::dot(a, y) - b.clone()).is_positive())
+            && self.eqs.iter().all(|(a, b)| (knn_num::field::dot(a, y) - b.clone()).is_zero())
     }
 
     /// Evaluates strict membership (all inequalities strictly satisfied;
     /// equalities still exactly satisfied).
     pub fn contains_strictly(&self, y: &[F]) -> bool {
-        self.ineqs
-            .iter()
-            .all(|(a, b)| (knn_num::field::dot(a, y) - b.clone()).is_negative())
-            && self
-                .eqs
-                .iter()
-                .all(|(a, b)| (knn_num::field::dot(a, y) - b.clone()).is_zero())
+        self.ineqs.iter().all(|(a, b)| (knn_num::field::dot(a, y) - b.clone()).is_negative())
+            && self.eqs.iter().all(|(a, b)| (knn_num::field::dot(a, y) - b.clone()).is_zero())
     }
 
     /// Builds the corresponding LP feasibility problem.
@@ -117,6 +107,27 @@ impl<F: Field> Polyhedron<F> {
     /// Any point satisfying all inequalities strictly (and equalities exactly).
     pub fn strict_feasible_point(&self) -> Option<Vec<F>> {
         self.to_strict_lp().strict_feasible()
+    }
+
+    /// Like [`Polyhedron::feasible_point`] restricted to the affine subspace
+    /// `{y : yᵢ = v ∀(i, v) ∈ fixed}`, without mutating (or cloning) the
+    /// polyhedron — the memoized-regions hot path of the batch engine.
+    pub fn feasible_point_fixed(&self, fixed: &[(usize, F)]) -> Option<Vec<F>> {
+        let mut lp = self.to_lp();
+        for (i, v) in fixed {
+            lp.fix_var(*i, v.clone());
+        }
+        lp.feasible_point()
+    }
+
+    /// Like [`Polyhedron::strict_feasible_point`] restricted to an affine
+    /// subspace, without mutating the polyhedron.
+    pub fn strict_feasible_point_fixed(&self, fixed: &[(usize, F)]) -> Option<Vec<F>> {
+        let mut lp = self.to_strict_lp();
+        for (i, v) in fixed {
+            lp.fix_var(*i, v.clone());
+        }
+        lp.strict_feasible()
     }
 }
 

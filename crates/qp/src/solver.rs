@@ -78,11 +78,8 @@ pub fn project_onto_polyhedron_from<F: Field>(
 
     for _iter in 0..cap {
         // Active matrix A: equality rows first, then working inequalities.
-        let active: Vec<&Vec<F>> = eq_rows
-            .iter()
-            .map(|(a, _)| a)
-            .chain(working.iter().map(|&j| &ineqs[j].0))
-            .collect();
+        let active: Vec<&Vec<F>> =
+            eq_rows.iter().map(|(a, _)| a).chain(working.iter().map(|&j| &ineqs[j].0)).collect();
         let r: Vec<F> = x.iter().zip(&y).map(|(xi, yi)| xi.clone() - yi.clone()).collect();
 
         // Project r onto the null space of A.
@@ -274,10 +271,7 @@ mod tests {
         let mut p = Polyhedron::whole_space(1);
         p.add_ge(vec![r(1, 1)], r(1, 1));
         p.add_le(vec![r(1, 1)], r(0, 1));
-        assert_eq!(
-            project_onto_polyhedron(&[r(0, 1)], &p),
-            QpOutcome::Infeasible
-        );
+        assert_eq!(project_onto_polyhedron(&[r(0, 1)], &p), QpOutcome::Infeasible);
     }
 
     #[test]
@@ -297,10 +291,7 @@ mod tests {
         let mut p = Polyhedron::whole_space(2);
         p.add_eq(vec![r(1, 1), r(1, 1)], r(1, 1));
         p.add_eq(vec![r(2, 1), r(2, 1)], r(3, 1));
-        assert_eq!(
-            project_onto_polyhedron(&[r(0, 1), r(0, 1)], &p),
-            QpOutcome::Infeasible
-        );
+        assert_eq!(project_onto_polyhedron(&[r(0, 1), r(0, 1)], &p), QpOutcome::Infeasible);
     }
 
     #[test]
@@ -351,22 +342,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let poly = unit_box();
         for _ in 0..40 {
-            let x = [
-                Rat::frac(rng.gen_range(-40i64..40), 8),
-                Rat::frac(rng.gen_range(-40i64..40), 8),
-            ];
+            let x =
+                [Rat::frac(rng.gen_range(-40i64..40), 8), Rat::frac(rng.gen_range(-40i64..40), 8)];
             let QpOutcome::Optimal { dist_sq, .. } = project_onto_polyhedron(&x, &poly) else {
                 panic!("box feasible");
             };
             for _ in 0..10 {
-                let z = [
-                    Rat::frac(rng.gen_range(0i64..=8), 8),
-                    Rat::frac(rng.gen_range(0i64..=8), 8),
-                ];
-                let d: Rat = norm_sq(&[
-                    x[0].clone() - z[0].clone(),
-                    x[1].clone() - z[1].clone(),
-                ]);
+                let z =
+                    [Rat::frac(rng.gen_range(0i64..=8), 8), Rat::frac(rng.gen_range(0i64..=8), 8)];
+                let d: Rat = norm_sq(&[x[0].clone() - z[0].clone(), x[1].clone() - z[1].clone()]);
                 assert!(d >= dist_sq, "random feasible point beats 'optimal' projection");
             }
         }

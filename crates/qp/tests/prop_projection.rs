@@ -21,10 +21,7 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
     (1..=4usize).prop_flat_map(|n| {
         (
             prop::collection::vec(-2.0..2.0f64, n),
-            prop::collection::vec(
-                (prop::collection::vec(-2.0..2.0f64, n), 0.0..1.5f64),
-                1..=6,
-            ),
+            prop::collection::vec((prop::collection::vec(-2.0..2.0f64, n), 0.0..1.5f64), 1..=6),
             prop::collection::vec(-3.0..3.0f64, n),
         )
             .prop_map(move |(anchor, rows, x)| {

@@ -101,10 +101,8 @@ pub fn almost_vertex_cover(g: &Graph, l: usize, p: usize) -> bool {
         if (mask.count_ones() as usize) > l {
             continue;
         }
-        let covered = edges
-            .iter()
-            .filter(|&&(u, v)| (mask >> u) & 1 == 1 || (mask >> v) & 1 == 1)
-            .count();
+        let covered =
+            edges.iter().filter(|&&(u, v)| (mask >> u) & 1 == 1 || (mask >> v) & 1 == 1).count();
         if covered + p >= edges.len() {
             return true;
         }
@@ -135,7 +133,7 @@ pub fn bmcf_to_counterfactual(inst: &BmcfInstance) -> HammingCfInstance {
     let n = inst.n_cols();
     let p = inst.p;
     let m = inst.rows.len();
-    assert!(m >= p + 1, "need at least p+1 rows");
+    assert!(m > p, "need at least p+1 rows");
     let dim = n + p + 1;
     let mut pos = Vec::with_capacity(m);
     for row in &inst.rows {
@@ -174,10 +172,7 @@ mod tests {
     fn bmcf_brute_force_sanity() {
         // Rows 1100 and 0110: T = {1} flips column 1: rows become 1000 (w=1 ≤ 1)
         // and 0010 (w=1 ≤ 1): satisfied with budget 1 and p = 0.
-        let rows = vec![
-            BitVec::from_bits(&[1, 1, 0, 0]),
-            BitVec::from_bits(&[0, 1, 1, 0]),
-        ];
+        let rows = vec![BitVec::from_bits(&[1, 1, 0, 0]), BitVec::from_bits(&[0, 1, 1, 0])];
         let inst = BmcfInstance { rows: rows.clone(), budget: 1, p: 0 };
         assert!(inst.satisfied_by(&[1]));
         assert!(inst.brute_force());

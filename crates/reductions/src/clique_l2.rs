@@ -196,9 +196,7 @@ mod tests {
         // Nodes 0 and 2 are non-adjacent in C5.
         let pts: Vec<Vec<Rat>> = [0, 2]
             .iter()
-            .map(|&u| {
-                emb[u].iter().map(|b| if b { Rat::one() } else { Rat::zero() }).collect()
-            })
+            .map(|&u| emb[u].iter().map(|b| if b { Rat::one() } else { Rat::zero() }).collect())
             .collect();
         let r_sq = r_value_sq(&pts).expect("feasible");
         assert!(r_sq > lambda1_sq, "non-clique pair must exceed λ₁: {r_sq} vs {lambda1_sq}");
@@ -226,11 +224,7 @@ mod tests {
             );
         }
         let edgeless = Graph::new(6);
-        assert_eq!(
-            clique_via_counterfactual(&edgeless, 2),
-            false,
-            "no edges, no 2-clique"
-        );
+        assert!(!clique_via_counterfactual(&edgeless, 2), "no edges, no 2-clique");
     }
 
     #[test]
@@ -245,11 +239,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(160);
         for _ in 0..3 {
             let g = random_regular_graph(&mut rng, 6, 3);
-            assert_eq!(
-                clique_via_counterfactual(&g, 3),
-                g.has_clique_of_size(3),
-                "graph {g:?}"
-            );
+            assert_eq!(clique_via_counterfactual(&g, 3), g.has_clique_of_size(3), "graph {g:?}");
         }
     }
 }

@@ -63,12 +63,7 @@ pub fn instance(inst: &PartitionInstance, k: OddK) -> CheckSrInstance {
         tag += 1;
     }
     debug_assert_eq!(tag, aux);
-    CheckSrInstance {
-        ds,
-        x: vec![Rat::zero(); dim],
-        fixed: (0..aux).collect(),
-        k,
-    }
+    CheckSrInstance { ds, x: vec![Rat::zero(); dim], fixed: (0..aux).collect(), k }
 }
 
 /// Exact decision of the constructed instance via the proof's restriction:

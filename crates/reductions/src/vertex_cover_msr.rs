@@ -142,11 +142,7 @@ mod tests {
             let inst = discrete_instance(&g);
             let ab = HammingAbductive::new(&inst.ds, OddK::ONE);
             let msr = ab.minimum(&inst.x);
-            assert_eq!(
-                msr.len(),
-                g.min_vertex_cover_size(),
-                "graph {g:?}: MSR {msr:?}"
-            );
+            assert_eq!(msr.len(), g.min_vertex_cover_size(), "graph {g:?}: MSR {msr:?}");
             assert!(g.is_vertex_cover(&msr), "an MSR must itself be a cover");
         }
     }
@@ -212,12 +208,8 @@ mod tests {
         for (p, l) in inst.ds.iter() {
             let d = m2.dist_pow(&inst.x, p);
             match l {
-                Label::Positive => {
-                    guard_max = Some(guard_max.map_or(d.clone(), |g: Rat| g.max(d)))
-                }
-                Label::Negative => {
-                    edge_min = Some(edge_min.map_or(d.clone(), |g: Rat| g.min(d)))
-                }
+                Label::Positive => guard_max = Some(guard_max.map_or(d.clone(), |g: Rat| g.max(d))),
+                Label::Negative => edge_min = Some(edge_min.map_or(d.clone(), |g: Rat| g.min(d))),
             }
         }
         assert!(guard_max.unwrap() < edge_min.unwrap());

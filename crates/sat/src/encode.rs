@@ -71,20 +71,14 @@ fn add_at_most_k(solver: &mut Solver, guard: Option<Lit>, lits: &[Lit], k: usize
         emit(solver, &mut vec![s[i - 1][0].negate(), s[i][0]]);
         for j in 1..k {
             // lᵢ ∧ s[i−1][j−1] → s[i][j];  s[i−1][j] → s[i][j]
-            emit(
-                solver,
-                &mut vec![lits[i].negate(), s[i - 1][j - 1].negate(), s[i][j]],
-            );
+            emit(solver, &mut vec![lits[i].negate(), s[i - 1][j - 1].negate(), s[i][j]]);
             emit(solver, &mut vec![s[i - 1][j].negate(), s[i][j]]);
         }
         // Overflow: lᵢ ∧ s[i−1][k−1] → ⊥
         emit(solver, &mut vec![lits[i].negate(), s[i - 1][k - 1].negate()]);
     }
     // Last literal overflow.
-    emit(
-        solver,
-        &mut vec![lits[n - 1].negate(), s[n - 2][k - 1].negate()],
-    );
+    emit(solver, &mut vec![lits[n - 1].negate(), s[n - 2][k - 1].negate()]);
 }
 
 #[cfg(test)]

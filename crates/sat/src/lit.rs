@@ -18,6 +18,9 @@ impl Var {
     }
 
     /// The negative literal of this variable.
+    // Not `std::ops::Neg`: this constructs a `Lit` from a `Var`, it does not
+    // negate a `Var` (the paired constructor is `pos`, mirroring DIMACS).
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Lit {
         Lit((self.0 << 1) | 1)
     }

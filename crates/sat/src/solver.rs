@@ -379,7 +379,7 @@ impl Solver {
                     i += 1;
                 }
             }
-            self.watches[p.index()].extend(ws.drain(..));
+            self.watches[p.index()].append(&mut ws);
             if let Some(c) = conflict {
                 self.qhead = self.trail.len();
                 return Some(c);
@@ -575,9 +575,7 @@ impl Solver {
         if learnt.len() > 1 {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.levels[learnt[i].var().index()]
-                    > self.levels[learnt[max_i].var().index()]
-                {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -714,13 +712,12 @@ impl Solver {
             s.lit_value(first) == LBool::True
                 && s.reasons[first.var().index()] == Reason::Clause(cid)
         };
-        self.learned_ids
-            .sort_by(|&a, &b| {
-                self.clauses[a as usize]
-                    .activity
-                    .partial_cmp(&self.clauses[b as usize].activity)
-                    .unwrap()
-            });
+        self.learned_ids.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap()
+        });
         let half = self.learned_ids.len() / 2;
         let mut kept = Vec::with_capacity(self.learned_ids.len() - half);
         for (i, &cid) in self.learned_ids.iter().enumerate() {
@@ -1090,14 +1087,12 @@ mod tests {
             }
             let eval = |mask: u32| -> bool {
                 cards.iter().all(|(lits, bound)| {
-                    let t = lits
-                        .iter()
-                        .filter(|&&(v, pos)| ((mask >> v) & 1 == 1) == pos)
-                        .count() as u32;
+                    let t = lits.iter().filter(|&&(v, pos)| ((mask >> v) & 1 == 1) == pos).count()
+                        as u32;
                     t >= *bound
-                }) && clauses.iter().all(|cl| {
-                    cl.iter().any(|&(v, pos)| ((mask >> v) & 1 == 1) == pos)
-                })
+                }) && clauses
+                    .iter()
+                    .all(|cl| cl.iter().any(|&(v, pos)| ((mask >> v) & 1 == 1) == pos))
             };
             let brute_sat = (0u32..(1 << n)).any(eval);
             let mut s = Solver::new();

@@ -61,7 +61,7 @@ fn brute_force(f: &Formula) -> Option<u32> {
             }
         }
         for card in &f.cards {
-            let active = card.guard.map_or(true, |g| lit_true(assign, g));
+            let active = card.guard.is_none_or(|g| lit_true(assign, g));
             if active {
                 let sum = card.lits.iter().filter(|&&l| lit_true(assign, l)).count();
                 if (sum as u32) < card.bound {
@@ -94,9 +94,8 @@ fn model_satisfies(f: &Formula, s: &Solver) -> bool {
     let lit = |(v, pos): (usize, bool)| val(v) == pos;
     f.clauses.iter().all(|c| c.iter().any(|&l| lit(l)))
         && f.cards.iter().all(|card| {
-            let active = card.guard.map_or(true, |g| lit(g));
-            !active
-                || card.lits.iter().filter(|&&l| lit(l)).count() as u32 >= card.bound
+            let active = card.guard.is_none_or(&lit);
+            !active || card.lits.iter().filter(|&&l| lit(l)).count() as u32 >= card.bound
         })
 }
 

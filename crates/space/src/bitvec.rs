@@ -94,11 +94,7 @@ impl BitVec {
     /// Hamming distance `d_H(self, other)`; panics on dimension mismatch.
     pub fn hamming(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "hamming distance of mismatched dimensions");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Iterator over components as booleans.

@@ -190,10 +190,7 @@ impl BooleanDataset {
     pub fn to_continuous<F: Field>(&self) -> ContinuousDataset<F> {
         let mut ds = ContinuousDataset::new(self.dim);
         for (p, l) in self.iter() {
-            ds.push(
-                p.iter().map(|b| if b { F::one() } else { F::zero() }).collect(),
-                l,
-            );
+            ds.push(p.iter().map(|b| if b { F::one() } else { F::zero() }).collect(), l);
         }
         ds
     }

@@ -35,7 +35,7 @@ impl OddK {
 
     /// `(k+1)/2`, the majority size in Proposition 1.
     pub fn majority(self) -> usize {
-        ((self.0 + 1) / 2) as usize
+        self.0.div_ceil(2) as usize
     }
 
     /// `(k−1)/2`, the excluded-minority size in Proposition 1.

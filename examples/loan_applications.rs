@@ -12,13 +12,8 @@ use explainable_knn::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const FEATURES: [&str; 5] = [
-    "income(×10k$)",
-    "debt_ratio(×10)",
-    "years_employed",
-    "credit_score(×100)",
-    "late_payments",
-];
+const FEATURES: [&str; 5] =
+    ["income(×10k$)", "debt_ratio(×10)", "years_employed", "credit_score(×100)", "late_payments"];
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);

@@ -37,10 +37,7 @@ fn continuous_demo() {
     );
     // A concrete witness within a slightly larger ball (Corollary 2).
     let witness = cf.within(&x, &(inf.dist_sq + 0.01)).expect("witness exists");
-    println!(
-        "witness {witness:?} classifies as {}",
-        knn.classify(&witness)
-    );
+    println!("witness {witness:?} classifies as {}", knn.classify(&witness));
     println!();
 }
 
@@ -70,8 +67,8 @@ fn discrete_demo() {
     println!("minimum sufficient reason: {minimum:?} (Σ₂ᵖ-complete for k ≥ 3!)");
 
     // Counterfactual via the paper's SAT encoding.
-    let (cf, d) = hamming_counterfactual::closest_sat(&ds, OddK::THREE, &x)
-        .expect("both classes present");
+    let (cf, d) =
+        hamming_counterfactual::closest_sat(&ds, OddK::THREE, &x).expect("both classes present");
     println!("closest counterfactual: {cf} at Hamming distance {d}");
     println!("flipped bits: {:?}", x.diff_indices(&cf));
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xknn <command> --data <file> --point "v1,v2,..." [options]
+//! xknn batch     --data <file> [--requests <jsonl>] [--workers N] [--budget C]
 //!
 //! commands:
 //!   classify          the optimistic k-NN label of the point (§2)
@@ -9,6 +10,7 @@
 //!   minimum-sr        an exact minimum sufficient reason (NP-hard/Σ₂ᵖ: IHS solver)
 //!   check-sr          is --features a sufficient reason? (counterexample if not)
 //!   counterfactual    the closest counterfactual under the metric
+//!   batch             serve a JSON-lines request stream concurrently
 //!
 //! options:
 //!   --data <file>     labeled points: `+ 1.0 2.0` / `- 0 1 1`; `#` comments
@@ -16,14 +18,27 @@
 //!   --metric <m>      l2 (default) | l1 | lp:<p> | hamming
 //!   --k <odd>         neighborhood size (default 1)
 //!   --features <csv>  feature indices for check-sr
+//!
+//! batch options:
+//!   --requests <file> JSON-lines requests (default: stdin; `-` = stdin)
+//!   --workers <n>     worker threads (default: all cores)
+//!   --budget <c>      deterministic effort budget (SAT conflicts; demotes
+//!                     minimum-sr to the greedy heuristic); default exact
+//!   --cache <n>       explanation-cache capacity (default 4096, 0 disables)
 //! ```
 //!
-//! The tool refuses (metric, k, command) combinations outside the paper's
-//! tractability boundary instead of silently approximating; see Table 1.
+//! Batch requests look like
+//! `{"id":"q1","cmd":"counterfactual","metric":"l2","k":1,"point":[1.5,1.0]}`;
+//! responses are JSON lines in input order, byte-deterministic for any
+//! `--workers` value. The tool refuses (metric, k, command) combinations
+//! outside the paper's tractability boundary instead of silently
+//! approximating; see Table 1.
 
 use explainable_knn::cli::{
-    parse_dataset, parse_indices, parse_point, run_query, MetricChoice, QueryOutput,
+    parse_dataset, parse_indices, parse_point, run_batch, run_query, BatchOptions, MetricChoice,
+    QueryOutput,
 };
+use std::io::Read;
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -42,6 +57,8 @@ fn main() {
         println!("usage: xknn <classify|minimal-sr|minimum-sr|check-sr|counterfactual>");
         println!("            --data <file> --point \"v1,v2,...\"");
         println!("            [--metric l2|l1|lp:<p>|hamming] [--k <odd>] [--features i,j,...]");
+        println!("       xknn batch --data <file> [--requests <jsonl>|-]");
+        println!("            [--workers <n>] [--budget <conflicts>] [--cache <entries>]");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
     };
 
@@ -49,6 +66,34 @@ fn main() {
     let text = std::fs::read_to_string(&data_path)
         .unwrap_or_else(|e| fail(&format!("cannot read {data_path}: {e}")));
     let data = parse_dataset(&text).unwrap_or_else(|e| fail(&e));
+
+    if command == "batch" {
+        let input = match arg("--requests").filter(|p| p != "-") {
+            Some(path) => std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}"))),
+            None => {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .unwrap_or_else(|e| fail(&format!("cannot read stdin: {e}")));
+                buf
+            }
+        };
+        let mut opts = BatchOptions::default();
+        if let Some(w) = arg("--workers") {
+            opts.workers = w.parse().unwrap_or_else(|_| fail("--workers must be an integer"));
+        }
+        if let Some(c) = arg("--cache") {
+            opts.cache_capacity = c.parse().unwrap_or_else(|_| fail("--cache must be an integer"));
+        }
+        if let Some(b) = arg("--budget") {
+            opts.budget = Some(b.parse().unwrap_or_else(|_| fail("--budget must be an integer")));
+        }
+        let (out, summary) = run_batch(&data, &input, opts);
+        print!("{out}");
+        eprintln!("{summary}");
+        return;
+    }
 
     let point_s = arg("--point").unwrap_or_else(|| fail("--point \"v1,v2,...\" is required"));
     let x = parse_point(&point_s).unwrap_or_else(|e| fail(&e));

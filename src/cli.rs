@@ -32,8 +32,7 @@ impl MetricChoice {
             "hamming" | "h" => Ok(MetricChoice::Hamming),
             other => {
                 if let Some(p) = other.strip_prefix("lp:") {
-                    let p: u32 =
-                        p.parse().map_err(|_| format!("bad ℓp exponent in `{other}`"))?;
+                    let p: u32 = p.parse().map_err(|_| format!("bad ℓp exponent in `{other}`"))?;
                     if p == 0 {
                         return Err("ℓp exponent must be positive".into());
                     }
@@ -87,12 +86,7 @@ pub fn parse_dataset(text: &str) -> Result<ParsedData, String> {
         let (label, rest) = match line.as_bytes()[0] {
             b'+' => (Label::Positive, &line[1..]),
             b'-' => (Label::Negative, &line[1..]),
-            _ => {
-                return Err(format!(
-                    "line {}: must start with `+` or `-` label",
-                    lineno + 1
-                ))
-            }
+            _ => return Err(format!("line {}: must start with `+` or `-` label", lineno + 1)),
         };
         let vals = parse_point(rest).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         if let Some((first, _)) = points.first() {
@@ -192,10 +186,8 @@ pub fn run_query(
         ));
     }
     let need_bool = || -> Result<(&BooleanDataset, BitVec), String> {
-        let ds = data
-            .boolean
-            .as_ref()
-            .ok_or("the hamming metric needs a 0/1 dataset".to_string())?;
+        let ds =
+            data.boolean.as_ref().ok_or("the hamming metric needs a 0/1 dataset".to_string())?;
         if x.iter().any(|&v| v != 0.0 && v != 1.0) {
             return Err("the hamming metric needs a 0/1 query point".into());
         }
@@ -280,7 +272,11 @@ pub fn run_query(
                 None => Ok(QueryOutput::NoCounterfactual),
                 Some(inf) => {
                     let dist = inf.dist_sq.sqrt();
-                    let radius = inf.dist_sq * 1.0001 + 1e-12;
+                    // The additive slack must clear the f64 field's comparison
+                    // tolerance (knn_num::field::F64_TOL = 1e-9), or `within`'s
+                    // strict ball test rejects the witness when the infimum is
+                    // tiny (query on or next to the decision boundary).
+                    let radius = inf.dist_sq * 1.0001 + 1e-6;
                     let point = cf
                         .within(x, &radius)
                         .ok_or("internal: witness missing just past the infimum")?;
@@ -328,6 +324,54 @@ pub fn run_query(
             "unknown command `{other}` (try classify, minimal-sr, minimum-sr, check-sr, counterfactual)"
         )),
     }
+}
+
+/// Options for the `batch` subcommand.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker threads (`0` = all cores).
+    pub workers: usize,
+    /// Explanation-cache capacity (`0` disables).
+    pub cache_capacity: usize,
+    /// Deterministic effort budget for the hard routes (SAT conflicts /
+    /// greedy hitting sets); `None` = exact.
+    pub budget: Option<u64>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        let d = knn_engine::EngineConfig::default();
+        BatchOptions { workers: d.workers, cache_capacity: d.cache_capacity, budget: None }
+    }
+}
+
+/// Builds a batch engine over parsed data.
+pub fn batch_engine(data: &ParsedData, opts: BatchOptions) -> knn_engine::ExplanationEngine {
+    knn_engine::ExplanationEngine::new(
+        knn_engine::EngineData::new(data.continuous.clone(), data.boolean.clone()),
+        knn_engine::EngineConfig {
+            workers: opts.workers,
+            cache_capacity: opts.cache_capacity,
+            effort_budget: opts.budget,
+        },
+    )
+}
+
+/// Runs a JSON-lines request stream against parsed data: the `xknn batch`
+/// entry point. Returns the JSON-lines responses plus a human-readable
+/// one-line summary (for stderr).
+pub fn run_batch(data: &ParsedData, input: &str, opts: BatchOptions) -> (String, String) {
+    let engine = batch_engine(data, opts);
+    let (out, stats) = engine.run_jsonl(input);
+    let summary = format!(
+        "batch: {} requests, {} errors, {} cache hits, {} workers, {:.3}s",
+        stats.requests,
+        stats.errors,
+        stats.cache_hits,
+        stats.workers,
+        stats.wall.as_secs_f64()
+    );
+    (out, summary)
 }
 
 fn metric_p(m: MetricChoice) -> u32 {
@@ -465,8 +509,7 @@ mod tests {
     fn table1_boundaries_are_surfaced() {
         let d = parse_dataset(CONT_DATA).unwrap();
         // ℓ1 with k = 3: Check-SR is coNP-complete — refused, not approximated.
-        let err =
-            run_query(&d, MetricChoice::L1, 3, "minimal-sr", &[1.0, 1.0], None).unwrap_err();
+        let err = run_query(&d, MetricChoice::L1, 3, "minimal-sr", &[1.0, 1.0], None).unwrap_err();
         assert!(err.contains("k = 1"), "{err}");
         // even k rejected.
         assert!(run_query(&d, MetricChoice::L2, 2, "classify", &[1.0, 1.0], None).is_err());

@@ -1,0 +1,163 @@
+//! Integration: the batch engine must agree exactly with the single-query
+//! CLI path (`cli::run_query`) across all three metric settings, and the
+//! `xknn batch` subcommand must serve deterministic JSON-lines end-to-end.
+
+use explainable_knn::cli::{self, run_query, MetricChoice, QueryOutput};
+use explainable_knn::prelude::*;
+use knn_engine::{Metric, Outcome, QueryKind, Request};
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BOOL: &str = "+ 1 1 1 0 0\n+ 1 1 0 0 0\n+ 1 0 1 0 0\n- 0 0 0 1 1\n- 0 0 1 1 1\n- 0 1 0 1 1\n";
+const CONT: &str = "+ 2.0 2.0\n+ 3.0 1.5\n+ 1.0 2.5\n- -1.0 -1.0\n- 0.0 -2.0\n- -2.0 0.5\n";
+
+fn engine_for(text: &str, workers: usize) -> (cli::ParsedData, ExplanationEngine) {
+    let data = cli::parse_dataset(text).unwrap();
+    let engine =
+        cli::batch_engine(&data, cli::BatchOptions { workers, ..cli::BatchOptions::default() });
+    (data, engine)
+}
+
+fn request(kind: &str, metric: &str, k: u32, point: &[f64], features: Option<&[usize]>) -> Request {
+    Request {
+        id: "t".into(),
+        kind: QueryKind::parse(kind).unwrap(),
+        metric: Metric::parse(metric).unwrap(),
+        k,
+        point: point.to_vec(),
+        features: features.map(|f| f.to_vec()),
+    }
+}
+
+/// Engine outcome == CLI outcome, field by field.
+fn assert_agrees(
+    data: &cli::ParsedData,
+    engine: &ExplanationEngine,
+    kind: &str,
+    metric_s: &str,
+    k: u32,
+    point: &[f64],
+    features: Option<&[usize]>,
+) {
+    let metric = MetricChoice::parse(metric_s).unwrap();
+    let cli_out = run_query(data, metric, k, kind, point, features);
+    let resp = engine.run(&request(kind, metric_s, k, point, features));
+    match (cli_out, resp.result) {
+        (Err(_), Err(_)) => {}
+        (Ok(QueryOutput::Label(a)), Ok(Outcome::Label(b))) => {
+            assert_eq!(a, b, "{kind}/{metric_s}/k={k}/{point:?}")
+        }
+        (Ok(QueryOutput::Reason(a)), Ok(Outcome::Reason { features: b, optimal: true })) => {
+            assert_eq!(a, b, "{kind}/{metric_s}/k={k}/{point:?}")
+        }
+        (
+            Ok(QueryOutput::Check { sufficient: a, witness: wa }),
+            Ok(Outcome::Check { sufficient: b, witness: wb }),
+        ) => {
+            assert_eq!(a, b, "{kind}/{metric_s}/k={k}/{point:?}");
+            assert_eq!(wa.is_some(), wb.is_some());
+        }
+        (
+            Ok(QueryOutput::Counterfactual { point: pa, dist: da, proven: va }),
+            Ok(Outcome::Counterfactual { point: pb, dist: db, proven: vb }),
+        ) => {
+            assert_eq!(pa, pb, "{kind}/{metric_s}/k={k}/{point:?}");
+            assert_eq!(da, db);
+            assert_eq!(va, vb);
+        }
+        (Ok(QueryOutput::NoCounterfactual), Ok(Outcome::NoCounterfactual)) => {}
+        (a, b) => panic!("{kind}/{metric_s}/k={k}/{point:?}: CLI {a:?} vs engine {b:?}"),
+    }
+}
+
+#[test]
+fn engine_matches_cli_on_hamming() {
+    let (data, engine) = engine_for(BOOL, 3);
+    let points: [&[f64]; 3] =
+        [&[1.0, 1.0, 0.0, 1.0, 0.0], &[0.0, 0.0, 0.0, 0.0, 0.0], &[1.0, 0.0, 1.0, 0.0, 1.0]];
+    for point in points {
+        for k in [1, 3] {
+            for kind in ["classify", "minimal-sr", "minimum-sr", "counterfactual"] {
+                assert_agrees(&data, &engine, kind, "hamming", k, point, None);
+            }
+            assert_agrees(&data, &engine, "check-sr", "hamming", k, point, Some(&[0, 3]));
+        }
+    }
+}
+
+#[test]
+fn engine_matches_cli_on_l2() {
+    let (data, engine) = engine_for(CONT, 3);
+    let points: [&[f64]; 3] = [&[1.5, 1.0], &[-0.5, 0.25], &[0.0, 0.0]];
+    for point in points {
+        for k in [1, 3] {
+            for kind in ["classify", "minimal-sr", "minimum-sr", "counterfactual"] {
+                assert_agrees(&data, &engine, kind, "l2", k, point, None);
+            }
+            assert_agrees(&data, &engine, "check-sr", "l2", k, point, Some(&[0]));
+        }
+    }
+}
+
+#[test]
+fn engine_matches_cli_on_l1() {
+    let (data, engine) = engine_for(CONT, 3);
+    let points: [&[f64]; 2] = [&[1.5, 1.0], &[-0.5, -0.5]];
+    for point in points {
+        // k = 1: the only exact ℓ1 regime (Table 1).
+        for kind in ["classify", "minimal-sr", "minimum-sr", "counterfactual"] {
+            assert_agrees(&data, &engine, kind, "l1", 1, point, None);
+        }
+        assert_agrees(&data, &engine, "check-sr", "l1", 1, point, Some(&[1]));
+        // k = 3: both sides must refuse the abductive cells identically.
+        for kind in ["minimal-sr", "minimum-sr", "check-sr"] {
+            let metric = MetricChoice::parse("l1").unwrap();
+            assert!(run_query(&data, metric, 3, kind, point, Some(&[0])).is_err());
+            let resp = engine.run(&request(kind, "l1", 3, point, Some(&[0])));
+            assert!(resp.result.is_err(), "engine must also refuse {kind} l1 k=3");
+        }
+    }
+}
+
+/// The full binary: mixed batch over stdin, parallel workers, proven output.
+#[test]
+fn xknn_batch_subcommand_end_to_end() {
+    let dir = std::env::temp_dir().join("xknn-batch-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data_path = dir.join("bool.txt");
+    std::fs::write(&data_path, BOOL).unwrap();
+
+    let requests = concat!(
+        "{\"id\":\"cls\",\"cmd\":\"classify\",\"metric\":\"hamming\",\"k\":3,\"point\":[1,1,0,1,0]}\n",
+        "{\"id\":\"sr\",\"cmd\":\"minimal-sr\",\"metric\":\"hamming\",\"point\":[1,1,0,1,0]}\n",
+        "{\"id\":\"cf\",\"cmd\":\"counterfactual\",\"metric\":\"hamming\",\"point\":[1,1,0,1,0]}\n",
+        "{\"id\":\"cf2\",\"cmd\":\"counterfactual\",\"metric\":\"l2\",\"point\":[1,1,0,1,0]}\n",
+        "{\"id\":\"cf3\",\"cmd\":\"counterfactual\",\"metric\":\"l1\",\"point\":[1,1,0,1,0]}\n",
+        "{\"id\":\"bad\",\"cmd\":\"minimal-sr\",\"metric\":\"l1\",\"k\":3,\"point\":[1,1,0,1,0]}\n",
+    );
+
+    let mut runs = Vec::new();
+    for workers in ["1", "4"] {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_xknn"))
+            .args(["batch", "--data", data_path.to_str().unwrap(), "--workers", workers])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("xknn batch runs");
+        child.stdin.as_mut().unwrap().write_all(requests.as_bytes()).unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        runs.push(String::from_utf8(out.stdout).unwrap());
+    }
+    assert_eq!(runs[0], runs[1], "worker count must not change a byte");
+
+    let lines: Vec<&str> = runs[0].lines().collect();
+    assert_eq!(lines.len(), 6);
+    assert!(lines[0].contains(r#""label":"+""#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""reason":"#), "{}", lines[1]);
+    for cf_line in &lines[2..5] {
+        assert!(cf_line.contains(r#""proven":true"#), "{cf_line}");
+    }
+    assert!(lines[5].contains(r#""ok":false"#), "{}", lines[5]);
+}

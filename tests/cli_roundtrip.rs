@@ -6,10 +6,8 @@ use std::io::Write;
 use std::process::Command;
 
 fn xknn(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_xknn"))
-        .args(args)
-        .output()
-        .expect("xknn binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_xknn")).args(args).output().expect("xknn binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -40,8 +38,15 @@ fn usage_on_no_args() {
 fn classify_hamming_k3() {
     let data = write_temp("bool.txt", BOOL);
     let (stdout, _, ok) = xknn(&[
-        "classify", "--data", data.to_str().unwrap(),
-        "--point", "1,1,0,1,0", "--metric", "hamming", "--k", "3",
+        "classify",
+        "--data",
+        data.to_str().unwrap(),
+        "--point",
+        "1,1,0,1,0",
+        "--metric",
+        "hamming",
+        "--k",
+        "3",
     ]);
     assert!(ok);
     assert!(stdout.contains("label: +"), "{stdout}");
@@ -58,8 +63,15 @@ fn minimal_sr_is_then_accepted_by_check_sr() {
     let inside = stdout.split('[').nth(1).unwrap().split(']').next().unwrap();
     let features = inside.replace(' ', "");
     let (stdout, _, ok) = xknn(&[
-        "check-sr", "--data", d, "--point", "1,1,0,1,0", "--metric", "hamming",
-        "--features", &features,
+        "check-sr",
+        "--data",
+        d,
+        "--point",
+        "1,1,0,1,0",
+        "--metric",
+        "hamming",
+        "--features",
+        &features,
     ]);
     assert!(ok);
     assert!(stdout.contains("sufficient: yes"), "{stdout}");
@@ -68,9 +80,8 @@ fn minimal_sr_is_then_accepted_by_check_sr() {
 #[test]
 fn l2_counterfactual_proven_optimal() {
     let data = write_temp("cont.txt", CONT);
-    let (stdout, _, ok) = xknn(&[
-        "counterfactual", "--data", data.to_str().unwrap(), "--point", "1.5,1.0",
-    ]);
+    let (stdout, _, ok) =
+        xknn(&["counterfactual", "--data", data.to_str().unwrap(), "--point", "1.5,1.0"]);
     assert!(ok);
     assert!(stdout.contains("proven optimal"), "{stdout}");
 }
@@ -79,8 +90,13 @@ fn l2_counterfactual_proven_optimal() {
 fn lp3_counterfactual_reports_heuristic() {
     let data = write_temp("cont2.txt", CONT);
     let (stdout, _, ok) = xknn(&[
-        "counterfactual", "--data", data.to_str().unwrap(), "--point", "1.5,1.0",
-        "--metric", "lp:3",
+        "counterfactual",
+        "--data",
+        data.to_str().unwrap(),
+        "--point",
+        "1.5,1.0",
+        "--metric",
+        "lp:3",
     ]);
     assert!(ok);
     assert!(stdout.contains("heuristic upper bound"), "{stdout}");
@@ -90,8 +106,15 @@ fn lp3_counterfactual_reports_heuristic() {
 fn tractability_boundary_refused_with_explanation() {
     let data = write_temp("cont3.txt", CONT);
     let (_, stderr, ok) = xknn(&[
-        "minimal-sr", "--data", data.to_str().unwrap(), "--point", "1.5,1.0",
-        "--metric", "l1", "--k", "3",
+        "minimal-sr",
+        "--data",
+        data.to_str().unwrap(),
+        "--point",
+        "1.5,1.0",
+        "--metric",
+        "l1",
+        "--k",
+        "3",
     ]);
     assert!(!ok);
     assert!(stderr.contains("k = 1"), "{stderr}");
@@ -119,8 +142,12 @@ fn repo_demo_files_work() {
     let root = env!("CARGO_MANIFEST_DIR");
     let (stdout, _, ok) = xknn(&[
         "minimum-sr",
-        "--data", &format!("{root}/data/demo_boolean.txt"),
-        "--point", "1,1,0,1,0", "--metric", "hamming",
+        "--data",
+        &format!("{root}/data/demo_boolean.txt"),
+        "--point",
+        "1,1,0,1,0",
+        "--metric",
+        "hamming",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("sufficient reason"));

@@ -105,14 +105,8 @@ fn zero_weight_and_full_weight_queries() {
     // All-zeros and all-ones queries on random-ish data: every engine must
     // return *consistent* answers (SAT vs MILP vs brute).
     let ds = BooleanDataset::from_sets(
-        vec![
-            BitVec::from_bits(&[1, 0, 1, 1, 0]),
-            BitVec::from_bits(&[0, 1, 1, 0, 1]),
-        ],
-        vec![
-            BitVec::from_bits(&[0, 0, 0, 1, 0]),
-            BitVec::from_bits(&[1, 1, 0, 0, 0]),
-        ],
+        vec![BitVec::from_bits(&[1, 0, 1, 1, 0]), BitVec::from_bits(&[0, 1, 1, 0, 1])],
+        vec![BitVec::from_bits(&[0, 0, 0, 1, 0]), BitVec::from_bits(&[1, 1, 0, 0, 0])],
     );
     for x in [BitVec::zeros(5), BitVec::ones(5)] {
         let knn = BooleanKnn::new(&ds, OddK::ONE);
@@ -127,10 +121,7 @@ fn zero_weight_and_full_weight_queries() {
 #[test]
 fn lp_general_handles_constant_labels_and_zero_distance() {
     // Constant label: no counterfactual.
-    let ds = ContinuousDataset::from_sets(
-        vec![vec![0.0, 0.0], vec![1.0, 1.0]],
-        vec![],
-    );
+    let ds = ContinuousDataset::from_sets(vec![vec![0.0, 0.0], vec![1.0, 1.0]], vec![]);
     let eng = LpGeneralCounterfactual::new(&ds, LpMetric::new(3), OddK::ONE);
     assert!(eng.closest(&[0.5, 0.5]).is_none());
 
@@ -160,10 +151,7 @@ fn minimum_sr_agrees_with_brute_force_on_exhaustive_small_cube() {
                 2 => bits.iter().sum::<u8>() >= 2,
                 _ => bits[0] != bits[2],
             };
-            ds.push(
-                BitVec::from_bits(&bits),
-                if pos { Label::Positive } else { Label::Negative },
-            );
+            ds.push(BitVec::from_bits(&bits), if pos { Label::Positive } else { Label::Negative });
         }
         let ab = HammingAbductive::new(&ds, OddK::ONE);
         let knn = BooleanKnn::new(&ds, OddK::ONE);

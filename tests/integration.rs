@@ -60,9 +60,8 @@ fn continuous_exact_vs_float_pipelines() {
     let mut rng = StdRng::seed_from_u64(1001);
     for _ in 0..10 {
         let dim = rng.gen_range(1..4usize);
-        let gen = |rng: &mut StdRng| -> Vec<i64> {
-            (0..dim).map(|_| rng.gen_range(-4i64..5)).collect()
-        };
+        let gen =
+            |rng: &mut StdRng| -> Vec<i64> { (0..dim).map(|_| rng.gen_range(-4i64..5)).collect() };
         let pos: Vec<Vec<i64>> = (0..rng.gen_range(1..4usize)).map(|_| gen(&mut rng)).collect();
         let neg: Vec<Vec<i64>> = (0..rng.gen_range(1..4usize)).map(|_| gen(&mut rng)).collect();
         let x = gen(&mut rng);

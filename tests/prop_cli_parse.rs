@@ -13,17 +13,14 @@ struct FileSpec {
 
 fn file_strategy() -> impl Strategy<Value = FileSpec> {
     (1..=5usize).prop_flat_map(|dim| {
-        prop::collection::vec(
-            (any::<bool>(), prop::collection::vec(-8..=8i32, dim)),
-            1..=10,
-        )
-        .prop_map(move |rows| FileSpec {
-            dim,
-            rows: rows
-                .into_iter()
-                .map(|(pos, vals)| (pos, vals.into_iter().map(|v| v as f64 / 4.0).collect()))
-                .collect(),
-        })
+        prop::collection::vec((any::<bool>(), prop::collection::vec(-8..=8i32, dim)), 1..=10)
+            .prop_map(move |rows| FileSpec {
+                dim,
+                rows: rows
+                    .into_iter()
+                    .map(|(pos, vals)| (pos, vals.into_iter().map(|v| v as f64 / 4.0).collect()))
+                    .collect(),
+            })
     })
 }
 

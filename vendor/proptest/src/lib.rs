@@ -1,0 +1,588 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API that this workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, range / tuple / collection / option / sample strategies,
+//! [`any`] for primitives, and the `prop_assert*` / `prop_assume!` macros.
+//! Failing cases are reported with their seed and case number but are **not
+//! shrunk** — this is a test harness for an offline build, not a replacement
+//! for upstream proptest.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+pub mod test_runner {
+    //! Runner configuration and case-level error type.
+
+    /// Mirror of `proptest::test_runner::Config` (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*` failed; the test fails.
+        Fail(String),
+    }
+}
+
+pub use test_runner::{Config as ProptestConfig, TestCaseError};
+
+/// The generator driving every strategy: the workspace's vendored `StdRng`.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic per-(test, case) generator.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy generating a value, then sampling from the strategy `f`
+    /// builds from it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample_value(rng)).sample_value(rng)
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+/// String strategies: upstream proptest interprets `&str` as a regex. This
+/// stand-in ignores the pattern's structure and produces printable text whose
+/// length honors a trailing `{lo,hi}` repetition if present (covering the
+/// `"\\PC{0,200}"` fuzz-input idiom); everything else gets length 0..=64.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat_suffix(self).unwrap_or((0, 64));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| {
+                // Mostly ASCII printable, occasionally wider unicode.
+                if rng.gen_bool(0.9) {
+                    rng.gen_range(0x20u32..0x7f) as u8 as char
+                } else {
+                    char::from_u32(rng.gen_range(0xA1u32..0x2FF)).unwrap_or('¿')
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_repeat_suffix(pat: &str) -> Option<(usize, usize)> {
+    let body = pat.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body[brace + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — an unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward small magnitudes half the time: property tests
+                // hit more edge cases near zero than in the far tails.
+                let raw = rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64);
+                if rng.gen_bool(0.5) {
+                    (raw % 1000) as $t
+                } else {
+                    raw as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_map`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a collection-size specification.
+    pub trait SizeRange {
+        /// Draws a target size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `len` samples of `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V, L> {
+        key: K,
+        value: V,
+        len: L,
+    }
+
+    impl<K, V, L> Strategy for BTreeMapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.len.pick(rng);
+            let mut out = BTreeMap::new();
+            // Key collisions make an exact size unreachable in general; cap
+            // the attempts and accept whatever distinct keys were drawn.
+            for _ in 0..(target.max(1) * 20) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.sample_value(rng), self.value.sample_value(rng));
+            }
+            out
+        }
+    }
+
+    /// A `BTreeMap` with about `len` entries (exact when the key space allows).
+    pub fn btree_map<K, V, L>(key: K, value: V, len: L) -> BTreeMapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        BTreeMapStrategy { key, value, len }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            rng.gen_bool(0.75).then(|| self.0.sample_value(rng))
+        }
+    }
+
+    /// `Some` of a sample three quarters of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit choices.
+
+    use super::{Strategy, TestRng};
+    use rand::{Rng as _, RngCore as _};
+
+    /// See [`select`].
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select() needs a non-empty choice set");
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// A uniformly random element of `choices`.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        Select(choices)
+    }
+
+    /// A position into a not-yet-known collection: `any::<Index>()` then
+    /// `idx.index(len)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This index resolved against a collection of `len` elements.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl super::Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod strategy {
+    //! Re-exports mirroring `proptest::strategy`.
+    pub use super::{Just, Strategy};
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::{any, Arbitrary, Just, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy modules, as upstream's prelude exposes them.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines `#[test]` functions that run their body over many sampled inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn addition_commutes(a in 0..100i64, b in 0..100i64) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!( @impl ($cfg) $($rest)* );
+    };
+    ( @impl ($cfg:expr) ) => {};
+    ( @impl ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), cfg.cases, |rng| {
+                $( let $pat = $crate::Strategy::sample_value(&($strat), rng); )+
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })()
+            });
+        }
+        $crate::proptest!( @impl ($cfg) $($rest)* );
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!( @impl ($crate::ProptestConfig::default()) $($rest)* );
+    };
+}
+
+/// Runs `case` for `cases` deterministic seeds; panics on the first failure.
+/// Called by the [`proptest!`] expansion — not part of upstream's API.
+pub fn run_cases<F>(name: &str, cases: u32, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rejected = 0u32;
+    for i in 0..cases as u64 {
+        let mut rng = TestRng::for_case(name, i);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}`: case {i}/{cases} failed: {msg}")
+            }
+        }
+    }
+    if rejected * 4 > cases * 3 {
+        panic!("proptest `{name}`: {rejected}/{cases} cases rejected by prop_assume!");
+    }
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its sampled inputs don't satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn ranges_and_tuples((a, b) in (0..10i32, 5..=9usize), v in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!(v.len() < 4);
+        }
+
+        fn flat_map_dependent(pair in (1..=5usize).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0..100u32, n))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        fn assume_skips(x in 0..100i32) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_case_info() {
+        crate::run_cases("always_fails", 4, |_rng| Err(crate::TestCaseError::Fail("boom".into())));
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its value types with
+//! `#[derive(Serialize, Deserialize)]` so that downstream users with the real
+//! `serde` can swap it in, but the offline build has no registry access. This
+//! proc-macro crate supplies both derives as no-ops: the attribute compiles,
+//! no trait impls are generated, and nothing in-tree depends on them (the
+//! engine's wire format is the hand-rolled `knn_engine::json` module).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
