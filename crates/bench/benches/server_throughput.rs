@@ -1,0 +1,149 @@
+//! Network-server throughput: queries/second through a real TCP loopback
+//! server with **two tenants**, at 1, 4, and 16 concurrent clients, cold
+//! (fresh engines) vs warm (identical streams against populated caches),
+//! written to `BENCH_server.json` at the workspace root.
+//!
+//! Run with `cargo bench -p knn-bench --bench server_throughput`.
+//! Pass `--full` for the larger workload. The default is small enough for
+//! the CI smoke step that keeps `BENCH_server.json` generation alive.
+
+use knn_server::{Client, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One client's request stream against `tenant` ("alpha" = Hamming queries,
+/// "beta" = ℓ2), shuffled per client so concurrent streams interleave
+/// differently.
+fn stream(tenant: &str, dim: usize, queries: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let metric = if tenant == "alpha" { "hamming" } else { "l2" };
+    let mut lines: Vec<String> = (0..queries)
+        .map(|i| {
+            let point: Vec<String> =
+                (0..dim).map(|_| if rng.gen_bool(0.5) { "1" } else { "0" }.into()).collect();
+            let cmd = match i % 10 {
+                0..=4 => "classify",
+                5..=7 => "minimal-sr",
+                _ => "counterfactual",
+            };
+            // k = 3 only where it stays polynomial in practice: the ℓ2
+            // abductive/counterfactual routes build the O(n^k) Prop-1 region
+            // cache, which would turn the bench into a one-time artifact
+            // build instead of a serving measurement.
+            let k = if i % 3 == 0 && (metric == "hamming" || cmd == "classify") { 3 } else { 1 };
+            format!(
+                r#"{{"dataset":"{tenant}","id":"{tenant}-{i}","cmd":"{cmd}","metric":"{metric}","k":{k},"point":[{}]}}"#,
+                point.join(",")
+            )
+        })
+        .collect();
+    for i in (1..lines.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        lines.swap(i, j);
+    }
+    lines.join("\n")
+}
+
+/// Runs `streams` concurrently (one client connection each) and returns the
+/// wall time plus every client's responses (request order per client).
+fn run_clients(addr: std::net::SocketAddr, streams: &[String]) -> (f64, Vec<Vec<String>>) {
+    let t0 = Instant::now();
+    let outputs: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.run_stream(s).expect("stream")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    (t0.elapsed().as_secs_f64(), outputs)
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (n_points, dim, q) = if full { (60, 12, 240) } else { (30, 8, 60) };
+
+    let mut rng = StdRng::seed_from_u64(2026);
+    let alpha = knn_datasets::random::random_boolean_dataset(&mut rng, n_points, dim, 0.5);
+    let beta = knn_datasets::random::random_boolean_dataset(&mut rng, n_points, dim, 0.35);
+    let alpha_text = dataset_text(&alpha);
+    let beta_text = dataset_text(&beta);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"points\": {n_points}, \"dim\": {dim}, \"queries_per_client\": {q}, \"tenants\": 2}},"
+    );
+
+    let client_counts = [1usize, 4, 16];
+    for (ci, &clients) in client_counts.iter().enumerate() {
+        // Fresh server per client count: cold numbers must not inherit warm
+        // caches from the previous round.
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        server.registry().load("alpha", &alpha_text).expect("load alpha");
+        server.registry().load("beta", &beta_text).expect("load beta");
+        let handle = server.spawn();
+        let addr = handle.addr();
+
+        let streams: Vec<String> = (0..clients)
+            .map(|i| {
+                let tenant = if i % 2 == 0 { "alpha" } else { "beta" };
+                stream(tenant, dim, q, 0xBEEF ^ i as u64)
+            })
+            .collect();
+
+        let (cold, cold_out) = run_clients(addr, &streams);
+        let (warm, warm_out) = run_clients(addr, &streams);
+
+        // Sanity: the warm pass must be byte-identical per client (caching is
+        // transparent over the wire too), and everything must be served.
+        assert_eq!(cold_out, warm_out, "cache changed response bytes");
+        for out in &cold_out {
+            for line in out {
+                assert!(!line.contains("\"ok\":false"), "error response: {line}");
+            }
+        }
+
+        let total = (clients * q) as f64;
+        let (cold_qps, warm_qps) = (total / cold, total / warm);
+        println!(
+            "{clients:>2} clients   cold {cold_qps:>9.1} q/s   warm {warm_qps:>11.1} q/s   speedup {:>6.1}x",
+            warm_qps / cold_qps
+        );
+        let _ = writeln!(
+            json,
+            "  \"clients_{clients}\": {{\"cold_qps\": {cold_qps:.1}, \"warm_qps\": {warm_qps:.1}, \"cache_speedup\": {:.1}}}{}",
+            warm_qps / cold_qps,
+            if ci + 1 < client_counts.len() { "," } else { "" }
+        );
+
+        let mut closer = Client::connect(addr).expect("connect for shutdown");
+        closer.roundtrip(r#"{"verb":"shutdown"}"#).expect("shutdown");
+        handle.shutdown();
+    }
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    std::fs::write(path, &json).expect("write BENCH_server.json");
+    println!("wrote {path}");
+}
+
+/// Renders a boolean dataset in the `+/-` text format the `load` verb takes.
+fn dataset_text(ds: &knn_space::BooleanDataset) -> String {
+    let mut out = String::new();
+    for (bits, label) in ds.iter() {
+        out.push(if label == knn_space::Label::Positive { '+' } else { '-' });
+        for i in 0..ds.dim() {
+            out.push(' ');
+            out.push(if bits.get(i) { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+    out
+}

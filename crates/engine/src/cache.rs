@@ -12,11 +12,29 @@
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
+/// Lifetime counters of one [`LruCache`] (see [`LruCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// The capacity bound (0 = cache disabled).
+    pub capacity: usize,
+}
+
 /// A least-recently-used map with a fixed capacity.
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     capacity: usize,
     tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
     map: HashMap<K, (V, u64)>,
     recency: BTreeMap<u64, K>,
 }
@@ -24,7 +42,26 @@ pub struct LruCache<K, V> {
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// An empty cache holding at most `capacity` entries (0 disables it).
     pub fn new(capacity: usize) -> Self {
-        LruCache { capacity, tick: 0, map: HashMap::new(), recency: BTreeMap::new() }
+        LruCache {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+        }
+    }
+
+    /// Lifetime hit/miss/eviction counters plus the current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
     }
 
     /// Current number of entries.
@@ -39,7 +76,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Looks up `key`, marking it most recently used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        let (_, old_tick) = self.map.get(key)?;
+        let Some((_, old_tick)) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
         let old_tick = *old_tick;
         self.tick += 1;
         let tick = self.tick;
@@ -66,6 +107,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         while self.map.len() > self.capacity {
             let (_, victim) = self.recency.pop_first().expect("recency tracks every entry");
             self.map.remove(&victim);
+            self.evictions += 1;
         }
     }
 }
@@ -96,6 +138,19 @@ mod tests {
         c.insert("c", 3);
         assert_eq!(c.get(&"a"), Some(&10));
         assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.stats(), CacheStats { capacity: 2, ..CacheStats::default() });
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"z"), None);
+        c.insert("c", 3); // evicts b
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 1, 2));
     }
 
     #[test]

@@ -143,7 +143,14 @@ fn write_string(out: &mut String, s: &str) {
 
 /// Parses one JSON document, requiring it to span the entire input.
 pub fn parse(text: &str) -> Result<Value, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    parse_bytes(text.as_bytes())
+}
+
+/// [`parse`] over raw bytes. Total: any byte sequence — including invalid
+/// UTF-8 — yields `Ok` or `Err`, never a panic. This is the entry point for
+/// network input, where a peer controls every byte on the wire.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Value, String> {
+    let mut p = Parser { bytes, pos: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -218,7 +225,10 @@ impl Parser<'_> {
                 break;
             }
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The consumed bytes are all ASCII (digits, signs, `.`, `e`), but stay
+        // total anyway: network input must never be able to panic the parser.
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
         let v: f64 = s.parse().map_err(|_| format!("bad number `{s}` at byte {start}"))?;
         if !v.is_finite() {
             return Err(format!("non-finite number `{s}` at byte {start}"));
@@ -374,6 +384,14 @@ mod tests {
         assert!(parse("1 2").is_err());
         assert!(parse("nul").is_err());
         assert!(parse("1e999").is_err(), "overflow to inf rejected");
+    }
+
+    #[test]
+    fn parse_bytes_total_on_invalid_utf8() {
+        assert!(parse_bytes(b"\"\xff\xfe\"").is_err(), "invalid UTF-8 inside a string");
+        assert!(parse_bytes(b"{\"a\xff\":1}").is_err(), "invalid UTF-8 inside a key");
+        assert!(parse_bytes(b"\xff").is_err(), "invalid UTF-8 as a bare token");
+        assert_eq!(parse_bytes(b"[1,2]").unwrap().as_array().unwrap().len(), 2);
     }
 
     #[test]

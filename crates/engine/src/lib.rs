@@ -59,15 +59,17 @@ pub mod exec;
 pub mod json;
 pub mod plan;
 pub mod request;
+pub mod textfmt;
 
 pub use artifacts::{ArtifactStore, EngineData};
+pub use cache::CacheStats;
 pub use plan::{plan, Complexity, Plan, Route};
 pub use request::{CacheKey, Metric, Outcome, QueryKind, Request, Response};
 
 use cache::LruCache;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -107,12 +109,28 @@ pub struct BatchStats {
 
 type CachedResult = (String, Result<Outcome, String>);
 
+/// Lifetime counters of one [`ExplanationEngine`] (see
+/// [`ExplanationEngine::stats`]) — the numbers the network server's `stats`
+/// verb reports per tenant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Explanation-LRU hit/miss/eviction counters.
+    pub cache: CacheStats,
+    /// Requests that joined another worker's in-flight computation of the
+    /// same key (single-flight coalescing) instead of computing or hitting
+    /// the LRU themselves.
+    pub coalesced: u64,
+    /// Keys currently being computed (size of the single-flight table).
+    pub inflight: usize,
+}
+
 /// The batch explanation server. See the crate docs for the architecture.
 pub struct ExplanationEngine {
     config: EngineConfig,
     data: EngineData,
     artifacts: ArtifactStore,
     cache: Mutex<LruCache<CacheKey, CachedResult>>,
+    coalesced: AtomicU64,
     /// Single-flight table: identical requests racing in one batch coalesce
     /// onto the first worker's computation instead of each paying the full
     /// (possibly exponential) route cost before the LRU is populated.
@@ -128,7 +146,18 @@ impl ExplanationEngine {
             data,
             artifacts: ArtifactStore::new(),
             cache,
+            coalesced: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Lifetime cache / single-flight counters. Observability only: reading
+    /// them never changes a response byte.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache: self.cache.lock().unwrap().stats(),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            inflight: self.inflight.lock().unwrap().len(),
         }
     }
 
@@ -206,6 +235,7 @@ impl ExplanationEngine {
             // this changes cost, never bytes.
             let guard = theirs.lock().unwrap();
             if let Some((route, result)) = guard.as_ref() {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
                 return (
                     Response { id: req.id.clone(), route: route.clone(), result: result.clone() },
                     true,

@@ -12,7 +12,7 @@
 //! produces the same line, regardless of worker count, batch order, or cache
 //! state.
 
-use crate::json::{parse, Value};
+use crate::json::Value;
 use knn_space::Label;
 
 /// The five explanation queries of the paper's Table 1.
@@ -136,7 +136,19 @@ impl Request {
     /// Parses one JSON-lines request. `default_id` is used when the object
     /// carries no `"id"` member.
     pub fn from_json_line(line: &str, default_id: &str) -> Result<Request, String> {
-        let v = parse(line)?;
+        Self::from_json_bytes(line.as_bytes(), default_id)
+    }
+
+    /// [`Request::from_json_line`] over raw bytes. Total over *any* byte
+    /// input (network peers control every byte): malformed JSON, invalid
+    /// UTF-8, or bad payloads all come back as `Err`, never a panic.
+    pub fn from_json_bytes(line: &[u8], default_id: &str) -> Result<Request, String> {
+        Self::from_value(&crate::json::parse_bytes(line)?, default_id)
+    }
+
+    /// Builds a request from an already-parsed JSON [`Value`] (used by the
+    /// network server, whose envelope carries extra members like `dataset`).
+    pub fn from_value(v: &Value, default_id: &str) -> Result<Request, String> {
         if !matches!(v, Value::Object(_)) {
             return Err("request must be a JSON object".into());
         }

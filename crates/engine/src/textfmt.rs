@@ -1,0 +1,94 @@
+//! The labeled-dataset text format shared by the CLI and the network server.
+//!
+//! One point per line: a `+` / `-` label first, then whitespace- or
+//! comma-separated feature values; `#` starts a comment. The format predates
+//! the engine (it was the `xknn` CLI's input format), but the server's `load`
+//! verb speaks it too, so the parser lives here where both front ends can
+//! reach it.
+
+use crate::artifacts::EngineData;
+use knn_space::{ContinuousDataset, Label};
+
+/// Parses one feature vector: comma- or whitespace-separated finite floats.
+pub fn parse_point(s: &str) -> Result<Vec<f64>, String> {
+    let toks: Vec<&str> =
+        s.split(|c: char| c == ',' || c.is_whitespace()).filter(|t| !t.is_empty()).collect();
+    if toks.is_empty() {
+        return Err("empty point".into());
+    }
+    toks.iter()
+        .map(|t| match t.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            Ok(_) => Err(format!("non-finite value `{t}`")),
+            Err(_) => Err(format!("bad number `{t}`")),
+        })
+        .collect()
+}
+
+/// Parses a full dataset file (see the module docs for the format). The
+/// boolean view is derived when every value in the file is 0 or 1.
+pub fn parse_dataset(text: &str) -> Result<EngineData, String> {
+    let mut points: Vec<(Vec<f64>, Label)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = match line.as_bytes()[0] {
+            b'+' => (Label::Positive, &line[1..]),
+            b'-' => (Label::Negative, &line[1..]),
+            _ => return Err(format!("line {}: must start with `+` or `-` label", lineno + 1)),
+        };
+        let vals = parse_point(rest).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some((first, _)) = points.first() {
+            if first.len() != vals.len() {
+                return Err(format!(
+                    "line {}: dimension {} does not match first point's {}",
+                    lineno + 1,
+                    vals.len(),
+                    first.len()
+                ));
+            }
+        }
+        points.push((vals, label));
+    }
+    if points.is_empty() {
+        return Err("dataset file contains no points".into());
+    }
+    let dim = points[0].0.len();
+    let mut continuous = ContinuousDataset::new(dim);
+    for (vals, label) in points {
+        continuous.push(vals, label);
+    }
+    Ok(EngineData::from_continuous(continuous))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_file_gets_both_views() {
+        let d = parse_dataset("# c\n+ 1 1 1\n+ 1,1,0 # t\n- 0 0 0\n- 0 0 1\n").unwrap();
+        assert_eq!(d.continuous.len(), 4);
+        assert_eq!(d.continuous.dim(), 3);
+        assert_eq!(d.boolean.as_ref().unwrap().count_of(Label::Positive), 2);
+    }
+
+    #[test]
+    fn continuous_file_has_no_boolean_view() {
+        let d = parse_dataset("+ 2.0 2.0\n- -1.0 -1.0\n").unwrap();
+        assert!(d.boolean.is_none());
+    }
+
+    #[test]
+    fn malformed_files_rejected() {
+        assert!(parse_dataset("").is_err());
+        assert!(parse_dataset("x 1 2").is_err(), "missing label");
+        assert!(parse_dataset("+ 1 2\n- 1 2 3").is_err(), "dimension mismatch");
+        assert!(parse_dataset("+ 1 two").is_err(), "non-numeric");
+        assert!(parse_dataset("+\n").is_err(), "empty point");
+        assert!(parse_dataset("+ 1e309 0").is_err(), "overflow to inf");
+        assert!(parse_dataset("+ NaN 0").is_err(), "NaN rejected");
+    }
+}

@@ -1,0 +1,43 @@
+//! Totality of the wire parsers: `json::parse_bytes` and
+//! `Request::from_json_bytes` must return `Ok`/`Err` — never panic — for
+//! *any* byte input, including invalid UTF-8. Network peers control every
+//! byte; a panicking parse would let one line kill a worker.
+
+use knn_engine::json::parse_bytes;
+use knn_engine::Request;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn parse_bytes_is_total(bytes in prop::collection::vec(0u8..=255, 0..120)) {
+        // Returning at all is the property (a panic fails the test).
+        let _ = parse_bytes(&bytes);
+    }
+
+    #[test]
+    fn request_parse_is_total(bytes in prop::collection::vec(0u8..=255, 0..120)) {
+        let _ = Request::from_json_bytes(&bytes, "p");
+    }
+
+    #[test]
+    fn request_parse_is_total_on_near_valid_json(
+        point in prop::collection::vec(-1.0e9..1.0e9f64, 0..4),
+        k in any::<u32>(),
+        cmd in prop::sample::select(vec!["classify", "minimum-sr", "fly", ""]),
+        at_byte in 0..200usize,
+    ) {
+        // Valid-ish requests with one byte clobbered: exercises the deep
+        // paths (numbers, arrays, escapes) rather than failing at byte 0.
+        let line = format!(
+            r#"{{"cmd":"{cmd}","k":{k},"point":{point:?},"features":[0,1]}}"#
+        );
+        let mut bytes = line.into_bytes();
+        if !bytes.is_empty() {
+            let i = at_byte % bytes.len();
+            bytes[i] = bytes[i].wrapping_add(0x9b);
+        }
+        let _ = Request::from_json_bytes(&bytes, "p");
+    }
+}

@@ -1,0 +1,90 @@
+//! A small blocking client for the server's JSON-lines protocol — the
+//! library behind `xknn client`, the integration tests, and the
+//! `server_throughput` bench.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One TCP connection speaking the [`crate::proto`] protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Sends one request line (the newline is added here).
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Receives one response line; `None` when the server closed the
+    /// connection.
+    pub fn recv(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// One request, one response.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Pipelines a whole JSON-lines stream: all requests are written from a
+    /// background thread while responses stream back, so large batches cannot
+    /// deadlock on full TCP buffers. Returns one response per non-blank
+    /// request line, in request order.
+    pub fn run_stream(&mut self, input: &str) -> std::io::Result<Vec<String>> {
+        // ASCII trim to mirror the server's blank-line rule exactly: a line
+        // of Unicode-only whitespace (NBSP, vertical tab) *does* get a
+        // response, and miscounting it would desynchronize the stream.
+        let expected = input.lines().filter(|l| !l.as_bytes().trim_ascii().is_empty()).count();
+        let mut writer = self.writer.try_clone()?;
+        let payload = normalized(input);
+        let send = std::thread::spawn(move || writer.write_all(payload.as_bytes()));
+        let mut out = Vec::with_capacity(expected);
+        while out.len() < expected {
+            match self.recv()? {
+                Some(line) => out.push(line),
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        format!("server closed after {} of {expected} responses", out.len()),
+                    ))
+                }
+            }
+        }
+        send.join()
+            .map_err(|_| std::io::Error::other("send thread panicked"))?
+            .map_err(|e| std::io::Error::other(format!("send failed: {e}")))?;
+        Ok(out)
+    }
+}
+
+/// `input` with every line newline-terminated (so a missing trailing newline
+/// cannot leave the last request sitting unread in the server's buffer).
+fn normalized(input: &str) -> String {
+    let mut s = String::with_capacity(input.len() + 1);
+    for line in input.lines() {
+        s.push_str(line);
+        s.push('\n');
+    }
+    s
+}

@@ -1,0 +1,504 @@
+//! # knn-server — multi-tenant network serving over the explanation engine
+//!
+//! `knn-engine` serves in-process batches over one dataset; this crate turns
+//! it into a network service multiplexing **many datasets and many
+//! concurrent clients** onto shared engines — std-only TCP, no new
+//! dependencies, speaking the newline-delimited JSON protocol of [`proto`]
+//! (which reuses `knn_engine::json` end to end):
+//!
+//! ```text
+//!  client ──TCP──► connection thread ──► registry (name → Arc<engine>)
+//!                    │ reader: parse line, resolve tenant      [`registry`]
+//!                    │ workers (≤ in-flight cap): ──► admission queue
+//!                    │     tenant.run(req)            (global FIFO budget)
+//!                    ▼                                        [`admission`]
+//!                  writer: reorder by seq, stream responses in order
+//! ```
+//!
+//! * **Dataset registry** — the `load` / `unload` / `list` verbs manage named
+//!   tenants at runtime; each owns one lazily-built
+//!   [`ExplanationEngine`](knn_engine::ExplanationEngine) behind an `Arc`,
+//!   so every connection querying a tenant shares its
+//!   explanation cache, single-flight table, and artifacts.
+//! * **Fair admission** — one global worker budget for the whole process. A
+//!   query must win an admission slot (strict FIFO) before it executes, and a
+//!   connection can hold at most `conn_inflight` slots, so one tenant's
+//!   exponential-tail queries cannot starve the others. Budgets are logical
+//!   and scheduling-only: *when* a query runs can change, its bytes cannot.
+//! * **Streamed, order-preserving responses** — responses go out as soon as
+//!   they are ready, but always in request order per connection. For a fixed
+//!   registry, the response stream for a request stream is byte-identical to
+//!   the sequential in-process engine — the property the integration tests
+//!   pin across 16 concurrent clients.
+//! * **Observability** — the `stats` verb reports the admission queue and
+//!   per-tenant counters (requests, errors, queued, active, cache
+//!   hit/miss/eviction/coalescing) without touching response bytes.
+//!
+//! The `xknn serve` / `xknn client` subcommands wire this to the shell; the
+//! `server_throughput` bench records cold/warm throughput at 1/4/16 clients
+//! in `BENCH_server.json`.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod proto;
+pub mod registry;
+
+pub use admission::{Admission, AdmissionStats};
+pub use client::Client;
+pub use registry::{Registry, Tenant, TenantStats};
+
+use knn_engine::json::Value;
+use knn_engine::{EngineConfig, Request};
+use proto::Command;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Global worker budget: queries executing at once across all
+    /// connections and tenants (`0` = all available cores).
+    pub worker_budget: usize,
+    /// Per-connection in-flight cap: one connection can occupy at most this
+    /// many budget slots, so a single greedy client cannot drain the queue.
+    pub conn_inflight: usize,
+    /// Engine configuration applied to every loaded tenant. (`workers` is
+    /// ignored here — the server schedules queries itself.)
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { worker_budget: 0, conn_inflight: 4, engine: EngineConfig::default() }
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    admission: Admission,
+    conn_inflight: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// The TCP server. Bind, optionally preload datasets through
+/// [`Server::registry`], then [`Server::serve`] (blocking) or
+/// [`Server::spawn`] (background thread).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let budget = if config.worker_budget == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.worker_budget
+        };
+        let shared = Arc::new(Shared {
+            registry: Registry::new(config.engine),
+            admission: Admission::new(budget),
+            conn_inflight: config.conn_inflight.max(1),
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The dataset registry (for preloading before serving).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Accepts connections until a client sends `shutdown`. Each connection
+    /// gets its own reader/worker/writer threads.
+    pub fn serve(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = self.shared.clone();
+            std::thread::spawn(move || {
+                // Connection I/O errors (client gone mid-write) just drop the
+                // connection; they must never take the server down.
+                let _ = serve_connection(stream, &shared);
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs [`Server::serve`] on a background thread, returning a handle that
+    /// can stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let shared = self.shared.clone();
+        let join = std::thread::spawn(move || {
+            let _ = self.serve();
+        });
+        ServerHandle { shared, join }
+    }
+}
+
+/// Handle to a server running in the background (see [`Server::spawn`]).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Stops the accept loop and joins it. Connections already open finish
+    /// their in-flight work on their own threads.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so the loop observes the flag.
+        let _ = TcpStream::connect(self.shared.addr);
+        let _ = self.join.join();
+    }
+}
+
+/// One in-flight query job: output slot, tenant, request.
+type Job = (u64, Arc<Tenant>, Request);
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    // Writer thread: receives (seq, line) in completion order, emits in
+    // request order, flushing each line as soon as its turn comes (streamed).
+    let (out_tx, out_rx) = mpsc::channel::<(u64, String)>();
+    let writer = std::thread::spawn(move || writer_loop(stream, out_rx));
+
+    // Worker pool: the per-connection in-flight cap. Workers pull jobs in
+    // request order and each acquires a global admission slot per query.
+    // `completed` counts finished queries so control verbs can act as a
+    // connection-level barrier (see below).
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let completed = Arc::new((Mutex::new(0u64), Condvar::new()));
+    let workers: Vec<JoinHandle<()>> = (0..shared.conn_inflight)
+        .map(|_| {
+            let job_rx = job_rx.clone();
+            let out_tx = out_tx.clone();
+            let shared = shared.clone();
+            let completed = completed.clone();
+            std::thread::spawn(move || loop {
+                let job = job_rx.lock().unwrap().recv();
+                let Ok((seq, tenant, request)) = job else { break };
+                let resp = tenant.run(&shared.admission, &request);
+                // A failed send just means the writer died with the client;
+                // keep draining jobs anyway — the barrier below counts every
+                // dispatched query, so a worker that stopped early would
+                // strand the reader in `cv.wait` forever (thread + fd leak
+                // per abandoned connection).
+                let _ = out_tx.send((seq, resp.to_json_line()));
+                let (count, cv) = &*completed;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            })
+        })
+        .collect();
+
+    let mut seq = 0u64;
+    let mut lineno = 0u64;
+    let mut dispatched = 0u64;
+    let mut buf = Vec::new();
+    let mut quit = false;
+    let mut shutdown_after_flush = false;
+    while !quit {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break; // client closed its half
+        }
+        lineno += 1;
+        let line = buf.trim_ascii();
+        if line.is_empty() {
+            continue; // blank lines get no response, like `xknn batch`
+        }
+        let default_id = lineno.to_string();
+        match proto::parse_line(line, &default_id) {
+            Err(e) => {
+                let msg = format!("line {lineno}: {e}");
+                let _ = out_tx.send((seq, proto::error_line(&default_id, &msg)));
+            }
+            Ok(parsed) => match parsed.command {
+                Command::Query { dataset, request } => match shared.registry.get(&dataset) {
+                    Some(tenant) => {
+                        let _ = job_tx.send((seq, tenant, request));
+                        dispatched += 1;
+                    }
+                    None => {
+                        let msg = format!("no dataset named `{dataset}` (try the load verb)");
+                        let _ = out_tx.send((seq, proto::error_line(&request.id, &msg)));
+                    }
+                },
+                command => {
+                    // Barrier: a control verb runs only after every earlier
+                    // query on this connection has finished, so pipelined
+                    // `stats` counters, `unload` and `quit` are deterministic
+                    // with respect to the requests before them.
+                    let (count, cv) = &*completed;
+                    let mut done = count.lock().unwrap();
+                    while *done < dispatched {
+                        done = cv.wait(done).unwrap();
+                    }
+                    drop(done);
+                    // Shutdown closes this connection now but stops the
+                    // accept loop only after the response below is flushed
+                    // (see the end of this function) — otherwise the process
+                    // could exit before the requester hears back.
+                    if matches!(command, Command::Shutdown) {
+                        shutdown_after_flush = true;
+                    }
+                    let (line, close) = run_control(shared, &parsed.id, command);
+                    let _ = out_tx.send((seq, line));
+                    quit = close;
+                }
+            },
+        }
+        seq += 1;
+    }
+
+    // Stop reading; let queued queries finish, then flush the writer.
+    drop(job_tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    drop(out_tx);
+    let _ = writer.join();
+    if shutdown_after_flush {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        // Poke the blocking accept so the loop observes the flag.
+        let _ = TcpStream::connect(shared.addr);
+    }
+    Ok(())
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<(u64, String)>) {
+    let mut out = BufWriter::new(stream);
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    for (seq, line) in rx {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            let io = out
+                .write_all(line.as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush());
+            if io.is_err() {
+                return; // client gone; drop the rest
+            }
+            next += 1;
+        }
+    }
+}
+
+/// Executes one control verb, returning the response line and whether the
+/// connection should close afterwards.
+fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, bool) {
+    let num = |n: usize| Value::Number(n as f64);
+    let num64 = |n: u64| Value::Number(n as f64);
+    match command {
+        Command::Query { .. } => unreachable!("queries are dispatched by the caller"),
+        Command::Load { name, path, text } => {
+            let text = match (text, path) {
+                (Some(t), None) => t,
+                (None, Some(p)) => match std::fs::read_to_string(&p) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return (proto::error_line(id, &format!("cannot read {p}: {e}")), false)
+                    }
+                },
+                _ => unreachable!("parse_line enforces exactly one of path/text"),
+            };
+            match shared.registry.load(&name, &text) {
+                Err(e) => (proto::error_line(id, &e), false),
+                Ok(tenant) => {
+                    let s = tenant.stats();
+                    let line = proto::ok_line(
+                        id,
+                        vec![
+                            ("loaded".into(), Value::String(name)),
+                            ("points".into(), num(s.points)),
+                            ("dim".into(), num(s.dim)),
+                        ],
+                    );
+                    (line, false)
+                }
+            }
+        }
+        Command::Unload { name } => match shared.registry.unload(&name) {
+            Err(e) => (proto::error_line(id, &e), false),
+            Ok(()) => (proto::ok_line(id, vec![("unloaded".into(), Value::String(name))]), false),
+        },
+        Command::List => {
+            let datasets: Vec<Value> = shared
+                .registry
+                .list()
+                .iter()
+                .map(|t| {
+                    let s = t.stats();
+                    Value::Object(vec![
+                        ("name".into(), Value::String(s.name)),
+                        ("points".into(), num(s.points)),
+                        ("dim".into(), num(s.dim)),
+                    ])
+                })
+                .collect();
+            (proto::ok_line(id, vec![("datasets".into(), Value::Array(datasets))]), false)
+        }
+        Command::Stats => {
+            let a = shared.admission.stats();
+            let admission = Value::Object(vec![
+                ("budget".into(), num(a.budget)),
+                ("available".into(), num(a.available)),
+                ("waiting".into(), num(a.waiting)),
+                ("granted".into(), num64(a.granted)),
+            ]);
+            let tenants: Vec<Value> = shared
+                .registry
+                .list()
+                .iter()
+                .map(|t| {
+                    let s = t.stats();
+                    let cache = Value::Object(vec![
+                        ("hits".into(), num64(s.engine.cache.hits)),
+                        ("misses".into(), num64(s.engine.cache.misses)),
+                        ("coalesced".into(), num64(s.engine.coalesced)),
+                        ("evictions".into(), num64(s.engine.cache.evictions)),
+                        ("entries".into(), num(s.engine.cache.entries)),
+                        ("capacity".into(), num(s.engine.cache.capacity)),
+                    ]);
+                    Value::Object(vec![
+                        ("name".into(), Value::String(s.name)),
+                        ("requests".into(), num64(s.requests)),
+                        ("errors".into(), num64(s.errors)),
+                        ("queued".into(), num64(s.queued)),
+                        ("active".into(), num64(s.active)),
+                        ("cache".into(), cache),
+                        ("inflight".into(), num(s.engine.inflight)),
+                    ])
+                })
+                .collect();
+            let line = proto::ok_line(
+                id,
+                vec![("admission".into(), admission), ("tenants".into(), Value::Array(tenants))],
+            );
+            (line, false)
+        }
+        Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
+        Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
+        Command::Shutdown => {
+            // The caller sets the flag after this connection is flushed.
+            (proto::ok_line(id, vec![("shutdown".into(), Value::Bool(true))]), true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOOL: &str = "+ 1 1 1\n+ 1 1 0\n- 0 0 0\n- 0 0 1\n";
+
+    fn spawn_server() -> ServerHandle {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        server.registry().load("toy", BOOL).unwrap();
+        server.spawn()
+    }
+
+    #[test]
+    fn end_to_end_lifecycle() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let pong = c.roundtrip(r#"{"id":"p","verb":"ping"}"#).unwrap();
+        assert_eq!(pong, r#"{"id":"p","ok":true,"pong":true}"#);
+
+        let resp = c
+            .roundtrip(
+                r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[1,1,1]}"#,
+            )
+            .unwrap();
+        assert_eq!(resp, r#"{"id":"q","ok":true,"route":"hamming-index","label":"+"}"#);
+
+        let loaded = c
+            .roundtrip(r#"{"id":"l","verb":"load","name":"inline","text":"+ 1 0\n- 0 1"}"#)
+            .unwrap();
+        assert_eq!(loaded, r#"{"id":"l","ok":true,"loaded":"inline","points":2,"dim":2}"#);
+
+        let list = c.roundtrip(r#"{"verb":"list"}"#).unwrap();
+        assert!(list.contains(r#""name":"inline""#) && list.contains(r#""name":"toy""#), "{list}");
+
+        let stats = c.roundtrip(r#"{"verb":"stats"}"#).unwrap();
+        assert!(stats.contains(r#""admission""#) && stats.contains(r#""requests":1"#), "{stats}");
+
+        let unloaded = c.roundtrip(r#"{"verb":"unload","name":"inline"}"#).unwrap();
+        assert!(unloaded.contains(r#""ok":true"#), "{unloaded}");
+        let gone = c.roundtrip(r#"{"dataset":"inline","cmd":"classify","point":[1,0]}"#).unwrap();
+        assert!(gone.contains("no dataset named"), "{gone}");
+
+        let bye = c.roundtrip(r#"{"verb":"quit"}"#).unwrap();
+        assert!(bye.contains(r#""bye":true"#), "{bye}");
+        assert_eq!(c.recv().unwrap(), None, "server closes after quit");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn responses_keep_request_order_while_pipelined() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let mut input = String::new();
+        for i in 0..40 {
+            let cmd = if i % 3 == 0 { "counterfactual" } else { "classify" };
+            input.push_str(&format!(
+                "{{\"dataset\":\"toy\",\"id\":\"q{i}\",\"cmd\":\"{cmd}\",\"metric\":\"hamming\",\"point\":[{},{},{}]}}\n",
+                i % 2,
+                (i / 2) % 2,
+                (i / 4) % 2
+            ));
+        }
+        let out = c.run_stream(&input).unwrap();
+        assert_eq!(out.len(), 40);
+        for (i, line) in out.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"id\":\"q{i}\"")), "slot {i}: {line}");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_the_connection_survives() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for bad in ["not json", "{\"verb\":\"fly\"}", "[]", "{\"cmd\":\"classify\"}"] {
+            let resp = c.roundtrip(bad).unwrap();
+            assert!(resp.contains(r#""ok":false"#), "{bad} -> {resp}");
+        }
+        // Still serving after the garbage:
+        let resp = c
+            .roundtrip(r#"{"dataset":"toy","cmd":"classify","metric":"hamming","point":[0,0,0]}"#)
+            .unwrap();
+        assert!(resp.contains(r#""label":"-""#), "{resp}");
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,221 @@
+//! The server's wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request line is one JSON object. Explanation queries are the
+//! engine's wire format plus a `dataset` member naming the tenant; control
+//! verbs manage the registry and observe the server:
+//!
+//! ```text
+//! {"verb":"load","name":"demo","path":"data/demo_boolean.txt"}
+//! {"verb":"load","name":"inline","text":"+ 1 1\n- 0 0"}
+//! {"verb":"list"}
+//! {"dataset":"demo","id":"q1","cmd":"classify","metric":"hamming","point":[1,0,1]}
+//! {"verb":"query","dataset":"demo","cmd":"counterfactual","point":[1,0,1]}
+//! {"verb":"stats"}
+//! {"verb":"unload","name":"demo"}
+//! {"verb":"ping"}
+//! {"verb":"quit"}
+//! ```
+//!
+//! A line with a `cmd` member and no `verb` is a query (the common case). The
+//! server answers every non-blank request line with exactly one JSON response
+//! line, in request order per connection; malformed lines — bad JSON, invalid
+//! UTF-8, unknown verbs — get an `{"ok":false,...}` response on the same
+//! connection, never a disconnect. `id` is echoed when present and defaults
+//! to the 1-based line number, exactly like `xknn batch`.
+//!
+//! Control verbs are a **connection-level barrier**: one executes only after
+//! every earlier query on the same connection has completed, so a pipelined
+//! `stats` reports counters that include those queries, and `unload` / `quit`
+//! take effect at a well-defined point in the stream.
+
+use knn_engine::json::{parse_bytes, Value};
+use knn_engine::{Request, Response};
+
+/// One parsed request line: the resolved response id plus the command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Parsed {
+    /// `id` member if present, else the caller's default (the line number).
+    pub id: String,
+    /// What to do.
+    pub command: Command,
+}
+
+/// The verbs of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// An explanation query against the named tenant.
+    Query {
+        /// Tenant name.
+        dataset: String,
+        /// The engine request.
+        request: Request,
+    },
+    /// Register a dataset from a server-side file or inline text.
+    Load {
+        /// Tenant name to register.
+        name: String,
+        /// Server-side file path (mutually exclusive with `text`).
+        path: Option<String>,
+        /// Inline dataset text (mutually exclusive with `path`).
+        text: Option<String>,
+    },
+    /// Drop a tenant.
+    Unload {
+        /// Tenant name to drop.
+        name: String,
+    },
+    /// Enumerate tenants.
+    List,
+    /// Cache / admission / per-tenant counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Close this connection (after the response).
+    Quit,
+    /// Stop the whole server (after the response).
+    Shutdown,
+}
+
+fn member_str(v: &Value, key: &str, what: &str) -> Result<String, String> {
+    match v.get(key) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("`{key}` must be a string ({what})")),
+        None => Err(format!("missing `{key}` ({what})")),
+    }
+}
+
+/// Parses one request line. Total over arbitrary bytes: any input yields
+/// `Ok` or `Err`, never a panic (the engine's JSON parser is byte-total).
+pub fn parse_line(line: &[u8], default_id: &str) -> Result<Parsed, String> {
+    let v = parse_bytes(line)?;
+    if !matches!(v, Value::Object(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let id = match v.get("id") {
+        None => default_id.to_string(),
+        Some(Value::String(s)) => s.clone(),
+        Some(Value::Number(n)) => Value::Number(*n).to_json(),
+        Some(_) => return Err("`id` must be a string or number".into()),
+    };
+    let verb = match v.get("verb") {
+        None if v.get("cmd").is_some() => "query".to_string(),
+        None => return Err("missing `verb` (or `cmd` + `dataset` for a query)".into()),
+        Some(Value::String(s)) => s.clone(),
+        Some(_) => return Err("`verb` must be a string".into()),
+    };
+    let command = match verb.as_str() {
+        "query" => {
+            let dataset = member_str(&v, "dataset", "the tenant to query")?;
+            let request = Request::from_value(&v, default_id)?;
+            Command::Query { dataset, request }
+        }
+        "load" => {
+            let name = member_str(&v, "name", "the tenant name to register")?;
+            let path = match v.get("path") {
+                None => None,
+                Some(Value::String(s)) => Some(s.clone()),
+                Some(_) => return Err("`path` must be a string".into()),
+            };
+            let text = match v.get("text") {
+                None => None,
+                Some(Value::String(s)) => Some(s.clone()),
+                Some(_) => return Err("`text` must be a string".into()),
+            };
+            if path.is_some() == text.is_some() {
+                return Err("load needs exactly one of `path` or `text`".into());
+            }
+            Command::Load { name, path, text }
+        }
+        "unload" => Command::Unload { name: member_str(&v, "name", "the tenant to drop")? },
+        "list" => Command::List,
+        "stats" => Command::Stats,
+        "ping" => Command::Ping,
+        "quit" => Command::Quit,
+        "shutdown" => Command::Shutdown,
+        other => {
+            return Err(format!(
+            "unknown verb `{other}` (try query, load, unload, list, stats, ping, quit, shutdown)"
+        ))
+        }
+    };
+    Ok(Parsed { id, command })
+}
+
+/// An `{"id":...,"ok":false,"error":...}` line, byte-compatible with the
+/// engine's error responses.
+pub fn error_line(id: &str, msg: &str) -> String {
+    Response { id: id.to_string(), route: "error".to_string(), result: Err(msg.to_string()) }
+        .to_json_line()
+}
+
+/// An `{"id":...,"ok":true,...}` control response with `extra` members in
+/// the given (deterministic) order.
+pub fn ok_line(id: &str, extra: Vec<(String, Value)>) -> String {
+    let mut members = vec![
+        ("id".to_string(), Value::String(id.to_string())),
+        ("ok".to_string(), Value::Bool(true)),
+    ];
+    members.extend(extra);
+    Value::Object(members).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_with_and_without_verb() {
+        let a = parse_line(br#"{"dataset":"d","cmd":"classify","point":[1]}"#, "7").unwrap();
+        let b = parse_line(br#"{"verb":"query","dataset":"d","cmd":"classify","point":[1]}"#, "7")
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.id, "7");
+        let Command::Query { dataset, request } = a.command else { panic!() };
+        assert_eq!(dataset, "d");
+        assert_eq!(request.id, "7");
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        let p =
+            parse_line(br#"{"id":"x","verb":"load","name":"d","text":"+ 1\n- 0"}"#, "1").unwrap();
+        assert_eq!(p.id, "x");
+        assert!(matches!(p.command, Command::Load { .. }));
+        for (line, want) in [
+            (&br#"{"verb":"list"}"#[..], Command::List),
+            (br#"{"verb":"stats"}"#, Command::Stats),
+            (br#"{"verb":"ping"}"#, Command::Ping),
+            (br#"{"verb":"quit"}"#, Command::Quit),
+            (br#"{"verb":"shutdown"}"#, Command::Shutdown),
+            (br#"{"verb":"unload","name":"n"}"#, Command::Unload { name: "n".into() }),
+        ] {
+            assert_eq!(parse_line(line, "1").unwrap().command, want);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_rejected_not_panicking() {
+        for bad in [
+            &b"not json"[..],
+            b"[1,2]",
+            b"{\"verb\":\"fly\"}",
+            b"{\"verb\":\"load\",\"name\":\"d\"}",
+            b"{\"verb\":\"load\",\"name\":\"d\",\"path\":\"p\",\"text\":\"t\"}",
+            b"{\"cmd\":\"classify\",\"point\":[1]}", // query without dataset
+            b"{\"verb\":\"query\",\"dataset\":\"d\"}", // query without cmd
+            b"\xff\xfe{\"verb\":\"ping\"}",          // invalid UTF-8
+            b"{\"verb\":42}",
+        ] {
+            assert!(parse_line(bad, "1").is_err());
+        }
+    }
+
+    #[test]
+    fn response_builders_are_deterministic() {
+        assert_eq!(error_line("3", "boom"), r#"{"id":"3","ok":false,"error":"boom"}"#);
+        assert_eq!(
+            ok_line("x", vec![("pong".into(), Value::Bool(true))]),
+            r#"{"id":"x","ok":true,"pong":true}"#
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! The dataset registry: named tenants, each owning one
+//! [`ExplanationEngine`] behind an `Arc`.
+//!
+//! Tenants are created by the `load` verb (from a file path on the server or
+//! inline text), dropped by `unload`, and enumerated by `list`. A query names
+//! its tenant; the engine — and with it the explanation LRU, the single-flight
+//! table, and the lazily-built artifacts — is shared by every connection
+//! querying that tenant, so one client's cold queries warm the cache for all.
+//! Unloading only drops the registry's reference: queries already holding the
+//! `Arc` finish against the old engine.
+
+use crate::admission::Admission;
+use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Request, Response};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One named dataset and its engine, plus the per-tenant queue counters the
+/// `stats` verb reports.
+pub struct Tenant {
+    /// Registry name.
+    pub name: String,
+    /// The shared engine (lazily builds its artifacts on first use).
+    pub engine: Arc<ExplanationEngine>,
+    /// Queries completed against this tenant.
+    requests: AtomicU64,
+    /// Completed queries whose response was an error.
+    errors: AtomicU64,
+    /// Queries currently waiting in the admission queue.
+    queued: AtomicU64,
+    /// Queries currently executing.
+    active: AtomicU64,
+}
+
+/// A point-in-time snapshot of one tenant's counters.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Registry name.
+    pub name: String,
+    /// Dataset size.
+    pub points: usize,
+    /// Dataset dimension.
+    pub dim: usize,
+    /// Queries completed.
+    pub requests: u64,
+    /// Error responses among them.
+    pub errors: u64,
+    /// Currently waiting for admission.
+    pub queued: u64,
+    /// Currently executing.
+    pub active: u64,
+    /// The engine's cache / single-flight counters.
+    pub engine: knn_engine::EngineStats,
+}
+
+impl Tenant {
+    /// Runs one request: waits for a global admission slot (FIFO), executes,
+    /// and maintains the tenant's queue counters. The response bytes are
+    /// independent of admission order per the engine's determinism contract.
+    pub fn run(&self, admission: &Admission, req: &Request) -> Response {
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        let slot = admission.acquire();
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+        let resp = self.engine.run(req);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+        drop(slot);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if resp.result.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    /// This tenant's counters.
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            name: self.name.clone(),
+            points: self.engine.data().continuous.len(),
+            dim: self.engine.data().continuous.dim(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            engine: self.engine.stats(),
+        }
+    }
+}
+
+/// The name → tenant map. `BTreeMap` so every listing is sorted — response
+/// bytes must not depend on hash order.
+pub struct Registry {
+    engine_config: EngineConfig,
+    tenants: Mutex<BTreeMap<String, Arc<Tenant>>>,
+}
+
+impl Registry {
+    /// An empty registry; every loaded tenant gets an engine with
+    /// `engine_config`.
+    pub fn new(engine_config: EngineConfig) -> Registry {
+        Registry { engine_config, tenants: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Parses `text` (the `+/-`-labeled format of [`textfmt`]) and registers
+    /// it under `name`. Refuses to clobber an existing tenant — `unload`
+    /// first.
+    pub fn load(&self, name: &str, text: &str) -> Result<Arc<Tenant>, String> {
+        if name.is_empty() {
+            return Err("dataset name must not be empty".into());
+        }
+        let data = textfmt::parse_dataset(text)?;
+        let mut tenants = self.tenants.lock().unwrap();
+        if tenants.contains_key(name) {
+            return Err(format!("dataset `{name}` is already loaded (unload it first)"));
+        }
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            engine: Arc::new(ExplanationEngine::new(data, self.engine_config.clone())),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+        });
+        tenants.insert(name.to_string(), tenant.clone());
+        Ok(tenant)
+    }
+
+    /// Drops the tenant named `name`. In-flight queries holding its `Arc`
+    /// complete against the old engine.
+    pub fn unload(&self, name: &str) -> Result<(), String> {
+        match self.tenants.lock().unwrap().remove(name) {
+            Some(_) => Ok(()),
+            None => Err(format!("no dataset named `{name}`")),
+        }
+    }
+
+    /// The tenant named `name`, if loaded.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.lock().unwrap().get(name).cloned()
+    }
+
+    /// All tenants, sorted by name.
+    pub fn list(&self) -> Vec<Arc<Tenant>> {
+        self.tenants.lock().unwrap().values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOOL: &str = "+ 1 1 1\n+ 1 1 0\n- 0 0 0\n- 0 0 1\n";
+
+    #[test]
+    fn load_query_unload_lifecycle() {
+        let r = Registry::new(EngineConfig::default());
+        let t = r.load("toy", BOOL).unwrap();
+        assert_eq!(t.stats().points, 4);
+        let clobber = r.load("toy", BOOL).map(|_| ()).unwrap_err();
+        assert!(clobber.contains("already loaded"), "{clobber}");
+        assert_eq!(r.list().len(), 1);
+
+        let adm = Admission::new(2);
+        let req = Request::from_json_line(
+            r#"{"cmd":"classify","metric":"hamming","point":[1,1,1]}"#,
+            "0",
+        )
+        .unwrap();
+        let resp = r.get("toy").unwrap().run(&adm, &req);
+        assert!(resp.result.is_ok());
+        let s = r.get("toy").unwrap().stats();
+        assert_eq!((s.requests, s.errors, s.queued, s.active), (1, 0, 0, 0));
+
+        r.unload("toy").unwrap();
+        assert!(r.get("toy").is_none());
+        assert!(r.unload("toy").is_err());
+    }
+
+    #[test]
+    fn bad_text_is_rejected() {
+        let r = Registry::new(EngineConfig::default());
+        assert!(r.load("x", "not a dataset").is_err());
+        assert!(r.load("", BOOL).is_err());
+    }
+}

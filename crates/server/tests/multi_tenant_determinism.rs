@@ -1,0 +1,122 @@
+//! The server's acceptance property: **two datasets served concurrently from
+//! one process**, 16 clients firing shuffled request streams, and every
+//! client's response stream is byte-identical to a fresh single-threaded
+//! in-process engine answering the same lines in the same order. Admission
+//! scheduling, connection interleaving, shared caches, and single-flight
+//! coalescing may change *when* work happens — never a single output byte.
+
+use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Request};
+use knn_server::{Client, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BOOL: &str = "+ 1 1 1 0 0\n+ 1 1 0 0 0\n+ 1 0 1 0 0\n- 0 0 0 1 1\n- 0 0 1 1 1\n- 0 1 0 1 1\n";
+const CONT: &str = "+ 2.0 2.0\n+ 3.0 1.5\n+ 1.0 2.5\n- -1.0 -1.0\n- 0.0 -2.0\n- -2.0 0.5\n";
+
+/// The base request list for one tenant (ids are per-slot; shuffles relabel).
+fn base_requests(tenant: &str) -> Vec<String> {
+    let mut reqs = Vec::new();
+    if tenant == "bool" {
+        let points = ["[1,1,0,1,0]", "[0,0,0,0,0]", "[1,0,1,0,1]", "[0,1,1,0,1]"];
+        for (pi, point) in points.iter().enumerate() {
+            for k in [1, 3] {
+                for cmd in ["classify", "minimal-sr", "counterfactual"] {
+                    reqs.push(format!(
+                        r#"{{"dataset":"bool","id":"b{pi}-{k}-{cmd}","cmd":"{cmd}","metric":"hamming","k":{k},"point":{point}}}"#
+                    ));
+                }
+                reqs.push(format!(
+                    r#"{{"dataset":"bool","id":"b{pi}-{k}-chk","cmd":"check-sr","metric":"hamming","k":{k},"point":{point},"features":[0,3]}}"#
+                ));
+            }
+        }
+    } else {
+        let points = ["[1.5,1.0]", "[-0.5,0.25]", "[0.0,0.0]", "[2.5,-1.0]"];
+        for (pi, point) in points.iter().enumerate() {
+            for k in [1, 3] {
+                for cmd in ["classify", "minimal-sr", "counterfactual"] {
+                    reqs.push(format!(
+                        r#"{{"dataset":"cont","id":"c{pi}-{k}-{cmd}","cmd":"{cmd}","metric":"l2","k":{k},"point":{point}}}"#
+                    ));
+                }
+            }
+            // The ℓ1 k=1 exact cells and a refused cell (error responses must
+            // be deterministic too).
+            reqs.push(format!(
+                r#"{{"dataset":"cont","id":"c{pi}-l1","cmd":"counterfactual","metric":"l1","k":1,"point":{point}}}"#
+            ));
+            reqs.push(format!(
+                r#"{{"dataset":"cont","id":"c{pi}-bad","cmd":"minimal-sr","metric":"l1","k":3,"point":{point}}}"#
+            ));
+        }
+    }
+    reqs
+}
+
+fn shuffled(base: &[String], seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<String> = base.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// The oracle: a fresh engine, one thread, requests in the client's order.
+fn sequential_oracle(dataset_text: &str, lines: &[String]) -> Vec<String> {
+    let engine = ExplanationEngine::new(
+        textfmt::parse_dataset(dataset_text).unwrap(),
+        EngineConfig::default(),
+    );
+    lines
+        .iter()
+        .map(|line| {
+            // The server envelope's `dataset` member is opaque to the engine
+            // parser, so the very same line drives the oracle.
+            let req = Request::from_json_line(line, "oracle").unwrap();
+            engine.run(&req).to_json_line()
+        })
+        .collect()
+}
+
+#[test]
+fn sixteen_shuffled_clients_match_the_sequential_oracle_per_tenant() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { worker_budget: 4, conn_inflight: 2, engine: EngineConfig::default() },
+    )
+    .unwrap();
+    server.registry().load("bool", BOOL).unwrap();
+    server.registry().load("cont", CONT).unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let bool_base = base_requests("bool");
+    let cont_base = base_requests("cont");
+
+    let mut threads = Vec::new();
+    for client_id in 0..16u64 {
+        let (text, base) =
+            if client_id % 2 == 0 { (BOOL, bool_base.clone()) } else { (CONT, cont_base.clone()) };
+        threads.push(std::thread::spawn(move || {
+            let lines = shuffled(&base, 0xC0FFEE ^ client_id);
+            let expected = sequential_oracle(text, &lines);
+            let mut client = Client::connect(addr).unwrap();
+            let got = client.run_stream(&lines.join("\n")).unwrap();
+            (client_id, expected, got)
+        }));
+    }
+    for t in threads {
+        let (client_id, expected, got) = t.join().unwrap();
+        assert_eq!(expected.len(), got.len(), "client {client_id}: response count mismatch");
+        for (slot, (want, have)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(
+                want, have,
+                "client {client_id}, slot {slot}: server bytes diverge from the oracle"
+            );
+        }
+    }
+
+    handle.shutdown();
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! xknn <command> --data <file> --point "v1,v2,..." [options]
 //! xknn batch     --data <file> [--requests <jsonl>] [--workers N] [--budget C]
+//! xknn serve     [--addr host:port] [--data name=file ...] [--workers N] ...
+//! xknn client    --addr host:port [--requests <jsonl>]
 //!
 //! commands:
 //!   classify          the optimistic k-NN label of the point (§2)
@@ -11,6 +13,8 @@
 //!   check-sr          is --features a sufficient reason? (counterexample if not)
 //!   counterfactual    the closest counterfactual under the metric
 //!   batch             serve a JSON-lines request stream concurrently
+//!   serve             multi-tenant TCP server over the explanation engine
+//!   client            stream JSON-lines requests to a running server
 //!
 //! options:
 //!   --data <file>     labeled points: `+ 1.0 2.0` / `- 0 1 1`; `#` comments
@@ -25,14 +29,28 @@
 //!   --budget <c>      deterministic effort budget (SAT conflicts; demotes
 //!                     minimum-sr to the greedy heuristic); default exact
 //!   --cache <n>       explanation-cache capacity (default 4096, 0 disables)
+//!
+//! serve options:
+//!   --addr <a>        bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+//!   --data <n=file>   preload a dataset as tenant `n` (repeatable); clients
+//!                     can also load/unload at runtime via the protocol
+//!   --workers <n>     global worker budget (default: all cores)
+//!   --inflight <n>    per-connection in-flight cap (default 4)
+//!   --budget / --cache  per-tenant engine config, as for batch
+//!
+//! client options:
+//!   --addr <a>        server address (required)
+//!   --requests <file> JSON-lines requests (default: stdin; `-` = stdin)
 //! ```
 //!
 //! Batch requests look like
 //! `{"id":"q1","cmd":"counterfactual","metric":"l2","k":1,"point":[1.5,1.0]}`;
-//! responses are JSON lines in input order, byte-deterministic for any
-//! `--workers` value. The tool refuses (metric, k, command) combinations
-//! outside the paper's tractability boundary instead of silently
-//! approximating; see Table 1.
+//! server queries add `"dataset":"name"`, and the server additionally speaks
+//! the control verbs `load`, `unload`, `list`, `stats`, `ping`, `quit`,
+//! `shutdown` (see `knn-server`). Responses are JSON lines in input order,
+//! byte-deterministic for any `--workers` value. The tool refuses
+//! (metric, k, command) combinations outside the paper's tractability
+//! boundary instead of silently approximating; see Table 1.
 
 use explainable_knn::cli::{
     parse_dataset, parse_indices, parse_point, run_batch, run_query, BatchOptions, MetricChoice,
@@ -43,6 +61,12 @@ use std::io::Read;
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Every value of a repeatable flag, in order (`--data a=x --data b=y`).
+fn args_all(name: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).filter(|w| w[0] == name).map(|w| w[1].clone()).collect()
 }
 
 fn fail(msg: &str) -> ! {
@@ -59,8 +83,18 @@ fn main() {
         println!("            [--metric l2|l1|lp:<p>|hamming] [--k <odd>] [--features i,j,...]");
         println!("       xknn batch --data <file> [--requests <jsonl>|-]");
         println!("            [--workers <n>] [--budget <conflicts>] [--cache <entries>]");
+        println!("       xknn serve [--addr host:port] [--data name=<file> ...]");
+        println!("            [--workers <n>] [--inflight <n>] [--budget <c>] [--cache <n>]");
+        println!("       xknn client --addr host:port [--requests <jsonl>|-]");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
     };
+
+    if command == "serve" {
+        return serve();
+    }
+    if command == "client" {
+        return client();
+    }
 
     let data_path = arg("--data").unwrap_or_else(|| fail("--data <file> is required"));
     let text = std::fs::read_to_string(&data_path)
@@ -95,6 +129,80 @@ fn main() {
         return;
     }
 
+    single_query(command, data)
+}
+
+/// `xknn serve`: bind, preload `--data name=file` tenants, serve until a
+/// client sends the `shutdown` verb.
+fn serve() {
+    let addr = arg("--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let mut config = knn_server::ServerConfig::default();
+    if let Some(w) = arg("--workers") {
+        config.worker_budget = w.parse().unwrap_or_else(|_| fail("--workers must be an integer"));
+    }
+    if let Some(i) = arg("--inflight") {
+        config.conn_inflight = i.parse().unwrap_or_else(|_| fail("--inflight must be an integer"));
+    }
+    if let Some(c) = arg("--cache") {
+        config.engine.cache_capacity =
+            c.parse().unwrap_or_else(|_| fail("--cache must be an integer"));
+    }
+    if let Some(b) = arg("--budget") {
+        config.engine.effort_budget =
+            Some(b.parse().unwrap_or_else(|_| fail("--budget must be an integer")));
+    }
+    let server = knn_server::Server::bind(&addr, config)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    for spec in args_all("--data") {
+        let (name, path) = spec
+            .split_once('=')
+            .unwrap_or_else(|| fail(&format!("--data wants name=<file>, got `{spec}`")));
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let tenant = server.registry().load(name, &text).unwrap_or_else(|e| fail(&e));
+        eprintln!(
+            "xknn serve: loaded `{name}` ({} points, dim {})",
+            tenant.stats().points,
+            tenant.stats().dim
+        );
+    }
+    // The resolved address on stdout (and flushed) so scripts and tests can
+    // bind port 0 and discover the port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if let Err(e) = server.serve() {
+        fail(&format!("serve failed: {e}"));
+    }
+}
+
+/// `xknn client`: pipeline a JSON-lines stream to a server, print the
+/// responses in request order.
+fn client() {
+    let addr = arg("--addr").unwrap_or_else(|| fail("--addr host:port is required"));
+    let input = match arg("--requests").filter(|p| p != "-") {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| fail(&format!("cannot read stdin: {e}")));
+            buf
+        }
+    };
+    let mut client = knn_server::Client::connect(&addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let responses =
+        client.run_stream(&input).unwrap_or_else(|e| fail(&format!("stream failed: {e}")));
+    let errors = responses.iter().filter(|r| r.contains("\"ok\":false")).count();
+    for line in &responses {
+        println!("{line}");
+    }
+    eprintln!("client: {} responses, {} errors", responses.len(), errors);
+}
+
+fn single_query(command: String, data: explainable_knn::cli::ParsedData) {
     let point_s = arg("--point").unwrap_or_else(|| fail("--point \"v1,v2,...\" is required"));
     let x = parse_point(&point_s).unwrap_or_else(|e| fail(&e));
 

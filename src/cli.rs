@@ -23,6 +23,17 @@ pub enum MetricChoice {
     Hamming,
 }
 
+impl From<MetricChoice> for knn_engine::Metric {
+    fn from(m: MetricChoice) -> knn_engine::Metric {
+        match m {
+            MetricChoice::L2 => knn_engine::Metric::L2,
+            MetricChoice::L1 => knn_engine::Metric::L1,
+            MetricChoice::Lp(p) => knn_engine::Metric::Lp(p),
+            MetricChoice::Hamming => knn_engine::Metric::Hamming,
+        }
+    }
+}
+
 impl MetricChoice {
     /// Parses `l2`, `l1`, `hamming`, or `lp:<p>`.
     pub fn parse(s: &str) -> Result<MetricChoice, String> {
@@ -50,79 +61,11 @@ impl MetricChoice {
 }
 
 /// A dataset parsed from text — continuous always; boolean view when every
-/// value is 0/1.
-#[derive(Clone, Debug)]
-pub struct ParsedData {
-    /// Continuous view (always available).
-    pub continuous: ContinuousDataset<f64>,
-    /// Boolean view, present iff every value in the file was 0 or 1.
-    pub boolean: Option<BooleanDataset>,
-}
+/// value is 0/1. This is the engine's [`knn_engine::EngineData`]: the CLI,
+/// the batch engine, and the network server all share one dataset type.
+pub type ParsedData = knn_engine::EngineData;
 
-/// Parses one feature vector: comma- or whitespace-separated floats.
-pub fn parse_point(s: &str) -> Result<Vec<f64>, String> {
-    let toks: Vec<&str> =
-        s.split(|c: char| c == ',' || c.is_whitespace()).filter(|t| !t.is_empty()).collect();
-    if toks.is_empty() {
-        return Err("empty point".into());
-    }
-    toks.iter()
-        .map(|t| match t.parse::<f64>() {
-            Ok(v) if v.is_finite() => Ok(v),
-            Ok(_) => Err(format!("non-finite value `{t}`")),
-            Err(_) => Err(format!("bad number `{t}`")),
-        })
-        .collect()
-}
-
-/// Parses a full dataset file (see module docs for the format).
-pub fn parse_dataset(text: &str) -> Result<ParsedData, String> {
-    let mut points: Vec<(Vec<f64>, Label)> = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let (label, rest) = match line.as_bytes()[0] {
-            b'+' => (Label::Positive, &line[1..]),
-            b'-' => (Label::Negative, &line[1..]),
-            _ => return Err(format!("line {}: must start with `+` or `-` label", lineno + 1)),
-        };
-        let vals = parse_point(rest).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        if let Some((first, _)) = points.first() {
-            if first.len() != vals.len() {
-                return Err(format!(
-                    "line {}: dimension {} does not match first point's {}",
-                    lineno + 1,
-                    vals.len(),
-                    first.len()
-                ));
-            }
-        }
-        points.push((vals, label));
-    }
-    if points.is_empty() {
-        return Err("dataset file contains no points".into());
-    }
-    let dim = points[0].0.len();
-    let mut continuous = ContinuousDataset::new(dim);
-    let mut all_binary = true;
-    for (vals, label) in &points {
-        all_binary &= vals.iter().all(|&v| v == 0.0 || v == 1.0);
-        continuous.push(vals.clone(), *label);
-    }
-    let boolean = all_binary.then(|| {
-        let mut ds = BooleanDataset::new(dim);
-        for (vals, label) in &points {
-            ds.push(
-                BitVec::from_bools(&vals.iter().map(|&v| v == 1.0).collect::<Vec<_>>()),
-                *label,
-            );
-        }
-        ds
-    });
-    Ok(ParsedData { continuous, boolean })
-}
+pub use knn_engine::textfmt::{parse_dataset, parse_point};
 
 /// Parses a comma-separated feature-index list (`0,3,7`).
 pub fn parse_indices(s: &str, dim: usize) -> Result<Vec<usize>, String> {
@@ -166,9 +109,12 @@ pub enum QueryOutput {
     NoCounterfactual,
 }
 
-/// Runs one query against the parsed data. `k` must be odd. Returns a
-/// human-readable error for unsupported (metric, k, command) combinations —
-/// the CLI surfaces Table 1's boundaries rather than silently approximating.
+/// Runs one query against the parsed data, through the batch engine's
+/// planner and executor (`knn_engine::exec`) — the CLI and the engine used to
+/// carry two copies of the Table-1 dispatch; this is now the only one.
+/// `k` must be odd. Returns a human-readable error for unsupported
+/// (metric, k, command) combinations — the CLI surfaces Table 1's boundaries
+/// rather than silently approximating.
 pub fn run_query(
     data: &ParsedData,
     metric: MetricChoice,
@@ -177,153 +123,44 @@ pub fn run_query(
     x: &[f64],
     features: Option<&[usize]>,
 ) -> Result<QueryOutput, String> {
-    let k = OddK::new(k).ok_or_else(|| format!("k must be odd, got {k}"))?;
-    if x.len() != data.continuous.dim() {
-        return Err(format!(
-            "point dimension {} does not match dataset dimension {}",
-            x.len(),
-            data.continuous.dim()
-        ));
+    let kind = knn_engine::QueryKind::parse(command).map_err(|_| {
+        format!(
+            "unknown command `{command}` (try classify, minimal-sr, minimum-sr, check-sr, counterfactual)"
+        )
+    })?;
+    if kind == knn_engine::QueryKind::CheckSr && features.is_none() {
+        return Err("check-sr needs --features".into());
     }
-    let need_bool = || -> Result<(&BooleanDataset, BitVec), String> {
-        let ds =
-            data.boolean.as_ref().ok_or("the hamming metric needs a 0/1 dataset".to_string())?;
-        if x.iter().any(|&v| v != 0.0 && v != 1.0) {
-            return Err("the hamming metric needs a 0/1 query point".into());
-        }
-        Ok((ds, BitVec::from_bools(&x.iter().map(|&v| v == 1.0).collect::<Vec<_>>())))
+    let features = features.map(|f| {
+        let mut idx = f.to_vec();
+        idx.sort_unstable();
+        idx.dedup();
+        idx
+    });
+    let req = knn_engine::Request {
+        id: "cli".into(),
+        kind,
+        metric: metric.into(),
+        k,
+        point: x.to_vec(),
+        features,
     };
-
-    match (command, metric) {
-        ("classify", MetricChoice::Hamming) => {
-            let (ds, bx) = need_bool()?;
-            Ok(QueryOutput::Label(BooleanKnn::new(ds, k).classify(&bx)))
+    // A throwaway artifact store: single queries build only the artifacts
+    // they touch (the store is lazy), which costs no more than the direct
+    // calls the CLI used to make.
+    let resp = knn_engine::exec::execute(data, &knn_engine::ArtifactStore::new(), &req, None);
+    let outcome = resp.result?;
+    Ok(match outcome {
+        knn_engine::Outcome::Label(l) => QueryOutput::Label(l),
+        knn_engine::Outcome::Reason { features, .. } => QueryOutput::Reason(features),
+        knn_engine::Outcome::Check { sufficient, witness } => {
+            QueryOutput::Check { sufficient, witness }
         }
-        ("classify", m) => {
-            let p = metric_p(m);
-            Ok(QueryOutput::Label(
-                ContinuousKnn::new(&data.continuous, LpMetric::new(p), k).classify(x),
-            ))
+        knn_engine::Outcome::Counterfactual { point, dist, proven } => {
+            QueryOutput::Counterfactual { point, dist, proven }
         }
-
-        ("minimal-sr", MetricChoice::L2) => {
-            Ok(QueryOutput::Reason(L2Abductive::new(&data.continuous, k).minimal(x)))
-        }
-        ("minimal-sr", MetricChoice::L1) => {
-            require_k1(k, "minimal-sr under ℓ1 (Thm 5: coNP-complete for k ⩾ 3)")?;
-            Ok(QueryOutput::Reason(L1Abductive::new(&data.continuous).minimal(x)))
-        }
-        ("minimal-sr", MetricChoice::Hamming) => {
-            let (ds, bx) = need_bool()?;
-            Ok(QueryOutput::Reason(HammingAbductive::new(ds, k).minimal(&bx)))
-        }
-
-        ("minimum-sr", MetricChoice::L2) => {
-            Ok(QueryOutput::Reason(L2Abductive::new(&data.continuous, k).minimum(x)))
-        }
-        ("minimum-sr", MetricChoice::L1) => {
-            require_k1(k, "minimum-sr under ℓ1")?;
-            Ok(QueryOutput::Reason(L1Abductive::new(&data.continuous).minimum(x)))
-        }
-        ("minimum-sr", MetricChoice::Hamming) => {
-            let (ds, bx) = need_bool()?;
-            Ok(QueryOutput::Reason(HammingAbductive::new(ds, k).minimum(&bx)))
-        }
-
-        ("check-sr", m) => {
-            let fixed = features.ok_or("check-sr needs --features")?;
-            let check = match m {
-                MetricChoice::L2 => L2Abductive::new(&data.continuous, k).check(x, fixed),
-                MetricChoice::L1 => {
-                    require_k1(k, "check-sr under ℓ1 (Thm 5)")?;
-                    L1Abductive::new(&data.continuous).check(x, fixed)
-                }
-                MetricChoice::Hamming => {
-                    let (ds, bx) = need_bool()?;
-                    return Ok(match HammingAbductive::new(ds, k).check(&bx, fixed) {
-                        SrCheck::Sufficient => {
-                            QueryOutput::Check { sufficient: true, witness: None }
-                        }
-                        SrCheck::NotSufficient { witness } => QueryOutput::Check {
-                            sufficient: false,
-                            witness: Some(
-                                witness.iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
-                            ),
-                        },
-                    });
-                }
-                MetricChoice::Lp(p) => {
-                    return Err(format!(
-                        "check-sr under ℓ{p} is not implemented (complexity open, §10)"
-                    ))
-                }
-            };
-            Ok(match check {
-                SrCheck::Sufficient => QueryOutput::Check { sufficient: true, witness: None },
-                SrCheck::NotSufficient { witness } => {
-                    QueryOutput::Check { sufficient: false, witness: Some(witness) }
-                }
-            })
-        }
-
-        ("counterfactual", MetricChoice::L2) => {
-            let cf = L2Counterfactual::new(&data.continuous, k);
-            match cf.infimum(x) {
-                None => Ok(QueryOutput::NoCounterfactual),
-                Some(inf) => {
-                    let dist = inf.dist_sq.sqrt();
-                    // The additive slack must clear the f64 field's comparison
-                    // tolerance (knn_num::field::F64_TOL = 1e-9), or `within`'s
-                    // strict ball test rejects the witness when the infimum is
-                    // tiny (query on or next to the decision boundary).
-                    let radius = inf.dist_sq * 1.0001 + 1e-6;
-                    let point = cf
-                        .within(x, &radius)
-                        .ok_or("internal: witness missing just past the infimum")?;
-                    Ok(QueryOutput::Counterfactual { point, dist, proven: true })
-                }
-            }
-        }
-        ("counterfactual", MetricChoice::L1) => {
-            require_k1(k, "counterfactual under ℓ1 via the k = 1 MILP model")?;
-            match L1Counterfactual::new(&data.continuous).closest(x) {
-                None => Ok(QueryOutput::NoCounterfactual),
-                Some((point, dist)) => {
-                    Ok(QueryOutput::Counterfactual { point, dist, proven: true })
-                }
-            }
-        }
-        ("counterfactual", MetricChoice::Lp(p)) => {
-            let engine = knn_core::counterfactual::lp_general::LpGeneralCounterfactual::new(
-                &data.continuous,
-                LpMetric::new(p),
-                k,
-            );
-            match engine.closest(x) {
-                None => Ok(QueryOutput::NoCounterfactual),
-                Some(w) => Ok(QueryOutput::Counterfactual {
-                    point: w.point,
-                    dist: w.dist,
-                    proven: false, // heuristic upper bound (§10 open problem)
-                }),
-            }
-        }
-        ("counterfactual", MetricChoice::Hamming) => {
-            let (ds, bx) = need_bool()?;
-            match hamming_counterfactual::closest_sat(ds, k, &bx) {
-                None => Ok(QueryOutput::NoCounterfactual),
-                Some((point, d)) => Ok(QueryOutput::Counterfactual {
-                    point: point.iter().map(|b| if b { 1.0 } else { 0.0 }).collect(),
-                    dist: d as f64,
-                    proven: true,
-                }),
-            }
-        }
-
-        (other, _) => Err(format!(
-            "unknown command `{other}` (try classify, minimal-sr, minimum-sr, check-sr, counterfactual)"
-        )),
-    }
+        knn_engine::Outcome::NoCounterfactual => QueryOutput::NoCounterfactual,
+    })
 }
 
 /// Options for the `batch` subcommand.
@@ -348,7 +185,7 @@ impl Default for BatchOptions {
 /// Builds a batch engine over parsed data.
 pub fn batch_engine(data: &ParsedData, opts: BatchOptions) -> knn_engine::ExplanationEngine {
     knn_engine::ExplanationEngine::new(
-        knn_engine::EngineData::new(data.continuous.clone(), data.boolean.clone()),
+        data.clone(),
         knn_engine::EngineConfig {
             workers: opts.workers,
             cache_capacity: opts.cache_capacity,
@@ -372,22 +209,6 @@ pub fn run_batch(data: &ParsedData, input: &str, opts: BatchOptions) -> (String,
         stats.wall.as_secs_f64()
     );
     (out, summary)
-}
-
-fn metric_p(m: MetricChoice) -> u32 {
-    match m {
-        MetricChoice::L1 => 1,
-        MetricChoice::L2 => 2,
-        MetricChoice::Lp(p) => p,
-        MetricChoice::Hamming => unreachable!("handled by the boolean path"),
-    }
-}
-
-fn require_k1(k: OddK, what: &str) -> Result<(), String> {
-    if k.get() != 1 {
-        return Err(format!("{what} requires k = 1, got k = {}", k.get()));
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ pub use knn_num as num;
 pub use knn_qp as qp;
 pub use knn_reductions as reductions;
 pub use knn_sat as sat;
+pub use knn_server as server;
 pub use knn_space as space;
 
 /// The most common imports in one place.
@@ -63,5 +64,6 @@ pub mod prelude {
     pub use knn_core::{BooleanKnn, ContinuousKnn, SrCheck};
     pub use knn_engine::{EngineConfig, EngineData, ExplanationEngine};
     pub use knn_num::{Field, Rat};
+    pub use knn_server::{Client, Server, ServerConfig};
     pub use knn_space::{BitVec, BooleanDataset, ContinuousDataset, Label, LpMetric, OddK};
 }

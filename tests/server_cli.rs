@@ -1,0 +1,80 @@
+//! End-to-end over the real binaries: `xknn serve` on an ephemeral port,
+//! `xknn client` streaming queries and control verbs against two tenants,
+//! shutdown via the protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+const BOOL: &str = "+ 1 1 1 0 0\n+ 1 1 0 0 0\n+ 1 0 1 0 0\n- 0 0 0 1 1\n- 0 0 1 1 1\n- 0 1 0 1 1\n";
+const CONT: &str = "+ 2.0 2.0\n+ 3.0 1.5\n+ 1.0 2.5\n- -1.0 -1.0\n- 0.0 -2.0\n- -2.0 0.5\n";
+
+fn spawn_serve(datasets: &[(&str, &str)]) -> (Child, String) {
+    let dir = std::env::temp_dir().join("xknn-server-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut args = vec!["serve".to_string(), "--addr".into(), "127.0.0.1:0".into()];
+    for (name, text) in datasets {
+        let path = dir.join(format!("{name}.txt"));
+        std::fs::write(&path, text).unwrap();
+        args.push("--data".into());
+        args.push(format!("{name}={}", path.display()));
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xknn"))
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("xknn serve starts");
+    // The first stdout line announces the resolved address.
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().unwrap()).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn run_client(addr: &str, input: &str) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xknn"))
+        .args(["client", "--addr", addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("xknn client runs");
+    child.stdin.as_mut().unwrap().write_all(input.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "client failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).unwrap().lines().map(str::to_string).collect()
+}
+
+#[test]
+fn serve_and_client_binaries_round_trip_two_tenants() {
+    let (mut child, addr) = spawn_serve(&[("bool", BOOL), ("cont", CONT)]);
+
+    let input = concat!(
+        "{\"id\":\"ls\",\"verb\":\"list\"}\n",
+        "{\"dataset\":\"bool\",\"id\":\"b1\",\"cmd\":\"classify\",\"metric\":\"hamming\",\"k\":3,\"point\":[1,1,0,1,0]}\n",
+        "{\"dataset\":\"cont\",\"id\":\"c1\",\"cmd\":\"counterfactual\",\"metric\":\"l2\",\"point\":[1.5,1.0]}\n",
+        "{\"dataset\":\"nope\",\"id\":\"m\",\"cmd\":\"classify\",\"point\":[1]}\n",
+        "garbage line\n",
+        "{\"id\":\"st\",\"verb\":\"stats\"}\n",
+    );
+    let lines = run_client(&addr, input);
+    assert_eq!(lines.len(), 6, "{lines:?}");
+    assert!(lines[0].contains(r#""name":"bool""#) && lines[0].contains(r#""name":"cont""#));
+    assert!(lines[1].contains(r#""label":"+""#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""proven":true"#), "{}", lines[2]);
+    assert!(lines[3].contains("no dataset named"), "{}", lines[3]);
+    assert!(lines[4].contains(r#""ok":false"#), "{}", lines[4]);
+    // The stats barrier guarantees the two tenant queries are counted.
+    assert!(lines[5].contains(r#""requests":1"#), "{}", lines[5]);
+
+    // A second client sees the same server (and shuts it down cleanly).
+    let bye = run_client(&addr, "{\"id\":\"x\",\"verb\":\"shutdown\"}\n");
+    assert!(bye[0].contains(r#""shutdown":true"#), "{}", bye[0]);
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exits 0 after shutdown");
+}
