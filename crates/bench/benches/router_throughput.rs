@@ -1,0 +1,213 @@
+//! Cluster-router throughput: queries/second for **one hot tenant** served
+//! through `knn-cluster` over 1, 2, and 4 backends at 16 concurrent
+//! clients, cold (fresh backends) vs warm (identical streams against
+//! populated caches), written to `BENCH_cluster.json` at the workspace
+//! root.
+//!
+//! Backends are real `xknn serve` **processes** when the binary can be
+//! found (`XKNN_BIN`, or `target/<profile>/xknn` next to this bench —
+//! `cargo build --release` first); otherwise in-process servers stand in
+//! and the JSON records which mode ran. The router uses `--spread 1`
+//! semantics (each client connection anchors on one replica, failing over
+//! to the rest), the configuration that minimizes per-backend connection
+//! fan-in when clients outnumber replicas — at 16 clients the interesting
+//! regime is many-clients-per-replica, not one-client-fan-out.
+//!
+//! Run with `cargo bench -p knn-bench --bench router_throughput`; pass
+//! `--full` for the larger workload.
+
+use knn_cluster::{LoadSource, Router, RouterConfig};
+use knn_server::Client;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One client's shuffled request stream against the hot tenant.
+fn stream(dim: usize, queries: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines: Vec<String> = (0..queries)
+        .map(|i| {
+            let point: Vec<String> =
+                (0..dim).map(|_| if rng.gen_bool(0.5) { "1" } else { "0" }.into()).collect();
+            // A read-burst mix: mostly classifications with an explanation
+            // tail — the workload shape the admission layer sees from
+            // interactive explanation UIs, and one where serving overhead
+            // (not solver CPU) bounds cold throughput, i.e. exactly what
+            // adding backends can recover.
+            let cmd = match i % 10 {
+                0..=7 => "classify",
+                8 => "minimal-sr",
+                _ => "counterfactual",
+            };
+            let k = if i % 3 == 0 { 3 } else { 1 };
+            format!(
+                r#"{{"dataset":"hot","id":"q{i}","cmd":"{cmd}","metric":"hamming","k":{k},"point":[{}]}}"#,
+                point.join(",")
+            )
+        })
+        .collect();
+    for i in (1..lines.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        lines.swap(i, j);
+    }
+    lines.join("\n")
+}
+
+fn run_clients(addr: std::net::SocketAddr, streams: &[String]) -> (f64, Vec<Vec<String>>) {
+    let t0 = Instant::now();
+    let outputs: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.run_stream(s).expect("stream")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    (t0.elapsed().as_secs_f64(), outputs)
+}
+
+/// The `xknn` binary, if one is around to spawn process backends with.
+fn find_xknn() -> Option<std::path::PathBuf> {
+    if let Ok(p) = std::env::var("XKNN_BIN") {
+        let p = std::path::PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    // This bench runs from target/<profile>/deps/; xknn sits one level up
+    // (or further, for custom target dirs) when the workspace bins were
+    // built in the same profile.
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors().skip(1).take(3).map(|d| d.join("xknn")).find(|p| p.is_file())
+}
+
+/// In-process stand-in backends for when the binary is absent.
+struct ThreadBackends(Vec<knn_server::ServerHandle>);
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (n_points, dim, q) = if full { (60, 12, 240) } else { (30, 8, 100) };
+    let clients = 16usize;
+    let rounds = if full { 3 } else { 2 };
+
+    let mut rng = StdRng::seed_from_u64(2026);
+    let hot = knn_datasets::random::random_boolean_dataset(&mut rng, n_points, dim, 0.5);
+    let hot_text = dataset_text(&hot);
+    let xknn = find_xknn();
+    let mode = if xknn.is_some() { "process" } else { "thread" };
+    if xknn.is_none() {
+        eprintln!(
+            "router_throughput: no xknn binary found (set XKNN_BIN or `cargo build --release`); \
+             falling back to in-process backends"
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"points\": {n_points}, \"dim\": {dim}, \"queries_per_client\": {q}, \
+         \"clients\": {clients}, \"tenants\": 1, \"spread\": 1, \"backend_mode\": \"{mode}\"}},"
+    );
+
+    let streams: Vec<String> = (0..clients).map(|i| stream(dim, q, 0xC10D ^ i as u64)).collect();
+    let total = (clients * q) as f64;
+
+    // One measurement: fresh backends + fresh router (cold numbers must not
+    // inherit warm caches), a cold pass, then the identical warm pass.
+    let measure = |backends: usize| -> (f64, f64) {
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig { replication: 0, probe_interval: Duration::from_millis(500), spread: 1 },
+        )
+        .expect("bind router");
+        let mut stand_in = ThreadBackends(Vec::new());
+        for _ in 0..backends {
+            match &xknn {
+                Some(bin) => {
+                    router.spawn_backend(bin, &[]).expect("spawn backend");
+                }
+                None => {
+                    let server = knn_server::Server::bind(
+                        "127.0.0.1:0",
+                        knn_server::ServerConfig::default(),
+                    )
+                    .expect("bind backend");
+                    let handle = server.spawn();
+                    router.attach(handle.addr());
+                    stand_in.0.push(handle);
+                }
+            }
+        }
+        router.load("hot", LoadSource::Text(&hot_text), None).expect("load hot tenant");
+        let handle = router.spawn();
+
+        let (cold, cold_out) = run_clients(handle.addr(), &streams);
+        for out in &cold_out {
+            for line in out {
+                assert!(!line.contains("\"ok\":false"), "error response: {line}");
+            }
+        }
+        // Warm = steady state. Caches are replica-local (a query hits only
+        // on the replica that computed it, and connections re-anchor per
+        // pass), so replay the identical streams a few times and take the
+        // best pass. Every pass must stay byte-identical to the cold one —
+        // replica choice and cache state are invisible in the bytes.
+        let mut warm = f64::INFINITY;
+        for _ in 0..3 {
+            let (w, warm_out) = run_clients(handle.addr(), &streams);
+            assert_eq!(cold_out, warm_out, "warm pass changed response bytes");
+            warm = warm.min(w);
+        }
+
+        handle.shutdown(); // also stops spawned backend processes
+        for h in stand_in.0.drain(..) {
+            h.shutdown();
+        }
+        (total / cold, total / warm)
+    };
+
+    let backend_counts = [1usize, 2, 4];
+    for (bi, &backends) in backend_counts.iter().enumerate() {
+        // Best of `rounds` fully-fresh measurements: a 960-query pass on a
+        // loaded CI box is noisy, and best-of isolates the topology effect
+        // from scheduler luck.
+        let (mut cold_qps, mut warm_qps) = (0f64, 0f64);
+        for _ in 0..rounds {
+            let (c, w) = measure(backends);
+            cold_qps = cold_qps.max(c);
+            warm_qps = warm_qps.max(w);
+        }
+        println!(
+            "{backends} backend(s)   cold {cold_qps:>9.1} q/s   warm {warm_qps:>11.1} q/s   speedup {:>6.1}x",
+            warm_qps / cold_qps
+        );
+        let _ = writeln!(
+            json,
+            "  \"backends_{backends}\": {{\"cold_qps\": {cold_qps:.1}, \"warm_qps\": {warm_qps:.1}, \"cache_speedup\": {:.1}}}{}",
+            warm_qps / cold_qps,
+            if bi + 1 < backend_counts.len() { "," } else { "" }
+        );
+    }
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(path, &json).expect("write BENCH_cluster.json");
+    println!("wrote {path}");
+}
+
+/// Renders a boolean dataset in the `+/-` text format the `load` verb takes.
+fn dataset_text(ds: &knn_space::BooleanDataset) -> String {
+    let mut out = String::new();
+    for (bits, label) in ds.iter() {
+        out.push(if label == knn_space::Label::Positive { '+' } else { '-' });
+        for i in 0..ds.dim() {
+            out.push(' ');
+            out.push(if bits.get(i) { '1' } else { '0' });
+        }
+        out.push('\n');
+    }
+    out
+}

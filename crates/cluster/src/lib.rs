@@ -1,0 +1,998 @@
+//! # knn-cluster — a sharding/replication router over `knn-server` backends
+//!
+//! One `knn-server` process multiplexes many tenants; this crate scales the
+//! other axis: **one (hot) tenant across many server processes**. A router
+//! process fronts N backends, speaking the same newline-delimited JSON
+//! protocol on both sides — for query and error lines, clients cannot tell
+//! a router from a server by the bytes (control verbs answer with
+//! cluster-shaped members: replica sets, per-backend health):
+//!
+//! ```text
+//!                        ┌─ placement map: tenant ─rendezvous-hash→ replicas
+//!  client ──TCP──► router│                                    [`placement`]
+//!                        ├─ backend pool: spawn-or-attach, health probes,
+//!                        │  mark-down / mark-up                    [`pool`]
+//!                        └─ per-connection scatter-gather:
+//!                           queries round-robin over replicas,
+//!                           responses merged in request order   [`scatter`]
+//!                                │
+//!                 ┌──────────────┼──────────────┐
+//!            knn-server     knn-server     knn-server   (N processes)
+//! ```
+//!
+//! * **Backend pool** — spawn `xknn serve` children on ephemeral ports or
+//!   attach to already-running servers; a probe thread polls each backend's
+//!   `stats` verb (`health`/`uptime_ms`) and marks backends up; any TCP
+//!   failure marks them down.
+//! * **Placement map** — `load` assigns a tenant a replica set by
+//!   deterministic rendezvous hashing (optionally `"replicas":r` per tenant)
+//!   and fans the dataset out to every replica; `unload` retracts it.
+//! * **Batch scatter-gather** — a client's pipelined batch is partitioned
+//!   round-robin across its tenant's replicas and merged back in sequence
+//!   order. Each query is a pure function of `(dataset, config, request)`,
+//!   so request-level sharding keeps the response stream **byte-identical**
+//!   to a single server — including under replica failure, when pending
+//!   queries are redispatched to survivors (see [`scatter`] for the failure
+//!   model).
+//! * **Cluster stats** — the router's `stats` verb aggregates per-backend
+//!   admission and per-tenant cache counters into one cluster view.
+//!
+//! The `xknn router` subcommand wires this to the shell; the
+//! `router_throughput` bench records 1/2/4-backend cold and warm throughput
+//! in `BENCH_cluster.json`.
+
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod pool;
+mod scatter;
+
+pub use placement::{PlacementMap, TenantPlacement};
+pub use pool::{Backend, BackendPool, BackendSnapshot};
+
+use knn_engine::json::{parse_bytes, Value};
+use knn_server::proto::{self, Command};
+use scatter::{Dispatcher, PendingQuery};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Default replicas per tenant when a `load` names none
+    /// (`0` = replicate on every backend).
+    pub replication: usize,
+    /// Health-probe cadence (`Duration::ZERO` disables the probe loop;
+    /// data-path failures still mark backends down, but nothing marks them
+    /// up again).
+    pub probe_interval: Duration,
+    /// How many replicas one client connection's batch scatters over
+    /// (`0` = all of them). Full spread maximizes one client's parallelism;
+    /// `--spread 1` gives each connection a single anchored replica (with
+    /// the rest as failover fallback), which minimizes per-backend
+    /// connection fan-in when clients outnumber replicas. Response bytes
+    /// are identical either way.
+    pub spread: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig { replication: 0, probe_interval: Duration::from_millis(500), spread: 0 }
+    }
+}
+
+/// Where a `load` fan-out takes the dataset from.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadSource<'a> {
+    /// A file the *router* reads and forwards inline (backends need not
+    /// share a filesystem with it).
+    Path(&'a str),
+    /// Inline dataset text.
+    Text(&'a str),
+}
+
+struct RouterShared {
+    pool: Arc<BackendPool>,
+    placement: Arc<PlacementMap>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+    probe_interval: Duration,
+    spread: usize,
+    /// Connection counter, anchoring successive connections on different
+    /// replicas.
+    conn_counter: AtomicUsize,
+    /// Retained dataset text per tenant, so the probe loop can re-load a
+    /// replica that restarted with an empty registry.
+    sources: Mutex<BTreeMap<String, Arc<str>>>,
+    /// Serializes `load` fan-outs: the already-loaded check, the backend
+    /// roundtrips, and the placement/sources records must not interleave
+    /// between two concurrent loads of the same name (split-brain: replicas
+    /// holding one client's text under a placement recording the other's).
+    /// Loads are rare control-plane work, so holding a lock across the
+    /// roundtrips is fine.
+    load_lock: Mutex<()>,
+}
+
+/// The router process: bind, attach/spawn backends, preload tenants, then
+/// [`Router::serve`] (blocking) or [`Router::spawn`] (background thread).
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Binds the client-facing listener to `addr` (`127.0.0.1:0` for an
+    /// ephemeral port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: RouterConfig) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            pool: Arc::new(BackendPool::new()),
+            placement: Arc::new(PlacementMap::new(config.replication)),
+            shutdown: AtomicBool::new(false),
+            addr,
+            started: Instant::now(),
+            probe_interval: config.probe_interval,
+            spread: config.spread,
+            conn_counter: AtomicUsize::new(0),
+            sources: Mutex::new(BTreeMap::new()),
+            load_lock: Mutex::new(()),
+        });
+        Ok(Router { listener, shared })
+    }
+
+    /// The bound client-facing address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The backend pool (attach backends before serving).
+    pub fn pool(&self) -> &BackendPool {
+        &self.shared.pool
+    }
+
+    /// The placement map.
+    pub fn placement(&self) -> &PlacementMap {
+        &self.shared.placement
+    }
+
+    /// Registers an already-running backend server.
+    pub fn attach(&self, addr: SocketAddr) -> Arc<Backend> {
+        self.shared.pool.attach(addr)
+    }
+
+    /// Spawns an owned `xknn serve` backend child on an ephemeral port.
+    /// `extra_args` go to the child verbatim (e.g. `--workers`, `--cache`).
+    pub fn spawn_backend(
+        &self,
+        xknn: &std::path::Path,
+        extra_args: &[String],
+    ) -> std::io::Result<Arc<Backend>> {
+        self.shared.pool.spawn(xknn, extra_args)
+    }
+
+    /// Places `name` by rendezvous hash and fans the dataset out to every
+    /// replica. Returns the replica ids.
+    pub fn load(
+        &self,
+        name: &str,
+        source: LoadSource<'_>,
+        replication: Option<usize>,
+    ) -> Result<Vec<usize>, String> {
+        fan_out_load(&self.shared, name, source, Placement::Auto(replication))
+    }
+
+    /// [`Router::load`] with an explicit replica set (operator override /
+    /// test pinning) instead of rendezvous placement.
+    pub fn load_pinned(
+        &self,
+        name: &str,
+        source: LoadSource<'_>,
+        replicas: Vec<usize>,
+    ) -> Result<Vec<usize>, String> {
+        fan_out_load(&self.shared, name, source, Placement::Pinned(replicas))
+    }
+
+    /// Accepts client connections until a client sends `shutdown`. Also
+    /// starts the health-probe loop.
+    pub fn serve(self) -> std::io::Result<()> {
+        start_probe_loop(&self.shared);
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = self.shared.clone();
+            std::thread::spawn(move || {
+                // A client connection's I/O errors must never take the
+                // router down.
+                let _ = route_connection(stream, &shared);
+            });
+        }
+        // Spawned backends die with the router.
+        self.shared.pool.shutdown_spawned();
+        Ok(())
+    }
+
+    /// Runs [`Router::serve`] on a background thread.
+    pub fn spawn(self) -> RouterHandle {
+        let shared = self.shared.clone();
+        let join = std::thread::spawn(move || {
+            let _ = self.serve();
+        });
+        RouterHandle { shared, join }
+    }
+}
+
+/// Handle to a router running in the background.
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    join: JoinHandle<()>,
+}
+
+impl RouterHandle {
+    /// The router's client-facing address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Stops the accept loop, joins it, and shuts down spawned backends.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.shared.addr);
+        let _ = self.join.join();
+    }
+}
+
+/// The probe loop doubles as a **reconciler**: each round, every backend
+/// that answers its `stats` probe has the probe's tenant list compared to
+/// the placement map, and any placed tenant missing from one of its
+/// replicas (a backend that restarted with an empty registry, i.e.
+/// recovered amnesiac) is re-loaded from the router's retained dataset
+/// text. Until that converges, the scatter layer's not-loaded redispatch
+/// (see [`scatter`]) keeps response bytes correct.
+fn start_probe_loop(shared: &Arc<RouterShared>) {
+    if shared.probe_interval.is_zero() {
+        return;
+    }
+    let shared = shared.clone();
+    std::thread::spawn(move || {
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            for backend in shared.pool.backends() {
+                if let Some(stats) = backend.probe() {
+                    reconcile_backend(&shared, &backend, &stats);
+                }
+            }
+            std::thread::sleep(shared.probe_interval);
+        }
+    });
+}
+
+/// Re-loads any placed tenant this backend replicates but no longer holds
+/// (`stats` is the probe response just received from it). Serialized with
+/// `load`/`unload` by the load lock — otherwise a reconcile running off a
+/// stale placement snapshot could re-load a tenant a concurrent `unload`
+/// just removed, stranding it on the backend (where it would then refuse
+/// any future `load` under that name).
+fn reconcile_backend(shared: &Arc<RouterShared>, backend: &Backend, stats: &str) {
+    let _load_serialized = shared.load_lock.lock().unwrap();
+    let placements = shared.placement.list();
+    if placements.is_empty() {
+        return;
+    }
+    let Ok(v) = parse_bytes(stats.as_bytes()) else { return };
+    let held: std::collections::BTreeSet<&str> = v
+        .get("tenants")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|t| t.get("name").and_then(Value::as_str))
+        .collect();
+    for t in &placements {
+        if !t.replicas.contains(&backend.id) || held.contains(t.name.as_str()) {
+            continue;
+        }
+        let source = shared.sources.lock().unwrap().get(&t.name).cloned();
+        if let Some(text) = source {
+            let _ = backend.control_roundtrip(&load_line(&t.name, &text));
+        }
+    }
+}
+
+/// The wire line that loads `name` from inline `text` on a backend.
+fn load_line(name: &str, text: &str) -> String {
+    Value::Object(vec![
+        ("id".into(), Value::String("fanout".into())),
+        ("verb".into(), Value::String("load".into())),
+        ("name".into(), Value::String(name.to_string())),
+        ("text".into(), Value::String(text.to_string())),
+    ])
+    .to_json()
+}
+
+/// How a `load` picks its candidate replica set.
+enum Placement {
+    Auto(Option<usize>),
+    Pinned(Vec<usize>),
+}
+
+/// Places a tenant and fans its dataset out to every candidate replica.
+/// Only the replicas that **acknowledge** the load become the tenant's
+/// replica set — a backend that is down, or already serves something else
+/// under the same name, must never be routed queries for data it does not
+/// hold. The dataset text is retained so the probe loop can re-load an
+/// acknowledged replica that later restarts empty.
+fn fan_out_load(
+    shared: &Arc<RouterShared>,
+    name: &str,
+    source: LoadSource<'_>,
+    placement: Placement,
+) -> Result<Vec<usize>, String> {
+    let _load_serialized = shared.load_lock.lock().unwrap();
+    let n = shared.pool.len();
+    if n == 0 {
+        return Err("no backends attached".into());
+    }
+    if shared.placement.get(name).is_some() {
+        return Err(format!("dataset `{name}` is already loaded (unload it first)"));
+    }
+    let text = match source {
+        LoadSource::Text(t) => t.to_string(),
+        LoadSource::Path(p) => {
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?
+        }
+    };
+    let candidates = match placement {
+        Placement::Auto(replication) => shared.placement.rendezvous(name, n, replication),
+        Placement::Pinned(ids) => {
+            if ids.is_empty() || ids.iter().any(|&id| id >= n) {
+                return Err(format!("pinned replicas {ids:?} out of range (pool size {n})"));
+            }
+            ids
+        }
+    };
+    let line = load_line(name, &text);
+
+    let mut acked = Vec::new();
+    let mut first_err = None;
+    for &id in &candidates {
+        let result = match shared.pool.get(id) {
+            Some(backend) => backend.control_roundtrip(&line).and_then(|resp| {
+                match parse_bytes(resp.as_bytes()) {
+                    Ok(v) if matches!(v.get("ok"), Some(Value::Bool(true))) => Ok(()),
+                    Ok(v) => Err(v
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("backend refused the load")
+                        .to_string()),
+                    Err(e) => Err(format!("unparseable backend response: {e}")),
+                }
+            }),
+            None => Err(format!("no backend with id {id}")),
+        };
+        match result {
+            Ok(()) => acked.push(id),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if acked.is_empty() {
+        return Err(first_err.unwrap_or_else(|| "load failed on every replica".into()));
+    }
+    shared.sources.lock().unwrap().insert(name.to_string(), Arc::from(text.as_str()));
+    shared.placement.pin(name, acked.clone());
+    Ok(acked)
+}
+
+/// Fans `unload` out to the tenant's replicas and retracts the placement.
+/// Holds the load lock so it cannot interleave with a `load` or a
+/// reconcile of the same name.
+fn fan_out_unload(shared: &Arc<RouterShared>, name: &str) -> Result<Vec<usize>, String> {
+    let _load_serialized = shared.load_lock.lock().unwrap();
+    let replicas = shared.placement.remove(name)?;
+    shared.sources.lock().unwrap().remove(name);
+    let line = Value::Object(vec![
+        ("id".into(), Value::String("fanout".into())),
+        ("verb".into(), Value::String("unload".into())),
+        ("name".into(), Value::String(name.to_string())),
+    ])
+    .to_json();
+    for &id in &replicas {
+        if let Some(backend) = shared.pool.get(id) {
+            // Best-effort: a dead replica has nothing to unload.
+            let _ = backend.control_roundtrip(&line);
+        }
+    }
+    Ok(replicas)
+}
+
+/// One client connection: parse, scatter queries, barrier control verbs —
+/// the same loop shape as `knn_server::serve_connection`, with the worker
+/// pool replaced by the [`scatter::Dispatcher`].
+fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (out_tx, out_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+    let writer = std::thread::spawn(move || scatter::writer_loop(stream, out_rx));
+    let disp = Dispatcher::new(
+        shared.pool.clone(),
+        shared.placement.clone(),
+        out_tx.clone(),
+        shared.conn_counter.fetch_add(1, Ordering::Relaxed),
+        shared.spread,
+    );
+
+    let mut seq = 0u64;
+    let mut lineno = 0u64;
+    let mut dispatched = 0u64;
+    let mut buf = Vec::new();
+    let mut quit = false;
+    let mut shutdown_after_flush = false;
+    while !quit {
+        buf.clear();
+        // A read error mid-connection must still fall through to the
+        // teardown below, or this connection's receiver threads would leak.
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        lineno += 1;
+        let line = buf.trim_ascii();
+        if line.is_empty() {
+            continue; // blank lines get no response, exactly like the server
+        }
+        let default_id = lineno.to_string();
+        match proto::parse_line_value(line, &default_id) {
+            Err(e) => {
+                let msg = format!("line {lineno}: {e}");
+                let _ = out_tx.send((seq, proto::error_line(&default_id, &msg).into_bytes()));
+            }
+            Ok((parsed, value)) => match parsed.command {
+                Command::Query { dataset, request } => {
+                    if shared.placement.get(&dataset).is_some() {
+                        let has_id = value.get("id").is_some();
+                        disp.dispatch(PendingQuery {
+                            seq,
+                            id: request.id,
+                            tenant: dataset,
+                            line: forward_query_line(line, &default_id, has_id),
+                            attempts: 0,
+                        });
+                        dispatched += 1;
+                    } else {
+                        // Byte-identical to the single server's answer.
+                        let msg = format!("no dataset named `{dataset}` (try the load verb)");
+                        let _ =
+                            out_tx.send((seq, proto::error_line(&request.id, &msg).into_bytes()));
+                    }
+                }
+                command => {
+                    // Control barrier: every earlier query on this connection
+                    // has a final response before a control verb runs.
+                    disp.wait_completed(dispatched);
+                    if matches!(command, Command::Shutdown) {
+                        shutdown_after_flush = true;
+                    }
+                    // `load` may carry a per-tenant `"replicas":r` member the
+                    // shared proto doesn't model.
+                    let replicas_hint = if matches!(command, Command::Load { .. }) {
+                        value.get("replicas").and_then(Value::as_u64).map(|r| r as usize)
+                    } else {
+                        None
+                    };
+                    let (resp, close) =
+                        run_cluster_control(shared, &parsed.id, command, replicas_hint);
+                    let _ = out_tx.send((seq, resp.into_bytes()));
+                    quit = close;
+                }
+            },
+        }
+        seq += 1;
+    }
+
+    // Teardown: every dispatched query gets its final response, then the
+    // backend channels close gracefully and the writer flushes out. The
+    // dispatcher holds an `out_tx` clone, so it must be dropped (after
+    // `close` joined the receiver threads holding its other references) or
+    // the writer would never see the channel close and the client
+    // connection would never shut.
+    disp.wait_completed(dispatched);
+    disp.close();
+    drop(disp);
+    drop(out_tx);
+    let _ = writer.join();
+    if shutdown_after_flush {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(shared.addr);
+    }
+    Ok(())
+}
+
+/// The bytes forwarded to a backend for a client's query line: the raw line
+/// itself — the backend computes the response from the parsed request, and
+/// parsing is bytes-in-semantics-out — except that a line with no `"id"`
+/// member (`has_id`, from the caller's already-parsed view of the line)
+/// gets the client's line number injected, because the backend's own line
+/// counter (the default id) will not match the client's. The splice
+/// preserves every other byte, so numeric formatting in `point` etc. is
+/// untouched.
+fn forward_query_line(raw: &[u8], default_id: &str, has_id: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() + default_id.len() + 12);
+    if has_id {
+        out.extend_from_slice(raw);
+    } else {
+        let brace = raw.iter().position(|&b| b == b'{').unwrap_or(0);
+        out.extend_from_slice(&raw[..=brace]);
+        out.extend_from_slice(b"\"id\":");
+        out.extend_from_slice(Value::String(default_id.to_string()).to_json().as_bytes());
+        out.push(b',');
+        out.extend_from_slice(&raw[brace + 1..]);
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Executes one control verb at the router. Returns the response line and
+/// whether the connection closes afterwards.
+fn run_cluster_control(
+    shared: &Arc<RouterShared>,
+    id: &str,
+    command: Command,
+    replicas_hint: Option<usize>,
+) -> (String, bool) {
+    let num = |n: usize| Value::Number(n as f64);
+    let ids = |v: &[usize]| Value::Array(v.iter().map(|&i| num(i)).collect());
+    match command {
+        Command::Query { .. } => unreachable!("queries are dispatched by the caller"),
+        Command::Load { name, path, text } => {
+            let source = match (&text, &path) {
+                (Some(t), None) => LoadSource::Text(t),
+                (None, Some(p)) => LoadSource::Path(p),
+                _ => unreachable!("parse_line enforces exactly one of path/text"),
+            };
+            match fan_out_load(shared, &name, source, Placement::Auto(replicas_hint)) {
+                Err(e) => (proto::error_line(id, &e), false),
+                Ok(replicas) => {
+                    let line = proto::ok_line(
+                        id,
+                        vec![
+                            ("loaded".into(), Value::String(name)),
+                            ("replicas".into(), ids(&replicas)),
+                        ],
+                    );
+                    (line, false)
+                }
+            }
+        }
+        Command::Unload { name } => match fan_out_unload(shared, &name) {
+            Err(e) => (proto::error_line(id, &e), false),
+            Ok(replicas) => {
+                let line = proto::ok_line(
+                    id,
+                    vec![
+                        ("unloaded".into(), Value::String(name)),
+                        ("replicas".into(), ids(&replicas)),
+                    ],
+                );
+                (line, false)
+            }
+        },
+        Command::List => {
+            let datasets: Vec<Value> = shared
+                .placement
+                .list()
+                .into_iter()
+                .map(|t| {
+                    Value::Object(vec![
+                        ("name".into(), Value::String(t.name)),
+                        ("replicas".into(), ids(&t.replicas)),
+                    ])
+                })
+                .collect();
+            (proto::ok_line(id, vec![("datasets".into(), Value::Array(datasets))]), false)
+        }
+        Command::Stats => (cluster_stats_line(shared, id), false),
+        Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
+        Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
+        Command::Shutdown => {
+            (proto::ok_line(id, vec![("shutdown".into(), Value::Bool(true))]), true)
+        }
+    }
+}
+
+/// Per-tenant counters summed over backends.
+#[derive(Default)]
+struct TenantAgg {
+    replicas: Vec<usize>,
+    requests: u64,
+    errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    artifacts_built: u64,
+}
+
+/// The cluster `stats` verb: one `stats` roundtrip per live backend,
+/// aggregated into a cluster view (admission totals, per-tenant counters
+/// summed over replicas) plus per-backend health. Parsing is total — a
+/// backend answering garbage just contributes nothing.
+fn cluster_stats_line(shared: &Arc<RouterShared>, id: &str) -> String {
+    let num = |n: usize| Value::Number(n as f64);
+    let num64 = |n: u64| Value::Number(n as f64);
+    let u = |v: Option<&Value>| v.and_then(Value::as_u64).unwrap_or(0);
+
+    let mut tenants: BTreeMap<String, TenantAgg> = shared
+        .placement
+        .list()
+        .into_iter()
+        .map(|t| (t.name, TenantAgg { replicas: t.replicas, ..TenantAgg::default() }))
+        .collect();
+    let mut budget = 0u64;
+    let mut granted = 0u64;
+    let mut answering = 0usize;
+    let mut backends_json = Vec::new();
+    for backend in shared.pool.backends() {
+        let stats = if backend.is_healthy() {
+            backend
+                .control_roundtrip(r#"{"id":"agg","verb":"stats"}"#)
+                .ok()
+                .and_then(|resp| parse_bytes(resp.as_bytes()).ok())
+                .filter(|v| matches!(v.get("ok"), Some(Value::Bool(true))))
+        } else {
+            None
+        };
+        if let Some(v) = &stats {
+            answering += 1;
+            let adm = v.get("admission");
+            budget += u(adm.and_then(|a| a.get("budget")));
+            granted += u(adm.and_then(|a| a.get("granted")));
+            for t in v.get("tenants").and_then(Value::as_array).unwrap_or(&[]) {
+                let Some(name) = t.get("name").and_then(Value::as_str) else { continue };
+                // Only tenants the router placed: a backend may serve others.
+                let Some(agg) = tenants.get_mut(name) else { continue };
+                agg.requests += u(t.get("requests"));
+                agg.errors += u(t.get("errors"));
+                let cache = t.get("cache");
+                agg.cache_hits += u(cache.and_then(|c| c.get("hits")));
+                agg.cache_misses += u(cache.and_then(|c| c.get("misses")));
+                agg.artifacts_built += u(t.get("artifacts_built"));
+            }
+        }
+        let snap = backend.snapshot();
+        backends_json.push(Value::Object(vec![
+            ("id".into(), num(snap.id)),
+            ("addr".into(), Value::String(snap.addr.to_string())),
+            ("healthy".into(), Value::Bool(snap.healthy)),
+            ("spawned".into(), Value::Bool(snap.spawned)),
+            ("probes_ok".into(), num64(snap.probes_ok)),
+            ("probes_failed".into(), num64(snap.probes_failed)),
+        ]));
+    }
+    let tenants_json: Vec<Value> = tenants
+        .into_iter()
+        .map(|(name, agg)| {
+            Value::Object(vec![
+                ("name".into(), Value::String(name)),
+                ("replicas".into(), Value::Array(agg.replicas.iter().map(|&i| num(i)).collect())),
+                ("requests".into(), num64(agg.requests)),
+                ("errors".into(), num64(agg.errors)),
+                ("cache_hits".into(), num64(agg.cache_hits)),
+                ("cache_misses".into(), num64(agg.cache_misses)),
+                ("artifacts_built".into(), num64(agg.artifacts_built)),
+            ])
+        })
+        .collect();
+    let cluster = Value::Object(vec![
+        ("backends".into(), num(shared.pool.len())),
+        ("answering".into(), num(answering)),
+        ("uptime_ms".into(), num64(shared.started.elapsed().as_millis() as u64)),
+    ]);
+    proto::ok_line(
+        id,
+        vec![
+            ("health".into(), Value::String("ok".into())),
+            ("cluster".into(), cluster),
+            (
+                "admission".into(),
+                Value::Object(vec![
+                    ("budget".into(), num64(budget)),
+                    ("granted".into(), num64(granted)),
+                ]),
+            ),
+            ("backends".into(), Value::Array(backends_json)),
+            ("tenants".into(), Value::Array(tenants_json)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_server::{Client, Server, ServerConfig};
+
+    const BOOL: &str = "+ 1 1 1\n+ 1 1 0\n- 0 0 0\n- 0 0 1\n";
+
+    fn backend() -> knn_server::ServerHandle {
+        Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap().spawn()
+    }
+
+    fn router_over(handles: &[&knn_server::ServerHandle]) -> RouterHandle {
+        let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
+        for h in handles {
+            router.attach(h.addr());
+        }
+        router.load("toy", LoadSource::Text(BOOL), None).unwrap();
+        router.spawn()
+    }
+
+    #[test]
+    fn end_to_end_over_two_backends() {
+        let (b0, b1) = (backend(), backend());
+        let handle = router_over(&[&b0, &b1]);
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let pong = c.roundtrip(r#"{"id":"p","verb":"ping"}"#).unwrap();
+        assert_eq!(pong, r#"{"id":"p","ok":true,"pong":true}"#);
+
+        // The same queries a single server would get, same response bytes.
+        let resp = c
+            .roundtrip(
+                r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[1,1,1]}"#,
+            )
+            .unwrap();
+        assert_eq!(resp, r#"{"id":"q","ok":true,"route":"hamming-index","label":"+"}"#);
+
+        // A query without an id gets the client's line number, not the
+        // backend connection's.
+        for _ in 0..3 {
+            c.roundtrip(r#"{"verb":"list"}"#).unwrap(); // advance the line counter
+        }
+        let resp = c
+            .roundtrip(r#"{"dataset":"toy","cmd":"classify","metric":"hamming","point":[0,0,0]}"#)
+            .unwrap();
+        assert!(resp.starts_with(r#"{"id":"6","#), "{resp}");
+
+        let missing = c.roundtrip(r#"{"dataset":"nope","id":"m","cmd":"classify","point":[1]}"#);
+        assert!(missing.unwrap().contains("no dataset named `nope`"));
+
+        let list = c.roundtrip(r#"{"id":"ls","verb":"list"}"#).unwrap();
+        assert!(list.contains(r#""name":"toy""#) && list.contains(r#""replicas":[0,1]"#), "{list}");
+
+        let stats = c.roundtrip(r#"{"id":"st","verb":"stats"}"#).unwrap();
+        assert!(stats.contains(r#""health":"ok""#), "{stats}");
+        assert!(stats.contains(r#""answering":2"#), "{stats}");
+        // The barrier makes the aggregated request counter deterministic:
+        // both queries above are counted, on whichever replicas ran them.
+        assert!(stats.contains(r#""requests":2"#), "{stats}");
+
+        let un = c.roundtrip(r#"{"id":"u","verb":"unload","name":"toy"}"#).unwrap();
+        assert!(un.contains(r#""unloaded":"toy""#), "{un}");
+        let gone = c.roundtrip(r#"{"dataset":"toy","id":"g","cmd":"classify","point":[1]}"#);
+        assert!(gone.unwrap().contains("no dataset named"), "tenant unloaded");
+
+        let bye = c.roundtrip(r#"{"id":"q","verb":"quit"}"#).unwrap();
+        assert!(bye.contains(r#""bye":true"#), "{bye}");
+        assert_eq!(c.recv().unwrap(), None, "router closes after quit");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn load_with_replication_hint_and_reload_refused() {
+        let (b0, b1) = (backend(), backend());
+        let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
+        router.attach(b0.addr());
+        router.attach(b1.addr());
+        let handle = router.spawn();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let one = c
+            .roundtrip(&format!(
+                r#"{{"id":"l","verb":"load","name":"solo","replicas":1,"text":{}}}"#,
+                Value::String(BOOL.into()).to_json()
+            ))
+            .unwrap();
+        assert!(one.contains(r#""ok":true"#), "{one}");
+        let replicas: Vec<char> = one.chars().filter(|c| c.is_ascii_digit()).collect();
+        assert_eq!(replicas.len(), 1, "one replica placed: {one}");
+
+        let again =
+            c.roundtrip(r#"{"id":"l2","verb":"load","name":"solo","text":"+ 1\n- 0"}"#).unwrap();
+        assert!(again.contains("already loaded"), "{again}");
+
+        // Queries work against a replication-1 tenant.
+        let resp = c
+            .roundtrip(
+                r#"{"dataset":"solo","id":"q","cmd":"classify","metric":"hamming","point":[1,0,1]}"#,
+            )
+            .unwrap();
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_the_connection_survives() {
+        let b0 = backend();
+        let handle = router_over(&[&b0]);
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for bad in ["not json", "{\"verb\":\"fly\"}", "[]", "{\"cmd\":\"classify\"}"] {
+            let resp = c.roundtrip(bad).unwrap();
+            assert!(resp.contains(r#""ok":false"#), "{bad} -> {resp}");
+        }
+        let resp = c
+            .roundtrip(r#"{"dataset":"toy","cmd":"classify","metric":"hamming","point":[0,0,0]}"#)
+            .unwrap();
+        assert!(resp.contains(r#""label":"-""#), "{resp}");
+        handle.shutdown();
+        b0.shutdown();
+    }
+
+    #[test]
+    fn dead_replica_at_dispatch_time_fails_over_to_the_survivor() {
+        let live = backend();
+        // A backend that is gone before the first query: bind-then-drop.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig { probe_interval: Duration::ZERO, ..RouterConfig::default() },
+        )
+        .unwrap();
+        router.attach(live.addr());
+        router.attach(dead_addr);
+        router.load("toy", LoadSource::Text(BOOL), None).unwrap();
+        let handle = router.spawn();
+
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // Round-robin would alternate replicas; every query must still be
+        // answered (by the survivor), bytes intact.
+        for i in 0..8 {
+            let resp = c
+                .roundtrip(&format!(
+                    r#"{{"dataset":"toy","id":"q{i}","cmd":"classify","metric":"hamming","point":[1,1,{}]}}"#,
+                    i % 2
+                ))
+                .unwrap();
+            assert!(resp.starts_with(&format!("{{\"id\":\"q{i}\",\"ok\":true")), "{resp}");
+        }
+        handle.shutdown();
+        live.shutdown();
+    }
+
+    #[test]
+    fn spread_one_anchors_connections_but_still_fails_over() {
+        let live = backend();
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig { spread: 1, probe_interval: Duration::ZERO, ..RouterConfig::default() },
+        )
+        .unwrap();
+        router.attach(dead_addr); // id 0: some connections anchor here
+        router.attach(live.addr());
+        router.load("toy", LoadSource::Text(BOOL), None).unwrap();
+        let handle = router.spawn();
+
+        // Several connections: whichever anchor each one gets, every query
+        // must be answered correctly (dead-anchored connections fall back
+        // beyond their window).
+        for conn in 0..4 {
+            let mut c = Client::connect(handle.addr()).unwrap();
+            let resp = c
+                .roundtrip(
+                    r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[1,1,1]}"#,
+                )
+                .unwrap();
+            assert_eq!(
+                resp, r#"{"id":"q","ok":true,"route":"hamming-index","label":"+"}"#,
+                "connection {conn}"
+            );
+        }
+        handle.shutdown();
+        live.shutdown();
+    }
+
+    #[test]
+    fn load_records_only_acknowledging_replicas() {
+        let live = backend();
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig { probe_interval: Duration::ZERO, ..RouterConfig::default() },
+        )
+        .unwrap();
+        router.attach(live.addr()); // id 0
+        router.attach(dead_addr); // id 1: never acks the load
+        let replicas = router.load("toy", LoadSource::Text(BOOL), None).unwrap();
+        assert_eq!(replicas, vec![0], "only the acking replica is placed");
+
+        let handle = router.spawn();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let list = c.roundtrip(r#"{"id":"ls","verb":"list"}"#).unwrap();
+        assert!(list.contains(r#""replicas":[0]"#), "{list}");
+        // Queries never touch the backend that never loaded the data.
+        let resp = c
+            .roundtrip(
+                r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[1,1,1]}"#,
+            )
+            .unwrap();
+        assert_eq!(resp, r#"{"id":"q","ok":true,"route":"hamming-index","label":"+"}"#);
+
+        handle.shutdown();
+        live.shutdown();
+    }
+
+    #[test]
+    fn amnesiac_replica_is_masked_and_reconciled() {
+        let (b0, b1) = (backend(), backend());
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig { probe_interval: Duration::from_millis(50), ..RouterConfig::default() },
+        )
+        .unwrap();
+        router.attach(b0.addr());
+        router.attach(b1.addr());
+        router.load("toy", LoadSource::Text(BOOL), None).unwrap();
+        let handle = router.spawn();
+
+        // A replica loses the tenant behind the router's back (the shape of
+        // a backend restarting with an empty registry).
+        let mut direct = Client::connect(b1.addr()).unwrap();
+        let un = direct.roundtrip(r#"{"verb":"unload","name":"toy"}"#).unwrap();
+        assert!(un.contains(r#""ok":true"#), "{un}");
+
+        // Response bytes stay oracle-identical throughout: the amnesiac
+        // replica's "no dataset" answers are retried on the survivor.
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for i in 0..12 {
+            let resp = c
+                .roundtrip(&format!(
+                    r#"{{"dataset":"toy","id":"q{i}","cmd":"classify","metric":"hamming","point":[1,1,1]}}"#
+                ))
+                .unwrap();
+            assert_eq!(
+                resp,
+                format!(r#"{{"id":"q{i}","ok":true,"route":"hamming-index","label":"+"}}"#)
+            );
+        }
+
+        // The probe loop's reconciler re-loads the tenant onto the replica.
+        let mut reloaded = false;
+        for _ in 0..100 {
+            let stats = direct.roundtrip(r#"{"verb":"stats"}"#).unwrap();
+            if stats.contains(r#""name":"toy""#) {
+                reloaded = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(reloaded, "probe loop never re-loaded the amnesiac replica");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn router_with_no_backends_refuses_load() {
+        let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
+        assert!(router.load("x", LoadSource::Text(BOOL), None).is_err());
+    }
+}

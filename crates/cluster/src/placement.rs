@@ -1,0 +1,169 @@
+//! The placement map: which backends replicate which tenant.
+//!
+//! Assignment is **rendezvous hashing** (highest random weight): every
+//! `(tenant, backend)` pair gets a deterministic 64-bit score and a tenant's
+//! replicas are the top-`r` backends by score. Two properties make this the
+//! right fit here:
+//!
+//! * **determinism** — the same tenant name and backend set always produce
+//!   the same replica set, so `load` fan-out, query dispatch, and a restarted
+//!   router all agree without any coordination state;
+//! * **minimal disruption** — adding a backend moves only the tenants whose
+//!   top-`r` set it enters; nothing else re-shuffles.
+//!
+//! Placement is over *all* backends, not just healthy ones: health is a
+//! dispatch-time concern (retry on another replica), never a placement
+//! concern — otherwise a blip would silently migrate a tenant onto backends
+//! that never loaded its dataset.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One tenant's placement: the backend ids replicating it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantPlacement {
+    /// Tenant name.
+    pub name: String,
+    /// Backend ids holding a replica, in rendezvous-score order.
+    pub replicas: Vec<usize>,
+}
+
+/// The tenant → replicas map (see module docs).
+pub struct PlacementMap {
+    default_replication: usize,
+    tenants: Mutex<BTreeMap<String, Vec<usize>>>,
+}
+
+/// FNV-1a over the tenant name and backend id: deterministic across runs and
+/// platforms (unlike `DefaultHasher`, which is seeded per process — a router
+/// restart must not re-place every tenant).
+fn rendezvous_score(tenant: &str, backend: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in tenant.as_bytes().iter().chain(&(backend as u64).to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl PlacementMap {
+    /// An empty map. `default_replication` is the replica count used when a
+    /// `load` names none (`0` = replicate on every backend).
+    pub fn new(default_replication: usize) -> PlacementMap {
+        PlacementMap { default_replication, tenants: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The replica set rendezvous hashing picks for `tenant` over backends
+    /// `0..n_backends`, without recording it.
+    pub fn rendezvous(
+        &self,
+        tenant: &str,
+        n_backends: usize,
+        replication: Option<usize>,
+    ) -> Vec<usize> {
+        let r = match replication.unwrap_or(self.default_replication) {
+            0 => n_backends,
+            r => r.min(n_backends),
+        }
+        .max(1);
+        let mut scored: Vec<(u64, usize)> =
+            (0..n_backends).map(|id| (rendezvous_score(tenant, id), id)).collect();
+        // Score descending; id ascending breaks (astronomically unlikely) ties
+        // deterministically.
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(r);
+        scored.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Records the replica set of `tenant` — the load fan-out's surviving
+    /// (acknowledging) subset of a [`PlacementMap::rendezvous`] candidate
+    /// set, an operator override, or a test pinning a tenant to a
+    /// particular backend.
+    pub fn pin(&self, tenant: &str, replicas: Vec<usize>) {
+        self.tenants.lock().unwrap().insert(tenant.to_string(), replicas);
+    }
+
+    /// The recorded replica set of `tenant`.
+    pub fn get(&self, tenant: &str) -> Option<Vec<usize>> {
+        self.tenants.lock().unwrap().get(tenant).cloned()
+    }
+
+    /// Forgets `tenant` (after `unload`). Err when it was never placed.
+    pub fn remove(&self, tenant: &str) -> Result<Vec<usize>, String> {
+        self.tenants
+            .lock()
+            .unwrap()
+            .remove(tenant)
+            .ok_or_else(|| format!("no dataset named `{tenant}`"))
+    }
+
+    /// Every placed tenant, sorted by name (listings must not depend on hash
+    /// order).
+    pub fn list(&self) -> Vec<TenantPlacement> {
+        self.tenants
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, replicas)| TenantPlacement {
+                name: name.clone(),
+                replicas: replicas.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_deterministic_and_respects_replication() {
+        let p = PlacementMap::new(2);
+        let a = p.rendezvous("alpha", 5, None);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a, p.rendezvous("alpha", 5, None), "same inputs, same placement");
+        assert_eq!(p.rendezvous("alpha", 5, Some(0)).len(), 5, "0 = all backends");
+        assert_eq!(p.rendezvous("alpha", 3, Some(7)).len(), 3, "clamped to the pool");
+        assert_eq!(p.rendezvous("alpha", 0, None).len(), 0, "no backends, no replicas");
+    }
+
+    #[test]
+    fn growing_the_pool_only_adds_candidates() {
+        // Minimal disruption: a tenant's replicas under n backends that
+        // survive into n+1 stay in the same relative order.
+        let p = PlacementMap::new(3);
+        for tenant in ["a", "b", "hot-tenant", "x/y"] {
+            let small = p.rendezvous(tenant, 4, None);
+            let big = p.rendezvous(tenant, 5, None);
+            let kept: Vec<usize> = big.iter().copied().filter(|id| small.contains(id)).collect();
+            let small_kept: Vec<usize> =
+                small.iter().copied().filter(|id| big.contains(id)).collect();
+            assert_eq!(kept, small_kept, "{tenant}: surviving replicas keep their order");
+        }
+    }
+
+    #[test]
+    fn distinct_tenants_spread_over_backends() {
+        let p = PlacementMap::new(1);
+        let mut used = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            used.insert(p.rendezvous(&format!("tenant-{i}"), 8, None)[0]);
+        }
+        assert!(used.len() >= 6, "64 tenants over 8 backends hit most of them: {used:?}");
+    }
+
+    #[test]
+    fn pin_get_remove_lifecycle() {
+        let p = PlacementMap::new(0);
+        let r = p.rendezvous("t", 3, None);
+        assert_eq!(r.len(), 3);
+        p.pin("t", r.clone());
+        assert_eq!(p.get("t"), Some(r));
+        p.pin("t", vec![1]);
+        assert_eq!(p.get("t"), Some(vec![1]));
+        assert_eq!(p.list().len(), 1);
+        assert_eq!(p.remove("t").unwrap(), vec![1]);
+        assert!(p.remove("t").is_err());
+        assert!(p.get("t").is_none());
+    }
+}

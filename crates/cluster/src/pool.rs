@@ -1,0 +1,288 @@
+//! The backend pool: the `knn-server` processes the router fans out to.
+//!
+//! A backend is either **attached** (a server someone else runs, named by
+//! address) or **spawned** (an `xknn serve` child process the router starts
+//! on an ephemeral port and owns — it is shut down with the router). Each
+//! backend carries:
+//!
+//! * a **health flag** — consulted at dispatch time. It is cleared the moment
+//!   any router thread sees the backend's TCP fail (connect, send, or
+//!   receive), and set again when a health probe gets a well-formed `stats`
+//!   response. Placement never looks at it (see [`crate::placement`]);
+//! * a **control connection** — a dedicated client the router uses for
+//!   `load`/`unload` fan-out, `stats` aggregation, and probes, so control
+//!   traffic never interleaves with a client's pipelined query stream;
+//! * the **probe counters** the cluster `stats` verb reports.
+//!
+//! The probe loop runs on its own thread (started by the router) and is the
+//! mark-*up* path: data-path errors only ever mark a backend down.
+
+use knn_server::Client;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How patiently the router dials a backend (covers the spawn race where the
+/// child announced its port but its accept loop isn't scheduled yet).
+pub const CONNECT_ATTEMPTS: u32 = 5;
+/// First retry backoff for backend dials (doubles per attempt, capped by
+/// [`Client::connect_retry`]).
+pub const CONNECT_BACKOFF: Duration = Duration::from_millis(20);
+
+/// One backend server (see module docs).
+pub struct Backend {
+    /// Position in the pool — the id placement hashes over.
+    pub id: usize,
+    /// The backend's TCP address.
+    pub addr: SocketAddr,
+    healthy: AtomicBool,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+    control: Mutex<Option<Client>>,
+    child: Mutex<Option<Child>>,
+}
+
+/// A point-in-time snapshot of one backend (for the cluster `stats` verb).
+#[derive(Clone, Debug)]
+pub struct BackendSnapshot {
+    /// Pool id.
+    pub id: usize,
+    /// Address.
+    pub addr: SocketAddr,
+    /// Dispatchable right now?
+    pub healthy: bool,
+    /// Probes answered.
+    pub probes_ok: u64,
+    /// Probes failed.
+    pub probes_failed: u64,
+    /// Was this backend spawned (and thus owned) by the router?
+    pub spawned: bool,
+}
+
+impl Backend {
+    fn new(id: usize, addr: SocketAddr, child: Option<Child>) -> Backend {
+        Backend {
+            id,
+            addr,
+            healthy: AtomicBool::new(true),
+            probes_ok: AtomicU64::new(0),
+            probes_failed: AtomicU64::new(0),
+            control: Mutex::new(None),
+            child: Mutex::new(child),
+        }
+    }
+
+    /// Is this backend currently dispatchable?
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Marks the backend down (any router thread that observes a TCP failure
+    /// calls this; the probe loop marks it up again once it answers).
+    pub fn mark_down(&self) {
+        self.healthy.store(false, Ordering::Relaxed);
+    }
+
+    /// Marks the backend up (probe-loop only).
+    pub fn mark_up(&self) {
+        self.healthy.store(true, Ordering::Relaxed);
+    }
+
+    /// One request/response on the control connection, (re)dialing it if
+    /// needed. Any failure drops the connection and marks the backend down,
+    /// so the next caller redials.
+    pub fn control_roundtrip(&self, line: &str) -> Result<String, String> {
+        let mut guard = self.control.lock().unwrap();
+        if guard.is_none() {
+            match Client::connect_retry(self.addr, CONNECT_ATTEMPTS, CONNECT_BACKOFF) {
+                Ok(c) => *guard = Some(c),
+                Err(e) => {
+                    self.mark_down();
+                    return Err(format!("backend {} unreachable: {e}", self.addr));
+                }
+            }
+        }
+        let result = guard.as_mut().expect("dialed above").roundtrip(line);
+        match result {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                *guard = None;
+                self.mark_down();
+                Err(format!("backend {} failed: {e}", self.addr))
+            }
+        }
+    }
+
+    /// Health probe: a `stats` roundtrip on the control connection. A
+    /// well-formed `"ok":true` response marks the backend up; anything else
+    /// marks it down. Returns the raw response for aggregation.
+    pub fn probe(&self) -> Option<String> {
+        let resp = self.control_roundtrip(r#"{"id":"probe","verb":"stats"}"#);
+        let ok = resp
+            .as_deref()
+            .ok()
+            .and_then(|line| knn_engine::json::parse(line).ok())
+            .is_some_and(|v| matches!(v.get("ok"), Some(knn_engine::json::Value::Bool(true))));
+        if ok {
+            self.probes_ok.fetch_add(1, Ordering::Relaxed);
+            self.mark_up();
+            resp.ok()
+        } else {
+            self.probes_failed.fetch_add(1, Ordering::Relaxed);
+            self.mark_down();
+            None
+        }
+    }
+
+    /// Snapshot for the cluster `stats` verb.
+    pub fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot {
+            id: self.id,
+            addr: self.addr,
+            healthy: self.is_healthy(),
+            probes_ok: self.probes_ok.load(Ordering::Relaxed),
+            probes_failed: self.probes_failed.load(Ordering::Relaxed),
+            spawned: self.child.lock().unwrap().is_some(),
+        }
+    }
+}
+
+/// The router's fixed-at-serve-time set of backends.
+#[derive(Default)]
+pub struct BackendPool {
+    backends: Mutex<Vec<Arc<Backend>>>,
+}
+
+impl BackendPool {
+    /// An empty pool.
+    pub fn new() -> BackendPool {
+        BackendPool::default()
+    }
+
+    /// Registers an already-running server by address.
+    pub fn attach(&self, addr: SocketAddr) -> Arc<Backend> {
+        let mut backends = self.backends.lock().unwrap();
+        let backend = Arc::new(Backend::new(backends.len(), addr, None));
+        backends.push(backend.clone());
+        backend
+    }
+
+    /// Spawns `xknn serve --addr 127.0.0.1:0 <extra_args>` as a child
+    /// process, reads the `listening on <addr>` banner from its stdout, and
+    /// registers it. The child is owned: [`BackendPool::shutdown_spawned`]
+    /// stops it with the router.
+    pub fn spawn(
+        &self,
+        xknn: &std::path::Path,
+        extra_args: &[String],
+    ) -> std::io::Result<Arc<Backend>> {
+        let mut child = Command::new(xknn)
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let mut banner = String::new();
+        let read = {
+            use std::io::BufRead;
+            let stdout = child.stdout.take().expect("stdout is piped");
+            std::io::BufReader::new(stdout).read_line(&mut banner)
+        };
+        let addr: Option<SocketAddr> = read
+            .ok()
+            .and_then(|_| banner.trim().strip_prefix("listening on "))
+            .and_then(|a| a.parse().ok());
+        let Some(addr) = addr else {
+            // A child that crashed before binding (failed banner read) or
+            // printed something unexpected must not be orphaned (kill) nor
+            // left a zombie (wait reaps it).
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(std::io::Error::other(format!("unexpected serve banner: {banner:?}")));
+        };
+        let mut backends = self.backends.lock().unwrap();
+        let backend = Arc::new(Backend::new(backends.len(), addr, Some(child)));
+        backends.push(backend.clone());
+        Ok(backend)
+    }
+
+    /// Every backend, in id order.
+    pub fn backends(&self) -> Vec<Arc<Backend>> {
+        self.backends.lock().unwrap().clone()
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.backends.lock().unwrap().len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The backend with pool id `id`.
+    pub fn get(&self, id: usize) -> Option<Arc<Backend>> {
+        self.backends.lock().unwrap().get(id).cloned()
+    }
+
+    /// Stops every spawned child: ask politely over the protocol, then make
+    /// sure with a kill (covers a child wedged past its accept loop), then
+    /// reap. Attached backends are left alone — the router does not own them.
+    pub fn shutdown_spawned(&self) {
+        for b in self.backends() {
+            let mut child = b.child.lock().unwrap();
+            if let Some(mut c) = child.take() {
+                let _ = b.control_roundtrip(r#"{"id":"bye","verb":"shutdown"}"#);
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+}
+
+impl Drop for BackendPool {
+    fn drop(&mut self) {
+        self.shutdown_spawned();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_server::{Server, ServerConfig};
+
+    #[test]
+    fn attach_probe_and_mark_down_up() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let handle = server.spawn();
+        let pool = BackendPool::new();
+        let b = pool.attach(handle.addr());
+        assert_eq!((b.id, pool.len()), (0, 1));
+        assert!(b.is_healthy());
+        assert!(b.probe().is_some(), "live server answers the probe");
+        assert_eq!(b.snapshot().probes_ok, 1);
+
+        b.mark_down();
+        assert!(!b.is_healthy());
+        assert!(b.probe().is_some(), "probe marks a live backend up again");
+        assert!(b.is_healthy());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dead_backend_fails_probe_and_stays_down() {
+        // Bind-then-drop: an address with nothing listening.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        let pool = BackendPool::new();
+        let b = pool.attach(addr);
+        assert!(b.probe().is_none());
+        assert!(!b.is_healthy());
+        assert_eq!(b.snapshot().probes_failed, 1);
+    }
+}

@@ -1,0 +1,435 @@
+//! Per-connection batch scatter-gather: partition a client's pipelined
+//! stream across a tenant's replicas, merge the responses back in request
+//! order, and fail over mid-stream without changing a single output byte.
+//!
+//! Every client connection gets its own [`Dispatcher`]: one lazily-dialed
+//! channel per backend it touches, one receiver thread per channel, and one
+//! writer thread that reorders `(seq, bytes)` completions back into request
+//! order — the same merge the single server does, so the client cannot tell
+//! a router from a server by looking at the bytes.
+//!
+//! Why request-level sharding is *sound*: every query's response is a pure
+//! function of `(dataset, engine config, request)` — the engine's
+//! determinism contract, pinned by its tests. Which replica executes a query
+//! can change *when* the answer arrives, never what it is; the seq-merge
+//! restores order. (Point-level sharding — splitting one dataset's points
+//! across backends — would not have this property: k-NN is not decomposable
+//! over point subsets without a distributed top-k merge.)
+//!
+//! **Failure model** (fail-stop): a backend that dies mid-stream takes its
+//! channel down; every query still pending on that channel is redispatched
+//! to another replica, where it recomputes to the identical bytes. A query
+//! whose response was already merged is never re-run. Queries are
+//! idempotent reads, so the at-least-once execution under failover is
+//! invisible. Only when *every* replica of a tenant is gone does the client
+//! see a router-authored error line. A backend that wedges (accepts bytes,
+//! never answers) stalls its pending queries — fail-stop, not
+//! byzantine-slow, is the contract, the same one the single server has with
+//! its own worker pool.
+
+use crate::placement::PlacementMap;
+use crate::pool::{Backend, BackendPool, CONNECT_ATTEMPTS, CONNECT_BACKOFF};
+use knn_server::proto;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One forwarded-but-unanswered query. Lives in exactly one place at any
+/// time: a channel's pending queue, or the hands of the single failure
+/// handler that drained it — that exclusivity is what makes at-least-once
+/// redispatch produce exactly one response per seq.
+pub(crate) struct PendingQuery {
+    /// Slot in the client's response order.
+    pub seq: u64,
+    /// Response id (for router-authored error lines).
+    pub id: String,
+    /// Tenant, for re-placement on failover.
+    pub tenant: String,
+    /// The exact bytes forwarded to a backend, newline included.
+    pub line: Vec<u8>,
+    /// Dispatch attempts so far (caps the failover loop).
+    pub attempts: usize,
+}
+
+/// Channel state: the write half and the in-order pending queue share one
+/// mutex so a send and a channel death cannot race a query into limbo (or
+/// into two places at once).
+struct ChanState {
+    stream: Option<TcpStream>,
+    pending: VecDeque<PendingQuery>,
+    dead: bool,
+}
+
+/// One backend channel of one client connection.
+struct Chan {
+    backend: Arc<Backend>,
+    state: Mutex<ChanState>,
+}
+
+enum SendOutcome {
+    /// Query is on the wire (and in the pending queue).
+    Sent,
+    /// Channel already dead; the query is handed back untouched.
+    Rejected(PendingQuery),
+    /// The send killed the channel: every pending query (the argument
+    /// included) was drained and must be redispatched.
+    Died(Vec<PendingQuery>),
+}
+
+impl Chan {
+    fn send(&self, q: PendingQuery) -> SendOutcome {
+        let mut st = self.state.lock().unwrap();
+        if st.dead {
+            return SendOutcome::Rejected(q);
+        }
+        // Write under the state lock, push on success: the receiver (which
+        // pops under the same lock) cannot observe the query before it is
+        // both on the wire and in the queue.
+        match st.stream.as_mut().expect("live channel has a stream").write_all(&q.line) {
+            Ok(()) => {
+                st.pending.push_back(q);
+                SendOutcome::Sent
+            }
+            Err(_) => {
+                st.dead = true;
+                if let Some(s) = st.stream.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                let mut drained: Vec<PendingQuery> = st.pending.drain(..).collect();
+                drained.push(q);
+                SendOutcome::Died(drained)
+            }
+        }
+    }
+
+    /// Graceful close (connection teardown, after the completion barrier):
+    /// no pending queries remain, so nothing is drained and the backend is
+    /// not blamed for the EOF its receiver is about to see.
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.dead = true;
+        if let Some(s) = st.stream.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The per-connection scatter-gather state (see module docs).
+pub(crate) struct Dispatcher {
+    pool: Arc<BackendPool>,
+    placement: Arc<PlacementMap>,
+    out_tx: Sender<(u64, Vec<u8>)>,
+    /// Final responses delivered (backend answers + router error lines).
+    /// The control-verb barrier waits on `completed == dispatched`.
+    completed: (Mutex<u64>, Condvar),
+    chans: Mutex<HashMap<usize, Arc<Chan>>>,
+    receivers: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-tenant round-robin cursor: consecutive queries for a hot tenant
+    /// alternate over the replicas of this connection's window.
+    rr: Mutex<HashMap<String, usize>>,
+    /// This connection's starting offset into every replica list, so
+    /// concurrent connections anchor on different replicas.
+    anchor: usize,
+    /// How many replicas one connection's batch scatters over (`0` = all).
+    /// Small spreads trade per-client parallelism for fewer connections per
+    /// backend — the right side of the trade once client count exceeds
+    /// replica count. Failover ignores the window: every replica is a
+    /// fallback candidate.
+    spread: usize,
+}
+
+impl Dispatcher {
+    pub fn new(
+        pool: Arc<BackendPool>,
+        placement: Arc<PlacementMap>,
+        out_tx: Sender<(u64, Vec<u8>)>,
+        anchor: usize,
+        spread: usize,
+    ) -> Arc<Dispatcher> {
+        Arc::new(Dispatcher {
+            pool,
+            placement,
+            out_tx,
+            completed: (Mutex::new(0), Condvar::new()),
+            chans: Mutex::new(HashMap::new()),
+            receivers: Mutex::new(Vec::new()),
+            rr: Mutex::new(HashMap::new()),
+            anchor,
+            spread,
+        })
+    }
+
+    /// Delivers the final response bytes for a query slot. A failed send
+    /// means the writer died with the client; the completion count must
+    /// still advance or the barrier (and teardown) would hang.
+    fn finish(&self, seq: u64, bytes: Vec<u8>) {
+        let _ = self.out_tx.send((seq, bytes));
+        let (count, cv) = &self.completed;
+        *count.lock().unwrap() += 1;
+        cv.notify_all();
+    }
+
+    /// Blocks until `dispatched` queries have final responses (the control
+    /// barrier and the teardown barrier).
+    pub fn wait_completed(&self, dispatched: u64) {
+        let (count, cv) = &self.completed;
+        let mut done = count.lock().unwrap();
+        while *done < dispatched {
+            done = cv.wait(done).unwrap();
+        }
+    }
+
+    /// The channel to backend `id`, dialing it on first use. A failed dial
+    /// registers a dead channel (so later queries skip the dial timeout) and
+    /// marks the backend down. A dead channel whose backend the probe loop
+    /// has since marked healthy is re-dialed and replaced — a long-lived
+    /// client connection must not keep failing against a recovered backend.
+    fn chan(self: &Arc<Self>, id: usize) -> Option<Arc<Chan>> {
+        let backend = self.pool.get(id)?;
+        if let Some(c) = self.chans.lock().unwrap().get(&id) {
+            if !c.state.lock().unwrap().dead || !backend.is_healthy() {
+                return Some(c.clone());
+            }
+            // Dead channel, recovered backend: fall through to re-dial.
+        }
+        let dialed = dial(&backend);
+        // Between the check above and this insert another thread may have
+        // dialed the same backend; keep its live channel and close ours.
+        let mut chans = self.chans.lock().unwrap();
+        if let Some(c) = chans.get(&id) {
+            if !c.state.lock().unwrap().dead {
+                if let Ok(s) = dialed {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                return Some(c.clone());
+            }
+        }
+        let chan = match dialed {
+            Ok(stream) => {
+                let reader = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(_) => {
+                        backend.mark_down();
+                        return self.insert_dead(chans, id, backend);
+                    }
+                };
+                let chan = Arc::new(Chan {
+                    backend,
+                    state: Mutex::new(ChanState {
+                        stream: Some(stream),
+                        pending: VecDeque::new(),
+                        dead: false,
+                    }),
+                });
+                let disp = self.clone();
+                let rchan = chan.clone();
+                let handle = std::thread::spawn(move || receiver_loop(disp, rchan, reader));
+                let mut receivers = self.receivers.lock().unwrap();
+                // Reap handles of receivers that already exited (dead
+                // channels being re-dialed), so a flapping backend cannot
+                // grow this list without bound over a long connection.
+                receivers.retain(|h| !h.is_finished());
+                receivers.push(handle);
+                chan
+            }
+            Err(_) => {
+                backend.mark_down();
+                return self.insert_dead(chans, id, backend);
+            }
+        };
+        chans.insert(id, chan.clone());
+        Some(chan)
+    }
+
+    fn insert_dead(
+        &self,
+        mut chans: std::sync::MutexGuard<'_, HashMap<usize, Arc<Chan>>>,
+        id: usize,
+        backend: Arc<Backend>,
+    ) -> Option<Arc<Chan>> {
+        let chan = Arc::new(Chan {
+            backend,
+            state: Mutex::new(ChanState { stream: None, pending: VecDeque::new(), dead: true }),
+        });
+        chans.insert(id, chan.clone());
+        Some(chan)
+    }
+
+    /// Routes one query to a replica of its tenant: healthy replicas first
+    /// (rotated round-robin so a pipelined batch spreads over all of them),
+    /// then marked-down ones as a last resort (the mark may be stale). Emits
+    /// a router-authored error line only when every attempt is exhausted.
+    pub fn dispatch(self: &Arc<Self>, mut q: PendingQuery) {
+        let Some(replicas) = self.placement.get(&q.tenant) else {
+            // Unloaded mid-stream (or a redispatch raced an unload).
+            let msg = format!("no dataset named `{}` (try the load verb)", q.tenant);
+            let line = proto::error_line(&q.id, &msg).into_bytes();
+            return self.finish(q.seq, line);
+        };
+        if q.attempts > replicas.len() + 2 {
+            let msg = format!("all replicas of `{}` are unavailable", q.tenant);
+            let line = proto::error_line(&q.id, &msg).into_bytes();
+            return self.finish(q.seq, line);
+        }
+        q.attempts += 1;
+
+        // This connection's window: `spread` replicas starting at its
+        // anchor, round-robined by the per-tenant cursor; the remaining
+        // replicas follow as failover fallback. Health is snapshotted once
+        // per replica — evaluating it twice could drop a replica flipping
+        // down→up from both the healthy and unhealthy groups — then a
+        // stable partition puts healthy ones first (a marked-down replica
+        // is still a last resort: the mark may be stale).
+        let n = replicas.len();
+        let spread = if self.spread == 0 { n } else { self.spread.min(n) };
+        let start = {
+            let mut rr = self.rr.lock().unwrap();
+            let c = rr.entry(q.tenant.clone()).or_insert(0);
+            let s = *c;
+            *c = c.wrapping_add(1);
+            s % spread.max(1)
+        };
+        let ordered = (0..spread)
+            .map(|i| replicas[(self.anchor + (start + i) % spread) % n])
+            .chain((spread..n).map(|i| replicas[(self.anchor + i) % n]));
+        let mut candidates: Vec<(usize, bool)> = ordered
+            .map(|id| (id, self.pool.get(id).map(|b| b.is_healthy()).unwrap_or(false)))
+            .collect();
+        candidates.sort_by_key(|&(_, healthy)| !healthy); // stable: order kept per group
+
+        for (id, _) in candidates {
+            let Some(chan) = self.chan(id) else { continue };
+            match chan.send(q) {
+                SendOutcome::Sent => return,
+                SendOutcome::Rejected(back) => q = back,
+                SendOutcome::Died(drained) => {
+                    chan.backend.mark_down();
+                    // Everything the dead channel was holding — the query we
+                    // just tried included — goes back through dispatch.
+                    for p in drained {
+                        self.dispatch(p);
+                    }
+                    return;
+                }
+            }
+        }
+        let msg = format!("all replicas of `{}` are unavailable", q.tenant);
+        let line = proto::error_line(&q.id, &msg).into_bytes();
+        self.finish(q.seq, line);
+    }
+
+    /// Connection teardown. Callers must run the completion barrier first
+    /// (`wait_completed(dispatched)`) so no channel still holds pending
+    /// queries — then closing is graceful and the receivers drain out on
+    /// EOF.
+    pub fn close(&self) {
+        for chan in self.chans.lock().unwrap().values() {
+            chan.close();
+        }
+        for h in self.receivers.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Dials a backend's data channel with the same bounded-retry policy the
+/// control path uses.
+fn dial(backend: &Backend) -> std::io::Result<TcpStream> {
+    knn_server::client::connect_stream_retry(backend.addr, CONNECT_ATTEMPTS, CONNECT_BACKOFF)
+}
+
+/// Reads response lines off one backend channel, matching them to pending
+/// queries in FIFO order (the server answers a connection's queries in
+/// request order, so the front of `pending` is always the line's owner).
+///
+/// Byte-total: the backend controls every byte here. A response line is
+/// forwarded verbatim to the owning client — garbage from a backend can
+/// garble *this* client's stream (it owns that backend choice's
+/// consequences) but never another connection's, and never the router. A
+/// line with no pending owner is dropped. EOF or a read error while queries
+/// are pending is the failover path: drain and redispatch.
+fn receiver_loop(disp: Arc<Dispatcher>, chan: Arc<Chan>, reader: TcpStream) {
+    let mut reader = BufReader::new(reader);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                let popped = chan.state.lock().unwrap().pending.pop_front();
+                if let Some(q) = popped {
+                    // A backend answering "no dataset named ..." for a tenant
+                    // the router *placed on it* has lost the tenant (e.g. a
+                    // restart emptied its registry). That answer would never
+                    // come from the single-server oracle, so treat it as a
+                    // failed attempt: retry on another replica while the
+                    // probe loop's reconciler re-loads this one. The
+                    // attempts cap still bounds the loop.
+                    if is_not_loaded_error(&buf, &q) {
+                        disp.dispatch(q);
+                    } else {
+                        disp.finish(q.seq, buf.clone());
+                    }
+                }
+            }
+        }
+    }
+    // Channel is down. If that is news (not a graceful close), this thread
+    // owns the drain: mark the backend down and redispatch everything the
+    // channel still held.
+    let drained = {
+        let mut st = chan.state.lock().unwrap();
+        if st.dead {
+            Vec::new()
+        } else {
+            st.dead = true;
+            if let Some(s) = st.stream.take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            chan.backend.mark_down();
+            st.pending.drain(..).collect()
+        }
+    };
+    for q in drained {
+        disp.dispatch(q);
+    }
+}
+
+/// Is `line` exactly the backend's "no dataset named \`tenant\`" error for
+/// this query? Byte-exact comparison against the server's known error
+/// shape, with a cheap suffix pre-filter so the hot path pays one
+/// `ends_with` per response.
+fn is_not_loaded_error(line: &[u8], q: &PendingQuery) -> bool {
+    if !line.ends_with(b"(try the load verb)\"}") {
+        return false;
+    }
+    let expected =
+        proto::error_line(&q.id, &format!("no dataset named `{}` (try the load verb)", q.tenant));
+    line == expected.as_bytes()
+}
+
+/// The response writer: receives `(seq, bytes)` in completion order, emits
+/// in request order, flushing each line as soon as its turn comes — the same
+/// streamed, order-preserving merge the single server does.
+pub(crate) fn writer_loop(stream: TcpStream, rx: Receiver<(u64, Vec<u8>)>) {
+    let mut out = BufWriter::new(stream);
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for (seq, line) in rx {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next) {
+            let io =
+                out.write_all(&line).and_then(|()| out.write_all(b"\n")).and_then(|()| out.flush());
+            if io.is_err() {
+                return; // client gone; drop the rest
+            }
+            next += 1;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Robustness property, backend side: the router's framing must be total
+//! over *backend* bytes, not just client bytes. A backend replying with
+//! arbitrary garbage — invalid UTF-8, binary, embedded newlines, blank
+//! lines — must never kill the router, never wedge the client connection it
+//! belongs to, and never corrupt **another** connection's stream (channel
+//! isolation is structural: each client connection has its own backend
+//! channels).
+
+use knn_cluster::{LoadSource, Router, RouterConfig};
+use knn_server::{Client, Server, ServerConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+const BOOL: &str = "+ 1 1 1\n+ 1 1 0\n- 0 0 0\n- 0 0 1\n";
+
+/// A protocol-shaped impostor: answers control verbs (`load`, `stats`) with
+/// a well-formed ok line so placement and probes accept it, then replies to
+/// each query line with the next scripted garbage chunk (newline appended —
+/// embedded newlines deliberately split into extra frames).
+fn fake_backend(script: Arc<Mutex<VecDeque<Vec<u8>>>>) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let script = script.clone();
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut out = stream;
+                let mut line = Vec::new();
+                loop {
+                    line.clear();
+                    match reader.read_until(b'\n', &mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                    let is_control = line.windows(6).any(|w| w == b"\"verb\"");
+                    let reply: Vec<u8> = if is_control {
+                        b"{\"id\":\"x\",\"ok\":true}\n".to_vec()
+                    } else {
+                        match script.lock().unwrap().pop_front() {
+                            Some(mut chunk) => {
+                                chunk.push(b'\n');
+                                chunk
+                            }
+                            None => b"{\"ok\":true}\n".to_vec(),
+                        }
+                    };
+                    if out.write_all(&reply).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn garbage_chunk() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255, 1..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn backend_garbage_never_kills_the_router_or_leaks_across_connections(
+        chunks in prop::collection::vec(garbage_chunk(), 1..8)
+    ) {
+        let n_queries = chunks.len();
+        let script = Arc::new(Mutex::new(chunks.into_iter().collect::<VecDeque<_>>()));
+        let fake_addr = fake_backend(script);
+        let real = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap().spawn();
+
+        let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
+        router.attach(fake_addr); // id 0
+        router.attach(real.addr()); // id 1
+        router.load_pinned("garb", LoadSource::Text(BOOL), vec![0]).unwrap();
+        router.load_pinned("good", LoadSource::Text(BOOL), vec![1]).unwrap();
+        let handle = router.spawn();
+        let addr = handle.addr();
+
+        // Connection A: queries against the impostor-backed tenant,
+        // pipelined. Raw socket on the read side — the merged "responses"
+        // are arbitrary bytes, including invalid UTF-8.
+        let garb = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            for i in 0..n_queries {
+                writeln!(
+                    w,
+                    "{{\"dataset\":\"garb\",\"id\":\"g{i}\",\"cmd\":\"classify\",\"metric\":\"hamming\",\"point\":[1,1,1]}}"
+                )
+                .unwrap();
+            }
+            let mut frames = 0usize;
+            let mut buf = Vec::new();
+            while frames < n_queries {
+                buf.clear();
+                let n = reader.read_until(b'\n', &mut buf).unwrap();
+                assert!(n > 0, "router closed after {frames} of {n_queries} frames");
+                frames += 1;
+            }
+            frames
+        });
+
+        // Connection B, concurrently: the healthy tenant must be answered
+        // with exactly the right bytes — garbage on A's channels cannot
+        // bleed into B's stream.
+        let mut good = Client::connect(addr).unwrap();
+        for i in 0..4 {
+            let resp = good
+                .roundtrip(&format!(
+                    r#"{{"dataset":"good","id":"ok{i}","cmd":"classify","metric":"hamming","point":[1,1,1]}}"#
+                ))
+                .unwrap();
+            prop_assert_eq!(
+                resp,
+                format!(r#"{{"id":"ok{i}","ok":true,"route":"hamming-index","label":"+"}}"#)
+            );
+        }
+
+        prop_assert_eq!(garb.join().unwrap(), n_queries, "one frame per query, however garbled");
+
+        // The router itself never died.
+        let mut probe = Client::connect(addr).unwrap();
+        let pong = probe.roundtrip(r#"{"id":"p","verb":"ping"}"#).unwrap();
+        prop_assert!(pong.contains(r#""pong":true"#), "{}", pong);
+
+        handle.shutdown();
+        real.shutdown();
+    }
+}

@@ -79,6 +79,11 @@ impl<K: Eq + Hash + Clone, V> Family<K, V> {
         let cell = self.cells.lock().unwrap().entry(key).or_default().clone();
         cell.get_or_init(|| Arc::new(build())).clone()
     }
+
+    /// How many artifacts of this family have finished building.
+    fn built_count(&self) -> usize {
+        self.cells.lock().unwrap().values().filter(|c| c.get().is_some()).count()
+    }
 }
 
 /// Lazily-built shared artifacts (see module docs).
@@ -114,6 +119,16 @@ impl ArtifactStore {
     /// The Prop 1 ℓ2 region cache for `k`, building it on first use.
     pub fn l2_regions(&self, data: &EngineData, k: OddK) -> Arc<RegionCache<f64>> {
         self.l2_regions.get_or_build(k.get(), || RegionCache::build(&data.continuous, k))
+    }
+
+    /// How many artifacts (across all families) have finished building —
+    /// the `artifacts_built` observability counter of the server's `stats`
+    /// verb, so operators can tell a cold tenant (expensive first queries
+    /// ahead) from a warmed one.
+    pub fn built_count(&self) -> usize {
+        self.kd_class.built_count()
+            + self.hamming_class.built_count()
+            + self.l2_regions.built_count()
     }
 }
 

@@ -122,6 +122,9 @@ pub struct EngineStats {
     pub coalesced: u64,
     /// Keys currently being computed (size of the single-flight table).
     pub inflight: usize,
+    /// Shared artifacts (per-class indexes, region caches) built so far —
+    /// how "warm" this engine's one-time costs are.
+    pub artifacts_built: usize,
 }
 
 /// The batch explanation server. See the crate docs for the architecture.
@@ -158,6 +161,7 @@ impl ExplanationEngine {
             cache: self.cache.lock().unwrap().stats(),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             inflight: self.inflight.lock().unwrap().len(),
+            artifacts_built: self.artifacts.built_count(),
         }
     }
 

@@ -16,8 +16,22 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        Client::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client { reader, writer: stream })
+    }
+
+    /// [`connect_stream_retry`], wrapped as a [`Client`].
+    pub fn connect_retry<A: ToSocketAddrs>(
+        addr: A,
+        attempts: u32,
+        backoff: std::time::Duration,
+    ) -> std::io::Result<Client> {
+        Client::from_stream(connect_stream_retry(addr, attempts, backoff)?)
     }
 
     /// Sends one request line (the newline is added here).
@@ -76,6 +90,34 @@ impl Client {
             .map_err(|e| std::io::Error::other(format!("send failed: {e}")))?;
         Ok(out)
     }
+}
+
+/// Dials with bounded retry and exponential backoff: up to `attempts`
+/// tries, sleeping `backoff` (doubling, capped at 500 ms) between them,
+/// `TCP_NODELAY` set on success. Closes the race where a freshly spawned
+/// server has announced its address but the listener loses to the client in
+/// the scheduler — the window `xknn client` and every cluster-router dial
+/// (control and data channels both) would otherwise hit on backend start.
+pub fn connect_stream_retry<A: ToSocketAddrs>(
+    addr: A,
+    attempts: u32,
+    mut backoff: std::time::Duration,
+) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+        if attempt + 1 < attempts.max(1) {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(std::time::Duration::from_millis(500));
+        }
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no connection attempts made")))
 }
 
 /// `input` with every line newline-terminated (so a missing trailing newline

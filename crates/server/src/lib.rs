@@ -30,9 +30,11 @@
 //!   registry, the response stream for a request stream is byte-identical to
 //!   the sequential in-process engine — the property the integration tests
 //!   pin across 16 concurrent clients.
-//! * **Observability** — the `stats` verb reports the admission queue and
-//!   per-tenant counters (requests, errors, queued, active, cache
-//!   hit/miss/eviction/coalescing) without touching response bytes.
+//! * **Observability** — the `stats` verb reports `health`/`uptime_ms`
+//!   (the cluster router's liveness probe; it never waits on the admission
+//!   queue), the admission queue, and per-tenant counters (requests,
+//!   errors, queued, active, cache hit/miss/eviction/coalescing,
+//!   artifacts built) without touching response bytes.
 //!
 //! The `xknn serve` / `xknn client` subcommands wire this to the shell; the
 //! `server_throughput` bench records cold/warm throughput at 1/4/16 clients
@@ -59,6 +61,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -86,6 +89,11 @@ struct Shared {
     conn_inflight: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Bind time, for the `uptime_ms` field of `stats` — the cluster
+    /// router's health probe wants a cheap liveness answer that never waits
+    /// on the admission queue (and `stats` never does: it only snapshots
+    /// counters).
+    started: Instant,
 }
 
 /// The TCP server. Bind, optionally preload datasets through
@@ -112,6 +120,7 @@ impl Server {
             conn_inflight: config.conn_inflight.max(1),
             shutdown: AtomicBool::new(false),
             addr,
+            started: Instant::now(),
         });
         Ok(Server { listener, shared })
     }
@@ -368,6 +377,7 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
         }
         Command::Stats => {
             let a = shared.admission.stats();
+            let uptime_ms = shared.started.elapsed().as_millis() as u64;
             let admission = Value::Object(vec![
                 ("budget".into(), num(a.budget)),
                 ("available".into(), num(a.available)),
@@ -396,12 +406,18 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                         ("active".into(), num64(s.active)),
                         ("cache".into(), cache),
                         ("inflight".into(), num(s.engine.inflight)),
+                        ("artifacts_built".into(), num(s.engine.artifacts_built)),
                     ])
                 })
                 .collect();
             let line = proto::ok_line(
                 id,
-                vec![("admission".into(), admission), ("tenants".into(), Value::Array(tenants))],
+                vec![
+                    ("health".into(), Value::String("ok".into())),
+                    ("uptime_ms".into(), num64(uptime_ms)),
+                    ("admission".into(), admission),
+                    ("tenants".into(), Value::Array(tenants)),
+                ],
             );
             (line, false)
         }

@@ -87,6 +87,13 @@ fn member_str(v: &Value, key: &str, what: &str) -> Result<String, String> {
 /// Parses one request line. Total over arbitrary bytes: any input yields
 /// `Ok` or `Err`, never a panic (the engine's JSON parser is byte-total).
 pub fn parse_line(line: &[u8], default_id: &str) -> Result<Parsed, String> {
+    parse_line_value(line, default_id).map(|(parsed, _)| parsed)
+}
+
+/// [`parse_line`], also handing back the parsed [`Value`] so callers that
+/// need envelope members the protocol doesn't model (the cluster router's
+/// `"replicas"` hint, its has-`id` check) don't parse the line twice.
+pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value), String> {
     let v = parse_bytes(line)?;
     if !matches!(v, Value::Object(_)) {
         return Err("request must be a JSON object".into());
@@ -138,7 +145,7 @@ pub fn parse_line(line: &[u8], default_id: &str) -> Result<Parsed, String> {
         ))
         }
     };
-    Ok(Parsed { id, command })
+    Ok((Parsed { id, command }, v))
 }
 
 /// An `{"id":...,"ok":false,"error":...}` line, byte-compatible with the

@@ -5,6 +5,7 @@
 //! xknn batch     --data <file> [--requests <jsonl>] [--workers N] [--budget C]
 //! xknn serve     [--addr host:port] [--data name=file ...] [--workers N] ...
 //! xknn client    --addr host:port [--requests <jsonl>]
+//! xknn router    [--addr host:port] [--backend host:port ...] [--spawn N] ...
 //!
 //! commands:
 //!   classify          the optimistic k-NN label of the point (§2)
@@ -15,6 +16,7 @@
 //!   batch             serve a JSON-lines request stream concurrently
 //!   serve             multi-tenant TCP server over the explanation engine
 //!   client            stream JSON-lines requests to a running server
+//!   router            sharding/replication router over N `serve` backends
 //!
 //! options:
 //!   --data <file>     labeled points: `+ 1.0 2.0` / `- 0 1 1`; `#` comments
@@ -41,6 +43,16 @@
 //! client options:
 //!   --addr <a>        server address (required)
 //!   --requests <file> JSON-lines requests (default: stdin; `-` = stdin)
+//!
+//! router options:
+//!   --addr <a>        bind address (default 127.0.0.1:7979; port 0 = ephemeral)
+//!   --backend <a>     attach an already-running server (repeatable)
+//!   --spawn <n>       spawn n `xknn serve` backends on ephemeral ports
+//!   --replicas <r>    default replicas per tenant (default: all backends)
+//!   --data <n=file>   preload a dataset, fanned out to its replicas (repeatable)
+//!   --probe-ms <m>    health-probe interval (default 500; 0 disables)
+//!   --spread <s>      replicas one connection scatters over (default: all)
+//!   --workers / --inflight / --cache / --budget   forwarded to spawned backends
 //! ```
 //!
 //! Batch requests look like
@@ -86,6 +98,8 @@ fn main() {
         println!("       xknn serve [--addr host:port] [--data name=<file> ...]");
         println!("            [--workers <n>] [--inflight <n>] [--budget <c>] [--cache <n>]");
         println!("       xknn client --addr host:port [--requests <jsonl>|-]");
+        println!("       xknn router [--addr host:port] [--backend host:port ...] [--spawn <n>]");
+        println!("            [--replicas <r>] [--data name=<file> ...] [--probe-ms <m>]");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
     };
 
@@ -94,6 +108,9 @@ fn main() {
     }
     if command == "client" {
         return client();
+    }
+    if command == "router" {
+        return router();
     }
 
     let data_path = arg("--data").unwrap_or_else(|| fail("--data <file> is required"));
@@ -191,8 +208,11 @@ fn client() {
             buf
         }
     };
-    let mut client = knn_server::Client::connect(&addr)
-        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    // Bounded retry + backoff: a scripted `serve &` / `client` pair races the
+    // server's accept loop; first-refusal must not be fatal.
+    let mut client =
+        knn_server::Client::connect_retry(&addr, 5, std::time::Duration::from_millis(20))
+            .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
     let responses =
         client.run_stream(&input).unwrap_or_else(|e| fail(&format!("stream failed: {e}")));
     let errors = responses.iter().filter(|r| r.contains("\"ok\":false")).count();
@@ -200,6 +220,84 @@ fn client() {
         println!("{line}");
     }
     eprintln!("client: {} responses, {} errors", responses.len(), errors);
+}
+
+/// [`fail`], but first stop any backend children this router spawned —
+/// `fail` exits without running destructors, and a botched startup (bad
+/// `--data`, failed spawn) must not orphan server processes.
+fn router_fail(router: &knn_cluster::Router, msg: &str) -> ! {
+    router.pool().shutdown_spawned();
+    fail(msg)
+}
+
+/// `xknn router`: front N `xknn serve` backends (spawned and/or attached)
+/// with rendezvous-hash tenant placement and batch scatter-gather.
+fn router() {
+    let addr = arg("--addr").unwrap_or_else(|| "127.0.0.1:7979".into());
+    let mut config = knn_cluster::RouterConfig::default();
+    if let Some(r) = arg("--replicas") {
+        config.replication = r.parse().unwrap_or_else(|_| fail("--replicas must be an integer"));
+    }
+    if let Some(m) = arg("--probe-ms") {
+        let ms: u64 = m.parse().unwrap_or_else(|_| fail("--probe-ms must be an integer"));
+        config.probe_interval = std::time::Duration::from_millis(ms);
+    }
+    if let Some(s) = arg("--spread") {
+        config.spread = s.parse().unwrap_or_else(|_| fail("--spread must be an integer"));
+    }
+    let router = knn_cluster::Router::bind(&addr, config)
+        .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+
+    for backend in args_all("--backend") {
+        // Resolve like every other address flag (hostnames work, not just
+        // IP literals).
+        use std::net::ToSocketAddrs as _;
+        let resolved = backend
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .unwrap_or_else(|| fail(&format!("--backend wants host:port, got `{backend}`")));
+        router.attach(resolved);
+        eprintln!("xknn router: attached backend {resolved}");
+    }
+    if let Some(n) = arg("--spawn") {
+        let n: usize = n.parse().unwrap_or_else(|_| fail("--spawn must be an integer"));
+        let xknn = std::env::current_exe()
+            .unwrap_or_else(|e| fail(&format!("cannot locate own binary: {e}")));
+        // Engine/server tuning flags pass through to every spawned backend.
+        let mut extra = Vec::new();
+        for flag in ["--workers", "--inflight", "--cache", "--budget"] {
+            if let Some(v) = arg(flag) {
+                extra.push(flag.to_string());
+                extra.push(v);
+            }
+        }
+        for _ in 0..n {
+            let backend = router
+                .spawn_backend(&xknn, &extra)
+                .unwrap_or_else(|e| router_fail(&router, &format!("cannot spawn backend: {e}")));
+            eprintln!("xknn router: spawned backend {} (pid-owned)", backend.addr);
+        }
+    }
+    if router.pool().is_empty() {
+        fail("router needs at least one backend (--backend and/or --spawn)");
+    }
+    for spec in args_all("--data") {
+        let (name, path) = spec.split_once('=').unwrap_or_else(|| {
+            router_fail(&router, &format!("--data wants name=<file>, got `{spec}`"))
+        });
+        let replicas = router
+            .load(name, knn_cluster::LoadSource::Path(path), None)
+            .unwrap_or_else(|e| router_fail(&router, &e));
+        eprintln!("xknn router: loaded `{name}` on replicas {replicas:?}");
+    }
+    // The resolved address on stdout (and flushed), like `xknn serve`.
+    println!("listening on {}", router.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if let Err(e) = router.serve() {
+        fail(&format!("router failed: {e}"));
+    }
 }
 
 fn single_query(command: String, data: explainable_knn::cli::ParsedData) {

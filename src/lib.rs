@@ -39,6 +39,7 @@
 
 pub mod cli;
 
+pub use knn_cluster as cluster;
 pub use knn_core as core;
 pub use knn_datasets as datasets;
 pub use knn_engine as engine;
@@ -54,6 +55,7 @@ pub use knn_space as space;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use knn_cluster::{Router, RouterConfig};
     pub use knn_core::abductive::hamming::HammingAbductive;
     pub use knn_core::abductive::l1::L1Abductive;
     pub use knn_core::abductive::l2::L2Abductive;
