@@ -1,0 +1,236 @@
+//! Eager vs lazy Prop 1 region enumeration, written to `BENCH_regions.json`
+//! at the workspace root.
+//!
+//! For each k ∈ {1, 3, 5, 7} over one two-blob ℓ2 workload:
+//!
+//! * **eager** — `RegionCache::build` materializes the whole `O(n^k)`
+//!   decomposition before the first answer (the former serving model), then
+//!   the query set runs against the `*_in` oracle paths, which replay the
+//!   lazy ordering over the cache (per-query key sort, build-time prune
+//!   flags) so both sides perform the same LP sequence. Skipped, and
+//!   recorded as `"eager_feasible": false`, when the decomposition estimate
+//!   exceeds the materialization limit — which is exactly what made k ≥ 7
+//!   unservable;
+//! * **lazy** — `LazyRegions` (`O(n)` setup), cold query set (streams,
+//!   prunes and memoizes on the fly), then the same set warm.
+//!
+//! The numbers to look at: `eager_build_s / lazy_cold_s` for k = 5 (the
+//! lazy path answers while the eager one is still materializing) and
+//! `lazy_warm_s / eager_query_s` for k ∈ {1, 3} (laziness must not tax the
+//! small-k fast path).
+//!
+//! Run with `cargo bench -p knn-bench --bench region_enumeration`.
+
+use knn_core::abductive::l2::L2Abductive;
+use knn_core::counterfactual::l2::L2Counterfactual;
+use knn_core::regions::{LazyRegions, RegionCache};
+use knn_datasets::blobs::{blobs_dataset, Blob};
+use knn_space::{ContinuousDataset, Label, OddK};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Polyhedron-count ceiling for the eager build (both regions together).
+/// Past this the materialization is not a serving option (memory and build
+/// time both `O(n^k)`), and the bench records it as infeasible.
+const EAGER_LIMIT: usize = 150_000;
+
+fn binom(n: usize, r: usize) -> usize {
+    if r > n {
+        return 0;
+    }
+    (0..r).fold(1usize, |acc, i| acc.saturating_mul(n - i) / (i + 1))
+}
+
+fn region_estimate(ds: &ContinuousDataset<f64>, k: OddK) -> usize {
+    let (p, m) = (ds.count_of(Label::Positive), ds.count_of(Label::Negative));
+    let maj = k.majority();
+    let min = k.minority();
+    binom(p, maj).saturating_mul(binom(m, min.min(m)))
+        + binom(m, maj).saturating_mul(binom(p, min.min(p)))
+}
+
+/// The query set: counterfactual balls (short-circuit showcase) plus
+/// check-SR on a pinned coordinate (early-witness showcase), from points
+/// straddling the two blobs.
+struct Queries {
+    points: Vec<Vec<f64>>,
+    radius_sq: Vec<f64>,
+}
+
+fn queries(ds: &ContinuousDataset<f64>, n: usize) -> Queries {
+    let dim = ds.dim();
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1).max(1) as f64;
+            // A line sweeping from inside the positive blob toward the
+            // negative one.
+            (0..dim).map(|d| if d == 0 { -1.0 + 5.0 * t } else { 0.3 * t }).collect()
+        })
+        .collect();
+    // A generous ball: the squared distance to the farthest-class nearest
+    // point, scaled — guarantees the counterfactual query usually answers
+    // "yes" after a handful of regions.
+    let radius_sq = points
+        .iter()
+        .map(|x| {
+            let nearest = |label| {
+                ds.iter()
+                    .filter(|&(_, l)| l == label)
+                    .map(|(p, _)| p.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+                    .fold(f64::INFINITY, f64::min)
+            };
+            1.1 * nearest(Label::Positive).max(nearest(Label::Negative))
+        })
+        .collect();
+    Queries { points, radius_sq }
+}
+
+fn run_eager(ds: &ContinuousDataset<f64>, k: OddK, q: &Queries, cache: &RegionCache<f64>) {
+    let cf = L2Counterfactual::new(ds, k);
+    let ab = L2Abductive::new(ds, k);
+    for (x, r) in q.points.iter().zip(&q.radius_sq) {
+        std::hint::black_box(cf.within_in(x, r, cache));
+        std::hint::black_box(ab.check_in(x, &[ds.dim() - 1], cache));
+    }
+}
+
+fn run_lazy(ds: &ContinuousDataset<f64>, k: OddK, q: &Queries, lazy: &LazyRegions<f64>) {
+    let cf = L2Counterfactual::new(ds, k);
+    let ab = L2Abductive::new(ds, k);
+    for (x, r) in q.points.iter().zip(&q.radius_sq) {
+        std::hint::black_box(cf.within_lazy(x, r, lazy));
+        std::hint::black_box(ab.check_lazy(x, &[ds.dim() - 1], lazy));
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (per_class, dim, n_queries) = if full { (16, 6, 12) } else { (14, 6, 8) };
+
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut center_pos = vec![0.0; dim];
+    let mut center_neg = vec![0.0; dim];
+    center_pos[0] = -1.0;
+    center_neg[0] = 4.0;
+    let ds = blobs_dataset(
+        &mut rng,
+        &[
+            Blob {
+                center: center_pos.clone(),
+                sigma: 0.8,
+                label: Label::Positive,
+                count: per_class,
+            },
+            Blob {
+                center: center_neg.clone(),
+                sigma: 0.8,
+                label: Label::Negative,
+                count: per_class,
+            },
+        ],
+    );
+    let q = queries(&ds, n_queries);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"points\": {}, \"dim\": {dim}, \"queries\": {}, \"eager_limit\": {EAGER_LIMIT}}},",
+        ds.len(),
+        n_queries
+    );
+
+    // Process warmup on a throwaway view: the very first timed pass must
+    // measure region enumeration, not first-touch allocator/code-path costs.
+    {
+        let warm = LazyRegions::new(&ds, OddK::ONE);
+        run_lazy(&ds, OddK::ONE, &q, &warm);
+    }
+
+    let ks = [1u32, 3, 5, 7];
+    for (ki, &kv) in ks.iter().enumerate() {
+        let k = OddK::of(kv);
+        let estimate = region_estimate(&ds, k);
+        let eager_feasible = estimate <= EAGER_LIMIT;
+
+        // Sub-millisecond passes are scheduler-noise-prone, so warm numbers
+        // are the best of three runs.
+        let best_of_3 = |f: &dyn Fn()| {
+            (0..3)
+                .map(|_| {
+                    let t = Instant::now();
+                    f();
+                    t.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+
+        // Lazy first, so its cold pass is not polluted by the eager build's
+        // heap churn (hundreds of MB of freshly-faulted pages at k = 5).
+        let lazy = LazyRegions::new(&ds, k);
+        let t2 = Instant::now();
+        run_lazy(&ds, k, &q, &lazy);
+        let lazy_cold = t2.elapsed().as_secs_f64();
+        let lazy_warm = best_of_3(&|| run_lazy(&ds, k, &q, &lazy));
+
+        let (eager_build, eager_query) = if eager_feasible {
+            let t0 = Instant::now();
+            let cache = RegionCache::build(&ds, k);
+            let build = t0.elapsed().as_secs_f64();
+            let query = best_of_3(&|| run_eager(&ds, k, &q, &cache));
+            (Some(build), Some(query))
+        } else {
+            (None, None)
+        };
+
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.6}"),
+            None => "null".to_string(),
+        };
+        println!(
+            "k={kv}: regions≈{estimate:>8}  eager build {:>10} query {:>10}   lazy cold {:>9.6}s warm {:>9.6}s  visited {}",
+            fmt_opt(eager_build),
+            fmt_opt(eager_query),
+            lazy_cold,
+            lazy_warm,
+            lazy.memoized(),
+        );
+        let _ = writeln!(
+            json,
+            "  \"k{kv}\": {{\"regions_estimate\": {estimate}, \"eager_feasible\": {eager_feasible}, \"eager_build_s\": {}, \"eager_query_s\": {}, \"lazy_cold_s\": {lazy_cold:.6}, \"lazy_warm_s\": {lazy_warm:.6}, \"lazy_regions_visited\": {}}}{}",
+            fmt_opt(eager_build),
+            fmt_opt(eager_query),
+            lazy.memoized(),
+            if ki + 1 < ks.len() { "," } else { "" }
+        );
+
+        // The acceptance claims, asserted where measurable: lazy small-k
+        // warm latency stays in the same ballpark as eager warm latency, and
+        // at k = 5 the lazy cold pass beats materializing the decomposition
+        // by a wide margin (or the decomposition is infeasible outright).
+        if kv <= 3 {
+            // Best-of-3 on both sides plus a 1 ms floor: the claim is "same
+            // ballpark", and sub-millisecond deltas on a shared CI runner
+            // must not fail the build.
+            let eq = eager_query.expect("small k is always eager-feasible");
+            assert!(
+                lazy_warm <= 2.0 * eq.max(1e-3),
+                "k={kv}: lazy warm {lazy_warm}s must be within 2x of eager warm {eq}s"
+            );
+        }
+        if kv == 5 {
+            if let Some(build) = eager_build {
+                assert!(
+                    build >= 10.0 * lazy_cold,
+                    "k=5: eager build {build}s must be ≥ 10x lazy cold queries {lazy_cold}s"
+                );
+            }
+        }
+    }
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_regions.json");
+    std::fs::write(path, &json).expect("write BENCH_regions.json");
+    println!("wrote {path}");
+}

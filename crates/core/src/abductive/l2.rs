@@ -8,10 +8,12 @@
 
 use crate::abductive::minimum::{minimum_sufficient_reason, HittingSetMode};
 use crate::classifier::ContinuousKnn;
-use crate::regions::{region_polyhedra, RegionCache};
+use crate::regions::{anchor_order, LazyRegions, RegionCache, RegionStream};
 use crate::SrCheck;
 use knn_num::Field;
+use knn_qp::Polyhedron;
 use knn_space::{ContinuousDataset, Label, LpMetric, OddK};
+use std::borrow::Borrow;
 
 /// Sufficient-reason engine for the ℓ2 setting.
 #[derive(Clone, Debug)]
@@ -32,22 +34,67 @@ impl<'a, F: Field> L2Abductive<'a, F> {
     }
 
     /// `k`-Check Sufficient Reason(ℝ, D₂) — polynomial for fixed k (Prop 3).
+    ///
+    /// Regions are enumerated lazily, nearest-anchor-first and pruned
+    /// ([`RegionStream::for_query`]), so a failing check usually terminates
+    /// after a handful of LPs instead of scanning the whole decomposition.
     pub fn check(&self, x: &[F], fixed: &[usize]) -> SrCheck<Vec<F>> {
         assert_eq!(x.len(), self.ds.dim());
-        let label = self.classifier().classify(x);
-        let target = label.flip();
-        for mut poly in region_polyhedra(self.ds, self.k, target) {
-            for &i in fixed {
-                poly.fix_coord(i, x[i].clone());
-            }
+        let target = self.classifier().classify(x).flip();
+        let stream = RegionStream::for_query(self.ds, self.k, target, x, None);
+        self.check_over(x, fixed, target, stream.map(|(p, _)| p))
+    }
+
+    /// [`L2Abductive::check`] against a shared [`LazyRegions`] view (built
+    /// for the same dataset and `k`): the batch engine's serving path. Warm
+    /// queries replay memoized polyhedra; cold ones enumerate and memoize.
+    pub fn check_lazy(
+        &self,
+        x: &[F],
+        fixed: &[usize],
+        regions: &LazyRegions<F>,
+    ) -> SrCheck<Vec<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        assert_eq!(regions.k(), self.k, "lazy regions built for a different k");
+        let target = self.classifier().classify(x).flip();
+        self.check_over(x, fixed, target, regions.stream(target, x).map(|(p, _)| p))
+    }
+
+    /// [`L2Abductive::check`] against the eager, pre-materialized
+    /// [`RegionCache`] — the differential-testing oracle. Iterates the
+    /// cache through [`RegionCache::ordered_pruned`], i.e. in exactly the
+    /// order and with exactly the prune decisions of the lazy path, so the
+    /// two produce identical witnesses.
+    pub fn check_in(&self, x: &[F], fixed: &[usize], regions: &RegionCache<F>) -> SrCheck<Vec<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        assert_eq!(regions.k(), self.k, "region cache built for a different k");
+        let target = self.classifier().classify(x).flip();
+        self.check_over(x, fixed, target, regions.ordered_pruned(self.ds, target, x))
+    }
+
+    /// The shared LP loop: first region of `polys` admitting a point of
+    /// `U(X, x̄)` yields the counterexample. The polyhedra are used
+    /// read-only; the affine restriction is applied per-LP.
+    fn check_over<B: Borrow<Polyhedron<F>>>(
+        &self,
+        x: &[F],
+        fixed: &[usize],
+        target: Label,
+        polys: impl IntoIterator<Item = B>,
+    ) -> SrCheck<Vec<F>> {
+        let fixed_vals: Vec<(usize, F)> = fixed.iter().map(|&i| (i, x[i].clone())).collect();
+        for poly in polys {
+            let poly = poly.borrow();
             let witness = match target {
                 // The positive region is closed, so any feasible point works —
                 // but a bisector-boundary point classifies by exact tie-break,
                 // which the float instantiation cannot reproduce reliably.
                 // Prefer an interior witness and keep the boundary fallback
                 // for measure-zero cells.
-                Label::Positive => poly.strict_feasible_point().or_else(|| poly.feasible_point()),
-                Label::Negative => poly.strict_feasible_point(),
+                Label::Positive => poly
+                    .strict_feasible_point_fixed(&fixed_vals)
+                    .or_else(|| poly.feasible_point_fixed(&fixed_vals)),
+                Label::Negative => poly.strict_feasible_point_fixed(&fixed_vals),
             };
             if let Some(w) = witness {
                 if self.classifier().classify(&w) != target {
@@ -63,47 +110,46 @@ impl<'a, F: Field> L2Abductive<'a, F> {
         SrCheck::Sufficient
     }
 
-    /// [`L2Abductive::check`] against a shared, pre-enumerated
-    /// [`RegionCache`] (built for the same dataset and `k`): the batch
-    /// engine's hot path. The polyhedra are used read-only; the affine
-    /// restriction `U(X, x̄)` is applied per-LP.
-    pub fn check_in(&self, x: &[F], fixed: &[usize], regions: &RegionCache<F>) -> SrCheck<Vec<F>> {
-        assert_eq!(x.len(), self.ds.dim());
-        assert_eq!(regions.k(), self.k, "region cache built for a different k");
-        let label = self.classifier().classify(x);
-        let target = label.flip();
-        let fixed_vals: Vec<(usize, F)> = fixed.iter().map(|&i| (i, x[i].clone())).collect();
-        for poly in regions.polyhedra(target) {
-            let witness = match target {
-                Label::Positive => poly
-                    .strict_feasible_point_fixed(&fixed_vals)
-                    .or_else(|| poly.feasible_point_fixed(&fixed_vals)),
-                Label::Negative => poly.strict_feasible_point_fixed(&fixed_vals),
-            };
-            if let Some(w) = witness {
-                if self.classifier().classify(&w) != target {
-                    debug_assert!(!F::exact(), "exact witness must classify as target");
-                    continue;
-                }
-                return SrCheck::NotSufficient { witness: w };
-            }
-        }
-        SrCheck::Sufficient
-    }
-
     /// Convenience boolean form of [`L2Abductive::check`].
     pub fn is_sufficient(&self, x: &[F], fixed: &[usize]) -> bool {
         self.check(x, fixed).is_sufficient()
     }
 
     /// A *minimal* sufficient reason in polynomial time (Cor 1 via Prop 2).
+    /// The nearest-anchor-first order depends only on `x`, so it is computed
+    /// once and shared by every greedy-deletion check.
     pub fn minimal(&self, x: &[F]) -> Vec<usize> {
-        super::greedy_minimal(self.ds.dim(), None, |s| self.is_sufficient(x, s))
+        let target = self.classifier().classify(x).flip();
+        let order = anchor_order(self.ds, self.k, target, Some(x));
+        super::greedy_minimal(self.ds.dim(), None, |s| {
+            let stream =
+                RegionStream::with_order(self.ds, self.k, target, order.clone(), true, None);
+            self.check_over(x, s, target, stream.map(|(p, _)| p)).is_sufficient()
+        })
     }
 
-    /// [`L2Abductive::minimal`] over a shared [`RegionCache`].
+    /// [`L2Abductive::minimal`] over a shared [`LazyRegions`] view (one
+    /// anchor ordering for the whole greedy loop).
+    pub fn minimal_lazy(&self, x: &[F], regions: &LazyRegions<F>) -> Vec<usize> {
+        assert_eq!(regions.k(), self.k, "lazy regions built for a different k");
+        let target = self.classifier().classify(x).flip();
+        let order = regions.order_for(target, x);
+        super::greedy_minimal(self.ds.dim(), None, |s| {
+            let stream = regions.stream_with_order(target, order.clone());
+            self.check_over(x, s, target, stream.map(|(p, _)| p)).is_sufficient()
+        })
+    }
+
+    /// [`L2Abductive::minimal`] over the eager [`RegionCache`] oracle (one
+    /// entry permutation for the whole greedy loop, mirroring the lazy twin).
     pub fn minimal_in(&self, x: &[F], regions: &RegionCache<F>) -> Vec<usize> {
-        super::greedy_minimal(self.ds.dim(), None, |s| self.check_in(x, s, regions).is_sufficient())
+        assert_eq!(regions.k(), self.k, "region cache built for a different k");
+        let target = self.classifier().classify(x).flip();
+        let order = regions.query_order(self.ds, target, x);
+        super::greedy_minimal(self.ds.dim(), None, |s| {
+            self.check_over(x, s, target, regions.ordered_pruned_with(target, order.clone()))
+                .is_sufficient()
+        })
     }
 
     /// A *minimum* sufficient reason — NP-complete (Cor 6); exact via the
@@ -114,26 +160,59 @@ impl<'a, F: Field> L2Abductive<'a, F> {
 
     /// Minimum-SR loop with a choice of hitting-set mode (`Greedy` gives the
     /// polynomial upper-bound heuristic of §10's approximation question).
+    /// One anchor ordering serves every counterexample check in the loop.
     pub fn minimum_with(&self, x: &[F], mode: HittingSetMode) -> Vec<usize> {
+        let target = self.classifier().classify(x).flip();
+        let order = anchor_order(self.ds, self.k, target, Some(x));
         minimum_sufficient_reason(
             self.ds.dim(),
             mode,
-            |s| self.check(x, s),
+            |s| {
+                let stream =
+                    RegionStream::with_order(self.ds, self.k, target, order.clone(), true, None);
+                self.check_over(x, s, target, stream.map(|(p, _)| p))
+            },
             |w| Self::deviation(x, w),
         )
     }
 
-    /// [`L2Abductive::minimum_with`] over a shared [`RegionCache`].
+    /// [`L2Abductive::minimum_with`] over a shared [`LazyRegions`] view (one
+    /// anchor ordering for the whole hitting-set loop).
+    pub fn minimum_lazy(
+        &self,
+        x: &[F],
+        mode: HittingSetMode,
+        regions: &LazyRegions<F>,
+    ) -> Vec<usize> {
+        assert_eq!(regions.k(), self.k, "lazy regions built for a different k");
+        let target = self.classifier().classify(x).flip();
+        let order = regions.order_for(target, x);
+        minimum_sufficient_reason(
+            self.ds.dim(),
+            mode,
+            |s| {
+                let stream = regions.stream_with_order(target, order.clone());
+                self.check_over(x, s, target, stream.map(|(p, _)| p))
+            },
+            |w| Self::deviation(x, w),
+        )
+    }
+
+    /// [`L2Abductive::minimum_with`] over the eager [`RegionCache`] oracle
+    /// (one entry permutation for the whole hitting-set loop).
     pub fn minimum_in(
         &self,
         x: &[F],
         mode: HittingSetMode,
         regions: &RegionCache<F>,
     ) -> Vec<usize> {
+        assert_eq!(regions.k(), self.k, "region cache built for a different k");
+        let target = self.classifier().classify(x).flip();
+        let order = regions.query_order(self.ds, target, x);
         minimum_sufficient_reason(
             self.ds.dim(),
             mode,
-            |s| self.check_in(x, s, regions),
+            |s| self.check_over(x, s, target, regions.ordered_pruned_with(target, order.clone())),
             |w| Self::deviation(x, w),
         )
     }

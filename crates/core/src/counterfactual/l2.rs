@@ -11,9 +11,9 @@
 //!   interior-pointing direction found by LP (Corollary 2).
 
 use crate::classifier::ContinuousKnn;
-use crate::regions::{region_polyhedra, RegionCache};
+use crate::regions::{LazyRegions, RegionCache, RegionStream};
 use knn_lp::{LpProblem, Rel};
-use knn_num::field::dot;
+use knn_num::field::{dot, norm_sq};
 use knn_num::Field;
 use knn_qp::{project_onto_polyhedron, Polyhedron, QpOutcome};
 use knn_space::{ContinuousDataset, Label, LpMetric, OddK};
@@ -50,19 +50,35 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
 
     /// The infimum counterfactual distance (squared), with a closure witness.
     /// `None` if the opposite region is empty.
+    ///
+    /// Regions are enumerated lazily, nearest-anchor-first and pruned
+    /// ([`RegionStream::for_query`]); projection QPs run only on regions the
+    /// cheap halfspace lower bound cannot rule out against the incumbent.
     pub fn infimum(&self, x: &[F]) -> Option<CfInfimum<F>> {
         assert_eq!(x.len(), self.ds.dim());
         let target = self.classifier().classify(x).flip();
-        self.infimum_over(x, target, region_polyhedra(self.ds, self.k, target))
+        let stream = RegionStream::for_query(self.ds, self.k, target, x, None);
+        self.infimum_over(x, target, stream.map(|(p, _)| p))
     }
 
-    /// [`L2Counterfactual::infimum`] against a shared, pre-enumerated
-    /// [`RegionCache`] (built for the same dataset and `k`).
+    /// [`L2Counterfactual::infimum`] against a shared [`LazyRegions`] view
+    /// (built for the same dataset and `k`): the batch engine's serving path.
+    pub fn infimum_lazy(&self, x: &[F], regions: &LazyRegions<F>) -> Option<CfInfimum<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        assert_eq!(regions.k(), self.k, "lazy regions built for a different k");
+        let target = self.classifier().classify(x).flip();
+        self.infimum_over(x, target, regions.stream(target, x).map(|(p, _)| p))
+    }
+
+    /// [`L2Counterfactual::infimum`] against the eager [`RegionCache`]
+    /// oracle, replayed in the lazy path's order with the lazy path's prune
+    /// decisions ([`RegionCache::ordered_pruned`]) so the two produce
+    /// identical witnesses.
     pub fn infimum_in(&self, x: &[F], regions: &RegionCache<F>) -> Option<CfInfimum<F>> {
         assert_eq!(x.len(), self.ds.dim());
         assert_eq!(regions.k(), self.k, "region cache built for a different k");
         let target = self.classifier().classify(x).flip();
-        self.infimum_over(x, target, regions.polyhedra(target).iter())
+        self.infimum_over(x, target, regions.ordered_pruned(self.ds, target, x))
     }
 
     fn infimum_over<B: std::borrow::Borrow<Polyhedron<F>>>(
@@ -74,6 +90,14 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
         let mut best: Option<CfInfimum<F>> = None;
         for poly in polys {
             let poly = poly.borrow();
+            // Incumbent pruning: if a single violated halfspace already puts
+            // the whole region farther than the best distance found, the QP
+            // cannot improve it (ties keep the earlier incumbent anyway).
+            if let Some(b) = &best {
+                if lower_bound_exceeds(x, poly, &b.dist_sq) {
+                    continue;
+                }
+            }
             let candidate = match target {
                 Label::Positive => match project_onto_polyhedron(x, poly) {
                     QpOutcome::Optimal { y, dist_sq } => {
@@ -112,15 +136,27 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
     pub fn within(&self, x: &[F], radius_sq: &F) -> Option<Vec<F>> {
         assert_eq!(x.len(), self.ds.dim());
         let target = self.classifier().classify(x).flip();
-        self.within_over(x, radius_sq, target, region_polyhedra(self.ds, self.k, target))
+        let stream = RegionStream::for_query(self.ds, self.k, target, x, None);
+        self.within_over(x, radius_sq, target, stream.map(|(p, _)| p))
     }
 
-    /// [`L2Counterfactual::within`] against a shared [`RegionCache`].
+    /// [`L2Counterfactual::within`] against a shared [`LazyRegions`] view.
+    /// Nearest-anchor-first ordering makes this the showcase short-circuit:
+    /// the first region whose projection fits the ball answers the query.
+    pub fn within_lazy(&self, x: &[F], radius_sq: &F, regions: &LazyRegions<F>) -> Option<Vec<F>> {
+        assert_eq!(x.len(), self.ds.dim());
+        assert_eq!(regions.k(), self.k, "lazy regions built for a different k");
+        let target = self.classifier().classify(x).flip();
+        self.within_over(x, radius_sq, target, regions.stream(target, x).map(|(p, _)| p))
+    }
+
+    /// [`L2Counterfactual::within`] against the eager [`RegionCache`] oracle
+    /// (lazy-path order and prune decisions).
     pub fn within_in(&self, x: &[F], radius_sq: &F, regions: &RegionCache<F>) -> Option<Vec<F>> {
         assert_eq!(x.len(), self.ds.dim());
         assert_eq!(regions.k(), self.k, "region cache built for a different k");
         let target = self.classifier().classify(x).flip();
-        self.within_over(x, radius_sq, target, regions.polyhedra(target).iter())
+        self.within_over(x, radius_sq, target, regions.ordered_pruned(self.ds, target, x))
     }
 
     fn within_over<B: std::borrow::Borrow<Polyhedron<F>>>(
@@ -132,6 +168,11 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
     ) -> Option<Vec<F>> {
         for poly in polys {
             let poly = poly.borrow();
+            // A single violated halfspace farther than the radius rules the
+            // region out without a QP.
+            if lower_bound_exceeds(x, poly, radius_sq) {
+                continue;
+            }
             match target {
                 Label::Positive => {
                     if let QpOutcome::Optimal { y, dist_sq } = project_onto_polyhedron(x, poly) {
@@ -173,6 +214,26 @@ impl<'a, F: Field> L2Counterfactual<'a, F> {
         }
         None
     }
+}
+
+/// A cheap lower bound on `d²(x̄, P)`: for any inequality row `g·y ≤ h` that
+/// `x̄` violates, every point of `P` is at least `(g·x̄ − h)/‖g‖` away, so
+/// `P` can be skipped whenever `(g·x̄ − h)² > bound_sq·‖g‖²` for some row.
+/// The comparison is made through the field's sign test (tolerance-guarded
+/// for `f64`), so the skip is conservative, and it is the same deterministic
+/// decision on the lazy and eager paths.
+fn lower_bound_exceeds<F: Field>(x: &[F], poly: &Polyhedron<F>, bound_sq: &F) -> bool {
+    for (g, h) in poly.ineqs() {
+        let viol = dot(g, x) - h.clone();
+        if !viol.is_positive() {
+            continue;
+        }
+        let g_sq = norm_sq(g);
+        if (viol.clone() * viol - bound_sq.clone() * g_sq).is_positive() {
+            return true;
+        }
+    }
+    false
 }
 
 /// Corollary 2's witness construction: starting from a closure point `y` of an

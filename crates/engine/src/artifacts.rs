@@ -7,9 +7,14 @@
 //!   bit-packed Hamming index per class. The optimistic rule of §2 reduces to
 //!   comparing the `maj`-th order statistics of the per-class distance
 //!   multisets, so classification needs exactly one `maj`-NN probe per class;
-//! * **Prop 1 region caches** — the ℓ2 decision-region polyhedra per `k`
-//!   ([`RegionCache`]), feeding the `*_in` fast paths of the ℓ2 abductive and
-//!   counterfactual engines;
+//! * **lazy Prop 1 region views** — a [`LazyRegions`] per `k`, feeding the
+//!   `*_lazy` fast paths of the ℓ2 abductive and counterfactual engines.
+//!   Construction is `O(n)`; regions are enumerated nearest-anchor-first per
+//!   query and memoized (bounded) as they are visited, which is what lets
+//!   the engine serve k ≥ 5 where the eager decomposition is infeasible;
+//! * **eager Prop 1 region caches** — the fully materialized [`RegionCache`]
+//!   per `k`, kept as the differential-testing oracle behind
+//!   `EngineConfig::eager_l2_regions`;
 //! * the **boolean view** of a 0/1 continuous dataset, owned by
 //!   [`EngineData`] itself.
 //!
@@ -19,7 +24,7 @@
 //! while distinct artifacts (e.g. region caches for k = 1 and k = 3) build
 //! in parallel.
 
-use knn_core::regions::RegionCache;
+use knn_core::regions::{LazyRegions, RegionCache};
 use knn_index::{HammingIndex, KdTree};
 use knn_space::{BitVec, BooleanDataset, ContinuousDataset, Label, LpMetric, OddK};
 use std::collections::HashMap;
@@ -92,6 +97,7 @@ pub struct ArtifactStore {
     kd_class: Family<(u32, Label), KdTree>,
     hamming_class: Family<Label, HammingIndex>,
     l2_regions: Family<u32, RegionCache<f64>>,
+    l2_lazy: Family<u32, LazyRegions<f64>>,
 }
 
 impl ArtifactStore {
@@ -116,9 +122,18 @@ impl ArtifactStore {
         })
     }
 
-    /// The Prop 1 ℓ2 region cache for `k`, building it on first use.
+    /// The eager Prop 1 ℓ2 region cache for `k`, building it on first use.
+    /// `O(n^k)` memory — the test-oracle path; serving uses
+    /// [`ArtifactStore::l2_lazy_regions`].
     pub fn l2_regions(&self, data: &EngineData, k: OddK) -> Arc<RegionCache<f64>> {
         self.l2_regions.get_or_build(k.get(), || RegionCache::build(&data.continuous, k))
+    }
+
+    /// The lazy Prop 1 ℓ2 region view for `k`. Cheap to build; visited
+    /// regions are memoized inside the view (bounded), so every worker
+    /// sharing this artifact also shares the warm enumeration.
+    pub fn l2_lazy_regions(&self, data: &EngineData, k: OddK) -> Arc<LazyRegions<f64>> {
+        self.l2_lazy.get_or_build(k.get(), || LazyRegions::new(&data.continuous, k))
     }
 
     /// How many artifacts (across all families) have finished building —
@@ -129,6 +144,7 @@ impl ArtifactStore {
         self.kd_class.built_count()
             + self.hamming_class.built_count()
             + self.l2_regions.built_count()
+            + self.l2_lazy.built_count()
     }
 }
 
@@ -166,6 +182,10 @@ mod tests {
         let r1 = store.l2_regions(&d, OddK::ONE);
         let r2 = store.l2_regions(&d, OddK::ONE);
         assert!(Arc::ptr_eq(&r1, &r2));
-        assert!(!r1.polyhedra(Label::Positive).is_empty());
+        assert!(!r1.entries(Label::Positive).is_empty());
+        let l1 = store.l2_lazy_regions(&d, OddK::ONE);
+        let l2 = store.l2_lazy_regions(&d, OddK::ONE);
+        assert!(Arc::ptr_eq(&l1, &l2));
+        assert_eq!(l1.memoized(), 0, "lazy view starts empty — nothing visited yet");
     }
 }

@@ -21,18 +21,35 @@ use knn_core::SrCheck;
 use knn_space::{BitVec, Label, LpMetric, OddK};
 
 /// Runs `req` to completion. `effort_budget` is the engine-level logical
-/// budget (`None` = exact everywhere).
+/// budget (`None` = exact everywhere). The ℓ2 region routes run on the lazy,
+/// pruned enumerator; [`execute_opts`] exposes the eager oracle mode.
 pub fn execute(
     data: &EngineData,
     artifacts: &ArtifactStore,
     req: &Request,
     effort_budget: Option<u64>,
 ) -> Response {
+    execute_opts(data, artifacts, req, effort_budget, false)
+}
+
+/// [`execute`] with an explicit region-path selector. `eager_l2_regions`
+/// materializes the full Prop 1 decomposition up front ([`RegionCache`]-
+/// backed `*_in` paths) instead of streaming it; the two paths are
+/// byte-identical by construction (same ordering, same pruning), which is
+/// exactly what the oracle tests pin down. Serving should always pass
+/// `false`: eager is `O(n^k)` memory before the first answer.
+pub fn execute_opts(
+    data: &EngineData,
+    artifacts: &ArtifactStore,
+    req: &Request,
+    effort_budget: Option<u64>,
+    eager_l2_regions: bool,
+) -> Response {
     let planned = match plan(req, effort_budget.is_some()) {
         Ok(p) => p,
         Err(e) => return error_response(req, e),
     };
-    match execute_planned(data, artifacts, req, &planned, effort_budget) {
+    match execute_planned(data, artifacts, req, &planned, effort_budget, eager_l2_regions) {
         Ok(outcome) => {
             Response { id: req.id.clone(), route: planned.tag.to_string(), result: Ok(outcome) }
         }
@@ -50,6 +67,7 @@ fn execute_planned(
     req: &Request,
     planned: &Plan,
     effort_budget: Option<u64>,
+    eager_l2_regions: bool,
 ) -> Result<Outcome, String> {
     let dim = data.continuous.dim();
     if req.point.len() != dim {
@@ -100,28 +118,49 @@ fn execute_planned(
         }
 
         Route::L2Check => {
-            let regions = artifacts.l2_regions(data, k);
             let ab = L2Abductive::new(&data.continuous, k);
-            Ok(check_outcome(ab.check_in(x, fixed, &regions)))
+            let check = if eager_l2_regions {
+                ab.check_in(x, fixed, &artifacts.l2_regions(data, k))
+            } else {
+                ab.check_lazy(x, fixed, &artifacts.l2_lazy_regions(data, k))
+            };
+            Ok(check_outcome(check))
         }
         Route::L2Minimal => {
-            let regions = artifacts.l2_regions(data, k);
             let ab = L2Abductive::new(&data.continuous, k);
-            Ok(Outcome::Reason { features: ab.minimal_in(x, &regions), optimal: true })
+            let features = if eager_l2_regions {
+                ab.minimal_in(x, &artifacts.l2_regions(data, k))
+            } else {
+                ab.minimal_lazy(x, &artifacts.l2_lazy_regions(data, k))
+            };
+            Ok(Outcome::Reason { features, optimal: true })
         }
         Route::L2Minimum => {
-            let regions = artifacts.l2_regions(data, k);
             let ab = L2Abductive::new(&data.continuous, k);
             let mode = ihs_mode(planned);
-            Ok(Outcome::Reason {
-                features: ab.minimum_in(x, mode, &regions),
-                optimal: mode == HittingSetMode::Exact,
-            })
+            let features = if eager_l2_regions {
+                ab.minimum_in(x, mode, &artifacts.l2_regions(data, k))
+            } else {
+                ab.minimum_lazy(x, mode, &artifacts.l2_lazy_regions(data, k))
+            };
+            Ok(Outcome::Reason { features, optimal: mode == HittingSetMode::Exact })
         }
         Route::L2Cf => {
-            let regions = artifacts.l2_regions(data, k);
             let cf = L2Counterfactual::new(&data.continuous, k);
-            match cf.infimum_in(x, &regions) {
+            let (eager, lazy) = if eager_l2_regions {
+                (Some(artifacts.l2_regions(data, k)), None)
+            } else {
+                (None, Some(artifacts.l2_lazy_regions(data, k)))
+            };
+            let infimum = |x: &[f64]| match &lazy {
+                Some(regions) => cf.infimum_lazy(x, regions),
+                None => cf.infimum_in(x, eager.as_ref().expect("eager path selected")),
+            };
+            let within = |x: &[f64], r: &f64| match &lazy {
+                Some(regions) => cf.within_lazy(x, r, regions),
+                None => cf.within_in(x, r, eager.as_ref().expect("eager path selected")),
+            };
+            match infimum(x) {
                 None => Ok(Outcome::NoCounterfactual),
                 Some(inf) => {
                     let dist = inf.dist_sq.sqrt();
@@ -130,8 +169,7 @@ fn execute_planned(
                     // path, and the additive slack must clear the f64 field's
                     // 1e-9 comparison tolerance for boundary queries.
                     let radius = inf.dist_sq * 1.0001 + 1e-6;
-                    let point = cf
-                        .within_in(x, &radius, &regions)
+                    let point = within(x, &radius)
                         .ok_or("internal: witness missing just past the infimum")?;
                     Ok(Outcome::Counterfactual { point, dist, proven: true })
                 }

@@ -84,11 +84,22 @@ pub struct EngineConfig {
     /// for the SAT counterfactual; greedy hitting sets for minimum-SR).
     /// `None` runs everything exact. Never wall-clock: see the crate docs.
     pub effort_budget: Option<u64>,
+    /// Serve the ℓ2 region routes from the eagerly materialized
+    /// [`knn_core::regions::RegionCache`] instead of the lazy, pruned
+    /// enumerator. The two paths are byte-identical by construction; this
+    /// exists so the oracle tests can pin that down. Eager is `O(n^k)` time
+    /// and memory before the first answer — never enable it for serving.
+    pub eager_l2_regions: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
-        EngineConfig { workers: 0, cache_capacity: 4096, effort_budget: None }
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 4096,
+            effort_budget: None,
+            eager_l2_regions: false,
+        }
     }
 }
 
@@ -188,7 +199,13 @@ impl ExplanationEngine {
     /// determinism contract holds for these lines too.
     fn execute_guarded(&self, req: &Request) -> Response {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            exec::execute(&self.data, &self.artifacts, req, self.config.effort_budget)
+            exec::execute_opts(
+                &self.data,
+                &self.artifacts,
+                req,
+                self.config.effort_budget,
+                self.config.eager_l2_regions,
+            )
         }));
         match outcome {
             Ok(resp) => resp,

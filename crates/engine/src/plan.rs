@@ -24,13 +24,15 @@ pub enum Route {
     ClassifyHamming,
     /// Optimistic label via the per-class KD-trees (any ℓp).
     ClassifyContinuous,
-    /// Check-SR(ℝ, ℓ2): LP feasibility over the memoized Prop 1 regions.
+    /// Check-SR(ℝ, ℓ2): LP feasibility over the lazily-enumerated Prop 1
+    /// regions (nearest-anchor-first, pruned, memoized per visit).
     L2Check,
     /// Minimal-SR(ℝ, ℓ2): greedy deletion over LP checks (Cor 1).
     L2Minimal,
     /// Minimum-SR(ℝ, ℓ2): implicit hitting set (exact or greedy).
     L2Minimum,
-    /// ℓ2 counterfactual: projection QPs over the memoized regions (Thm 2).
+    /// ℓ2 counterfactual: projection QPs over the lazily-enumerated regions
+    /// (Thm 2).
     L2Cf,
     /// Check-SR(ℝ, ℓ1), k = 1: witness substitution (Prop 4).
     L1Check,
@@ -100,6 +102,10 @@ pub fn plan(req: &Request, budgeted: bool) -> Result<Plan, String> {
             mk(Route::ClassifyContinuous, "kdtree-class-index", Complexity::Poly, false)
         }
 
+        // The ℓ2 region cells are polynomial for every fixed k and are never
+        // demoted to the effort-budget tail: the lazy Prop 1 enumerator
+        // serves k ≥ 5 exactly, where the old eager materialization was the
+        // de-facto size limit (`O(n^k)` memory before the first answer).
         (QueryKind::CheckSr, Metric::L2) => {
             mk(Route::L2Check, "l2-lp-regions", Complexity::Poly, false)
         }

@@ -4,7 +4,7 @@
 
 use explainable_knn::cli::{self, run_query, MetricChoice, QueryOutput};
 use explainable_knn::prelude::*;
-use knn_engine::{Metric, Outcome, QueryKind, Request};
+use knn_engine::{EngineConfig, EngineData, Metric, Outcome, QueryKind, Request};
 use std::io::Write;
 use std::process::{Command, Stdio};
 
@@ -115,6 +115,119 @@ fn engine_matches_cli_on_l1() {
             assert!(run_query(&data, metric, 3, kind, point, Some(&[0])).is_err());
             let resp = engine.run(&request(kind, "l1", 3, point, Some(&[0])));
             assert!(resp.result.is_err(), "engine must also refuse {kind} l1 k=3");
+        }
+    }
+}
+
+/// The lazy-region swap oracle: for every ℓ2 abductive / counterfactual
+/// query kind, on both demo datasets, across k ∈ {1, 3, 5}, the engine's
+/// answers must be **byte-identical** whether the Prop 1 regions come from
+/// the lazy, pruned enumerator (serving path) or the eagerly materialized
+/// `RegionCache` (oracle path, `eager_l2_regions`). k = 5 is the case the
+/// eager path could not serve at scale; here both run, pinning the bytes.
+#[test]
+fn lazy_and_eager_region_engines_are_byte_identical() {
+    for text in [BOOL, CONT] {
+        let data = cli::parse_dataset(text).unwrap();
+        let mut lines = String::new();
+        let dim = data.continuous.dim();
+        let points: Vec<Vec<f64>> = vec![
+            vec![0.25; dim],
+            vec![1.0; dim],
+            (0..dim).map(|i| if i % 2 == 0 { -0.5 } else { 2.0 }).collect(),
+        ];
+        let mut id = 0;
+        for point in &points {
+            let pt = point.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
+            for k in [1, 3, 5] {
+                for cmd in ["check-sr", "minimal-sr", "minimum-sr", "counterfactual"] {
+                    let features = if cmd == "check-sr" { ",\"features\":[0]" } else { "" };
+                    lines.push_str(&format!(
+                        "{{\"id\":\"q{id}\",\"cmd\":\"{cmd}\",\"metric\":\"l2\",\"k\":{k},\"point\":[{pt}]{features}}}\n",
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        let engine_of = |eager: bool| {
+            ExplanationEngine::new(
+                EngineData::new(data.continuous.clone(), data.boolean.clone()),
+                EngineConfig { eager_l2_regions: eager, ..EngineConfig::default() },
+            )
+        };
+        let (lazy_out, _) = engine_of(false).run_jsonl(&lines);
+        let (eager_out, _) = engine_of(true).run_jsonl(&lines);
+        assert_eq!(lazy_out, eager_out, "lazy and eager region paths must not differ by a byte");
+        for line in lazy_out.lines() {
+            assert!(line.contains("\"ok\":true"), "all ℓ2 queries must be served: {line}");
+        }
+    }
+}
+
+/// k = 5 at a size the eager path never served (2 × C(14,3)·C(14,2) ≈ 66k
+/// polyhedra materialized before the first answer — the bench quantifies the
+/// blowup): the lazy engine must answer counterfactual and check-sr queries
+/// directly, with valid witnesses. Witnesses are verified with the exact
+/// `Rat` classifier: positive-target witnesses may sit exactly on a bisector
+/// (the closed region's boundary), where f64 tie-breaking is unreliable but
+/// the paper's optimistic rule is well-defined.
+#[test]
+fn lazy_regions_serve_k5_beyond_eager_reach() {
+    // Two interleaved 3-D lattice clusters, 14 points per class.
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for i in 0..14i64 {
+        let (a, b, c) = (i % 3, (i / 3) % 3, i / 9);
+        pos.push(vec![a as f64, b as f64, c as f64]);
+        neg.push(vec![a as f64 + 4.0, b as f64 + 0.5, c as f64 + 0.25]);
+    }
+    let ds = knn_space::ContinuousDataset::from_sets(pos, neg);
+    let engine =
+        ExplanationEngine::new(EngineData::from_continuous(ds.clone()), EngineConfig::default());
+    let k = 5u32;
+    let exact_ds = ds.map_field(|&v| knn_num::Rat::from_f64(v));
+    let exact_knn =
+        knn_core::ContinuousKnn::new(&exact_ds, knn_space::LpMetric::L2, knn_space::OddK::of(k));
+    let classify = |p: &[f64]| {
+        exact_knn.classify(&p.iter().map(|&v| knn_num::Rat::from_f64(v)).collect::<Vec<_>>())
+    };
+
+    for (i, x) in [vec![1.0, 1.0, 1.0], vec![4.5, 1.5, 1.0]].iter().enumerate() {
+        let label = classify(x);
+        let cf = engine.run(&Request {
+            id: format!("cf{i}"),
+            kind: QueryKind::Counterfactual,
+            metric: Metric::L2,
+            k,
+            point: x.clone(),
+            features: None,
+        });
+        match cf.result.expect("k = 5 counterfactual must be served") {
+            Outcome::Counterfactual { point, dist, proven } => {
+                assert!(proven, "ℓ2 region route is exact");
+                assert!(dist > 0.0);
+                assert_eq!(classify(&point), label.flip(), "witness must flip the label");
+            }
+            other => panic!("expected a counterfactual, got {other:?}"),
+        }
+        let check = engine.run(&Request {
+            id: format!("chk{i}"),
+            kind: QueryKind::CheckSr,
+            metric: Metric::L2,
+            k,
+            point: x.clone(),
+            features: Some(vec![1]),
+        });
+        match check.result.expect("k = 5 check-sr must be served") {
+            Outcome::Check { sufficient, witness } => {
+                // One pinned coordinate never suffices here: the clusters are
+                // separated along coordinate 0.
+                assert!(!sufficient, "{{1}} cannot pin the label at x = {x:?}");
+                let w = witness.expect("failing check carries a witness");
+                assert_eq!(w[1], x[1], "witness must agree on the fixed coordinate");
+                assert_eq!(classify(&w), label.flip());
+            }
+            other => panic!("expected a check outcome, got {other:?}"),
         }
     }
 }
