@@ -1,0 +1,236 @@
+//! Mutation throughput: what live mutation buys over the old
+//! reload-the-tenant workflow, written to `BENCH_delta.json` at the
+//! workspace root.
+//!
+//! Three measurements over a two-cluster boolean dataset:
+//!
+//! * **insert + first query (warm side)** — apply one insert near the
+//!   positive cluster, then answer a classify on the far (negative) side:
+//!   the untouched class's indexes carry over and the cached answer
+//!   revalidates, so the query costs a guard check, not a rebuild;
+//! * **insert + first query (mutated side)** — the same insert, then a
+//!   classify whose guard the insert kills: pays one class's index rebuild
+//!   and a recompute, still never touches the other class;
+//! * **full reload + first query** — the pre-delta workflow: re-parse the
+//!   dataset text, build a fresh engine, answer the same query cold.
+//!
+//! The acceptance gate (asserted here, recorded in the JSON): single-point
+//! insert + first query is ≥ 5× faster than full reload + first query.
+//! A separate pass measures **warm-hit retention**: the fraction of a
+//! 2·`queries` classify set still served from the cache right after a
+//! mutation (far-side entries revalidate across the epoch; mutated-side
+//! entries recompute).
+//!
+//! Run with `cargo bench -p knn-bench --bench mutation_throughput`; pass
+//! `--full` for the larger workload. The default is small enough for the
+//! CI smoke step that keeps `BENCH_delta.json` generation alive.
+
+use knn_bench::Stats;
+use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Mutation, Request};
+use knn_space::Label;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Two well-separated clusters in {0,1}^dim: positives dense in the low
+/// half of the bits, negatives in the high half. Separation is what gives
+/// far-side classify guards room to survive a near-side insert.
+fn two_cluster_text(rng: &mut StdRng, n_per_class: usize, dim: usize) -> String {
+    let mut out = String::new();
+    for label in ['+', '-'] {
+        for _ in 0..n_per_class {
+            out.push(label);
+            for j in 0..dim {
+                let low_half = j < dim / 2;
+                let dense = (label == '+') == low_half;
+                let bit = if rng.gen_bool(if dense { 0.9 } else { 0.1 }) { 1 } else { 0 };
+                let _ = write!(out, " {bit}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A classify request on a perturbed copy of the `i`-th dataset point.
+fn classify_line(text: &str, i: usize, flip: usize, id: &str) -> String {
+    let line = text.lines().nth(i).expect("point exists");
+    let mut bits: Vec<u8> =
+        line[1..].split_whitespace().map(|t| t.parse::<u8>().unwrap()).collect();
+    let j = flip % bits.len();
+    bits[j] ^= 1;
+    format!(
+        r#"{{"id":"{id}","cmd":"classify","metric":"l2","k":3,"point":[{}]}}"#,
+        bits.iter().map(|b| b.to_string()).collect::<Vec<_>>().join(",")
+    )
+}
+
+fn req(line: &str) -> Request {
+    Request::from_json_line(line, "0").unwrap()
+}
+
+/// A point inside the positive cluster but off its ideal center (three
+/// low-half bits cleared): close enough to invalidate positive-side guards
+/// near it, far enough from the negative cluster to spare that side, and
+/// unlikely to duplicate an existing point (which would blunt the
+/// mutated-side measurement).
+fn pos_cluster_point(dim: usize) -> Vec<f64> {
+    (0..dim).map(|j| if j < dim / 2 && j >= 3 { 1.0 } else { 0.0 }).collect()
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (n_per_class, dim, queries, reps) =
+        if full { (500, 16, 400, 12) } else { (250, 12, 120, 8) };
+
+    let mut rng = StdRng::seed_from_u64(0xDE17A);
+    let seed_text = two_cluster_text(&mut rng, n_per_class, dim);
+    // The far-side probe is a negative-cluster point; the mutated-side
+    // probe sits exactly at the inserted point, so its cached guard
+    // observes distance 0 and must fail: the first query after the insert
+    // pays the one-class rebuild + recompute.
+    let warm_probe = classify_line(&seed_text, n_per_class + 7, 3, "warm-side");
+    let inserted = pos_cluster_point(dim);
+    let cold_probe = format!(
+        r#"{{"id":"mutated-side","cmd":"classify","metric":"l2","k":3,"point":[{}]}}"#,
+        inserted.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+    );
+    let insert = Mutation::Insert { point: inserted, label: Label::Positive };
+
+    // The dataset the reload path loads: seed + the inserted point (so both
+    // paths answer over identical data).
+    let final_text = {
+        let e = ExplanationEngine::new(
+            textfmt::parse_dataset(&seed_text).unwrap(),
+            EngineConfig::default(),
+        );
+        e.apply(insert.clone()).unwrap();
+        e.dataset_text()
+    };
+
+    let warm_engine = || {
+        let e = ExplanationEngine::new(
+            textfmt::parse_dataset(&seed_text).unwrap(),
+            EngineConfig::default(),
+        );
+        e.run(&req(&warm_probe));
+        e.run(&req(&cold_probe));
+        e
+    };
+
+    // (a) insert + first query, far side: revalidated hit on carried-over
+    // state. (b) insert + first query, mutated side: one-class rebuild.
+    // (c) reload + first query: everything from scratch. Engines are
+    // prepared untimed; only the mutation-or-reload plus the first query is
+    // inside the clock.
+    let mut samples = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let e = warm_engine();
+        let t0 = Instant::now();
+        e.apply(insert.clone()).unwrap();
+        e.run(&req(&warm_probe));
+        samples.0.push(t0.elapsed().as_secs_f64());
+
+        let e = warm_engine();
+        let t0 = Instant::now();
+        e.apply(insert.clone()).unwrap();
+        e.run(&req(&cold_probe));
+        samples.1.push(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let fresh = ExplanationEngine::new(
+            textfmt::parse_dataset(&final_text).unwrap(),
+            EngineConfig::default(),
+        );
+        fresh.run(&req(&warm_probe));
+        samples.2.push(t0.elapsed().as_secs_f64());
+    }
+    let (mutate_warm, mutate_cold, reload) = (
+        Stats::from_samples(&samples.0),
+        Stats::from_samples(&samples.1),
+        Stats::from_samples(&samples.2),
+    );
+    let speedup_warm = reload.mean / mutate_warm.mean;
+    let speedup_cold = reload.mean / mutate_cold.mean;
+
+    // Warm-hit retention: a 2·queries classify set (half per cluster side),
+    // warmed, then re-run right after the insert. Far-side entries
+    // revalidate; mutated-side entries miss.
+    let e = ExplanationEngine::new(
+        textfmt::parse_dataset(&seed_text).unwrap(),
+        EngineConfig::default(),
+    );
+    let batch: Vec<Request> = (0..queries)
+        .flat_map(|i| {
+            let pos = classify_line(&seed_text, i % n_per_class, i / 3, &format!("p{i}"));
+            let neg =
+                classify_line(&seed_text, n_per_class + i % n_per_class, i / 3, &format!("n{i}"));
+            [req(&pos), req(&neg)]
+        })
+        .collect();
+    let warm_responses = e.run_batch(&batch);
+    e.apply(insert.clone()).unwrap();
+    let (after_responses, stats) = e.run_batch_with_stats(&batch);
+    let retention = stats.cache_hits as f64 / batch.len() as f64;
+    let revalidated = e.stats().revalidated;
+
+    // Sanity: the retained answers are sound — every post-mutation response
+    // equals the fresh-load oracle (cheap spot check over the whole batch).
+    let oracle = ExplanationEngine::new(
+        textfmt::parse_dataset(&e.dataset_text()).unwrap(),
+        EngineConfig::default(),
+    );
+    for (r, o) in after_responses.iter().zip(oracle.run_batch(&batch)) {
+        assert_eq!(r.to_json_line(), o.to_json_line(), "retention changed response bytes");
+    }
+    drop(warm_responses);
+
+    println!(
+        "insert+query (far side)     mean={:>9.6}s  ±{:.6}s",
+        mutate_warm.mean, mutate_warm.ci95
+    );
+    println!(
+        "insert+query (mutated side) mean={:>9.6}s  ±{:.6}s",
+        mutate_cold.mean, mutate_cold.ci95
+    );
+    println!("reload+query                mean={:>9.6}s  ±{:.6}s", reload.mean, reload.ci95);
+    println!(
+        "speedup: {speedup_warm:.1}x (far side), {speedup_cold:.1}x (mutated side); warm-hit retention {:.0}% ({revalidated} revalidated)",
+        retention * 100.0
+    );
+
+    // Acceptance gates (ISSUE 5): single-point mutation + first query ≥ 5×
+    // faster than full reload + first query; retention is real.
+    assert!(
+        speedup_warm >= 5.0,
+        "insert+first-query must be ≥ 5x faster than reload+first-query, got {speedup_warm:.1}x"
+    );
+    assert!(
+        retention >= 0.25 && revalidated > 0,
+        "mutation must retain warm hits for untouched queries, got {:.0}% ({revalidated} revalidated)",
+        retention * 100.0
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"points\": {}, \"dim\": {dim}, \"retention_queries\": {}, \"reps\": {reps}}},",
+        2 * n_per_class,
+        2 * queries
+    );
+    let _ = writeln!(
+        json,
+        "  \"insert_first_query_far_side_s\": {:.6},\n  \"insert_first_query_mutated_side_s\": {:.6},\n  \"reload_first_query_s\": {:.6},",
+        mutate_warm.mean, mutate_cold.mean, reload.mean
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_far_side\": {speedup_warm:.1},\n  \"speedup_mutated_side\": {speedup_cold:.1},\n  \"warm_hit_retention\": {retention:.3},\n  \"revalidated\": {revalidated}"
+    );
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_delta.json");
+    std::fs::write(path, &json).expect("write BENCH_delta.json");
+    println!("wrote {path}");
+}

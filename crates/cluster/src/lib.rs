@@ -26,7 +26,15 @@
 //!   failure marks them down.
 //! * **Placement map** — `load` assigns a tenant a replica set by
 //!   deterministic rendezvous hashing (optionally `"replicas":r` per tenant)
-//!   and fans the dataset out to every replica; `unload` retracts it.
+//!   and fans the dataset out to every replica (re-loading an existing name
+//!   atomically replaces it everywhere); `unload` retracts it.
+//! * **Live mutation** — `insert` / `remove` fan out to every replica of
+//!   the tenant under the control-plane lock, so replicas never diverge: a
+//!   replica that misses a mutation is demoted from the active set before
+//!   the client hears the ack, and the probe loop's reconciler rebuilds it
+//!   atomically from the retained seed text plus the full mutation log
+//!   (`load` + `replay`) before re-admitting it. Per-replica versions are
+//!   visible in the cluster `stats` verb.
 //! * **Batch scatter-gather** — a client's pipelined batch is partitioned
 //!   round-robin across its tenant's replicas and merged back in sequence
 //!   order. Each query is a pure function of `(dataset, config, request)`,
@@ -96,6 +104,31 @@ pub enum LoadSource<'a> {
     Text(&'a str),
 }
 
+/// The router's retained state for one placed tenant: everything needed to
+/// rebuild any replica byte-for-byte — the seed text plus the full mutation
+/// log (as wire `replay` items), and the replica set that acknowledged the
+/// seed (`desired`). The *active* replica set (queries route only there)
+/// lives in the placement map and is always a subset of `desired`: a
+/// replica that fails a mutation is demoted from the active set on the
+/// spot and repaired back into it by the reconciler.
+#[derive(Clone)]
+struct TenantSource {
+    /// The seed dataset text fanned out at load time.
+    seed: Arc<str>,
+    /// Applied mutations since the seed, as `replay` items
+    /// (`{"op":"insert",...}` / `{"op":"remove",...}`), oldest first.
+    muts: Vec<Value>,
+    /// The replicas that acknowledged the seed load, in placement order.
+    desired: Vec<usize>,
+}
+
+impl TenantSource {
+    /// The version (epoch) every consistent replica must be at.
+    fn version(&self) -> u64 {
+        self.muts.len() as u64
+    }
+}
+
 struct RouterShared {
     pool: Arc<BackendPool>,
     placement: Arc<PlacementMap>,
@@ -107,15 +140,16 @@ struct RouterShared {
     /// Connection counter, anchoring successive connections on different
     /// replicas.
     conn_counter: AtomicUsize,
-    /// Retained dataset text per tenant, so the probe loop can re-load a
-    /// replica that restarted with an empty registry.
-    sources: Mutex<BTreeMap<String, Arc<str>>>,
-    /// Serializes `load` fan-outs: the already-loaded check, the backend
-    /// roundtrips, and the placement/sources records must not interleave
-    /// between two concurrent loads of the same name (split-brain: replicas
-    /// holding one client's text under a placement recording the other's).
-    /// Loads are rare control-plane work, so holding a lock across the
-    /// roundtrips is fine.
+    /// Retained seed text + mutation log per tenant, so the probe loop can
+    /// rebuild a replica that restarted with an empty registry (or missed a
+    /// mutation) to the exact current version.
+    sources: Mutex<BTreeMap<String, TenantSource>>,
+    /// Serializes the control plane: `load`/`unload`/mutation fan-outs and
+    /// reconciles must not interleave (split-brain: replicas holding one
+    /// client's data under a placement recording another's; a reconcile
+    /// replaying a log a concurrent mutation is extending). These are rare
+    /// control-plane operations, so holding a lock across the roundtrips is
+    /// fine.
     load_lock: Mutex<()>,
 }
 
@@ -251,12 +285,15 @@ impl RouterHandle {
 }
 
 /// The probe loop doubles as a **reconciler**: each round, every backend
-/// that answers its `stats` probe has the probe's tenant list compared to
-/// the placement map, and any placed tenant missing from one of its
-/// replicas (a backend that restarted with an empty registry, i.e.
-/// recovered amnesiac) is re-loaded from the router's retained dataset
-/// text. Until that converges, the scatter layer's not-loaded redispatch
-/// (see [`scatter`]) keeps response bytes correct.
+/// that answers its `stats` probe has the probe's per-tenant versions
+/// compared to the router's expected versions, and any desired replica
+/// that is missing a tenant (restarted amnesiac) or holds it at the wrong
+/// version (missed a mutation) is rebuilt — one atomic `load` carrying the
+/// retained seed text plus the full mutation log as `replay`, so the
+/// replica is never observable at an intermediate version. Until that
+/// converges, inconsistent replicas are out of the tenant's *active* set
+/// (queries never route to them) and the scatter layer's not-loaded
+/// redispatch (see [`scatter`]) keeps response bytes correct.
 fn start_probe_loop(shared: &Arc<RouterShared>) {
     if shared.probe_interval.is_zero() {
         return;
@@ -265,8 +302,8 @@ fn start_probe_loop(shared: &Arc<RouterShared>) {
     std::thread::spawn(move || {
         while !shared.shutdown.load(Ordering::SeqCst) {
             for backend in shared.pool.backends() {
-                if let Some(stats) = backend.probe() {
-                    reconcile_backend(&shared, &backend, &stats);
+                if backend.probe().is_some() {
+                    reconcile_backend(&shared, &backend);
                 }
             }
             std::thread::sleep(shared.probe_interval);
@@ -274,46 +311,110 @@ fn start_probe_loop(shared: &Arc<RouterShared>) {
     });
 }
 
-/// Re-loads any placed tenant this backend replicates but no longer holds
-/// (`stats` is the probe response just received from it). Serialized with
-/// `load`/`unload` by the load lock — otherwise a reconcile running off a
-/// stale placement snapshot could re-load a tenant a concurrent `unload`
-/// just removed, stranding it on the backend (where it would then refuse
-/// any future `load` under that name).
-fn reconcile_backend(shared: &Arc<RouterShared>, backend: &Backend, stats: &str) {
+/// Repairs any desired replica of a placed tenant this backend hosts that
+/// is missing the tenant (restarted amnesiac) or holds it at the wrong
+/// version. Serialized with `load`/`unload`/mutations by the load lock —
+/// otherwise a reconcile running off a stale snapshot could rebuild a
+/// tenant a concurrent `unload` just removed, or replay a log a concurrent
+/// mutation is extending.
+///
+/// The versions the repair decision reads come from a **fresh** `stats`
+/// roundtrip made *under the load lock*, never from the probe response
+/// that triggered the reconcile: a mutation holds the lock across its
+/// fan-out, so by the time the reconcile acquires it, probe-time state may
+/// describe the previous version — acting on it would demote a perfectly
+/// consistent replica (and, transiently, every replica of the tenant).
+///
+/// The repair itself is **atomic**: a single `load` with the seed text and
+/// the mutation log as `replay`, which the backend applies before the
+/// tenant becomes visible. A repaired (or consistent-but-demoted) replica
+/// is re-admitted to the tenant's active set, in desired order.
+fn reconcile_backend(shared: &Arc<RouterShared>, backend: &Backend) {
     let _load_serialized = shared.load_lock.lock().unwrap();
-    let placements = shared.placement.list();
-    if placements.is_empty() {
+    let sources = shared.sources.lock().unwrap().clone();
+    if sources.is_empty() {
         return;
     }
+    let Ok(stats) = backend.control_roundtrip(r#"{"id":"reconcile","verb":"stats"}"#) else {
+        return;
+    };
     let Ok(v) = parse_bytes(stats.as_bytes()) else { return };
-    let held: std::collections::BTreeSet<&str> = v
+    // tenant name → reported version on this backend.
+    let held: BTreeMap<&str, u64> = v
         .get("tenants")
         .and_then(Value::as_array)
         .unwrap_or(&[])
         .iter()
-        .filter_map(|t| t.get("name").and_then(Value::as_str))
+        .filter_map(|t| {
+            let name = t.get("name").and_then(Value::as_str)?;
+            Some((name, t.get("version").and_then(Value::as_u64).unwrap_or(0)))
+        })
         .collect();
-    for t in &placements {
-        if !t.replicas.contains(&backend.id) || held.contains(t.name.as_str()) {
+    for (name, src) in &sources {
+        if !src.desired.contains(&backend.id) {
             continue;
         }
-        let source = shared.sources.lock().unwrap().get(&t.name).cloned();
-        if let Some(text) = source {
-            let _ = backend.control_roundtrip(&load_line(&t.name, &text));
+        let active = shared.placement.get(name).unwrap_or_default();
+        let consistent = held.get(name.as_str()) == Some(&src.version());
+        if consistent {
+            if !active.contains(&backend.id) {
+                // Applied its mutations but the ack was lost: re-admit.
+                readmit(shared, name, src, &active, backend.id);
+            }
+            continue;
+        }
+        // Inconsistent: make sure no queries route here, then rebuild
+        // atomically and re-admit on success.
+        if active.contains(&backend.id) {
+            let demoted: Vec<usize> =
+                active.iter().copied().filter(|&id| id != backend.id).collect();
+            shared.placement.pin(name, demoted);
+        }
+        let line = load_line(name, src);
+        if roundtrip_acked(backend, &line) {
+            let active = shared.placement.get(name).unwrap_or_default();
+            readmit(shared, name, src, &active, backend.id);
         }
     }
 }
 
-/// The wire line that loads `name` from inline `text` on a backend.
-fn load_line(name: &str, text: &str) -> String {
-    Value::Object(vec![
+/// Re-pins `name`'s active replica set to `active ∪ {id}`, ordered by the
+/// tenant's desired replica order (deterministic listings).
+fn readmit(
+    shared: &Arc<RouterShared>,
+    name: &str,
+    src: &TenantSource,
+    active: &[usize],
+    id: usize,
+) {
+    let merged: Vec<usize> =
+        src.desired.iter().copied().filter(|r| active.contains(r) || *r == id).collect();
+    shared.placement.pin(name, merged);
+}
+
+/// Did `line` roundtrip on `backend` with an `"ok":true` response?
+fn roundtrip_acked(backend: &Backend, line: &str) -> bool {
+    backend
+        .control_roundtrip(line)
+        .ok()
+        .and_then(|resp| parse_bytes(resp.as_bytes()).ok())
+        .is_some_and(|v| matches!(v.get("ok"), Some(Value::Bool(true))))
+}
+
+/// The wire line that rebuilds `name` on a backend: the seed text plus the
+/// retained mutation log as `replay` (omitted while empty, which keeps the
+/// initial fan-out line identical to PR 3's).
+fn load_line(name: &str, src: &TenantSource) -> String {
+    let mut members = vec![
         ("id".into(), Value::String("fanout".into())),
         ("verb".into(), Value::String("load".into())),
         ("name".into(), Value::String(name.to_string())),
-        ("text".into(), Value::String(text.to_string())),
-    ])
-    .to_json()
+        ("text".into(), Value::String(src.seed.to_string())),
+    ];
+    if !src.muts.is_empty() {
+        members.push(("replay".into(), Value::Array(src.muts.clone())));
+    }
+    Value::Object(members).to_json()
 }
 
 /// How a `load` picks its candidate replica set.
@@ -322,12 +423,13 @@ enum Placement {
     Pinned(Vec<usize>),
 }
 
-/// Places a tenant and fans its dataset out to every candidate replica.
-/// Only the replicas that **acknowledge** the load become the tenant's
-/// replica set — a backend that is down, or already serves something else
-/// under the same name, must never be routed queries for data it does not
-/// hold. The dataset text is retained so the probe loop can re-load an
-/// acknowledged replica that later restarts empty.
+/// Places a tenant and fans its dataset out to every candidate replica,
+/// atomically **replacing** any tenant already placed under that name
+/// (matching the single server's reload semantics). Only the replicas that
+/// **acknowledge** the load become the tenant's replica set — a backend
+/// that is down must never be routed queries for data it does not hold.
+/// The dataset text is retained (with an empty mutation log) so the probe
+/// loop can rebuild an acknowledged replica that later restarts empty.
 fn fan_out_load(
     shared: &Arc<RouterShared>,
     name: &str,
@@ -338,9 +440,6 @@ fn fan_out_load(
     let n = shared.pool.len();
     if n == 0 {
         return Err("no backends attached".into());
-    }
-    if shared.placement.get(name).is_some() {
-        return Err(format!("dataset `{name}` is already loaded (unload it first)"));
     }
     let text = match source {
         LoadSource::Text(t) => t.to_string(),
@@ -357,7 +456,13 @@ fn fan_out_load(
             ids
         }
     };
-    let line = load_line(name, &text);
+    // The old generation's *desired* set, not just the active one: a
+    // replica demoted by a failed mutation still holds (stale) data and
+    // must be cleaned up on replace like everyone else.
+    let previous = shared.sources.lock().unwrap().get(name).map(|s| s.desired.clone());
+    let src =
+        TenantSource { seed: Arc::from(text.as_str()), muts: Vec::new(), desired: Vec::new() };
+    let line = load_line(name, &src);
 
     let mut acked = Vec::new();
     let mut first_err = None;
@@ -382,33 +487,139 @@ fn fan_out_load(
         }
     }
     if acked.is_empty() {
+        // A reload that reached nobody changes nothing: the previous
+        // generation (if any) stays placed and retained.
         return Err(first_err.unwrap_or_else(|| "load failed on every replica".into()));
     }
-    shared.sources.lock().unwrap().insert(name.to_string(), Arc::from(text.as_str()));
+    shared
+        .sources
+        .lock()
+        .unwrap()
+        .insert(name.to_string(), TenantSource { desired: acked.clone(), ..src });
     shared.placement.pin(name, acked.clone());
+    // A replace: old-generation replicas that are not part of the new set
+    // still hold the old data — drop it (best-effort; an unreachable one is
+    // simply no longer this tenant's concern).
+    if let Some(old) = previous {
+        let unload = unload_line(name);
+        for id in old.into_iter().filter(|id| !acked.contains(id)) {
+            if let Some(backend) = shared.pool.get(id) {
+                let _ = backend.control_roundtrip(&unload);
+            }
+        }
+    }
     Ok(acked)
 }
 
-/// Fans `unload` out to the tenant's replicas and retracts the placement.
-/// Holds the load lock so it cannot interleave with a `load` or a
-/// reconcile of the same name.
-fn fan_out_unload(shared: &Arc<RouterShared>, name: &str) -> Result<Vec<usize>, String> {
-    let _load_serialized = shared.load_lock.lock().unwrap();
-    let replicas = shared.placement.remove(name)?;
-    shared.sources.lock().unwrap().remove(name);
-    let line = Value::Object(vec![
+/// The wire line that drops `name` on a backend.
+fn unload_line(name: &str) -> String {
+    Value::Object(vec![
         ("id".into(), Value::String("fanout".into())),
         ("verb".into(), Value::String("unload".into())),
         ("name".into(), Value::String(name.to_string())),
     ])
-    .to_json();
-    for &id in &replicas {
+    .to_json()
+}
+
+/// Fans `unload` out to the tenant's replicas and retracts the placement.
+/// Holds the load lock so it cannot interleave with a `load`, a mutation,
+/// or a reconcile of the same name.
+fn fan_out_unload(shared: &Arc<RouterShared>, name: &str) -> Result<Vec<usize>, String> {
+    let _load_serialized = shared.load_lock.lock().unwrap();
+    let replicas = shared.placement.remove(name)?;
+    let desired = shared.sources.lock().unwrap().remove(name).map(|s| s.desired);
+    let line = unload_line(name);
+    // Every desired replica may hold data (a demoted one holds a stale
+    // generation) — unload them all, not just the active set.
+    for &id in desired.as_deref().unwrap_or(&replicas) {
         if let Some(backend) = shared.pool.get(id) {
             // Best-effort: a dead replica has nothing to unload.
             let _ = backend.control_roundtrip(&line);
         }
     }
     Ok(replicas)
+}
+
+/// Fans one mutation out to every *active* replica of `name` under the
+/// load lock, appends it to the retained log, and reports the new version.
+///
+/// Failure handling keeps replicas from diverging: a replica that does not
+/// acknowledge the mutation is **demoted** from the active set right here
+/// (and best-effort unloaded), so no query can read its stale state after
+/// the mutation's response; the reconciler repairs and re-admits it later
+/// by replaying the log. If *no* replica acknowledges, the mutation did
+/// not happen: the log is not extended and the client gets an error. The
+/// first refusal from a live, consistent replica (a deterministic
+/// validation error — bad dimension, index out of range) is reported
+/// verbatim, and since validation is deterministic, every consistent
+/// replica refused it identically — nothing diverged.
+fn fan_out_mutation(
+    shared: &Arc<RouterShared>,
+    name: &str,
+    item: Value,
+    verb_line: String,
+) -> Result<(u64, Vec<usize>), String> {
+    let _load_serialized = shared.load_lock.lock().unwrap();
+    let Some(active) = shared.placement.get(name) else {
+        return Err(format!("no dataset named `{name}` (try the load verb)"));
+    };
+    let mut acked = Vec::new();
+    let mut failed = Vec::new();
+    let mut first_err = None;
+    for &id in &active {
+        let ok = match shared.pool.get(id) {
+            Some(backend) => match backend.control_roundtrip(&verb_line) {
+                Ok(resp) => match parse_bytes(resp.as_bytes()) {
+                    Ok(v) if matches!(v.get("ok"), Some(Value::Bool(true))) => true,
+                    Ok(v) => {
+                        let msg = v
+                            .get("error")
+                            .and_then(Value::as_str)
+                            .unwrap_or("backend refused the mutation")
+                            .to_string();
+                        first_err = first_err.or(Some(msg));
+                        false
+                    }
+                    Err(e) => {
+                        first_err =
+                            first_err.or(Some(format!("unparseable backend response: {e}")));
+                        false
+                    }
+                },
+                Err(e) => {
+                    first_err = first_err.or(Some(e));
+                    false
+                }
+            },
+            None => false,
+        };
+        if ok {
+            acked.push(id);
+        } else {
+            failed.push(id);
+        }
+    }
+    if acked.is_empty() {
+        return Err(first_err.unwrap_or_else(|| "mutation failed on every replica".into()));
+    }
+    // Partial failure: demote the failures before the client hears the ack,
+    // so post-mutation queries can only reach replicas that applied it.
+    if !failed.is_empty() {
+        shared.placement.pin(name, acked.clone());
+        let unload = unload_line(name);
+        for &id in &failed {
+            if let Some(backend) = shared.pool.get(id) {
+                let _ = backend.control_roundtrip(&unload);
+            }
+        }
+    }
+    let version = {
+        let mut sources = shared.sources.lock().unwrap();
+        let src = sources.get_mut(name).expect("placed tenants are retained");
+        src.muts.push(item);
+        src.version()
+    };
+    Ok((version, acked))
 }
 
 /// One client connection: parse, scatter queries, barrier control verbs —
@@ -549,7 +760,13 @@ fn run_cluster_control(
     let ids = |v: &[usize]| Value::Array(v.iter().map(|&i| num(i)).collect());
     match command {
         Command::Query { .. } => unreachable!("queries are dispatched by the caller"),
-        Command::Load { name, path, text } => {
+        Command::Load { name, path, text, replay } => {
+            if !replay.is_empty() {
+                // `replay` is the router→backend repair channel; a client
+                // expressing history should send the mutations as verbs.
+                let msg = "`replay` is not accepted through the router (send insert/remove verbs)";
+                return (proto::error_line(id, msg), false);
+            }
             let source = match (&text, &path) {
                 (Some(t), None) => LoadSource::Text(t),
                 (None, Some(p)) => LoadSource::Path(p),
@@ -568,6 +785,38 @@ fn run_cluster_control(
                     (line, false)
                 }
             }
+        }
+        Command::Insert { name, label, point } => {
+            let label_s = if label == knn_space::Label::Positive { "+" } else { "-" };
+            let point_v = Value::Array(point.iter().map(|&x| Value::Number(x)).collect());
+            let item = Value::Object(vec![
+                ("op".into(), Value::String("insert".into())),
+                ("label".into(), Value::String(label_s.into())),
+                ("point".into(), point_v.clone()),
+            ]);
+            let line = Value::Object(vec![
+                ("id".into(), Value::String("fanout".into())),
+                ("verb".into(), Value::String("insert".into())),
+                ("name".into(), Value::String(name.clone())),
+                ("label".into(), Value::String(label_s.into())),
+                ("point".into(), point_v),
+            ])
+            .to_json();
+            mutation_response(shared, id, &name, "inserted", item, line)
+        }
+        Command::Remove { name, index } => {
+            let item = Value::Object(vec![
+                ("op".into(), Value::String("remove".into())),
+                ("index".into(), Value::Number(index as f64)),
+            ]);
+            let line = Value::Object(vec![
+                ("id".into(), Value::String("fanout".into())),
+                ("verb".into(), Value::String("remove".into())),
+                ("name".into(), Value::String(name.clone())),
+                ("index".into(), Value::Number(index as f64)),
+            ])
+            .to_json();
+            mutation_response(shared, id, &name, "removed", item, line)
         }
         Command::Unload { name } => match fan_out_unload(shared, &name) {
             Err(e) => (proto::error_line(id, &e), false),
@@ -605,10 +854,45 @@ fn run_cluster_control(
     }
 }
 
-/// Per-tenant counters summed over backends.
+/// Runs one mutation fan-out and formats the router's response:
+/// `{"ok":true,"<verbed>":name,"version":...,"replicas":[...]}`.
+fn mutation_response(
+    shared: &Arc<RouterShared>,
+    id: &str,
+    name: &str,
+    verbed: &str,
+    item: Value,
+    verb_line: String,
+) -> (String, bool) {
+    match fan_out_mutation(shared, name, item, verb_line) {
+        Err(e) => (proto::error_line(id, &e), false),
+        Ok((version, replicas)) => {
+            let line = proto::ok_line(
+                id,
+                vec![
+                    (verbed.to_string(), Value::String(name.to_string())),
+                    ("version".into(), Value::Number(version as f64)),
+                    (
+                        "replicas".into(),
+                        Value::Array(replicas.iter().map(|&i| Value::Number(i as f64)).collect()),
+                    ),
+                ],
+            );
+            (line, false)
+        }
+    }
+}
+
+/// Per-tenant counters summed over backends, plus the version picture the
+/// replica-divergence satellite wants visible: the router's expected
+/// version, the desired replica set, and each desired replica's reported
+/// version (absent while a replica is down or amnesiac).
 #[derive(Default)]
 struct TenantAgg {
     replicas: Vec<usize>,
+    desired: Vec<usize>,
+    expected_version: u64,
+    versions: BTreeMap<usize, u64>,
     requests: u64,
     errors: u64,
     cache_hits: u64,
@@ -618,8 +902,8 @@ struct TenantAgg {
 
 /// The cluster `stats` verb: one `stats` roundtrip per live backend,
 /// aggregated into a cluster view (admission totals, per-tenant counters
-/// summed over replicas) plus per-backend health. Parsing is total — a
-/// backend answering garbage just contributes nothing.
+/// summed over replicas, per-replica versions) plus per-backend health.
+/// Parsing is total — a backend answering garbage just contributes nothing.
 fn cluster_stats_line(shared: &Arc<RouterShared>, id: &str) -> String {
     let num = |n: usize| Value::Number(n as f64);
     let num64 = |n: u64| Value::Number(n as f64);
@@ -631,6 +915,11 @@ fn cluster_stats_line(shared: &Arc<RouterShared>, id: &str) -> String {
         .into_iter()
         .map(|t| (t.name, TenantAgg { replicas: t.replicas, ..TenantAgg::default() }))
         .collect();
+    for (name, src) in shared.sources.lock().unwrap().iter() {
+        let agg = tenants.entry(name.clone()).or_default();
+        agg.desired = src.desired.clone();
+        agg.expected_version = src.version();
+    }
     let mut budget = 0u64;
     let mut granted = 0u64;
     let mut answering = 0usize;
@@ -654,6 +943,9 @@ fn cluster_stats_line(shared: &Arc<RouterShared>, id: &str) -> String {
                 let Some(name) = t.get("name").and_then(Value::as_str) else { continue };
                 // Only tenants the router placed: a backend may serve others.
                 let Some(agg) = tenants.get_mut(name) else { continue };
+                if let Some(version) = t.get("version").and_then(Value::as_u64) {
+                    agg.versions.insert(backend.id, version);
+                }
                 agg.requests += u(t.get("requests"));
                 agg.errors += u(t.get("errors"));
                 let cache = t.get("cache");
@@ -675,9 +967,20 @@ fn cluster_stats_line(shared: &Arc<RouterShared>, id: &str) -> String {
     let tenants_json: Vec<Value> = tenants
         .into_iter()
         .map(|(name, agg)| {
+            // One version slot per *desired* replica, aligned by position:
+            // a demoted or silent replica shows `null`, a stale one shows a
+            // number below `version` — divergence is visible either way.
+            let versions: Vec<Value> = agg
+                .desired
+                .iter()
+                .map(|id| agg.versions.get(id).map_or(Value::Null, |&v| num64(v)))
+                .collect();
             Value::Object(vec![
                 ("name".into(), Value::String(name)),
+                ("version".into(), num64(agg.expected_version)),
                 ("replicas".into(), Value::Array(agg.replicas.iter().map(|&i| num(i)).collect())),
+                ("desired".into(), Value::Array(agg.desired.iter().map(|&i| num(i)).collect())),
+                ("replica_versions".into(), Value::Array(versions)),
                 ("requests".into(), num64(agg.requests)),
                 ("errors".into(), num64(agg.errors)),
                 ("cache_hits".into(), num64(agg.cache_hits)),
@@ -784,7 +1087,7 @@ mod tests {
     }
 
     #[test]
-    fn load_with_replication_hint_and_reload_refused() {
+    fn load_with_replication_hint_and_reload_replaces() {
         let (b0, b1) = (backend(), backend());
         let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
         router.attach(b0.addr());
@@ -802,10 +1105,6 @@ mod tests {
         let replicas: Vec<char> = one.chars().filter(|c| c.is_ascii_digit()).collect();
         assert_eq!(replicas.len(), 1, "one replica placed: {one}");
 
-        let again =
-            c.roundtrip(r#"{"id":"l2","verb":"load","name":"solo","text":"+ 1\n- 0"}"#).unwrap();
-        assert!(again.contains("already loaded"), "{again}");
-
         // Queries work against a replication-1 tenant.
         let resp = c
             .roundtrip(
@@ -813,6 +1112,18 @@ mod tests {
             )
             .unwrap();
         assert!(resp.contains(r#""ok":true"#), "{resp}");
+
+        // Re-loading the name atomically replaces the tenant cluster-wide:
+        // the new (1-dimensional) dataset answers, the old one is gone.
+        let again =
+            c.roundtrip(r#"{"id":"l2","verb":"load","name":"solo","text":"+ 1\n- 0"}"#).unwrap();
+        assert!(again.contains(r#""ok":true"#), "{again}");
+        let resp = c
+            .roundtrip(
+                r#"{"dataset":"solo","id":"q2","cmd":"classify","metric":"hamming","point":[1]}"#,
+            )
+            .unwrap();
+        assert_eq!(resp, r#"{"id":"q2","ok":true,"route":"hamming-index","label":"+"}"#);
 
         handle.shutdown();
         b0.shutdown();
@@ -994,5 +1305,153 @@ mod tests {
     fn router_with_no_backends_refuses_load() {
         let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
         assert!(router.load("x", LoadSource::Text(BOOL), None).is_err());
+    }
+
+    /// Mutations fan out to every replica: after an insert through the
+    /// router, both replicas answer the new bytes directly, versions agree,
+    /// and the cluster stats expose them.
+    #[test]
+    fn mutations_reach_every_replica_and_versions_agree() {
+        let (b0, b1) = (backend(), backend());
+        let handle = router_over(&[&b0, &b1]);
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let q = r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[0,0,1]}"#;
+        assert!(c.roundtrip(q).unwrap().contains(r#""label":"-""#));
+        let ins = c
+            .roundtrip(r#"{"id":"i","verb":"insert","name":"toy","label":"+","point":[0,0,1]}"#)
+            .unwrap();
+        assert_eq!(ins, r#"{"id":"i","ok":true,"inserted":"toy","version":1,"replicas":[0,1]}"#);
+        assert!(c.roundtrip(q).unwrap().contains(r#""label":"+""#));
+
+        // Both replicas hold the mutation (ask them directly).
+        for b in [&b0, &b1] {
+            let mut direct = Client::connect(b.addr()).unwrap();
+            let resp = direct
+                .roundtrip(r#"{"dataset":"toy","id":"d","cmd":"classify","metric":"hamming","point":[0,0,1]}"#)
+                .unwrap();
+            assert!(resp.contains(r#""label":"+""#), "replica disagrees: {resp}");
+            let stats = direct.roundtrip(r#"{"verb":"stats"}"#).unwrap();
+            assert!(stats.contains(r#""version":1"#), "replica version: {stats}");
+        }
+
+        let stats = c.roundtrip(r#"{"id":"st","verb":"stats"}"#).unwrap();
+        assert!(stats.contains(r#""version":1"#), "{stats}");
+        assert!(stats.contains(r#""replica_versions":[1,1]"#), "{stats}");
+
+        let rm = c.roundtrip(r#"{"id":"r","verb":"remove","name":"toy","index":4}"#).unwrap();
+        assert_eq!(rm, r#"{"id":"r","ok":true,"removed":"toy","version":2,"replicas":[0,1]}"#);
+        assert!(c.roundtrip(q).unwrap().contains(r#""label":"-""#), "mutation round-trip");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    /// A replica that misses a mutation (amnesiac at fan-out time) is
+    /// demoted before the client hears the ack: the active set shrinks to
+    /// the acking replica, queries keep answering the post-mutation bytes,
+    /// and the divergence is visible in the cluster stats (`null` in the
+    /// demoted replica's version slot). Probing is off, so the demotion is
+    /// observable deterministically.
+    #[test]
+    fn divergent_replica_is_demoted_and_visible_in_stats() {
+        let (b0, b1) = (backend(), backend());
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig { probe_interval: Duration::ZERO, ..RouterConfig::default() },
+        )
+        .unwrap();
+        router.attach(b0.addr());
+        router.attach(b1.addr());
+        router.load("toy", LoadSource::Text(BOOL), None).unwrap();
+        let handle = router.spawn();
+
+        // Replica 1 loses the tenant behind the router's back (the shape of
+        // a restart with an empty registry).
+        let mut direct = Client::connect(b1.addr()).unwrap();
+        direct.roundtrip(r#"{"verb":"unload","name":"toy"}"#).unwrap();
+
+        // The mutation: replica 1 cannot ack it and is demoted on the spot.
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let ins = c
+            .roundtrip(r#"{"id":"i","verb":"insert","name":"toy","label":"+","point":[0,0,1]}"#)
+            .unwrap();
+        assert_eq!(ins, r#"{"id":"i","ok":true,"inserted":"toy","version":1,"replicas":[0]}"#);
+
+        // Every query answers the post-mutation bytes (only the consistent
+        // replica is active).
+        let q = r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[0,0,1]}"#;
+        for _ in 0..8 {
+            assert!(c.roundtrip(q).unwrap().contains(r#""label":"+""#));
+        }
+
+        let stats = c.roundtrip(r#"{"id":"st","verb":"stats"}"#).unwrap();
+        assert!(stats.contains(r#""replicas":[0]"#), "{stats}");
+        assert!(stats.contains(r#""desired":[0,1]"#), "{stats}");
+        assert!(stats.contains(r#""replica_versions":[1,null]"#), "divergence visible: {stats}");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    /// With the probe loop on, a divergent replica is rebuilt from the
+    /// retained seed + mutation log (one atomic load with `replay`) and
+    /// re-admitted at the exact current version.
+    #[test]
+    fn divergent_replica_is_rebuilt_by_log_replay() {
+        let (b0, b1) = (backend(), backend());
+        let router = Router::bind(
+            "127.0.0.1:0",
+            RouterConfig { probe_interval: Duration::from_millis(50), ..RouterConfig::default() },
+        )
+        .unwrap();
+        router.attach(b0.addr());
+        router.attach(b1.addr());
+        router.load("toy", LoadSource::Text(BOOL), None).unwrap();
+        let handle = router.spawn();
+
+        let mut direct = Client::connect(b1.addr()).unwrap();
+        direct.roundtrip(r#"{"verb":"unload","name":"toy"}"#).unwrap();
+
+        // The mutation lands on whichever replicas are consistent at that
+        // moment (the reconciler may or may not have re-seeded replica 1
+        // yet — either way the version advances to 1 cluster-wide).
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let ins = c
+            .roundtrip(r#"{"id":"i","verb":"insert","name":"toy","label":"+","point":[0,0,1]}"#)
+            .unwrap();
+        assert!(ins.contains(r#""version":1"#), "{ins}");
+        let q = r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[0,0,1]}"#;
+        for _ in 0..8 {
+            assert!(c.roundtrip(q).unwrap().contains(r#""label":"+""#));
+        }
+
+        // The reconciler rebuilds replica 1 at version 1 and re-admits it.
+        let mut converged = false;
+        let mut stats = String::new();
+        for _ in 0..100 {
+            stats = c.roundtrip(r#"{"id":"st","verb":"stats"}"#).unwrap();
+            if stats.contains(r#""replica_versions":[1,1]"#)
+                && stats.contains(r#""replicas":[0,1]"#)
+            {
+                converged = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(converged, "replica never re-admitted at the current version: {stats}");
+        // And it serves the mutated bytes directly.
+        let resp = direct
+            .roundtrip(
+                r#"{"dataset":"toy","id":"d","cmd":"classify","metric":"hamming","point":[0,0,1]}"#,
+            )
+            .unwrap();
+        assert!(resp.contains(r#""label":"+""#), "{resp}");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
     }
 }

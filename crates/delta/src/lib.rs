@@ -1,0 +1,46 @@
+//! # knn-delta — live dataset mutation with versioned artifacts
+//!
+//! k-NN is instance-based: the dataset *is* the model, so inserting or
+//! removing one point can flip classifications and silently invalidate
+//! every cached abductive/counterfactual answer. Before this crate, the
+//! only way to change a point in a served tenant was a full reload that
+//! threw away every artifact and cache entry. This crate supplies the
+//! machinery that lets the serving layers mutate datasets *live*:
+//!
+//! * [`Mutation`] / [`AppliedMutation`] — the two mutations (`insert` a
+//!   labeled point at the end, `remove` the point at an index) as requested
+//!   and as recorded. The applied form of a removal carries the removed
+//!   point and label, because everything downstream (cache revalidation,
+//!   replica replay) needs to know *what* left the dataset after it is gone.
+//! * [`MutationLog`] — the append-only history. The **epoch** of a dataset
+//!   is exactly the number of mutations applied since it was loaded, so a
+//!   log index *is* an epoch transition: entry `i` takes the dataset from
+//!   epoch `i` to `i + 1`.
+//! * [`VersionedDataset`] — a [`ContinuousDataset`] plus its log. Mutations
+//!   preserve the order of the surviving points (`insert` appends, `remove`
+//!   shifts down), so [`VersionedDataset::to_text`] always serializes to a
+//!   text file whose fresh parse is point-for-point identical to the live
+//!   dataset — the property that makes a freshly loaded engine usable as a
+//!   byte-level differential oracle for any mutated engine.
+//! * [`ClassifyGuard`] — the cache-revalidation calculus. A cached
+//!   `classify` answer survives a mutation window iff every mutation
+//!   provably leaves both per-class majority order statistics unchanged
+//!   (see the module docs of [`guard`]); everything else conservatively
+//!   invalidates.
+//!
+//! The engine (`knn-engine`) keys its artifact store and explanation cache
+//! by epoch and uses this crate to invalidate *selectively*: a mutation of
+//! one class drops only that class's neighbor indexes, and cache entries
+//! for old epochs are revalidated or lazily evicted instead of wholesale
+//! cleared. The network layers (`knn-server`, `knn-cluster`) forward
+//! `insert` / `remove` verbs and replay logs onto amnesiac replicas.
+
+#![warn(missing_docs)]
+
+pub mod guard;
+pub mod mutation;
+pub mod versioned;
+
+pub use guard::{ClassifyGuard, GuardMetric};
+pub use mutation::{AppliedMutation, Mutation, MutationLog};
+pub use versioned::{dataset_text, VersionedDataset};

@@ -63,6 +63,54 @@ impl EngineData {
         });
         EngineData { continuous, boolean }
     }
+
+    /// The view after appending one labeled point: a clone plus an `O(d)`
+    /// update instead of [`EngineData::from_continuous`]'s full re-scan —
+    /// the mutation layer's per-epoch derivation cost. Semantics match a
+    /// re-derivation exactly: a non-0/1 insert drops the boolean view (the
+    /// dataset is no longer binary), and a view inconsistent with the
+    /// continuous one (hand-built test data) falls back to re-deriving.
+    pub fn with_insert(&self, point: &[f64], label: Label) -> EngineData {
+        let binary = point.iter().all(|&v| v == 0.0 || v == 1.0);
+        let mut continuous = self.continuous.clone();
+        continuous.push(point.to_vec(), label);
+        let boolean = match &self.boolean {
+            Some(b)
+                if binary
+                    && b.dim() == self.continuous.dim()
+                    && b.len() == self.continuous.len() =>
+            {
+                let mut b = b.clone();
+                b.push(
+                    BitVec::from_bools(&point.iter().map(|&v| v == 1.0).collect::<Vec<_>>()),
+                    label,
+                );
+                Some(b)
+            }
+            Some(_) if binary => return EngineData::from_continuous(continuous),
+            // A binary insert cannot make a non-binary dataset binary, and
+            // a non-binary insert un-binaries any dataset.
+            _ => None,
+        };
+        EngineData { continuous, boolean }
+    }
+
+    /// The view after removing the `id`-th point (see
+    /// [`EngineData::with_insert`]). When there was no boolean view, the
+    /// removal may have deleted the last non-0/1 point, so fresh-load
+    /// semantics require a re-derivation.
+    pub fn with_remove(&self, id: usize) -> EngineData {
+        let mut continuous = self.continuous.clone();
+        continuous.remove(id);
+        match &self.boolean {
+            Some(b) if b.dim() == self.continuous.dim() && b.len() == self.continuous.len() => {
+                let mut b = b.clone();
+                b.remove(id);
+                EngineData { continuous, boolean: Some(b) }
+            }
+            _ => EngineData::from_continuous(continuous),
+        }
+    }
 }
 
 /// A keyed family of build-once artifacts: the map mutex guards only cell
@@ -88,6 +136,27 @@ impl<K: Eq + Hash + Clone, V> Family<K, V> {
     /// How many artifacts of this family have finished building.
     fn built_count(&self) -> usize {
         self.cells.lock().unwrap().values().filter(|c| c.get().is_some()).count()
+    }
+
+    /// A new family holding the *completed* artifacts whose key passes
+    /// `keep`, each behind a fresh cell. Copying only finished builds
+    /// matters: an in-flight build shares its old cell and must complete
+    /// into the *old* family only — it is computing over the pre-mutation
+    /// dataset, and the new family must never serve it.
+    fn carry(&self, keep: impl Fn(&K) -> bool) -> Family<K, V> {
+        let cells = self.cells.lock().unwrap();
+        let kept = cells
+            .iter()
+            .filter(|(k, _)| keep(k))
+            .filter_map(|(k, cell)| {
+                cell.get().map(|v| {
+                    let fresh = OnceLock::new();
+                    let _ = fresh.set(v.clone());
+                    (k.clone(), Arc::new(fresh))
+                })
+            })
+            .collect();
+        Family { cells: Mutex::new(kept) }
     }
 }
 
@@ -146,6 +215,23 @@ impl ArtifactStore {
             + self.l2_regions.built_count()
             + self.l2_lazy.built_count()
     }
+
+    /// The store for the epoch after a mutation of class `mutated`: the
+    /// *other* class's neighbor indexes (KD-trees, Hamming index) are
+    /// carried over — a mutation cannot change a class it did not touch,
+    /// and inserts append / removals preserve the survivors' order, so the
+    /// untouched class's index inputs are identical at both epochs. Every
+    /// region artifact is dropped: Prop 1 regions are built from
+    /// cross-class point pairs, so any mutation invalidates them for every
+    /// `k`. (The invalidation matrix lives in DESIGN.md §3d.)
+    pub fn carry_over(&self, mutated: Label) -> ArtifactStore {
+        ArtifactStore {
+            kd_class: self.kd_class.carry(|&(_, label)| label != mutated),
+            hamming_class: self.hamming_class.carry(|&label| label != mutated),
+            l2_regions: Family::default(),
+            l2_lazy: Family::default(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +273,47 @@ mod tests {
         let l2 = store.l2_lazy_regions(&d, OddK::ONE);
         assert!(Arc::ptr_eq(&l1, &l2));
         assert_eq!(l1.memoized(), 0, "lazy view starts empty — nothing visited yet");
+    }
+
+    #[test]
+    fn incremental_views_match_full_rederivation() {
+        let mut ds = ContinuousDataset::from_sets(vec![vec![1.0, 0.0]], vec![vec![0.0, 1.0]]);
+        ds.push(vec![0.5, 0.5], Label::Positive); // non-binary
+        let d = EngineData::from_continuous(ds);
+        assert!(d.boolean.is_none());
+        // Removing the only non-binary point resurrects the boolean view
+        // (fresh-load semantics).
+        let removed = d.with_remove(2);
+        assert!(removed.boolean.is_some());
+        assert_eq!(removed.continuous.len(), 2);
+        // A binary insert extends the view; a non-binary one drops it.
+        let grown = removed.with_insert(&[1.0, 1.0], Label::Negative);
+        let b = grown.boolean.as_ref().unwrap();
+        assert_eq!((b.len(), b.label(2)), (3, Label::Negative));
+        assert!(b.point(2).get(0) && b.point(2).get(1));
+        let degraded = grown.with_insert(&[0.25, 1.0], Label::Positive);
+        assert!(degraded.boolean.is_none());
+        assert_eq!(degraded.continuous.len(), 4);
+    }
+
+    #[test]
+    fn carry_over_keeps_the_untouched_class_and_drops_the_rest() {
+        let d = toy();
+        let store = ArtifactStore::new();
+        let pos_kd = store.kd_class_index(&d, 2, Label::Positive);
+        let neg_kd = store.kd_class_index(&d, 2, Label::Negative);
+        let neg_ham = store.hamming_class_index(&d, Label::Negative);
+        store.l2_regions(&d, OddK::ONE);
+        store.l2_lazy_regions(&d, OddK::ONE);
+        assert_eq!(store.built_count(), 5);
+
+        let next = store.carry_over(Label::Positive);
+        assert_eq!(next.built_count(), 2, "negative KD + negative Hamming survive");
+        // The surviving artifacts are the same instances, not rebuilds.
+        assert!(Arc::ptr_eq(&neg_kd, &next.kd_class_index(&d, 2, Label::Negative)));
+        assert!(Arc::ptr_eq(&neg_ham, &next.hamming_class_index(&d, Label::Negative)));
+        // The mutated class rebuilds fresh.
+        assert!(!Arc::ptr_eq(&pos_kd, &next.kd_class_index(&d, 2, Label::Positive)));
+        assert_eq!(next.built_count(), 3);
     }
 }

@@ -76,11 +76,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Looks up `key`, marking it most recently used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        let Some((_, old_tick)) = self.map.get(key) else {
-            self.misses += 1;
-            return None;
-        };
-        self.hits += 1;
+        let found = self.lookup(key).is_some();
+        self.record(found);
+        // Re-borrow immutably (lookup already bumped recency).
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// [`LruCache::get`] without touching the hit/miss counters, returning
+    /// a mutable reference. Callers that need to *inspect* an entry before
+    /// deciding whether it counts as a hit (epoch revalidation) pair this
+    /// with an explicit [`LruCache::record`].
+    pub fn lookup(&mut self, key: &K) -> Option<&mut V> {
+        let (_, old_tick) = self.map.get(key)?;
         let old_tick = *old_tick;
         self.tick += 1;
         let tick = self.tick;
@@ -88,7 +95,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.recency.insert(tick, key.clone());
         let entry = self.map.get_mut(key).unwrap();
         entry.1 = tick;
-        Some(&entry.0)
+        Some(&mut entry.0)
+    }
+
+    /// Records the outcome of a [`LruCache::lookup`]-based probe in the
+    /// hit/miss counters.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used entry

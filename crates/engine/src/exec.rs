@@ -18,6 +18,7 @@ use knn_core::counterfactual::l1::L1Counterfactual;
 use knn_core::counterfactual::l2::L2Counterfactual;
 use knn_core::counterfactual::lp_general::LpGeneralCounterfactual;
 use knn_core::SrCheck;
+use knn_delta::{ClassifyGuard, GuardMetric};
 use knn_space::{BitVec, Label, LpMetric, OddK};
 
 /// Runs `req` to completion. `effort_budget` is the engine-level logical
@@ -45,15 +46,40 @@ pub fn execute_opts(
     effort_budget: Option<u64>,
     eager_l2_regions: bool,
 ) -> Response {
+    execute_traced(data, artifacts, req, effort_budget, eager_l2_regions).0
+}
+
+/// [`execute_opts`], also returning the cache-survival guard for answers
+/// that have one (successful `classify` responses carry the per-class
+/// majority order statistics their label was decided by — see
+/// [`knn_delta::guard`]). The engine's cache stores the guard next to the
+/// response so a later epoch can revalidate instead of recomputing.
+pub fn execute_traced(
+    data: &EngineData,
+    artifacts: &ArtifactStore,
+    req: &Request,
+    effort_budget: Option<u64>,
+    eager_l2_regions: bool,
+) -> (Response, Option<ClassifyGuard>) {
     let planned = match plan(req, effort_budget.is_some()) {
         Ok(p) => p,
-        Err(e) => return error_response(req, e),
+        Err(e) => return (error_response(req, e), None),
     };
-    match execute_planned(data, artifacts, req, &planned, effort_budget, eager_l2_regions) {
-        Ok(outcome) => {
-            Response { id: req.id.clone(), route: planned.tag.to_string(), result: Ok(outcome) }
-        }
-        Err(e) => error_response(req, e),
+    let mut guard = None;
+    match execute_planned(
+        data,
+        artifacts,
+        req,
+        &planned,
+        effort_budget,
+        eager_l2_regions,
+        &mut guard,
+    ) {
+        Ok(outcome) => (
+            Response { id: req.id.clone(), route: planned.tag.to_string(), result: Ok(outcome) },
+            guard,
+        ),
+        Err(e) => (error_response(req, e), None),
     }
 }
 
@@ -68,6 +94,7 @@ fn execute_planned(
     planned: &Plan,
     effort_budget: Option<u64>,
     eager_l2_regions: bool,
+    guard: &mut Option<ClassifyGuard>,
 ) -> Result<Outcome, String> {
     let dim = data.continuous.dim();
     if req.point.len() != dim {
@@ -110,11 +137,27 @@ fn execute_planned(
     match planned.route {
         Route::ClassifyHamming => {
             let (_, bx) = need_bool()?;
-            Ok(Outcome::Label(classify_hamming_indexed(data, artifacts, &bx, k)))
+            let (label, pos, neg) = classify_hamming_indexed(data, artifacts, &bx, k);
+            *guard = Some(ClassifyGuard {
+                point: x.clone(),
+                metric: GuardMetric::Hamming,
+                k: req.k,
+                pos: pos.map(|d| d as f64),
+                neg: neg.map(|d| d as f64),
+            });
+            Ok(Outcome::Label(label))
         }
         Route::ClassifyContinuous => {
             let p = req.metric.lp_exponent().expect("hamming routed to ClassifyHamming");
-            Ok(Outcome::Label(classify_continuous_indexed(data, artifacts, x, p, k)))
+            let (label, pos, neg) = classify_continuous_indexed(data, artifacts, x, p, k);
+            *guard = Some(ClassifyGuard {
+                point: x.clone(),
+                metric: GuardMetric::LpPow(p),
+                k: req.k,
+                pos,
+                neg,
+            });
+            Ok(Outcome::Label(label))
         }
 
         Route::L2Check => {
@@ -279,20 +322,22 @@ fn bits_to_f64(bits: &BitVec) -> Vec<f64> {
 }
 
 /// The optimistic rule via per-class maj-NN probes: positive wins iff its
-/// maj-th order statistic is ≤ the negative one (ties positive, §2).
+/// maj-th order statistic is ≤ the negative one (ties positive, §2). The
+/// statistics are returned with the label — they are exactly the survival
+/// certificate the cache's [`ClassifyGuard`] revalidates against.
 fn classify_hamming_indexed(
     data: &EngineData,
     artifacts: &ArtifactStore,
     bx: &BitVec,
     k: OddK,
-) -> Label {
+) -> (Label, Option<usize>, Option<usize>) {
     let maj = k.majority();
     let ds = data.boolean.as_ref().expect("checked by caller");
     let pos_stat = (ds.count_of(Label::Positive) >= maj)
         .then(|| artifacts.hamming_class_index(data, Label::Positive).knn(bx, maj)[maj - 1].1);
     let neg_stat = (ds.count_of(Label::Negative) >= maj)
         .then(|| artifacts.hamming_class_index(data, Label::Negative).knn(bx, maj)[maj - 1].1);
-    optimistic_from_stats(pos_stat, neg_stat)
+    (optimistic_from_stats(pos_stat, neg_stat), pos_stat, neg_stat)
 }
 
 /// Continuous analogue of [`classify_hamming_indexed`], comparing p-th-power
@@ -303,13 +348,13 @@ fn classify_continuous_indexed(
     x: &[f64],
     p: u32,
     k: OddK,
-) -> Label {
+) -> (Label, Option<f64>, Option<f64>) {
     let maj = k.majority();
     let pos_stat = (data.continuous.count_of(Label::Positive) >= maj)
         .then(|| artifacts.kd_class_index(data, p, Label::Positive).knn(x, maj)[maj - 1].1);
     let neg_stat = (data.continuous.count_of(Label::Negative) >= maj)
         .then(|| artifacts.kd_class_index(data, p, Label::Negative).knn(x, maj)[maj - 1].1);
-    optimistic_from_stats(pos_stat, neg_stat)
+    (optimistic_from_stats(pos_stat, neg_stat), pos_stat, neg_stat)
 }
 
 fn optimistic_from_stats<D: PartialOrd>(pos: Option<D>, neg: Option<D>) -> Label {

@@ -27,6 +27,29 @@
 //! property the engine's tests pin down. This is why effort budgets are
 //! logical (CDCL conflicts, greedy hitting sets), never wall-clock.
 //!
+//! ## Live mutation
+//!
+//! The dataset is **versioned**, not frozen: [`ExplanationEngine::apply`]
+//! inserts or removes one point, bumping a monotone *epoch* (the length of
+//! the tenant's append-only [`knn_delta::MutationLog`]). The determinism
+//! contract generalizes: a response is a pure function of `(dataset at the
+//! query's epoch, config, request)`. Epochs are assigned at a **barrier**:
+//! each `run_batch` snapshots `(epoch, data, artifacts)` once, so a
+//! mutation racing a batch lands entirely before or entirely after it —
+//! queries in one batch all see the same epoch, and batch output stays
+//! byte-deterministic. After any mutation sequence, every response is
+//! byte-identical to a fresh engine loaded with the final dataset (the
+//! differential contract `prop_mutation.rs` pins), because mutations
+//! preserve point order and invalidation is conservative:
+//!
+//! * per-class neighbor indexes are carried across the epoch for the class
+//!   the mutation did not touch ([`ArtifactStore::carry_over`]);
+//! * region artifacts drop on any mutation (they mix both classes);
+//! * cached explanations are epoch-tagged and lazily evicted; cached
+//!   `classify` answers carry a [`knn_delta::ClassifyGuard`] and are
+//!   *revalidated* — promoted to the new epoch — when every logged
+//!   mutation provably left their per-class order statistics unchanged.
+//!
 //! ```
 //! use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
 //! use knn_space::ContinuousDataset;
@@ -66,7 +89,10 @@ pub use cache::CacheStats;
 pub use plan::{plan, Complexity, Plan, Route};
 pub use request::{CacheKey, Metric, Outcome, QueryKind, Request, Response};
 
+pub use knn_delta::Mutation;
+
 use cache::LruCache;
+use knn_delta::{AppliedMutation, ClassifyGuard, MutationLog};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -120,6 +146,58 @@ pub struct BatchStats {
 
 type CachedResult = (String, Result<Outcome, String>);
 
+/// One epoch-tagged explanation-cache entry. `guard` (classify only) is the
+/// survival certificate that lets a later epoch revalidate the entry
+/// instead of recomputing it.
+struct CachedEntry {
+    epoch: u64,
+    route: String,
+    result: Result<Outcome, String>,
+    guard: Option<ClassifyGuard>,
+}
+
+/// How far back a cache entry may lag the current epoch and still be
+/// considered for guard revalidation. Beyond this, replaying the mutation
+/// window costs more than it saves; the entry just misses.
+const REVALIDATE_WINDOW: u64 = 64;
+
+/// One epoch's immutable serving view. `run_batch` snapshots this once, so
+/// a mutation racing a batch lands entirely before or after it. Together
+/// `data` + `log` are the engine's versioned dataset (the standalone form
+/// is [`knn_delta::VersionedDataset`]; holding the views directly avoids
+/// storing the point set twice). The log is compacted to the revalidation
+/// window — its only reader — so memory stays bounded under sustained
+/// mutation streams.
+struct EpochState {
+    /// The epoch's engine view (continuous + boolean), mutated by
+    /// structural `with_insert`/`with_remove` clones.
+    data: Arc<EngineData>,
+    /// The mutation history; `log.epoch()` is the current epoch.
+    log: MutationLog,
+    /// The epoch's artifact store (survivors carried over on mutation).
+    artifacts: Arc<ArtifactStore>,
+}
+
+/// A cheap clone of the serving view a batch runs against.
+struct Snapshot {
+    epoch: u64,
+    data: Arc<EngineData>,
+    artifacts: Arc<ArtifactStore>,
+}
+
+/// What [`ExplanationEngine::apply`] reports about an applied mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationReceipt {
+    /// The epoch the engine is now at.
+    pub epoch: u64,
+    /// Points in the dataset now.
+    pub points: usize,
+    /// Positive points now.
+    pub positives: usize,
+    /// Negative points now.
+    pub negatives: usize,
+}
+
 /// Lifetime counters of one [`ExplanationEngine`] (see
 /// [`ExplanationEngine::stats`]) — the numbers the network server's `stats`
 /// verb reports per tenant.
@@ -136,49 +214,130 @@ pub struct EngineStats {
     /// Shared artifacts (per-class indexes, region caches) built so far —
     /// how "warm" this engine's one-time costs are.
     pub artifacts_built: usize,
+    /// The current epoch (mutations applied since load).
+    pub epoch: u64,
+    /// Points inserted since load.
+    pub inserts: u64,
+    /// Points removed since load.
+    pub removes: u64,
+    /// Cache hits that crossed an epoch boundary: stale entries whose guard
+    /// proved the answer unchanged, promoted instead of recomputed.
+    pub revalidated: u64,
 }
 
 /// The batch explanation server. See the crate docs for the architecture.
 pub struct ExplanationEngine {
     config: EngineConfig,
-    data: EngineData,
-    artifacts: ArtifactStore,
-    cache: Mutex<LruCache<CacheKey, CachedResult>>,
+    state: Mutex<EpochState>,
+    cache: Mutex<LruCache<CacheKey, CachedEntry>>,
     coalesced: AtomicU64,
+    revalidated: AtomicU64,
+    inserts: AtomicU64,
+    removes: AtomicU64,
     /// Single-flight table: identical requests racing in one batch coalesce
     /// onto the first worker's computation instead of each paying the full
-    /// (possibly exponential) route cost before the LRU is populated.
-    inflight: Mutex<HashMap<CacheKey, Arc<Mutex<Option<CachedResult>>>>>,
+    /// (possibly exponential) route cost before the LRU is populated. Keyed
+    /// by `(epoch, request key)`: the same request at different epochs is
+    /// different work and must never coalesce.
+    inflight: Mutex<HashMap<(u64, CacheKey), Arc<Mutex<Option<CachedResult>>>>>,
 }
 
 impl ExplanationEngine {
-    /// Builds an engine over `data`.
+    /// Builds an engine over `data` (epoch 0, empty mutation log).
     pub fn new(data: EngineData, config: EngineConfig) -> Self {
         let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        let state = EpochState {
+            data: Arc::new(data),
+            log: MutationLog::new(),
+            artifacts: Arc::new(ArtifactStore::new()),
+        };
         ExplanationEngine {
             config,
-            data,
-            artifacts: ArtifactStore::new(),
+            state: Mutex::new(state),
             cache,
             coalesced: AtomicU64::new(0),
+            revalidated: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Lifetime cache / single-flight counters. Observability only: reading
-    /// them never changes a response byte.
+    /// Lifetime cache / single-flight / mutation counters. Observability
+    /// only: reading them never changes a response byte.
     pub fn stats(&self) -> EngineStats {
+        let (epoch, artifacts_built) = {
+            let st = self.state.lock().unwrap();
+            (st.log.epoch(), st.artifacts.built_count())
+        };
         EngineStats {
             cache: self.cache.lock().unwrap().stats(),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             inflight: self.inflight.lock().unwrap().len(),
-            artifacts_built: self.artifacts.built_count(),
+            artifacts_built,
+            epoch,
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            revalidated: self.revalidated.load(Ordering::Relaxed),
         }
     }
 
-    /// The dataset this engine serves.
-    pub fn data(&self) -> &EngineData {
-        &self.data
+    /// The dataset at the current epoch (a snapshot — a concurrent
+    /// mutation does not change the returned view).
+    pub fn data(&self) -> Arc<EngineData> {
+        self.state.lock().unwrap().data.clone()
+    }
+
+    /// The current epoch: the number of mutations applied since load.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().unwrap().log.epoch()
+    }
+
+    /// The current dataset serialized in the `+/-` text format. Loading
+    /// this text into a fresh engine yields a byte-identical oracle for
+    /// every query — the differential contract of the mutation layer.
+    pub fn dataset_text(&self) -> String {
+        knn_delta::dataset_text(&self.state.lock().unwrap().data.continuous)
+    }
+
+    /// Applies one mutation, bumping the epoch. Acts as a barrier against
+    /// batches: a batch snapshots its serving view once, so it sees this
+    /// mutation entirely or not at all. Invalidation is selective — the
+    /// untouched class's neighbor indexes carry over; region artifacts
+    /// drop; epoch-tagged cache entries revalidate or lazily evict.
+    pub fn apply(&self, m: Mutation) -> Result<MutationReceipt, String> {
+        let mut st = self.state.lock().unwrap();
+        m.validate(&st.data.continuous)?;
+        // Incremental epoch-view derivation (O(n) clone + O(d) update) —
+        // `with_*` semantics are pinned to `from_continuous` re-derivation.
+        // Removals capture the departing point *before* the view swings: the
+        // log (and through it guard revalidation) needs it afterwards.
+        let (data, applied) = match m {
+            Mutation::Insert { point, label } => {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                (st.data.with_insert(&point, label), AppliedMutation::Insert { point, label })
+            }
+            Mutation::Remove { id } => {
+                self.removes.fetch_add(1, Ordering::Relaxed);
+                let point = st.data.continuous.point(id).to_vec();
+                let label = st.data.continuous.label(id);
+                (st.data.with_remove(id), AppliedMutation::Remove { id, point, label })
+            }
+        };
+        let data = Arc::new(data);
+        st.artifacts = Arc::new(st.artifacts.carry_over(applied.label()));
+        st.data = data.clone();
+        st.log.push(applied);
+        // Nothing reads farther back than the revalidation window; dropping
+        // older entries bounds the log under sustained mutation streams.
+        let keep_from = st.log.epoch().saturating_sub(REVALIDATE_WINDOW);
+        st.log.compact_before(keep_from);
+        Ok(MutationReceipt {
+            epoch: st.log.epoch(),
+            points: data.continuous.len(),
+            positives: data.continuous.count_of(knn_space::Label::Positive),
+            negatives: data.continuous.count_of(knn_space::Label::Negative),
+        })
     }
 
     /// The configuration.
@@ -186,9 +345,16 @@ impl ExplanationEngine {
         &self.config
     }
 
-    /// Answers one request (through the cache).
+    /// Answers one request (through the cache) at the current epoch.
     pub fn run(&self, req: &Request) -> Response {
-        self.run_one(req).0
+        self.run_one_at(&self.snapshot(), req).0
+    }
+
+    /// The serving view queries run against: one cheap clone of the
+    /// epoch's `(epoch, data, artifacts)` triple.
+    fn snapshot(&self) -> Snapshot {
+        let st = self.state.lock().unwrap();
+        Snapshot { epoch: st.log.epoch(), data: st.data.clone(), artifacts: st.artifacts.clone() }
     }
 
     /// Runs the executor with panic isolation: a panicking route (degenerate
@@ -197,52 +363,118 @@ impl ExplanationEngine {
     /// same per-request isolation malformed and refused requests get. The
     /// panic message is itself deterministic for a given input, so the
     /// determinism contract holds for these lines too.
-    fn execute_guarded(&self, req: &Request) -> Response {
+    fn execute_guarded(&self, snap: &Snapshot, req: &Request) -> (Response, Option<ClassifyGuard>) {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            exec::execute_opts(
-                &self.data,
-                &self.artifacts,
+            exec::execute_traced(
+                &snap.data,
+                &snap.artifacts,
                 req,
                 self.config.effort_budget,
                 self.config.eager_l2_regions,
             )
         }));
         match outcome {
-            Ok(resp) => resp,
+            Ok(traced) => traced,
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic".to_string());
-                Response {
+                let resp = Response {
                     id: req.id.clone(),
                     route: "error".to_string(),
                     result: Err(format!("internal panic: {msg}")),
-                }
+                };
+                (resp, None)
             }
         }
     }
 
-    /// `run` plus whether the response came from the cache (or was coalesced
-    /// onto another worker's in-flight computation).
-    fn run_one(&self, req: &Request) -> (Response, bool) {
+    /// Tries to serve `key` from the cache at `snap.epoch`: a same-epoch
+    /// entry is a plain hit; an older entry with a guard is revalidated
+    /// against the mutation window and promoted on success. Returns the
+    /// response body on a hit.
+    fn cache_probe(&self, snap: &Snapshot, key: &CacheKey) -> Option<CachedResult> {
+        enum Probe {
+            Hit(CachedResult),
+            Stale(u64, ClassifyGuard, CachedResult),
+            Miss,
+        }
+        let probe = {
+            let mut cache = self.cache.lock().unwrap();
+            let probe = match cache.lookup(key) {
+                Some(e) if e.epoch == snap.epoch => Probe::Hit((e.route.clone(), e.result.clone())),
+                Some(e) if e.epoch < snap.epoch && snap.epoch - e.epoch <= REVALIDATE_WINDOW => {
+                    match &e.guard {
+                        Some(g) => {
+                            Probe::Stale(e.epoch, g.clone(), (e.route.clone(), e.result.clone()))
+                        }
+                        None => Probe::Miss,
+                    }
+                }
+                // Absent, stale beyond the window, or from a *newer* epoch
+                // than this batch's snapshot (a mutation raced us): compute.
+                _ => Probe::Miss,
+            };
+            match &probe {
+                Probe::Hit(_) => cache.record(true),
+                Probe::Miss => cache.record(false),
+                Probe::Stale(..) => {} // recorded once revalidation decides
+            }
+            probe
+        };
+        match probe {
+            Probe::Hit(body) => Some(body),
+            Probe::Miss => None,
+            Probe::Stale(entry_epoch, guard, body) => {
+                // Replay the mutation window (bounded) outside the cache
+                // lock. `range` ends at the snapshot epoch, so mutations
+                // racing past our snapshot are not replayed; a window that
+                // predates the log's compaction base comes back `None` and
+                // is a plain miss — replaying a partial window would be
+                // unsound.
+                let window: Option<Vec<AppliedMutation>> = {
+                    let st = self.state.lock().unwrap();
+                    st.log.range(entry_epoch, snap.epoch).map(|w| w.to_vec())
+                };
+                let survives =
+                    window.is_some_and(|w| guard.survives(&w, snap.data.continuous.len()));
+                let mut cache = self.cache.lock().unwrap();
+                cache.record(survives);
+                if !survives {
+                    return None;
+                }
+                if let Some(e) = cache.lookup(key) {
+                    if e.epoch == entry_epoch {
+                        e.epoch = snap.epoch;
+                    }
+                }
+                self.revalidated.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+        }
+    }
+
+    /// `run` plus whether the response came from the cache (directly,
+    /// revalidated across epochs, or coalesced onto another worker's
+    /// in-flight computation).
+    fn run_one_at(&self, snap: &Snapshot, req: &Request) -> (Response, bool) {
         if self.config.cache_capacity == 0 {
-            return (self.execute_guarded(req), false);
+            return (self.execute_guarded(snap, req).0, false);
         }
         let key = req.cache_key();
-        if let Some((route, result)) = self.cache.lock().unwrap().get(&key) {
-            return (
-                Response { id: req.id.clone(), route: route.clone(), result: result.clone() },
-                true,
-            );
+        if let Some((route, result)) = self.cache_probe(snap, &key) {
+            return (Response { id: req.id.clone(), route, result }, true);
         }
-        // Cache miss: claim or join the in-flight slot for this key. The
-        // claimant locks its slot *before* publishing it to the table, so a
-        // joiner can never observe an unlocked-but-empty slot and recompute.
+        // Cache miss: claim or join the in-flight slot for this key at this
+        // epoch. The claimant locks its slot *before* publishing it to the
+        // table, so a joiner can never observe an unlocked-but-empty slot
+        // and recompute.
+        let flight_key = (snap.epoch, key.clone());
         let own_slot = Arc::new(Mutex::new(None));
         let mut own_guard = own_slot.lock().unwrap();
-        let joined = match self.inflight.lock().unwrap().entry(key.clone()) {
+        let joined = match self.inflight.lock().unwrap().entry(flight_key.clone()) {
             Entry::Occupied(e) => Some(e.get().clone()),
             Entry::Vacant(v) => {
                 v.insert(own_slot.clone());
@@ -254,8 +486,8 @@ impl ExplanationEngine {
             // Blocks until the computing worker releases the slot. Caching is
             // transparent (responses are pure functions of the request), so
             // this changes cost, never bytes.
-            let guard = theirs.lock().unwrap();
-            if let Some((route, result)) = guard.as_ref() {
+            let slot = theirs.lock().unwrap();
+            if let Some((route, result)) = slot.as_ref() {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
                 return (
                     Response { id: req.id.clone(), route: route.clone(), result: result.clone() },
@@ -264,14 +496,22 @@ impl ExplanationEngine {
             }
             // Unreachable unless the computing worker died without
             // publishing; compute independently as a last resort.
-            drop(guard);
-            return (self.execute_guarded(req), false);
+            drop(slot);
+            return (self.execute_guarded(snap, req).0, false);
         }
-        let resp = self.execute_guarded(req);
+        let (resp, guard) = self.execute_guarded(snap, req);
         *own_guard = Some((resp.route.clone(), resp.result.clone()));
-        self.cache.lock().unwrap().insert(key.clone(), (resp.route.clone(), resp.result.clone()));
+        self.cache.lock().unwrap().insert(
+            key,
+            CachedEntry {
+                epoch: snap.epoch,
+                route: resp.route.clone(),
+                result: resp.result.clone(),
+                guard,
+            },
+        );
         drop(own_guard);
-        self.inflight.lock().unwrap().remove(&key);
+        self.inflight.lock().unwrap().remove(&flight_key);
         (resp, false)
     }
 
@@ -291,9 +531,15 @@ impl ExplanationEngine {
         let mut responses: Vec<Option<Response>> = Vec::with_capacity(requests.len());
         responses.resize_with(requests.len(), || None);
 
+        // The mutation/query barrier: one snapshot for the whole batch.
+        // Every query in this batch sees the same epoch, so a concurrent
+        // `apply` orders entirely before or after the batch and the output
+        // stays byte-deterministic.
+        let snap = self.snapshot();
+
         if workers <= 1 {
             for (i, req) in requests.iter().enumerate() {
-                let (resp, hit) = self.run_one(req);
+                let (resp, hit) = self.run_one_at(&snap, req);
                 if hit {
                     hits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -306,12 +552,13 @@ impl ExplanationEngine {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
+                    let snap = &snap;
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= requests.len() {
                             break;
                         }
-                        let (resp, hit) = self.run_one(&requests[i]);
+                        let (resp, hit) = self.run_one_at(snap, &requests[i]);
                         if tx.send((i, resp, hit)).is_err() {
                             break;
                         }
@@ -417,6 +664,7 @@ mod tests {
     #[test]
     fn classify_matches_reference_classifier() {
         let e = engine(EngineConfig::default());
+        let data = e.data();
         for (metric, point) in
             [("l2", "[0.9,0.2,0.4]"), ("l1", "[0.1,0.9,0.2]"), ("hamming", "[1,0,0]")]
         {
@@ -431,7 +679,7 @@ mod tests {
                 // Reference: the O(n·d) scan classifier.
                 let expected = match r.metric {
                     Metric::Hamming => {
-                        let ds = e.data().boolean.as_ref().unwrap();
+                        let ds = data.boolean.as_ref().unwrap();
                         let bx = knn_space::BitVec::from_bools(
                             &r.point.iter().map(|&v| v == 1.0).collect::<Vec<_>>(),
                         );
@@ -440,7 +688,7 @@ mod tests {
                     m => {
                         let p = m.lp_exponent().unwrap();
                         knn_core::ContinuousKnn::new(
-                            &e.data().continuous,
+                            &data.continuous,
                             knn_space::LpMetric::new(p),
                             knn_space::OddK::of(k),
                         )
@@ -456,8 +704,9 @@ mod tests {
     fn cache_serves_identical_bytes() {
         let e = engine(EngineConfig::default());
         let r = req(r#"{"id":"x","cmd":"counterfactual","metric":"hamming","point":[1,0,0]}"#);
-        let (first, hit1) = e.run_one(&r);
-        let (second, hit2) = e.run_one(&r);
+        let snap = e.snapshot();
+        let (first, hit1) = e.run_one_at(&snap, &r);
+        let (second, hit2) = e.run_one_at(&snap, &r);
         assert!(!hit1);
         assert!(hit2, "second identical query must hit the cache");
         assert_eq!(first.to_json_line(), second.to_json_line());
@@ -533,5 +782,128 @@ mod tests {
             panic!("budgeted run must flag optimal=false")
         };
         assert!(greedy_sr.len() >= exact_sr.len(), "greedy upper-bounds the minimum");
+    }
+
+    /// The differential contract in miniature: after every mutation, every
+    /// query answers byte-identically to a fresh engine loaded from the
+    /// mutated engine's serialized dataset. (The full property lives in
+    /// `tests/prop_mutation.rs`.)
+    #[test]
+    fn mutated_engine_matches_fresh_load_oracle() {
+        let e = engine(EngineConfig::default());
+        let queries: Vec<Request> = ["l2", "l1", "hamming"]
+            .iter()
+            .flat_map(|metric| {
+                [("classify", 1u32), ("classify", 3), ("minimal-sr", 1), ("counterfactual", 1)]
+                    .iter()
+                    .map(|(cmd, k)| {
+                        req(&format!(
+                            r#"{{"id":"{cmd}-{metric}-{k}","cmd":"{cmd}","metric":"{metric}","k":{k},"point":[1,0,0]}}"#
+                        ))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        use knn_space::Label;
+        let mutations = [
+            Mutation::Insert { point: vec![1.0, 0.0, 0.0], label: Label::Positive },
+            Mutation::Remove { id: 0 },
+            Mutation::Insert { point: vec![0.0, 1.0, 1.0], label: Label::Negative },
+            Mutation::Remove { id: 4 },
+        ];
+        for (step, m) in mutations.into_iter().enumerate() {
+            let receipt = e.apply(m).unwrap();
+            assert_eq!(receipt.epoch, step as u64 + 1);
+            let oracle = ExplanationEngine::new(
+                textfmt::parse_dataset(&e.dataset_text()).unwrap(),
+                EngineConfig::default(),
+            );
+            for q in &queries {
+                assert_eq!(
+                    e.run(q).to_json_line(),
+                    oracle.run(q).to_json_line(),
+                    "step {step} id {}",
+                    q.id
+                );
+            }
+        }
+        let s = e.stats();
+        assert_eq!((s.epoch, s.inserts, s.removes), (4, 2, 2));
+    }
+
+    /// Selective invalidation: mutating one class never rebuilds the other
+    /// class's neighbor indexes — pinned via the `artifacts_built` counter.
+    #[test]
+    fn mutation_invalidates_only_the_touched_class_indexes() {
+        // Cache off: a revalidated classify hit would (correctly) dodge the
+        // index rebuild this test wants to observe.
+        let e = engine(EngineConfig { cache_capacity: 0, ..EngineConfig::default() });
+        e.run(&req(r#"{"cmd":"classify","metric":"l2","point":[0.9,0.2,0.4]}"#));
+        e.run(&req(r#"{"cmd":"classify","metric":"hamming","point":[1,0,0]}"#));
+        assert_eq!(e.stats().artifacts_built, 4, "both classes' KD + Hamming indexes warm");
+
+        e.apply(Mutation::Insert { point: vec![1.0, 1.0, 1.0], label: knn_space::Label::Positive })
+            .unwrap();
+        assert_eq!(
+            e.stats().artifacts_built,
+            2,
+            "the negative class's indexes survive the positive-class insert"
+        );
+        e.run(&req(r#"{"cmd":"classify","metric":"l2","point":[0.9,0.2,0.4]}"#));
+        e.run(&req(r#"{"cmd":"classify","metric":"hamming","point":[1,0,0]}"#));
+        assert_eq!(e.stats().artifacts_built, 4, "only the positive-class indexes rebuilt");
+    }
+
+    /// Guarded classify entries cross benign epochs as cache hits; entries
+    /// whose statistics a mutation could have moved recompute.
+    #[test]
+    fn classify_cache_revalidates_across_benign_mutations() {
+        use knn_space::Label;
+        let ds = ContinuousDataset::from_sets(
+            vec![vec![5.0, 5.0, 5.0], vec![5.0, 5.0, 4.0]],
+            vec![vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 1.0]],
+        );
+        let e = ExplanationEngine::new(EngineData::from_continuous(ds), EngineConfig::default());
+        let far = req(r#"{"id":"far","cmd":"classify","metric":"l2","point":[5,5,6]}"#);
+        let near = req(r#"{"id":"near","cmd":"classify","metric":"l2","point":[0,1,0]}"#);
+        let (far_cold, near_cold) = (e.run(&far), e.run(&near));
+        assert_eq!(e.stats().cache.misses, 2);
+
+        // A negative insert right on top of `near`: provably irrelevant to
+        // `far` (distance ≥ its negative-class statistic), fatal to `near`.
+        e.apply(Mutation::Insert { point: vec![0.0, 1.0, 0.0], label: Label::Negative }).unwrap();
+
+        let far_warm = e.run(&far);
+        assert_eq!(far_warm.to_json_line(), far_cold.to_json_line());
+        let s = e.stats();
+        assert_eq!(s.revalidated, 1, "far entry promoted across the epoch, not recomputed");
+        assert_eq!(s.cache.hits, 1);
+
+        let near_warm = e.run(&near);
+        let s = e.stats();
+        assert_eq!(s.revalidated, 1, "near entry must not revalidate");
+        assert_eq!(s.cache.misses, 3, "near re-misses at the new epoch");
+        // Both answers still match the fresh-load oracle.
+        let oracle = ExplanationEngine::new(
+            textfmt::parse_dataset(&e.dataset_text()).unwrap(),
+            EngineConfig::default(),
+        );
+        assert_eq!(near_warm.to_json_line(), oracle.run(&near).to_json_line());
+        assert_eq!(far_warm.to_json_line(), oracle.run(&far).to_json_line());
+        let _ = near_cold;
+    }
+
+    /// Invalid mutations are rejected atomically: no epoch bump, no
+    /// invalidation.
+    #[test]
+    fn invalid_mutations_leave_the_engine_untouched() {
+        use knn_space::Label;
+        let e = engine(EngineConfig::default());
+        assert!(e.apply(Mutation::Insert { point: vec![1.0], label: Label::Positive }).is_err());
+        assert!(e.apply(Mutation::Remove { id: 99 }).is_err());
+        assert_eq!(e.epoch(), 0);
+        let s = e.stats();
+        assert_eq!((s.inserts, s.removes), (0, 0));
     }
 }

@@ -19,7 +19,15 @@
 //!   tenants at runtime; each owns one lazily-built
 //!   [`ExplanationEngine`](knn_engine::ExplanationEngine) behind an `Arc`,
 //!   so every connection querying a tenant shares its
-//!   explanation cache, single-flight table, and artifacts.
+//!   explanation cache, single-flight table, and artifacts. Reloading a
+//!   name atomically replaces the tenant.
+//! * **Live mutation** — the `insert` / `remove` verbs mutate a tenant's
+//!   dataset in place, bumping its version (epoch). Invalidation is
+//!   selective (the engine carries the untouched class's indexes across
+//!   the epoch and revalidates guarded cache entries), and the control
+//!   barrier below makes mutations deterministic points in each
+//!   connection's stream: after any mutation sequence, responses are
+//!   byte-identical to a server freshly loaded with the final dataset.
 //! * **Fair admission** — one global worker budget for the whole process. A
 //!   query must win an admission slot (strict FIFO) before it executes, and a
 //!   connection can hold at most `conn_inflight` slots, so one tenant's
@@ -321,6 +329,37 @@ fn writer_loop(stream: TcpStream, rx: Receiver<(u64, String)>) {
     }
 }
 
+/// Applies one mutation to a tenant's shared engine and formats the
+/// response: `{"ok":true,"<verbed>":name,"version":...,"points":...}`.
+/// Runs at the connection's control barrier, so pipelined queries before
+/// the mutation answer at the old version and queries after it at the new.
+fn run_mutation(
+    shared: &Arc<Shared>,
+    id: &str,
+    name: &str,
+    mutation: knn_engine::Mutation,
+    verbed: &str,
+) -> (String, bool) {
+    let Some(tenant) = shared.registry.get(name) else {
+        let msg = format!("no dataset named `{name}` (try the load verb)");
+        return (proto::error_line(id, &msg), false);
+    };
+    match tenant.engine.apply(mutation) {
+        Err(e) => (proto::error_line(id, &e), false),
+        Ok(receipt) => {
+            let line = proto::ok_line(
+                id,
+                vec![
+                    (verbed.to_string(), Value::String(name.to_string())),
+                    ("version".into(), Value::Number(receipt.epoch as f64)),
+                    ("points".into(), Value::Number(receipt.points as f64)),
+                ],
+            );
+            (line, false)
+        }
+    }
+}
+
 /// Executes one control verb, returning the response line and whether the
 /// connection should close afterwards.
 fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, bool) {
@@ -328,7 +367,7 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
     let num64 = |n: u64| Value::Number(n as f64);
     match command {
         Command::Query { .. } => unreachable!("queries are dispatched by the caller"),
-        Command::Load { name, path, text } => {
+        Command::Load { name, path, text, replay } => {
             let text = match (text, path) {
                 (Some(t), None) => t,
                 (None, Some(p)) => match std::fs::read_to_string(&p) {
@@ -339,7 +378,7 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                 },
                 _ => unreachable!("parse_line enforces exactly one of path/text"),
             };
-            match shared.registry.load(&name, &text) {
+            match shared.registry.load_with_replay(&name, &text, &replay) {
                 Err(e) => (proto::error_line(id, &e), false),
                 Ok(tenant) => {
                     let s = tenant.stats();
@@ -349,6 +388,7 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                             ("loaded".into(), Value::String(name)),
                             ("points".into(), num(s.points)),
                             ("dim".into(), num(s.dim)),
+                            ("version".into(), num64(s.engine.epoch)),
                         ],
                     );
                     (line, false)
@@ -359,6 +399,16 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
             Err(e) => (proto::error_line(id, &e), false),
             Ok(()) => (proto::ok_line(id, vec![("unloaded".into(), Value::String(name))]), false),
         },
+        Command::Insert { name, label, point } => run_mutation(
+            shared,
+            id,
+            &name,
+            knn_engine::Mutation::Insert { point, label },
+            "inserted",
+        ),
+        Command::Remove { name, index } => {
+            run_mutation(shared, id, &name, knn_engine::Mutation::Remove { id: index }, "removed")
+        }
         Command::List => {
             let datasets: Vec<Value> = shared
                 .registry
@@ -394,12 +444,19 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                         ("hits".into(), num64(s.engine.cache.hits)),
                         ("misses".into(), num64(s.engine.cache.misses)),
                         ("coalesced".into(), num64(s.engine.coalesced)),
+                        ("revalidated".into(), num64(s.engine.revalidated)),
                         ("evictions".into(), num64(s.engine.cache.evictions)),
                         ("entries".into(), num(s.engine.cache.entries)),
                         ("capacity".into(), num(s.engine.cache.capacity)),
                     ]);
                     Value::Object(vec![
                         ("name".into(), Value::String(s.name)),
+                        ("version".into(), num64(s.engine.epoch)),
+                        ("points".into(), num(s.points)),
+                        ("points_pos".into(), num(s.points_pos)),
+                        ("points_neg".into(), num(s.points_neg)),
+                        ("inserts".into(), num64(s.engine.inserts)),
+                        ("removes".into(), num64(s.engine.removes)),
                         ("requests".into(), num64(s.requests)),
                         ("errors".into(), num64(s.errors)),
                         ("queued".into(), num64(s.queued)),
@@ -460,7 +517,10 @@ mod tests {
         let loaded = c
             .roundtrip(r#"{"id":"l","verb":"load","name":"inline","text":"+ 1 0\n- 0 1"}"#)
             .unwrap();
-        assert_eq!(loaded, r#"{"id":"l","ok":true,"loaded":"inline","points":2,"dim":2}"#);
+        assert_eq!(
+            loaded,
+            r#"{"id":"l","ok":true,"loaded":"inline","points":2,"dim":2,"version":0}"#
+        );
 
         let list = c.roundtrip(r#"{"verb":"list"}"#).unwrap();
         assert!(list.contains(r#""name":"inline""#) && list.contains(r#""name":"toy""#), "{list}");
@@ -515,6 +575,126 @@ mod tests {
             .roundtrip(r#"{"dataset":"toy","cmd":"classify","metric":"hamming","point":[0,0,0]}"#)
             .unwrap();
         assert!(resp.contains(r#""label":"-""#), "{resp}");
+        handle.shutdown();
+    }
+
+    /// The mutation verbs over the wire: versions bump, queries see the new
+    /// dataset, stats report epochs and per-class counts, and the mutated
+    /// tenant answers byte-identically to a fresh server loaded with its
+    /// final dataset.
+    #[test]
+    fn insert_and_remove_verbs_mutate_the_tenant_live() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        // [0,0,1] is a negative dataset point: 0 flips to "- 0 0 1".
+        let q = r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[0,0,1]}"#;
+        let before = c.roundtrip(q).unwrap();
+        assert!(before.contains(r#""label":"-""#), "{before}");
+
+        // Insert a positive point *at* the query: the 0-flip tie goes "+".
+        let ins = c
+            .roundtrip(r#"{"id":"i","verb":"insert","name":"toy","label":"+","point":[0,0,1]}"#)
+            .unwrap();
+        assert_eq!(ins, r#"{"id":"i","ok":true,"inserted":"toy","version":1,"points":5}"#);
+        let after = c.roundtrip(q).unwrap();
+        assert!(after.contains(r#""label":"+""#), "{after}");
+
+        // Remove it again (it sits at index 4, the end).
+        let rm = c.roundtrip(r#"{"id":"r","verb":"remove","name":"toy","index":4}"#).unwrap();
+        assert_eq!(rm, r#"{"id":"r","ok":true,"removed":"toy","version":2,"points":4}"#);
+        let reverted = c.roundtrip(q).unwrap();
+        assert_eq!(reverted, before, "mutation round-trip restores the original bytes");
+
+        let stats = c.roundtrip(r#"{"verb":"stats"}"#).unwrap();
+        for member in [
+            r#""version":2"#,
+            r#""inserts":1"#,
+            r#""removes":1"#,
+            r#""points_pos":2"#,
+            r#""points_neg":2"#,
+        ] {
+            assert!(stats.contains(member), "missing {member}: {stats}");
+        }
+
+        // Mutating a missing tenant and invalid mutations are plain errors.
+        let missing =
+            c.roundtrip(r#"{"verb":"insert","name":"nope","label":"+","point":[1,1,1]}"#).unwrap();
+        assert!(missing.contains("no dataset named"), "{missing}");
+        let bad_dim =
+            c.roundtrip(r#"{"verb":"insert","name":"toy","label":"+","point":[1,1]}"#).unwrap();
+        assert!(bad_dim.contains("dimension"), "{bad_dim}");
+        let bad_idx = c.roundtrip(r#"{"verb":"remove","name":"toy","index":9}"#).unwrap();
+        assert!(bad_idx.contains("out of range"), "{bad_idx}");
+
+        handle.shutdown();
+    }
+
+    /// Reload semantics: `load` of an existing name atomically replaces the
+    /// tenant — new dataset, fresh version — with no unload required.
+    #[test]
+    fn load_replaces_an_existing_tenant_atomically() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let mutated = c
+            .roundtrip(r#"{"id":"i","verb":"insert","name":"toy","label":"+","point":[1,1,1]}"#)
+            .unwrap();
+        assert!(mutated.contains(r#""version":1"#), "{mutated}");
+
+        let reloaded =
+            c.roundtrip(r#"{"id":"l","verb":"load","name":"toy","text":"+ 1 1\n- 0 0"}"#).unwrap();
+        assert_eq!(
+            reloaded, r#"{"id":"l","ok":true,"loaded":"toy","points":2,"dim":2,"version":0}"#,
+            "reload answers like a fresh load"
+        );
+        let q =
+            c.roundtrip(r#"{"dataset":"toy","id":"q","cmd":"classify","point":[1,0.9]}"#).unwrap();
+        assert!(q.contains(r#""label":"+""#), "query runs against the replacement: {q}");
+        let stats = c.roundtrip(r#"{"verb":"stats"}"#).unwrap();
+        assert!(stats.contains(r#""version":0"#), "fresh epoch after reload: {stats}");
+        handle.shutdown();
+    }
+
+    /// `load` with a `replay` log lands at the final version in one step —
+    /// the reconciler's repair path.
+    #[test]
+    fn load_with_replay_restores_a_mutated_tenant() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let line = format!(
+            r#"{{"id":"l","verb":"load","name":"restored","text":{},"replay":[{{"op":"insert","label":"+","point":[0,1,1]}},{{"op":"remove","index":0}}]}}"#,
+            Value::String(BOOL.into()).to_json()
+        );
+        let loaded = c.roundtrip(&line).unwrap();
+        assert_eq!(
+            loaded,
+            r#"{"id":"l","ok":true,"loaded":"restored","points":4,"dim":3,"version":2}"#
+        );
+        // The restored tenant answers exactly like one mutated verb-by-verb.
+        let stepwise = c
+            .roundtrip(&format!(
+                r#"{{"verb":"load","name":"stepwise","text":{}}}"#,
+                Value::String(BOOL.into()).to_json()
+            ))
+            .and_then(|_| {
+                c.roundtrip(r#"{"verb":"insert","name":"stepwise","label":"+","point":[0,1,1]}"#)
+            })
+            .and_then(|_| c.roundtrip(r#"{"verb":"remove","name":"stepwise","index":0}"#));
+        assert!(stepwise.unwrap().contains(r#""version":2"#));
+        for point in ["[0,1,1]", "[1,1,0]", "[0,0,0]"] {
+            let a = c
+                .roundtrip(&format!(
+                    r#"{{"dataset":"restored","id":"q","cmd":"classify","metric":"hamming","point":{point}}}"#
+                ))
+                .unwrap();
+            let b = c
+                .roundtrip(&format!(
+                    r#"{{"dataset":"stepwise","id":"q","cmd":"classify","metric":"hamming","point":{point}}}"#
+                ))
+                .unwrap();
+            assert_eq!(a, b, "replayed and stepwise tenants agree on {point}");
+        }
         handle.shutdown();
     }
 }

@@ -10,6 +10,8 @@
 //! {"verb":"list"}
 //! {"dataset":"demo","id":"q1","cmd":"classify","metric":"hamming","point":[1,0,1]}
 //! {"verb":"query","dataset":"demo","cmd":"counterfactual","point":[1,0,1]}
+//! {"verb":"insert","name":"demo","label":"+","point":[1,1,0]}
+//! {"verb":"remove","name":"demo","index":3}
 //! {"verb":"stats"}
 //! {"verb":"unload","name":"demo"}
 //! {"verb":"ping"}
@@ -27,9 +29,30 @@
 //! every earlier query on the same connection has completed, so a pipelined
 //! `stats` reports counters that include those queries, and `unload` / `quit`
 //! take effect at a well-defined point in the stream.
+//!
+//! ## Mutation and reload semantics
+//!
+//! * `insert` appends one labeled point to a loaded tenant; `remove` drops
+//!   the point at a 0-based index (later points shift down). Both bump the
+//!   tenant's **version** (epoch) by one and answer with the new version
+//!   and point count. As control verbs they run at the connection barrier:
+//!   queries pipelined before a mutation answer against the old version,
+//!   queries after it against the new one — and after any mutation
+//!   sequence, every response is byte-identical to a server freshly loaded
+//!   with the final dataset.
+//! * `load` of an already-loaded name **atomically replaces** the tenant: a
+//!   new engine at version 0, fresh caches and counters. Queries in flight
+//!   against the old engine finish against it; queries parsed after the
+//!   barrier see the replacement.
+//! * `load` may carry `"replay":[{"op":"insert","label":"+","point":[...]},
+//!   {"op":"remove","index":0},...]` — the mutation log to re-apply on top
+//!   of the loaded text *before* the tenant becomes visible. The cluster
+//!   router's reconciler uses this to bring an amnesiac-restarted replica
+//!   back to the exact version (and bytes) of its peers in one atomic step.
 
 use knn_engine::json::{parse_bytes, Value};
-use knn_engine::{Request, Response};
+use knn_engine::{Mutation, Request, Response};
+use knn_space::Label;
 
 /// One parsed request line: the resolved response id plus the command.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,7 +73,8 @@ pub enum Command {
         /// The engine request.
         request: Request,
     },
-    /// Register a dataset from a server-side file or inline text.
+    /// Register a dataset from a server-side file or inline text, atomically
+    /// replacing any tenant already under that name.
     Load {
         /// Tenant name to register.
         name: String,
@@ -58,11 +82,31 @@ pub enum Command {
         path: Option<String>,
         /// Inline dataset text (mutually exclusive with `path`).
         text: Option<String>,
+        /// Mutations to re-apply on top of the loaded text before the
+        /// tenant becomes visible (the cluster reconciler's log replay).
+        replay: Vec<Mutation>,
     },
     /// Drop a tenant.
     Unload {
         /// Tenant name to drop.
         name: String,
+    },
+    /// Append one labeled point to a tenant (bumps its version).
+    Insert {
+        /// Tenant name.
+        name: String,
+        /// The new point's label.
+        label: Label,
+        /// The new point.
+        point: Vec<f64>,
+    },
+    /// Remove the point at a 0-based index from a tenant (bumps its
+    /// version; later points shift down).
+    Remove {
+        /// Tenant name.
+        name: String,
+        /// The index to remove.
+        index: usize,
     },
     /// Enumerate tenants.
     List,
@@ -82,6 +126,68 @@ fn member_str(v: &Value, key: &str, what: &str) -> Result<String, String> {
         Some(_) => Err(format!("`{key}` must be a string ({what})")),
         None => Err(format!("missing `{key}` ({what})")),
     }
+}
+
+/// Parses a `"label"` member: `"+"` / `"-"`.
+fn member_label(v: &Value) -> Result<Label, String> {
+    match member_str(v, "label", "the point's class")?.as_str() {
+        "+" => Ok(Label::Positive),
+        "-" => Ok(Label::Negative),
+        other => Err(format!("`label` must be \"+\" or \"-\", got `{other}`")),
+    }
+}
+
+/// Parses a `"point"` member: a non-empty array of finite numbers. (The
+/// engine re-validates dimension and finiteness; this keeps wire errors
+/// early and uniform.)
+fn member_point(v: &Value) -> Result<Vec<f64>, String> {
+    let arr = match v.get("point") {
+        Some(Value::Array(a)) => a,
+        Some(_) => return Err("`point` must be an array".into()),
+        None => return Err("missing `point` array".into()),
+    };
+    if arr.is_empty() {
+        return Err("`point` must not be empty".into());
+    }
+    arr.iter()
+        .map(|x| x.as_f64().ok_or_else(|| "`point` must contain numbers".to_string()))
+        .collect()
+}
+
+/// Parses a non-negative integer member as `usize`.
+fn member_index(v: &Value, key: &str) -> Result<usize, String> {
+    match v.get(key) {
+        Some(x) => x
+            .as_u64()
+            .map(|u| u as usize)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+/// Parses the optional `"replay"` member of `load`: the mutation log to
+/// re-apply on top of the loaded text.
+fn member_replay(v: &Value) -> Result<Vec<Mutation>, String> {
+    let items = match v.get("replay") {
+        None => return Ok(Vec::new()),
+        Some(Value::Array(items)) => items,
+        Some(_) => return Err("`replay` must be an array".into()),
+    };
+    items
+        .iter()
+        .map(|item| {
+            if !matches!(item, Value::Object(_)) {
+                return Err("replay items must be objects".into());
+            }
+            match item.get("op").and_then(Value::as_str) {
+                Some("insert") => {
+                    Ok(Mutation::Insert { point: member_point(item)?, label: member_label(item)? })
+                }
+                Some("remove") => Ok(Mutation::Remove { id: member_index(item, "index")? }),
+                _ => Err("replay items need `op` of \"insert\" or \"remove\"".into()),
+            }
+        })
+        .collect()
 }
 
 /// Parses one request line. Total over arbitrary bytes: any input yields
@@ -131,9 +237,18 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
             if path.is_some() == text.is_some() {
                 return Err("load needs exactly one of `path` or `text`".into());
             }
-            Command::Load { name, path, text }
+            Command::Load { name, path, text, replay: member_replay(&v)? }
         }
         "unload" => Command::Unload { name: member_str(&v, "name", "the tenant to drop")? },
+        "insert" => Command::Insert {
+            name: member_str(&v, "name", "the tenant to mutate")?,
+            label: member_label(&v)?,
+            point: member_point(&v)?,
+        },
+        "remove" => Command::Remove {
+            name: member_str(&v, "name", "the tenant to mutate")?,
+            index: member_index(&v, "index")?,
+        },
         "list" => Command::List,
         "stats" => Command::Stats,
         "ping" => Command::Ping,
@@ -141,7 +256,7 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
         "shutdown" => Command::Shutdown,
         other => {
             return Err(format!(
-            "unknown verb `{other}` (try query, load, unload, list, stats, ping, quit, shutdown)"
+            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, ping, quit, shutdown)"
         ))
         }
     };
@@ -195,9 +310,37 @@ mod tests {
             (br#"{"verb":"quit"}"#, Command::Quit),
             (br#"{"verb":"shutdown"}"#, Command::Shutdown),
             (br#"{"verb":"unload","name":"n"}"#, Command::Unload { name: "n".into() }),
+            (
+                br#"{"verb":"insert","name":"n","label":"+","point":[1,0.5]}"#,
+                Command::Insert { name: "n".into(), label: Label::Positive, point: vec![1.0, 0.5] },
+            ),
+            (
+                br#"{"verb":"remove","name":"n","index":3}"#,
+                Command::Remove { name: "n".into(), index: 3 },
+            ),
         ] {
             assert_eq!(parse_line(line, "1").unwrap().command, want);
         }
+    }
+
+    #[test]
+    fn load_replay_parses() {
+        let p = parse_line(
+            br#"{"verb":"load","name":"d","text":"+ 1\n- 0","replay":[{"op":"insert","label":"-","point":[0.25]},{"op":"remove","index":0}]}"#,
+            "1",
+        )
+        .unwrap();
+        let Command::Load { replay, .. } = p.command else { panic!() };
+        assert_eq!(
+            replay,
+            vec![
+                Mutation::Insert { point: vec![0.25], label: Label::Negative },
+                Mutation::Remove { id: 0 },
+            ]
+        );
+        let empty = parse_line(br#"{"verb":"load","name":"d","text":"+ 1"}"#, "1").unwrap();
+        let Command::Load { replay, .. } = empty.command else { panic!() };
+        assert!(replay.is_empty());
     }
 
     #[test]
@@ -212,6 +355,12 @@ mod tests {
             b"{\"verb\":\"query\",\"dataset\":\"d\"}", // query without cmd
             b"\xff\xfe{\"verb\":\"ping\"}",          // invalid UTF-8
             b"{\"verb\":42}",
+            b"{\"verb\":\"insert\",\"name\":\"d\",\"point\":[1]}", // no label
+            b"{\"verb\":\"insert\",\"name\":\"d\",\"label\":\"x\",\"point\":[1]}",
+            b"{\"verb\":\"insert\",\"name\":\"d\",\"label\":\"+\",\"point\":[]}",
+            b"{\"verb\":\"remove\",\"name\":\"d\"}", // no index
+            b"{\"verb\":\"remove\",\"name\":\"d\",\"index\":-1}",
+            b"{\"verb\":\"load\",\"name\":\"d\",\"text\":\"+ 1\",\"replay\":[{\"op\":\"fly\"}]}",
         ] {
             assert!(parse_line(bad, "1").is_err());
         }

@@ -6,11 +6,22 @@
 //! its tenant; the engine — and with it the explanation LRU, the single-flight
 //! table, and the lazily-built artifacts — is shared by every connection
 //! querying that tenant, so one client's cold queries warm the cache for all.
-//! Unloading only drops the registry's reference: queries already holding the
-//! `Arc` finish against the old engine.
+//!
+//! Loading an already-loaded name **atomically replaces** the tenant: the
+//! replacement (a new engine at version 0, fresh caches and counters) is
+//! fully built before the registry pointer swings, so every query observes
+//! either the complete old tenant or the complete new one — never a partial
+//! state. Unloading (and replacing) only drops the registry's reference:
+//! queries already holding the `Arc` finish against the old engine.
+//!
+//! Mutations (`insert` / `remove` verbs) go through the tenant's shared
+//! engine ([`ExplanationEngine::apply`]) and are visible to every
+//! connection at once; `load` with a `replay` log applies the mutations
+//! *before* the swap, so a replica restored by the cluster reconciler is
+//! never observable at an intermediate version.
 
 use crate::admission::Admission;
-use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Request, Response};
+use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Mutation, Request, Response};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,6 +50,10 @@ pub struct TenantStats {
     pub name: String,
     /// Dataset size.
     pub points: usize,
+    /// Positive points.
+    pub points_pos: usize,
+    /// Negative points.
+    pub points_neg: usize,
     /// Dataset dimension.
     pub dim: usize,
     /// Queries completed.
@@ -74,10 +89,13 @@ impl Tenant {
 
     /// This tenant's counters.
     pub fn stats(&self) -> TenantStats {
+        let data = self.engine.data();
         TenantStats {
             name: self.name.clone(),
-            points: self.engine.data().continuous.len(),
-            dim: self.engine.data().continuous.dim(),
+            points: data.continuous.len(),
+            points_pos: data.continuous.count_of(knn_space::Label::Positive),
+            points_neg: data.continuous.count_of(knn_space::Label::Negative),
+            dim: data.continuous.dim(),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             queued: self.queued.load(Ordering::Relaxed),
@@ -102,26 +120,39 @@ impl Registry {
     }
 
     /// Parses `text` (the `+/-`-labeled format of [`textfmt`]) and registers
-    /// it under `name`. Refuses to clobber an existing tenant — `unload`
-    /// first.
+    /// it under `name`, atomically **replacing** any tenant already loaded
+    /// under that name (new engine at version 0, fresh caches/counters).
     pub fn load(&self, name: &str, text: &str) -> Result<Arc<Tenant>, String> {
+        self.load_with_replay(name, text, &[])
+    }
+
+    /// [`Registry::load`], then re-applies `replay` (a mutation log) to the
+    /// new engine **before** it is registered: the tenant is never
+    /// observable at an intermediate version. A replay failure fails the
+    /// whole load — the registry keeps whatever was there before.
+    pub fn load_with_replay(
+        &self,
+        name: &str,
+        text: &str,
+        replay: &[Mutation],
+    ) -> Result<Arc<Tenant>, String> {
         if name.is_empty() {
             return Err("dataset name must not be empty".into());
         }
         let data = textfmt::parse_dataset(text)?;
-        let mut tenants = self.tenants.lock().unwrap();
-        if tenants.contains_key(name) {
-            return Err(format!("dataset `{name}` is already loaded (unload it first)"));
+        let engine = ExplanationEngine::new(data, self.engine_config.clone());
+        for (i, m) in replay.iter().enumerate() {
+            engine.apply(m.clone()).map_err(|e| format!("replay entry {i}: {e}"))?;
         }
         let tenant = Arc::new(Tenant {
             name: name.to_string(),
-            engine: Arc::new(ExplanationEngine::new(data, self.engine_config.clone())),
+            engine: Arc::new(engine),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             active: AtomicU64::new(0),
         });
-        tenants.insert(name.to_string(), tenant.clone());
+        self.tenants.lock().unwrap().insert(name.to_string(), tenant.clone());
         Ok(tenant)
     }
 
@@ -156,8 +187,7 @@ mod tests {
         let r = Registry::new(EngineConfig::default());
         let t = r.load("toy", BOOL).unwrap();
         assert_eq!(t.stats().points, 4);
-        let clobber = r.load("toy", BOOL).map(|_| ()).unwrap_err();
-        assert!(clobber.contains("already loaded"), "{clobber}");
+        assert_eq!((t.stats().points_pos, t.stats().points_neg), (2, 2));
         assert_eq!(r.list().len(), 1);
 
         let adm = Admission::new(2);
@@ -181,5 +211,43 @@ mod tests {
         let r = Registry::new(EngineConfig::default());
         assert!(r.load("x", "not a dataset").is_err());
         assert!(r.load("", BOOL).is_err());
+    }
+
+    #[test]
+    fn reload_atomically_replaces_the_tenant() {
+        let r = Registry::new(EngineConfig::default());
+        let old = r.load("toy", BOOL).unwrap();
+        old.engine
+            .apply(Mutation::Insert {
+                point: vec![1.0, 0.0, 0.0],
+                label: knn_space::Label::Positive,
+            })
+            .unwrap();
+        assert_eq!(old.engine.epoch(), 1);
+
+        let new = r.load("toy", "+ 1 1\n- 0 0\n").unwrap();
+        assert_eq!(r.list().len(), 1, "replacement, not a second tenant");
+        assert_eq!(new.stats().points, 2);
+        assert_eq!(new.engine.epoch(), 0, "fresh epoch after reload");
+        // The old engine is unchanged for whoever still holds it.
+        assert_eq!(old.stats().points, 5);
+    }
+
+    #[test]
+    fn load_with_replay_arrives_at_the_final_version_atomically() {
+        let r = Registry::new(EngineConfig::default());
+        let replay = [
+            Mutation::Insert { point: vec![1.0, 0.0, 1.0], label: knn_space::Label::Positive },
+            Mutation::Remove { id: 0 },
+        ];
+        let t = r.load_with_replay("toy", BOOL, &replay).unwrap();
+        assert_eq!(t.engine.epoch(), 2);
+        assert_eq!(t.stats().points, 4);
+
+        // A failing replay keeps the previous tenant intact.
+        let bad = [Mutation::Remove { id: 77 }];
+        let err = r.load_with_replay("toy", BOOL, &bad).map(|_| ()).unwrap_err();
+        assert!(err.contains("replay entry 0"), "{err}");
+        assert_eq!(r.get("toy").unwrap().engine.epoch(), 2, "previous tenant survives");
     }
 }

@@ -47,6 +47,14 @@ impl<F: Field> ContinuousDataset<F> {
         self.labels.push(label);
     }
 
+    /// Removes and returns the `i`-th labeled point; later points shift
+    /// down, so the relative order of the survivors is preserved (the live
+    /// dataset stays identical to a fresh parse of its serialized text —
+    /// the mutation layers' oracle invariant). Panics when out of range.
+    pub fn remove(&mut self, i: usize) -> (Vec<F>, Label) {
+        (self.points.remove(i), self.labels.remove(i))
+    }
+
     /// The feature dimension `n`.
     pub fn dim(&self) -> usize {
         self.dim
@@ -138,6 +146,13 @@ impl BooleanDataset {
         assert_eq!(point.len(), self.dim, "point dimension mismatch");
         self.points.push(point);
         self.labels.push(label);
+    }
+
+    /// Removes and returns the `i`-th labeled point; later points shift
+    /// down (order of survivors preserved, mirroring
+    /// [`ContinuousDataset::remove`]). Panics when out of range.
+    pub fn remove(&mut self, i: usize) -> (BitVec, Label) {
+        (self.points.remove(i), self.labels.remove(i))
     }
 
     /// The feature dimension `n`.

@@ -58,11 +58,17 @@
 //! Batch requests look like
 //! `{"id":"q1","cmd":"counterfactual","metric":"l2","k":1,"point":[1.5,1.0]}`;
 //! server queries add `"dataset":"name"`, and the server additionally speaks
-//! the control verbs `load`, `unload`, `list`, `stats`, `ping`, `quit`,
-//! `shutdown` (see `knn-server`). Responses are JSON lines in input order,
-//! byte-deterministic for any `--workers` value. The tool refuses
-//! (metric, k, command) combinations outside the paper's tractability
-//! boundary instead of silently approximating; see Table 1.
+//! the control verbs `load`, `unload`, `insert`, `remove`, `list`, `stats`,
+//! `ping`, `quit`, `shutdown` (see `knn-server`). Tenants are **live**:
+//! `{"verb":"insert","name":"demo","label":"+","point":[1,0,1]}` appends a
+//! point and `{"verb":"remove","name":"demo","index":3}` drops one, each
+//! bumping the tenant's version; re-`load`ing a name atomically replaces
+//! it. The router fans mutations out to every replica. Responses are JSON
+//! lines in input order, byte-deterministic for any `--workers` value —
+//! and after any mutation sequence, byte-identical to a server freshly
+//! loaded with the final dataset. The tool refuses (metric, k, command)
+//! combinations outside the paper's tractability boundary instead of
+//! silently approximating; see Table 1.
 
 use explainable_knn::cli::{
     parse_dataset, parse_indices, parse_point, run_batch, run_query, BatchOptions, MetricChoice,

@@ -42,6 +42,7 @@ pub mod cli;
 pub use knn_cluster as cluster;
 pub use knn_core as core;
 pub use knn_datasets as datasets;
+pub use knn_delta as delta;
 pub use knn_engine as engine;
 pub use knn_index as index;
 pub use knn_lp as lp;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use knn_core::counterfactual::l1::L1Counterfactual;
     pub use knn_core::counterfactual::l2::L2Counterfactual;
     pub use knn_core::{BooleanKnn, ContinuousKnn, SrCheck};
+    pub use knn_delta::{Mutation, VersionedDataset};
     pub use knn_engine::{EngineConfig, EngineData, ExplanationEngine};
     pub use knn_num::{Field, Rat};
     pub use knn_server::{Client, Server, ServerConfig};
