@@ -1,0 +1,129 @@
+//! Telemetry overhead on the warm serving path: the same cache-hit batch is
+//! timed against two engines — telemetry compiled in but idle (the default)
+//! and telemetry fully enabled (route + phase histograms, per-query traces,
+//! slow-ring candidacy) — and the enabled run must stay within **5%** of the
+//! idle run. Results go to `BENCH_telemetry.json` at the workspace root.
+//!
+//! The warm path is the worst case for instrumentation: a cache hit does no
+//! solving, so the clock reads and atomic bumps are the largest *relative*
+//! cost they will ever be. Min-over-trials on both sides filters scheduler
+//! noise so the ratio compares best-case against best-case.
+//!
+//! Run with `cargo bench -p knn-bench --bench telemetry_overhead`.
+//! Pass `--full` for more trials and a bigger batch.
+
+use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
+use knn_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maximum tolerated warm-path slowdown: enabled vs idle.
+const MAX_OVERHEAD: f64 = 0.05;
+
+fn requests(queries: usize, dim: usize, rng: &mut StdRng) -> Vec<Request> {
+    (0..queries)
+        .map(|i| {
+            let point: Vec<String> =
+                (0..dim).map(|_| if rng.gen_bool(0.5) { "1" } else { "0" }.into()).collect();
+            let cmd = match i % 4 {
+                0..=1 => "classify",
+                2 => "minimal-sr",
+                _ => "counterfactual",
+            };
+            let line = format!(
+                r#"{{"id":"q{i}","cmd":"{cmd}","metric":"hamming","k":3,"point":[{}]}}"#,
+                point.join(",")
+            );
+            Request::from_json_line(&line, &i.to_string()).expect("generated request parses")
+        })
+        .collect()
+}
+
+/// Warm the cache, then return the minimum wall time over `trials` repeats of
+/// the all-hits batch.
+fn min_warm_secs(engine: &ExplanationEngine, reqs: &[Request], trials: usize) -> f64 {
+    let _ = engine.run_batch_with_stats(reqs);
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        let (_, stats) = engine.run_batch_with_stats(reqs);
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(stats.cache_hits, reqs.len(), "measured runs must be all hits");
+    }
+    best
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (n_points, dim, q, trials) = if full { (40, 12, 512, 60) } else { (24, 10, 256, 30) };
+
+    let mut rng = StdRng::seed_from_u64(2025);
+    let boolean = knn_datasets::random::random_boolean_dataset(&mut rng, n_points, dim, 0.5);
+    let continuous = boolean.to_continuous::<f64>();
+    let reqs = requests(q, dim, &mut rng);
+    let data = || EngineData::new(continuous.clone(), Some(boolean.clone()));
+    let config = EngineConfig::default();
+
+    // Telemetry compiled in but idle: the construction default.
+    let idle_engine = ExplanationEngine::new(data(), config.clone());
+    // Telemetry enabled: every query records route/phase histograms and is a
+    // slow-ring candidate.
+    let telemetry = Telemetry::new();
+    telemetry.set_enabled(true);
+    let hot_engine = ExplanationEngine::with_telemetry(data(), config, telemetry.clone(), "bench");
+
+    // Interleave idle/enabled trials so drift hits both sides equally.
+    let mut idle = f64::INFINITY;
+    let mut hot = f64::INFINITY;
+    for _ in 0..3 {
+        idle = idle.min(min_warm_secs(&idle_engine, &reqs, trials));
+        hot = hot.min(min_warm_secs(&hot_engine, &reqs, trials));
+    }
+
+    // The enabled engine really recorded: warm hits land in the cache-probe
+    // phase histogram (1-in-16 sampled, so a fraction of the query count).
+    let recorded: u64 = count_recorded(&telemetry);
+    assert!(recorded >= (q * trials / 16) as u64, "enabled run must have recorded samples");
+
+    let idle_qps = q as f64 / idle;
+    let hot_qps = q as f64 / hot;
+    let overhead = hot / idle - 1.0;
+    println!("idle    {idle_qps:>11.1} q/s  (telemetry compiled in, disabled)");
+    println!("enabled {hot_qps:>11.1} q/s  (histograms + traces + slow ring)");
+    println!("warm-path overhead {:+.2}%  (budget {:.0}%)", overhead * 100.0, MAX_OVERHEAD * 100.0);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"points\": {n_points}, \"dim\": {dim}, \"queries\": {q}, \"trials\": {trials}}},"
+    );
+    let _ = writeln!(json, "  \"idle_qps\": {idle_qps:.1},");
+    let _ = writeln!(json, "  \"enabled_qps\": {hot_qps:.1},");
+    let _ = writeln!(json, "  \"overhead_frac\": {overhead:.4},");
+    let _ = writeln!(json, "  \"budget_frac\": {MAX_OVERHEAD}");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    std::fs::write(path, &json).expect("write BENCH_telemetry.json");
+    println!("wrote {path}");
+
+    assert!(
+        overhead <= MAX_OVERHEAD,
+        "telemetry warm-path overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}
+
+/// Total samples across the phase histograms the enabled engine recorded.
+fn count_recorded(telemetry: &Arc<Telemetry>) -> u64 {
+    let text = telemetry.render();
+    text.lines()
+        .filter(|l| l.starts_with("knn_phase_duration_us_count{") && l.contains("phase=\"cache\""))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}

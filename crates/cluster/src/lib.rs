@@ -60,6 +60,7 @@ pub use pool::{Backend, BackendPool, BackendSnapshot};
 
 use knn_engine::json::{parse_bytes, Value};
 use knn_server::proto::{self, Command};
+use knn_telemetry::{exposition, Telemetry};
 use scatter::{Dispatcher, PendingQuery};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader};
@@ -132,6 +133,11 @@ impl TenantSource {
 struct RouterShared {
     pool: Arc<BackendPool>,
     placement: Arc<PlacementMap>,
+    /// Router-side counters (dispatches, failovers, demotions, reconciles)
+    /// and the probe-round latency histogram. Enabled at bind; the
+    /// `metrics` verb appends its rendering after the merged backend
+    /// expositions (series names are disjoint from the backends').
+    telemetry: Arc<Telemetry>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     started: Instant,
@@ -166,9 +172,12 @@ impl Router {
     pub fn bind<A: ToSocketAddrs>(addr: A, config: RouterConfig) -> std::io::Result<Router> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let telemetry = Telemetry::new();
+        telemetry.set_enabled(true);
         let shared = Arc::new(RouterShared {
             pool: Arc::new(BackendPool::new()),
             placement: Arc::new(PlacementMap::new(config.replication)),
+            telemetry,
             shutdown: AtomicBool::new(false),
             addr,
             started: Instant::now(),
@@ -301,11 +310,15 @@ fn start_probe_loop(shared: &Arc<RouterShared>) {
     let shared = shared.clone();
     std::thread::spawn(move || {
         while !shared.shutdown.load(Ordering::SeqCst) {
+            let round = Instant::now();
             for backend in shared.pool.backends() {
                 if backend.probe().is_some() {
                     reconcile_backend(&shared, &backend);
                 }
             }
+            shared
+                .telemetry
+                .record_named("knn_router_probe_round_us", round.elapsed().as_micros() as u64);
             std::thread::sleep(shared.probe_interval);
         }
     });
@@ -372,6 +385,7 @@ fn reconcile_backend(shared: &Arc<RouterShared>, backend: &Backend) {
         }
         let line = load_line(name, src);
         if roundtrip_acked(backend, &line) {
+            shared.telemetry.add("knn_router_reconciles_total", 1);
             let active = shared.placement.get(name).unwrap_or_default();
             readmit(shared, name, src, &active, backend.id);
         }
@@ -605,6 +619,7 @@ fn fan_out_mutation(
     // Partial failure: demote the failures before the client hears the ack,
     // so post-mutation queries can only reach replicas that applied it.
     if !failed.is_empty() {
+        shared.telemetry.add("knn_router_demotions_total", failed.len() as u64);
         shared.placement.pin(name, acked.clone());
         let unload = unload_line(name);
         for &id in &failed {
@@ -636,6 +651,7 @@ fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::R
         out_tx.clone(),
         shared.conn_counter.fetch_add(1, Ordering::Relaxed),
         shared.spread,
+        shared.telemetry.clone(),
     );
 
     let mut seq = 0u64;
@@ -846,6 +862,8 @@ fn run_cluster_control(
             (proto::ok_line(id, vec![("datasets".into(), Value::Array(datasets))]), false)
         }
         Command::Stats => (cluster_stats_line(shared, id), false),
+        Command::Metrics => (cluster_metrics_line(shared, id), false),
+        Command::Slow => (cluster_slow_line(shared, id), false),
         Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
         Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
         Command::Shutdown => {
@@ -881,6 +899,58 @@ fn mutation_response(
             (line, false)
         }
     }
+}
+
+/// The cluster `metrics` verb: one `metrics` roundtrip per live backend,
+/// the expositions **merged key-wise** (histogram buckets and counters
+/// sum; `_max` series take the max — exact because every backend emits
+/// the identical fixed bucket set), then the router's own series appended
+/// (`knn_router_*`: dispatches, failovers, demotions, reconciles, the
+/// probe-round histogram — names disjoint from anything a backend emits).
+/// A backend answering garbage contributes nothing; the merge is total.
+fn cluster_metrics_line(shared: &Arc<RouterShared>, id: &str) -> String {
+    let mut texts: Vec<String> = Vec::new();
+    for backend in shared.pool.backends() {
+        if !backend.is_healthy() {
+            continue;
+        }
+        let Ok(resp) = backend.control_roundtrip(r#"{"id":"agg","verb":"metrics"}"#) else {
+            continue;
+        };
+        let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
+        if let Some(Value::String(text)) = v.get("metrics") {
+            texts.push(text.clone());
+        }
+    }
+    let mut text = exposition::merge(&texts);
+    text.push_str(&shared.telemetry.render());
+    proto::ok_line(id, vec![("metrics".into(), Value::String(text))])
+}
+
+/// The cluster `slow` verb: drains every live backend's slow-query ring
+/// (each entry tagged with its backend id) and re-sorts the union slowest
+/// first. Draining is per-backend — entries appear in exactly one router
+/// drain, like the single server's.
+fn cluster_slow_line(shared: &Arc<RouterShared>, id: &str) -> String {
+    let mut entries: Vec<Value> = Vec::new();
+    for backend in shared.pool.backends() {
+        if !backend.is_healthy() {
+            continue;
+        }
+        let Ok(resp) = backend.control_roundtrip(r#"{"id":"agg","verb":"slow"}"#) else {
+            continue;
+        };
+        let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
+        for entry in v.get("slow").and_then(Value::as_array).unwrap_or(&[]) {
+            let Value::Object(members) = entry else { continue };
+            let mut members = members.clone();
+            members.push(("backend".into(), Value::Number(backend.id as f64)));
+            entries.push(Value::Object(members));
+        }
+    }
+    let total = |e: &Value| e.get("total_us").and_then(Value::as_u64).unwrap_or(0);
+    entries.sort_by_key(|e| std::cmp::Reverse(total(e)));
+    proto::ok_line(id, vec![("slow".into(), Value::Array(entries))])
 }
 
 /// Per-tenant counters summed over backends, plus the version picture the
@@ -1295,6 +1365,73 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         assert!(reloaded, "probe loop never re-loaded the amnesiac replica");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    /// The router's `metrics` verb merges the backends' expositions
+    /// (request counts sum to exactly the queries sent — the bucket sets
+    /// are identical, so the key-wise merge is exact) and appends its own
+    /// `knn_router_*` series; `slow` drains every backend's ring into one
+    /// slowest-first list tagged with backend ids.
+    #[test]
+    fn metrics_verb_merges_backends_and_adds_router_series() {
+        let (b0, b1) = (backend(), backend());
+        let handle = router_over(&[&b0, &b1]);
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for i in 0..6 {
+            // A counterfactual among them: multi-µs, so the slow rings are
+            // deterministically non-empty below.
+            let cmd = if i == 0 { "counterfactual" } else { "classify" };
+            let resp = c
+                .roundtrip(&format!(
+                    r#"{{"dataset":"toy","id":"q{i}","cmd":"{cmd}","metric":"hamming","point":[1,1,{}]}}"#,
+                    i % 2
+                ))
+                .unwrap();
+            assert!(resp.contains(r#""ok":true"#), "{resp}");
+        }
+
+        let m = c.roundtrip(r#"{"id":"m","verb":"metrics"}"#).unwrap();
+        let parsed = parse_bytes(m.as_bytes()).unwrap();
+        let Some(Value::String(text)) = parsed.get("metrics") else {
+            panic!("metrics member missing: {m}");
+        };
+        exposition::validate(text).unwrap();
+        let samples = exposition::parse(text);
+        let merged_count: f64 = samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("knn_request_duration_us_count{"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(merged_count, 6.0, "merged request count covers every query:\n{text}");
+        assert_eq!(
+            samples.get("knn_router_dispatches_total").copied(),
+            Some(6.0),
+            "router-own series appended:\n{text}"
+        );
+
+        // The merged counts equal the bucket-wise sum of what the backends
+        // report directly (the exposition is all cumulative counters, so
+        // asking the backends afterwards sees the same totals).
+        let mut direct = 0.0;
+        for b in [&b0, &b1] {
+            let mut bc = Client::connect(b.addr()).unwrap();
+            let bm = bc.roundtrip(r#"{"id":"bm","verb":"metrics"}"#).unwrap();
+            let bv = parse_bytes(bm.as_bytes()).unwrap();
+            let Some(Value::String(btext)) = bv.get("metrics") else { panic!("{bm}") };
+            direct += exposition::parse(btext)
+                .iter()
+                .filter(|(k, _)| k.starts_with("knn_request_duration_us_count{"))
+                .map(|(_, v)| *v)
+                .sum::<f64>();
+        }
+        assert_eq!(merged_count, direct, "merge equals the backend sum");
+
+        let s = c.roundtrip(r#"{"id":"s","verb":"slow"}"#).unwrap();
+        assert!(s.contains(r#""backend":"#) && s.contains(r#""total_us":"#), "{s}");
 
         handle.shutdown();
         b0.shutdown();

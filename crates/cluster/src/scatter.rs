@@ -30,6 +30,7 @@
 use crate::placement::PlacementMap;
 use crate::pool::{Backend, BackendPool, CONNECT_ATTEMPTS, CONNECT_BACKOFF};
 use knn_server::proto;
+use knn_telemetry::Telemetry;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
@@ -139,6 +140,9 @@ pub(crate) struct Dispatcher {
     /// replica count. Failover ignores the window: every replica is a
     /// fallback candidate.
     spread: usize,
+    /// Router-side counters: dispatches and failover redispatches (both
+    /// out-of-band; never on the response path).
+    telemetry: Arc<Telemetry>,
 }
 
 impl Dispatcher {
@@ -148,6 +152,7 @@ impl Dispatcher {
         out_tx: Sender<(u64, Vec<u8>)>,
         anchor: usize,
         spread: usize,
+        telemetry: Arc<Telemetry>,
     ) -> Arc<Dispatcher> {
         Arc::new(Dispatcher {
             pool,
@@ -159,6 +164,7 @@ impl Dispatcher {
             rr: Mutex::new(HashMap::new()),
             anchor,
             spread,
+            telemetry,
         })
     }
 
@@ -303,10 +309,14 @@ impl Dispatcher {
         for (id, _) in candidates {
             let Some(chan) = self.chan(id) else { continue };
             match chan.send(q) {
-                SendOutcome::Sent => return,
+                SendOutcome::Sent => {
+                    self.telemetry.add("knn_router_dispatches_total", 1);
+                    return;
+                }
                 SendOutcome::Rejected(back) => q = back,
                 SendOutcome::Died(drained) => {
                     chan.backend.mark_down();
+                    self.telemetry.add("knn_router_failovers_total", drained.len() as u64);
                     // Everything the dead channel was holding — the query we
                     // just tried included — goes back through dispatch.
                     for p in drained {
@@ -372,6 +382,7 @@ fn receiver_loop(disp: Arc<Dispatcher>, chan: Arc<Chan>, reader: TcpStream) {
                     // probe loop's reconciler re-loads this one. The
                     // attempts cap still bounds the loop.
                     if is_not_loaded_error(&buf, &q) {
+                        disp.telemetry.add("knn_router_failovers_total", 1);
                         disp.dispatch(q);
                     } else {
                         disp.finish(q.seq, buf.clone());
@@ -396,6 +407,7 @@ fn receiver_loop(disp: Arc<Dispatcher>, chan: Arc<Chan>, reader: TcpStream) {
             st.pending.drain(..).collect()
         }
     };
+    disp.telemetry.add("knn_router_failovers_total", drained.len() as u64);
     for q in drained {
         disp.dispatch(q);
     }

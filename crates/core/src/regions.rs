@@ -43,7 +43,50 @@ use knn_num::Field;
 use knn_qp::Polyhedron;
 use knn_space::{ContinuousDataset, Label, OddK};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Live counters of lazy-region enumeration activity: how many polyhedra
+/// the streams actually yielded, and how many each prune rule skipped.
+///
+/// Counters are plain relaxed atomics — shareable across every stream of an
+/// engine (and across its artifact-store generations) without this crate
+/// depending on any telemetry machinery. They observe the enumeration and
+/// never influence it: the yielded sequence is identical with or without a
+/// counter attached.
+#[derive(Debug, Default)]
+pub struct RegionCounters {
+    yields: AtomicU64,
+    pruned_empty: AtomicU64,
+    pruned_dominated: AtomicU64,
+    memo_pruned: AtomicU64,
+}
+
+impl RegionCounters {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> RegionCountersSnapshot {
+        RegionCountersSnapshot {
+            yields: self.yields.load(Ordering::Relaxed),
+            pruned_empty: self.pruned_empty.load(Ordering::Relaxed),
+            pruned_dominated: self.pruned_dominated.load(Ordering::Relaxed),
+            memo_pruned: self.memo_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of [`RegionCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionCountersSnapshot {
+    /// Polyhedra yielded to callers (memoized re-yields included).
+    pub yields: u64,
+    /// Regions skipped as provably empty ([`PruneReason::Empty`]).
+    pub pruned_empty: u64,
+    /// Regions skipped as dominated ([`PruneReason::Dominated`]).
+    pub pruned_dominated: u64,
+    /// Regions skipped via a memoized prune verdict (rule unknown — the
+    /// memo stores the verdict, not the reason).
+    pub memo_pruned: u64,
+}
 
 /// Iterator over all size-`r` index subsets of `0..n` (lexicographic).
 pub struct Combinations {
@@ -429,6 +472,7 @@ pub struct RegionStream<'a, F: Field> {
     a_pos: usize,
     cur: Option<(Vec<usize>, Combinations)>,
     scratch_mask: Vec<bool>,
+    counters: Option<&'a RegionCounters>,
 }
 
 /// The emission order of anchor sets for one `(dataset, k, target, query)`
@@ -507,7 +551,15 @@ impl<'a, F: Field> RegionStream<'a, F> {
             a_pos: 0,
             cur: None,
             scratch_mask,
+            counters: None,
         }
+    }
+
+    /// Attaches activity counters (see [`RegionCounters`]); purely
+    /// observational — the yielded sequence is unchanged.
+    pub fn counting(mut self, counters: &'a RegionCounters) -> Self {
+        self.counters = Some(counters);
+        self
     }
 
     /// Canonical (lexicographic) order, unpruned: the eager oracle's
@@ -552,16 +604,26 @@ impl<F: Field> Iterator for RegionStream<'_, F> {
             let spec = RegionSpec { anchors: anchors.clone(), excluded };
             if let Some(memo) = self.memo {
                 match memo.get(&spec) {
-                    Some(MemoEntry::Pruned) => continue,
-                    Some(MemoEntry::Poly(p)) => return Some((p, spec)),
+                    Some(MemoEntry::Pruned) => {
+                        if let Some(c) = self.counters {
+                            c.memo_pruned.fetch_add(1, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    Some(MemoEntry::Poly(p)) => {
+                        if let Some(c) = self.counters {
+                            c.yields.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some((p, spec));
+                    }
                     None => {}
                 }
             }
             // Rows are built once and shared by the pruner and the kept
             // polyhedron — row construction dominates the cold pass.
             let rows = region_rows(self.ds, &spec.anchors, &self.others, &self.scratch_mask);
-            if self.prune
-                && prune_region_masked(
+            if self.prune {
+                if let Some(reason) = prune_region_masked(
                     self.ds,
                     &spec.anchors,
                     &self.others,
@@ -569,17 +631,27 @@ impl<F: Field> Iterator for RegionStream<'_, F> {
                     &spec.excluded,
                     self.strict,
                     &rows,
-                )
-                .is_some()
-            {
-                if let Some(memo) = self.memo {
-                    memo.insert(spec, MemoEntry::Pruned);
+                ) {
+                    if let Some(c) = self.counters {
+                        match reason {
+                            PruneReason::Empty => c.pruned_empty.fetch_add(1, Ordering::Relaxed),
+                            PruneReason::Dominated(_) => {
+                                c.pruned_dominated.fetch_add(1, Ordering::Relaxed)
+                            }
+                        };
+                    }
+                    if let Some(memo) = self.memo {
+                        memo.insert(spec, MemoEntry::Pruned);
+                    }
+                    continue;
                 }
-                continue;
             }
             let poly = Arc::new(polyhedron_from_rows(self.ds.dim(), rows));
             if let Some(memo) = self.memo {
                 memo.insert(spec.clone(), MemoEntry::Poly(poly.clone()));
+            }
+            if let Some(c) = self.counters {
+                c.yields.fetch_add(1, Ordering::Relaxed);
             }
             return Some((poly, spec));
         }
@@ -597,6 +669,7 @@ pub struct LazyRegions<F> {
     k: OddK,
     positive: RegionMemo<F>,
     negative: RegionMemo<F>,
+    counters: Arc<RegionCounters>,
 }
 
 impl<F: Field> LazyRegions<F> {
@@ -616,12 +689,31 @@ impl<F: Field> LazyRegions<F> {
             k,
             positive: RegionMemo::new(cap),
             negative: RegionMemo::new(cap),
+            counters: Arc::new(RegionCounters::default()),
         }
+    }
+
+    /// [`LazyRegions::new`], sharing an external [`RegionCounters`] — the
+    /// engine hands every per-`k` view (across artifact-store generations)
+    /// the same counters so prune/yield totals are engine-wide.
+    pub fn with_counters(
+        ds: &ContinuousDataset<F>,
+        k: OddK,
+        counters: Arc<RegionCounters>,
+    ) -> Self {
+        let mut lazy = Self::new(ds, k);
+        lazy.counters = counters;
+        lazy
     }
 
     /// The `k` this view was built for.
     pub fn k(&self) -> OddK {
         self.k
+    }
+
+    /// The activity counters every stream of this view records into.
+    pub fn counters(&self) -> &Arc<RegionCounters> {
+        &self.counters
     }
 
     /// A pruned, nearest-anchor-first, memoized stream of the `target`
@@ -631,7 +723,7 @@ impl<F: Field> LazyRegions<F> {
             Label::Positive => &self.positive,
             Label::Negative => &self.negative,
         };
-        RegionStream::for_query(&self.ds, self.k, target, x, Some(memo))
+        RegionStream::for_query(&self.ds, self.k, target, x, Some(memo)).counting(&self.counters)
     }
 
     /// The nearest-anchor-first [`AnchorOrder`] for `x` — compute once, then
@@ -648,6 +740,7 @@ impl<F: Field> LazyRegions<F> {
             Label::Negative => &self.negative,
         };
         RegionStream::with_order(&self.ds, self.k, target, order, true, Some(memo))
+            .counting(&self.counters)
     }
 
     /// Total regions memoized so far (both decision regions, prune verdicts

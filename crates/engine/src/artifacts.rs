@@ -24,12 +24,67 @@
 //! while distinct artifacts (e.g. region caches for k = 1 and k = 3) build
 //! in parallel.
 
-use knn_core::regions::{LazyRegions, RegionCache};
+use knn_core::regions::{LazyRegions, RegionCache, RegionCounters};
 use knn_index::{HammingIndex, KdTree};
 use knn_space::{BitVec, BooleanDataset, ContinuousDataset, Label, LpMetric, OddK};
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Lifetime artifact-build accounting, shared (via `Arc`) across every
+/// [`ArtifactStore::carry_over`] generation of one engine so the totals
+/// survive mutations. Plain relaxed atomics — always on; the cost is paid
+/// only by the worker that actually runs a build.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    build_nanos: AtomicU64,
+    built: AtomicU64,
+    carried: AtomicU64,
+}
+
+impl StoreMetrics {
+    /// Total nanoseconds spent inside artifact builders so far. The
+    /// engine's per-query artifact phase is the delta of this across one
+    /// execution (attribution is approximate when builds race, exact when
+    /// one query pays for its own build — the common case).
+    pub fn build_nanos(&self) -> u64 {
+        self.build_nanos.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StoreMetricsSnapshot {
+        StoreMetricsSnapshot {
+            build_us: self.build_nanos.load(Ordering::Relaxed) / 1_000,
+            built: self.built.load(Ordering::Relaxed),
+            carried: self.carried.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `build` under the clock, charging its wall time and one build
+    /// to the totals.
+    fn time<T>(&self, build: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let value = build();
+        self.build_nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.built.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+}
+
+/// An owned copy of [`StoreMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMetricsSnapshot {
+    /// Total wall time spent inside artifact builders, µs.
+    pub build_us: u64,
+    /// Artifact cells built over the engine's lifetime (rebuilds after
+    /// invalidation included — contrast with the live
+    /// [`ArtifactStore::built_count`]).
+    pub built: u64,
+    /// Completed cells carried across mutations instead of rebuilt.
+    pub carried: u64,
+}
 
 /// The engine's immutable dataset: the continuous view always, the boolean
 /// view when every coordinate is 0/1.
@@ -167,6 +222,11 @@ pub struct ArtifactStore {
     hamming_class: Family<Label, HammingIndex>,
     l2_regions: Family<u32, RegionCache<f64>>,
     l2_lazy: Family<u32, LazyRegions<f64>>,
+    /// Build-time accounting, shared across carry-over generations.
+    metrics: Arc<StoreMetrics>,
+    /// Region-enumeration counters every lazy view (any `k`, any
+    /// generation) records into, so prune/yield totals are engine-wide.
+    region_counters: Arc<RegionCounters>,
 }
 
 impl ArtifactStore {
@@ -178,7 +238,7 @@ impl ArtifactStore {
     /// The KD-tree over the `label` class under ℓp, building it on first use.
     pub fn kd_class_index(&self, data: &EngineData, p: u32, label: Label) -> Arc<KdTree> {
         self.kd_class.get_or_build((p, label), || {
-            KdTree::new(data.continuous.points_of(label), LpMetric::new(p))
+            self.metrics.time(|| KdTree::new(data.continuous.points_of(label), LpMetric::new(p)))
         })
     }
 
@@ -186,8 +246,10 @@ impl ArtifactStore {
     /// that the boolean view exists.
     pub fn hamming_class_index(&self, data: &EngineData, label: Label) -> Arc<HammingIndex> {
         self.hamming_class.get_or_build(label, || {
-            let ds = data.boolean.as_ref().expect("hamming artifact needs the boolean view");
-            HammingIndex::new(ds.points_of(label))
+            self.metrics.time(|| {
+                let ds = data.boolean.as_ref().expect("hamming artifact needs the boolean view");
+                HammingIndex::new(ds.points_of(label))
+            })
         })
     }
 
@@ -195,14 +257,30 @@ impl ArtifactStore {
     /// `O(n^k)` memory — the test-oracle path; serving uses
     /// [`ArtifactStore::l2_lazy_regions`].
     pub fn l2_regions(&self, data: &EngineData, k: OddK) -> Arc<RegionCache<f64>> {
-        self.l2_regions.get_or_build(k.get(), || RegionCache::build(&data.continuous, k))
+        self.l2_regions
+            .get_or_build(k.get(), || self.metrics.time(|| RegionCache::build(&data.continuous, k)))
     }
 
     /// The lazy Prop 1 ℓ2 region view for `k`. Cheap to build; visited
     /// regions are memoized inside the view (bounded), so every worker
     /// sharing this artifact also shares the warm enumeration.
     pub fn l2_lazy_regions(&self, data: &EngineData, k: OddK) -> Arc<LazyRegions<f64>> {
-        self.l2_lazy.get_or_build(k.get(), || LazyRegions::new(&data.continuous, k))
+        self.l2_lazy.get_or_build(k.get(), || {
+            self.metrics.time(|| {
+                LazyRegions::with_counters(&data.continuous, k, self.region_counters.clone())
+            })
+        })
+    }
+
+    /// Build-time accounting (engine-lifetime — survives carry-overs).
+    pub fn metrics(&self) -> &Arc<StoreMetrics> {
+        &self.metrics
+    }
+
+    /// The engine-wide region-enumeration counters (see
+    /// [`RegionCounters`]).
+    pub fn region_counters(&self) -> &Arc<RegionCounters> {
+        &self.region_counters
     }
 
     /// How many artifacts (across all families) have finished building —
@@ -225,12 +303,16 @@ impl ArtifactStore {
     /// cross-class point pairs, so any mutation invalidates them for every
     /// `k`. (The invalidation matrix lives in DESIGN.md §3d.)
     pub fn carry_over(&self, mutated: Label) -> ArtifactStore {
-        ArtifactStore {
+        let next = ArtifactStore {
             kd_class: self.kd_class.carry(|&(_, label)| label != mutated),
             hamming_class: self.hamming_class.carry(|&label| label != mutated),
             l2_regions: Family::default(),
             l2_lazy: Family::default(),
-        }
+            metrics: self.metrics.clone(),
+            region_counters: self.region_counters.clone(),
+        };
+        self.metrics.carried.fetch_add(next.built_count() as u64, Ordering::Relaxed);
+        next
     }
 }
 

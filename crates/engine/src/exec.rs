@@ -61,12 +61,48 @@ pub fn execute_traced(
     effort_budget: Option<u64>,
     eager_l2_regions: bool,
 ) -> (Response, Option<ClassifyGuard>) {
+    let (resp, guard, _) =
+        execute_phased(data, artifacts, req, effort_budget, eager_l2_regions, false);
+    (resp, guard)
+}
+
+/// Where one execution's time went, as measured by [`execute_phased`].
+/// Purely observational — the response is byte-identical whether or not
+/// the clock ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Time inside the planner, µs.
+    pub plan_us: u64,
+    /// Time inside the routed algorithm (artifact builds it triggered
+    /// included — the engine subtracts those out via the store's build
+    /// accounting), µs.
+    pub solve_us: u64,
+}
+
+/// [`execute_traced`] with the phase clock: when `timed`, the returned
+/// [`PhaseTimes`] carries the planner and solver wall times (zeros
+/// otherwise — the untimed path never reads the clock, keeping disabled
+/// telemetry free).
+pub fn execute_phased(
+    data: &EngineData,
+    artifacts: &ArtifactStore,
+    req: &Request,
+    effort_budget: Option<u64>,
+    eager_l2_regions: bool,
+    timed: bool,
+) -> (Response, Option<ClassifyGuard>, PhaseTimes) {
+    let mut phases = PhaseTimes::default();
+    let plan_started = timed.then(std::time::Instant::now);
     let planned = match plan(req, effort_budget.is_some()) {
         Ok(p) => p,
-        Err(e) => return (error_response(req, e), None),
+        Err(e) => return (error_response(req, e), None, phases),
     };
+    if let Some(t0) = plan_started {
+        phases.plan_us = t0.elapsed().as_micros() as u64;
+    }
     let mut guard = None;
-    match execute_planned(
+    let solve_started = timed.then(std::time::Instant::now);
+    let outcome = execute_planned(
         data,
         artifacts,
         req,
@@ -74,12 +110,17 @@ pub fn execute_traced(
         effort_budget,
         eager_l2_regions,
         &mut guard,
-    ) {
+    );
+    if let Some(t0) = solve_started {
+        phases.solve_us = t0.elapsed().as_micros() as u64;
+    }
+    match outcome {
         Ok(outcome) => (
             Response { id: req.id.clone(), route: planned.tag.to_string(), result: Ok(outcome) },
             guard,
+            phases,
         ),
-        Err(e) => (error_response(req, e), None),
+        Err(e) => (error_response(req, e), None, phases),
     }
 }
 

@@ -93,11 +93,35 @@ pub use knn_delta::Mutation;
 
 use cache::LruCache;
 use knn_delta::{AppliedMutation, ClassifyGuard, MutationLog};
+use knn_telemetry::{Histogram, QueryTrace, Telemetry};
+use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Sampling period for cache-probe phase timing: 1 in this many probes is
+/// wall-clock timed. Probing a warm cache is a sub-µs operation, so reading
+/// the clock around every probe would cost more than the probe itself.
+const CACHE_PROBE_SAMPLE: u64 = 16;
+
+/// Whether this query's cache probe should be wall-clock timed. Deterministic
+/// per-thread round-robin: the **first** probe on every thread is sampled (so
+/// the phase series exists as soon as any traffic flows), then 1 in
+/// [`CACHE_PROBE_SAMPLE`]. Unsampled queries leave `QueryTrace::cache_us` at
+/// zero; the phase histogram stays representative because warm probes are
+/// tightly clustered.
+fn sample_cache_probe() -> bool {
+    thread_local! {
+        static TICK: Cell<u64> = const { Cell::new(0) };
+    }
+    TICK.with(|t| {
+        let v = t.get();
+        t.set(v.wrapping_add(1));
+        v % CACHE_PROBE_SAMPLE == 0
+    })
+}
 
 /// Engine-level configuration.
 #[derive(Clone, Debug)]
@@ -223,6 +247,21 @@ pub struct EngineStats {
     /// Cache hits that crossed an epoch boundary: stale entries whose guard
     /// proved the answer unchanged, promoted instead of recomputed.
     pub revalidated: u64,
+    /// Guard revalidations that failed: the entry's statistics could have
+    /// moved, so the query recomputed.
+    pub revalidation_failed: u64,
+    /// Lazy region-enumeration activity: yields and per-rule prune counts,
+    /// engine-lifetime (see [`knn_core::regions::RegionCounters`]).
+    pub regions: knn_core::regions::RegionCountersSnapshot,
+    /// Total wall time spent building shared artifacts, µs
+    /// (engine-lifetime — rebuilds after mutations included).
+    pub artifact_build_us: u64,
+    /// Artifact cells built over the engine's lifetime (contrast with the
+    /// live `artifacts_built`).
+    pub artifacts_built_total: u64,
+    /// Completed artifact cells carried across mutations instead of
+    /// rebuilt.
+    pub artifacts_carried: u64,
 }
 
 /// The batch explanation server. See the crate docs for the architecture.
@@ -232,6 +271,7 @@ pub struct ExplanationEngine {
     cache: Mutex<LruCache<CacheKey, CachedEntry>>,
     coalesced: AtomicU64,
     revalidated: AtomicU64,
+    revalidation_failed: AtomicU64,
     inserts: AtomicU64,
     removes: AtomicU64,
     /// Single-flight table: identical requests racing in one batch coalesce
@@ -240,35 +280,83 @@ pub struct ExplanationEngine {
     /// by `(epoch, request key)`: the same request at different epochs is
     /// different work and must never coalesce.
     inflight: Mutex<HashMap<(u64, CacheKey), Arc<Mutex<Option<CachedResult>>>>>,
+    /// Out-of-band telemetry (disabled by default; the server enables it).
+    /// Phase histogram handles are resolved once here so the hot path
+    /// never touches the registry's maps.
+    telemetry: Arc<Telemetry>,
+    phase_cache: Arc<Histogram>,
+    phase_plan: Arc<Histogram>,
+    phase_solve: Arc<Histogram>,
+    phase_artifact: Arc<Histogram>,
+    phase_apply: Arc<Histogram>,
 }
 
 impl ExplanationEngine {
-    /// Builds an engine over `data` (epoch 0, empty mutation log).
+    /// Builds an engine over `data` (epoch 0, empty mutation log) with its
+    /// own disabled telemetry registry — the standalone (`xknn batch`)
+    /// configuration, paying one atomic load per query for the plumbing.
     pub fn new(data: EngineData, config: EngineConfig) -> Self {
+        Self::with_telemetry(data, config, Telemetry::new(), "_local")
+    }
+
+    /// [`ExplanationEngine::new`] recording into a shared [`Telemetry`]
+    /// under the tenant label `label` — the server wires every tenant's
+    /// engine to one process-wide registry so a single `metrics` scrape
+    /// covers them all. Telemetry never changes a response byte: it is
+    /// recorded strictly out-of-band (see the determinism contract above).
+    pub fn with_telemetry(
+        data: EngineData,
+        config: EngineConfig,
+        telemetry: Arc<Telemetry>,
+        label: &str,
+    ) -> Self {
         let cache = Mutex::new(LruCache::new(config.cache_capacity));
         let state = EpochState {
             data: Arc::new(data),
             log: MutationLog::new(),
             artifacts: Arc::new(ArtifactStore::new()),
         };
+        let phase_cache = telemetry.phase_histogram(label, "cache");
+        let phase_plan = telemetry.phase_histogram(label, "plan");
+        let phase_solve = telemetry.phase_histogram(label, "solve");
+        let phase_artifact = telemetry.phase_histogram(label, "artifact_build");
+        let phase_apply = telemetry.phase_histogram(label, "mutation_apply");
         ExplanationEngine {
             config,
             state: Mutex::new(state),
             cache,
             coalesced: AtomicU64::new(0),
             revalidated: AtomicU64::new(0),
+            revalidation_failed: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             removes: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
+            telemetry,
+            phase_cache,
+            phase_plan,
+            phase_solve,
+            phase_artifact,
+            phase_apply,
         }
+    }
+
+    /// The telemetry registry this engine records into (the server's
+    /// shared one, or this engine's own disabled instance).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Lifetime cache / single-flight / mutation counters. Observability
     /// only: reading them never changes a response byte.
     pub fn stats(&self) -> EngineStats {
-        let (epoch, artifacts_built) = {
+        let (epoch, artifacts_built, regions, store) = {
             let st = self.state.lock().unwrap();
-            (st.log.epoch(), st.artifacts.built_count())
+            (
+                st.log.epoch(),
+                st.artifacts.built_count(),
+                st.artifacts.region_counters().snapshot(),
+                st.artifacts.metrics().snapshot(),
+            )
         };
         EngineStats {
             cache: self.cache.lock().unwrap().stats(),
@@ -279,6 +367,11 @@ impl ExplanationEngine {
             inserts: self.inserts.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
             revalidated: self.revalidated.load(Ordering::Relaxed),
+            revalidation_failed: self.revalidation_failed.load(Ordering::Relaxed),
+            regions,
+            artifact_build_us: store.build_us,
+            artifacts_built_total: store.built,
+            artifacts_carried: store.carried,
         }
     }
 
@@ -306,6 +399,7 @@ impl ExplanationEngine {
     /// untouched class's neighbor indexes carry over; region artifacts
     /// drop; epoch-tagged cache entries revalidate or lazily evict.
     pub fn apply(&self, m: Mutation) -> Result<MutationReceipt, String> {
+        let apply_started = self.telemetry.is_enabled().then(Instant::now);
         let mut st = self.state.lock().unwrap();
         m.validate(&st.data.continuous)?;
         // Incremental epoch-view derivation (O(n) clone + O(d) update) —
@@ -332,6 +426,9 @@ impl ExplanationEngine {
         // older entries bounds the log under sustained mutation streams.
         let keep_from = st.log.epoch().saturating_sub(REVALIDATE_WINDOW);
         st.log.compact_before(keep_from);
+        if let Some(t0) = apply_started {
+            self.phase_apply.record(t0.elapsed().as_micros() as u64);
+        }
         Ok(MutationReceipt {
             epoch: st.log.epoch(),
             points: data.continuous.len(),
@@ -347,7 +444,17 @@ impl ExplanationEngine {
 
     /// Answers one request (through the cache) at the current epoch.
     pub fn run(&self, req: &Request) -> Response {
-        self.run_one_at(&self.snapshot(), req).0
+        self.run_with_trace(req).0
+    }
+
+    /// [`ExplanationEngine::run`], also returning the query's out-of-band
+    /// [`QueryTrace`] (cache outcome, epoch, phase breakdown). The server
+    /// layer combines it with admission wait and end-to-end time for the
+    /// slow-query ring; phase timings are zero when telemetry is disabled.
+    pub fn run_with_trace(&self, req: &Request) -> (Response, QueryTrace) {
+        let mut trace = QueryTrace::default();
+        let resp = self.run_one_at(&self.snapshot(), req, &mut trace).0;
+        (resp, trace)
     }
 
     /// The serving view queries run against: one cheap clone of the
@@ -363,14 +470,20 @@ impl ExplanationEngine {
     /// same per-request isolation malformed and refused requests get. The
     /// panic message is itself deterministic for a given input, so the
     /// determinism contract holds for these lines too.
-    fn execute_guarded(&self, snap: &Snapshot, req: &Request) -> (Response, Option<ClassifyGuard>) {
+    fn execute_guarded(
+        &self,
+        snap: &Snapshot,
+        req: &Request,
+        timed: bool,
+    ) -> (Response, Option<ClassifyGuard>, exec::PhaseTimes) {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            exec::execute_traced(
+            exec::execute_phased(
                 &snap.data,
                 &snap.artifacts,
                 req,
                 self.config.effort_budget,
                 self.config.eager_l2_regions,
+                timed,
             )
         }));
         match outcome {
@@ -386,7 +499,7 @@ impl ExplanationEngine {
                     route: "error".to_string(),
                     result: Err(format!("internal panic: {msg}")),
                 };
-                (resp, None)
+                (resp, None, exec::PhaseTimes::default())
             }
         }
     }
@@ -394,8 +507,9 @@ impl ExplanationEngine {
     /// Tries to serve `key` from the cache at `snap.epoch`: a same-epoch
     /// entry is a plain hit; an older entry with a guard is revalidated
     /// against the mutation window and promoted on success. Returns the
-    /// response body on a hit.
-    fn cache_probe(&self, snap: &Snapshot, key: &CacheKey) -> Option<CachedResult> {
+    /// response body on a hit, plus whether the hit crossed an epoch
+    /// (a revalidation rather than a plain hit).
+    fn cache_probe(&self, snap: &Snapshot, key: &CacheKey) -> Option<(CachedResult, bool)> {
         enum Probe {
             Hit(CachedResult),
             Stale(u64, ClassifyGuard, CachedResult),
@@ -425,7 +539,7 @@ impl ExplanationEngine {
             probe
         };
         match probe {
-            Probe::Hit(body) => Some(body),
+            Probe::Hit(body) => Some((body, false)),
             Probe::Miss => None,
             Probe::Stale(entry_epoch, guard, body) => {
                 // Replay the mutation window (bounded) outside the cache
@@ -443,6 +557,7 @@ impl ExplanationEngine {
                 let mut cache = self.cache.lock().unwrap();
                 cache.record(survives);
                 if !survives {
+                    self.revalidation_failed.fetch_add(1, Ordering::Relaxed);
                     return None;
                 }
                 if let Some(e) = cache.lookup(key) {
@@ -451,20 +566,72 @@ impl ExplanationEngine {
                     }
                 }
                 self.revalidated.fetch_add(1, Ordering::Relaxed);
-                Some(body)
+                Some((body, true))
             }
         }
     }
 
+    /// Computes a response (no cache involvement), recording plan/solve
+    /// phase timings and the artifact build time attributable to this query
+    /// when telemetry is enabled. The attribution is a delta of the store's
+    /// build-time counter around the call: exact when builds don't race,
+    /// approximate when they do.
+    fn compute_timed(
+        &self,
+        snap: &Snapshot,
+        req: &Request,
+        enabled: bool,
+        trace: &mut QueryTrace,
+    ) -> (Response, Option<ClassifyGuard>) {
+        let build0 = enabled.then(|| snap.artifacts.metrics().build_nanos());
+        let (resp, guard, phases) = self.execute_guarded(snap, req, enabled);
+        if enabled {
+            trace.plan_us = phases.plan_us;
+            trace.solve_us = phases.solve_us;
+            self.phase_plan.record(phases.plan_us);
+            self.phase_solve.record(phases.solve_us);
+            if let Some(b0) = build0 {
+                let delta_us = snap.artifacts.metrics().build_nanos().saturating_sub(b0) / 1_000;
+                trace.artifact_us = delta_us;
+                if delta_us > 0 {
+                    self.phase_artifact.record(delta_us);
+                }
+            }
+        }
+        (resp, guard)
+    }
+
     /// `run` plus whether the response came from the cache (directly,
     /// revalidated across epochs, or coalesced onto another worker's
-    /// in-flight computation).
-    fn run_one_at(&self, snap: &Snapshot, req: &Request) -> (Response, bool) {
+    /// in-flight computation). Fills `trace` with the query's phase
+    /// breakdown; tracing is out-of-band and never alters the response.
+    ///
+    /// The cache-probe phase is timed on a 1-in-[`CACHE_PROBE_SAMPLE`]
+    /// basis (see [`sample_cache_probe`]); all other phases run only on
+    /// compute paths, where their cost is amortised over the solve, and
+    /// are timed on every query.
+    fn run_one_at(
+        &self,
+        snap: &Snapshot,
+        req: &Request,
+        trace: &mut QueryTrace,
+    ) -> (Response, bool) {
+        trace.epoch = snap.epoch;
+        let enabled = self.telemetry.is_enabled();
         if self.config.cache_capacity == 0 {
-            return (self.execute_guarded(snap, req).0, false);
+            trace.cache = "uncached";
+            return (self.compute_timed(snap, req, enabled, trace).0, false);
         }
         let key = req.cache_key();
-        if let Some((route, result)) = self.cache_probe(snap, &key) {
+        let probe_started = (enabled && sample_cache_probe()).then(Instant::now);
+        let probed = self.cache_probe(snap, &key);
+        if let Some(t0) = probe_started {
+            let us = t0.elapsed().as_micros() as u64;
+            trace.cache_us = us;
+            self.phase_cache.record(us);
+        }
+        if let Some(((route, result), revalidated)) = probed {
+            trace.cache = if revalidated { "revalidated" } else { "hit" };
             return (Response { id: req.id.clone(), route, result }, true);
         }
         // Cache miss: claim or join the in-flight slot for this key at this
@@ -489,6 +656,7 @@ impl ExplanationEngine {
             let slot = theirs.lock().unwrap();
             if let Some((route, result)) = slot.as_ref() {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                trace.cache = "coalesced";
                 return (
                     Response { id: req.id.clone(), route: route.clone(), result: result.clone() },
                     true,
@@ -497,9 +665,11 @@ impl ExplanationEngine {
             // Unreachable unless the computing worker died without
             // publishing; compute independently as a last resort.
             drop(slot);
-            return (self.execute_guarded(snap, req).0, false);
+            trace.cache = "miss";
+            return (self.compute_timed(snap, req, enabled, trace).0, false);
         }
-        let (resp, guard) = self.execute_guarded(snap, req);
+        trace.cache = "miss";
+        let (resp, guard) = self.compute_timed(snap, req, enabled, trace);
         *own_guard = Some((resp.route.clone(), resp.result.clone()));
         self.cache.lock().unwrap().insert(
             key,
@@ -539,7 +709,7 @@ impl ExplanationEngine {
 
         if workers <= 1 {
             for (i, req) in requests.iter().enumerate() {
-                let (resp, hit) = self.run_one_at(&snap, req);
+                let (resp, hit) = self.run_one_at(&snap, req, &mut QueryTrace::default());
                 if hit {
                     hits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -558,7 +728,8 @@ impl ExplanationEngine {
                         if i >= requests.len() {
                             break;
                         }
-                        let (resp, hit) = self.run_one_at(snap, &requests[i]);
+                        let (resp, hit) =
+                            self.run_one_at(snap, &requests[i], &mut QueryTrace::default());
                         if tx.send((i, resp, hit)).is_err() {
                             break;
                         }
@@ -705,8 +876,10 @@ mod tests {
         let e = engine(EngineConfig::default());
         let r = req(r#"{"id":"x","cmd":"counterfactual","metric":"hamming","point":[1,0,0]}"#);
         let snap = e.snapshot();
-        let (first, hit1) = e.run_one_at(&snap, &r);
-        let (second, hit2) = e.run_one_at(&snap, &r);
+        let mut t1 = QueryTrace::default();
+        let mut t2 = QueryTrace::default();
+        let (first, hit1) = e.run_one_at(&snap, &r, &mut t1);
+        let (second, hit2) = e.run_one_at(&snap, &r, &mut t2);
         assert!(!hit1);
         assert!(hit2, "second identical query must hit the cache");
         assert_eq!(first.to_json_line(), second.to_json_line());

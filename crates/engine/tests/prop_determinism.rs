@@ -1,10 +1,14 @@
 //! The engine's central guarantee, pinned as a property test: for a fixed
 //! dataset and config, `run_batch` output is **byte-identical** per request
 //! across worker counts (1/2/8), request permutations, cache states, and
-//! repeated runs — equal to the fresh sequential oracle.
+//! repeated runs — equal to the fresh sequential oracle. The concurrent
+//! engines run with **telemetry enabled** while the oracle runs with it
+//! disabled, pinning the observability plane's out-of-band contract:
+//! tracing, phase timing, and the slow-query ring never change a byte.
 
 use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
 use knn_space::ContinuousDataset;
+use knn_telemetry::Telemetry;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -95,7 +99,8 @@ proptest! {
     fn run_batch_is_worker_count_and_order_invariant(spec in batch_strategy()) {
         let requests = parse_batch(&spec.requests);
 
-        // The oracle: a fresh single-worker engine, cold cache.
+        // The oracle: a fresh single-worker engine, cold cache, telemetry
+        // disabled (the construction default).
         let oracle_engine = ExplanationEngine::new(
             EngineData::from_continuous(dataset(&spec.pos, &spec.neg, spec.dim)),
             EngineConfig { workers: 1, ..EngineConfig::default() },
@@ -103,9 +108,15 @@ proptest! {
         let oracle = by_id(&oracle_engine.run_batch(&requests));
 
         for workers in [1usize, 2, 8] {
-            let engine = ExplanationEngine::new(
+            // Telemetry ON for every concurrent engine: recording must be
+            // invisible in the response bytes.
+            let telemetry = Telemetry::new();
+            telemetry.set_enabled(true);
+            let engine = ExplanationEngine::with_telemetry(
                 EngineData::from_continuous(dataset(&spec.pos, &spec.neg, spec.dim)),
                 EngineConfig { workers, ..EngineConfig::default() },
+                telemetry,
+                "prop",
             );
 
             // Straight order, twice: the second pass runs against a warm

@@ -61,6 +61,8 @@ pub use registry::{Registry, Tenant, TenantStats};
 
 use knn_engine::json::Value;
 use knn_engine::{EngineConfig, Request};
+use knn_telemetry::exposition::{push_sample, series_key};
+use knn_telemetry::Telemetry;
 use proto::Command;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -94,6 +96,9 @@ impl Default for ServerConfig {
 struct Shared {
     registry: Registry,
     admission: Admission,
+    /// Process-wide latency histograms, counters and the slow-query ring
+    /// (enabled at bind; shared with every tenant engine).
+    telemetry: Arc<Telemetry>,
     conn_inflight: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -122,9 +127,12 @@ impl Server {
         } else {
             config.worker_budget
         };
+        let telemetry = Telemetry::new();
+        telemetry.set_enabled(true);
         let shared = Arc::new(Shared {
-            registry: Registry::new(config.engine),
+            registry: Registry::with_telemetry(config.engine, telemetry.clone()),
             admission: Admission::new(budget),
+            telemetry,
             conn_inflight: config.conn_inflight.max(1),
             shutdown: AtomicBool::new(false),
             addr,
@@ -360,6 +368,128 @@ fn run_mutation(
     }
 }
 
+/// Renders the per-tenant engine counters (region enumeration, cache
+/// events, artifact economy, mutations, admission) as Prometheus text
+/// series, appended after the telemetry registry's histograms by the
+/// `metrics` verb. Counter values are engine-lifetime; families are
+/// emitted in a fixed order and tenants sorted by name, so the exposition
+/// is deterministic for a given counter state.
+fn engine_series(shared: &Arc<Shared>) -> String {
+    let stats: Vec<TenantStats> = shared.registry.list().iter().map(|t| t.stats()).collect();
+    let mut out = String::new();
+
+    out.push_str("# TYPE knn_engine_epoch gauge\n");
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_engine_epoch", &[("tenant", &s.name)]),
+            s.engine.epoch,
+        );
+    }
+    out.push_str("# TYPE knn_engine_region_yields_total counter\n");
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_engine_region_yields_total", &[("tenant", &s.name)]),
+            s.engine.regions.yields,
+        );
+    }
+    out.push_str("# TYPE knn_engine_region_pruned_total counter\n");
+    for s in &stats {
+        for (rule, n) in [
+            ("empty", s.engine.regions.pruned_empty),
+            ("dominated", s.engine.regions.pruned_dominated),
+            ("memo", s.engine.regions.memo_pruned),
+        ] {
+            push_sample(
+                &mut out,
+                &series_key(
+                    "knn_engine_region_pruned_total",
+                    &[("tenant", &s.name), ("rule", rule)],
+                ),
+                n,
+            );
+        }
+    }
+    out.push_str("# TYPE knn_engine_cache_events_total counter\n");
+    for s in &stats {
+        for (event, n) in [
+            ("hit", s.engine.cache.hits),
+            ("miss", s.engine.cache.misses),
+            ("coalesced", s.engine.coalesced),
+            ("revalidated", s.engine.revalidated),
+            ("revalidation_failed", s.engine.revalidation_failed),
+            ("eviction", s.engine.cache.evictions),
+        ] {
+            push_sample(
+                &mut out,
+                &series_key(
+                    "knn_engine_cache_events_total",
+                    &[("tenant", &s.name), ("event", event)],
+                ),
+                n,
+            );
+        }
+    }
+    out.push_str("# TYPE knn_engine_artifact_cells_total counter\n");
+    for s in &stats {
+        for (kind, n) in
+            [("built", s.engine.artifacts_built_total), ("carried", s.engine.artifacts_carried)]
+        {
+            push_sample(
+                &mut out,
+                &series_key(
+                    "knn_engine_artifact_cells_total",
+                    &[("tenant", &s.name), ("kind", kind)],
+                ),
+                n,
+            );
+        }
+    }
+    out.push_str("# TYPE knn_engine_artifact_build_us_total counter\n");
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_engine_artifact_build_us_total", &[("tenant", &s.name)]),
+            s.engine.artifact_build_us,
+        );
+    }
+    out.push_str("# TYPE knn_engine_mutations_total counter\n");
+    for s in &stats {
+        for (op, n) in [("insert", s.engine.inserts), ("remove", s.engine.removes)] {
+            push_sample(
+                &mut out,
+                &series_key("knn_engine_mutations_total", &[("tenant", &s.name), ("op", op)]),
+                n,
+            );
+        }
+    }
+    out.push_str("# TYPE knn_server_requests_total counter\n");
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_server_requests_total", &[("tenant", &s.name)]),
+            s.requests,
+        );
+    }
+    out.push_str("# TYPE knn_server_errors_total counter\n");
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_server_errors_total", &[("tenant", &s.name)]),
+            s.errors,
+        );
+    }
+    let a = shared.admission.stats();
+    out.push_str("# TYPE knn_server_admission_budget gauge\n");
+    push_sample(&mut out, "knn_server_admission_budget", a.budget as u64);
+    out.push_str("# TYPE knn_server_admission_waiting gauge\n");
+    push_sample(&mut out, "knn_server_admission_waiting", a.waiting as u64);
+    out.push_str("# TYPE knn_server_admission_granted_total counter\n");
+    push_sample(&mut out, "knn_server_admission_granted_total", a.granted);
+    out
+}
+
 /// Executes one control verb, returning the response line and whether the
 /// connection should close afterwards.
 fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, bool) {
@@ -464,6 +594,22 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                         ("cache".into(), cache),
                         ("inflight".into(), num(s.engine.inflight)),
                         ("artifacts_built".into(), num(s.engine.artifacts_built)),
+                        ("artifacts_built_total".into(), num64(s.engine.artifacts_built_total)),
+                        ("artifacts_carried".into(), num64(s.engine.artifacts_carried)),
+                        ("artifact_build_us".into(), num64(s.engine.artifact_build_us)),
+                        ("revalidation_failed".into(), num64(s.engine.revalidation_failed)),
+                        (
+                            "regions".into(),
+                            Value::Object(vec![
+                                ("yields".into(), num64(s.engine.regions.yields)),
+                                ("pruned_empty".into(), num64(s.engine.regions.pruned_empty)),
+                                (
+                                    "pruned_dominated".into(),
+                                    num64(s.engine.regions.pruned_dominated),
+                                ),
+                                ("memo_pruned".into(), num64(s.engine.regions.memo_pruned)),
+                            ]),
+                        ),
                     ])
                 })
                 .collect();
@@ -477,6 +623,34 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                 ],
             );
             (line, false)
+        }
+        Command::Metrics => {
+            let mut text = shared.telemetry.render();
+            text.push_str(&engine_series(shared));
+            (proto::ok_line(id, vec![("metrics".into(), Value::String(text))]), false)
+        }
+        Command::Slow => {
+            let slow: Vec<Value> = shared
+                .telemetry
+                .drain_slow()
+                .into_iter()
+                .map(|q| {
+                    Value::Object(vec![
+                        ("tenant".into(), Value::String(q.tenant)),
+                        ("id".into(), Value::String(q.id)),
+                        ("route".into(), Value::String(q.route)),
+                        ("cache".into(), Value::String(q.cache)),
+                        ("epoch".into(), num64(q.epoch)),
+                        ("total_us".into(), num64(q.total_us)),
+                        ("admission_us".into(), num64(q.admission_us)),
+                        ("plan_us".into(), num64(q.plan_us)),
+                        ("artifact_us".into(), num64(q.artifact_us)),
+                        ("cache_us".into(), num64(q.cache_us)),
+                        ("solve_us".into(), num64(q.solve_us)),
+                    ])
+                })
+                .collect();
+            (proto::ok_line(id, vec![("slow".into(), Value::Array(slow))]), false)
         }
         Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
         Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
@@ -627,6 +801,62 @@ mod tests {
         let bad_idx = c.roundtrip(r#"{"verb":"remove","name":"toy","index":9}"#).unwrap();
         assert!(bad_idx.contains("out of range"), "{bad_idx}");
 
+        handle.shutdown();
+    }
+
+    /// The observability plane: `metrics` answers valid Prometheus text
+    /// exposition with non-empty route histograms and the per-tenant engine
+    /// counters; `slow` drains the worst-N ring (and drains it exactly
+    /// once); neither changes the bytes of the queries around them.
+    #[test]
+    fn metrics_and_slow_verbs_expose_telemetry_out_of_band() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let q = r#"{"dataset":"toy","id":"q","cmd":"counterfactual","metric":"hamming","point":[1,0,1]}"#;
+        let before = c.roundtrip(q).unwrap();
+        for i in 0..4 {
+            let line = format!(
+                r#"{{"dataset":"toy","id":"w{i}","cmd":"classify","metric":"hamming","point":[{},{},1]}}"#,
+                i % 2,
+                (i / 2) % 2
+            );
+            assert!(c.roundtrip(&line).unwrap().contains(r#""ok":true"#));
+        }
+
+        let m = c.roundtrip(r#"{"id":"m","verb":"metrics"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(m.as_bytes()).unwrap();
+        let Some(Value::String(text)) = parsed.get("metrics") else {
+            panic!("metrics member missing: {m}");
+        };
+        knn_telemetry::exposition::validate(text).unwrap();
+        let samples = knn_telemetry::exposition::parse(text);
+        let served: f64 = samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("knn_request_duration_us_count{"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert!(served >= 5.0, "route histograms cover the warm queries: {served}");
+        for series in [
+            r#"knn_request_duration_us_count{tenant="toy",route="hamming-index"}"#,
+            r#"knn_phase_duration_us_count{tenant="toy",phase="admission"}"#,
+            r#"knn_engine_region_yields_total{tenant="toy"}"#,
+            r#"knn_engine_region_pruned_total{tenant="toy",rule="empty"}"#,
+            r#"knn_engine_cache_events_total{tenant="toy",event="miss"}"#,
+            r#"knn_engine_artifact_cells_total{tenant="toy",kind="built"}"#,
+            "knn_server_admission_granted_total",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+
+        // The ring drains once: the counterfactual (multi-µs) is in it.
+        let s = c.roundtrip(r#"{"id":"s","verb":"slow"}"#).unwrap();
+        assert!(s.contains(r#""total_us":"#) && s.contains(r#""cache":"#), "{s}");
+        let s2 = c.roundtrip(r#"{"id":"s2","verb":"slow"}"#).unwrap();
+        assert!(s2.contains(r#""slow":[]"#), "drained: {s2}");
+
+        // Telemetry is out-of-band: the same query answers byte-identically.
+        assert_eq!(c.roundtrip(q).unwrap(), before);
         handle.shutdown();
     }
 

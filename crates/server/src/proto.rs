@@ -13,6 +13,8 @@
 //! {"verb":"insert","name":"demo","label":"+","point":[1,1,0]}
 //! {"verb":"remove","name":"demo","index":3}
 //! {"verb":"stats"}
+//! {"verb":"metrics"}
+//! {"verb":"slow"}
 //! {"verb":"unload","name":"demo"}
 //! {"verb":"ping"}
 //! {"verb":"quit"}
@@ -112,6 +114,12 @@ pub enum Command {
     List,
     /// Cache / admission / per-tenant counters.
     Stats,
+    /// Prometheus text exposition of the process's latency histograms and
+    /// engine counters (out-of-band; empty until telemetry is enabled).
+    Metrics,
+    /// Drain the slow-query ring: the worst-N queries by wall time since
+    /// the last drain, with per-phase breakdowns.
+    Slow,
     /// Liveness probe.
     Ping,
     /// Close this connection (after the response).
@@ -251,12 +259,14 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
         },
         "list" => Command::List,
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
+        "slow" => Command::Slow,
         "ping" => Command::Ping,
         "quit" => Command::Quit,
         "shutdown" => Command::Shutdown,
         other => {
             return Err(format!(
-            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, ping, quit, shutdown)"
+            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, slow, ping, quit, shutdown)"
         ))
         }
     };
@@ -306,6 +316,8 @@ mod tests {
         for (line, want) in [
             (&br#"{"verb":"list"}"#[..], Command::List),
             (br#"{"verb":"stats"}"#, Command::Stats),
+            (br#"{"verb":"metrics"}"#, Command::Metrics),
+            (br#"{"verb":"slow"}"#, Command::Slow),
             (br#"{"verb":"ping"}"#, Command::Ping),
             (br#"{"verb":"quit"}"#, Command::Quit),
             (br#"{"verb":"shutdown"}"#, Command::Shutdown),

@@ -22,9 +22,11 @@
 
 use crate::admission::Admission;
 use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Mutation, Request, Response};
+use knn_telemetry::{SlowQuery, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One named dataset and its engine, plus the per-tenant queue counters the
 /// `stats` verb reports.
@@ -72,17 +74,43 @@ impl Tenant {
     /// Runs one request: waits for a global admission slot (FIFO), executes,
     /// and maintains the tenant's queue counters. The response bytes are
     /// independent of admission order per the engine's determinism contract.
+    ///
+    /// When the process telemetry is enabled, the end-to-end wall time goes
+    /// into the per-(tenant, route) latency histogram, the admission wait
+    /// into the phase histograms, and the combined trace is offered to the
+    /// slow-query ring — all out-of-band, never touching response bytes.
     pub fn run(&self, admission: &Admission, req: &Request) -> Response {
+        let telemetry = self.engine.telemetry().clone();
+        let started = telemetry.is_enabled().then(Instant::now);
         self.queued.fetch_add(1, Ordering::Relaxed);
         let slot = admission.acquire();
         self.queued.fetch_sub(1, Ordering::Relaxed);
+        let admission_us = started.map(|t0| t0.elapsed().as_micros() as u64);
         self.active.fetch_add(1, Ordering::Relaxed);
-        let resp = self.engine.run(req);
+        let (resp, trace) = self.engine.run_with_trace(req);
         self.active.fetch_sub(1, Ordering::Relaxed);
         drop(slot);
         self.requests.fetch_add(1, Ordering::Relaxed);
         if resp.result.is_err() {
             self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(t0), Some(admission_us)) = (started, admission_us) {
+            let total_us = t0.elapsed().as_micros() as u64;
+            telemetry.record_phase(&self.name, "admission", admission_us);
+            telemetry.record_route(&self.name, &resp.route, total_us);
+            telemetry.record_slow_with(total_us, || SlowQuery {
+                tenant: self.name.clone(),
+                id: resp.id.clone(),
+                route: resp.route.clone(),
+                cache: trace.cache.to_string(),
+                epoch: trace.epoch,
+                total_us,
+                admission_us,
+                plan_us: trace.plan_us,
+                artifact_us: trace.artifact_us,
+                cache_us: trace.cache_us,
+                solve_us: trace.solve_us,
+            });
         }
         resp
     }
@@ -109,14 +137,27 @@ impl Tenant {
 /// bytes must not depend on hash order.
 pub struct Registry {
     engine_config: EngineConfig,
+    telemetry: Arc<Telemetry>,
     tenants: Mutex<BTreeMap<String, Arc<Tenant>>>,
 }
 
 impl Registry {
     /// An empty registry; every loaded tenant gets an engine with
-    /// `engine_config`.
+    /// `engine_config`. Telemetry stays disabled (the server constructor
+    /// uses [`Registry::with_telemetry`] instead).
     pub fn new(engine_config: EngineConfig) -> Registry {
-        Registry { engine_config, tenants: Mutex::new(BTreeMap::new()) }
+        Registry::with_telemetry(engine_config, Telemetry::new())
+    }
+
+    /// [`Registry::new`] with a shared telemetry registry: every tenant's
+    /// engine records its phase timings there under its registry name.
+    pub fn with_telemetry(engine_config: EngineConfig, telemetry: Arc<Telemetry>) -> Registry {
+        Registry { engine_config, telemetry, tenants: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The telemetry registry shared by every tenant engine.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Parses `text` (the `+/-`-labeled format of [`textfmt`]) and registers
@@ -140,7 +181,12 @@ impl Registry {
             return Err("dataset name must not be empty".into());
         }
         let data = textfmt::parse_dataset(text)?;
-        let engine = ExplanationEngine::new(data, self.engine_config.clone());
+        let engine = ExplanationEngine::with_telemetry(
+            data,
+            self.engine_config.clone(),
+            self.telemetry.clone(),
+            name,
+        );
         for (i, m) in replay.iter().enumerate() {
             engine.apply(m.clone()).map_err(|e| format!("replay entry {i}: {e}"))?;
         }

@@ -1,0 +1,220 @@
+//! Prometheus text exposition: rendering, a total parser, and the
+//! bucket-wise merge the router uses.
+//!
+//! The format subset used here is one line per sample —
+//! `name{label="value",...} number` (labels optional) — plus `# `-prefixed
+//! comments. Because every histogram in the stack has the same 32 log2
+//! buckets and always renders **all** of them (cumulative, with identical
+//! `le` edges), merging expositions from several processes reduces to a
+//! key-wise fold over series lines: sum everything, except series whose
+//! metric name ends in `_max`, which take the max. That fold is exact —
+//! the merged text equals what one process observing all the traffic
+//! would have rendered.
+
+use crate::{bucket_upper, HistogramSnapshot, BUCKETS};
+use std::collections::BTreeMap;
+
+/// Escapes a label value per the exposition format (`\` → `\\`, `"` →
+/// `\"`, newline → `\n`).
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one series key: `name{a="x",b="y"}`, or bare `name` with no
+/// labels.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let inner = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{name}{{{inner}}}")
+}
+
+/// Appends one sample line `key value` to `out`.
+pub fn push_sample(out: &mut String, key: &str, value: u64) {
+    out.push_str(key);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Renders a histogram snapshot as cumulative `_bucket` lines (always all
+/// [`BUCKETS`] of them, so cross-process merges stay exact), plus `_sum`,
+/// `_count`, and an exact `_max` gauge.
+pub fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    let mut cum = 0u64;
+    for i in 0..BUCKETS {
+        cum += snap.buckets[i];
+        let le = if i == BUCKETS - 1 { "+Inf".to_string() } else { bucket_upper(i).to_string() };
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", &le));
+        push_sample(out, &series_key(&format!("{name}_bucket"), &with_le), cum);
+    }
+    push_sample(out, &series_key(&format!("{name}_sum"), labels), snap.sum_us);
+    push_sample(out, &series_key(&format!("{name}_count"), labels), snap.count);
+    push_sample(out, &series_key(&format!("{name}_max"), labels), snap.max_us);
+}
+
+/// Checks that every non-blank line is a `# ` comment or a
+/// `key value` sample with a finite numeric value and a plausible metric
+/// name. Returns the first offending line.
+pub fn validate(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with("# ") {
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            return Err(format!("not `key value`: `{line}`"));
+        };
+        if value.parse::<f64>().map(|v| !v.is_finite()).unwrap_or(true) {
+            return Err(format!("bad sample value: `{line}`"));
+        }
+        let name = key.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("bad metric name: `{line}`"));
+        }
+        if key.contains('{') && !key.ends_with('}') {
+            return Err(format!("unterminated labels: `{line}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses an exposition into `series key → value`. Total: comments, blank
+/// lines, and anything that fails to parse contribute nothing.
+pub fn parse(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.rsplit_once(' ') else { continue };
+        let Ok(v) = value.parse::<f64>() else { continue };
+        if key.is_empty() || !v.is_finite() {
+            continue;
+        }
+        out.insert(key.to_string(), v);
+    }
+    out
+}
+
+/// The metric name of a series key (the part before `{`, if any).
+pub fn metric_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Merges several expositions key-wise: series whose metric name ends in
+/// `_max` take the max, everything else sums. Output is one sorted sample
+/// line per key (whole numbers render without a decimal point).
+pub fn merge(texts: &[String]) -> String {
+    let mut acc: BTreeMap<String, f64> = BTreeMap::new();
+    for text in texts {
+        for (key, v) in parse(text) {
+            acc.entry(key.clone())
+                .and_modify(|cur| {
+                    if metric_name(&key).ends_with("_max") {
+                        *cur = cur.max(v);
+                    } else {
+                        *cur += v;
+                    }
+                })
+                .or_insert(v);
+        }
+    }
+    let mut out = String::new();
+    for (key, v) in acc {
+        out.push_str(&key);
+        out.push(' ');
+        if v.fract() == 0.0 && v.abs() < 9e15 {
+            out.push_str(&format!("{}", v as i64));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn series_keys_escape_labels() {
+        assert_eq!(series_key("m", &[]), "m");
+        assert_eq!(series_key("m", &[("a", "x\"y\\z")]), "m{a=\"x\\\"y\\\\z\"}");
+    }
+
+    #[test]
+    fn validate_accepts_rendered_and_rejects_garbage() {
+        let h = Histogram::new();
+        h.record(100);
+        let mut out = String::from("# TYPE m histogram\n");
+        render_histogram(&mut out, "m", &[("t", "x")], &h.snapshot());
+        validate(&out).unwrap();
+        assert!(validate("not an exposition line").is_err());
+        assert!(validate("name notanumber").is_err());
+        assert!(validate("1name 3").is_err());
+        assert!(validate("m{a=\"b\" 3").is_err());
+    }
+
+    #[test]
+    fn merged_exposition_equals_bucketwise_sum_of_backends() {
+        // Two "backends" record disjoint traffic; merging their rendered
+        // expositions must equal the rendering of one histogram that saw
+        // all of it — the router's aggregation invariant.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for us in [3u64, 90, 1500] {
+            a.record(us);
+            all.record(us);
+        }
+        for us in [7u64, 7, 40_000] {
+            b.record(us);
+            all.record(us);
+        }
+        let render = |h: &Histogram| {
+            let mut s = String::new();
+            render_histogram(&mut s, "knn_request_duration_us", &[("tenant", "d")], &h.snapshot());
+            s
+        };
+        let merged = merge(&[render(&a), render(&b)]);
+        // `merge` normalizes to sorted order, so compare through `parse`.
+        assert_eq!(parse(&merged), parse(&render(&all)));
+        validate(&merged).unwrap();
+        // And counters sum while _max takes the max.
+        let m = merge(&["c_total 2\nm_max 9\n".into(), "c_total 3\nm_max 4\n".into()]);
+        assert_eq!(m, "c_total 5\nm_max 9\n");
+    }
+
+    #[test]
+    fn parse_is_total() {
+        let m = parse("# c\n\ngarbage\nx 1\ny{a=\"b\"} 2.5\nz inf\n");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["x"], 1.0);
+        assert_eq!(m["y{a=\"b\"}"], 2.5);
+    }
+}

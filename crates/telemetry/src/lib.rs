@@ -1,0 +1,600 @@
+//! Out-of-band observability for the explainable k-NN serving stack.
+//!
+//! The serving layers' load-bearing invariant — every response line is a
+//! pure function of `(dataset at the query's epoch, config, request)` — is
+//! exactly what makes telemetry safe to bolt on: nothing recorded here may
+//! ever flow back into response bytes. This crate therefore holds only
+//! **write-mostly, read-on-demand** state:
+//!
+//! * [`Histogram`] — a lock-free fixed-bucket log2 latency histogram
+//!   (32 atomic u64 buckets over microseconds) that is cheap to record
+//!   into, mergeable bucket-wise across processes, and good enough to
+//!   derive p50/p90/p99/max from.
+//! * [`Telemetry`] — the per-process registry: end-to-end latency per
+//!   `(tenant, route)`, phase timings per `(tenant, phase)`, free-form
+//!   named histograms and counters, and a bounded worst-N slow-query ring.
+//!   Recording is gated on an [`enabled`](Telemetry::set_enabled) flag
+//!   (default **off**) so library users — `xknn batch`, the benches'
+//!   baseline arms — pay one relaxed atomic load and nothing else.
+//! * [`exposition`] — Prometheus text rendering, a total parser, and the
+//!   bucket-wise merge the cluster router uses to aggregate backend
+//!   expositions into one scrape surface.
+//!
+//! Everything is std-only and shared behind `Arc`s; the server and router
+//! surface the state through `metrics` / `slow` control verbs, and benches
+//! snapshot it directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exposition;
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of log2 buckets per histogram. Bucket `i` covers
+/// `[2^i, 2^(i+1))` µs (bucket 0 also absorbs 0; the last bucket absorbs
+/// everything ≥ 2^31 µs ≈ 36 minutes).
+pub const BUCKETS: usize = 32;
+
+/// How many entries the slow-query ring keeps (worst-N by wall time).
+pub const SLOW_RING_CAP: usize = 32;
+
+/// The bucket a microsecond value falls into (see [`BUCKETS`]).
+#[inline]
+pub fn bucket_index(us: u64) -> usize {
+    (63 - (us | 1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` in µs; `u64::MAX` for the last
+/// bucket (rendered as `le="+Inf"`).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// Stripes per [`Histogram`]: each recording thread lands on one stripe, so
+/// worker threads on different stripes never touch the same cache lines.
+const STRIPES: usize = 8;
+
+/// One stripe of histogram counters, cache-line aligned so that adjacent
+/// stripes in the array never false-share.
+#[derive(Debug)]
+#[repr(align(128))]
+struct Stripe {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Stripe {
+        Stripe {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The stripe this thread records into: assigned round-robin on first use,
+/// then pinned for the thread's lifetime via a thread-local.
+fn stripe_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+        s.set(v);
+        v
+    })
+}
+
+/// A lock-free log2 latency histogram over microseconds.
+///
+/// All mutation is relaxed atomics, striped per recording thread so that
+/// engine workers hammering the same phase histogram never contend on a
+/// cache line — recording is a handful of uncontended `fetch_add`s. A
+/// concurrent [`snapshot`](Histogram::snapshot) folds the stripes and sees
+/// some valid interleaving (telemetry, not accounting). Every histogram
+/// has the same 32 buckets, which is what makes the router's key-wise
+/// sum-merge of rendered expositions exact.
+#[derive(Debug)]
+pub struct Histogram {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { stripes: std::array::from_fn(|_| Stripe::new()) }
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        let stripe = &self.stripes[stripe_id()];
+        stripe.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        stripe.sum_us.fetch_add(us, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters, folded across stripes.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        for stripe in &self.stripes {
+            for (b, s) in snap.buckets.iter_mut().zip(stripe.buckets.iter()) {
+                *b += s.load(Ordering::Relaxed);
+            }
+            snap.sum_us += stripe.sum_us.load(Ordering::Relaxed);
+            snap.count += stripe.count.load(Ordering::Relaxed);
+            snap.max_us = snap.max_us.max(stripe.max_us.load(Ordering::Relaxed));
+        }
+        snap
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s counters: mergeable, and the place
+/// quantiles are derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (non-cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values, µs.
+    pub sum_us: u64,
+    /// Number of observations.
+    pub count: u64,
+    /// Largest observed value, µs (exact, via `fetch_max`).
+    pub max_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: [0; BUCKETS], sum_us: 0, count: 0, max_us: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Bucket-wise accumulate `other` into `self` (sum counts, max the max).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sum_us += other.sum_us;
+        self.count += other.count;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// An upper bound on the `q`-quantile (0 < `q` ≤ 1) in µs: the upper
+    /// edge of the first bucket whose cumulative count reaches
+    /// `ceil(q · count)`, clamped to the exact max. 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return bucket_upper(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The median upper bound, µs.
+    pub fn p50(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// The 90th-percentile upper bound, µs.
+    pub fn p90(&self) -> u64 {
+        self.quantile_us(0.90)
+    }
+
+    /// The 99th-percentile upper bound, µs.
+    pub fn p99(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+}
+
+/// Per-query phase breakdown the engine fills while executing one request.
+///
+/// The engine returns this next to the response (never inside it); the
+/// server layer adds admission wait and end-to-end wall time, then offers
+/// the combined record to the slow-query ring. All zeros when telemetry is
+/// disabled — the engine skips the clock reads entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Cache outcome: `hit`, `revalidated`, `miss`, `coalesced`, or
+    /// `uncached` (cache capacity 0). Always filled, even when disabled.
+    pub cache: &'static str,
+    /// Dataset epoch the query answered at. Always filled.
+    pub epoch: u64,
+    /// Planner time, µs.
+    pub plan_us: u64,
+    /// Artifact build time this query paid (builder-side only), µs.
+    pub artifact_us: u64,
+    /// Cache lookup + guard revalidation time, µs (sampled: the engine
+    /// times 1-in-N probes, so this is zero for most warm hits).
+    pub cache_us: u64,
+    /// Solver time, µs.
+    pub solve_us: u64,
+}
+
+/// One entry of the slow-query ring: where a slow query's time went.
+///
+/// Phases are the server's decomposition of the end-to-end wall time:
+/// admission wait, plan selection, artifact builds this query paid for,
+/// cache lookup + guard revalidation, and the solver itself.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SlowQuery {
+    /// Tenant the query ran against.
+    pub tenant: String,
+    /// Request id (echoed wire id).
+    pub id: String,
+    /// The planner's route decision (the response's `route` member).
+    pub route: String,
+    /// Cache outcome: `hit`, `revalidated`, `miss`, or `coalesced`.
+    pub cache: String,
+    /// Dataset epoch the query answered at.
+    pub epoch: u64,
+    /// End-to-end wall time, µs.
+    pub total_us: u64,
+    /// Time queued for a global admission slot, µs.
+    pub admission_us: u64,
+    /// Planner time, µs.
+    pub plan_us: u64,
+    /// Artifact build time this query paid (builder-side only), µs.
+    pub artifact_us: u64,
+    /// Cache lookup + guard revalidation time, µs (sampled: the engine
+    /// times 1-in-N probes, so this is zero for most warm hits).
+    pub cache_us: u64,
+    /// Solver time, µs.
+    pub solve_us: u64,
+}
+
+type LabeledHists = RwLock<BTreeMap<String, BTreeMap<String, Arc<Histogram>>>>;
+
+/// The per-process telemetry registry. See the crate docs.
+///
+/// All recording methods early-return when the registry is disabled (the
+/// default), so a `Telemetry` compiled in but idle costs one relaxed
+/// atomic load per would-be record.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    enabled: AtomicBool,
+    /// End-to-end latency per tenant → route.
+    routes: LabeledHists,
+    /// Phase timings per tenant → phase.
+    phases: LabeledHists,
+    /// Free-form histograms keyed by full metric name (no labels), e.g.
+    /// the router's probe-round latency.
+    named: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    /// Monotonic counters keyed by full series name (labels, if any,
+    /// already rendered into the key).
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Worst-N queries by wall time.
+    slow: Mutex<Vec<SlowQuery>>,
+    /// Admission threshold of the ring: 0 while it has room, else the
+    /// current minimum `total_us` — lets the hot path skip the lock (and
+    /// the entry's string allocations) for queries that cannot get in.
+    slow_floor: AtomicU64,
+}
+
+fn labeled(map: &LabeledHists, a: &str, b: &str) -> Arc<Histogram> {
+    if let Some(h) = map.read().unwrap().get(a).and_then(|m| m.get(b)) {
+        return h.clone();
+    }
+    map.write().unwrap().entry(a.to_string()).or_default().entry(b.to_string()).or_default().clone()
+}
+
+impl Telemetry {
+    /// A disabled registry behind an `Arc` (the only way it is ever held).
+    pub fn new() -> Arc<Telemetry> {
+        Arc::new(Telemetry::default())
+    }
+
+    /// Turns recording on or off. Off (the default) makes every record
+    /// call a single relaxed load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The end-to-end histogram for `(tenant, route)`, creating it if
+    /// needed. Hot paths should cache the returned handle.
+    pub fn route_histogram(&self, tenant: &str, route: &str) -> Arc<Histogram> {
+        labeled(&self.routes, tenant, route)
+    }
+
+    /// The phase histogram for `(tenant, phase)`, creating it if needed.
+    pub fn phase_histogram(&self, tenant: &str, phase: &str) -> Arc<Histogram> {
+        labeled(&self.phases, tenant, phase)
+    }
+
+    /// The free-form histogram named `name`, creating it if needed.
+    pub fn named_histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.named.read().unwrap().get(name) {
+            return h.clone();
+        }
+        self.named.write().unwrap().entry(name.to_string()).or_default().clone()
+    }
+
+    /// The counter for the full series name `series`, creating it if
+    /// needed.
+    pub fn counter(&self, series: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().unwrap().get(series) {
+            return c.clone();
+        }
+        self.counters.write().unwrap().entry(series.to_string()).or_default().clone()
+    }
+
+    /// Records one end-to-end observation (no-op when disabled).
+    pub fn record_route(&self, tenant: &str, route: &str, us: u64) {
+        if self.is_enabled() {
+            self.route_histogram(tenant, route).record(us);
+        }
+    }
+
+    /// Records one phase observation (no-op when disabled).
+    pub fn record_phase(&self, tenant: &str, phase: &str, us: u64) {
+        if self.is_enabled() {
+            self.phase_histogram(tenant, phase).record(us);
+        }
+    }
+
+    /// Records into a free-form named histogram (no-op when disabled).
+    pub fn record_named(&self, name: &str, us: u64) {
+        if self.is_enabled() {
+            self.named_histogram(name).record(us);
+        }
+    }
+
+    /// Bumps a counter by `n` (no-op when disabled).
+    pub fn add(&self, series: &str, n: u64) {
+        if self.is_enabled() {
+            self.counter(series).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Offers a query to the worst-N ring: admitted while the ring has
+    /// room, else only if slower than the current fastest entry (which it
+    /// replaces). No-op when disabled.
+    pub fn record_slow(&self, q: SlowQuery) {
+        let total_us = q.total_us;
+        self.record_slow_with(total_us, || q);
+    }
+
+    /// [`record_slow`](Telemetry::record_slow), building the entry lazily:
+    /// a query that cannot beat the ring's current floor costs one relaxed
+    /// load — no lock, no string allocation. The serving hot path uses
+    /// this form.
+    pub fn record_slow_with(&self, total_us: u64, make: impl FnOnce() -> SlowQuery) {
+        if !self.is_enabled() || total_us <= self.slow_floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut ring = self.slow.lock().unwrap();
+        if ring.len() < SLOW_RING_CAP {
+            ring.push(make());
+        } else {
+            let Some((idx, min)) = ring
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.total_us)
+                .map(|(i, e)| (i, e.total_us))
+            else {
+                return;
+            };
+            if total_us <= min {
+                return;
+            }
+            ring[idx] = make();
+        }
+        let floor = if ring.len() < SLOW_RING_CAP {
+            0
+        } else {
+            ring.iter().map(|e| e.total_us).min().unwrap_or(0)
+        };
+        self.slow_floor.store(floor, Ordering::Relaxed);
+    }
+
+    /// Drains the slow-query ring, slowest first (ties broken by tenant
+    /// then id so the output is deterministic for a fixed ring).
+    pub fn drain_slow(&self) -> Vec<SlowQuery> {
+        let mut v = {
+            let mut ring = self.slow.lock().unwrap();
+            self.slow_floor.store(0, Ordering::Relaxed);
+            std::mem::take(&mut *ring)
+        };
+        v.sort_by(|a, b| {
+            b.total_us
+                .cmp(&a.total_us)
+                .then_with(|| a.tenant.cmp(&b.tenant))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        v
+    }
+
+    /// Renders everything recorded so far as Prometheus text exposition.
+    ///
+    /// Families in fixed order (request histograms, phase histograms,
+    /// free-form histograms, counters), series sorted within each — the
+    /// output is deterministic for a fixed state.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        {
+            let routes = self.routes.read().unwrap();
+            if routes.values().any(|m| !m.is_empty()) {
+                out.push_str("# TYPE knn_request_duration_us histogram\n");
+                for (tenant, m) in routes.iter() {
+                    for (route, h) in m.iter() {
+                        exposition::render_histogram(
+                            &mut out,
+                            "knn_request_duration_us",
+                            &[("tenant", tenant), ("route", route)],
+                            &h.snapshot(),
+                        );
+                    }
+                }
+            }
+        }
+        {
+            let phases = self.phases.read().unwrap();
+            if phases.values().any(|m| !m.is_empty()) {
+                out.push_str("# TYPE knn_phase_duration_us histogram\n");
+                for (tenant, m) in phases.iter() {
+                    for (phase, h) in m.iter() {
+                        exposition::render_histogram(
+                            &mut out,
+                            "knn_phase_duration_us",
+                            &[("tenant", tenant), ("phase", phase)],
+                            &h.snapshot(),
+                        );
+                    }
+                }
+            }
+        }
+        for (name, h) in self.named.read().unwrap().iter() {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            exposition::render_histogram(&mut out, name, &[], &h.snapshot());
+        }
+        for (series, c) in self.counters.read().unwrap().iter() {
+            out.push_str(series);
+            out.push(' ');
+            out.push_str(&c.load(Ordering::Relaxed).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper bound lands in its bucket");
+            assert_eq!(bucket_index(bucket_upper(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_derives_quantiles() {
+        let h = Histogram::new();
+        for us in [1u64, 2, 3, 100, 1000, 50_000] {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum_us, 51_106);
+        assert_eq!(s.max_us, 50_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+        // p50 of 6 obs → 3rd: value 3 lives in bucket [2,3], upper 3.
+        assert_eq!(s.p50(), 3);
+        // p99 → 6th obs: max clamps the bucket upper bound to 50_000.
+        assert_eq!(s.p99(), 50_000);
+        assert_eq!(HistogramSnapshot::default().p50(), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_is_bucketwise_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for us in [5u64, 70, 900] {
+            a.record(us);
+        }
+        for us in [8u64, 8, 1_000_000] {
+            b.record(us);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let all = Histogram::new();
+        for us in [5u64, 70, 900, 8, 8, 1_000_000] {
+            all.record(us);
+        }
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let t = Telemetry::new();
+        t.record_route("d", "classify", 10);
+        t.record_phase("d", "solve", 10);
+        t.add("c_total", 3);
+        t.record_slow(SlowQuery { total_us: 99, ..SlowQuery::default() });
+        assert_eq!(t.render(), "");
+        assert!(t.drain_slow().is_empty());
+
+        t.set_enabled(true);
+        t.record_route("d", "classify", 10);
+        assert_eq!(t.route_histogram("d", "classify").snapshot().count, 1);
+    }
+
+    #[test]
+    fn slow_ring_keeps_worst_n() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        for us in 0..(SLOW_RING_CAP as u64 + 8) {
+            t.record_slow(SlowQuery { id: format!("q{us}"), total_us: us, ..SlowQuery::default() });
+        }
+        let drained = t.drain_slow();
+        assert_eq!(drained.len(), SLOW_RING_CAP);
+        // The 8 fastest were evicted; the slowest survives and sorts first.
+        assert_eq!(drained[0].total_us, SLOW_RING_CAP as u64 + 7);
+        assert!(drained.iter().all(|q| q.total_us >= 8));
+        assert!(drained.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+        // Drain empties the ring.
+        assert!(t.drain_slow().is_empty());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_valid() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        t.record_route("demo", "classify_hamming", 42);
+        t.record_phase("demo", "solve", 17);
+        t.record_named("knn_router_probe_round_us", 5);
+        t.add("knn_router_dispatches_total", 2);
+        let text = t.render();
+        assert_eq!(text, t.render());
+        exposition::validate(&text).unwrap();
+        assert!(text.contains(
+            "knn_request_duration_us_count{tenant=\"demo\",route=\"classify_hamming\"} 1"
+        ));
+        assert!(text.contains("knn_router_dispatches_total 2"));
+    }
+}

@@ -43,6 +43,9 @@
 //! client options:
 //!   --addr <a>        server address (required)
 //!   --requests <file> JSON-lines requests (default: stdin; `-` = stdin)
+//!   --metrics         one-shot: print the server's Prometheus text
+//!                     exposition (the `metrics` verb) and exit
+//!   --stats-json      one-shot: print the `stats` verb's JSON line and exit
 //!
 //! router options:
 //!   --addr <a>        bind address (default 127.0.0.1:7979; port 0 = ephemeral)
@@ -104,6 +107,7 @@ fn main() {
         println!("       xknn serve [--addr host:port] [--data name=<file> ...]");
         println!("            [--workers <n>] [--inflight <n>] [--budget <c>] [--cache <n>]");
         println!("       xknn client --addr host:port [--requests <jsonl>|-]");
+        println!("            [--metrics | --stats-json]   (one-shot observability scrape)");
         println!("       xknn router [--addr host:port] [--backend host:port ...] [--spawn <n>]");
         println!("            [--replicas <r>] [--data name=<file> ...] [--probe-ms <m>]");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
@@ -200,9 +204,40 @@ fn serve() {
 }
 
 /// `xknn client`: pipeline a JSON-lines stream to a server, print the
-/// responses in request order.
+/// responses in request order. With `--metrics` or `--stats-json`, a
+/// one-shot mode instead: connect, issue the verb, print the payload, exit
+/// — the scrape-friendly path (`xknn client --addr a:p --metrics | ...`).
 fn client() {
     let addr = arg("--addr").unwrap_or_else(|| fail("--addr host:port is required"));
+    let argv: Vec<String> = std::env::args().collect();
+    let one_shot = if argv.iter().any(|a| a == "--metrics") {
+        Some("metrics")
+    } else if argv.iter().any(|a| a == "--stats-json") {
+        Some("stats")
+    } else {
+        None
+    };
+    if let Some(verb) = one_shot {
+        let mut client =
+            knn_server::Client::connect_retry(&addr, 5, std::time::Duration::from_millis(20))
+                .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+        let line = format!(r#"{{"id":"cli","verb":"{verb}"}}"#);
+        let resp = client.roundtrip(&line).unwrap_or_else(|e| fail(&format!("{verb} failed: {e}")));
+        if verb == "stats" {
+            // The stats response is already one JSON object; print verbatim.
+            println!("{resp}");
+            return;
+        }
+        // Unwrap the exposition text out of the response envelope so the
+        // output is directly scrapeable Prometheus text.
+        let parsed = knn_engine::json::parse_bytes(resp.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("unparseable metrics response: {e}")));
+        match parsed.get("metrics") {
+            Some(knn_engine::json::Value::String(text)) => print!("{text}"),
+            _ => fail(&format!("metrics verb answered without a metrics member: {resp}")),
+        }
+        return;
+    }
     let input = match arg("--requests").filter(|p| p != "-") {
         Some(path) => std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}"))),
