@@ -645,11 +645,12 @@ fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::R
     let mut reader = BufReader::new(stream.try_clone()?);
     let (out_tx, out_rx) = mpsc::channel::<(u64, Vec<u8>)>();
     let writer = std::thread::spawn(move || scatter::writer_loop(stream, out_rx));
+    let conn = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
     let disp = Dispatcher::new(
         shared.pool.clone(),
         shared.placement.clone(),
         out_tx.clone(),
-        shared.conn_counter.fetch_add(1, Ordering::Relaxed),
+        conn,
         shared.spread,
         shared.telemetry.clone(),
     );
@@ -683,12 +684,30 @@ fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::R
                 Command::Query { dataset, request } => {
                     if shared.placement.get(&dataset).is_some() {
                         let has_id = value.get("id").is_some();
+                        // Trace propagation: a client's `"trace"` member
+                        // rides the forwarded bytes as-is; for a 1-in-N
+                        // sampled untraced query the router mints an id and
+                        // splices it in-band, so the backend captures the
+                        // same query the router's dispatch span covers.
+                        // Either way the id never reaches response bytes.
+                        let client_trace = match value.get("trace") {
+                            Some(Value::String(s)) if !s.is_empty() => Some(s.clone()),
+                            _ => None,
+                        };
+                        let minted = (value.get("trace").is_none()
+                            && shared.telemetry.recorder().sample())
+                        .then(|| format!("r{conn}-{lineno}"));
+                        let trace = client_trace.or_else(|| minted.clone());
+                        let start_us =
+                            if trace.is_some() { shared.telemetry.recorder().now_us() } else { 0 };
                         disp.dispatch(PendingQuery {
                             seq,
                             id: request.id,
                             tenant: dataset,
-                            line: forward_query_line(line, &default_id, has_id),
+                            line: forward_query_line(line, &default_id, has_id, minted.as_deref()),
                             attempts: 0,
+                            trace,
+                            start_us,
                         });
                         dispatched += 1;
                     } else {
@@ -742,22 +761,41 @@ fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::R
 
 /// The bytes forwarded to a backend for a client's query line: the raw line
 /// itself — the backend computes the response from the parsed request, and
-/// parsing is bytes-in-semantics-out — except that a line with no `"id"`
-/// member (`has_id`, from the caller's already-parsed view of the line)
-/// gets the client's line number injected, because the backend's own line
-/// counter (the default id) will not match the client's. The splice
-/// preserves every other byte, so numeric formatting in `point` etc. is
-/// untouched.
-fn forward_query_line(raw: &[u8], default_id: &str, has_id: bool) -> Vec<u8> {
-    let mut out = Vec::with_capacity(raw.len() + default_id.len() + 12);
-    if has_id {
+/// parsing is bytes-in-semantics-out — except for two splices at the
+/// opening brace, both preserving every other byte (numeric formatting in
+/// `point` etc. is untouched):
+///
+/// * a line with no `"id"` member (`has_id`, from the caller's
+///   already-parsed view of the line) gets the client's line number
+///   injected, because the backend's own line counter (the default id)
+///   will not match the client's;
+/// * a router-minted trace id (`minted_trace`; only for lines with no
+///   `"trace"` member of their own) rides in-band as a `"trace"` member,
+///   which the backend reads out-of-band and never echoes.
+fn forward_query_line(
+    raw: &[u8],
+    default_id: &str,
+    has_id: bool,
+    minted_trace: Option<&str>,
+) -> Vec<u8> {
+    let mut inject = String::new();
+    if !has_id {
+        inject.push_str("\"id\":");
+        inject.push_str(&Value::String(default_id.to_string()).to_json());
+        inject.push(',');
+    }
+    if let Some(t) = minted_trace {
+        inject.push_str("\"trace\":");
+        inject.push_str(&Value::String(t.to_string()).to_json());
+        inject.push(',');
+    }
+    let mut out = Vec::with_capacity(raw.len() + inject.len() + 1);
+    if inject.is_empty() {
         out.extend_from_slice(raw);
     } else {
         let brace = raw.iter().position(|&b| b == b'{').unwrap_or(0);
         out.extend_from_slice(&raw[..=brace]);
-        out.extend_from_slice(b"\"id\":");
-        out.extend_from_slice(Value::String(default_id.to_string()).to_json().as_bytes());
-        out.push(b',');
+        out.extend_from_slice(inject.as_bytes());
         out.extend_from_slice(&raw[brace + 1..]);
     }
     out.push(b'\n');
@@ -864,6 +902,8 @@ fn run_cluster_control(
         Command::Stats => (cluster_stats_line(shared, id), false),
         Command::Metrics => (cluster_metrics_line(shared, id), false),
         Command::Slow => (cluster_slow_line(shared, id), false),
+        Command::Trace { trace } => (cluster_trace_line(shared, id, &trace), false),
+        Command::Dump => (cluster_dump_line(shared, id), false),
         Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
         Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
         Command::Shutdown => {
@@ -907,24 +947,146 @@ fn mutation_response(
 /// the identical fixed bucket set), then the router's own series appended
 /// (`knn_router_*`: dispatches, failovers, demotions, reconciles, the
 /// probe-round histogram — names disjoint from anything a backend emits).
-/// A backend answering garbage contributes nothing; the merge is total.
+/// A backend answering garbage contributes nothing; the merge is total —
+/// but not silent: every live backend whose scrape fails (roundtrip error,
+/// unparseable response, missing `metrics` member) bumps
+/// `knn_router_scrape_failures_total`, and the
+/// `knn_router_backends_scraped` gauge says how many expositions this
+/// merge actually covers, so a partial scrape cannot masquerade as a
+/// cluster-wide one.
 fn cluster_metrics_line(shared: &Arc<RouterShared>, id: &str) -> String {
     let mut texts: Vec<String> = Vec::new();
     for backend in shared.pool.backends() {
         if !backend.is_healthy() {
-            continue;
+            continue; // down, not a scrape failure: nothing was expected
         }
-        let Ok(resp) = backend.control_roundtrip(r#"{"id":"agg","verb":"metrics"}"#) else {
-            continue;
-        };
-        let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
-        if let Some(Value::String(text)) = v.get("metrics") {
-            texts.push(text.clone());
+        let text = backend
+            .control_roundtrip(r#"{"id":"agg","verb":"metrics"}"#)
+            .ok()
+            .and_then(|resp| parse_bytes(resp.as_bytes()).ok())
+            .and_then(|v| match v.get("metrics") {
+                Some(Value::String(text)) => Some(text.clone()),
+                _ => None,
+            });
+        match text {
+            Some(text) => texts.push(text),
+            None => shared.telemetry.add("knn_router_scrape_failures_total", 1),
         }
     }
     let mut text = exposition::merge(&texts);
     text.push_str(&shared.telemetry.render());
+    text.push_str("# TYPE knn_router_backends_scraped gauge\n");
+    text.push_str(&format!("knn_router_backends_scraped {}\n", texts.len()));
     proto::ok_line(id, vec![("metrics".into(), Value::String(text))])
+}
+
+/// The cluster `trace` verb: the router's local span tree for `trace`
+/// (dispatch completions, failover anomalies), with every healthy
+/// backend's reconstruction of the same trace **stitched** under the
+/// router's matching `dispatch` span — matched by the `backend=<id>`
+/// detail the dispatch recorder wrote, and tagged with an explicit
+/// `"backend"` member. A backend's spans with no surviving dispatch span
+/// (evicted from the router's ring) get a synthesized dispatch node:
+/// partial forensics beat silently dropped ones.
+fn cluster_trace_line(shared: &Arc<RouterShared>, id: &str, trace: &str) -> String {
+    let req = Value::Object(vec![
+        ("id".into(), Value::String("agg".into())),
+        ("verb".into(), Value::String("trace".into())),
+        ("trace".into(), Value::String(trace.to_string())),
+    ])
+    .to_json();
+    let mut roots = knn_server::span_tree(&shared.telemetry.recorder().spans_for(trace));
+    for backend in shared.pool.backends() {
+        if !backend.is_healthy() {
+            continue;
+        }
+        let Ok(resp) = backend.control_roundtrip(&req) else { continue };
+        let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
+        let Some(Value::Array(spans)) = v.get("spans") else { continue };
+        if spans.is_empty() {
+            continue;
+        }
+        graft_backend_spans(&mut roots, backend.id, spans.clone());
+    }
+    proto::ok_line(
+        id,
+        vec![
+            ("trace".into(), Value::String(trace.to_string())),
+            ("spans".into(), Value::Array(roots)),
+        ],
+    )
+}
+
+/// Nests `spans` (one backend's span-tree roots) under the router's first
+/// `dispatch` node for that backend, adding the `"backend"` member; or
+/// synthesizes the dispatch node when the router retained none.
+fn graft_backend_spans(roots: &mut Vec<Value>, backend_id: usize, spans: Vec<Value>) {
+    let tag = format!("backend={backend_id}");
+    let slot = roots.iter().position(|n| {
+        n.get("name").and_then(Value::as_str) == Some("dispatch")
+            && n.get("detail").and_then(Value::as_str) == Some(tag.as_str())
+    });
+    match slot {
+        Some(i) => {
+            if let Value::Object(members) = &mut roots[i] {
+                if !members.iter().any(|(k, _)| k == "backend") {
+                    let at =
+                        members.iter().position(|(k, _)| k == "children").unwrap_or(members.len());
+                    members.insert(at, ("backend".into(), Value::Number(backend_id as f64)));
+                }
+                if let Some((_, Value::Array(children))) =
+                    members.iter_mut().find(|(k, _)| k == "children")
+                {
+                    children.extend(spans);
+                }
+            }
+        }
+        None => roots.push(Value::Object(vec![
+            ("name".into(), Value::String("dispatch".into())),
+            ("detail".into(), Value::String(tag)),
+            ("backend".into(), Value::Number(backend_id as f64)),
+            ("children".into(), Value::Array(spans)),
+        ])),
+    }
+}
+
+/// The cluster `dump` verb: one merged Chrome trace-event array — the
+/// router's own recorder at `pid` 0, each backend's dump rewritten to
+/// `pid` `backend.id + 1` so every process gets its own lane group in the
+/// viewer.
+fn cluster_dump_line(shared: &Arc<RouterShared>, id: &str) -> String {
+    let router_chrome =
+        knn_telemetry::chrome::chrome_trace_json(&shared.telemetry.recorder().all(), 0);
+    let mut merged: Vec<Value> = match parse_bytes(router_chrome.as_bytes()) {
+        Ok(Value::Array(events)) => events,
+        _ => Vec::new(),
+    };
+    for backend in shared.pool.backends() {
+        if !backend.is_healthy() {
+            continue;
+        }
+        let Ok(resp) = backend.control_roundtrip(r#"{"id":"agg","verb":"dump"}"#) else { continue };
+        let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
+        let Some(Value::String(chrome)) = v.get("chrome") else { continue };
+        let Ok(Value::Array(events)) = parse_bytes(chrome.as_bytes()) else { continue };
+        for mut ev in events {
+            if let Value::Object(members) = &mut ev {
+                for (k, val) in members.iter_mut() {
+                    if k == "pid" {
+                        *val = Value::Number((backend.id + 1) as f64);
+                    }
+                }
+            }
+            merged.push(ev);
+        }
+    }
+    proto::ok_line(
+        id,
+        vec![
+            ("events".into(), Value::Number(merged.len() as f64)),
+            ("chrome".into(), Value::String(Value::Array(merged).to_json())),
+        ],
+    )
 }
 
 /// The cluster `slow` verb: drains every live backend's slow-query ring
@@ -1412,6 +1574,15 @@ mod tests {
             Some(6.0),
             "router-own series appended:\n{text}"
         );
+        assert_eq!(
+            samples.get("knn_router_backends_scraped").copied(),
+            Some(2.0),
+            "scrape coverage visible:\n{text}"
+        );
+        assert!(
+            !samples.contains_key("knn_router_scrape_failures_total"),
+            "no scrape failed here:\n{text}"
+        );
 
         // The merged counts equal the bucket-wise sum of what the backends
         // report directly (the exposition is all cumulative counters, so
@@ -1432,6 +1603,58 @@ mod tests {
 
         let s = c.roundtrip(r#"{"id":"s","verb":"slow"}"#).unwrap();
         assert!(s.contains(r#""backend":"#) && s.contains(r#""total_us":"#), "{s}");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    /// The distributed forensics plane: a traced query answers
+    /// byte-identically to an untraced one, and `trace <id>` through the
+    /// router returns ONE stitched tree — the router's `dispatch` span,
+    /// tagged with the backend id, holding the backend's own `query` →
+    /// `admission`/phase spans as children. `dump` merges every process's
+    /// Chrome events under distinct pids.
+    #[test]
+    fn trace_verb_stitches_backend_spans_under_the_dispatch_span() {
+        let (b0, b1) = (backend(), backend());
+        let handle = router_over(&[&b0, &b1]);
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let q = r#"{"dataset":"toy","id":"q","cmd":"counterfactual","metric":"hamming","point":[1,0,1]}"#;
+        let traced = r#"{"dataset":"toy","id":"q","cmd":"counterfactual","metric":"hamming","point":[1,0,1],"trace":"t-x"}"#;
+        let oracle = c.roundtrip(q).unwrap();
+        assert_eq!(c.roundtrip(traced).unwrap(), oracle, "trace id never reaches response bytes");
+
+        let t = c.roundtrip(r#"{"id":"t","verb":"trace","trace":"t-x"}"#).unwrap();
+        let parsed = parse_bytes(t.as_bytes()).unwrap();
+        let Some(Value::Array(roots)) = parsed.get("spans") else { panic!("{t}") };
+        let dispatch = roots
+            .iter()
+            .find(|n| n.get("name").and_then(Value::as_str) == Some("dispatch"))
+            .unwrap_or_else(|| panic!("no dispatch span in {t}"));
+        let backend_id = dispatch.get("backend").and_then(Value::as_u64).expect("backend tag");
+        assert!(backend_id <= 1, "{t}");
+        let Some(Value::Array(children)) = dispatch.get("children") else { panic!("{t}") };
+        let query = children
+            .iter()
+            .find(|n| n.get("name").and_then(Value::as_str) == Some("query"))
+            .unwrap_or_else(|| panic!("backend query span not stitched: {t}"));
+        let Some(Value::Array(phases)) = query.get("children") else { panic!("{t}") };
+        let names: Vec<&str> =
+            phases.iter().filter_map(|n| n.get("name").and_then(Value::as_str)).collect();
+        assert!(names.contains(&"admission"), "cross-process tree has phases: {names:?}");
+
+        let d = c.roundtrip(r#"{"id":"d","verb":"dump"}"#).unwrap();
+        let parsed = parse_bytes(d.as_bytes()).unwrap();
+        let Some(Value::String(chrome)) = parsed.get("chrome") else { panic!("{d}") };
+        let Ok(Value::Array(events)) = parse_bytes(chrome.as_bytes()) else {
+            panic!("chrome dump not a JSON array")
+        };
+        assert!(!events.is_empty());
+        let pids: std::collections::BTreeSet<u64> =
+            events.iter().filter_map(|e| e.get("pid").and_then(Value::as_u64)).collect();
+        assert!(pids.iter().any(|&p| p >= 1), "backend events present under their pid: {pids:?}");
 
         handle.shutdown();
         b0.shutdown();

@@ -30,7 +30,7 @@
 use crate::placement::PlacementMap;
 use crate::pool::{Backend, BackendPool, CONNECT_ATTEMPTS, CONNECT_BACKOFF};
 use knn_server::proto;
-use knn_telemetry::Telemetry;
+use knn_telemetry::{SpanEvent, Telemetry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
@@ -53,6 +53,47 @@ pub(crate) struct PendingQuery {
     pub line: Vec<u8>,
     /// Dispatch attempts so far (caps the failover loop).
     pub attempts: usize,
+    /// Trace id (client-sent or router-minted): the router records a
+    /// `dispatch` span per traced completion, which the `trace` verb uses
+    /// to stitch backend span trees under the right backend. `None` for
+    /// untraced queries — they pay no clock read on the router.
+    pub trace: Option<String>,
+    /// Recorder timestamp at first dispatch (0 when untraced).
+    pub start_us: u64,
+}
+
+/// Records one router-side span for query `q`: a `dispatch` completion
+/// (traced queries only) or a forced `failover` anomaly (any query a
+/// failure path drained — those must survive for forensics even untraced).
+/// Always forced: this is only called when traced or anomalous.
+fn emit_query_span(
+    disp: &Dispatcher,
+    q: &PendingQuery,
+    name: &'static str,
+    backend_id: usize,
+    anomaly: &'static str,
+) {
+    if q.trace.is_none() && anomaly.is_empty() {
+        return;
+    }
+    let recorder = disp.telemetry.recorder();
+    let end_us = recorder.now_us();
+    let start_us = if q.start_us == 0 { end_us } else { q.start_us };
+    recorder.push(
+        SpanEvent {
+            trace: q.trace.clone().unwrap_or_default(),
+            seq: recorder.next_seq(),
+            parent: 0,
+            name,
+            detail: format!("backend={backend_id}"),
+            tenant: q.tenant.clone(),
+            epoch: 0,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            anomaly,
+        },
+        true,
+    );
 }
 
 /// Channel state: the write half and the in-order pending queue share one
@@ -320,6 +361,7 @@ impl Dispatcher {
                     // Everything the dead channel was holding — the query we
                     // just tried included — goes back through dispatch.
                     for p in drained {
+                        emit_query_span(self, &p, "failover", id, "failover");
                         self.dispatch(p);
                     }
                     return;
@@ -383,8 +425,10 @@ fn receiver_loop(disp: Arc<Dispatcher>, chan: Arc<Chan>, reader: TcpStream) {
                     // attempts cap still bounds the loop.
                     if is_not_loaded_error(&buf, &q) {
                         disp.telemetry.add("knn_router_failovers_total", 1);
+                        emit_query_span(&disp, &q, "failover", chan.backend.id, "failover");
                         disp.dispatch(q);
                     } else {
+                        emit_query_span(&disp, &q, "dispatch", chan.backend.id, "");
                         disp.finish(q.seq, buf.clone());
                     }
                 }
@@ -409,6 +453,7 @@ fn receiver_loop(disp: Arc<Dispatcher>, chan: Arc<Chan>, reader: TcpStream) {
     };
     disp.telemetry.add("knn_router_failovers_total", drained.len() as u64);
     for q in drained {
+        emit_query_span(&disp, &q, "failover", chan.backend.id, "failover");
         disp.dispatch(q);
     }
 }

@@ -77,6 +77,10 @@ pub struct PhaseTimes {
     /// included — the engine subtracts those out via the store's build
     /// accounting), µs.
     pub solve_us: u64,
+    /// The planner's demotion verdict: did the effort budget demote this
+    /// request's route to its greedy/anytime variant? A plan property,
+    /// filled whether or not the clock ran.
+    pub demoted: bool,
 }
 
 /// [`execute_traced`] with the phase clock: when `timed`, the returned
@@ -100,6 +104,7 @@ pub fn execute_phased(
     if let Some(t0) = plan_started {
         phases.plan_us = t0.elapsed().as_micros() as u64;
     }
+    phases.demoted = planned.budgeted;
     let mut guard = None;
     let solve_started = timed.then(std::time::Instant::now);
     let outcome = execute_planned(

@@ -93,7 +93,7 @@ pub use knn_delta::Mutation;
 
 use cache::LruCache;
 use knn_delta::{AppliedMutation, ClassifyGuard, MutationLog};
-use knn_telemetry::{Histogram, QueryTrace, Telemetry};
+use knn_telemetry::{Histogram, QueryTrace, SpanCtx, SpanEvent, Telemetry};
 use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -284,6 +284,8 @@ pub struct ExplanationEngine {
     /// Phase histogram handles are resolved once here so the hot path
     /// never touches the registry's maps.
     telemetry: Arc<Telemetry>,
+    /// Tenant label span events carry (the `with_telemetry` label).
+    tenant: String,
     phase_cache: Arc<Histogram>,
     phase_plan: Arc<Histogram>,
     phase_solve: Arc<Histogram>,
@@ -332,6 +334,7 @@ impl ExplanationEngine {
             removes: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
             telemetry,
+            tenant: label.to_string(),
             phase_cache,
             phase_plan,
             phase_solve,
@@ -426,9 +429,28 @@ impl ExplanationEngine {
         // older entries bounds the log under sustained mutation streams.
         let keep_from = st.log.epoch().saturating_sub(REVALIDATE_WINDOW);
         st.log.compact_before(keep_from);
-        if let Some(t0) = apply_started {
-            self.phase_apply.record(t0.elapsed().as_micros() as u64);
+        let apply_us = apply_started.map(|t0| t0.elapsed().as_micros() as u64).unwrap_or(0);
+        if apply_started.is_some() {
+            self.phase_apply.record(apply_us);
         }
+        // Epoch transitions are rare and forensically load-bearing (they
+        // explain artifact rebuilds and cache misses around them), so they
+        // are always force-captured.
+        let recorder = self.telemetry.recorder();
+        let end_us = recorder.now_us();
+        recorder.push(
+            SpanEvent {
+                seq: recorder.next_seq(),
+                name: "apply",
+                detail: format!("epoch={}", st.log.epoch()),
+                tenant: self.tenant.clone(),
+                epoch: st.log.epoch(),
+                start_us: end_us.saturating_sub(apply_us),
+                dur_us: apply_us,
+                ..SpanEvent::default()
+            },
+            true,
+        );
         Ok(MutationReceipt {
             epoch: st.log.epoch(),
             points: data.continuous.len(),
@@ -452,8 +474,19 @@ impl ExplanationEngine {
     /// layer combines it with admission wait and end-to-end time for the
     /// slow-query ring; phase timings are zero when telemetry is disabled.
     pub fn run_with_trace(&self, req: &Request) -> (Response, QueryTrace) {
+        self.run_traced(req, None)
+    }
+
+    /// [`ExplanationEngine::run_with_trace`] under an explicit flight-
+    /// recorder capture context. With `Some(ctx)` the engine emits
+    /// plan/artifact/cache/solve span events parented under `ctx` (the
+    /// serving layer's root span); with `None` the engine's own sampler
+    /// elects 1-in-N queries for a self-contained sampled span. Span
+    /// emission is strictly out-of-band: the response bytes are identical
+    /// with or without a context — the determinism proptest pins this.
+    pub fn run_traced(&self, req: &Request, ctx: Option<&SpanCtx>) -> (Response, QueryTrace) {
         let mut trace = QueryTrace::default();
-        let resp = self.run_one_at(&self.snapshot(), req, &mut trace).0;
+        let resp = self.run_one_at(&self.snapshot(), req, &mut trace, ctx).0;
         (resp, trace)
     }
 
@@ -508,8 +541,16 @@ impl ExplanationEngine {
     /// entry is a plain hit; an older entry with a guard is revalidated
     /// against the mutation window and promoted on success. Returns the
     /// response body on a hit, plus whether the hit crossed an epoch
-    /// (a revalidation rather than a plain hit).
-    fn cache_probe(&self, snap: &Snapshot, key: &CacheKey) -> Option<(CachedResult, bool)> {
+    /// (a revalidation rather than a plain hit). A failed guard
+    /// revalidation is reported through `trace.guard_failed` — to the
+    /// caller it is a miss, but the flight recorder treats it as an
+    /// anomaly worth forced capture.
+    fn cache_probe(
+        &self,
+        snap: &Snapshot,
+        key: &CacheKey,
+        trace: &mut QueryTrace,
+    ) -> Option<(CachedResult, bool)> {
         enum Probe {
             Hit(CachedResult),
             Stale(u64, ClassifyGuard, CachedResult),
@@ -558,6 +599,7 @@ impl ExplanationEngine {
                 cache.record(survives);
                 if !survives {
                     self.revalidation_failed.fetch_add(1, Ordering::Relaxed);
+                    trace.guard_failed = true;
                     return None;
                 }
                 if let Some(e) = cache.lookup(key) {
@@ -585,6 +627,7 @@ impl ExplanationEngine {
     ) -> (Response, Option<ClassifyGuard>) {
         let build0 = enabled.then(|| snap.artifacts.metrics().build_nanos());
         let (resp, guard, phases) = self.execute_guarded(snap, req, enabled);
+        trace.demoted = phases.demoted;
         if enabled {
             trace.plan_us = phases.plan_us;
             trace.solve_us = phases.solve_us;
@@ -601,6 +644,153 @@ impl ExplanationEngine {
         (resp, guard)
     }
 
+    /// [`run_one_inner`](ExplanationEngine::run_one_inner) plus flight-
+    /// recorder span emission. The capture decision is made up front — an
+    /// explicit context from the serving layer, or the recorder's own
+    /// 1-in-N sampler for context-free callers (batch, bench) — so the
+    /// region-counter delta brackets the run. Unelected queries pay one
+    /// thread-local counter bump and nothing else.
+    fn run_one_at(
+        &self,
+        snap: &Snapshot,
+        req: &Request,
+        trace: &mut QueryTrace,
+        ctx: Option<&SpanCtx>,
+    ) -> (Response, bool) {
+        let recorder = self.telemetry.recorder();
+        let capture = ctx.is_some() || recorder.sample();
+        let regions0 = capture.then(|| snap.artifacts.region_counters().snapshot());
+        let (resp, hit) = self.run_one_inner(snap, req, trace);
+        if let Some(r0) = regions0 {
+            self.emit_spans(snap, trace, ctx, &resp, &r0);
+        }
+        (resp, hit)
+    }
+
+    /// Records this query's span events (see [`ExplanationEngine::run_traced`]).
+    /// One clock read per captured query: phase starts are reconstructed
+    /// backward from the measured durations (cache → plan → artifact →
+    /// solve ran sequentially), an approximation documented in DESIGN §7b.
+    fn emit_spans(
+        &self,
+        snap: &Snapshot,
+        trace: &QueryTrace,
+        ctx: Option<&SpanCtx>,
+        resp: &Response,
+        regions0: &knn_core::regions::RegionCountersSnapshot,
+    ) {
+        let recorder = self.telemetry.recorder();
+        let end_us = recorder.now_us();
+        let base = SpanEvent {
+            trace: ctx.map(|c| c.trace.clone()).unwrap_or_default(),
+            tenant: self.tenant.clone(),
+            epoch: trace.epoch,
+            ..SpanEvent::default()
+        };
+        let push = |ev: SpanEvent| {
+            let forced = !ev.trace.is_empty() || !ev.anomaly.is_empty();
+            recorder.push(ev, forced);
+        };
+        let computed = matches!(trace.cache, "miss" | "uncached");
+        let err = resp.result.is_err();
+        let Some(ctx) = ctx else {
+            // Context-free (sampler-elected): one self-contained span.
+            let dur = trace.cache_us + trace.plan_us + trace.artifact_us + trace.solve_us;
+            let anomaly = if err {
+                "error"
+            } else if trace.guard_failed {
+                "guard_failed"
+            } else if trace.demoted {
+                "demoted"
+            } else {
+                ""
+            };
+            push(SpanEvent {
+                seq: recorder.next_seq(),
+                name: "query",
+                detail: format!("route={} cache={}", resp.route, trace.cache),
+                start_us: end_us.saturating_sub(dur),
+                dur_us: dur,
+                anomaly,
+                ..base
+            });
+            return;
+        };
+        // Phase children under the serving layer's root span.
+        let total = trace.cache_us
+            + if computed { trace.plan_us + trace.artifact_us + trace.solve_us } else { 0 };
+        let mut t = end_us.saturating_sub(total);
+        if trace.cache != "uncached" {
+            push(SpanEvent {
+                seq: recorder.next_seq(),
+                parent: ctx.parent,
+                name: "cache",
+                detail: format!("outcome={}", trace.cache),
+                start_us: t,
+                dur_us: trace.cache_us,
+                anomaly: if trace.guard_failed { "guard_failed" } else { "" },
+                ..base.clone()
+            });
+            t += trace.cache_us;
+        }
+        if computed {
+            push(SpanEvent {
+                seq: recorder.next_seq(),
+                parent: ctx.parent,
+                name: "plan",
+                detail: format!("route={} demoted={}", resp.route, trace.demoted),
+                start_us: t,
+                dur_us: trace.plan_us,
+                anomaly: if trace.demoted { "demoted" } else { "" },
+                ..base.clone()
+            });
+            t += trace.plan_us;
+            if trace.artifact_us > 0 {
+                push(SpanEvent {
+                    seq: recorder.next_seq(),
+                    parent: ctx.parent,
+                    name: "artifact",
+                    detail: "build".to_string(),
+                    start_us: t,
+                    dur_us: trace.artifact_us,
+                    ..base.clone()
+                });
+                t += trace.artifact_us;
+            }
+            let r1 = snap.artifacts.region_counters().snapshot();
+            let pruned = (r1.pruned_empty + r1.pruned_dominated + r1.memo_pruned).saturating_sub(
+                regions0.pruned_empty + regions0.pruned_dominated + regions0.memo_pruned,
+            );
+            push(SpanEvent {
+                seq: recorder.next_seq(),
+                parent: ctx.parent,
+                name: "solve",
+                detail: format!(
+                    "region_yields={} region_pruned={}",
+                    r1.yields.saturating_sub(regions0.yields),
+                    pruned
+                ),
+                start_us: t,
+                dur_us: trace.solve_us,
+                anomaly: if err { "error" } else { "" },
+                ..base
+            });
+        } else if err {
+            // A cached error response (possible: errors cache too) still
+            // surfaces as an anomaly marker.
+            push(SpanEvent {
+                seq: recorder.next_seq(),
+                parent: ctx.parent,
+                name: "solve",
+                detail: "cached".to_string(),
+                start_us: t,
+                dur_us: 0,
+                anomaly: "error",
+                ..base
+            });
+        }
+    }
+
     /// `run` plus whether the response came from the cache (directly,
     /// revalidated across epochs, or coalesced onto another worker's
     /// in-flight computation). Fills `trace` with the query's phase
@@ -610,7 +800,7 @@ impl ExplanationEngine {
     /// basis (see [`sample_cache_probe`]); all other phases run only on
     /// compute paths, where their cost is amortised over the solve, and
     /// are timed on every query.
-    fn run_one_at(
+    fn run_one_inner(
         &self,
         snap: &Snapshot,
         req: &Request,
@@ -624,7 +814,7 @@ impl ExplanationEngine {
         }
         let key = req.cache_key();
         let probe_started = (enabled && sample_cache_probe()).then(Instant::now);
-        let probed = self.cache_probe(snap, &key);
+        let probed = self.cache_probe(snap, &key, trace);
         if let Some(t0) = probe_started {
             let us = t0.elapsed().as_micros() as u64;
             trace.cache_us = us;
@@ -709,7 +899,7 @@ impl ExplanationEngine {
 
         if workers <= 1 {
             for (i, req) in requests.iter().enumerate() {
-                let (resp, hit) = self.run_one_at(&snap, req, &mut QueryTrace::default());
+                let (resp, hit) = self.run_one_at(&snap, req, &mut QueryTrace::default(), None);
                 if hit {
                     hits.fetch_add(1, Ordering::Relaxed);
                 }
@@ -729,7 +919,7 @@ impl ExplanationEngine {
                             break;
                         }
                         let (resp, hit) =
-                            self.run_one_at(snap, &requests[i], &mut QueryTrace::default());
+                            self.run_one_at(snap, &requests[i], &mut QueryTrace::default(), None);
                         if tx.send((i, resp, hit)).is_err() {
                             break;
                         }
@@ -878,8 +1068,8 @@ mod tests {
         let snap = e.snapshot();
         let mut t1 = QueryTrace::default();
         let mut t2 = QueryTrace::default();
-        let (first, hit1) = e.run_one_at(&snap, &r, &mut t1);
-        let (second, hit2) = e.run_one_at(&snap, &r, &mut t2);
+        let (first, hit1) = e.run_one_at(&snap, &r, &mut t1, None);
+        let (second, hit2) = e.run_one_at(&snap, &r, &mut t2, None);
         assert!(!hit1);
         assert!(hit2, "second identical query must hit the cache");
         assert_eq!(first.to_json_line(), second.to_json_line());

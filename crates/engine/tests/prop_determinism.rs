@@ -8,7 +8,7 @@
 
 use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
 use knn_space::ContinuousDataset;
-use knn_telemetry::Telemetry;
+use knn_telemetry::{SpanCtx, Telemetry};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -148,6 +148,25 @@ proptest! {
                     &resp.to_json_line(),
                     &oracle[&req.id],
                     "shuffled, workers={} id={}", workers, req.id
+                );
+            }
+
+            // A traced pass: every query runs with a forced span context —
+            // the flight recorder captures a full span family per request
+            // (forced path, not the sampler) and must not change a byte.
+            let recorder = engine.telemetry().recorder();
+            for req in &requests {
+                let ctx =
+                    SpanCtx { trace: format!("t-{}", req.id), parent: recorder.next_seq() };
+                let (resp, _) = engine.run_traced(req, Some(&ctx));
+                prop_assert_eq!(
+                    &resp.to_json_line(),
+                    &oracle[&req.id],
+                    "traced, workers={} id={}", workers, req.id
+                );
+                prop_assert!(
+                    !recorder.spans_for(&ctx.trace).is_empty(),
+                    "forced trace {} captured no spans", ctx.trace
                 );
             }
         }

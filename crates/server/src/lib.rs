@@ -62,7 +62,7 @@ pub use registry::{Registry, Tenant, TenantStats};
 use knn_engine::json::Value;
 use knn_engine::{EngineConfig, Request};
 use knn_telemetry::exposition::{push_sample, series_key};
-use knn_telemetry::Telemetry;
+use knn_telemetry::{SpanEvent, Telemetry};
 use proto::Command;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -202,8 +202,19 @@ impl ServerHandle {
     }
 }
 
-/// One in-flight query job: output slot, tenant, request.
-type Job = (u64, Arc<Tenant>, Request);
+/// One in-flight query job: output slot, tenant, request, trace id (the
+/// client's `"trace"` member — out-of-band, never echoed in the response).
+type Job = (u64, Arc<Tenant>, Request, Option<String>);
+
+/// The `"trace"` member of a request line, if it is a string. Any other
+/// shape is ignored — the member is an out-of-band diagnostic hint, so it
+/// must never turn a valid query into an error.
+fn trace_member(v: &Value) -> Option<String> {
+    match v.get("trace") {
+        Some(Value::String(s)) if !s.is_empty() => Some(s.clone()),
+        _ => None,
+    }
+}
 
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -228,8 +239,8 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
             let completed = completed.clone();
             std::thread::spawn(move || loop {
                 let job = job_rx.lock().unwrap().recv();
-                let Ok((seq, tenant, request)) = job else { break };
-                let resp = tenant.run(&shared.admission, &request);
+                let Ok((seq, tenant, request, trace)) = job else { break };
+                let resp = tenant.run(&shared.admission, &request, trace.as_deref());
                 // A failed send just means the writer died with the client;
                 // keep draining jobs anyway — the barrier below counts every
                 // dispatched query, so a worker that stopped early would
@@ -260,15 +271,15 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
             continue; // blank lines get no response, like `xknn batch`
         }
         let default_id = lineno.to_string();
-        match proto::parse_line(line, &default_id) {
+        match proto::parse_line_value(line, &default_id) {
             Err(e) => {
                 let msg = format!("line {lineno}: {e}");
                 let _ = out_tx.send((seq, proto::error_line(&default_id, &msg)));
             }
-            Ok(parsed) => match parsed.command {
+            Ok((parsed, value)) => match parsed.command {
                 Command::Query { dataset, request } => match shared.registry.get(&dataset) {
                     Some(tenant) => {
-                        let _ = job_tx.send((seq, tenant, request));
+                        let _ = job_tx.send((seq, tenant, request, trace_member(&value)));
                         dispatched += 1;
                     }
                     None => {
@@ -490,6 +501,58 @@ fn engine_series(shared: &Arc<Shared>) -> String {
     out
 }
 
+/// One span event as a JSON object — every field, plus an (initially
+/// empty) `children` array the tree builder and the cluster router's
+/// stitcher fill in.
+fn span_node(ev: &SpanEvent) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::String(ev.name.to_string())),
+        ("detail".into(), Value::String(ev.detail.clone())),
+        ("tenant".into(), Value::String(ev.tenant.clone())),
+        ("epoch".into(), Value::Number(ev.epoch as f64)),
+        ("start_us".into(), Value::Number(ev.start_us as f64)),
+        ("dur_us".into(), Value::Number(ev.dur_us as f64)),
+        ("anomaly".into(), Value::String(ev.anomaly.to_string())),
+        ("children".into(), Value::Array(Vec::new())),
+    ])
+}
+
+/// Reconstructs the span tree of `spans` (expected sorted by
+/// `(start_us, seq)`, as [`Recorder::spans_for`](knn_telemetry::Recorder)
+/// hands them out): every span whose `parent` is 0 — or points at a span
+/// no longer retained — becomes a root; the rest nest under their parent,
+/// preserving start order. The cluster router reuses this to render each
+/// process's local tree before grafting backend trees under its dispatch
+/// spans.
+pub fn span_tree(spans: &[SpanEvent]) -> Vec<Value> {
+    // Trees are tiny (one query's spans); quadratic child-gathering keeps
+    // the builder free of index bookkeeping.
+    fn build(spans: &[SpanEvent], parent_seq: u64) -> Vec<Value> {
+        spans
+            .iter()
+            .filter(|ev| ev.parent == parent_seq)
+            .map(|ev| {
+                let mut node = span_node(ev);
+                let children = build(spans, ev.seq);
+                if let Value::Object(members) = &mut node {
+                    if let Some((_, v)) = members.iter_mut().find(|(k, _)| k == "children") {
+                        *v = Value::Array(children);
+                    }
+                }
+                node
+            })
+            .collect()
+    }
+    let retained: std::collections::BTreeSet<u64> = spans.iter().map(|ev| ev.seq).collect();
+    let mut roots = build(spans, 0);
+    // Orphans (parent evicted from the ring) surface as roots rather than
+    // disappearing: a trace is forensic data, partial beats silent.
+    for ev in spans.iter().filter(|ev| ev.parent != 0 && !retained.contains(&ev.parent)) {
+        roots.push(span_node(ev));
+    }
+    roots
+}
+
 /// Executes one control verb, returning the response line and whether the
 /// connection should close afterwards.
 fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, bool) {
@@ -647,10 +710,34 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                         ("artifact_us".into(), num64(q.artifact_us)),
                         ("cache_us".into(), num64(q.cache_us)),
                         ("solve_us".into(), num64(q.solve_us)),
+                        ("trace".into(), q.trace.map(Value::String).unwrap_or(Value::Null)),
                     ])
                 })
                 .collect();
             (proto::ok_line(id, vec![("slow".into(), Value::Array(slow))]), false)
+        }
+        Command::Trace { trace } => {
+            let spans = shared.telemetry.recorder().spans_for(&trace);
+            let line = proto::ok_line(
+                id,
+                vec![
+                    ("trace".into(), Value::String(trace)),
+                    ("spans".into(), Value::Array(span_tree(&spans))),
+                ],
+            );
+            (line, false)
+        }
+        Command::Dump => {
+            let events = shared.telemetry.recorder().all();
+            let chrome = knn_telemetry::chrome::chrome_trace_json(&events, 0);
+            let line = proto::ok_line(
+                id,
+                vec![
+                    ("events".into(), num(events.len())),
+                    ("chrome".into(), Value::String(chrome)),
+                ],
+            );
+            (line, false)
         }
         Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
         Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
@@ -925,6 +1012,58 @@ mod tests {
                 .unwrap();
             assert_eq!(a, b, "replayed and stepwise tenants agree on {point}");
         }
+        handle.shutdown();
+    }
+
+    /// The forensics plane: a `"trace"` member never changes response
+    /// bytes, `trace <id>` reconstructs the query's span tree (root →
+    /// admission + phase children), `dump` exports parseable Chrome
+    /// trace-event JSON, and the slow ring links back to the trace id.
+    #[test]
+    fn trace_verb_reconstructs_spans_and_dump_exports_chrome_json() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let q = r#"{"dataset":"toy","id":"q","cmd":"counterfactual","metric":"hamming","point":[1,0,1]}"#;
+        let traced = r#"{"dataset":"toy","id":"q","cmd":"counterfactual","metric":"hamming","point":[1,0,1],"trace":"t-7"}"#;
+        let oracle = c.roundtrip(q).unwrap();
+        let echoed = c.roundtrip(traced).unwrap();
+        assert_eq!(echoed, oracle, "a trace id must never leak into response bytes");
+
+        let t = c.roundtrip(r#"{"id":"t","verb":"trace","trace":"t-7"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(t.as_bytes()).unwrap();
+        assert_eq!(parsed.get("trace"), Some(&Value::String("t-7".into())));
+        let Some(Value::Array(roots)) = parsed.get("spans") else {
+            panic!("spans member missing: {t}");
+        };
+        assert_eq!(roots.len(), 1, "one traced query, one root: {t}");
+        let root = &roots[0];
+        assert_eq!(root.get("name"), Some(&Value::String("query".into())));
+        let Some(Value::Array(children)) = root.get("children") else { panic!("{t}") };
+        let names: Vec<&str> =
+            children.iter().filter_map(|ch| ch.get("name").and_then(Value::as_str)).collect();
+        assert!(names.contains(&"admission"), "admission child present: {names:?}");
+        // The traced run was the second identical query: a cache hit.
+        assert!(names.contains(&"cache"), "cache child present: {names:?}");
+
+        // An unknown trace id answers with an empty tree, not an error.
+        let none = c.roundtrip(r#"{"id":"n","verb":"trace","trace":"nope"}"#).unwrap();
+        assert!(none.contains(r#""spans":[]"#), "{none}");
+
+        let d = c.roundtrip(r#"{"id":"d","verb":"dump"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(d.as_bytes()).unwrap();
+        let Some(Value::String(chrome)) = parsed.get("chrome") else {
+            panic!("chrome member missing: {d}");
+        };
+        let events = knn_engine::json::parse_bytes(chrome.as_bytes()).unwrap();
+        let Value::Array(events) = events else { panic!("chrome dump not an array") };
+        assert!(!events.is_empty(), "dump covers the traced spans");
+        assert!(events.iter().any(|e| e.get("ph") == Some(&Value::String("X".into()))));
+
+        // The slow ring links back: the traced counterfactual carries t-7.
+        let s = c.roundtrip(r#"{"id":"s","verb":"slow"}"#).unwrap();
+        assert!(s.contains(r#""trace":"t-7""#) || s.contains(r#""trace":null"#), "{s}");
+
         handle.shutdown();
     }
 }

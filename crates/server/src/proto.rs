@@ -15,6 +15,8 @@
 //! {"verb":"stats"}
 //! {"verb":"metrics"}
 //! {"verb":"slow"}
+//! {"verb":"trace","trace":"t-42"}
+//! {"verb":"dump"}
 //! {"verb":"unload","name":"demo"}
 //! {"verb":"ping"}
 //! {"verb":"quit"}
@@ -120,6 +122,16 @@ pub enum Command {
     /// Drain the slow-query ring: the worst-N queries by wall time since
     /// the last drain, with per-phase breakdowns.
     Slow,
+    /// Reconstruct the span tree of one traced query from the flight
+    /// recorder (the router fans this out and stitches backend trees under
+    /// its own dispatch spans).
+    Trace {
+        /// The trace id the query carried.
+        trace: String,
+    },
+    /// Export the flight recorder's retained spans as Chrome trace-event
+    /// JSON (`chrome://tracing` / Perfetto).
+    Dump,
     /// Liveness probe.
     Ping,
     /// Close this connection (after the response).
@@ -261,12 +273,14 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
         "stats" => Command::Stats,
         "metrics" => Command::Metrics,
         "slow" => Command::Slow,
+        "trace" => Command::Trace { trace: member_str(&v, "trace", "the trace id to look up")? },
+        "dump" => Command::Dump,
         "ping" => Command::Ping,
         "quit" => Command::Quit,
         "shutdown" => Command::Shutdown,
         other => {
             return Err(format!(
-            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, slow, ping, quit, shutdown)"
+            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, slow, trace, dump, ping, quit, shutdown)"
         ))
         }
     };
@@ -318,6 +332,8 @@ mod tests {
             (br#"{"verb":"stats"}"#, Command::Stats),
             (br#"{"verb":"metrics"}"#, Command::Metrics),
             (br#"{"verb":"slow"}"#, Command::Slow),
+            (br#"{"verb":"trace","trace":"t-1"}"#, Command::Trace { trace: "t-1".into() }),
+            (br#"{"verb":"dump"}"#, Command::Dump),
             (br#"{"verb":"ping"}"#, Command::Ping),
             (br#"{"verb":"quit"}"#, Command::Quit),
             (br#"{"verb":"shutdown"}"#, Command::Shutdown),
@@ -372,6 +388,8 @@ mod tests {
             b"{\"verb\":\"insert\",\"name\":\"d\",\"label\":\"+\",\"point\":[]}",
             b"{\"verb\":\"remove\",\"name\":\"d\"}", // no index
             b"{\"verb\":\"remove\",\"name\":\"d\",\"index\":-1}",
+            b"{\"verb\":\"trace\"}", // no trace id
+            b"{\"verb\":\"trace\",\"trace\":7}",
             b"{\"verb\":\"load\",\"name\":\"d\",\"text\":\"+ 1\",\"replay\":[{\"op\":\"fly\"}]}",
         ] {
             assert!(parse_line(bad, "1").is_err());

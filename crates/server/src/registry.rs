@@ -22,7 +22,7 @@
 
 use crate::admission::Admission;
 use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Mutation, Request, Response};
-use knn_telemetry::{SlowQuery, Telemetry};
+use knn_telemetry::{SlowQuery, SpanCtx, SpanEvent, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -79,38 +79,105 @@ impl Tenant {
     /// into the per-(tenant, route) latency histogram, the admission wait
     /// into the phase histograms, and the combined trace is offered to the
     /// slow-query ring — all out-of-band, never touching response bytes.
-    pub fn run(&self, admission: &Admission, req: &Request) -> Response {
+    ///
+    /// `trace_id` is the client's `"trace"` member (or the router's minted
+    /// id): when present, the query is **captured** into the flight
+    /// recorder's forced ring under that id — root `query` span, its
+    /// `admission` child, and the engine's phase children. Untraced queries
+    /// are still captured 1-in-N by the recorder's sampler, and anomalies
+    /// (errors, slow-floor breaches, demotions, guard failures) force the
+    /// capture into the anomaly ring. All of it stays out-of-band: the
+    /// response bytes never depend on `trace_id` or the recorder.
+    pub fn run(&self, admission: &Admission, req: &Request, trace_id: Option<&str>) -> Response {
         let telemetry = self.engine.telemetry().clone();
-        let started = telemetry.is_enabled().then(Instant::now);
+        let recorder = telemetry.recorder();
+        let traced = trace_id.is_some();
+        let capture = traced || recorder.sample();
+        let enabled = telemetry.is_enabled();
+        let started = (enabled || capture).then(Instant::now);
         self.queued.fetch_add(1, Ordering::Relaxed);
         let slot = admission.acquire();
         self.queued.fetch_sub(1, Ordering::Relaxed);
         let admission_us = started.map(|t0| t0.elapsed().as_micros() as u64);
         self.active.fetch_add(1, Ordering::Relaxed);
-        let (resp, trace) = self.engine.run_with_trace(req);
+        let ctx = capture.then(|| SpanCtx {
+            trace: trace_id.unwrap_or("").to_string(),
+            parent: recorder.next_seq(),
+        });
+        let (resp, qt) = self.engine.run_traced(req, ctx.as_ref());
         self.active.fetch_sub(1, Ordering::Relaxed);
         drop(slot);
         self.requests.fetch_add(1, Ordering::Relaxed);
-        if resp.result.is_err() {
+        let err = resp.result.is_err();
+        if err {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        if let (Some(t0), Some(admission_us)) = (started, admission_us) {
-            let total_us = t0.elapsed().as_micros() as u64;
+        let (Some(t0), Some(admission_us)) = (started, admission_us) else { return resp };
+        let total_us = t0.elapsed().as_micros() as u64;
+        let mut slow = false;
+        if enabled {
             telemetry.record_phase(&self.name, "admission", admission_us);
             telemetry.record_route(&self.name, &resp.route, total_us);
-            telemetry.record_slow_with(total_us, || SlowQuery {
+            slow = telemetry.record_slow_with(total_us, || SlowQuery {
                 tenant: self.name.clone(),
                 id: resp.id.clone(),
                 route: resp.route.clone(),
-                cache: trace.cache.to_string(),
-                epoch: trace.epoch,
+                cache: qt.cache.to_string(),
+                epoch: qt.epoch,
                 total_us,
                 admission_us,
-                plan_us: trace.plan_us,
-                artifact_us: trace.artifact_us,
-                cache_us: trace.cache_us,
-                solve_us: trace.solve_us,
+                plan_us: qt.plan_us,
+                artifact_us: qt.artifact_us,
+                cache_us: qt.cache_us,
+                solve_us: qt.solve_us,
+                trace: trace_id.map(str::to_string),
             });
+        }
+        if let Some(ctx) = ctx {
+            let end_us = recorder.now_us();
+            let anomaly = if err {
+                "error"
+            } else if slow {
+                "slow"
+            } else if qt.guard_failed {
+                "guard_failed"
+            } else if qt.demoted {
+                "demoted"
+            } else {
+                ""
+            };
+            let forced = traced || !anomaly.is_empty();
+            let start_us = end_us.saturating_sub(total_us);
+            let base = SpanEvent {
+                trace: ctx.trace.clone(),
+                tenant: self.name.clone(),
+                epoch: qt.epoch,
+                ..SpanEvent::default()
+            };
+            recorder.push(
+                SpanEvent {
+                    seq: recorder.next_seq(),
+                    parent: ctx.parent,
+                    name: "admission",
+                    start_us,
+                    dur_us: admission_us,
+                    ..base.clone()
+                },
+                forced,
+            );
+            recorder.push(
+                SpanEvent {
+                    seq: ctx.parent,
+                    parent: 0,
+                    name: "query",
+                    detail: format!("route={}", resp.route),
+                    start_us,
+                    dur_us: total_us,
+                    anomaly,
+                    ..base
+                },
+                forced,
+            );
         }
         resp
     }
@@ -242,7 +309,7 @@ mod tests {
             "0",
         )
         .unwrap();
-        let resp = r.get("toy").unwrap().run(&adm, &req);
+        let resp = r.get("toy").unwrap().run(&adm, &req, None);
         assert!(resp.result.is_ok());
         let s = r.get("toy").unwrap().stats();
         assert_eq!((s.requests, s.errors, s.queued, s.active), (1, 0, 0, 0));

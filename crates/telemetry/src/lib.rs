@@ -19,15 +19,25 @@
 //! * [`exposition`] — Prometheus text rendering, a total parser, and the
 //!   bucket-wise merge the cluster router uses to aggregate backend
 //!   expositions into one scrape surface.
+//! * [`recorder`] — the always-on flight recorder: a bounded ring of
+//!   structured [`span`] events (reservoir-sampled traffic plus forced
+//!   anomaly capture) that the `trace` / `dump` control verbs reconstruct
+//!   into span trees and [`chrome`] trace-event dumps.
 //!
 //! Everything is std-only and shared behind `Arc`s; the server and router
-//! surface the state through `metrics` / `slow` control verbs, and benches
-//! snapshot it directly.
+//! surface the state through `metrics` / `slow` / `trace` / `dump` control
+//! verbs, and benches snapshot it directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chrome;
 pub mod exposition;
+pub mod recorder;
+pub mod span;
+
+pub use recorder::Recorder;
+pub use span::{SpanCtx, SpanEvent};
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -239,6 +249,12 @@ pub struct QueryTrace {
     pub cache_us: u64,
     /// Solver time, µs.
     pub solve_us: u64,
+    /// Did the effort budget demote the plan to the greedy heuristic?
+    /// Always filled (it is a plan property, not a timing).
+    pub demoted: bool,
+    /// Did a cache hit fail guard revalidation (forcing a recompute)?
+    /// Always filled.
+    pub guard_failed: bool,
 }
 
 /// One entry of the slow-query ring: where a slow query's time went.
@@ -271,6 +287,10 @@ pub struct SlowQuery {
     pub cache_us: u64,
     /// Solver time, µs.
     pub solve_us: u64,
+    /// Flight-recorder trace id, if the query was traced or sampled —
+    /// the `slow` → `trace <id>` drill-down link. `None` when the query
+    /// went uncaptured.
+    pub trace: Option<String>,
 }
 
 type LabeledHists = RwLock<BTreeMap<String, BTreeMap<String, Arc<Histogram>>>>;
@@ -299,6 +319,11 @@ pub struct Telemetry {
     /// current minimum `total_us` — lets the hot path skip the lock (and
     /// the entry's string allocations) for queries that cannot get in.
     slow_floor: AtomicU64,
+    /// The always-on flight recorder. Deliberately *not* gated on
+    /// `enabled`: anomaly forensics must work on a default-configured
+    /// process, and the recorder's unelected-path cost is one thread-local
+    /// counter bump.
+    recorder: Recorder,
 }
 
 fn labeled(map: &LabeledHists, a: &str, b: &str) -> Arc<Histogram> {
@@ -323,6 +348,11 @@ impl Telemetry {
     /// Whether recording is on.
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The process's flight recorder (always on; see [`Recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The end-to-end histogram for `(tenant, route)`, creating it if
@@ -383,19 +413,20 @@ impl Telemetry {
 
     /// Offers a query to the worst-N ring: admitted while the ring has
     /// room, else only if slower than the current fastest entry (which it
-    /// replaces). No-op when disabled.
-    pub fn record_slow(&self, q: SlowQuery) {
+    /// replaces). No-op when disabled. Returns whether the entry was
+    /// admitted (the server uses this as its slow-anomaly signal).
+    pub fn record_slow(&self, q: SlowQuery) -> bool {
         let total_us = q.total_us;
-        self.record_slow_with(total_us, || q);
+        self.record_slow_with(total_us, || q)
     }
 
     /// [`record_slow`](Telemetry::record_slow), building the entry lazily:
     /// a query that cannot beat the ring's current floor costs one relaxed
     /// load — no lock, no string allocation. The serving hot path uses
     /// this form.
-    pub fn record_slow_with(&self, total_us: u64, make: impl FnOnce() -> SlowQuery) {
+    pub fn record_slow_with(&self, total_us: u64, make: impl FnOnce() -> SlowQuery) -> bool {
         if !self.is_enabled() || total_us <= self.slow_floor.load(Ordering::Relaxed) {
-            return;
+            return false;
         }
         let mut ring = self.slow.lock().unwrap();
         if ring.len() < SLOW_RING_CAP {
@@ -407,10 +438,10 @@ impl Telemetry {
                 .min_by_key(|(_, e)| e.total_us)
                 .map(|(i, e)| (i, e.total_us))
             else {
-                return;
+                return false;
             };
             if total_us <= min {
-                return;
+                return false;
             }
             ring[idx] = make();
         }
@@ -420,6 +451,7 @@ impl Telemetry {
             ring.iter().map(|e| e.total_us).min().unwrap_or(0)
         };
         self.slow_floor.store(floor, Ordering::Relaxed);
+        true
     }
 
     /// Drains the slow-query ring, slowest first (ties broken by tenant
@@ -528,6 +560,36 @@ mod tests {
         // p99 → 6th obs: max clamps the bucket upper bound to 50_000.
         assert_eq!(s.p99(), 50_000);
         assert_eq!(HistogramSnapshot::default().p50(), 0);
+    }
+
+    /// Percentile edge cases pinned: an empty histogram derives 0 for
+    /// every quantile (not the first bucket's upper bound), a one-sample
+    /// histogram derives that sample's clamped bound everywhere, and a
+    /// histogram holding only the maximum representable value clamps to
+    /// the exact recorded max rather than `+Inf`.
+    #[test]
+    fn quantiles_pin_empty_single_and_max_only_cases() {
+        let empty = HistogramSnapshot::default();
+        for q in [0.01, 0.50, 0.90, 0.99, 1.0] {
+            assert_eq!(empty.quantile_us(q), 0, "empty histogram quantile {q}");
+        }
+
+        let one = Histogram::new();
+        one.record(7);
+        let s = one.snapshot();
+        // 7 lives in bucket [4,7] (upper 7); max clamps to exactly 7.
+        for q in [0.01, 0.50, 0.99] {
+            assert_eq!(s.quantile_us(q), 7, "single-sample quantile {q}");
+        }
+
+        let max_only = Histogram::new();
+        max_only.record(u64::MAX);
+        let s = max_only.snapshot();
+        assert_eq!(s.count, 1);
+        // The last bucket's upper bound is u64::MAX; the exact-max clamp
+        // keeps the quantile at the recorded value.
+        assert_eq!(s.p50(), u64::MAX);
+        assert_eq!(s.p99(), u64::MAX);
     }
 
     #[test]

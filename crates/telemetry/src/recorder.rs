@@ -1,0 +1,234 @@
+//! The flight recorder: an always-on, bounded, lock-cheap ring of
+//! [`SpanEvent`]s per process.
+//!
+//! Two rings, two retention policies:
+//!
+//! * **forced** — anomalies (slow-floor breach, error responses, budget
+//!   demotions, guard-revalidation failures, failovers) and explicitly
+//!   traced queries. FIFO-evicted at a fixed cap: the most recent ~2k
+//!   forensic events are always retrievable by `trace <id>` / `dump`.
+//! * **sampled** — a uniform reservoir (Algorithm R) over the 1-in-N
+//!   queries the sampler elects, so the dump shows *representative*
+//!   traffic next to the anomalies, not just whatever happened last.
+//!
+//! Cost discipline: the recorder is **always on** (no enable flag), so the
+//! unsampled hot path must pay almost nothing — one thread-local counter
+//! bump per query ([`Recorder::sample`]), no clock read, no lock. Only
+//! elected queries read the clock (once, at completion) and take a mutex
+//! to push; at 1-in-[`SAMPLE_INTERVAL`] the amortized cost sits far inside
+//! the telemetry budget the `telemetry_overhead` bench enforces.
+
+use crate::span::SpanEvent;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Capacity of the forced (anomaly + traced) ring; FIFO eviction.
+pub const FORCED_CAP: usize = 2048;
+
+/// Capacity of the sampled reservoir.
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// The sampler elects one query in this many per thread (the first always
+/// fires, so short-lived test and bench runs still capture).
+pub const SAMPLE_INTERVAL: u32 = 64;
+
+/// Uniform reservoir over sampled span events (Vitter's Algorithm R).
+/// Randomness is a private xorshift — recorder contents are out-of-band
+/// diagnostics, never response bytes, so being pseudo-random (and seeded
+/// const, hence deterministic per process) is a feature.
+#[derive(Debug)]
+struct Reservoir {
+    events: Vec<SpanEvent>,
+    seen: u64,
+    rng: u64,
+}
+
+impl Reservoir {
+    fn offer(&mut self, ev: SpanEvent) {
+        self.seen += 1;
+        if self.events.len() < RESERVOIR_CAP {
+            self.events.push(ev);
+            return;
+        }
+        // xorshift64: fine for reservoir slot choice, never user-visible.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let slot = self.rng % self.seen;
+        if (slot as usize) < RESERVOIR_CAP {
+            self.events[slot as usize] = ev;
+        }
+    }
+}
+
+/// The per-process flight recorder (see module docs). Held inside
+/// [`Telemetry`](crate::Telemetry), one per process.
+#[derive(Debug)]
+pub struct Recorder {
+    t0: Instant,
+    seq: AtomicU64,
+    forced: Mutex<VecDeque<SpanEvent>>,
+    sampled: Mutex<Reservoir>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder; its clock starts now.
+    pub fn new() -> Recorder {
+        Recorder {
+            t0: Instant::now(),
+            seq: AtomicU64::new(1),
+            forced: Mutex::new(VecDeque::new()),
+            sampled: Mutex::new(Reservoir {
+                events: Vec::new(),
+                seen: 0,
+                rng: 0x9E37_79B9_7F4A_7C15,
+            }),
+        }
+    }
+
+    /// Microseconds since the recorder started (the span timebase).
+    pub fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    /// The next process-unique span sequence number (never 0).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Should this (untraced, unremarkable) query be captured? One
+    /// thread-local counter bump — the entire per-query cost of the
+    /// recorder on the unelected hot path. The first call on each thread
+    /// fires, so short runs capture something.
+    pub fn sample(&self) -> bool {
+        thread_local! {
+            static TICK: Cell<u32> = const { Cell::new(0) };
+        }
+        TICK.with(|t| {
+            let v = t.get();
+            t.set(v.wrapping_add(1));
+            v % SAMPLE_INTERVAL == 0
+        })
+    }
+
+    /// Records one span event. `forced` routes it to the FIFO anomaly ring
+    /// (traced queries and anomalies — must survive until an operator asks),
+    /// otherwise to the sampled reservoir.
+    pub fn push(&self, ev: SpanEvent, forced: bool) {
+        if forced {
+            let mut ring = self.forced.lock().unwrap();
+            if ring.len() >= FORCED_CAP {
+                ring.pop_front();
+            }
+            ring.push_back(ev);
+        } else {
+            self.sampled.lock().unwrap().offer(ev);
+        }
+    }
+
+    /// Every retained span of one trace, over both rings, ordered by
+    /// `(start_us, seq)` so parents precede their children.
+    pub fn spans_for(&self, trace: &str) -> Vec<SpanEvent> {
+        let mut out: Vec<SpanEvent> = Vec::new();
+        out.extend(self.forced.lock().unwrap().iter().filter(|e| e.trace == trace).cloned());
+        out.extend(
+            self.sampled.lock().unwrap().events.iter().filter(|e| e.trace == trace).cloned(),
+        );
+        out.sort_by_key(|e| (e.start_us, e.seq));
+        out
+    }
+
+    /// Every retained span (forced first is *not* guaranteed — ordered by
+    /// `(start_us, seq)` like [`spans_for`](Recorder::spans_for)).
+    pub fn all(&self) -> Vec<SpanEvent> {
+        let mut out: Vec<SpanEvent> = self.forced.lock().unwrap().iter().cloned().collect();
+        out.extend(self.sampled.lock().unwrap().events.iter().cloned());
+        out.sort_by_key(|e| (e.start_us, e.seq));
+        out
+    }
+
+    /// Retained event count across both rings.
+    pub fn len(&self) -> usize {
+        self.forced.lock().unwrap().len() + self.sampled.lock().unwrap().events.len()
+    }
+
+    /// Is the recorder empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(trace: &str, seq: u64, start_us: u64) -> SpanEvent {
+        SpanEvent { trace: trace.into(), seq, start_us, name: "query", ..SpanEvent::default() }
+    }
+
+    #[test]
+    fn forced_ring_is_fifo_bounded() {
+        let r = Recorder::new();
+        for i in 0..(FORCED_CAP as u64 + 10) {
+            r.push(ev("t", i + 1, i), true);
+        }
+        assert_eq!(r.len(), FORCED_CAP);
+        let spans = r.spans_for("t");
+        // The 10 oldest were evicted.
+        assert_eq!(spans.first().unwrap().seq, 11);
+        assert_eq!(spans.last().unwrap().seq, FORCED_CAP as u64 + 10);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_keeps_a_sample() {
+        let r = Recorder::new();
+        for i in 0..(RESERVOIR_CAP as u64 * 3) {
+            r.push(ev("", i + 1, i), false);
+        }
+        assert_eq!(r.len(), RESERVOIR_CAP);
+        assert!(!r.all().is_empty());
+    }
+
+    #[test]
+    fn spans_for_filters_and_orders() {
+        let r = Recorder::new();
+        r.push(ev("b", 3, 50), true);
+        r.push(ev("a", 1, 10), true);
+        r.push(ev("a", 2, 5), false);
+        let spans = r.spans_for("a");
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].seq, spans[1].seq), (2, 1), "ordered by start_us");
+        assert!(r.spans_for("missing").is_empty());
+    }
+
+    #[test]
+    fn sampler_fires_first_then_one_in_n() {
+        let r = Recorder::new();
+        // Run on a fresh thread so this test owns the thread-local tick.
+        let fired: Vec<bool> = std::thread::spawn(move || {
+            (0..(SAMPLE_INTERVAL * 2 + 1)).map(|_| r.sample()).collect()
+        })
+        .join()
+        .unwrap();
+        assert!(fired[0], "first call fires");
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 3);
+        assert!(fired[SAMPLE_INTERVAL as usize]);
+    }
+
+    #[test]
+    fn seq_is_unique_and_nonzero() {
+        let r = Recorder::new();
+        let a = r.next_seq();
+        let b = r.next_seq();
+        assert!(a != 0 && b != 0 && a != b);
+    }
+}

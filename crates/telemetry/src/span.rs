@@ -1,0 +1,53 @@
+//! Structured span events: the flight recorder's unit of capture.
+//!
+//! A span is one timed step of one query (or one control-plane event):
+//! admission wait, plan decision, artifact build, cache probe, solve,
+//! router dispatch, failover, epoch apply. Spans form trees through
+//! `(seq, parent)` links — `parent == 0` marks a root — and carry an
+//! optional trace id so cross-process reconstruction can stitch a router's
+//! dispatch span to the backend's query tree.
+//!
+//! Nothing here ever reaches response bytes: spans live in the
+//! [`Recorder`](crate::recorder::Recorder) rings and leave the process only
+//! through the out-of-band `trace` / `dump` verbs.
+
+/// One recorded span event. Field conventions keep the hot path
+/// allocation-light: `name` and `anomaly` are static strings, and the
+/// empty string stands for "untraced" / "no anomaly".
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanEvent {
+    /// Trace id this span belongs to (`""` = captured by sampling only).
+    pub trace: String,
+    /// Process-unique span sequence number (never 0).
+    pub seq: u64,
+    /// `seq` of the parent span; 0 for roots.
+    pub parent: u64,
+    /// Phase name: `query`, `admission`, `plan`, `artifact`, `cache`,
+    /// `solve`, `dispatch`, `failover`, `apply`, ...
+    pub name: &'static str,
+    /// Free-form detail (route tag, cache outcome, `backend=N`, ...).
+    pub detail: String,
+    /// Tenant the span ran against (`""` for process-wide events).
+    pub tenant: String,
+    /// Dataset epoch observed, when meaningful.
+    pub epoch: u64,
+    /// Start, µs since the recorder's start instant.
+    pub start_us: u64,
+    /// Duration, µs (0 for instantaneous marker events).
+    pub dur_us: u64,
+    /// Why this span was force-captured (`""` = not an anomaly):
+    /// `slow`, `error`, `demoted`, `guard_failed`, `failover`, ...
+    pub anomaly: &'static str,
+}
+
+/// Capture context for one query, decided **before** execution: its
+/// existence means "this query's phases are recorded". Created by the
+/// serving layer (traced request, or the sampler fired) and threaded down
+/// into the engine so phase spans parent correctly.
+#[derive(Clone, Debug)]
+pub struct SpanCtx {
+    /// Trace id (`""` when the sampler, not a client, elected the query).
+    pub trace: String,
+    /// `seq` of the root span the phases hang under.
+    pub parent: u64,
+}

@@ -46,6 +46,11 @@
 //!   --metrics         one-shot: print the server's Prometheus text
 //!                     exposition (the `metrics` verb) and exit
 //!   --stats-json      one-shot: print the `stats` verb's JSON line and exit
+//!   --trace <id>      one-shot: print the reconstructed span tree of one
+//!                     traced query (the `trace` verb; through a router,
+//!                     backend trees are stitched under dispatch spans)
+//!   --trace-dump      one-shot: print the flight recorder as Chrome
+//!                     trace-event JSON (load in chrome://tracing/Perfetto)
 //!
 //! router options:
 //!   --addr <a>        bind address (default 127.0.0.1:7979; port 0 = ephemeral)
@@ -107,7 +112,7 @@ fn main() {
         println!("       xknn serve [--addr host:port] [--data name=<file> ...]");
         println!("            [--workers <n>] [--inflight <n>] [--budget <c>] [--cache <n>]");
         println!("       xknn client --addr host:port [--requests <jsonl>|-]");
-        println!("            [--metrics | --stats-json]   (one-shot observability scrape)");
+        println!("            [--metrics | --stats-json | --trace <id> | --trace-dump]");
         println!("       xknn router [--addr host:port] [--backend host:port ...] [--spawn <n>]");
         println!("            [--replicas <r>] [--data name=<file> ...] [--probe-ms <m>]");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
@@ -204,16 +209,22 @@ fn serve() {
 }
 
 /// `xknn client`: pipeline a JSON-lines stream to a server, print the
-/// responses in request order. With `--metrics` or `--stats-json`, a
-/// one-shot mode instead: connect, issue the verb, print the payload, exit
-/// — the scrape-friendly path (`xknn client --addr a:p --metrics | ...`).
+/// responses in request order. With `--metrics`, `--stats-json`,
+/// `--trace <id>` or `--trace-dump`, a one-shot mode instead: connect,
+/// issue the verb, print the payload, exit — the scrape-friendly path
+/// (`xknn client --addr a:p --metrics | ...`, `--trace-dump > t.json`).
 fn client() {
+    use knn_engine::json::Value;
     let addr = arg("--addr").unwrap_or_else(|| fail("--addr host:port is required"));
     let argv: Vec<String> = std::env::args().collect();
     let one_shot = if argv.iter().any(|a| a == "--metrics") {
         Some("metrics")
     } else if argv.iter().any(|a| a == "--stats-json") {
         Some("stats")
+    } else if argv.iter().any(|a| a == "--trace") {
+        Some("trace")
+    } else if argv.iter().any(|a| a == "--trace-dump") {
+        Some("dump")
     } else {
         None
     };
@@ -221,20 +232,33 @@ fn client() {
         let mut client =
             knn_server::Client::connect_retry(&addr, 5, std::time::Duration::from_millis(20))
                 .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
-        let line = format!(r#"{{"id":"cli","verb":"{verb}"}}"#);
+        let line = if verb == "trace" {
+            let tid = arg("--trace").unwrap_or_else(|| fail("--trace wants a trace id"));
+            Value::Object(vec![
+                ("id".into(), Value::String("cli".into())),
+                ("verb".into(), Value::String("trace".into())),
+                ("trace".into(), Value::String(tid)),
+            ])
+            .to_json()
+        } else {
+            format!(r#"{{"id":"cli","verb":"{verb}"}}"#)
+        };
         let resp = client.roundtrip(&line).unwrap_or_else(|e| fail(&format!("{verb} failed: {e}")));
-        if verb == "stats" {
-            // The stats response is already one JSON object; print verbatim.
+        if verb == "stats" || verb == "trace" {
+            // Already one JSON object (stats / span tree); print verbatim.
             println!("{resp}");
             return;
         }
-        // Unwrap the exposition text out of the response envelope so the
-        // output is directly scrapeable Prometheus text.
+        // Unwrap the payload out of the response envelope so the output is
+        // directly consumable: Prometheus text for `--metrics`, a Chrome
+        // trace-event array for `--trace-dump`.
         let parsed = knn_engine::json::parse_bytes(resp.as_bytes())
-            .unwrap_or_else(|e| fail(&format!("unparseable metrics response: {e}")));
-        match parsed.get("metrics") {
-            Some(knn_engine::json::Value::String(text)) => print!("{text}"),
-            _ => fail(&format!("metrics verb answered without a metrics member: {resp}")),
+            .unwrap_or_else(|e| fail(&format!("unparseable {verb} response: {e}")));
+        let member = if verb == "dump" { "chrome" } else { "metrics" };
+        match parsed.get(member) {
+            Some(Value::String(text)) if verb == "dump" => println!("{text}"),
+            Some(Value::String(text)) => print!("{text}"),
+            _ => fail(&format!("{verb} verb answered without a {member} member: {resp}")),
         }
         return;
     }

@@ -33,7 +33,12 @@ fn spawn_backend() -> (Child, std::net::SocketAddr) {
 }
 
 /// A query stream long enough that the kill lands while queries are in
-/// flight on both replicas.
+/// flight on both replicas. Every tenth line carries a client trace id —
+/// tracing is strictly out-of-band, so the oracle comparison below pins
+/// that the propagated (and router-stripped) id never changes a response
+/// byte. Untraced lines are fair game for router-minted trace splices
+/// (the sampler fires on the first query per connection), covered by the
+/// same byte comparison.
 fn request_lines() -> Vec<String> {
     let mut lines = Vec::new();
     for i in 0..160u32 {
@@ -44,8 +49,9 @@ fn request_lines() -> Vec<String> {
             _ => "classify",
         };
         let k = if i % 3 == 0 { 3 } else { 1 };
+        let trace = if i % 10 == 0 { format!(r#""trace":"t-{i}","#) } else { String::new() };
         lines.push(format!(
-            r#"{{"dataset":"hot","id":"q{i}","cmd":"{cmd}","metric":"hamming","k":{k},"point":[{}]}}"#,
+            r#"{{{trace}"dataset":"hot","id":"q{i}","cmd":"{cmd}","metric":"hamming","k":{k},"point":[{}]}}"#,
             bits.join(",")
         ));
     }
@@ -81,18 +87,20 @@ fn killing_one_of_two_replicas_mid_stream_keeps_bytes_identical_to_the_oracle() 
             .collect()
     };
 
-    // Pipeline the whole batch, then read responses one at a time so the
-    // kill demonstrably lands mid-stream.
+    // Pipeline the whole batch, then kill the victim *before* reading a
+    // single response: the batch is still in flight, so the victim dies
+    // holding queued queries the router must drain and retry on the
+    // survivor. (Killing after N reads is a race — pipelined queries all
+    // complete around the same time, so by the Nth read the whole batch
+    // may already be done and the kill would land on an idle backend.)
     let mut client = Client::connect(handle.addr()).unwrap();
     for l in &lines {
         client.send(l).unwrap();
     }
+    victim.kill().expect("kill victim backend");
+    victim.wait().expect("reap victim backend");
     let mut got = Vec::with_capacity(lines.len());
     for i in 0..lines.len() {
-        if i == 20 {
-            victim.kill().expect("kill victim backend");
-            victim.wait().expect("reap victim backend");
-        }
         let resp = client
             .recv()
             .unwrap()
@@ -118,7 +126,91 @@ fn killing_one_of_two_replicas_mid_stream_keeps_bytes_identical_to_the_oracle() 
     assert!(stats.contains(r#""healthy":false"#), "victim not marked down: {stats}");
     assert!(stats.contains(r#""healthy":true"#), "survivor wrongly marked down: {stats}");
 
+    // Forensics after the storm: traced queries left reconstructable
+    // dispatch spans even though one backend (and its half of the span
+    // trees) is gone, and the recorder exports through the router. (Whether
+    // the kill caught queries *pending* on the victim is a scheduling race;
+    // the forced failover-span guarantee is pinned deterministically by
+    // `dead_channel_with_pending_query_forces_failover_spans` below.)
+    let tree = client.roundtrip(r#"{"id":"tr","verb":"trace","trace":"t-0"}"#).unwrap();
+    assert!(tree.contains(r#""spans":["#), "trace verb returned no span list: {tree}");
+    assert!(tree.contains(r#""name":"dispatch""#), "traced query left no dispatch span: {tree}");
+    let dump = client.roundtrip(r#"{"id":"du","verb":"dump"}"#).unwrap();
+    assert!(dump.contains(r#""chrome":"["#), "dump through the router is empty: {dump}");
+
     handle.shutdown();
     let _ = survivor.kill();
     let _ = survivor.wait();
+}
+
+/// A backend that accepts a query and then dies *while holding it* — built
+/// from a scripted listener, so (unlike a process kill) the pending-at-death
+/// window is deterministic. The router must redispatch the drained query to
+/// the survivor with identical bytes AND force a `failover` span into its
+/// flight recorder — anomaly capture is not sampling-dependent.
+#[test]
+fn dead_channel_with_pending_query_forces_failover_spans() {
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    // Protocol-shaped impostor: acks control verbs (so load/probes accept
+    // it), then hangs up on the first query line without answering it.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut out = stream;
+                let mut line = Vec::new();
+                loop {
+                    line.clear();
+                    match reader.read_until(b'\n', &mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    if line.windows(6).any(|w| w == b"\"verb\"") {
+                        if out.write_all(b"{\"id\":\"x\",\"ok\":true}\n").is_err() {
+                            return;
+                        }
+                    } else {
+                        return; // query received: die holding it
+                    }
+                }
+            });
+        }
+    });
+
+    let (mut real, real_addr) = spawn_backend();
+    let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
+    router.attach(fake_addr);
+    router.attach(real_addr);
+    router.load("hot", LoadSource::Text(BOOL), None).unwrap();
+    let handle = router.spawn();
+
+    // Two queries, round-robined over the two replicas: exactly one lands
+    // on the impostor and gets drained at its EOF.
+    let lines = [
+        r#"{"dataset":"hot","id":"a","cmd":"classify","metric":"hamming","k":3,"point":[1,1,1,0,0]}"#,
+        r#"{"dataset":"hot","id":"b","cmd":"minimal-sr","metric":"hamming","k":1,"point":[0,0,1,1,1]}"#,
+    ];
+    let engine =
+        ExplanationEngine::new(textfmt::parse_dataset(BOOL).unwrap(), EngineConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for l in &lines {
+        let want = engine.run(&Request::from_json_line(l, "oracle").unwrap()).to_json_line();
+        let got = client.roundtrip(l).unwrap();
+        assert_eq!(want, got, "failover changed response bytes");
+    }
+
+    let dump = client.roundtrip(r#"{"id":"du","verb":"dump"}"#).unwrap();
+    assert!(
+        dump.contains(r#"\"name\":\"failover\""#),
+        "forced failover span missing from dump: {dump}"
+    );
+
+    handle.shutdown();
+    let _ = real.kill();
+    let _ = real.wait();
 }
