@@ -76,6 +76,13 @@ fn main() {
     // slow-ring candidate.
     let telemetry = Telemetry::new();
     telemetry.set_enabled(true);
+    // The enabled side also carries an SLO objective so the whole accounting
+    // plane is armed; burn-rate windows are only evaluated at scrape time, so
+    // the warm path must not feel it.
+    telemetry
+        .slo()
+        .set("bench", knn_telemetry::SloObjective::default())
+        .expect("default objective is valid");
     let hot_engine = ExplanationEngine::with_telemetry(data(), config, telemetry.clone(), "bench");
 
     // Interleave idle/enabled trials so drift hits both sides equally.

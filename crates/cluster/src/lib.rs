@@ -60,7 +60,7 @@ pub use pool::{Backend, BackendPool, BackendSnapshot};
 
 use knn_engine::json::{parse_bytes, Value};
 use knn_server::proto::{self, Command};
-use knn_telemetry::{exposition, Telemetry};
+use knn_telemetry::{exposition, SloObjective, Telemetry};
 use scatter::{Dispatcher, PendingQuery};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader};
@@ -901,6 +901,8 @@ fn run_cluster_control(
         }
         Command::Stats => (cluster_stats_line(shared, id), false),
         Command::Metrics => (cluster_metrics_line(shared, id), false),
+        Command::Top => (cluster_top_line(shared, id), false),
+        Command::Slo { name, objective } => (cluster_slo_line(shared, id, &name, objective), false),
         Command::Slow => (cluster_slow_line(shared, id), false),
         Command::Trace { trace } => (cluster_trace_line(shared, id, &trace), false),
         Command::Dump => (cluster_dump_line(shared, id), false),
@@ -975,9 +977,201 @@ fn cluster_metrics_line(shared: &Arc<RouterShared>, id: &str) -> String {
     }
     let mut text = exposition::merge(&texts);
     text.push_str(&shared.telemetry.render());
-    text.push_str("# TYPE knn_router_backends_scraped gauge\n");
-    text.push_str(&format!("knn_router_backends_scraped {}\n", texts.len()));
+    exposition::push_header(
+        &mut text,
+        "knn_router_backends_scraped",
+        "gauge",
+        "Backend expositions this merge covers.",
+    );
+    exposition::push_sample(&mut text, "knn_router_backends_scraped", texts.len() as u64);
     proto::ok_line(id, vec![("metrics".into(), Value::String(text))])
+}
+
+/// The cluster `top` verb: one `top` roundtrip per live backend, rows
+/// merged per tenant — bytes / requests / QPS **sum** (each backend holds
+/// its own replica of the data and serves its own share of the traffic),
+/// burn rates **max-merge** (the worst replica defines the tenant's SLO
+/// health; averaging would let a healthy replica mask a burning one), and
+/// violation counts sum. Rows come back ranked by merged bytes descending,
+/// then tenant name.
+fn cluster_top_line(shared: &Arc<RouterShared>, id: &str) -> String {
+    let num64 = |n: u64| Value::Number(n as f64);
+    #[derive(Default)]
+    struct Row {
+        bytes: BTreeMap<String, u64>,
+        bytes_total: u64,
+        requests: u64,
+        qps: f64,
+        slo_burn: f64,
+        slo_violations: u64,
+    }
+    let mut merged: BTreeMap<String, Row> = BTreeMap::new();
+    let mut scraped = 0usize;
+    for backend in shared.pool.backends() {
+        if !backend.is_healthy() {
+            continue;
+        }
+        let rows = backend
+            .control_roundtrip(r#"{"id":"agg","verb":"top"}"#)
+            .ok()
+            .and_then(|resp| parse_bytes(resp.as_bytes()).ok())
+            .and_then(|v| match v.get("top") {
+                Some(Value::Array(rows)) => Some(rows.clone()),
+                _ => None,
+            });
+        let Some(rows) = rows else {
+            shared.telemetry.add("knn_router_scrape_failures_total", 1);
+            continue;
+        };
+        scraped += 1;
+        for row in &rows {
+            let Some(tenant) = row.get("tenant").and_then(Value::as_str) else { continue };
+            let slot = merged.entry(tenant.to_string()).or_default();
+            slot.bytes_total += row.get("bytes_total").and_then(Value::as_u64).unwrap_or(0);
+            slot.requests += row.get("requests").and_then(Value::as_u64).unwrap_or(0);
+            slot.qps += row.get("qps").and_then(Value::as_f64).unwrap_or(0.0);
+            slot.slo_burn =
+                slot.slo_burn.max(row.get("slo_burn").and_then(Value::as_f64).unwrap_or(0.0));
+            slot.slo_violations += row.get("slo_violations").and_then(Value::as_u64).unwrap_or(0);
+            if let Some(Value::Object(components)) = row.get("bytes") {
+                for (component, v) in components {
+                    *slot.bytes.entry(component.clone()).or_default() += v.as_u64().unwrap_or(0);
+                }
+            }
+        }
+    }
+    let mut rows: Vec<(u64, String, Row)> =
+        merged.into_iter().map(|(name, row)| (row.bytes_total, name, row)).collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    let rows: Vec<Value> = rows
+        .into_iter()
+        .map(|(_, tenant, row)| {
+            Value::Object(vec![
+                ("tenant".into(), Value::String(tenant)),
+                ("bytes_total".into(), num64(row.bytes_total)),
+                (
+                    "bytes".into(),
+                    Value::Object(row.bytes.into_iter().map(|(k, v)| (k, num64(v))).collect()),
+                ),
+                ("requests".into(), num64(row.requests)),
+                ("qps".into(), Value::Number((row.qps * 100.0).round() / 100.0)),
+                ("slo_burn".into(), Value::Number(row.slo_burn)),
+                ("slo_violations".into(), num64(row.slo_violations)),
+            ])
+        })
+        .collect();
+    proto::ok_line(
+        id,
+        vec![
+            ("top".into(), Value::Array(rows)),
+            ("backends_scraped".into(), Value::Number(scraped as f64)),
+        ],
+    )
+}
+
+/// The cluster `slo` verb. **Set** fans the objective to every live
+/// backend (setting it on a backend that doesn't host the tenant is
+/// harmless — no traffic, no windows) and reports how many acknowledged.
+/// **Get** scrapes each backend's status and merges: good/total/violations
+/// sum, burn rates and the attained quantile max-merge — the same
+/// worst-replica-wins rule as `top`.
+fn cluster_slo_line(
+    shared: &Arc<RouterShared>,
+    id: &str,
+    name: &str,
+    objective: Option<SloObjective>,
+) -> String {
+    let num64 = |n: u64| Value::Number(n as f64);
+    match objective {
+        Some(o) => {
+            let line = Value::Object(vec![
+                ("id".into(), Value::String("fanout".into())),
+                ("verb".into(), Value::String("slo".into())),
+                ("name".into(), Value::String(name.to_string())),
+                ("quantile".into(), Value::Number(o.quantile)),
+                ("threshold_us".into(), num64(o.threshold_us)),
+                ("windows".into(), Value::Number(o.windows as f64)),
+            ])
+            .to_json();
+            let mut acked = 0usize;
+            for backend in shared.pool.backends() {
+                if !backend.is_healthy() {
+                    continue;
+                }
+                let ok = backend
+                    .control_roundtrip(&line)
+                    .ok()
+                    .and_then(|resp| parse_bytes(resp.as_bytes()).ok())
+                    .is_some_and(|v| v.get("ok") == Some(&Value::Bool(true)));
+                if ok {
+                    acked += 1;
+                }
+            }
+            if acked == 0 {
+                return proto::error_line(id, "no live backend accepted the slo objective");
+            }
+            proto::ok_line(
+                id,
+                vec![
+                    ("slo".into(), Value::String(name.to_string())),
+                    ("quantile".into(), Value::Number(o.quantile)),
+                    ("threshold_us".into(), num64(o.threshold_us)),
+                    ("windows".into(), Value::Number(o.windows as f64)),
+                    ("replicas".into(), Value::Number(acked as f64)),
+                ],
+            )
+        }
+        None => {
+            let req = Value::Object(vec![
+                ("id".into(), Value::String("agg".into())),
+                ("verb".into(), Value::String("slo".into())),
+                ("name".into(), Value::String(name.to_string())),
+            ])
+            .to_json();
+            let (mut good, mut total, mut violations) = (0u64, 0u64, 0u64);
+            let (mut short_burn, mut long_burn, mut burn) = (0.0f64, 0.0f64, 0.0f64);
+            let mut quantile_us = 0u64;
+            let mut statuses = 0usize;
+            for backend in shared.pool.backends() {
+                if !backend.is_healthy() {
+                    continue;
+                }
+                let Ok(resp) = backend.control_roundtrip(&req) else { continue };
+                let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
+                if v.get("ok") != Some(&Value::Bool(true)) {
+                    continue; // backend has no objective for this tenant
+                }
+                statuses += 1;
+                let f = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+                let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+                good += u("good");
+                total += u("total");
+                violations += u("violations");
+                quantile_us = quantile_us.max(u("quantile_us"));
+                short_burn = short_burn.max(f("short_burn"));
+                long_burn = long_burn.max(f("long_burn"));
+                burn = burn.max(f("burn"));
+            }
+            if statuses == 0 {
+                let msg = format!("no slo objective for `{name}` on any live backend");
+                return proto::error_line(id, &msg);
+            }
+            proto::ok_line(
+                id,
+                vec![
+                    ("slo".into(), Value::String(name.to_string())),
+                    ("replicas".into(), Value::Number(statuses as f64)),
+                    ("good".into(), num64(good)),
+                    ("total".into(), num64(total)),
+                    ("quantile_us".into(), num64(quantile_us)),
+                    ("short_burn".into(), Value::Number(short_burn)),
+                    ("long_burn".into(), Value::Number(long_burn)),
+                    ("burn".into(), Value::Number(burn)),
+                    ("violations".into(), num64(violations)),
+                ],
+            )
+        }
+    }
 }
 
 /// The cluster `trace` verb: the router's local span tree for `trace`
@@ -1262,6 +1456,68 @@ mod tests {
         }
         router.load("toy", LoadSource::Text(BOOL), None).unwrap();
         router.spawn()
+    }
+
+    /// The cluster resource plane: `slo` set fans to both backends, `top`
+    /// scrapes and merges their rows — bytes sum across the replicas, QPS
+    /// sums, burn max-merges — and the merged row reports nonzero bytes
+    /// for the tenant replicated on ≥ 2 backends.
+    #[test]
+    fn top_verb_merges_resource_rows_across_backends() {
+        let (b0, b1) = (backend(), backend());
+        let handle = router_over(&[&b0, &b1]);
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        // Warm both replicas (the scatter round-robins a batch over them).
+        let mut input = String::new();
+        for i in 0..8 {
+            input.push_str(&format!(
+                "{{\"dataset\":\"toy\",\"id\":\"q{i}\",\"cmd\":\"classify\",\"metric\":\"hamming\",\"point\":[{},{},1]}}\n",
+                i % 2,
+                (i / 2) % 2
+            ));
+        }
+        assert_eq!(c.run_stream(&input).unwrap().len(), 8);
+
+        let set = c
+            .roundtrip(r#"{"id":"o","verb":"slo","name":"toy","quantile":0.5,"threshold_us":0}"#)
+            .unwrap();
+        assert!(set.contains(r#""slo":"toy""#) && set.contains(r#""replicas":2"#), "{set}");
+
+        let t = c.roundtrip(r#"{"id":"t","verb":"top"}"#).unwrap();
+        let parsed = parse_bytes(t.as_bytes()).unwrap();
+        assert_eq!(parsed.get("backends_scraped"), Some(&Value::Number(2.0)), "{t}");
+        let Some(Value::Array(rows)) = parsed.get("top") else { panic!("top member: {t}") };
+        assert_eq!(rows.len(), 1, "one merged row for the one tenant: {t}");
+        let row = &rows[0];
+        assert_eq!(row.get("tenant"), Some(&Value::String("toy".into())));
+        let merged_total = row.get("bytes_total").and_then(Value::as_u64).unwrap();
+        assert!(merged_total > 0, "{t}");
+        assert!(row.get("qps").and_then(Value::as_f64).is_some(), "{t}");
+        assert!(
+            row.get("slo_burn").and_then(Value::as_f64).unwrap() > 0.0,
+            "a 0us threshold burns on whichever replica served traffic: {t}"
+        );
+
+        // The merged bytes are the sum over both replicas: ask one backend
+        // directly and check the router's row is at least as large.
+        let mut direct = Client::connect(b0.addr()).unwrap();
+        let one = direct.roundtrip(r#"{"id":"d","verb":"top"}"#).unwrap();
+        let one = parse_bytes(one.as_bytes()).unwrap();
+        let Some(Value::Array(one_rows)) = one.get("top") else { panic!("{one:?}") };
+        let one_total = one_rows[0].get("bytes_total").and_then(Value::as_u64).unwrap();
+        assert!(
+            one_total > 0 && merged_total > one_total,
+            "sum over replicas: {merged_total} vs single-backend {one_total}"
+        );
+
+        // Reading the merged status sums windows and max-merges burn.
+        let status = c.roundtrip(r#"{"id":"g","verb":"slo","name":"toy"}"#).unwrap();
+        assert!(status.contains(r#""replicas":2"#) && status.contains(r#""burn":"#), "{status}");
+
+        handle.shutdown();
+        b0.shutdown();
+        b1.shutdown();
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod counterfactual;
 pub mod multilabel;
 pub mod regions;
 pub mod satenc;
+pub mod tally;
 pub mod thinning;
 
 pub use classifier::{BooleanKnn, ContinuousKnn};

@@ -412,6 +412,10 @@ pub struct RegionMemo<F> {
     // worker shares the per-k memo, so reads must not serialize each other.
     entries: RwLock<HashMap<RegionSpec, MemoEntry<F>>>,
     cap: usize,
+    // Estimated heap bytes of the retained entries, maintained under the
+    // insert write lock (entries are insert-only, so no decrements). Kept as
+    // a running total so the resource gauges never iterate the map.
+    bytes: AtomicU64,
 }
 
 #[derive(Clone, Debug)]
@@ -423,7 +427,7 @@ enum MemoEntry<F> {
 impl<F: Field> RegionMemo<F> {
     /// An empty memo holding at most `cap` regions.
     pub fn new(cap: usize) -> Self {
-        RegionMemo { entries: RwLock::new(HashMap::new()), cap }
+        RegionMemo { entries: RwLock::new(HashMap::new()), cap, bytes: AtomicU64::new(0) }
     }
 
     fn get(&self, spec: &RegionSpec) -> Option<MemoEntry<F>> {
@@ -433,8 +437,27 @@ impl<F: Field> RegionMemo<F> {
     fn insert(&self, spec: RegionSpec, entry: MemoEntry<F>) {
         let mut map = self.entries.write().unwrap();
         if map.len() < self.cap {
-            map.insert(spec, entry);
+            let b = Self::entry_bytes(&spec, &entry);
+            if map.insert(spec, entry).is_none() {
+                self.bytes.fetch_add(b as u64, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Coarse per-entry heap estimate: the spec's index vectors, the map
+    /// entry itself, and — for retained polyhedra — rows of `dim + 1`
+    /// field elements each (inline size of `F`; heap-backed fields like
+    /// `Rat` undercount, which the gauges document as acceptable).
+    fn entry_bytes(spec: &RegionSpec, entry: &MemoEntry<F>) -> usize {
+        let spec_b = (spec.anchors.len() + spec.excluded.len()) * std::mem::size_of::<usize>();
+        let entry_b = match entry {
+            MemoEntry::Pruned => 0,
+            MemoEntry::Poly(p) => {
+                let row = (p.dim() + 1) * std::mem::size_of::<F>() + 24;
+                std::mem::size_of::<Polyhedron<F>>() + (p.ineqs().len() + p.eqs().len()) * row
+            }
+        };
+        spec_b + entry_b + std::mem::size_of::<(RegionSpec, MemoEntry<F>)>() + 16
     }
 
     /// Number of memoized regions (pruned verdicts included).
@@ -445,6 +468,17 @@ impl<F: Field> RegionMemo<F> {
     /// True iff nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The insert bound this memo was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Estimated heap bytes of the retained entries (see
+    /// [`RegionMemo::entry_bytes`] for the estimation rules).
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed) as usize
     }
 }
 
@@ -614,6 +648,7 @@ impl<F: Field> Iterator for RegionStream<'_, F> {
                         if let Some(c) = self.counters {
                             c.yields.fetch_add(1, Ordering::Relaxed);
                         }
+                        crate::tally::bump_region_yields();
                         return Some((p, spec));
                     }
                     None => {}
@@ -653,6 +688,7 @@ impl<F: Field> Iterator for RegionStream<'_, F> {
             if let Some(c) = self.counters {
                 c.yields.fetch_add(1, Ordering::Relaxed);
             }
+            crate::tally::bump_region_yields();
             return Some((poly, spec));
         }
     }
@@ -747,6 +783,24 @@ impl<F: Field> LazyRegions<F> {
     /// included) — observability for warm/cold diagnostics.
     pub fn memoized(&self) -> usize {
         self.positive.len() + self.negative.len()
+    }
+
+    /// Combined insert bound of the two per-region memos (the denominator of
+    /// the memo-fill gauge).
+    pub fn memo_cap(&self) -> usize {
+        self.positive.cap() + self.negative.cap()
+    }
+
+    /// Estimated heap bytes of the two memos alone (the `memo` component
+    /// of the engine's byte gauges, reported separately from the artifact
+    /// total so operators can see memo growth against its cap).
+    pub fn memo_bytes(&self) -> usize {
+        self.positive.approx_bytes() + self.negative.approx_bytes()
+    }
+
+    /// Estimated heap bytes: the owned dataset copy plus both memos.
+    pub fn approx_bytes(&self) -> usize {
+        self.ds.approx_bytes() + self.memo_bytes()
     }
 }
 
@@ -903,6 +957,21 @@ impl<F: Field> RegionCache<F> {
             Label::Negative => &self.negative_pruned,
         };
         order.into_iter().filter(move |&i| !pruned[i]).map(move |i| &entries[i].0)
+    }
+
+    /// Estimated heap bytes of the materialized decomposition (same row
+    /// estimation rules as [`RegionMemo`]).
+    pub fn approx_bytes(&self) -> usize {
+        let entry = |(p, s): &(Polyhedron<F>, RegionSpec)| {
+            let row = (p.dim() + 1) * std::mem::size_of::<F>() + 24;
+            std::mem::size_of::<(Polyhedron<F>, RegionSpec)>()
+                + (p.ineqs().len() + p.eqs().len()) * row
+                + (s.anchors.len() + s.excluded.len()) * std::mem::size_of::<usize>()
+        };
+        self.positive.iter().map(entry).sum::<usize>()
+            + self.negative.iter().map(entry).sum::<usize>()
+            + self.positive_pruned.len()
+            + self.negative_pruned.len()
     }
 }
 

@@ -1,0 +1,25 @@
+//! Thread-local work tally for resource accounting.
+//!
+//! [`crate::regions::RegionStream`] bumps a plain thread-local counter each
+//! time it yields a polyhedron (memoized re-yields included). Serving layers
+//! sample the counter before and after a query's compute phase and attribute
+//! the delta to the query's route — exact, because a single query executes
+//! entirely on one worker thread. Unlike
+//! [`crate::regions::RegionCounters`], which are engine-wide shared atomics,
+//! this counter is a non-atomic `Cell`: the bump costs ~1 ns, touches no
+//! shared state, and cannot perturb the byte-determinism contract.
+
+use std::cell::Cell;
+
+thread_local! {
+    static REGION_YIELDS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotonic count of region polyhedra yielded on this thread.
+pub fn region_yields() -> u64 {
+    REGION_YIELDS.with(|c| c.get())
+}
+
+pub(crate) fn bump_region_yields() {
+    REGION_YIELDS.with(|c| c.set(c.get().wrapping_add(1)));
+}

@@ -148,6 +148,20 @@ impl MutationLog {
         &self.entries
     }
 
+    /// Number of retained (uncompacted) entries.
+    pub fn retained(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate heap bytes of the retained entries (each carries its
+    /// point's coordinates so windows can be replayed).
+    pub fn approx_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|m| std::mem::size_of::<AppliedMutation>() + std::mem::size_of_val(m.point()))
+            .sum()
+    }
+
     /// The mutations that take epoch `from` to epoch `to` (half-open:
     /// entries `from..to`), or `None` when `from` predates the compaction
     /// [`MutationLog::base`] — a partial window would be unsound to replay,

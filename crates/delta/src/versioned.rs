@@ -65,6 +65,13 @@ impl VersionedDataset {
     pub fn to_text(&self) -> String {
         dataset_text(&self.data)
     }
+
+    /// Approximate heap bytes of the live dataset (excluding the log — the
+    /// resource gauges report the two separately, since log growth is
+    /// bounded by compaction policy rather than dataset size).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.approx_bytes()
+    }
 }
 
 /// Renders a dataset in the `+/-`-labeled text format the serving layers'

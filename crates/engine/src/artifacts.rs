@@ -73,6 +73,21 @@ impl StoreMetrics {
     }
 }
 
+/// Byte/occupancy accounting of one [`ArtifactStore`]'s completed cells
+/// (see [`ArtifactStore::resources`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArtifactResources {
+    /// Estimated bytes of completed index/region artifacts (KD-trees,
+    /// Hamming indexes, eager region caches, lazy views' dataset copies).
+    pub artifact_bytes: usize,
+    /// Estimated bytes of the lazy views' bounded region memos.
+    pub memo_bytes: usize,
+    /// Entries held across all region memos (prune verdicts included).
+    pub memo_len: usize,
+    /// Combined insert bound of those memos (the fill gauge denominator).
+    pub memo_cap: usize,
+}
+
 /// An owned copy of [`StoreMetrics`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreMetricsSnapshot {
@@ -193,6 +208,13 @@ impl<K: Eq + Hash + Clone, V> Family<K, V> {
         self.cells.lock().unwrap().values().filter(|c| c.get().is_some()).count()
     }
 
+    /// Folds `weigh` over the *completed* artifacts. In-flight builds
+    /// contribute nothing — their memory is transient and unobservable
+    /// without blocking on the build.
+    fn built_bytes(&self, weigh: impl Fn(&V) -> usize) -> usize {
+        self.cells.lock().unwrap().values().filter_map(|c| c.get()).map(|v| weigh(v)).sum()
+    }
+
     /// A new family holding the *completed* artifacts whose key passes
     /// `keep`, each behind a fresh cell. Copying only finished builds
     /// matters: an in-flight build shares its old cell and must complete
@@ -292,6 +314,25 @@ impl ArtifactStore {
             + self.hamming_class.built_count()
             + self.l2_regions.built_count()
             + self.l2_lazy.built_count()
+    }
+
+    /// Estimated bytes and memo occupancy of the completed artifacts — the
+    /// `artifact` / `memo` components of the engine's resource gauges. One
+    /// pass over the cell maps; never triggers or waits for a build. Byte
+    /// figures are estimates (element payloads + container headers), not
+    /// allocator-exact — see DESIGN.md §7c for the estimation rules.
+    pub fn resources(&self) -> ArtifactResources {
+        let mut r = ArtifactResources::default();
+        r.artifact_bytes += self.kd_class.built_bytes(|t| t.approx_bytes());
+        r.artifact_bytes += self.hamming_class.built_bytes(|h| h.approx_bytes());
+        r.artifact_bytes += self.l2_regions.built_bytes(|c| c.approx_bytes());
+        // Lazy views split: the owned dataset copy counts as artifact, the
+        // bounded memos as the separately-capped memo component.
+        r.artifact_bytes += self.l2_lazy.built_bytes(|l| l.approx_bytes() - l.memo_bytes());
+        r.memo_bytes += self.l2_lazy.built_bytes(|l| l.memo_bytes());
+        r.memo_len += self.l2_lazy.built_bytes(|l| l.memoized());
+        r.memo_cap += self.l2_lazy.built_bytes(|l| l.memo_cap());
+        r
     }
 
     /// The store for the epoch after a mutation of class `mutated`: the

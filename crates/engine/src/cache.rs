@@ -25,6 +25,9 @@ pub struct CacheStats {
     pub entries: usize,
     /// The capacity bound (0 = cache disabled).
     pub capacity: usize,
+    /// Estimated heap bytes of the held entries (sum of the weights passed
+    /// to [`LruCache::insert_weighted`]; plain inserts weigh 0).
+    pub bytes: u64,
 }
 
 /// A least-recently-used map with a fixed capacity.
@@ -35,7 +38,10 @@ pub struct LruCache<K, V> {
     hits: u64,
     misses: u64,
     evictions: u64,
-    map: HashMap<K, (V, u64)>,
+    /// Sum of the held entries' byte weights (maintained on insert /
+    /// replace / evict, so reading it never walks the map).
+    bytes: u64,
+    map: HashMap<K, (V, u64, u64)>,
     recency: BTreeMap<u64, K>,
 }
 
@@ -48,6 +54,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             hits: 0,
             misses: 0,
             evictions: 0,
+            bytes: 0,
             map: HashMap::new(),
             recency: BTreeMap::new(),
         }
@@ -61,6 +68,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             evictions: self.evictions,
             entries: self.map.len(),
             capacity: self.capacity,
+            bytes: self.bytes,
         }
     }
 
@@ -79,7 +87,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let found = self.lookup(key).is_some();
         self.record(found);
         // Re-borrow immutably (lookup already bumped recency).
-        self.map.get(key).map(|(v, _)| v)
+        self.map.get(key).map(|(v, _, _)| v)
     }
 
     /// [`LruCache::get`] without touching the hit/miss counters, returning
@@ -87,7 +95,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// deciding whether it counts as a hit (epoch revalidation) pair this
     /// with an explicit [`LruCache::record`].
     pub fn lookup(&mut self, key: &K) -> Option<&mut V> {
-        let (_, old_tick) = self.map.get(key)?;
+        let (_, old_tick, _) = self.map.get(key)?;
         let old_tick = *old_tick;
         self.tick += 1;
         let tick = self.tick;
@@ -111,19 +119,32 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
     /// when over capacity. No-op when the capacity is 0.
     pub fn insert(&mut self, key: K, value: V) {
+        self.insert_weighted(key, value, 0);
+    }
+
+    /// [`LruCache::insert`] with an estimated byte weight for the entry,
+    /// maintained in [`CacheStats::bytes`] across replacements and
+    /// evictions. The weight is accounting only — eviction is still purely
+    /// count-based, so weighing entries cannot change which keys survive
+    /// (and therefore cannot perturb response bytes).
+    pub fn insert_weighted(&mut self, key: K, value: V, bytes: u64) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
         let tick = self.tick;
-        if let Some((_, old_tick)) = self.map.get(&key) {
+        if let Some((_, old_tick, old_bytes)) = self.map.get(&key) {
+            self.bytes -= *old_bytes;
             self.recency.remove(&{ *old_tick });
         }
         self.recency.insert(tick, key.clone());
-        self.map.insert(key, (value, tick));
+        self.bytes += bytes;
+        self.map.insert(key, (value, tick, bytes));
         while self.map.len() > self.capacity {
             let (_, victim) = self.recency.pop_first().expect("recency tracks every entry");
-            self.map.remove(&victim);
+            if let Some((_, _, b)) = self.map.remove(&victim) {
+                self.bytes -= b;
+            }
             self.evictions += 1;
         }
     }
@@ -168,6 +189,22 @@ mod tests {
         c.insert("c", 3); // evicts b
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 1, 1, 2));
+    }
+
+    #[test]
+    fn byte_weights_track_replacement_and_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert_weighted("a", 1, 100);
+        c.insert_weighted("b", 2, 10);
+        assert_eq!(c.stats().bytes, 110);
+        c.insert_weighted("a", 3, 40); // replace: 100 → 40
+        assert_eq!(c.stats().bytes, 50);
+        c.insert_weighted("c", 4, 5); // evicts b (LRU): −10
+        let s = c.stats();
+        assert_eq!((s.bytes, s.entries, s.evictions), (45, 2, 1));
+        // Unweighted inserts coexist at weight 0.
+        c.insert("d", 5); // evicts a: −40
+        assert_eq!(c.stats().bytes, 5);
     }
 
     #[test]

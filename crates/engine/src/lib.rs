@@ -84,7 +84,7 @@ pub mod plan;
 pub mod request;
 pub mod textfmt;
 
-pub use artifacts::{ArtifactStore, EngineData};
+pub use artifacts::{ArtifactResources, ArtifactStore, EngineData};
 pub use cache::CacheStats;
 pub use plan::{plan, Complexity, Plan, Route};
 pub use request::{CacheKey, Metric, Outcome, QueryKind, Request, Response};
@@ -96,9 +96,9 @@ use knn_delta::{AppliedMutation, ClassifyGuard, MutationLog};
 use knn_telemetry::{Histogram, QueryTrace, SpanCtx, SpanEvent, Telemetry};
 use std::cell::Cell;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Sampling period for cache-probe phase timing: 1 in this many probes is
@@ -180,6 +180,24 @@ struct CachedEntry {
     guard: Option<ClassifyGuard>,
 }
 
+/// Estimated bytes one cache entry pins (key + value, inline structs plus
+/// owned heap). Accounting only — the weight never influences eviction.
+fn entry_bytes(key: &CacheKey, entry: &CachedEntry) -> u64 {
+    let guard_bytes = entry
+        .guard
+        .as_ref()
+        .map_or(0, |g| std::mem::size_of::<ClassifyGuard>() + g.point.len() * 8);
+    let result_bytes = match &entry.result {
+        Ok(o) => o.approx_bytes(),
+        Err(e) => e.len(),
+    };
+    (key.approx_bytes()
+        + std::mem::size_of::<CachedEntry>()
+        + entry.route.len()
+        + result_bytes
+        + guard_bytes) as u64
+}
+
 /// How far back a cache entry may lag the current epoch and still be
 /// considered for guard revalidation. Beyond this, replaying the mutation
 /// window costs more than it saves; the entry just misses.
@@ -222,6 +240,100 @@ pub struct MutationReceipt {
     pub negatives: usize,
 }
 
+/// Estimated memory footprint of one engine's long-lived structures, by
+/// component (see [`ExplanationEngine::stats`]). All figures are coarse
+/// estimates — element payloads plus container headers, not allocator
+/// truth — good enough to rank tenants and watch growth. The components
+/// are disjoint: `dataset` is the live epoch's views, `log` the retained
+/// mutation entries, `artifact` the completed index/region artifacts
+/// (minus the lazy views' memos), `memo` those memos against their cap,
+/// `cache` the explanation LRU's keys and payloads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// The live dataset (continuous + boolean views).
+    pub dataset_bytes: u64,
+    /// Retained mutation-log entries.
+    pub log_bytes: u64,
+    /// Retained (uncompacted) mutation-log length.
+    pub log_len: u64,
+    /// Completed artifacts, excluding region memos.
+    pub artifact_bytes: u64,
+    /// Region memos of the lazy views.
+    pub memo_bytes: u64,
+    /// Region-memo entries held.
+    pub memo_len: u64,
+    /// Region-memo insert bound (fill-gauge denominator).
+    pub memo_cap: u64,
+    /// Explanation-LRU keys + payloads.
+    pub cache_bytes: u64,
+}
+
+impl ResourceStats {
+    /// Every component summed — the `bytes_total` a `top` row ranks by.
+    pub fn total_bytes(&self) -> u64 {
+        self.dataset_bytes
+            + self.log_bytes
+            + self.artifact_bytes
+            + self.memo_bytes
+            + self.cache_bytes
+    }
+}
+
+/// Monotonic work counters for one `(engine, route)` pair (see
+/// [`ExplanationEngine::work_stats`]). Deltas of the solver layers'
+/// thread-local tallies, attributed to the route that ran — exact, because
+/// one query executes entirely on one worker thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouteWorkSnapshot {
+    /// The planner route tag (the response's `route` member).
+    pub route: String,
+    /// Queries that computed (cache misses / uncached) under this route.
+    pub computes: u64,
+    /// Simplex LP solves (feasibility probes included).
+    pub lp_solves: u64,
+    /// QP projections onto Prop 1 polyhedra.
+    pub qp_solves: u64,
+    /// KD-tree nodes visited.
+    pub kd_visits: u64,
+    /// Region polyhedra yielded by the lazy enumerator.
+    pub region_yields: u64,
+    /// Cumulative solver wall time, µs (0 unless telemetry is enabled —
+    /// the engine never reads the clock on untimed paths).
+    pub solve_us: u64,
+}
+
+/// Shared atomics behind one route's [`RouteWorkSnapshot`].
+#[derive(Debug, Default)]
+struct RouteWork {
+    computes: AtomicU64,
+    lp_solves: AtomicU64,
+    qp_solves: AtomicU64,
+    kd_visits: AtomicU64,
+    region_yields: AtomicU64,
+    solve_us: AtomicU64,
+}
+
+/// A point-in-time reading of the solver layers' thread-local work tallies
+/// (taken before and after a compute; the difference is the query's work).
+#[derive(Clone, Copy)]
+struct WorkSample {
+    lp: u64,
+    qp: u64,
+    kd: u64,
+    regions: u64,
+}
+
+impl WorkSample {
+    fn take() -> WorkSample {
+        WorkSample {
+            lp: knn_lp::tally::lp_solves(),
+            qp: knn_qp::tally::qp_solves(),
+            kd: knn_index::tally::kd_node_visits(),
+            regions: knn_core::tally::region_yields(),
+        }
+    }
+}
+
 /// Lifetime counters of one [`ExplanationEngine`] (see
 /// [`ExplanationEngine::stats`]) — the numbers the network server's `stats`
 /// verb reports per tenant.
@@ -262,6 +374,8 @@ pub struct EngineStats {
     /// Completed artifact cells carried across mutations instead of
     /// rebuilt.
     pub artifacts_carried: u64,
+    /// Estimated memory footprint by component (see [`ResourceStats`]).
+    pub resources: ResourceStats,
 }
 
 /// The batch explanation server. See the crate docs for the architecture.
@@ -286,6 +400,11 @@ pub struct ExplanationEngine {
     telemetry: Arc<Telemetry>,
     /// Tenant label span events carry (the `with_telemetry` label).
     tenant: String,
+    /// Per-route monotonic work counters (LP/QP solves, KD node visits,
+    /// region yields, solve µs). Always on: the per-compute cost is four
+    /// thread-local reads and a handful of relaxed adds, paid only on the
+    /// compute path — warm cache hits never touch it.
+    work: RwLock<BTreeMap<String, Arc<RouteWork>>>,
     phase_cache: Arc<Histogram>,
     phase_plan: Arc<Histogram>,
     phase_solve: Arc<Histogram>,
@@ -335,6 +454,7 @@ impl ExplanationEngine {
             inflight: Mutex::new(HashMap::new()),
             telemetry,
             tenant: label.to_string(),
+            work: RwLock::new(BTreeMap::new()),
             phase_cache,
             phase_plan,
             phase_solve,
@@ -349,20 +469,37 @@ impl ExplanationEngine {
         &self.telemetry
     }
 
-    /// Lifetime cache / single-flight / mutation counters. Observability
-    /// only: reading them never changes a response byte.
+    /// Lifetime cache / single-flight / mutation counters plus the
+    /// per-component memory estimate. Observability only: reading them
+    /// never changes a response byte.
     pub fn stats(&self) -> EngineStats {
-        let (epoch, artifacts_built, regions, store) = {
+        let (epoch, artifacts_built, regions, store, mut resources) = {
             let st = self.state.lock().unwrap();
+            let art = st.artifacts.resources();
+            let resources = ResourceStats {
+                dataset_bytes: (st.data.continuous.approx_bytes()
+                    + st.data.boolean.as_ref().map_or(0, |b| b.approx_bytes()))
+                    as u64,
+                log_bytes: st.log.approx_bytes() as u64,
+                log_len: st.log.retained() as u64,
+                artifact_bytes: art.artifact_bytes as u64,
+                memo_bytes: art.memo_bytes as u64,
+                memo_len: art.memo_len as u64,
+                memo_cap: art.memo_cap as u64,
+                cache_bytes: 0,
+            };
             (
                 st.log.epoch(),
                 st.artifacts.built_count(),
                 st.artifacts.region_counters().snapshot(),
                 st.artifacts.metrics().snapshot(),
+                resources,
             )
         };
+        let cache = self.cache.lock().unwrap().stats();
+        resources.cache_bytes = cache.bytes;
         EngineStats {
-            cache: self.cache.lock().unwrap().stats(),
+            cache,
             coalesced: self.coalesced.load(Ordering::Relaxed),
             inflight: self.inflight.lock().unwrap().len(),
             artifacts_built,
@@ -375,7 +512,51 @@ impl ExplanationEngine {
             artifact_build_us: store.build_us,
             artifacts_built_total: store.built,
             artifacts_carried: store.carried,
+            resources,
         }
+    }
+
+    /// Per-route monotonic work counters, sorted by route. Observability
+    /// only — reading or recording them never changes a response byte.
+    pub fn work_stats(&self) -> Vec<RouteWorkSnapshot> {
+        self.work
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(route, w)| RouteWorkSnapshot {
+                route: route.clone(),
+                computes: w.computes.load(Ordering::Relaxed),
+                lp_solves: w.lp_solves.load(Ordering::Relaxed),
+                qp_solves: w.qp_solves.load(Ordering::Relaxed),
+                kd_visits: w.kd_visits.load(Ordering::Relaxed),
+                region_yields: w.region_yields.load(Ordering::Relaxed),
+                solve_us: w.solve_us.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// The shared counters for `route`, creating them on first use (the
+    /// same double-checked read/write pattern as the telemetry registry's
+    /// labeled histograms).
+    fn route_work(&self, route: &str) -> Arc<RouteWork> {
+        if let Some(w) = self.work.read().unwrap().get(route) {
+            return w.clone();
+        }
+        self.work.write().unwrap().entry(route.to_string()).or_default().clone()
+    }
+
+    /// Attributes the work done since `w0` to `route`. One query runs on one
+    /// worker thread, so the thread-local tally deltas are exact; wrapping
+    /// subtraction keeps the attribution correct even across tally overflow.
+    fn record_work(&self, route: &str, w0: &WorkSample, solve_us: u64) {
+        let w1 = WorkSample::take();
+        let w = self.route_work(route);
+        w.computes.fetch_add(1, Ordering::Relaxed);
+        w.lp_solves.fetch_add(w1.lp.wrapping_sub(w0.lp), Ordering::Relaxed);
+        w.qp_solves.fetch_add(w1.qp.wrapping_sub(w0.qp), Ordering::Relaxed);
+        w.kd_visits.fetch_add(w1.kd.wrapping_sub(w0.kd), Ordering::Relaxed);
+        w.region_yields.fetch_add(w1.regions.wrapping_sub(w0.regions), Ordering::Relaxed);
+        w.solve_us.fetch_add(solve_us, Ordering::Relaxed);
     }
 
     /// The dataset at the current epoch (a snapshot — a concurrent
@@ -626,7 +807,9 @@ impl ExplanationEngine {
         trace: &mut QueryTrace,
     ) -> (Response, Option<ClassifyGuard>) {
         let build0 = enabled.then(|| snap.artifacts.metrics().build_nanos());
+        let w0 = WorkSample::take();
         let (resp, guard, phases) = self.execute_guarded(snap, req, enabled);
+        self.record_work(&resp.route, &w0, phases.solve_us);
         trace.demoted = phases.demoted;
         if enabled {
             trace.plan_us = phases.plan_us;
@@ -861,15 +1044,14 @@ impl ExplanationEngine {
         trace.cache = "miss";
         let (resp, guard) = self.compute_timed(snap, req, enabled, trace);
         *own_guard = Some((resp.route.clone(), resp.result.clone()));
-        self.cache.lock().unwrap().insert(
-            key,
-            CachedEntry {
-                epoch: snap.epoch,
-                route: resp.route.clone(),
-                result: resp.result.clone(),
-                guard,
-            },
-        );
+        let entry = CachedEntry {
+            epoch: snap.epoch,
+            route: resp.route.clone(),
+            result: resp.result.clone(),
+            guard,
+        };
+        let weight = entry_bytes(&key, &entry);
+        self.cache.lock().unwrap().insert_weighted(key, entry, weight);
         drop(own_guard);
         self.inflight.lock().unwrap().remove(&flight_key);
         (resp, false)
@@ -1268,5 +1450,31 @@ mod tests {
         assert_eq!(e.epoch(), 0);
         let s = e.stats();
         assert_eq!((s.inserts, s.removes), (0, 0));
+    }
+
+    /// The resource gauges and per-route work counters populate as the
+    /// engine serves, and cache hits never count as computes.
+    #[test]
+    fn resource_and_work_accounting_populate() {
+        let e = engine(EngineConfig::default());
+        let s0 = e.stats().resources;
+        assert!(s0.dataset_bytes > 0, "dataset bytes report before any query");
+        assert_eq!(s0.cache_bytes, 0);
+        assert!(e.work_stats().is_empty());
+
+        let r = req(r#"{"cmd":"counterfactual","metric":"l2","point":[0.4,0.6,0.5]}"#);
+        assert!(e.run(&r).result.is_ok());
+        assert!(e.run(&r).result.is_ok()); // cache hit: no second compute
+
+        let s = e.stats().resources;
+        assert!(s.cache_bytes > 0, "cached entry weighs in");
+        assert!(s.artifact_bytes > 0, "built KD artifacts weigh in");
+        assert!(s.total_bytes() >= s.dataset_bytes + s.cache_bytes);
+        let work = e.work_stats();
+        assert_eq!(work.len(), 1, "one route exercised: {work:?}");
+        assert_eq!(work[0].computes, 1, "the hit must not re-count");
+        let solver_work =
+            work[0].lp_solves + work[0].qp_solves + work[0].kd_visits + work[0].region_yields;
+        assert!(solver_work > 0, "a counterfactual does solver-layer work: {work:?}");
     }
 }

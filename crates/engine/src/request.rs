@@ -247,6 +247,16 @@ pub struct CacheKey {
     features: Option<Vec<usize>>,
 }
 
+impl CacheKey {
+    /// Estimated heap bytes of this key — the key side of the explanation
+    /// cache's byte gauge.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.point_bits.len() * std::mem::size_of::<u64>()
+            + self.features.as_ref().map_or(0, |f| f.len() * std::mem::size_of::<usize>())
+    }
+}
+
 /// The meat of a successful response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Outcome {
@@ -283,6 +293,22 @@ pub enum Outcome {
     },
     /// `counterfactual` when the opposite class region is empty.
     NoCounterfactual,
+}
+
+impl Outcome {
+    /// Estimated heap bytes of the payload — the value side of the
+    /// explanation cache's byte gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let heap = match self {
+            Outcome::Label(_) | Outcome::NoCounterfactual => 0,
+            Outcome::Reason { features, .. } => features.len() * std::mem::size_of::<usize>(),
+            Outcome::Check { witness, .. } => {
+                witness.as_ref().map_or(0, |w| w.len() * std::mem::size_of::<f64>())
+            }
+            Outcome::Counterfactual { point, .. } => point.len() * std::mem::size_of::<f64>(),
+        };
+        std::mem::size_of::<Self>() + heap
+    }
 }
 
 /// One response line.

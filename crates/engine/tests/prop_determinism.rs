@@ -2,13 +2,15 @@
 //! dataset and config, `run_batch` output is **byte-identical** per request
 //! across worker counts (1/2/8), request permutations, cache states, and
 //! repeated runs — equal to the fresh sequential oracle. The concurrent
-//! engines run with **telemetry enabled** while the oracle runs with it
-//! disabled, pinning the observability plane's out-of-band contract:
-//! tracing, phase timing, and the slow-query ring never change a byte.
+//! engines run with **telemetry enabled** — plus an aggressive SLO
+//! objective, and resource/work accounting scraped mid-stream — while the
+//! oracle runs with everything disabled, pinning the observability plane's
+//! out-of-band contract: tracing, phase timing, the slow-query ring,
+//! byte/work gauges, and burn-rate evaluation never change a byte.
 
 use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
 use knn_space::ContinuousDataset;
-use knn_telemetry::{SpanCtx, Telemetry};
+use knn_telemetry::{SloObjective, SpanCtx, Telemetry};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -118,11 +120,24 @@ proptest! {
                 telemetry,
                 "prop",
             );
+            // An SLO objective that every query violates (threshold 0µs):
+            // burn-rate evaluation and forced violation spans are accounting
+            // work and must stay out-of-band.
+            engine
+                .telemetry()
+                .slo()
+                .set("prop", SloObjective { quantile: 0.5, threshold_us: 0, windows: 2 })
+                .unwrap();
 
             // Straight order, twice: the second pass runs against a warm
-            // cache and must not change a byte.
+            // cache and must not change a byte. Resource/work accounting is
+            // scraped between and during passes, like a live `top` poller.
             for pass in 0..2 {
                 let got = engine.run_batch(&requests);
+                let stats = engine.stats();
+                prop_assert!(stats.resources.dataset_bytes > 0);
+                prop_assert!(!engine.work_stats().is_empty());
+                engine.telemetry().observe_slo("prop");
                 prop_assert_eq!(got.len(), requests.len());
                 for (req, resp) in requests.iter().zip(&got) {
                     prop_assert_eq!(&resp.id, &req.id);

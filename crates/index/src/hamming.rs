@@ -36,6 +36,11 @@ impl HammingIndex {
         &self.points[i]
     }
 
+    /// Approximate heap footprint in bytes (the owned bit-packed points).
+    pub fn approx_bytes(&self) -> usize {
+        self.points.iter().map(|p| p.approx_bytes()).sum()
+    }
+
     /// The `k` nearest neighbors of `q` as `(index, hamming distance)`.
     pub fn knn(&self, q: &BitVec, k: usize) -> Vec<(usize, usize)> {
         let all: Vec<(usize, usize)> =

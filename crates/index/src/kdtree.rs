@@ -109,9 +109,25 @@ impl KdTree {
     /// The `k` nearest neighbors of `q` as `(index, distance^p)`, sorted.
     pub fn knn(&self, q: &[f64], k: usize) -> Vec<(usize, f64)> {
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-        self.search(&self.root, q, k, &mut heap);
+        let mut visited = 0u64;
+        self.search(&self.root, q, k, &mut heap, &mut visited);
+        crate::tally::bump_kd_node_visits(visited);
         let out: Vec<(usize, f64)> = heap.into_iter().map(|h| (h.idx, h.dist)).collect();
         crate::finalize_neighbors(out, k)
+    }
+
+    /// Approximate heap footprint in bytes: the owned point copies plus the
+    /// tree nodes. An estimate for the resource-accounting gauges.
+    pub fn approx_bytes(&self) -> usize {
+        fn node_bytes(node: &Node) -> usize {
+            std::mem::size_of::<Node>()
+                + match node {
+                    Node::Leaf { items } => items.len() * std::mem::size_of::<u32>(),
+                    Node::Split { left, right, .. } => node_bytes(left) + node_bytes(right),
+                }
+        }
+        let dim = self.points.first().map(|p| p.len()).unwrap_or(0);
+        self.points.len() * (dim * std::mem::size_of::<f64>() + 24) + node_bytes(&self.root)
     }
 
     /// The nearest neighbor of `q`.
@@ -119,7 +135,15 @@ impl KdTree {
         self.knn(q, 1)[0]
     }
 
-    fn search(&self, node: &Node, q: &[f64], k: usize, heap: &mut BinaryHeap<HeapItem>) {
+    fn search(
+        &self,
+        node: &Node,
+        q: &[f64],
+        k: usize,
+        heap: &mut BinaryHeap<HeapItem>,
+        visited: &mut u64,
+    ) {
+        *visited += 1;
         match node {
             Node::Leaf { items } => {
                 for &i in items {
@@ -137,14 +161,14 @@ impl KdTree {
             Node::Split { axis, value, left, right } => {
                 let delta = q[*axis as usize] - value;
                 let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
-                self.search(near, q, k, heap);
+                self.search(near, q, k, heap, visited);
                 // Visit the far side only if the splitting plane is closer
                 // than the current worst neighbor (p-th power comparison).
                 let plane_pow = delta.abs().powi(self.metric.p() as i32);
                 let must_visit =
                     heap.len() < k || heap.peek().is_some_and(|top| plane_pow <= top.dist);
                 if must_visit {
-                    self.search(far, q, k, heap);
+                    self.search(far, q, k, heap, visited);
                 }
             }
         }

@@ -37,6 +37,31 @@ pub mod hamming;
 pub mod kdtree;
 pub mod vptree;
 
+/// Thread-local work tally for resource accounting.
+///
+/// Search structures bump a plain thread-local counter as they work; the
+/// serving engine reads the counter before and after a query's compute phase
+/// and attributes the delta to the query's route. Because a single query
+/// executes entirely on one worker thread, the delta is exact, and because
+/// the counter is a non-atomic `Cell` the bump costs ~1 ns — it never touches
+/// shared state, so the byte-determinism contract is untouched.
+pub mod tally {
+    use std::cell::Cell;
+
+    thread_local! {
+        static KD_NODE_VISITS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Monotonic count of KD-tree nodes visited on this thread.
+    pub fn kd_node_visits() -> u64 {
+        KD_NODE_VISITS.with(|c| c.get())
+    }
+
+    pub(crate) fn bump_kd_node_visits(n: u64) {
+        KD_NODE_VISITS.with(|c| c.set(c.get().wrapping_add(n)));
+    }
+}
+
 pub use brute::BruteForceIndex;
 pub use hamming::HammingIndex;
 pub use kdtree::KdTree;

@@ -35,3 +35,27 @@ pub mod problem;
 pub mod simplex;
 
 pub use problem::{LpOutcome, LpProblem, Objective, Rel};
+
+/// Thread-local work tally for resource accounting.
+///
+/// Every simplex invocation (including the ones behind `feasible_point` and
+/// `strict_feasible`) bumps a thread-local counter; a serving layer reads the
+/// counter before/after a query's compute phase and attributes the delta to
+/// the query's route. The bump is a non-atomic `Cell` increment — no shared
+/// state, no effect on solver results.
+pub mod tally {
+    use std::cell::Cell;
+
+    thread_local! {
+        static LP_SOLVES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Monotonic count of simplex solves started on this thread.
+    pub fn lp_solves() -> u64 {
+        LP_SOLVES.with(|c| c.get())
+    }
+
+    pub(crate) fn bump_lp_solves() {
+        LP_SOLVES.with(|c| c.set(c.get().wrapping_add(1)));
+    }
+}

@@ -192,6 +192,7 @@ impl<F: Field> LpProblem<F> {
 }
 
 fn solve_impl<F: Field>(problem: &LpProblem<F>, objective: &[F], sense: Objective) -> LpOutcome<F> {
+    crate::tally::bump_lp_solves();
     // --- Standard-form transformation -------------------------------------
     let mut ncols = 0usize;
     let mut colmap: Vec<ColMap<F>> = Vec::with_capacity(problem.n);

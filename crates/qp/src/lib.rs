@@ -33,3 +33,23 @@ pub mod solver;
 
 pub use polyhedron::Polyhedron;
 pub use solver::{project_onto_polyhedron, project_onto_polyhedron_from, QpOutcome};
+
+/// Thread-local work tally for resource accounting (mirrors
+/// `knn_lp::tally`): every projection solve bumps a non-atomic thread-local
+/// counter that serving layers sample around a query's compute phase.
+pub mod tally {
+    use std::cell::Cell;
+
+    thread_local! {
+        static QP_SOLVES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Monotonic count of QP projection solves started on this thread.
+    pub fn qp_solves() -> u64 {
+        QP_SOLVES.with(|c| c.get())
+    }
+
+    pub(crate) fn bump_qp_solves() {
+        QP_SOLVES.with(|c| c.set(c.get().wrapping_add(1)));
+    }
+}

@@ -57,6 +57,7 @@ pub fn project_onto_polyhedron_from<F: Field>(
     poly: &Polyhedron<F>,
     start: Option<&[F]>,
 ) -> QpOutcome<F> {
+    crate::tally::bump_qp_solves();
     let n = poly.dim();
     assert_eq!(x.len(), n);
 

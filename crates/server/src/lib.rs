@@ -61,7 +61,7 @@ pub use registry::{Registry, Tenant, TenantStats};
 
 use knn_engine::json::Value;
 use knn_engine::{EngineConfig, Request};
-use knn_telemetry::exposition::{push_sample, series_key};
+use knn_telemetry::exposition::{push_header, push_sample, series_key};
 use knn_telemetry::{SpanEvent, Telemetry};
 use proto::Command;
 use std::collections::BTreeMap;
@@ -107,6 +107,10 @@ struct Shared {
     /// on the admission queue (and `stats` never does: it only snapshots
     /// counters).
     started: Instant,
+    /// Per-tenant `(last scrape, request count at that scrape)` — the rate
+    /// baseline for the `top` verb's QPS column. First scrape of a tenant
+    /// rates over the whole uptime.
+    top_baseline: Mutex<BTreeMap<String, (Instant, u64)>>,
 }
 
 /// The TCP server. Bind, optionally preload datasets through
@@ -137,6 +141,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
             started: Instant::now(),
+            top_baseline: Mutex::new(BTreeMap::new()),
         });
         Ok(Server { listener, shared })
     }
@@ -380,16 +385,18 @@ fn run_mutation(
 }
 
 /// Renders the per-tenant engine counters (region enumeration, cache
-/// events, artifact economy, mutations, admission) as Prometheus text
-/// series, appended after the telemetry registry's histograms by the
-/// `metrics` verb. Counter values are engine-lifetime; families are
-/// emitted in a fixed order and tenants sorted by name, so the exposition
-/// is deterministic for a given counter state.
+/// events, artifact economy, mutations, memory gauges, work accounting,
+/// admission) as Prometheus text series, appended after the telemetry
+/// registry's histograms by the `metrics` verb. Every family carries its
+/// `# HELP` / `# TYPE` headers (the exposition validator rejects headerless
+/// series). Counter values are engine-lifetime; families are emitted in a
+/// fixed order and tenants sorted by name, so the exposition is
+/// deterministic for a given counter state.
 fn engine_series(shared: &Arc<Shared>) -> String {
     let stats: Vec<TenantStats> = shared.registry.list().iter().map(|t| t.stats()).collect();
     let mut out = String::new();
 
-    out.push_str("# TYPE knn_engine_epoch gauge\n");
+    push_header(&mut out, "knn_engine_epoch", "gauge", "Current dataset version per tenant.");
     for s in &stats {
         push_sample(
             &mut out,
@@ -397,7 +404,12 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             s.engine.epoch,
         );
     }
-    out.push_str("# TYPE knn_engine_region_yields_total counter\n");
+    push_header(
+        &mut out,
+        "knn_engine_region_yields_total",
+        "counter",
+        "Region polyhedra yielded by the lazy enumerator.",
+    );
     for s in &stats {
         push_sample(
             &mut out,
@@ -405,7 +417,12 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             s.engine.regions.yields,
         );
     }
-    out.push_str("# TYPE knn_engine_region_pruned_total counter\n");
+    push_header(
+        &mut out,
+        "knn_engine_region_pruned_total",
+        "counter",
+        "Candidate regions pruned, by rule.",
+    );
     for s in &stats {
         for (rule, n) in [
             ("empty", s.engine.regions.pruned_empty),
@@ -422,7 +439,12 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             );
         }
     }
-    out.push_str("# TYPE knn_engine_cache_events_total counter\n");
+    push_header(
+        &mut out,
+        "knn_engine_cache_events_total",
+        "counter",
+        "Explanation-cache events, by kind.",
+    );
     for s in &stats {
         for (event, n) in [
             ("hit", s.engine.cache.hits),
@@ -442,7 +464,12 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             );
         }
     }
-    out.push_str("# TYPE knn_engine_artifact_cells_total counter\n");
+    push_header(
+        &mut out,
+        "knn_engine_artifact_cells_total",
+        "counter",
+        "Artifact cells built fresh vs carried across epochs.",
+    );
     for s in &stats {
         for (kind, n) in
             [("built", s.engine.artifacts_built_total), ("carried", s.engine.artifacts_carried)]
@@ -457,7 +484,12 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             );
         }
     }
-    out.push_str("# TYPE knn_engine_artifact_build_us_total counter\n");
+    push_header(
+        &mut out,
+        "knn_engine_artifact_build_us_total",
+        "counter",
+        "Cumulative artifact build time, microseconds.",
+    );
     for s in &stats {
         push_sample(
             &mut out,
@@ -465,7 +497,7 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             s.engine.artifact_build_us,
         );
     }
-    out.push_str("# TYPE knn_engine_mutations_total counter\n");
+    push_header(&mut out, "knn_engine_mutations_total", "counter", "Applied mutations, by op.");
     for s in &stats {
         for (op, n) in [("insert", s.engine.inserts), ("remove", s.engine.removes)] {
             push_sample(
@@ -475,7 +507,112 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             );
         }
     }
-    out.push_str("# TYPE knn_server_requests_total counter\n");
+    push_header(
+        &mut out,
+        "knn_engine_bytes",
+        "gauge",
+        "Estimated resident bytes per tenant, by component.",
+    );
+    for s in &stats {
+        let r = &s.engine.resources;
+        for (component, n) in [
+            ("dataset", r.dataset_bytes),
+            ("mutation_log", r.log_bytes),
+            ("artifacts", r.artifact_bytes),
+            ("region_memo", r.memo_bytes),
+            ("cache", r.cache_bytes),
+        ] {
+            push_sample(
+                &mut out,
+                &series_key("knn_engine_bytes", &[("tenant", &s.name), ("component", component)]),
+                n,
+            );
+        }
+    }
+    push_header(
+        &mut out,
+        "knn_engine_mutation_log_entries",
+        "gauge",
+        "Mutations retained in the compacted revalidation log.",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_engine_mutation_log_entries", &[("tenant", &s.name)]),
+            s.engine.resources.log_len,
+        );
+    }
+    push_header(
+        &mut out,
+        "knn_engine_region_memo_entries",
+        "gauge",
+        "Region-memo occupancy (see knn_engine_region_memo_capacity).",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_engine_region_memo_entries", &[("tenant", &s.name)]),
+            s.engine.resources.memo_len,
+        );
+    }
+    push_header(
+        &mut out,
+        "knn_engine_region_memo_capacity",
+        "gauge",
+        "Region-memo capacity bound.",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_engine_region_memo_capacity", &[("tenant", &s.name)]),
+            s.engine.resources.memo_cap,
+        );
+    }
+    push_header(
+        &mut out,
+        "knn_engine_work_total",
+        "counter",
+        "Solver-layer work per tenant and route, by kind.",
+    );
+    for s in &stats {
+        for w in &s.work {
+            for (kind, n) in [
+                ("compute", w.computes),
+                ("lp_solve", w.lp_solves),
+                ("qp_solve", w.qp_solves),
+                ("kd_visit", w.kd_visits),
+                ("region_yield", w.region_yields),
+            ] {
+                push_sample(
+                    &mut out,
+                    &series_key(
+                        "knn_engine_work_total",
+                        &[("tenant", &s.name), ("route", &w.route), ("kind", kind)],
+                    ),
+                    n,
+                );
+            }
+        }
+    }
+    push_header(
+        &mut out,
+        "knn_engine_solve_us_total",
+        "counter",
+        "Cumulative solve CPU time per tenant and route, microseconds.",
+    );
+    for s in &stats {
+        for w in &s.work {
+            push_sample(
+                &mut out,
+                &series_key(
+                    "knn_engine_solve_us_total",
+                    &[("tenant", &s.name), ("route", &w.route)],
+                ),
+                w.solve_us,
+            );
+        }
+    }
+    push_header(&mut out, "knn_server_requests_total", "counter", "Queries completed per tenant.");
     for s in &stats {
         push_sample(
             &mut out,
@@ -483,7 +620,12 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             s.requests,
         );
     }
-    out.push_str("# TYPE knn_server_errors_total counter\n");
+    push_header(
+        &mut out,
+        "knn_server_errors_total",
+        "counter",
+        "Error responses among completed queries.",
+    );
     for s in &stats {
         push_sample(
             &mut out,
@@ -491,14 +633,108 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             s.errors,
         );
     }
+    push_header(
+        &mut out,
+        "knn_server_tenant_queued",
+        "gauge",
+        "Queries currently waiting for admission, per tenant.",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_server_tenant_queued", &[("tenant", &s.name)]),
+            s.queued,
+        );
+    }
+    push_header(
+        &mut out,
+        "knn_server_tenant_active",
+        "gauge",
+        "Queries currently executing, per tenant.",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_server_tenant_active", &[("tenant", &s.name)]),
+            s.active,
+        );
+    }
     let a = shared.admission.stats();
-    out.push_str("# TYPE knn_server_admission_budget gauge\n");
+    push_header(&mut out, "knn_server_admission_budget", "gauge", "Global worker budget.");
     push_sample(&mut out, "knn_server_admission_budget", a.budget as u64);
-    out.push_str("# TYPE knn_server_admission_waiting gauge\n");
+    push_header(
+        &mut out,
+        "knn_server_admission_waiting",
+        "gauge",
+        "Queries waiting in the global admission queue.",
+    );
     push_sample(&mut out, "knn_server_admission_waiting", a.waiting as u64);
-    out.push_str("# TYPE knn_server_admission_granted_total counter\n");
+    push_header(
+        &mut out,
+        "knn_server_admission_queue_depth",
+        "gauge",
+        "Admission queue depth (waiting; alias of knn_server_admission_waiting).",
+    );
+    push_sample(&mut out, "knn_server_admission_queue_depth", a.waiting as u64);
+    push_header(
+        &mut out,
+        "knn_server_admission_granted_total",
+        "counter",
+        "Admission slots granted over the process lifetime.",
+    );
     push_sample(&mut out, "knn_server_admission_granted_total", a.granted);
     out
+}
+
+/// One `top` row per tenant, ranked by estimated bytes (descending, then
+/// name): memory by component, request rate since the previous `top`
+/// scrape, and SLO burn. Feeds the registered SLO objectives a fresh
+/// observation window first, so the burn columns reflect traffic up to
+/// this call.
+fn top_rows(shared: &Arc<Shared>) -> Vec<Value> {
+    let num64 = |n: u64| Value::Number(n as f64);
+    let now = Instant::now();
+    let mut baseline = shared.top_baseline.lock().unwrap();
+    let mut rows: Vec<(u64, String, Value)> = shared
+        .registry
+        .list()
+        .iter()
+        .map(|t| {
+            let s = t.stats();
+            let r = s.engine.resources;
+            let (t0, req0) =
+                baseline.insert(s.name.clone(), (now, s.requests)).unwrap_or((shared.started, 0));
+            let dt = now.duration_since(t0).as_secs_f64().max(1e-6);
+            let qps = (s.requests.saturating_sub(req0)) as f64 / dt;
+            let slo = shared.telemetry.observe_slo(&s.name);
+            let row = Value::Object(vec![
+                ("tenant".into(), Value::String(s.name.clone())),
+                ("bytes_total".into(), num64(r.total_bytes())),
+                (
+                    "bytes".into(),
+                    Value::Object(vec![
+                        ("dataset".into(), num64(r.dataset_bytes)),
+                        ("mutation_log".into(), num64(r.log_bytes)),
+                        ("artifacts".into(), num64(r.artifact_bytes)),
+                        ("region_memo".into(), num64(r.memo_bytes)),
+                        ("cache".into(), num64(r.cache_bytes)),
+                    ]),
+                ),
+                ("requests".into(), num64(s.requests)),
+                ("qps".into(), Value::Number((qps * 100.0).round() / 100.0)),
+                (
+                    "slo_burn".into(),
+                    Value::Number(
+                        slo.as_ref().map_or(0.0, |st| (st.burn * 10_000.0).round() / 10_000.0),
+                    ),
+                ),
+                ("slo_violations".into(), num64(slo.as_ref().map_or(0, |st| st.violations))),
+            ]);
+            (r.total_bytes(), s.name, row)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    rows.into_iter().map(|(_, _, row)| row).collect()
 }
 
 /// One span event as a JSON object — every field, plus an (initially
@@ -688,10 +924,60 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
             (line, false)
         }
         Command::Metrics => {
+            // Scrapes drive the SLO windows: each `metrics` (or `top`) call
+            // diffs the cumulative histograms into one observation window.
+            shared.telemetry.observe_slo_all();
             let mut text = shared.telemetry.render();
             text.push_str(&engine_series(shared));
             (proto::ok_line(id, vec![("metrics".into(), Value::String(text))]), false)
         }
+        Command::Top => {
+            (proto::ok_line(id, vec![("top".into(), Value::Array(top_rows(shared)))]), false)
+        }
+        Command::Slo { name, objective } => match objective {
+            Some(o) => match shared.telemetry.slo().set(&name, o) {
+                Err(e) => (proto::error_line(id, &e), false),
+                Ok(()) => {
+                    let line = proto::ok_line(
+                        id,
+                        vec![
+                            ("slo".into(), Value::String(name)),
+                            ("quantile".into(), Value::Number(o.quantile)),
+                            ("threshold_us".into(), num64(o.threshold_us)),
+                            ("windows".into(), num(o.windows)),
+                        ],
+                    );
+                    (line, false)
+                }
+            },
+            None => match shared.telemetry.observe_slo(&name) {
+                None => {
+                    let msg =
+                        format!("no slo objective for `{name}` (set one with `threshold_us`)");
+                    (proto::error_line(id, &msg), false)
+                }
+                Some(s) => {
+                    let line = proto::ok_line(
+                        id,
+                        vec![
+                            ("slo".into(), Value::String(s.tenant)),
+                            ("quantile".into(), Value::Number(s.objective.quantile)),
+                            ("threshold_us".into(), num64(s.objective.threshold_us)),
+                            ("windows".into(), num(s.objective.windows)),
+                            ("windows_held".into(), num(s.windows_held)),
+                            ("good".into(), num64(s.good)),
+                            ("total".into(), num64(s.total)),
+                            ("quantile_us".into(), num64(s.quantile_us)),
+                            ("short_burn".into(), Value::Number(s.short_burn)),
+                            ("long_burn".into(), Value::Number(s.long_burn)),
+                            ("burn".into(), Value::Number(s.burn)),
+                            ("violations".into(), num64(s.violations)),
+                        ],
+                    );
+                    (line, false)
+                }
+            },
+        },
         Command::Slow => {
             let slow: Vec<Value> = shared
                 .telemetry
@@ -943,6 +1229,88 @@ mod tests {
         assert!(s2.contains(r#""slow":[]"#), "drained: {s2}");
 
         // Telemetry is out-of-band: the same query answers byte-identically.
+        assert_eq!(c.roundtrip(q).unwrap(), before);
+        handle.shutdown();
+    }
+
+    /// The resource plane: `top` ranks tenants by estimated bytes with QPS
+    /// and SLO burn columns; `slo` sets and reads a latency objective; both
+    /// are out-of-band (query bytes unchanged around them). The metrics
+    /// exposition carries the byte/work gauges with full HELP/TYPE headers.
+    #[test]
+    fn top_and_slo_verbs_account_resources_out_of_band() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.roundtrip(r#"{"verb":"load","name":"second","text":"+ 1 0\n- 0 1"}"#).unwrap();
+
+        let q = r#"{"dataset":"toy","id":"q","cmd":"counterfactual","metric":"hamming","point":[1,0,1]}"#;
+        let before = c.roundtrip(q).unwrap();
+        assert!(c
+            .roundtrip(r#"{"dataset":"second","cmd":"classify","point":[1,0]}"#)
+            .unwrap()
+            .contains(r#""ok":true"#));
+
+        // An objective with an absurdly low threshold: the first window
+        // (all traffic so far) must burn and record a violation.
+        let set = c
+            .roundtrip(r#"{"id":"o","verb":"slo","name":"toy","quantile":0.5,"threshold_us":0,"windows":4}"#)
+            .unwrap();
+        assert_eq!(
+            set,
+            r#"{"id":"o","ok":true,"slo":"toy","quantile":0.5,"threshold_us":0,"windows":4}"#
+        );
+
+        let t = c.roundtrip(r#"{"id":"t","verb":"top"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(t.as_bytes()).unwrap();
+        let Some(Value::Array(rows)) = parsed.get("top") else { panic!("top member: {t}") };
+        assert_eq!(rows.len(), 2, "one row per tenant: {t}");
+        let mut totals = Vec::new();
+        for row in rows {
+            let total = row.get("bytes_total").and_then(Value::as_u64).unwrap();
+            assert!(total > 0, "every tenant holds bytes: {t}");
+            for member in ["tenant", "bytes", "requests", "qps", "slo_burn", "slo_violations"] {
+                assert!(row.get(member).is_some(), "row missing {member}: {t}");
+            }
+            totals.push(total);
+        }
+        assert!(totals[0] >= totals[1], "ranked by bytes descending: {t}");
+        let toy_row =
+            rows.iter().find(|r| r.get("tenant") == Some(&Value::String("toy".into()))).unwrap();
+        assert!(
+            toy_row.get("slo_burn").and_then(Value::as_f64).unwrap() > 0.0,
+            "a 0us threshold burns: {t}"
+        );
+
+        let status = c.roundtrip(r#"{"id":"g","verb":"slo","name":"toy"}"#).unwrap();
+        for member in [r#""slo":"toy""#, r#""windows_held":"#, r#""violations":"#, r#""burn":"#] {
+            assert!(status.contains(member), "missing {member}: {status}");
+        }
+        let no_obj = c.roundtrip(r#"{"verb":"slo","name":"second"}"#).unwrap();
+        assert!(no_obj.contains("no slo objective"), "{no_obj}");
+        let bad =
+            c.roundtrip(r#"{"verb":"slo","name":"toy","quantile":1.5,"threshold_us":10}"#).unwrap();
+        assert!(bad.contains(r#""ok":false"#), "quantile out of (0,1) rejected: {bad}");
+
+        // The new gauges ride the exposition, headers included.
+        let m = c.roundtrip(r#"{"id":"m","verb":"metrics"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(m.as_bytes()).unwrap();
+        let Some(Value::String(text)) = parsed.get("metrics") else { panic!("{m}") };
+        knn_telemetry::exposition::validate(text).unwrap();
+        for series in [
+            r#"knn_engine_bytes{tenant="toy",component="dataset"}"#,
+            r#"knn_engine_bytes{tenant="toy",component="cache"}"#,
+            r#"knn_engine_work_total{tenant="toy",route="#,
+            r#"knn_engine_mutation_log_entries{tenant="toy"}"#,
+            "knn_server_admission_queue_depth",
+            r#"knn_server_tenant_active{tenant="toy"}"#,
+            r#"knn_slo_burn{tenant="toy"}"#,
+            "# HELP knn_engine_bytes",
+            "# TYPE knn_engine_bytes gauge",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+
+        // Accounting is out-of-band: the warmed query answers byte-identically.
         assert_eq!(c.roundtrip(q).unwrap(), before);
         handle.shutdown();
     }

@@ -14,6 +14,9 @@
 //! {"verb":"remove","name":"demo","index":3}
 //! {"verb":"stats"}
 //! {"verb":"metrics"}
+//! {"verb":"top"}
+//! {"verb":"slo","name":"demo","quantile":0.99,"threshold_us":5000,"windows":6}
+//! {"verb":"slo","name":"demo"}
 //! {"verb":"slow"}
 //! {"verb":"trace","trace":"t-42"}
 //! {"verb":"dump"}
@@ -57,6 +60,7 @@
 use knn_engine::json::{parse_bytes, Value};
 use knn_engine::{Mutation, Request, Response};
 use knn_space::Label;
+use knn_telemetry::SloObjective;
 
 /// One parsed request line: the resolved response id plus the command.
 #[derive(Clone, Debug, PartialEq)]
@@ -119,6 +123,18 @@ pub enum Command {
     /// Prometheus text exposition of the process's latency histograms and
     /// engine counters (out-of-band; empty until telemetry is enabled).
     Metrics,
+    /// One JSON line ranking tenants by estimated resident bytes, with
+    /// their request rate and SLO burn — the cluster router sums/merges
+    /// this across backends.
+    Top,
+    /// Set (when `objective` is present) or read a tenant's latency
+    /// objective and burn-rate status.
+    Slo {
+        /// Tenant name.
+        name: String,
+        /// `Some` sets/replaces the objective; `None` reads the status.
+        objective: Option<SloObjective>,
+    },
     /// Drain the slow-query ring: the worst-N queries by wall time since
     /// the last drain, with per-phase breakdowns.
     Slow,
@@ -272,6 +288,33 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
         "list" => Command::List,
         "stats" => Command::Stats,
         "metrics" => Command::Metrics,
+        "top" => Command::Top,
+        "slo" => {
+            let name = member_str(&v, "name", "the tenant whose objective to set or read")?;
+            let objective = match v.get("threshold_us") {
+                None => None,
+                Some(x) => {
+                    let threshold_us = x
+                        .as_u64()
+                        .ok_or_else(|| "`threshold_us` must be a non-negative integer".to_string())?;
+                    let quantile = match v.get("quantile") {
+                        None => SloObjective::default().quantile,
+                        Some(q) => {
+                            q.as_f64().ok_or_else(|| "`quantile` must be a number".to_string())?
+                        }
+                    };
+                    let windows = match v.get("windows") {
+                        None => SloObjective::default().windows,
+                        Some(w) => w
+                            .as_u64()
+                            .ok_or_else(|| "`windows` must be a positive integer".to_string())?
+                            as usize,
+                    };
+                    Some(SloObjective { quantile, threshold_us, windows })
+                }
+            };
+            Command::Slo { name, objective }
+        }
         "slow" => Command::Slow,
         "trace" => Command::Trace { trace: member_str(&v, "trace", "the trace id to look up")? },
         "dump" => Command::Dump,
@@ -280,7 +323,7 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
         "shutdown" => Command::Shutdown,
         other => {
             return Err(format!(
-            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, slow, trace, dump, ping, quit, shutdown)"
+            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, top, slo, slow, trace, dump, ping, quit, shutdown)"
         ))
         }
     };
@@ -331,6 +374,22 @@ mod tests {
             (&br#"{"verb":"list"}"#[..], Command::List),
             (br#"{"verb":"stats"}"#, Command::Stats),
             (br#"{"verb":"metrics"}"#, Command::Metrics),
+            (br#"{"verb":"top"}"#, Command::Top),
+            (br#"{"verb":"slo","name":"n"}"#, Command::Slo { name: "n".into(), objective: None }),
+            (
+                br#"{"verb":"slo","name":"n","threshold_us":5000}"#,
+                Command::Slo {
+                    name: "n".into(),
+                    objective: Some(SloObjective { threshold_us: 5000, ..SloObjective::default() }),
+                },
+            ),
+            (
+                br#"{"verb":"slo","name":"n","quantile":0.5,"threshold_us":100,"windows":3}"#,
+                Command::Slo {
+                    name: "n".into(),
+                    objective: Some(SloObjective { quantile: 0.5, threshold_us: 100, windows: 3 }),
+                },
+            ),
             (br#"{"verb":"slow"}"#, Command::Slow),
             (br#"{"verb":"trace","trace":"t-1"}"#, Command::Trace { trace: "t-1".into() }),
             (br#"{"verb":"dump"}"#, Command::Dump),
@@ -390,6 +449,10 @@ mod tests {
             b"{\"verb\":\"remove\",\"name\":\"d\",\"index\":-1}",
             b"{\"verb\":\"trace\"}", // no trace id
             b"{\"verb\":\"trace\",\"trace\":7}",
+            b"{\"verb\":\"slo\"}", // no tenant name
+            b"{\"verb\":\"slo\",\"name\":\"d\",\"threshold_us\":\"fast\"}",
+            b"{\"verb\":\"slo\",\"name\":\"d\",\"threshold_us\":1,\"quantile\":\"p99\"}",
+            b"{\"verb\":\"slo\",\"name\":\"d\",\"threshold_us\":1,\"windows\":-2}",
             b"{\"verb\":\"load\",\"name\":\"d\",\"text\":\"+ 1\",\"replay\":[{\"op\":\"fly\"}]}",
         ] {
             assert!(parse_line(bad, "1").is_err());

@@ -68,6 +68,8 @@ pub struct TenantStats {
     pub active: u64,
     /// The engine's cache / single-flight counters.
     pub engine: knn_engine::EngineStats,
+    /// The engine's per-route work counters (sorted by route).
+    pub work: Vec<knn_engine::RouteWorkSnapshot>,
 }
 
 impl Tenant {
@@ -196,6 +198,7 @@ impl Tenant {
             queued: self.queued.load(Ordering::Relaxed),
             active: self.active.load(Ordering::Relaxed),
             engine: self.engine.stats(),
+            work: self.engine.work_stats(),
         }
     }
 }

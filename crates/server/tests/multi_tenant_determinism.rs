@@ -2,8 +2,10 @@
 //! one process**, 16 clients firing shuffled request streams, and every
 //! client's response stream is byte-identical to a fresh single-threaded
 //! in-process engine answering the same lines in the same order. Admission
-//! scheduling, connection interleaving, shared caches, and single-flight
-//! coalescing may change *when* work happens — never a single output byte.
+//! scheduling, connection interleaving, shared caches, single-flight
+//! coalescing — and a concurrent accounting poller hammering the `slo`,
+//! `top`, and `metrics` verbs — may change *when* work happens — never a
+//! single output byte.
 
 use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Request};
 use knn_server::{Client, Server, ServerConfig};
@@ -95,6 +97,36 @@ fn sixteen_shuffled_clients_match_the_sequential_oracle_per_tenant() {
     let bool_base = base_requests("bool");
     let cont_base = base_requests("cont");
 
+    // An aggressive SLO objective (threshold 0µs: every query violates it)
+    // plus a background poller scraping `top` and `metrics` while the client
+    // fleet runs — accounting and burn-rate evaluation are out-of-band and
+    // must not perturb a single response byte.
+    {
+        let mut admin = Client::connect(addr).unwrap();
+        for tenant in ["bool", "cont"] {
+            let line = format!(r#"{{"id":"adm","verb":"slo","name":"{tenant}","threshold_us":0}}"#);
+            let resp = admin.roundtrip(&line).unwrap();
+            assert!(resp.contains("\"ok\":true"), "slo set failed: {resp}");
+        }
+    }
+    let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+    let poller = std::thread::spawn(move || {
+        let mut admin = Client::connect(addr).unwrap();
+        let mut scrapes = 0u32;
+        loop {
+            let top = admin.roundtrip(r#"{"id":"p","verb":"top"}"#).unwrap();
+            assert!(top.contains("\"ok\":true"), "top failed: {top}");
+            let metrics = admin.roundtrip(r#"{"id":"p","verb":"metrics"}"#).unwrap();
+            assert!(metrics.contains("\"ok\":true"), "metrics failed: {metrics}");
+            scrapes += 1;
+            match stop_rx.recv_timeout(std::time::Duration::from_millis(5)) {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                _ => break,
+            }
+        }
+        scrapes
+    });
+
     let mut threads = Vec::new();
     for client_id in 0..16u64 {
         let (text, base) =
@@ -117,6 +149,10 @@ fn sixteen_shuffled_clients_match_the_sequential_oracle_per_tenant() {
             );
         }
     }
+
+    stop_tx.send(()).unwrap();
+    let scrapes = poller.join().unwrap();
+    assert!(scrapes > 0, "the accounting poller never completed a scrape");
 
     handle.shutdown();
 }

@@ -52,6 +52,12 @@ impl BitVec {
         self.len
     }
 
+    /// Approximate heap footprint in bytes (packed words plus the vector
+    /// header), used by the resource-accounting gauges.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.len() * std::mem::size_of::<u64>()
+    }
+
     /// True iff the dimension is zero.
     pub fn is_empty(&self) -> bool {
         self.len == 0

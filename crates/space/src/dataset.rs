@@ -100,6 +100,15 @@ impl<F: Field> ContinuousDataset<F> {
         self.labels.iter().filter(|&&l| l == label).count()
     }
 
+    /// Approximate heap footprint in bytes: dense coordinate storage plus
+    /// per-point vector headers and the label array. Feeds the
+    /// `knn_engine_bytes{component="dataset"}` gauge; an estimate, not an
+    /// allocator-exact measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let coords = self.points.len() * (self.dim * std::mem::size_of::<F>() + 24);
+        coords + self.labels.len() * std::mem::size_of::<Label>()
+    }
+
     /// Converts all coordinates to another field (e.g. `Rat → f64`).
     pub fn map_field<G: Field>(&self, f: impl Fn(&F) -> G) -> ContinuousDataset<G> {
         ContinuousDataset {
@@ -198,6 +207,13 @@ impl BooleanDataset {
     /// Number of points with the given label.
     pub fn count_of(&self, label: Label) -> usize {
         self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// Approximate heap footprint in bytes (packed bit words plus labels);
+    /// mirrors [`ContinuousDataset::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        self.points.iter().map(|p| p.approx_bytes()).sum::<usize>()
+            + self.labels.len() * std::mem::size_of::<Label>()
     }
 
     /// Views the dataset as a continuous one over a field (bits become 0/1),

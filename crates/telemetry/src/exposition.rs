@@ -75,10 +75,40 @@ pub fn render_histogram(
 
 /// Checks that every non-blank line is a `# ` comment or a
 /// `key value` sample with a finite numeric value and a plausible metric
-/// name. Returns the first offending line.
+/// name, **and** that every sample's family declared both a `# HELP` and a
+/// `# TYPE` header before its first sample. The header rule is
+/// declared-before, not contiguity: a family's samples may interleave with
+/// another family's (the sorted merge output puts `f_max` between
+/// `f_count` and `f_sum`), as long as each family's headers came first.
+/// Returns the first offending line.
 pub fn validate(text: &str) -> Result<(), String> {
+    let mut helped: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut typed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
     for line in text.lines() {
-        if line.is_empty() || line.starts_with("# ") {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if name.is_empty() {
+                return Err(format!("HELP without a metric name: `{line}`"));
+            }
+            helped.insert(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut toks = rest.split(' ');
+            let name = toks.next().unwrap_or("");
+            let kind = toks.next().unwrap_or("");
+            if name.is_empty()
+                || !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped")
+            {
+                return Err(format!("bad TYPE header: `{line}`"));
+            }
+            typed.insert(name);
+            continue;
+        }
+        if line.starts_with("# ") {
             continue;
         }
         let Some((key, value)) = line.rsplit_once(' ') else {
@@ -96,6 +126,13 @@ pub fn validate(text: &str) -> Result<(), String> {
         }
         if key.contains('{') && !key.ends_with('}') {
             return Err(format!("unterminated labels: `{line}`"));
+        }
+        let family = family_of(key);
+        if !typed.contains(family) {
+            return Err(format!("series without a preceding `# TYPE {family}`: `{line}`"));
+        }
+        if !helped.contains(family) {
+            return Err(format!("series without a preceding `# HELP {family}`: `{line}`"));
         }
     }
     Ok(())
@@ -124,12 +161,60 @@ pub fn metric_name(key: &str) -> &str {
     key.split('{').next().unwrap_or(key)
 }
 
+/// The metric **family** a series key belongs to: the metric name with any
+/// histogram sample suffix (`_bucket`, `_sum`, `_count`) stripped. The
+/// exact-max companion series (`_max`) is deliberately *not* stripped — it
+/// is exposed as its own gauge family, since Prometheus histograms have no
+/// max sample and the merge rule differs (max, not sum).
+pub fn family_of(key: &str) -> &str {
+    let name = metric_name(key);
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            if !stripped.is_empty() {
+                return stripped;
+            }
+        }
+    }
+    name
+}
+
+/// Appends the `# HELP` / `# TYPE` header pair for one metric family.
+pub fn push_header(out: &mut String, family: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(family);
+    out.push(' ');
+    out.push_str(help);
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(family);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
 /// Merges several expositions key-wise: series whose metric name ends in
 /// `_max` take the max, everything else sums. Output is one sorted sample
-/// line per key (whole numbers render without a decimal point).
+/// line per key (whole numbers render without a decimal point), with each
+/// family's `# HELP` / `# TYPE` headers — first-seen across the inputs —
+/// emitted exactly once, immediately before the family's first sample.
+/// Families whose inputs carried no headers stay headerless (the merge
+/// never invents metadata).
 pub fn merge(texts: &[String]) -> String {
     let mut acc: BTreeMap<String, f64> = BTreeMap::new();
+    let mut help: BTreeMap<String, String> = BTreeMap::new();
+    let mut kind: BTreeMap<String, String> = BTreeMap::new();
     for text in texts {
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                if let Some((name, h)) = rest.split_once(' ') {
+                    help.entry(name.to_string()).or_insert_with(|| h.to_string());
+                }
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                if let Some((name, k)) = rest.split_once(' ') {
+                    kind.entry(name.to_string()).or_insert_with(|| k.to_string());
+                }
+            }
+        }
         for (key, v) in parse(text) {
             acc.entry(key.clone())
                 .and_modify(|cur| {
@@ -143,7 +228,14 @@ pub fn merge(texts: &[String]) -> String {
         }
     }
     let mut out = String::new();
+    let mut emitted: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for (key, v) in acc {
+        let family = family_of(&key);
+        if emitted.insert(family.to_string()) {
+            if let (Some(h), Some(k)) = (help.get(family), kind.get(family)) {
+                push_header(&mut out, family, k, h);
+            }
+        }
         out.push_str(&key);
         out.push(' ');
         if v.fract() == 0.0 && v.abs() < 9e15 {
@@ -171,13 +263,47 @@ mod tests {
     fn validate_accepts_rendered_and_rejects_garbage() {
         let h = Histogram::new();
         h.record(100);
-        let mut out = String::from("# TYPE m histogram\n");
+        let mut out = String::new();
+        push_header(&mut out, "m", "histogram", "A test histogram.");
+        push_header(&mut out, "m_max", "gauge", "Its exact max.");
         render_histogram(&mut out, "m", &[("t", "x")], &h.snapshot());
         validate(&out).unwrap();
         assert!(validate("not an exposition line").is_err());
         assert!(validate("name notanumber").is_err());
         assert!(validate("1name 3").is_err());
         assert!(validate("m{a=\"b\" 3").is_err());
+        assert!(validate("# TYPE m sideways\nm 3\n").is_err(), "unknown TYPE kind");
+    }
+
+    #[test]
+    fn validate_requires_declared_before_headers() {
+        // A bare sample with no headers is rejected...
+        assert!(validate("m_total 3\n").is_err());
+        // ...as is TYPE-only or HELP-only...
+        assert!(validate("# TYPE m_total counter\nm_total 3\n").is_err());
+        assert!(validate("# HELP m_total a counter\nm_total 3\n").is_err());
+        // ...and headers after the sample are too late.
+        assert!(
+            validate("m_total 3\n# HELP m_total a\n# TYPE m_total counter\n").is_err(),
+            "declared-before means before"
+        );
+        let ok = "# HELP m_total a counter\n# TYPE m_total counter\nm_total 3\n";
+        validate(ok).unwrap();
+        // Histogram sample suffixes resolve to the family's headers; the
+        // `_max` companion needs its own gauge headers.
+        let mut hist = String::new();
+        push_header(&mut hist, "h", "histogram", "hist");
+        hist.push_str("h_bucket{le=\"+Inf\"} 1\nh_sum 2\nh_count 1\nh_max 2\n");
+        let err = validate(&hist).unwrap_err();
+        assert!(err.contains("h_max"), "{err}");
+        push_header(&mut hist, "h_max", "gauge", "max");
+        // Headers appended after the samples do not rescue them.
+        assert!(validate(&hist).is_err());
+        let mut good = String::new();
+        push_header(&mut good, "h", "histogram", "hist");
+        push_header(&mut good, "h_max", "gauge", "max");
+        good.push_str("h_bucket{le=\"+Inf\"} 1\nh_sum 2\nh_count 1\nh_max 2\n");
+        validate(&good).unwrap();
     }
 
     #[test]
@@ -198,6 +324,8 @@ mod tests {
         }
         let render = |h: &Histogram| {
             let mut s = String::new();
+            push_header(&mut s, "knn_request_duration_us", "histogram", "Request latency.");
+            push_header(&mut s, "knn_request_duration_us_max", "gauge", "Max latency.");
             render_histogram(&mut s, "knn_request_duration_us", &[("tenant", "d")], &h.snapshot());
             s
         };
@@ -205,9 +333,46 @@ mod tests {
         // `merge` normalizes to sorted order, so compare through `parse`.
         assert_eq!(parse(&merged), parse(&render(&all)));
         validate(&merged).unwrap();
-        // And counters sum while _max takes the max.
+        // Headers survive the merge exactly once, before the first sample.
+        assert_eq!(merged.matches("# TYPE knn_request_duration_us histogram").count(), 1);
+        assert_eq!(merged.matches("# HELP knn_request_duration_us ").count(), 1);
+        assert_eq!(merged.matches("# TYPE knn_request_duration_us_max gauge").count(), 1);
+        // And counters sum while _max takes the max; headerless inputs
+        // merge to headerless output (the merge invents no metadata).
         let m = merge(&["c_total 2\nm_max 9\n".into(), "c_total 3\nm_max 4\n".into()]);
         assert_eq!(m, "c_total 5\nm_max 9\n");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative_over_inputs() {
+        let mk = |vals: &[u64], extra: &str| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            let mut s = String::new();
+            push_header(&mut s, "m", "histogram", "hist");
+            push_header(&mut s, "m_max", "gauge", "max");
+            render_histogram(&mut s, "m", &[("tenant", "d")], &h.snapshot());
+            s.push_str(extra);
+            s
+        };
+        let x = mk(&[5, 90], "# HELP c_total c\n# TYPE c_total counter\nc_total 2\n");
+        let y =
+            mk(&[7, 7, 40_000], "# HELP c_total other help\n# TYPE c_total counter\nc_total 5\n");
+        let z = mk(&[1_000_000], "");
+        // Commutative: any permutation parses identically.
+        let base = parse(&merge(&[x.clone(), y.clone(), z.clone()]));
+        for perm in [[&y, &x, &z], [&z, &y, &x], [&x, &z, &y]] {
+            let m = merge(&[perm[0].clone(), perm[1].clone(), perm[2].clone()]);
+            assert_eq!(parse(&m), base);
+            validate(&m).unwrap();
+        }
+        // Associative: merge(merge(x, y), z) == merge(x, merge(y, z)).
+        let left = merge(&[merge(&[x.clone(), y.clone()]), z.clone()]);
+        let right = merge(&[x.clone(), merge(&[y.clone(), z.clone()])]);
+        assert_eq!(parse(&left), parse(&right));
+        assert_eq!(parse(&left), base);
     }
 
     #[test]

@@ -34,9 +34,11 @@
 pub mod chrome;
 pub mod exposition;
 pub mod recorder;
+pub mod slo;
 pub mod span;
 
 pub use recorder::Recorder;
+pub use slo::{SloObjective, SloRegistry, SloStatus};
 pub use span::{SpanCtx, SpanEvent};
 
 use std::cell::Cell;
@@ -211,6 +213,35 @@ impl HistogramSnapshot {
         self.max_us
     }
 
+    /// The window between an `earlier` cumulative snapshot and `self`:
+    /// bucket-wise saturating difference of counts and sums. `max_us`
+    /// carries `self`'s cumulative max — the per-window max is not
+    /// tracked, so the cumulative value serves as its upper bound (which
+    /// keeps [`HistogramSnapshot::quantile_us`] an upper bound too).
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for (o, (s, e)) in out.buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+            *o = s.saturating_sub(*e);
+        }
+        out.sum_us = self.sum_us.saturating_sub(earlier.sum_us);
+        out.count = self.count.saturating_sub(earlier.count);
+        out.max_us = self.max_us;
+        out
+    }
+
+    /// Observations in buckets whose upper edge exceeds `threshold_us`. A
+    /// bucket straddling the threshold counts entirely, so this is an
+    /// over-count of threshold-breaking observations — the SLO engine's
+    /// conservative-toward-alerting "bad" count.
+    pub fn count_over(&self, threshold_us: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bucket_upper(*i) > threshold_us)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
     /// The median upper bound, µs.
     pub fn p50(&self) -> u64 {
         self.quantile_us(0.50)
@@ -324,6 +355,10 @@ pub struct Telemetry {
     /// process, and the recorder's unelected-path cost is one thread-local
     /// counter bump.
     recorder: Recorder,
+    /// Per-tenant latency objectives and their burn-rate windows. Like the
+    /// recorder, not gated on `enabled` — but with telemetry off the route
+    /// histograms stay empty, so observations see no traffic.
+    slo: SloRegistry,
 }
 
 fn labeled(map: &LabeledHists, a: &str, b: &str) -> Arc<Histogram> {
@@ -353,6 +388,38 @@ impl Telemetry {
     /// The process's flight recorder (always on; see [`Recorder`]).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The per-tenant SLO registry (see [`slo`]).
+    pub fn slo(&self) -> &SloRegistry {
+        &self.slo
+    }
+
+    /// `tenant`'s cumulative end-to-end latency: all of its per-route
+    /// histograms merged into one snapshot.
+    pub fn tenant_cumulative(&self, tenant: &str) -> HistogramSnapshot {
+        let mut cum = HistogramSnapshot::default();
+        if let Some(m) = self.routes.read().unwrap().get(tenant) {
+            for h in m.values() {
+                cum.merge(&h.snapshot());
+            }
+        }
+        cum
+    }
+
+    /// Feeds `tenant`'s current cumulative latency into its SLO tracker
+    /// (violations force anomaly spans into the flight recorder). `None`
+    /// when the tenant has no registered objective.
+    pub fn observe_slo(&self, tenant: &str) -> Option<SloStatus> {
+        let cum = self.tenant_cumulative(tenant);
+        self.slo.observe(tenant, cum, &self.recorder)
+    }
+
+    /// Observes and reports every tenant with a registered objective —
+    /// what the `top` and `slo` verbs call so burn rates are current at
+    /// the moment of asking.
+    pub fn observe_slo_all(&self) -> Vec<SloStatus> {
+        self.slo.tenants().iter().filter_map(|t| self.observe_slo(t)).collect()
     }
 
     /// The end-to-end histogram for `(tenant, route)`, creating it if
@@ -474,14 +541,30 @@ impl Telemetry {
     /// Renders everything recorded so far as Prometheus text exposition.
     ///
     /// Families in fixed order (request histograms, phase histograms,
-    /// free-form histograms, counters), series sorted within each — the
-    /// output is deterministic for a fixed state.
+    /// free-form histograms, counters/gauges, SLO status), series sorted
+    /// within each — the output is deterministic for a fixed state. Every
+    /// non-empty family gets its `# HELP` / `# TYPE` headers before its
+    /// first sample (the `_max` companion of each histogram is its own
+    /// gauge family); an empty registry still renders to the empty string.
     pub fn render(&self) -> String {
+        let histogram_headers = |out: &mut String, name: &str, help: &str| {
+            exposition::push_header(out, name, "histogram", help);
+            exposition::push_header(
+                out,
+                &format!("{name}_max"),
+                "gauge",
+                "Exact maximum of the observations in the sibling histogram.",
+            );
+        };
         let mut out = String::new();
         {
             let routes = self.routes.read().unwrap();
             if routes.values().any(|m| !m.is_empty()) {
-                out.push_str("# TYPE knn_request_duration_us histogram\n");
+                histogram_headers(
+                    &mut out,
+                    "knn_request_duration_us",
+                    "End-to-end request latency by tenant and route, microseconds.",
+                );
                 for (tenant, m) in routes.iter() {
                     for (route, h) in m.iter() {
                         exposition::render_histogram(
@@ -497,7 +580,11 @@ impl Telemetry {
         {
             let phases = self.phases.read().unwrap();
             if phases.values().any(|m| !m.is_empty()) {
-                out.push_str("# TYPE knn_phase_duration_us histogram\n");
+                histogram_headers(
+                    &mut out,
+                    "knn_phase_duration_us",
+                    "Per-phase execution time by tenant, microseconds.",
+                );
                 for (tenant, m) in phases.iter() {
                     for (phase, h) in m.iter() {
                         exposition::render_histogram(
@@ -511,14 +598,67 @@ impl Telemetry {
             }
         }
         for (name, h) in self.named.read().unwrap().iter() {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            histogram_headers(&mut out, name, "Free-form latency histogram, microseconds.");
             exposition::render_histogram(&mut out, name, &[], &h.snapshot());
         }
-        for (series, c) in self.counters.read().unwrap().iter() {
-            out.push_str(series);
-            out.push(' ');
-            out.push_str(&c.load(Ordering::Relaxed).to_string());
-            out.push('\n');
+        {
+            // Counters/gauges grouped by family so each family's headers
+            // go out once, before its first series. `_total` names are
+            // monotonic counters per Prometheus convention; anything else
+            // registered here is a point-in-time gauge.
+            let counters = self.counters.read().unwrap();
+            let mut families: BTreeMap<&str, Vec<(&String, u64)>> = BTreeMap::new();
+            for (series, c) in counters.iter() {
+                families
+                    .entry(exposition::family_of(series))
+                    .or_default()
+                    .push((series, c.load(Ordering::Relaxed)));
+            }
+            for (family, series) in families {
+                let (kind, help) = if family.ends_with("_total") {
+                    ("counter", "Monotonic event counter.")
+                } else {
+                    ("gauge", "Point-in-time gauge.")
+                };
+                exposition::push_header(&mut out, family, kind, help);
+                for (key, v) in series {
+                    exposition::push_sample(&mut out, key, v);
+                }
+            }
+        }
+        {
+            let statuses = self.slo.all_status();
+            if !statuses.is_empty() {
+                exposition::push_header(
+                    &mut out,
+                    "knn_slo_burn",
+                    "gauge",
+                    "Error-budget burn rate, max of short and long windows (1.0 = on budget).",
+                );
+                for st in &statuses {
+                    out.push_str(&exposition::series_key(
+                        "knn_slo_burn",
+                        &[("tenant", &st.tenant)],
+                    ));
+                    out.push_str(&format!(" {:.4}\n", st.burn));
+                }
+                exposition::push_header(
+                    &mut out,
+                    "knn_slo_violations_total",
+                    "counter",
+                    "Observation windows whose attained quantile broke the objective.",
+                );
+                for st in &statuses {
+                    exposition::push_sample(
+                        &mut out,
+                        &exposition::series_key(
+                            "knn_slo_violations_total",
+                            &[("tenant", &st.tenant)],
+                        ),
+                        st.violations,
+                    );
+                }
+            }
         }
         out
     }
@@ -651,6 +791,9 @@ mod tests {
         t.record_phase("demo", "solve", 17);
         t.record_named("knn_router_probe_round_us", 5);
         t.add("knn_router_dispatches_total", 2);
+        t.add("knn_server_admission_queue_depth", 3);
+        t.slo().set("demo", SloObjective { quantile: 0.5, threshold_us: 1, windows: 2 }).unwrap();
+        t.observe_slo("demo").unwrap();
         let text = t.render();
         assert_eq!(text, t.render());
         exposition::validate(&text).unwrap();
@@ -658,5 +801,48 @@ mod tests {
             "knn_request_duration_us_count{tenant=\"demo\",route=\"classify_hamming\"} 1"
         ));
         assert!(text.contains("knn_router_dispatches_total 2"));
+        // Every family carries its HELP/TYPE headers exactly once.
+        for family in [
+            "knn_request_duration_us",
+            "knn_request_duration_us_max",
+            "knn_phase_duration_us",
+            "knn_router_probe_round_us",
+            "knn_router_dispatches_total",
+            "knn_server_admission_queue_depth",
+            "knn_slo_burn",
+            "knn_slo_violations_total",
+        ] {
+            assert_eq!(text.matches(&format!("# HELP {family} ")).count(), 1, "{family}");
+            assert_eq!(text.matches(&format!("# TYPE {family} ")).count(), 1, "{family}");
+        }
+        assert!(text.contains("# TYPE knn_router_dispatches_total counter"));
+        assert!(text.contains("# TYPE knn_server_admission_queue_depth gauge"));
+        // The 42µs observation broke the 1µs p50 objective.
+        assert!(text.contains("knn_slo_violations_total{tenant=\"demo\"} 1"));
+        assert!(text.contains("knn_slo_burn{tenant=\"demo\"} 2.0000"));
+    }
+
+    #[test]
+    fn snapshot_diff_is_the_window_between_observations() {
+        let h = Histogram::new();
+        for us in [10u64, 20, 3000] {
+            h.record(us);
+        }
+        let first = h.snapshot();
+        for us in [40u64, 500_000] {
+            h.record(us);
+        }
+        let window = h.snapshot().diff(&first);
+        assert_eq!(window.count, 2);
+        assert_eq!(window.sum_us, 500_040);
+        assert_eq!(window.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(window.max_us, 500_000, "cumulative max is the window's upper bound");
+        assert_eq!(HistogramSnapshot::default().diff(&first).count, 0, "diff saturates");
+        // count_over: buckets above the threshold, straddlers included.
+        assert_eq!(first.count_over(4095), 0);
+        assert_eq!(first.count_over(4000), 1, "3000's bucket [2048,4095] straddles 4000");
+        assert_eq!(first.count_over(100), 1);
+        assert_eq!(first.count_over(15), 2, "the [16,31] bucket straddling 15 counts as over");
+        assert_eq!(first.count_over(0), 3);
     }
 }

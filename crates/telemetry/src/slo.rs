@@ -1,0 +1,313 @@
+//! Per-tenant latency SLOs: objectives, sliding windows of histogram
+//! snapshots, and multi-window error-budget burn rates.
+//!
+//! An objective says "quantile `q` of end-to-end latency stays ≤
+//! `threshold_us`, judged over the last `windows` observations". Each
+//! [`SloRegistry::observe`] call takes the tenant's **cumulative** latency
+//! snapshot, diffs it against the previous observation to get the newest
+//! window, and appends it to a bounded deque — so the SLO engine never
+//! needs the serving layer to reset histograms, and several scrapers can
+//! read the same cumulative counters without coordinating.
+//!
+//! Burn rates use the standard error-budget formulation: the budget is
+//! `1 − q`, and a window whose bad-observation fraction is `b` burns it at
+//! rate `b / (1 − q)` — 1.0 means exactly on budget, above 1.0 means the
+//! budget runs out early. The **short** burn (newest window) catches fast
+//! regressions; the **long** burn (all retained windows merged) catches
+//! slow leaks; the reported burn is the max of the two, per multi-window
+//! burn-rate alerting practice. "Bad" counts every whole bucket whose
+//! upper edge exceeds the threshold, so a bucket straddling the threshold
+//! counts as bad — the estimate is conservative toward alerting.
+//!
+//! Everything here is out-of-band: observing never touches response
+//! bytes, and a violation's only side effects are a counter bump and a
+//! forced flight-recorder span (anomaly `slo_violation`).
+
+use crate::{HistogramSnapshot, Recorder, SpanEvent};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+/// One tenant's latency objective.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloObjective {
+    /// The judged quantile, in (0, 1) — e.g. 0.99 for p99.
+    pub quantile: f64,
+    /// The latency bound the quantile must stay under, µs.
+    pub threshold_us: u64,
+    /// How many observation windows the sliding long-burn view retains.
+    pub windows: usize,
+}
+
+impl Default for SloObjective {
+    fn default() -> SloObjective {
+        SloObjective { quantile: 0.99, threshold_us: 100_000, windows: 6 }
+    }
+}
+
+/// A point-in-time report for one tenant's objective.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    /// Tenant name.
+    pub tenant: String,
+    /// The objective being judged.
+    pub objective: SloObjective,
+    /// Windows currently retained (≤ `objective.windows`).
+    pub windows_held: usize,
+    /// Observations within the threshold across the retained windows.
+    pub good: u64,
+    /// All observations across the retained windows.
+    pub total: u64,
+    /// The attained objective quantile of the newest window, µs (0 when
+    /// no window has been captured yet).
+    pub quantile_us: u64,
+    /// Burn rate of the newest window alone.
+    pub short_burn: f64,
+    /// Burn rate of all retained windows merged.
+    pub long_burn: f64,
+    /// `max(short_burn, long_burn)` — the headline number `top` ranks by.
+    pub burn: f64,
+    /// Observations (windows) whose attained quantile broke the threshold
+    /// since the objective was set.
+    pub violations: u64,
+}
+
+/// Per-tenant tracking state.
+#[derive(Debug)]
+struct TenantSlo {
+    objective: SloObjective,
+    /// The cumulative snapshot at the previous observation — the diff
+    /// baseline for the next window.
+    last_cum: HistogramSnapshot,
+    /// The retained windows, oldest first.
+    windows: VecDeque<HistogramSnapshot>,
+    violations: u64,
+}
+
+/// The per-process SLO registry: tenant name → objective + window state.
+///
+/// Lock discipline: one mutex over the whole map, held only for O(windows)
+/// work — `observe` runs on scrape/`top` paths, never per-query.
+#[derive(Debug, Default)]
+pub struct SloRegistry {
+    inner: Mutex<BTreeMap<String, TenantSlo>>,
+}
+
+impl SloRegistry {
+    /// Registers (or replaces) `tenant`'s objective, resetting its window
+    /// history and violation count. The first window observed after `set`
+    /// covers all of the tenant's traffic to date (the diff baseline
+    /// starts empty).
+    pub fn set(&self, tenant: &str, objective: SloObjective) -> Result<(), String> {
+        if !(objective.quantile > 0.0 && objective.quantile < 1.0) {
+            return Err(format!("slo quantile must be in (0, 1), got {}", objective.quantile));
+        }
+        if objective.windows == 0 {
+            return Err("slo windows must be positive".into());
+        }
+        self.inner.lock().unwrap().insert(
+            tenant.to_string(),
+            TenantSlo {
+                objective,
+                last_cum: HistogramSnapshot::default(),
+                windows: VecDeque::new(),
+                violations: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// The objective registered for `tenant`, if any.
+    pub fn get(&self, tenant: &str) -> Option<SloObjective> {
+        self.inner.lock().unwrap().get(tenant).map(|t| t.objective)
+    }
+
+    /// Drops `tenant`'s objective; returns whether one was registered.
+    pub fn clear(&self, tenant: &str) -> bool {
+        self.inner.lock().unwrap().remove(tenant).is_some()
+    }
+
+    /// Tenants with a registered objective, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.inner.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// Feeds one cumulative latency snapshot for `tenant`. The diff
+    /// against the previous observation becomes the newest window (empty
+    /// diffs — no traffic since last time — are skipped, so idle scrapes
+    /// do not dilute the sliding view). When the newest window's attained
+    /// quantile breaks the threshold, the violation is counted and a
+    /// forced anomaly span (`slo` / `slo_violation`) is pushed into the
+    /// flight recorder. Returns the post-observation status, or `None`
+    /// when the tenant has no objective.
+    pub fn observe(
+        &self,
+        tenant: &str,
+        cum: HistogramSnapshot,
+        recorder: &Recorder,
+    ) -> Option<SloStatus> {
+        let mut inner = self.inner.lock().unwrap();
+        let t = inner.get_mut(tenant)?;
+        let window = cum.diff(&t.last_cum);
+        if window.count > 0 {
+            t.last_cum = cum;
+            while t.windows.len() >= t.objective.windows.max(1) {
+                t.windows.pop_front();
+            }
+            let attained = window.quantile_us(t.objective.quantile);
+            t.windows.push_back(window);
+            if attained > t.objective.threshold_us {
+                t.violations += 1;
+                recorder.push(
+                    SpanEvent {
+                        seq: recorder.next_seq(),
+                        name: "slo",
+                        detail: format!(
+                            "p{:.0}={}us threshold={}us",
+                            t.objective.quantile * 100.0,
+                            attained,
+                            t.objective.threshold_us
+                        ),
+                        tenant: tenant.to_string(),
+                        start_us: recorder.now_us(),
+                        anomaly: "slo_violation",
+                        ..SpanEvent::default()
+                    },
+                    true,
+                );
+            }
+        }
+        Some(Self::status_of(tenant, t))
+    }
+
+    /// The status for `tenant` without observing a new window.
+    pub fn status(&self, tenant: &str) -> Option<SloStatus> {
+        self.inner.lock().unwrap().get(tenant).map(|t| Self::status_of(tenant, t))
+    }
+
+    /// Statuses for every tenant with an objective, sorted by tenant.
+    pub fn all_status(&self) -> Vec<SloStatus> {
+        self.inner.lock().unwrap().iter().map(|(n, t)| Self::status_of(n, t)).collect()
+    }
+
+    /// Error-budget burn rate of one window under `o` (0 when empty).
+    fn burn(window: &HistogramSnapshot, o: &SloObjective) -> f64 {
+        if window.count == 0 {
+            return 0.0;
+        }
+        let bad = window.count_over(o.threshold_us) as f64;
+        (bad / window.count as f64) / (1.0 - o.quantile).max(1e-9)
+    }
+
+    fn status_of(tenant: &str, t: &TenantSlo) -> SloStatus {
+        let newest = t.windows.back().cloned().unwrap_or_default();
+        let mut long = HistogramSnapshot::default();
+        for w in &t.windows {
+            long.merge(w);
+        }
+        let short_burn = Self::burn(&newest, &t.objective);
+        let long_burn = Self::burn(&long, &t.objective);
+        let bad = long.count_over(t.objective.threshold_us);
+        SloStatus {
+            tenant: tenant.to_string(),
+            objective: t.objective,
+            windows_held: t.windows.len(),
+            good: long.count - bad,
+            total: long.count,
+            quantile_us: newest.quantile_us(t.objective.quantile),
+            short_burn,
+            long_burn,
+            burn: short_burn.max(long_burn),
+            violations: t.violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn objectives_are_validated_and_replaceable() {
+        let r = SloRegistry::default();
+        assert!(r.set("d", SloObjective { quantile: 0.0, ..Default::default() }).is_err());
+        assert!(r.set("d", SloObjective { quantile: 1.0, ..Default::default() }).is_err());
+        assert!(r.set("d", SloObjective { windows: 0, ..Default::default() }).is_err());
+        assert!(r.get("d").is_none());
+        r.set("d", SloObjective { quantile: 0.9, threshold_us: 50, windows: 3 }).unwrap();
+        assert_eq!(r.get("d").unwrap().threshold_us, 50);
+        assert_eq!(r.tenants(), vec!["d".to_string()]);
+        // Replacing resets history.
+        r.set("d", SloObjective::default()).unwrap();
+        assert_eq!(r.status("d").unwrap().windows_held, 0);
+        assert!(r.clear("d"));
+        assert!(!r.clear("d"));
+    }
+
+    #[test]
+    fn observe_windows_diff_and_burn() {
+        let r = SloRegistry::default();
+        let rec = Recorder::new();
+        // p50 ≤ 100µs over 2 windows: easy to violate deliberately.
+        r.set("d", SloObjective { quantile: 0.5, threshold_us: 100, windows: 2 }).unwrap();
+
+        let h = Histogram::new();
+        for us in [10u64, 20, 30, 40] {
+            h.record(us);
+        }
+        let st = r.observe("d", h.snapshot(), &rec).unwrap();
+        assert_eq!((st.windows_held, st.total, st.good), (1, 4, 4));
+        assert_eq!(st.burn, 0.0);
+        assert_eq!(st.violations, 0);
+
+        // No new traffic → idle observation keeps the window count.
+        let st = r.observe("d", h.snapshot(), &rec).unwrap();
+        assert_eq!(st.windows_held, 1);
+
+        // A window of all-slow traffic: bad_frac 1.0, budget 0.5 → burn 2.
+        for us in [1000u64, 2000, 3000, 4000] {
+            h.record(us);
+        }
+        let st = r.observe("d", h.snapshot(), &rec).unwrap();
+        assert_eq!(st.windows_held, 2);
+        assert_eq!((st.total, st.good), (8, 4));
+        assert!((st.short_burn - 2.0).abs() < 1e-9, "short burn {}", st.short_burn);
+        assert!((st.long_burn - 1.0).abs() < 1e-9, "long burn {}", st.long_burn);
+        assert!((st.burn - 2.0).abs() < 1e-9);
+        assert_eq!(st.violations, 1, "the slow window broke p50 ≤ 100µs");
+
+        // A third window evicts the oldest (fast) one: long view = 2 slow-ish.
+        for us in [500u64, 600] {
+            h.record(us);
+        }
+        let st = r.observe("d", h.snapshot(), &rec).unwrap();
+        assert_eq!(st.windows_held, 2);
+        assert_eq!(st.total, 6, "oldest window evicted from the sliding view");
+        assert_eq!(st.violations, 2);
+    }
+
+    #[test]
+    fn violations_force_anomaly_spans() {
+        let r = SloRegistry::default();
+        let rec = Recorder::new();
+        r.set("d", SloObjective { quantile: 0.5, threshold_us: 1, windows: 4 }).unwrap();
+        let h = Histogram::new();
+        h.record(10_000);
+        r.observe("d", h.snapshot(), &rec).unwrap();
+        let spans = rec.all();
+        let slo: Vec<_> = spans.iter().filter(|s| s.name == "slo").collect();
+        assert_eq!(slo.len(), 1);
+        assert_eq!(slo[0].anomaly, "slo_violation");
+        assert_eq!(slo[0].tenant, "d");
+        assert!(slo[0].detail.contains("threshold=1us"), "{}", slo[0].detail);
+    }
+
+    #[test]
+    fn observe_without_objective_is_none() {
+        let r = SloRegistry::default();
+        let rec = Recorder::new();
+        assert!(r.observe("ghost", HistogramSnapshot::default(), &rec).is_none());
+        assert!(r.status("ghost").is_none());
+        assert!(r.all_status().is_empty());
+    }
+}

@@ -51,6 +51,11 @@
 //!                     backend trees are stitched under dispatch spans)
 //!   --trace-dump      one-shot: print the flight recorder as Chrome
 //!                     trace-event JSON (load in chrome://tracing/Perfetto)
+//!   --top             one-shot: print the server's per-tenant resource
+//!                     table (`top` verb: bytes, QPS, SLO burn); through a
+//!                     router, rows are merged across the backends
+//!   --watch <secs>    repeat `--top` (or `--metrics`) every <secs>
+//!                     seconds until interrupted or the server goes away
 //!
 //! router options:
 //!   --addr <a>        bind address (default 127.0.0.1:7979; port 0 = ephemeral)
@@ -112,7 +117,8 @@ fn main() {
         println!("       xknn serve [--addr host:port] [--data name=<file> ...]");
         println!("            [--workers <n>] [--inflight <n>] [--budget <c>] [--cache <n>]");
         println!("       xknn client --addr host:port [--requests <jsonl>|-]");
-        println!("            [--metrics | --stats-json | --trace <id> | --trace-dump]");
+        println!("            [--metrics | --stats-json | --trace <id> | --trace-dump | --top]");
+        println!("            [--watch <secs>]");
         println!("       xknn router [--addr host:port] [--backend host:port ...] [--spawn <n>]");
         println!("            [--replicas <r>] [--data name=<file> ...] [--probe-ms <m>]");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
@@ -208,13 +214,90 @@ fn serve() {
     }
 }
 
+/// One `--top` table: tenants ranked by bytes, with rate and burn columns.
+fn render_top(rows: &[knn_engine::json::Value]) -> String {
+    use knn_engine::json::Value;
+    let mut out = format!(
+        "{:<16} {:>12} {:>10} {:>8} {:>10} {:>6}\n",
+        "TENANT", "BYTES", "REQUESTS", "QPS", "SLO_BURN", "VIOL"
+    );
+    for row in rows {
+        let s = |k: &str| row.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+        let u = |k: &str| row.get(k).and_then(Value::as_u64).unwrap_or(0);
+        let f = |k: &str| row.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>10} {:>8.2} {:>10.4} {:>6}\n",
+            s("tenant"),
+            u("bytes_total"),
+            u("requests"),
+            f("qps"),
+            f("slo_burn"),
+            u("slo_violations"),
+        ));
+    }
+    out
+}
+
+/// Prints to stdout, surfacing a closed pipe as an error instead of the
+/// default panic — `--watch` loops (and one-shots piped into `head`) end
+/// cleanly when their reader goes away.
+fn try_print(text: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut out = std::io::stdout().lock();
+    out.write_all(text.as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("stdout closed: {e}"))
+}
+
+/// One scrape of `verb` against `addr`, payload printed to stdout.
+fn client_one_shot(addr: &str, verb: &str) -> Result<(), String> {
+    use knn_engine::json::Value;
+    let mut client =
+        knn_server::Client::connect_retry(addr, 5, std::time::Duration::from_millis(20))
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let line = if verb == "trace" {
+        let tid = arg("--trace").unwrap_or_else(|| fail("--trace wants a trace id"));
+        Value::Object(vec![
+            ("id".into(), Value::String("cli".into())),
+            ("verb".into(), Value::String("trace".into())),
+            ("trace".into(), Value::String(tid)),
+        ])
+        .to_json()
+    } else {
+        format!(r#"{{"id":"cli","verb":"{verb}"}}"#)
+    };
+    let resp = client.roundtrip(&line).map_err(|e| format!("{verb} failed: {e}"))?;
+    if verb == "stats" || verb == "trace" {
+        // Already one JSON object (stats / span tree); print verbatim.
+        return try_print(&format!("{resp}\n"));
+    }
+    // Unwrap the payload out of the response envelope so the output is
+    // directly consumable: Prometheus text for `--metrics`, a Chrome
+    // trace-event array for `--trace-dump`, an aligned table for `--top`.
+    let parsed = knn_engine::json::parse_bytes(resp.as_bytes())
+        .map_err(|e| format!("unparseable {verb} response: {e}"))?;
+    if verb == "top" {
+        return match parsed.get("top") {
+            Some(Value::Array(rows)) => try_print(&render_top(rows)),
+            _ => Err(format!("top verb answered without a top member: {resp}")),
+        };
+    }
+    let member = if verb == "dump" { "chrome" } else { "metrics" };
+    match parsed.get(member) {
+        Some(Value::String(text)) if verb == "dump" => try_print(&format!("{text}\n")),
+        Some(Value::String(text)) => try_print(text),
+        _ => Err(format!("{verb} verb answered without a {member} member: {resp}")),
+    }
+}
+
 /// `xknn client`: pipeline a JSON-lines stream to a server, print the
 /// responses in request order. With `--metrics`, `--stats-json`,
-/// `--trace <id>` or `--trace-dump`, a one-shot mode instead: connect,
-/// issue the verb, print the payload, exit — the scrape-friendly path
-/// (`xknn client --addr a:p --metrics | ...`, `--trace-dump > t.json`).
+/// `--trace <id>`, `--trace-dump` or `--top`, a one-shot mode instead:
+/// connect, issue the verb, print the payload, exit — the scrape-friendly
+/// path (`xknn client --addr a:p --metrics | ...`, `--trace-dump > t.json`).
+/// `--watch <secs>` repeats the one-shot (`--top` by default) on a fresh
+/// connection each round, exiting cleanly when the server goes away.
 fn client() {
-    use knn_engine::json::Value;
     let addr = arg("--addr").unwrap_or_else(|| fail("--addr host:port is required"));
     let argv: Vec<String> = std::env::args().collect();
     let one_shot = if argv.iter().any(|a| a == "--metrics") {
@@ -225,40 +308,35 @@ fn client() {
         Some("trace")
     } else if argv.iter().any(|a| a == "--trace-dump") {
         Some("dump")
+    } else if argv.iter().any(|a| a == "--top") {
+        Some("top")
     } else {
         None
     };
-    if let Some(verb) = one_shot {
-        let mut client =
-            knn_server::Client::connect_retry(&addr, 5, std::time::Duration::from_millis(20))
-                .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
-        let line = if verb == "trace" {
-            let tid = arg("--trace").unwrap_or_else(|| fail("--trace wants a trace id"));
-            Value::Object(vec![
-                ("id".into(), Value::String("cli".into())),
-                ("verb".into(), Value::String("trace".into())),
-                ("trace".into(), Value::String(tid)),
-            ])
-            .to_json()
-        } else {
-            format!(r#"{{"id":"cli","verb":"{verb}"}}"#)
+    if let Some(secs) = arg("--watch") {
+        let secs: u64 = secs.parse().unwrap_or_else(|_| fail("--watch must be seconds"));
+        let verb = match one_shot {
+            None | Some("top") => "top",
+            Some("metrics") => "metrics",
+            Some(other) => fail(&format!("--watch repeats --top or --metrics, not --{other}")),
         };
-        let resp = client.roundtrip(&line).unwrap_or_else(|e| fail(&format!("{verb} failed: {e}")));
-        if verb == "stats" || verb == "trace" {
-            // Already one JSON object (stats / span tree); print verbatim.
-            println!("{resp}");
-            return;
+        // Repeat until the server goes away (clean exit, scrape loops are
+        // advisory) or the user interrupts. Each round reconnects, so a
+        // server restart mid-watch just shows up as fresh counters.
+        loop {
+            if let Err(e) = client_one_shot(&addr, verb).and_then(|()| try_print("\n")) {
+                eprintln!("client: {e}; ending watch");
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_secs(secs.max(1)));
         }
-        // Unwrap the payload out of the response envelope so the output is
-        // directly consumable: Prometheus text for `--metrics`, a Chrome
-        // trace-event array for `--trace-dump`.
-        let parsed = knn_engine::json::parse_bytes(resp.as_bytes())
-            .unwrap_or_else(|e| fail(&format!("unparseable {verb} response: {e}")));
-        let member = if verb == "dump" { "chrome" } else { "metrics" };
-        match parsed.get(member) {
-            Some(Value::String(text)) if verb == "dump" => println!("{text}"),
-            Some(Value::String(text)) => print!("{text}"),
-            _ => fail(&format!("{verb} verb answered without a {member} member: {resp}")),
+    }
+    if let Some(verb) = one_shot {
+        if let Err(e) = client_one_shot(&addr, verb) {
+            if e.starts_with("stdout closed") {
+                return; // reader went away (| head); that's a clean exit
+            }
+            fail(&e);
         }
         return;
     }
