@@ -7,11 +7,21 @@
 //! Backends are real `xknn serve` **processes** when the binary can be
 //! found (`XKNN_BIN`, or `target/<profile>/xknn` next to this bench —
 //! `cargo build --release` first); otherwise in-process servers stand in
-//! and the JSON records which mode ran. The router uses `--spread 1`
-//! semantics (each client connection anchors on one replica, failing over
-//! to the rest), the configuration that minimizes per-backend connection
-//! fan-in when clients outnumber replicas — at 16 clients the interesting
-//! regime is many-clients-per-replica, not one-client-fan-out.
+//! and the JSON records which mode ran. The router runs cache-affinity
+//! routing (the default): repeats of a query land on the replica that
+//! already cached its answer, with `--spread 1` window semantics as the
+//! unkeyed/failover fallback — at 16 clients the interesting regime is
+//! many-clients-per-replica, not one-client-fan-out.
+//!
+//! Besides QPS the JSON records each topology's **warm hit rate** (cache
+//! hits / lookups over the warm passes, scraped from the router's merged
+//! stats) and the host's **cpu count**. The hit rate is the
+//! hardware-independent signal: the pre-affinity router scattered repeats
+//! away from their cache, so its warm hit rate *fell* as backends were
+//! added. Warm QPS only measures topology scaling when the host has at
+//! least as many cores as processes — on a core-starved box the qps
+//! columns mostly measure scheduler multiplexing, which is why the CI
+//! guard conditions the monotonicity check on `cpus`.
 //!
 //! Run with `cargo bench -p knn-bench --bench router_throughput`; pass
 //! `--full` for the larger workload.
@@ -92,6 +102,7 @@ fn main() {
     let (n_points, dim, q) = if full { (60, 12, 240) } else { (30, 8, 100) };
     let clients = 16usize;
     let rounds = if full { 3 } else { 2 };
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let mut rng = StdRng::seed_from_u64(2026);
     let hot = knn_datasets::random::random_boolean_dataset(&mut rng, n_points, dim, 0.5);
@@ -109,18 +120,45 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"config\": {{\"points\": {n_points}, \"dim\": {dim}, \"queries_per_client\": {q}, \
-         \"clients\": {clients}, \"tenants\": 1, \"spread\": 1, \"backend_mode\": \"{mode}\"}},"
+         \"clients\": {clients}, \"tenants\": 1, \"spread\": 1, \"affinity\": true, \
+         \"backend_mode\": \"{mode}\", \"cpus\": {cpus}}},"
     );
 
     let streams: Vec<String> = (0..clients).map(|i| stream(dim, q, 0xC10D ^ i as u64)).collect();
     let total = (clients * q) as f64;
 
+    // Pulls `"key": <digits>` out of a stats/metrics response line without
+    // a JSON parser — the router answers one line, each counter once.
+    fn scrape_u64(resp: &str, key: &str) -> u64 {
+        resp.rfind(key)
+            .map(|i| {
+                resp[i + key.len()..]
+                    .trim_start_matches([':', ' '])
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0)
+    }
+    fn cache_counters(c: &mut Client) -> (u64, u64) {
+        let s = c.roundtrip(r#"{"id":"st","verb":"stats"}"#).expect("stats");
+        (scrape_u64(&s, "\"cache_hits\""), scrape_u64(&s, "\"cache_misses\""))
+    }
+
     // One measurement: fresh backends + fresh router (cold numbers must not
-    // inherit warm caches), a cold pass, then the identical warm pass.
-    let measure = |backends: usize| -> (f64, f64) {
+    // inherit warm caches), a cold pass, then the identical warm passes.
+    // Returns (cold qps, warm qps, warm hit rate).
+    let measure = |backends: usize| -> (f64, f64, f64) {
         let router = Router::bind(
             "127.0.0.1:0",
-            RouterConfig { replication: 0, probe_interval: Duration::from_millis(500), spread: 1 },
+            RouterConfig {
+                replication: 0,
+                probe_interval: Duration::from_millis(500),
+                spread: 1,
+                affinity: true,
+            },
         )
         .expect("bind router");
         let mut stand_in = ThreadBackends(Vec::new());
@@ -150,23 +188,52 @@ fn main() {
                 assert!(!line.contains("\"ok\":false"), "error response: {line}");
             }
         }
-        // Warm = steady state. Caches are replica-local (a query hits only
-        // on the replica that computed it, and connections re-anchor per
-        // pass), so replay the identical streams a few times and take the
-        // best pass. Every pass must stay byte-identical to the cold one —
-        // replica choice and cache state are invisible in the bytes.
+        // The cold pass leaves a transient behind it: the fill worker is
+        // still pushing freshly computed explanations to each key's
+        // failover replica. Warm means steady state, so wait (bounded) for
+        // the fill counter to stop moving before measuring.
+        let mut ctl = Client::connect(handle.addr()).expect("connect");
+        if backends > 1 {
+            let fills = |c: &mut Client| -> u64 {
+                let m = c.roundtrip(r#"{"id":"m","verb":"metrics"}"#).expect("metrics");
+                scrape_u64(&m, "knn_router_fills_total")
+            };
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut last = fills(&mut ctl);
+            while Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(100));
+                let now = fills(&mut ctl);
+                if now == last {
+                    break;
+                }
+                last = now;
+            }
+        }
+        let (hits_before, misses_before) = cache_counters(&mut ctl);
+        // Warm = steady state: repeats route to the replica that cached
+        // them (affinity), so replay the identical streams a few times and
+        // take the best pass. Every pass must stay byte-identical to the
+        // cold one — replica choice and cache state are invisible in the
+        // bytes.
         let mut warm = f64::INFINITY;
         for _ in 0..3 {
             let (w, warm_out) = run_clients(handle.addr(), &streams);
             assert_eq!(cold_out, warm_out, "warm pass changed response bytes");
             warm = warm.min(w);
         }
+        // Warm hit rate across the warm passes: affinity routing keeps a
+        // key's repeats on the replica that cached it, so this stays ~1.0
+        // at every backend count — the property the pre-affinity router
+        // lost (scattered repeats, hit rate falling with backends).
+        let (hits_after, misses_after) = cache_counters(&mut ctl);
+        let (h, m) = (hits_after - hits_before, misses_after - misses_before);
+        let hit_rate = if h + m == 0 { 0.0 } else { h as f64 / (h + m) as f64 };
 
         handle.shutdown(); // also stops spawned backend processes
         for h in stand_in.0.drain(..) {
             h.shutdown();
         }
-        (total / cold, total / warm)
+        (total / cold, total / warm, hit_rate)
     };
 
     let backend_counts = [1usize, 2, 4];
@@ -174,19 +241,21 @@ fn main() {
         // Best of `rounds` fully-fresh measurements: a 960-query pass on a
         // loaded CI box is noisy, and best-of isolates the topology effect
         // from scheduler luck.
-        let (mut cold_qps, mut warm_qps) = (0f64, 0f64);
+        let (mut cold_qps, mut warm_qps, mut hit_rate) = (0f64, 0f64, 0f64);
         for _ in 0..rounds {
-            let (c, w) = measure(backends);
+            let (c, w, h) = measure(backends);
             cold_qps = cold_qps.max(c);
             warm_qps = warm_qps.max(w);
+            hit_rate = hit_rate.max(h);
         }
         println!(
-            "{backends} backend(s)   cold {cold_qps:>9.1} q/s   warm {warm_qps:>11.1} q/s   speedup {:>6.1}x",
-            warm_qps / cold_qps
+            "{backends} backend(s)   cold {cold_qps:>9.1} q/s   warm {warm_qps:>11.1} q/s   speedup {:>6.1}x   warm hits {:>5.1}%",
+            warm_qps / cold_qps,
+            hit_rate * 100.0
         );
         let _ = writeln!(
             json,
-            "  \"backends_{backends}\": {{\"cold_qps\": {cold_qps:.1}, \"warm_qps\": {warm_qps:.1}, \"cache_speedup\": {:.1}}}{}",
+            "  \"backends_{backends}\": {{\"cold_qps\": {cold_qps:.1}, \"warm_qps\": {warm_qps:.1}, \"cache_speedup\": {:.1}, \"warm_hit_rate\": {hit_rate:.3}}}{}",
             warm_qps / cold_qps,
             if bi + 1 < backend_counts.len() { "," } else { "" }
         );

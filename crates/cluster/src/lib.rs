@@ -36,12 +36,20 @@
 //!   (`load` + `replay`) before re-admitting it. Per-replica versions are
 //!   visible in the cluster `stats` verb.
 //! * **Batch scatter-gather** — a client's pipelined batch is partitioned
-//!   round-robin across its tenant's replicas and merged back in sequence
-//!   order. Each query is a pure function of `(dataset, config, request)`,
-//!   so request-level sharding keeps the response stream **byte-identical**
+//!   across its tenant's replicas and merged back in sequence order. Each
+//!   query is a pure function of `(dataset, config, request)`, so
+//!   request-level sharding keeps the response stream **byte-identical**
 //!   to a single server — including under replica failure, when pending
 //!   queries are redispatched to survivors (see [`scatter`] for the failure
 //!   model).
+//! * **Cache-affinity routing + cross-replica fill** (default on) — query
+//!   lines are routed by rendezvous hash of the engine's deterministic
+//!   cache key, so every repeat of a query prefers the replica already
+//!   holding its cached explanation (warm throughput scales with backends
+//!   instead of inverting); the window round-robin remains the path for
+//!   unkeyed lines and the failover fallback. A replica that computes a
+//!   cold answer has it pushed to its peers via the `fill` verb —
+//!   best-effort, deduplicated, epoch-checked on both ends.
 //! * **Cluster stats** — the router's `stats` verb aggregates per-backend
 //!   admission and per-tenant cache counters into one cluster view.
 //!
@@ -87,11 +95,25 @@ pub struct RouterConfig {
     /// connection fan-in when clients outnumber replicas. Response bytes
     /// are identical either way.
     pub spread: usize,
+    /// Cache-affinity routing + cross-replica cache fill (default on).
+    /// Query lines are routed by rendezvous hash of their deterministic
+    /// cache key over the tenant's replicas — every repeat of a query
+    /// prefers the replica already holding its cached explanation — and a
+    /// replica that computes a cold answer has it pushed (best-effort,
+    /// epoch-checked) to its peers. Replica choice never changes response
+    /// bytes, so this is purely a warm-path throughput lever; `false`
+    /// restores the pure window/round-robin scatter.
+    pub affinity: bool,
 }
 
 impl Default for RouterConfig {
     fn default() -> RouterConfig {
-        RouterConfig { replication: 0, probe_interval: Duration::from_millis(500), spread: 0 }
+        RouterConfig {
+            replication: 0,
+            probe_interval: Duration::from_millis(500),
+            spread: 0,
+            affinity: true,
+        }
     }
 }
 
@@ -157,6 +179,150 @@ struct RouterShared {
     /// control-plane operations, so holding a lock across the roundtrips is
     /// fine.
     load_lock: Mutex<()>,
+    /// Cache-affinity routing + cross-replica fill enabled
+    /// ([`RouterConfig::affinity`]).
+    affinity: bool,
+    /// The fill hub (present iff `affinity`): completed keyed answers are
+    /// offered here and a worker thread pushes them to peer replicas.
+    fill: Option<Arc<FillHub>>,
+    /// Slow-query entries retained across `slow` scrapes. Backend rings
+    /// drain destructively, so the router *merges* each drain into this
+    /// bounded, slowest-first list and serves snapshots of it — two
+    /// concurrent watchers both see every entry instead of racing each
+    /// other for disjoint subsets.
+    slow_retained: Mutex<Vec<Value>>,
+}
+
+/// How many merged slow-query entries the router retains for `slow`
+/// scrapes (the slowest win; backend rings are 32 each).
+const SLOW_RETAINED: usize = 64;
+
+/// One completed keyed answer, queued for best-effort propagation to the
+/// tenant's peer replicas.
+struct FillJob {
+    tenant: String,
+    /// The answer's affinity key: picks the push target (the key's first
+    /// failover replica).
+    key: u64,
+    /// Backend that produced (or already cached) the answer — excluded
+    /// from the push set.
+    origin: usize,
+    /// Router-side tenant version at *dispatch* time; re-verified under
+    /// the load lock before pushing (see [`push_fill`]).
+    version: u64,
+    /// The forwarded request line (UTF-8 of the exact bytes the backend
+    /// answered).
+    req: String,
+    /// The response line the backend produced.
+    resp: String,
+}
+
+/// Fan-in point for cross-replica cache fill: dispatchers offer completed
+/// keyed answers; a single worker thread drains the queue and pushes each
+/// fresh `(tenant, key)`'s answer to the tenant's other replicas over
+/// their control channels. Fire-and-forget by design — a lost push costs
+/// one future cache miss, never a wrong byte.
+pub(crate) struct FillHub {
+    tx: Mutex<mpsc::Sender<FillJob>>,
+    /// `(tenant, affinity key)` pairs already offered, so a hot key's
+    /// thousandth repeat does not re-push the same immutable entry.
+    /// Bounded by clearing on overflow: dedup is an optimization — the
+    /// engine's insert path tolerates (and ignores) duplicates.
+    seen: Mutex<std::collections::HashSet<(String, u64)>>,
+}
+
+/// Cap on the fill dedup set; clearing past this only costs re-pushes.
+const FILL_SEEN_CAP: usize = 65_536;
+
+impl FillHub {
+    /// Queues `q`'s completed answer for propagation unless this
+    /// `(tenant, key)` was already offered. Called off the response path
+    /// (after the client has its bytes); never blocks on I/O.
+    pub(crate) fn offer(&self, q: &scatter::PendingQuery, key: u64, origin: usize, resp: &[u8]) {
+        {
+            let mut seen = self.seen.lock().unwrap();
+            if seen.len() >= FILL_SEEN_CAP {
+                seen.clear();
+            }
+            if !seen.insert((q.tenant.clone(), key)) {
+                return;
+            }
+        }
+        let req = String::from_utf8_lossy(q.line.trim_ascii()).into_owned();
+        let resp = String::from_utf8_lossy(resp).into_owned();
+        let job = FillJob { tenant: q.tenant.clone(), key, origin, version: q.version, req, resp };
+        let _ = self.tx.lock().unwrap().send(job);
+    }
+}
+
+/// The fill worker: drains the hub's queue, re-validating and pushing each
+/// job. Polls with a timeout so it notices router shutdown.
+fn start_fill_worker(shared: &Arc<RouterShared>, rx: mpsc::Receiver<FillJob>) {
+    let shared = shared.clone();
+    std::thread::spawn(move || loop {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(job) => push_fill(&shared, job),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    });
+}
+
+/// Pushes one answer to the key's **first failover replica** — the
+/// highest-ranked replica in the key's affinity order that is not the
+/// origin — under the load lock, and only if the tenant's version still
+/// equals the job's dispatch-time version.
+///
+/// One target, not all peers: affinity routing sends a key's repeats to
+/// its home replica, so the only other replica that will ever see the key
+/// (short of a double failure) is the next one in its affinity order.
+/// Filling just that replica buys warm failover at 1/(N-1) of the push
+/// traffic and keeps each replica's cache holding its own shard instead
+/// of every replica holding everything.
+///
+/// Why the lock and the version check are both load-bearing: a mutation
+/// fan-out bumps the router-side version only *after* every replica acked,
+/// so a query can race it — computed on a replica already at N+1 while the
+/// router still reads N. Labeling that answer with N and pushing it to a
+/// replica still at N would install bytes from the future under the old
+/// epoch: silent divergence. Holding the load lock means no fan-out is in
+/// flight while we push, and `version == job.version` means none completed
+/// since dispatch either — so every active replica is at exactly the
+/// epoch the answer was computed at. The backend's own epoch check on
+/// insert ([`knn_engine::ExplanationEngine::insert_external`]) remains as
+/// the second belt.
+fn push_fill(shared: &Arc<RouterShared>, job: FillJob) {
+    let _load_serialized = shared.load_lock.lock().unwrap();
+    let current = shared.sources.lock().unwrap().get(&job.tenant).map(|s| s.version());
+    if current != Some(job.version) {
+        shared.telemetry.add("knn_router_fill_stale_total", 1);
+        return;
+    }
+    let Some(active) = shared.placement.get(&job.tenant) else { return };
+    let line = Value::Object(vec![
+        ("id".into(), Value::String("fill".into())),
+        ("verb".into(), Value::String("fill".into())),
+        ("name".into(), Value::String(job.tenant.clone())),
+        ("epoch".into(), Value::Number(job.version as f64)),
+        ("req".into(), Value::String(job.req)),
+        ("resp".into(), Value::String(job.resp)),
+    ])
+    .to_json();
+    let target = scatter::affinity_order(job.key, &active).into_iter().find(|&id| id != job.origin);
+    if let Some(id) = target {
+        let Some(backend) = shared.pool.get(id) else { return };
+        if !backend.is_healthy() {
+            return; // it will rebuild its cache the usual way
+        }
+        // Best-effort: an error or a `filled:false` answer costs nothing
+        // but the miss the peer would have had anyway.
+        let _ = backend.control_roundtrip(&line);
+        shared.telemetry.add("knn_router_fills_total", 1);
+    }
 }
 
 /// The router process: bind, attach/spawn backends, preload tenants, then
@@ -174,6 +340,16 @@ impl Router {
         let addr = listener.local_addr()?;
         let telemetry = Telemetry::new();
         telemetry.set_enabled(true);
+        let (fill, fill_rx) = if config.affinity {
+            let (tx, rx) = mpsc::channel();
+            let hub = Arc::new(FillHub {
+                tx: Mutex::new(tx),
+                seen: Mutex::new(std::collections::HashSet::new()),
+            });
+            (Some(hub), Some(rx))
+        } else {
+            (None, None)
+        };
         let shared = Arc::new(RouterShared {
             pool: Arc::new(BackendPool::new()),
             placement: Arc::new(PlacementMap::new(config.replication)),
@@ -186,7 +362,13 @@ impl Router {
             conn_counter: AtomicUsize::new(0),
             sources: Mutex::new(BTreeMap::new()),
             load_lock: Mutex::new(()),
+            affinity: config.affinity,
+            fill,
+            slow_retained: Mutex::new(Vec::new()),
         });
+        if let Some(rx) = fill_rx {
+            start_fill_worker(&shared, rx);
+        }
         Ok(Router { listener, shared })
     }
 
@@ -653,6 +835,7 @@ fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::R
         conn,
         shared.spread,
         shared.telemetry.clone(),
+        shared.fill.clone(),
     );
 
     let mut seq = 0u64;
@@ -700,6 +883,24 @@ fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::R
                         let trace = client_trace.or_else(|| minted.clone());
                         let start_us =
                             if trace.is_some() { shared.telemetry.recorder().now_us() } else { 0 };
+                        // The affinity key is the engine's own cache-key
+                        // hash — computable here without any dataset or
+                        // artifact, because it is a pure function of the
+                        // request. The version snapshot is the epoch a fill
+                        // of this answer would be labeled with.
+                        let (affinity, version) = if shared.affinity {
+                            let key = knn_engine::cache::affinity_hash(&request);
+                            let v = shared
+                                .sources
+                                .lock()
+                                .unwrap()
+                                .get(&dataset)
+                                .map(|s| s.version())
+                                .unwrap_or(0);
+                            (Some(key), v)
+                        } else {
+                            (None, 0)
+                        };
                         disp.dispatch(PendingQuery {
                             seq,
                             id: request.id,
@@ -708,6 +909,8 @@ fn route_connection(stream: TcpStream, shared: &Arc<RouterShared>) -> std::io::R
                             attempts: 0,
                             trace,
                             start_us,
+                            affinity,
+                            version,
                         });
                         dispatched += 1;
                     } else {
@@ -898,6 +1101,13 @@ fn run_cluster_control(
                 })
                 .collect();
             (proto::ok_line(id, vec![("datasets".into(), Value::Array(datasets))]), false)
+        }
+        Command::Fill { .. } => {
+            // `fill` is the router→backend cache-fill channel; a client has
+            // no epoch authority, so the router refuses it the same way it
+            // refuses client `replay`.
+            let msg = "`fill` is not accepted through the router (cache fill is router-originated)";
+            (proto::error_line(id, msg), false)
         }
         Command::Stats => (cluster_stats_line(shared, id), false),
         Command::Metrics => (cluster_metrics_line(shared, id), false),
@@ -1284,11 +1494,17 @@ fn cluster_dump_line(shared: &Arc<RouterShared>, id: &str) -> String {
 }
 
 /// The cluster `slow` verb: drains every live backend's slow-query ring
-/// (each entry tagged with its backend id) and re-sorts the union slowest
-/// first. Draining is per-backend — entries appear in exactly one router
-/// drain, like the single server's.
+/// (each entry tagged with its backend id) and **merges** the drain into
+/// the router's retained slowest-first list, answering with a snapshot of
+/// it. Backend drains are destructive, so two concurrent watchers racing
+/// raw drains would each see only a random subset; the retained-merge
+/// under one lock serializes the drains and gives every scrape the full
+/// picture (bounded at [`SLOW_RETAINED`], slowest win).
 fn cluster_slow_line(shared: &Arc<RouterShared>, id: &str) -> String {
-    let mut entries: Vec<Value> = Vec::new();
+    // The retained lock is held across the backend roundtrips on purpose:
+    // it is what serializes concurrent scrapes so each backend entry is
+    // drained by exactly one of them — and then retained for all.
+    let mut retained = shared.slow_retained.lock().unwrap();
     for backend in shared.pool.backends() {
         if !backend.is_healthy() {
             continue;
@@ -1301,12 +1517,13 @@ fn cluster_slow_line(shared: &Arc<RouterShared>, id: &str) -> String {
             let Value::Object(members) = entry else { continue };
             let mut members = members.clone();
             members.push(("backend".into(), Value::Number(backend.id as f64)));
-            entries.push(Value::Object(members));
+            retained.push(Value::Object(members));
         }
     }
     let total = |e: &Value| e.get("total_us").and_then(Value::as_u64).unwrap_or(0);
-    entries.sort_by_key(|e| std::cmp::Reverse(total(e)));
-    proto::ok_line(id, vec![("slow".into(), Value::Array(entries))])
+    retained.sort_by_key(|e| std::cmp::Reverse(total(e)));
+    retained.truncate(SLOW_RETAINED);
+    proto::ok_line(id, vec![("slow".into(), Value::Array(retained.clone()))])
 }
 
 /// Per-tenant counters summed over backends, plus the version picture the
@@ -1323,6 +1540,11 @@ struct TenantAgg {
     errors: u64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Summed separately from hits/misses: a filled entry was neither
+    /// looked up nor computed on that replica, so folding it into either
+    /// counter would corrupt cluster-wide hit-rate math once fill
+    /// propagates entries.
+    cache_filled: u64,
     artifacts_built: u64,
 }
 
@@ -1377,6 +1599,7 @@ fn cluster_stats_line(shared: &Arc<RouterShared>, id: &str) -> String {
                 let cache = t.get("cache");
                 agg.cache_hits += u(cache.and_then(|c| c.get("hits")));
                 agg.cache_misses += u(cache.and_then(|c| c.get("misses")));
+                agg.cache_filled += u(cache.and_then(|c| c.get("filled")));
                 agg.artifacts_built += u(t.get("artifacts_built"));
             }
         }
@@ -1411,6 +1634,7 @@ fn cluster_stats_line(shared: &Arc<RouterShared>, id: &str) -> String {
                 ("errors".into(), num64(agg.errors)),
                 ("cache_hits".into(), num64(agg.cache_hits)),
                 ("cache_misses".into(), num64(agg.cache_misses)),
+                ("cache_filled".into(), num64(agg.cache_filled)),
                 ("artifacts_built".into(), num64(agg.artifacts_built)),
             ])
         })

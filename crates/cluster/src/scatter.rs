@@ -60,6 +60,42 @@ pub(crate) struct PendingQuery {
     pub trace: Option<String>,
     /// Recorder timestamp at first dispatch (0 when untraced).
     pub start_us: u64,
+    /// The query's cache-affinity key ([`knn_engine::cache::affinity_hash`])
+    /// when affinity routing is on: equal-key queries prefer the same
+    /// replica, so repeats land where the answer is already cached. `None`
+    /// routes by the per-connection round-robin window.
+    pub affinity: Option<u64>,
+    /// The tenant's router-side version at dispatch time — the epoch label a
+    /// cross-replica cache fill of this query's answer would carry. The fill
+    /// worker re-checks it under the load lock before pushing, so an answer
+    /// computed concurrently with a mutation fan-out can never be installed
+    /// under the wrong epoch.
+    pub version: u64,
+}
+
+/// Rendezvous score of `replica` for affinity key `key`: FNV-1a over the
+/// key and replica-id bytes — the same process-stable hash (and the same
+/// highest-score-wins scheme) tenant placement uses, so every connection on
+/// every router ranks a tenant's replicas identically for a given key.
+fn affinity_score(key: u64, replica: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.to_le_bytes().into_iter().chain((replica as u64).to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The deterministic replica order for affinity key `key`: every replica,
+/// ranked by rendezvous score descending (ties break on the id). The head
+/// is the preferred replica; the tail is the failover order — also
+/// deterministic, so after a replica dies, every connection agrees on
+/// where the key's cache entries accumulate next.
+pub(crate) fn affinity_order(key: u64, replicas: &[usize]) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> =
+        replicas.iter().map(|&id| (affinity_score(key, id), id)).collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, id)| id).collect()
 }
 
 /// Records one router-side span for query `q`: a `dispatch` completion
@@ -184,6 +220,10 @@ pub(crate) struct Dispatcher {
     /// Router-side counters: dispatches and failover redispatches (both
     /// out-of-band; never on the response path).
     telemetry: Arc<Telemetry>,
+    /// Cross-replica cache-fill hub (`None` when affinity is off): every
+    /// completed keyed response is offered for a best-effort push to the
+    /// tenant's other replicas.
+    fill: Option<Arc<crate::FillHub>>,
 }
 
 impl Dispatcher {
@@ -194,6 +234,7 @@ impl Dispatcher {
         anchor: usize,
         spread: usize,
         telemetry: Arc<Telemetry>,
+        fill: Option<Arc<crate::FillHub>>,
     ) -> Arc<Dispatcher> {
         Arc::new(Dispatcher {
             pool,
@@ -206,6 +247,7 @@ impl Dispatcher {
             anchor,
             spread,
             telemetry,
+            fill,
         })
     }
 
@@ -323,34 +365,50 @@ impl Dispatcher {
         }
         q.attempts += 1;
 
-        // This connection's window: `spread` replicas starting at its
-        // anchor, round-robined by the per-tenant cursor; the remaining
-        // replicas follow as failover fallback. Health is snapshotted once
-        // per replica — evaluating it twice could drop a replica flipping
-        // down→up from both the healthy and unhealthy groups — then a
-        // stable partition puts healthy ones first (a marked-down replica
-        // is still a last resort: the mark may be stale).
+        // Candidate order. A keyed query (affinity routing on) ranks *all*
+        // replicas by rendezvous score of its affinity key — the same order
+        // on every connection, so a key's repeats always prefer the replica
+        // that already cached its answer, and its failover order is equally
+        // agreed-on. An unkeyed query keeps the window scheme: `spread`
+        // replicas starting at this connection's anchor, round-robined by
+        // the per-tenant cursor, with the remaining replicas as failover
+        // fallback. Either way, health is snapshotted once per replica —
+        // evaluating it twice could drop a replica flipping down→up from
+        // both the healthy and unhealthy groups — then a stable partition
+        // puts healthy ones first (a marked-down replica is still a last
+        // resort: the mark may be stale).
         let n = replicas.len();
-        let spread = if self.spread == 0 { n } else { self.spread.min(n) };
-        let start = {
-            let mut rr = self.rr.lock().unwrap();
-            let c = rr.entry(q.tenant.clone()).or_insert(0);
-            let s = *c;
-            *c = c.wrapping_add(1);
-            s % spread.max(1)
+        let ordered: Vec<usize> = match q.affinity {
+            Some(key) => affinity_order(key, &replicas),
+            None => {
+                let spread = if self.spread == 0 { n } else { self.spread.min(n) };
+                // Read the cursor without advancing it: it moves only when
+                // the send actually lands (below), so a dead replica in the
+                // window cannot skew the round-robin toward its neighbors.
+                let start =
+                    self.rr.lock().unwrap().get(&q.tenant).copied().unwrap_or(0) % spread.max(1);
+                (0..spread)
+                    .map(|i| replicas[(self.anchor + (start + i) % spread) % n])
+                    .chain((spread..n).map(|i| replicas[(self.anchor + i) % n]))
+                    .collect()
+            }
         };
-        let ordered = (0..spread)
-            .map(|i| replicas[(self.anchor + (start + i) % spread) % n])
-            .chain((spread..n).map(|i| replicas[(self.anchor + i) % n]));
         let mut candidates: Vec<(usize, bool)> = ordered
+            .into_iter()
             .map(|id| (id, self.pool.get(id).map(|b| b.is_healthy()).unwrap_or(false)))
             .collect();
         candidates.sort_by_key(|&(_, healthy)| !healthy); // stable: order kept per group
 
+        let rr_tenant = q.affinity.is_none().then(|| q.tenant.clone());
         for (id, _) in candidates {
             let Some(chan) = self.chan(id) else { continue };
             match chan.send(q) {
                 SendOutcome::Sent => {
+                    if let Some(tenant) = rr_tenant {
+                        let mut rr = self.rr.lock().unwrap();
+                        let c = rr.entry(tenant).or_insert(0);
+                        *c = c.wrapping_add(1);
+                    }
                     self.telemetry.add("knn_router_dispatches_total", 1);
                     return;
                 }
@@ -430,6 +488,13 @@ fn receiver_loop(disp: Arc<Dispatcher>, chan: Arc<Chan>, reader: TcpStream) {
                     } else {
                         emit_query_span(&disp, &q, "dispatch", chan.backend.id, "");
                         disp.finish(q.seq, buf.clone());
+                        // After the client has its bytes: offer the answer
+                        // to the fill hub, which pushes it (best-effort,
+                        // deduplicated, epoch-checked) to the tenant's other
+                        // replicas so a future repeat is warm anywhere.
+                        if let (Some(key), Some(hub)) = (q.affinity, disp.fill.as_ref()) {
+                            hub.offer(&q, key, chan.backend.id, &buf);
+                        }
                     }
                 }
             }
@@ -480,13 +545,80 @@ pub(crate) fn writer_loop(stream: TcpStream, rx: Receiver<(u64, Vec<u8>)>) {
     let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     for (seq, line) in rx {
         pending.insert(seq, line);
+        let mut wrote = false;
         while let Some(line) = pending.remove(&next) {
-            let io =
-                out.write_all(&line).and_then(|()| out.write_all(b"\n")).and_then(|()| out.flush());
-            if io.is_err() {
+            if out.write_all(&line).and_then(|()| out.write_all(b"\n")).is_err() {
                 return; // client gone; drop the rest
             }
+            wrote = true;
             next += 1;
+        }
+        // One flush per drained burst, not per line: out-of-order arrival
+        // (multi-replica scatter) releases several consecutive seqs at
+        // once, and the client must not wait on a buffered tail.
+        if wrote && out.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The order every connection derives for a key is a deterministic
+        /// permutation of the replica set — no replica dropped, none
+        /// invented, same answer every time it is computed.
+        #[test]
+        fn affinity_order_is_a_deterministic_permutation(
+            key in any::<u64>(),
+            n in 1usize..12,
+        ) {
+            let replicas: Vec<usize> = (0..n).collect();
+            let order = affinity_order(key, &replicas);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, replicas.clone());
+            prop_assert_eq!(affinity_order(key, &replicas), order);
+        }
+
+        /// The rendezvous property: removing one replica from the set
+        /// removes exactly that entry from the order — every other key→
+        /// replica preference survives a backend death, so caches built
+        /// under the old membership stay where repeats will look for them.
+        #[test]
+        fn dropping_a_replica_preserves_the_survivors_order(
+            key in any::<u64>(),
+            n in 2usize..12,
+            victim in 0usize..12,
+        ) {
+            let replicas: Vec<usize> = (0..n).collect();
+            let victim = replicas[victim % n];
+            let full = affinity_order(key, &replicas);
+            let survivors: Vec<usize> =
+                replicas.iter().copied().filter(|&r| r != victim).collect();
+            let expected: Vec<usize> = full.into_iter().filter(|&r| r != victim).collect();
+            prop_assert_eq!(affinity_order(key, &survivors), expected);
+        }
+    }
+
+    /// Keys spread over replicas: a degenerate score would pile every key
+    /// on one replica and re-create the warm-path pile-up this routing
+    /// exists to fix.
+    #[test]
+    fn affinity_order_spreads_keys_over_replicas() {
+        let replicas: Vec<usize> = (0..4).collect();
+        let mut preferred = [0usize; 4];
+        for key in 0..256u64 {
+            preferred[affinity_order(key, &replicas)[0]] += 1;
+        }
+        for (id, &count) in preferred.iter().enumerate() {
+            assert!(
+                (16..=112).contains(&count),
+                "replica {id} preferred by {count}/256 keys: {preferred:?}"
+            );
         }
     }
 }

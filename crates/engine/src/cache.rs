@@ -9,8 +9,53 @@
 //! index, giving `O(log n)` get / insert / evict without unsafe code or an
 //! intrusive list.
 
+use crate::request::Request;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+
+/// Folds `bytes` into an FNV-1a state (the same platform-stable hash the
+/// cluster's rendezvous placement uses — `std`'s hashers are seeded per
+/// process and therefore useless for cross-process agreement).
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic, process-stable 64-bit digest of everything that
+/// determines a request's answer — the router-visible equivalent of
+/// [`Request::cache_key`]. Two requests have equal affinity hashes whenever
+/// their cache keys are equal (same `kind`, `metric`, `k`, point *bits*,
+/// `features`; the `id` is excluded), so a router that consistently sends
+/// equal-hash queries to the same replica sends every cacheable repeat to
+/// the replica that already holds the answer. FNV-1a over the canonical
+/// field encoding: stable across processes, platforms, and restarts, which
+/// is what lets the router compute it without loading the dataset or
+/// building any artifact.
+pub fn affinity_hash(req: &Request) -> u64 {
+    let mut h = fnv1a(0xcbf29ce484222325, req.kind.name().as_bytes());
+    h = fnv1a(h, &[0xff]);
+    h = fnv1a(h, req.metric.name().as_bytes());
+    h = fnv1a(h, &[0xff]);
+    h = fnv1a(h, &req.k.to_le_bytes());
+    h = fnv1a(h, &(req.point.len() as u64).to_le_bytes());
+    for x in &req.point {
+        h = fnv1a(h, &x.to_bits().to_le_bytes());
+    }
+    match &req.features {
+        None => h = fnv1a(h, &[0x00]),
+        Some(f) => {
+            h = fnv1a(h, &[0x01]);
+            h = fnv1a(h, &(f.len() as u64).to_le_bytes());
+            for &i in f {
+                h = fnv1a(h, &(i as u64).to_le_bytes());
+            }
+        }
+    }
+    h
+}
 
 /// Lifetime counters of one [`LruCache`] (see [`LruCache::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -213,5 +258,40 @@ mod tests {
         c.insert("a", 1);
         assert!(c.is_empty());
         assert_eq!(c.get(&"a"), None);
+    }
+
+    /// Mirrors `cache_key_ignores_id_but_not_payload`: the affinity hash
+    /// must agree with cache-key equality (ignore `id`, track everything
+    /// that determines the answer) or the router would split one key's
+    /// repeats across replicas.
+    #[test]
+    fn affinity_hash_tracks_cache_key_equality() {
+        let parse = |line: &str| Request::from_json_line(line, "0").unwrap();
+        let a = parse(r#"{"id":"a","cmd":"classify","point":[1,2]}"#);
+        let b = parse(r#"{"id":"b","cmd":"classify","point":[1,2]}"#);
+        assert_eq!(affinity_hash(&a), affinity_hash(&b), "id must not shift the hash");
+        for other in [
+            r#"{"id":"a","cmd":"classify","point":[1,3]}"#,
+            r#"{"id":"a","cmd":"classify","point":[1,2],"k":3}"#,
+            r#"{"id":"a","cmd":"classify","metric":"l1","point":[1,2]}"#,
+            r#"{"id":"a","cmd":"minimal-sr","point":[1,2]}"#,
+            r#"{"id":"a","cmd":"check-sr","point":[1,2],"features":[0]}"#,
+        ] {
+            assert_ne!(affinity_hash(&a), affinity_hash(&parse(other)), "{other}");
+        }
+    }
+
+    /// The hash is a pinned function of the canonical fields: a new
+    /// process, machine, or release computing a different value would
+    /// silently de-affinitize every cache in a mixed-version cluster.
+    #[test]
+    fn affinity_hash_is_process_stable() {
+        let r = Request::from_json_line(
+            r#"{"id":"x","cmd":"counterfactual","metric":"hamming","k":3,"point":[1,0,1]}"#,
+            "0",
+        )
+        .unwrap();
+        assert_eq!(affinity_hash(&r), affinity_hash(&r.clone()));
+        assert_eq!(affinity_hash(&r), 0x64a3979e2c691c8a);
     }
 }

@@ -362,6 +362,11 @@ pub struct EngineStats {
     /// Guard revalidations that failed: the entry's statistics could have
     /// moved, so the query recomputed.
     pub revalidation_failed: u64,
+    /// Cache entries installed by [`ExplanationEngine::insert_external`] —
+    /// answers computed by a *peer* replica and pushed in by the router's
+    /// cross-replica fill. Kept separate from hits/misses so cluster-wide
+    /// hit-rate math stays honest once an entry exists on several replicas.
+    pub filled: u64,
     /// Lazy region-enumeration activity: yields and per-rule prune counts,
     /// engine-lifetime (see [`knn_core::regions::RegionCounters`]).
     pub regions: knn_core::regions::RegionCountersSnapshot,
@@ -386,6 +391,7 @@ pub struct ExplanationEngine {
     coalesced: AtomicU64,
     revalidated: AtomicU64,
     revalidation_failed: AtomicU64,
+    filled: AtomicU64,
     inserts: AtomicU64,
     removes: AtomicU64,
     /// Single-flight table: identical requests racing in one batch coalesce
@@ -449,6 +455,7 @@ impl ExplanationEngine {
             coalesced: AtomicU64::new(0),
             revalidated: AtomicU64::new(0),
             revalidation_failed: AtomicU64::new(0),
+            filled: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             removes: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
@@ -508,6 +515,7 @@ impl ExplanationEngine {
             removes: self.removes.load(Ordering::Relaxed),
             revalidated: self.revalidated.load(Ordering::Relaxed),
             revalidation_failed: self.revalidation_failed.load(Ordering::Relaxed),
+            filled: self.filled.load(Ordering::Relaxed),
             regions,
             artifact_build_us: store.build_us,
             artifacts_built_total: store.built,
@@ -643,6 +651,56 @@ impl ExplanationEngine {
     /// The configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Installs an explanation computed by a *peer* replica — the receiving
+    /// half of the cluster's cross-replica cache fill. Returns whether the
+    /// entry was actually installed.
+    ///
+    /// Safety argument (why a pushed entry can never change a response
+    /// byte): entries are immutable values keyed by `(epoch, CacheKey)`,
+    /// and every replica of a tenant at the same epoch holds a
+    /// byte-identical dataset, so a peer's answer at this epoch is the
+    /// *same pure function value* this engine would compute. The epoch is
+    /// checked under the state lock — a fill for any other epoch than the
+    /// current one is dropped (stale fills race mutations; future ones
+    /// can't be verified) — and an existing entry at the same or a newer
+    /// epoch is never evicted or overwritten, so a locally computed (or
+    /// guard-revalidated) entry always wins over a late push. Fills bump
+    /// the `filled` counter only, never hits/misses: a pushed entry is
+    /// neither a lookup nor a compute.
+    pub fn insert_external(
+        &self,
+        epoch: u64,
+        req: &Request,
+        route: String,
+        result: Result<Outcome, String>,
+    ) -> bool {
+        if self.config.cache_capacity == 0 {
+            return false;
+        }
+        // Hold the state lock across the insert so a racing `apply` orders
+        // entirely before (fill dropped) or after (entry stale-tagged and
+        // lazily evicted) — never half-way. State → cache is the existing
+        // lock order (`stats`); the reverse nesting never occurs.
+        let st = self.state.lock().unwrap();
+        if st.log.epoch() != epoch {
+            return false;
+        }
+        let key = req.cache_key();
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(e) = cache.lookup(&key) {
+            if e.epoch >= epoch {
+                return false;
+            }
+        }
+        let entry = CachedEntry { epoch, route, result, guard: None };
+        let weight = entry_bytes(&key, &entry);
+        cache.insert_weighted(key, entry, weight);
+        drop(cache);
+        drop(st);
+        self.filled.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Answers one request (through the cache) at the current epoch.
@@ -1450,6 +1508,44 @@ mod tests {
         assert_eq!(e.epoch(), 0);
         let s = e.stats();
         assert_eq!((s.inserts, s.removes), (0, 0));
+    }
+
+    /// A fill at the current epoch serves later queries byte-identically to
+    /// a local compute; a fill for a stale epoch is dropped; a fill never
+    /// overwrites an entry the engine already holds at that epoch.
+    #[test]
+    fn external_fill_is_epoch_checked_and_never_clobbers() {
+        let computing = engine(EngineConfig::default());
+        let receiving = engine(EngineConfig::default());
+        let r = req(r#"{"id":"x","cmd":"counterfactual","metric":"hamming","point":[1,0,0]}"#);
+        let computed = computing.run(&r);
+
+        assert!(receiving.insert_external(0, &r, computed.route.clone(), computed.result.clone()));
+        let served = receiving.run(&r);
+        assert_eq!(served.to_json_line(), computed.to_json_line());
+        let s = receiving.stats();
+        assert_eq!((s.filled, s.cache.hits, s.cache.misses), (1, 1, 0), "fill then pure hit");
+
+        // Stale epoch: the receiving engine moves to epoch 1; a fill still
+        // labeled epoch 0 must be dropped, and the key recomputes.
+        receiving
+            .apply(Mutation::Insert {
+                point: vec![1.0, 1.0, 0.0],
+                label: knn_space::Label::Positive,
+            })
+            .unwrap();
+        let q2 = req(r#"{"id":"y","cmd":"classify","metric":"l2","point":[0.2,0.2,0.9]}"#);
+        assert!(
+            !receiving.insert_external(0, &q2, "kdtree".into(), computed.result.clone()),
+            "stale-epoch fill must be dropped"
+        );
+        assert_eq!(receiving.stats().filled, 1);
+
+        // Never clobber: compute locally at epoch 1, then push a garbage
+        // fill for the same key at the same epoch — the local entry wins.
+        let local = receiving.run(&q2);
+        assert!(!receiving.insert_external(1, &q2, "error".into(), Err("poison".into())));
+        assert_eq!(receiving.run(&q2).to_json_line(), local.to_json_line());
     }
 
     /// The resource gauges and per-route work counters populate as the

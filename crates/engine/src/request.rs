@@ -323,6 +323,77 @@ pub struct Response {
 }
 
 impl Response {
+    /// Parses a line produced by [`Response::to_json_line`] back into a
+    /// response — the inverse the cross-replica cache fill needs: a replica
+    /// that computed an explanation ships the response *line*, and the
+    /// receiving replica reconstructs the `(route, result)` body to cache.
+    /// Faithful by construction: floats are printed shortest-roundtrip, so
+    /// `parse(line).to_json_line() == line` for every line the serializer
+    /// emits (pinned in the tests below). Error responses come back with
+    /// route `"error"`; the route of a failed compute is not serialized,
+    /// and error lines render without it, so the bytes still agree.
+    pub fn from_json_line(line: &str) -> Result<Response, String> {
+        let v = crate::json::parse_bytes(line.as_bytes())?;
+        if !matches!(v, Value::Object(_)) {
+            return Err("response must be a JSON object".into());
+        }
+        let id = v.get("id").and_then(Value::as_str).ok_or("missing `id` member")?.to_string();
+        match v.get("ok") {
+            Some(Value::Bool(true)) => {}
+            Some(Value::Bool(false)) => {
+                let msg = v.get("error").and_then(Value::as_str).ok_or("missing `error`")?;
+                return Ok(Response { id, route: "error".into(), result: Err(msg.to_string()) });
+            }
+            _ => return Err("missing `ok` member".into()),
+        }
+        let route =
+            v.get("route").and_then(Value::as_str).ok_or("missing `route` member")?.to_string();
+        let floats = |key: &str| -> Result<Vec<f64>, String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("`{key}` must be an array"))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("`{key}` must contain numbers")))
+                .collect()
+        };
+        let outcome = if let Some(l) = v.get("label") {
+            match l.as_str() {
+                Some("+") => Outcome::Label(Label::Positive),
+                Some("-") => Outcome::Label(Label::Negative),
+                _ => return Err("`label` must be \"+\" or \"-\"".into()),
+            }
+        } else if v.get("reason").is_some() {
+            let features = floats("reason")?.iter().map(|&x| x as usize).collect();
+            let optimal = match v.get("optimal") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("missing `optimal` member".into()),
+            };
+            Outcome::Reason { features, optimal }
+        } else if let Some(Value::Bool(sufficient)) = v.get("sufficient") {
+            let witness = match v.get("witness") {
+                None => None,
+                Some(_) => Some(floats("witness")?),
+            };
+            Outcome::Check { sufficient: *sufficient, witness }
+        } else if let Some(cf) = v.get("counterfactual") {
+            match cf {
+                Value::Null => Outcome::NoCounterfactual,
+                _ => {
+                    let point = floats("counterfactual")?;
+                    let dist = v.get("dist").and_then(Value::as_f64).ok_or("missing `dist`")?;
+                    let proven = match v.get("proven") {
+                        Some(Value::Bool(b)) => *b,
+                        _ => return Err("missing `proven` member".into()),
+                    };
+                    Outcome::Counterfactual { point, dist, proven }
+                }
+            }
+        } else {
+            return Err("response carries no recognizable outcome member".into());
+        };
+        Ok(Response { id, route, result: Ok(outcome) })
+    }
+
     /// Serializes to the deterministic JSON line.
     pub fn to_json_line(&self) -> String {
         let mut members = vec![("id".to_string(), Value::String(self.id.clone()))];
@@ -453,5 +524,67 @@ mod tests {
         );
         let err = Response { id: "q".into(), route: "error".into(), result: Err("boom".into()) };
         assert_eq!(err.to_json_line(), r#"{"id":"q","ok":false,"error":"boom"}"#);
+    }
+
+    /// `from_json_line` is a faithful inverse of `to_json_line` — the
+    /// property the cross-replica cache fill rides on: an entry rebuilt
+    /// from the shipped response line must re-serialize to the exact bytes
+    /// the computing replica would have sent.
+    #[test]
+    fn response_parse_roundtrips_every_outcome() {
+        let cases = vec![
+            Response {
+                id: "a".into(),
+                route: "kdtree".into(),
+                result: Ok(Outcome::Label(Label::Positive)),
+            },
+            Response {
+                id: "b".into(),
+                route: "h-sat".into(),
+                result: Ok(Outcome::Label(Label::Negative)),
+            },
+            Response {
+                id: "c".into(),
+                route: "greedy".into(),
+                result: Ok(Outcome::Reason { features: vec![0, 3, 7], optimal: false }),
+            },
+            Response {
+                id: "d".into(),
+                route: "l2-lp".into(),
+                result: Ok(Outcome::Check { sufficient: true, witness: None }),
+            },
+            Response {
+                id: "e".into(),
+                route: "l2-lp".into(),
+                result: Ok(Outcome::Check {
+                    sufficient: false,
+                    witness: Some(vec![0.1, -2.5, 1.0 / 3.0]),
+                }),
+            },
+            Response {
+                id: "f".into(),
+                route: "l2-qp".into(),
+                result: Ok(Outcome::Counterfactual {
+                    point: vec![1.0, 2.5, -0.0],
+                    dist: 0.30000000000000004,
+                    proven: true,
+                }),
+            },
+            Response {
+                id: "g".into(),
+                route: "l2-qp".into(),
+                result: Ok(Outcome::NoCounterfactual),
+            },
+            Response { id: "h".into(), route: "error".into(), result: Err("no dataset".into()) },
+        ];
+        for want in cases {
+            let line = want.to_json_line();
+            let got = Response::from_json_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(got, want, "{line}");
+            assert_eq!(got.to_json_line(), line, "re-serialization must be byte-identical");
+        }
+        for bad in ["not json", "[1]", r#"{"id":"x"}"#, r#"{"id":"x","ok":true,"route":"r"}"#] {
+            assert!(Response::from_json_line(bad).is_err(), "{bad}");
+        }
     }
 }

@@ -464,6 +464,23 @@ fn engine_series(shared: &Arc<Shared>) -> String {
             );
         }
     }
+    // Fill installs are deliberately NOT an event kind above: a filled entry
+    // is not a hit (the replica never saw the query) and not a miss (nothing
+    // was computed), so folding it into the hit/miss family would corrupt
+    // hit-rate math once cross-replica fill propagates entries.
+    push_header(
+        &mut out,
+        "knn_engine_cache_fill_total",
+        "counter",
+        "Cache entries installed by cross-replica fill pushes.",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_engine_cache_fill_total", &[("tenant", &s.name)]),
+            s.engine.filled,
+        );
+    }
     push_header(
         &mut out,
         "knn_engine_artifact_cells_total",
@@ -874,6 +891,7 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                         ("misses".into(), num64(s.engine.cache.misses)),
                         ("coalesced".into(), num64(s.engine.coalesced)),
                         ("revalidated".into(), num64(s.engine.revalidated)),
+                        ("filled".into(), num64(s.engine.filled)),
                         ("evictions".into(), num64(s.engine.cache.evictions)),
                         ("entries".into(), num(s.engine.cache.entries)),
                         ("capacity".into(), num(s.engine.cache.capacity)),
@@ -1025,6 +1043,29 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
             );
             (line, false)
         }
+        Command::Fill { name, epoch, request, response } => {
+            let Some(tenant) = shared.registry.get(&name) else {
+                let msg = format!("no dataset named `{name}` (try the load verb)");
+                return (proto::error_line(id, &msg), false);
+            };
+            // Best-effort by design: a stale epoch or an already-present
+            // newer entry answers ok with filled:false rather than an error,
+            // so routers can fire-and-forget without error-path bookkeeping.
+            let installed = tenant.engine.insert_external(
+                epoch,
+                &request,
+                response.route.clone(),
+                response.result.clone(),
+            );
+            let line = proto::ok_line(
+                id,
+                vec![
+                    ("fill".into(), Value::String(name)),
+                    ("filled".into(), Value::Bool(installed)),
+                ],
+            );
+            (line, false)
+        }
         Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
         Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
         Command::Shutdown => {
@@ -1122,6 +1163,59 @@ mod tests {
             .roundtrip(r#"{"dataset":"toy","cmd":"classify","metric":"hamming","point":[0,0,0]}"#)
             .unwrap();
         assert!(resp.contains(r#""label":"-""#), "{resp}");
+        handle.shutdown();
+    }
+
+    /// The `fill` verb end to end: an explanation computed against one
+    /// tenant installs into a twin tenant holding the same dataset at the
+    /// same epoch, after which the twin answers byte-identically from cache
+    /// (counted under `filled`, not hits/misses) — while a fill labeled with
+    /// a stale epoch is dropped with `filled:false`.
+    #[test]
+    fn fill_verb_installs_epoch_checked_entries() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let loaded = c
+            .roundtrip(r#"{"id":"l","verb":"load","name":"twin","text":"+ 1 1 1\n+ 1 1 0\n- 0 0 0\n- 0 0 1"}"#)
+            .unwrap();
+        assert!(loaded.contains(r#""ok":true"#), "{loaded}");
+
+        // Compute one cold explanation on `toy`.
+        let q = r#"{"dataset":"toy","id":"q","cmd":"counterfactual","metric":"hamming","point":[1,1,1]}"#;
+        let computed = c.roundtrip(q).unwrap();
+        assert!(computed.contains(r#""ok":true"#), "{computed}");
+
+        // Push it into `twin` at the matching epoch: installed.
+        let fill = format!(
+            r#"{{"id":"f","verb":"fill","name":"twin","epoch":0,"req":{},"resp":{}}}"#,
+            Value::String(q.into()).to_json(),
+            Value::String(computed.clone()).to_json(),
+        );
+        let ack = c.roundtrip(&fill).unwrap();
+        assert_eq!(ack, r#"{"id":"f","ok":true,"fill":"twin","filled":true}"#);
+
+        // The twin now answers from cache, byte-identically to the origin.
+        let qt = q.replace(r#""dataset":"toy""#, r#""dataset":"twin""#);
+        assert_eq!(c.roundtrip(&qt).unwrap(), computed);
+        let stats = c.roundtrip(r#"{"verb":"stats"}"#).unwrap();
+        let twin = stats.split(r#""name":"twin""#).nth(1).expect("twin stats");
+        for member in [r#""hits":1"#, r#""misses":0"#, r#""filled":1"#] {
+            assert!(twin.contains(member), "missing {member}: {twin}");
+        }
+        let metrics = c.roundtrip(r#"{"verb":"metrics"}"#).unwrap();
+        assert!(metrics.contains(r#"knn_engine_cache_fill_total{tenant=\"twin\"} 1"#), "{metrics}");
+
+        // Mutate the twin (epoch 0 → 1): the same fill is now stale and dropped.
+        let ins = c
+            .roundtrip(r#"{"id":"i","verb":"insert","name":"twin","label":"-","point":[0,1,0]}"#)
+            .unwrap();
+        assert!(ins.contains(r#""version":1"#), "{ins}");
+        let stale = c.roundtrip(&fill).unwrap();
+        assert_eq!(stale, r#"{"id":"f","ok":true,"fill":"twin","filled":false}"#);
+
+        // Unknown tenants are an error, not a silent drop.
+        let missing = fill.replace(r#""name":"twin""#, r#""name":"ghost""#);
+        assert!(c.roundtrip(&missing).unwrap().contains("no dataset named"), "ghost fill");
         handle.shutdown();
     }
 

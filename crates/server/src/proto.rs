@@ -20,6 +20,7 @@
 //! {"verb":"slow"}
 //! {"verb":"trace","trace":"t-42"}
 //! {"verb":"dump"}
+//! {"verb":"fill","name":"demo","epoch":0,"req":"{\"cmd\":...}","resp":"{\"id\":...}"}
 //! {"verb":"unload","name":"demo"}
 //! {"verb":"ping"}
 //! {"verb":"quit"}
@@ -148,6 +149,23 @@ pub enum Command {
     /// Export the flight recorder's retained spans as Chrome trace-event
     /// JSON (`chrome://tracing` / Perfetto).
     Dump,
+    /// Install an explanation computed by a peer replica into a tenant's
+    /// cache (the cluster router's cross-replica cache fill). Best-effort:
+    /// an epoch mismatch or an already-present entry answers `ok` with
+    /// `"filled":false` rather than an error — stale fills racing
+    /// mutations are expected, not exceptional.
+    Fill {
+        /// Tenant name.
+        name: String,
+        /// The epoch the entry was computed at; the engine drops the fill
+        /// unless it is still exactly the current epoch.
+        epoch: u64,
+        /// The originating query (shipped as its request line; the cache
+        /// key is recomputed from it on the receiving side).
+        request: Request,
+        /// The computed answer (shipped as its response line).
+        response: Response,
+    },
     /// Liveness probe.
     Ping,
     /// Close this connection (after the response).
@@ -318,12 +336,28 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
         "slow" => Command::Slow,
         "trace" => Command::Trace { trace: member_str(&v, "trace", "the trace id to look up")? },
         "dump" => Command::Dump,
+        "fill" => {
+            let name = member_str(&v, "name", "the tenant to fill")?;
+            let epoch = match v.get("epoch") {
+                Some(x) => {
+                    x.as_u64().ok_or_else(|| "`epoch` must be a non-negative integer".to_string())?
+                }
+                None => return Err("missing `epoch`".into()),
+            };
+            let req_line = member_str(&v, "req", "the originating request line")?;
+            let request = Request::from_json_line(&req_line, "fill")
+                .map_err(|e| format!("bad `req`: {e}"))?;
+            let resp_line = member_str(&v, "resp", "the computed response line")?;
+            let response = Response::from_json_line(&resp_line)
+                .map_err(|e| format!("bad `resp`: {e}"))?;
+            Command::Fill { name, epoch, request, response }
+        }
         "ping" => Command::Ping,
         "quit" => Command::Quit,
         "shutdown" => Command::Shutdown,
         other => {
             return Err(format!(
-            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, top, slo, slow, trace, dump, ping, quit, shutdown)"
+            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, top, slo, slow, trace, dump, fill, ping, quit, shutdown)"
         ))
         }
     };
@@ -411,6 +445,19 @@ mod tests {
     }
 
     #[test]
+    fn fill_verb_parses_embedded_lines() {
+        let line = br#"{"id":"f","verb":"fill","name":"hot","epoch":3,"req":"{\"id\":\"q\",\"cmd\":\"classify\",\"point\":[1,0]}","resp":"{\"id\":\"q\",\"ok\":true,\"route\":\"kdtree\",\"label\":\"+\"}"}"#;
+        let p = parse_line(line, "1").unwrap();
+        assert_eq!(p.id, "f");
+        let Command::Fill { name, epoch, request, response } = p.command else {
+            panic!("not a fill")
+        };
+        assert_eq!((name.as_str(), epoch), ("hot", 3));
+        assert_eq!(request.point, vec![1.0, 0.0]);
+        assert_eq!(response.to_json_line(), r#"{"id":"q","ok":true,"route":"kdtree","label":"+"}"#);
+    }
+
+    #[test]
     fn load_replay_parses() {
         let p = parse_line(
             br#"{"verb":"load","name":"d","text":"+ 1\n- 0","replay":[{"op":"insert","label":"-","point":[0.25]},{"op":"remove","index":0}]}"#,
@@ -454,6 +501,9 @@ mod tests {
             b"{\"verb\":\"slo\",\"name\":\"d\",\"threshold_us\":1,\"quantile\":\"p99\"}",
             b"{\"verb\":\"slo\",\"name\":\"d\",\"threshold_us\":1,\"windows\":-2}",
             b"{\"verb\":\"load\",\"name\":\"d\",\"text\":\"+ 1\",\"replay\":[{\"op\":\"fly\"}]}",
+            b"{\"verb\":\"fill\",\"name\":\"d\"}", // no epoch/req/resp
+            b"{\"verb\":\"fill\",\"name\":\"d\",\"epoch\":0,\"req\":\"not json\",\"resp\":\"{}\"}",
+            b"{\"verb\":\"fill\",\"name\":\"d\",\"epoch\":0,\"req\":\"{\\\"cmd\\\":\\\"classify\\\",\\\"point\\\":[1]}\",\"resp\":\"nope\"}",
         ] {
             assert!(parse_line(bad, "1").is_err());
         }

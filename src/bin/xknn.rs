@@ -65,6 +65,11 @@
 //!   --data <n=file>   preload a dataset, fanned out to its replicas (repeatable)
 //!   --probe-ms <m>    health-probe interval (default 500; 0 disables)
 //!   --spread <s>      replicas one connection scatters over (default: all)
+//!   --affinity on|off cache-affinity routing + cross-replica cache fill
+//!                     (default on): repeats of a query prefer the replica
+//!                     already holding its cached explanation, and cold
+//!                     answers are pushed to peers; `off` restores pure
+//!                     window round-robin
 //!   --workers / --inflight / --cache / --budget   forwarded to spawned backends
 //! ```
 //!
@@ -121,6 +126,7 @@ fn main() {
         println!("            [--watch <secs>]");
         println!("       xknn router [--addr host:port] [--backend host:port ...] [--spawn <n>]");
         println!("            [--replicas <r>] [--data name=<file> ...] [--probe-ms <m>]");
+        println!("            [--spread <s>] [--affinity on|off]");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
     };
 
@@ -387,6 +393,13 @@ fn router() {
     }
     if let Some(s) = arg("--spread") {
         config.spread = s.parse().unwrap_or_else(|_| fail("--spread must be an integer"));
+    }
+    if let Some(a) = arg("--affinity") {
+        config.affinity = match a.as_str() {
+            "on" => true,
+            "off" => false,
+            _ => fail("--affinity must be `on` or `off`"),
+        };
     }
     let router = knn_cluster::Router::bind(&addr, config)
         .unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));

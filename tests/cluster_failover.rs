@@ -143,6 +143,79 @@ fn killing_one_of_two_replicas_mid_stream_keeps_bytes_identical_to_the_oracle() 
     let _ = survivor.wait();
 }
 
+/// The same kill-mid-stream property with cache-affinity routing and
+/// cross-replica fill enabled (the default config): a cold pass populates
+/// caches (and fans fills out to the peer), then the identical warm batch is
+/// pipelined and the victim killed before any response is read — so warm
+/// queries failing over land on a replica whose cache was filled by its dead
+/// peer. Bytes must match the single-server oracle on both passes: affinity,
+/// failover, and fill are all invisible in the response stream.
+#[test]
+fn affinity_and_fill_survive_a_mid_stream_kill_byte_identically() {
+    let (mut victim, victim_addr) = spawn_backend();
+    let (mut survivor, survivor_addr) = spawn_backend();
+
+    let router = Router::bind(
+        "127.0.0.1:0",
+        RouterConfig {
+            replication: 0,
+            probe_interval: Duration::from_millis(100),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(RouterConfig::default().affinity, "affinity routing should be the default");
+    router.attach(victim_addr);
+    router.attach(survivor_addr);
+    router.load("hot", LoadSource::Text(BOOL), None).unwrap();
+    let handle = router.spawn();
+
+    let lines = request_lines();
+    let expected: Vec<String> = {
+        let engine =
+            ExplanationEngine::new(textfmt::parse_dataset(BOOL).unwrap(), EngineConfig::default());
+        lines
+            .iter()
+            .map(|l| engine.run(&Request::from_json_line(l, "oracle").unwrap()).to_json_line())
+            .collect()
+    };
+
+    // Cold pass: every query routed by affinity to its home replica; cold
+    // explanations trigger best-effort fill pushes to the peer.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (i, l) in lines.iter().enumerate() {
+        let got = client.roundtrip(l).unwrap();
+        assert_eq!(&expected[i], &got, "cold slot {i}: affinity routing changed response bytes");
+    }
+
+    // Warm pass, pipelined, victim killed before the first read: pending
+    // queries drain onto the survivor, whose cache holds fill-pushed entries
+    // originally computed by the victim. Fill is fire-and-forget, so some
+    // pushes may not have landed — either way the bytes must not move.
+    let mut warm_client = Client::connect(handle.addr()).unwrap();
+    for l in &lines {
+        warm_client.send(l).unwrap();
+    }
+    victim.kill().expect("kill victim backend");
+    victim.wait().expect("reap victim backend");
+    for (i, want) in expected.iter().enumerate() {
+        let got = warm_client
+            .recv()
+            .unwrap()
+            .unwrap_or_else(|| panic!("router closed after {i} of {} responses", lines.len()));
+        assert_eq!(want, &got, "warm slot {i}: failover with fill changed response bytes");
+    }
+
+    // The fill plane actually ran: the survivor reports externally installed
+    // cache entries in the merged stats.
+    let stats = warm_client.roundtrip(r#"{"id":"st","verb":"stats"}"#).unwrap();
+    assert!(stats.contains(r#""cache_filled":"#), "merged stats lack cache_filled: {stats}");
+
+    handle.shutdown();
+    let _ = survivor.kill();
+    let _ = survivor.wait();
+}
+
 /// A backend that accepts a query and then dies *while holding it* — built
 /// from a scripted listener, so (unlike a process kill) the pending-at-death
 /// window is deterministic. The router must redispatch the drained query to
@@ -183,7 +256,11 @@ fn dead_channel_with_pending_query_forces_failover_spans() {
     });
 
     let (mut real, real_addr) = spawn_backend();
-    let router = Router::bind("127.0.0.1:0", RouterConfig::default()).unwrap();
+    // Window routing (not affinity) so the two-query batch deterministically
+    // round-robins one query onto the impostor — the scenario under test.
+    let router =
+        Router::bind("127.0.0.1:0", RouterConfig { affinity: false, ..RouterConfig::default() })
+            .unwrap();
     router.attach(fake_addr);
     router.attach(real_addr);
     router.load("hot", LoadSource::Text(BOOL), None).unwrap();
