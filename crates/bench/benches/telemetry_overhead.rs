@@ -1,10 +1,21 @@
 //! Telemetry overhead on the warm serving path: the same cache-hit batch is
-//! timed against two engines — telemetry compiled in but idle (the default)
-//! and telemetry fully enabled (route + phase histograms, per-query traces,
-//! slow-ring candidacy) — and the enabled run must stay within **5%** of the
-//! idle run. The always-on flight recorder samples span families on *both*
-//! sides (recording is independent of the enabled flag by design), so its
-//! cost is inside the measured baseline, not hidden by it.
+//! timed against telemetry compiled in but idle (the default) and telemetry
+//! fully enabled (route + phase histograms, per-query traces, slow-ring
+//! candidacy), and the enabled run must stay within **5%** of the idle run.
+//! The always-on flight recorder samples span families on *both* sides
+//! (recording is independent of the enabled flag by design), so its cost is
+//! inside the measured baseline, not hidden by it.
+//!
+//! The forensics plane gets two more arms on an enabled engine: **capture**
+//! (the always-on capture-ring push per response that `Tenant::serve` does)
+//! and **audit** (capture plus shadow-audit election and queue hand-off at
+//! the deployed 1-in-64 rate, with a live auditor thread re-executing every
+//! elected query). The capture ring is unconditional by design, so its cost
+//! is reported as an absolute per-query figure — it rides the server layer,
+//! where a query also pays socket and parse costs, so a ratio against the
+//! engine-only cache hit would gate it on the wrong denominator. The shadow
+//! audit is the optional knob, and ITS marginal overhead over the capture
+//! baseline is gated at the same **5%** budget.
 //! Results go to `BENCH_telemetry.json` at the workspace root.
 //!
 //! The warm path is the worst case for instrumentation: a cache hit does no
@@ -15,13 +26,14 @@
 //! Run with `cargo bench -p knn-bench --bench telemetry_overhead`.
 //! Pass `--full` for more trials and a bigger batch.
 
-use knn_engine::{EngineConfig, EngineData, ExplanationEngine, Request};
-use knn_telemetry::Telemetry;
+use knn_engine::{AuditOutcome, EngineConfig, EngineData, ExplanationEngine, Request};
+use knn_telemetry::{AuditJob, CaptureEntry, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Maximum tolerated warm-path slowdown: enabled vs idle.
 const MAX_OVERHEAD: f64 = 0.05;
@@ -59,6 +71,60 @@ fn min_warm_secs(engine: &ExplanationEngine, reqs: &[Request], trials: usize) ->
     best
 }
 
+/// [`min_warm_secs`] with the forensics plane on the timed path: after the
+/// batch, every response is pushed into the capture ring and put up for
+/// shadow-audit election exactly as `Tenant::serve` does (the engine-level
+/// batch API bypasses the server layer, so the bench replays its per-query
+/// additions by hand — raw-line clone, response clone, ring push, election,
+/// queue offer). With the sampler's rate at 0 this measures the capture arm
+/// (election collapses to one atomic load); at the deployed rate it is the
+/// audit arm. The auditor consuming the queue runs on its own thread, like
+/// in the server, so its re-executions contend for CPU but are not on the
+/// serving path itself.
+fn min_warm_forensics_secs(
+    engine: &ExplanationEngine,
+    telemetry: &Arc<Telemetry>,
+    reqs: &[Request],
+    raws: &[String],
+    trials: usize,
+) -> f64 {
+    let (warm, _) = engine.run_batch_with_stats(reqs);
+    let resps: Vec<String> = warm.iter().map(|r| r.to_json_line()).collect();
+    let capture = telemetry.capture();
+    let audit = telemetry.audit();
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        let (_, stats) = engine.run_batch_with_stats(reqs);
+        for (i, (raw, resp)) in raws.iter().zip(&resps).enumerate() {
+            capture.push(CaptureEntry {
+                tenant: "bench".to_string(),
+                epoch: 0,
+                conn: 1,
+                seq: i as u64,
+                trace: None,
+                request: raw.clone(),
+                response: resp.clone(),
+            });
+            if audit.elect() {
+                audit.offer(AuditJob {
+                    tenant: "bench".to_string(),
+                    epoch: 0,
+                    id: format!("q{i}"),
+                    request: raw.clone(),
+                    response: resp.clone(),
+                    conn: 1,
+                    seq: i as u64,
+                    trace: None,
+                });
+            }
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(stats.cache_hits, reqs.len(), "measured runs must be all hits");
+    }
+    best
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (n_points, dim, q, trials) = if full { (40, 12, 512, 60) } else { (24, 10, 256, 30) };
@@ -83,15 +149,69 @@ fn main() {
         .slo()
         .set("bench", knn_telemetry::SloObjective::default())
         .expect("default objective is valid");
-    let hot_engine = ExplanationEngine::with_telemetry(data(), config, telemetry.clone(), "bench");
+    let hot_engine =
+        ExplanationEngine::with_telemetry(data(), config.clone(), telemetry.clone(), "bench");
 
-    // Interleave idle/enabled trials so drift hits both sides equally.
+    // Telemetry enabled AND the forensics plane armed: capture ring, shadow
+    // audit at the deployed 1-in-64 rate, and a live auditor thread that
+    // re-executes every elected query (bypassing the cache, like the real
+    // auditor) while the serving path is being timed.
+    let audited = Telemetry::new();
+    audited.set_enabled(true);
+    let audit_rate = audited.audit().rate();
+    let audit_engine =
+        Arc::new(ExplanationEngine::with_telemetry(data(), config, audited.clone(), "bench"));
+    let raws: Vec<String> = reqs.iter().map(Request::to_json_line).collect();
+    let audit_checked = Arc::new(AtomicU64::new(0));
+    let audit_diverged = Arc::new(AtomicU64::new(0));
+    let auditor = {
+        let telemetry = audited.clone();
+        let engine = audit_engine.clone();
+        let checked = audit_checked.clone();
+        let diverged = audit_diverged.clone();
+        std::thread::spawn(move || {
+            let audit = telemetry.audit();
+            loop {
+                let Some(job) = audit.next(Duration::from_millis(5)) else {
+                    if audit.is_closed() {
+                        return;
+                    }
+                    continue;
+                };
+                let Ok(req) = Request::from_json_line(&job.request, &job.id) else { continue };
+                match engine.audit_replay(&req, job.epoch, &job.response) {
+                    AuditOutcome::Match | AuditOutcome::Stale => {}
+                    AuditOutcome::Diverged { .. } => {
+                        diverged.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                checked.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    // Interleave the trials so drift hits all four sides equally. The
+    // sampler's rate toggles between 0 (capture arm: ring push only) and
+    // the deployed rate (audit arm: ring push + election + hand-off).
     let mut idle = f64::INFINITY;
     let mut hot = f64::INFINITY;
+    let mut cap = f64::INFINITY;
+    let mut aud = f64::INFINITY;
     for _ in 0..3 {
         idle = idle.min(min_warm_secs(&idle_engine, &reqs, trials));
         hot = hot.min(min_warm_secs(&hot_engine, &reqs, trials));
+        audited.audit().set_rate(0);
+        cap = cap.min(min_warm_forensics_secs(&audit_engine, &audited, &reqs, &raws, trials));
+        audited.audit().set_rate(audit_rate);
+        aud = aud.min(min_warm_forensics_secs(&audit_engine, &audited, &reqs, &raws, trials));
     }
+    audited.audit().close();
+    auditor.join().expect("auditor thread exits cleanly");
+
+    // The shadow audit really ran and the invariant really held: elected
+    // queries were re-executed off-path and every one byte-matched.
+    assert!(audit_checked.load(Ordering::Relaxed) > 0, "auditor re-executed no queries");
+    assert_eq!(audit_diverged.load(Ordering::Relaxed), 0, "shadow audit found a divergence");
 
     // The enabled engine really recorded: warm hits land in the cache-probe
     // phase histogram (1-in-16 sampled, so a fraction of the query count).
@@ -105,10 +225,22 @@ fn main() {
 
     let idle_qps = q as f64 / idle;
     let hot_qps = q as f64 / hot;
+    let cap_qps = q as f64 / cap;
+    let aud_qps = q as f64 / aud;
     let overhead = hot / idle - 1.0;
+    let capture_ns = (cap - hot).max(0.0) / q as f64 * 1e9;
+    let audit_overhead = aud / cap - 1.0;
     println!("idle    {idle_qps:>11.1} q/s  (telemetry compiled in, disabled)");
     println!("enabled {hot_qps:>11.1} q/s  (histograms + traces + slow ring)");
+    println!("capture {cap_qps:>11.1} q/s  (enabled + always-on capture ring)");
+    println!("audited {aud_qps:>11.1} q/s  (capture + shadow audit at 1-in-{audit_rate})");
     println!("warm-path overhead {:+.2}%  (budget {:.0}%)", overhead * 100.0, MAX_OVERHEAD * 100.0);
+    println!("capture ring cost {capture_ns:.0} ns/query (absolute; always-on by design)");
+    println!(
+        "shadow-audit overhead over capture {:+.2}%  (budget {:.0}%)",
+        audit_overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
 
     let mut json = String::from("{\n");
     let _ = writeln!(
@@ -118,6 +250,10 @@ fn main() {
     let _ = writeln!(json, "  \"idle_qps\": {idle_qps:.1},");
     let _ = writeln!(json, "  \"enabled_qps\": {hot_qps:.1},");
     let _ = writeln!(json, "  \"overhead_frac\": {overhead:.4},");
+    let _ = writeln!(json, "  \"capture_qps\": {cap_qps:.1},");
+    let _ = writeln!(json, "  \"capture_ns_per_query\": {capture_ns:.0},");
+    let _ = writeln!(json, "  \"audit_qps\": {aud_qps:.1},");
+    let _ = writeln!(json, "  \"audit_overhead_frac\": {audit_overhead:.4},");
     let _ = writeln!(json, "  \"recorder_events\": {recorder_events},");
     let _ = writeln!(json, "  \"budget_frac\": {MAX_OVERHEAD}");
     json.push_str("}\n");
@@ -130,6 +266,12 @@ fn main() {
         overhead <= MAX_OVERHEAD,
         "telemetry warm-path overhead {:.2}% exceeds the {:.0}% budget",
         overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    assert!(
+        audit_overhead <= MAX_OVERHEAD,
+        "shadow-audit warm-path overhead {:.2}% over the capture baseline exceeds the {:.0}% budget",
+        audit_overhead * 100.0,
         MAX_OVERHEAD * 100.0
     );
 }

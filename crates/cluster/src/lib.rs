@@ -1116,6 +1116,10 @@ fn run_cluster_control(
         Command::Slow => (cluster_slow_line(shared, id), false),
         Command::Trace { trace } => (cluster_trace_line(shared, id, &trace), false),
         Command::Dump => (cluster_dump_line(shared, id), false),
+        Command::Repro { trace, conn, seq, name } => {
+            (cluster_repro_line(shared, id, trace.as_deref(), conn, seq, name.as_deref()), false)
+        }
+        Command::Audit { sample } => (cluster_audit_line(shared, id, sample), false),
         Command::Ping => (proto::ok_line(id, vec![("pong".into(), Value::Bool(true))]), false),
         Command::Quit => (proto::ok_line(id, vec![("bye".into(), Value::Bool(true))]), true),
         Command::Shutdown => {
@@ -1524,6 +1528,147 @@ fn cluster_slow_line(shared: &Arc<RouterShared>, id: &str) -> String {
     retained.sort_by_key(|e| std::cmp::Reverse(total(e)));
     retained.truncate(SLOW_RETAINED);
     proto::ok_line(id, vec![("slow".into(), Value::Array(retained.clone()))])
+}
+
+/// The cluster `repro` verb: forwards the selector to every healthy
+/// backend, then assembles ONE bundle from the **router's** retained
+/// source (seed text + full mutation log) with each backend's captured
+/// entries merged in, tagged with their backend id. Runs under the load
+/// lock so no load/mutation fan-out can advance the source mid-assembly —
+/// the bundle's replay log is pinned at a version every merged entry's
+/// epoch is ≤ (entries beyond it, impossible in a quiesced cluster, are
+/// dropped rather than exported unreplayable). A `conn`/`seq` selector is
+/// backend-local (the ids the cluster `slow` entries carry), so only the
+/// backend that owns the reference contributes.
+fn cluster_repro_line(
+    shared: &Arc<RouterShared>,
+    id: &str,
+    trace: Option<&str>,
+    conn: Option<u64>,
+    seq: Option<u64>,
+    name: Option<&str>,
+) -> String {
+    let _load_serialized = shared.load_lock.lock().unwrap();
+    let mut members = vec![
+        ("id".into(), Value::String("agg".into())),
+        ("verb".into(), Value::String("repro".into())),
+    ];
+    if let Some(t) = trace {
+        members.push(("trace".into(), Value::String(t.to_string())));
+    }
+    if let (Some(c), Some(s)) = (conn, seq) {
+        members.push(("conn".into(), Value::Number(c as f64)));
+        members.push(("seq".into(), Value::Number(s as f64)));
+    }
+    if let Some(n) = name {
+        members.push(("name".into(), Value::String(n.to_string())));
+    }
+    let req = Value::Object(members).to_json();
+
+    let mut tenant: Option<String> = name.map(str::to_string);
+    let mut config = None;
+    let mut entries: Vec<knn_engine::bundle::BundleEntry> = Vec::new();
+    for backend in shared.pool.backends() {
+        if !backend.is_healthy() {
+            continue;
+        }
+        let Ok(resp) = backend.control_roundtrip(&req) else { continue };
+        let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
+        if v.get("ok") != Some(&Value::Bool(true)) {
+            continue; // nothing captured there for this selector
+        }
+        let Some(Value::String(text)) = v.get("bundle") else { continue };
+        let Ok(bundle) = knn_engine::bundle::ReproBundle::from_json(text) else { continue };
+        let target = tenant.get_or_insert_with(|| bundle.tenant.clone());
+        if bundle.tenant != *target {
+            continue; // a trace that crossed tenants exports the first one
+        }
+        config.get_or_insert(bundle.config);
+        entries.extend(bundle.entries.into_iter().map(|mut e| {
+            e.backend = Some(backend.id as u64);
+            e
+        }));
+    }
+    let (Some(tenant), Some(config)) = (tenant, config) else {
+        let msg = "no captured requests match that selector on any live backend";
+        return proto::error_line(id, msg);
+    };
+    let sources = shared.sources.lock().unwrap();
+    let Some(src) = sources.get(&tenant) else {
+        let msg = format!("no dataset named `{tenant}` (try the load verb)");
+        return proto::error_line(id, &msg);
+    };
+    let version = src.version();
+    entries.retain(|e| e.epoch <= version);
+    entries.sort_by(|a, b| {
+        (a.epoch, a.backend, a.conn, a.seq).cmp(&(b.epoch, b.backend, b.conn, b.seq))
+    });
+    let replay: Result<Vec<_>, String> =
+        src.muts.iter().map(knn_engine::bundle::mutation_from_op).collect();
+    let replay = match replay {
+        Ok(ops) => ops,
+        Err(e) => return proto::error_line(id, &format!("retained mutation log corrupt: {e}")),
+    };
+    let bundle = knn_engine::bundle::ReproBundle {
+        tenant: tenant.clone(),
+        config,
+        seed: src.seed.to_string(),
+        replay,
+        entries,
+    };
+    proto::ok_line(
+        id,
+        vec![
+            ("repro".into(), Value::String(tenant)),
+            ("entries".into(), Value::Number(bundle.entries.len() as f64)),
+            ("bundle".into(), Value::String(bundle.to_json())),
+        ],
+    )
+}
+
+/// The cluster `audit` verb: fans the sample rate (if given) to every live
+/// backend and aggregates their shadow-audit counters — checked/diverged
+/// sums, queue depth and drop counts summed, the configured rate echoed.
+fn cluster_audit_line(shared: &Arc<RouterShared>, id: &str, sample: Option<u64>) -> String {
+    let num64 = |n: u64| Value::Number(n as f64);
+    let line = match sample {
+        Some(rate) => format!(r#"{{"id":"fanout","verb":"audit","sample":{rate}}}"#),
+        None => r#"{"id":"agg","verb":"audit"}"#.to_string(),
+    };
+    let (mut checked, mut diverged, mut queued, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+    let mut rate = 0u64;
+    let mut replicas = 0usize;
+    for backend in shared.pool.backends() {
+        if !backend.is_healthy() {
+            continue;
+        }
+        let Ok(resp) = backend.control_roundtrip(&line) else { continue };
+        let Ok(v) = parse_bytes(resp.as_bytes()) else { continue };
+        if v.get("ok") != Some(&Value::Bool(true)) {
+            continue;
+        }
+        replicas += 1;
+        let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        checked += u("checked");
+        diverged += u("diverged");
+        queued += u("queued");
+        dropped += u("dropped");
+        rate = rate.max(u("sample"));
+    }
+    if replicas == 0 {
+        return proto::error_line(id, "no live backend answered the audit verb");
+    }
+    proto::ok_line(
+        id,
+        vec![
+            ("sample".into(), num64(rate)),
+            ("checked".into(), num64(checked)),
+            ("diverged".into(), num64(diverged)),
+            ("queued".into(), num64(queued)),
+            ("dropped".into(), num64(dropped)),
+            ("replicas".into(), Value::Number(replicas as f64)),
+        ],
+    )
 }
 
 /// Per-tenant counters summed over backends, plus the version picture the

@@ -62,6 +62,44 @@ impl Mutation {
     }
 }
 
+impl Mutation {
+    /// Renders this mutation as the canonical replay-op JSON object the
+    /// serving layers' `load` verb accepts in its `"replay"` array and the
+    /// repro bundles embed:
+    /// `{"op":"insert","label":"+","point":[...]}` /
+    /// `{"op":"remove","index":N}`. Coordinates print exactly as the
+    /// engine's JSON writer prints numbers (integers without a fractional
+    /// part, other floats via Rust's shortest-roundtrip `Display`), so a
+    /// bundle that embeds these items re-serializes byte-identically after
+    /// a parse.
+    pub fn op_json(&self) -> String {
+        // Mirrors the engine JSON writer's number rendering (including
+        // `-0.0` → `0`); the two must stay in lockstep or bundle
+        // round-trips stop being byte-identical.
+        fn push_num(out: &mut String, v: f64) {
+            if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                out.push_str(&format!("{}", v as i64));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        match self {
+            Mutation::Insert { point, label } => {
+                let mut out = format!("{{\"op\":\"insert\",\"label\":\"{label}\",\"point\":[");
+                for (i, v) in point.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_num(&mut out, *v);
+                }
+                out.push_str("]}");
+                out
+            }
+            Mutation::Remove { id } => format!("{{\"op\":\"remove\",\"index\":{id}}}"),
+        }
+    }
+}
+
 /// A mutation as recorded in the log, after it was applied. Removals carry
 /// the removed point and label (needed by cache revalidation and replica
 /// replay once the point is gone from the dataset).
@@ -104,6 +142,23 @@ impl AppliedMutation {
     /// True for inserts.
     pub fn is_insert(&self) -> bool {
         matches!(self, AppliedMutation::Insert { .. })
+    }
+
+    /// The [`Mutation`] that re-applies this log entry to a dataset at the
+    /// epoch it was originally applied at — what a repro bundle replays on
+    /// top of the seed text to reconstruct any epoch.
+    pub fn to_op(&self) -> Mutation {
+        match self {
+            AppliedMutation::Insert { point, label } => {
+                Mutation::Insert { point: point.clone(), label: *label }
+            }
+            AppliedMutation::Remove { id, .. } => Mutation::Remove { id: *id },
+        }
+    }
+
+    /// [`Mutation::op_json`] of [`to_op`](AppliedMutation::to_op).
+    pub fn op_json(&self) -> String {
+        self.to_op().op_json()
     }
 }
 
@@ -204,6 +259,26 @@ mod tests {
         assert!(log.range(5, 9).unwrap().is_empty(), "past-the-end windows are empty, not a panic");
         assert!(log.range(2, 1).unwrap().is_empty(), "inverted windows are empty");
         assert!(log.entries()[1].point() == [0.0] && !log.entries()[1].is_insert());
+    }
+
+    #[test]
+    fn op_json_is_the_wire_replay_format() {
+        let ins =
+            Mutation::Insert { point: vec![1.0, 0.5, 0.30000000000000004], label: Label::Positive };
+        assert_eq!(
+            ins.op_json(),
+            r#"{"op":"insert","label":"+","point":[1,0.5,0.30000000000000004]}"#
+        );
+        assert_eq!(Mutation::Remove { id: 3 }.op_json(), r#"{"op":"remove","index":3}"#);
+        let applied = AppliedMutation::Remove { id: 2, point: vec![9.0], label: Label::Negative };
+        assert_eq!(applied.to_op(), Mutation::Remove { id: 2 });
+        assert_eq!(applied.op_json(), r#"{"op":"remove","index":2}"#);
+        let applied = AppliedMutation::Insert { point: vec![-0.0], label: Label::Negative };
+        assert_eq!(
+            applied.op_json(),
+            r#"{"op":"insert","label":"-","point":[0]}"#,
+            "-0 prints as 0, like the engine JSON writer"
+        );
     }
 
     #[test]

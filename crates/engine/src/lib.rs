@@ -77,6 +77,7 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod bundle;
 pub mod cache;
 pub mod exec;
 pub mod json;
@@ -85,6 +86,7 @@ pub mod request;
 pub mod textfmt;
 
 pub use artifacts::{ArtifactResources, ArtifactStore, EngineData};
+pub use bundle::{BundleEntry, ReplayDivergence, ReplayReport, ReproBundle};
 pub use cache::CacheStats;
 pub use plan::{plan, Complexity, Plan, Route};
 pub use request::{CacheKey, Metric, Outcome, QueryKind, Request, Response};
@@ -124,7 +126,7 @@ fn sample_cache_probe() -> bool {
 }
 
 /// Engine-level configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads for batches (`0` = all available cores).
     pub workers: usize,
@@ -225,6 +227,22 @@ struct Snapshot {
     epoch: u64,
     data: Arc<EngineData>,
     artifacts: Arc<ArtifactStore>,
+}
+
+/// What one shadow-audit re-execution found
+/// (see [`ExplanationEngine::audit_replay`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// The recomputed bytes equal the served bytes.
+    Match,
+    /// The recomputed bytes differ — a determinism violation.
+    Diverged {
+        /// The line the re-execution produced.
+        got: String,
+    },
+    /// The engine moved past the served epoch before the audit ran; the
+    /// comparison would be meaningless, so nothing was checked.
+    Stale,
 }
 
 /// What [`ExplanationEngine::apply`] reports about an applied mutation.
@@ -379,6 +397,12 @@ pub struct EngineStats {
     /// Completed artifact cells carried across mutations instead of
     /// rebuilt.
     pub artifacts_carried: u64,
+    /// Served queries re-executed by the shadow audit
+    /// (see [`ExplanationEngine::audit_replay`]).
+    pub audit_checked: u64,
+    /// Audit re-executions whose bytes differed from the served response —
+    /// nonzero means the determinism invariant was violated somewhere.
+    pub audit_diverged: u64,
     /// Estimated memory footprint by component (see [`ResourceStats`]).
     pub resources: ResourceStats,
 }
@@ -394,6 +418,8 @@ pub struct ExplanationEngine {
     filled: AtomicU64,
     inserts: AtomicU64,
     removes: AtomicU64,
+    audit_checked: AtomicU64,
+    audit_diverged: AtomicU64,
     /// Single-flight table: identical requests racing in one batch coalesce
     /// onto the first worker's computation instead of each paying the full
     /// (possibly exponential) route cost before the LRU is populated. Keyed
@@ -458,6 +484,8 @@ impl ExplanationEngine {
             filled: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             removes: AtomicU64::new(0),
+            audit_checked: AtomicU64::new(0),
+            audit_diverged: AtomicU64::new(0),
             inflight: Mutex::new(HashMap::new()),
             telemetry,
             tenant: label.to_string(),
@@ -520,6 +548,8 @@ impl ExplanationEngine {
             artifact_build_us: store.build_us,
             artifacts_built_total: store.built,
             artifacts_carried: store.carried,
+            audit_checked: self.audit_checked.load(Ordering::Relaxed),
+            audit_diverged: self.audit_diverged.load(Ordering::Relaxed),
             resources,
         }
     }
@@ -701,6 +731,34 @@ impl ExplanationEngine {
         drop(st);
         self.filled.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// Re-executes an already-served query against the current snapshot and
+    /// byte-diffs the result against the served response line — the engine
+    /// half of the continuous shadow audit.
+    ///
+    /// The re-execution deliberately bypasses the explanation cache, the
+    /// single-flight table, and the per-route work counters
+    /// ([`execute_guarded`](Self::execute_guarded) alone): the audit wants
+    /// an independent recomputation, and auditing must never perturb the
+    /// serving stats it sits next to. Only when the snapshot still sits at
+    /// `epoch` is the comparison meaningful (the invariant fixes the answer
+    /// per epoch); a mutation that raced the audit yields
+    /// [`AuditOutcome::Stale`], which callers count as skipped, not checked.
+    pub fn audit_replay(&self, req: &Request, epoch: u64, expected: &str) -> AuditOutcome {
+        let snap = self.snapshot();
+        if snap.epoch != epoch {
+            return AuditOutcome::Stale;
+        }
+        let (resp, _, _) = self.execute_guarded(&snap, req, false);
+        self.audit_checked.fetch_add(1, Ordering::Relaxed);
+        let got = resp.to_json_line();
+        if got == expected {
+            AuditOutcome::Match
+        } else {
+            self.audit_diverged.fetch_add(1, Ordering::Relaxed);
+            AuditOutcome::Diverged { got }
+        }
     }
 
     /// Answers one request (through the cache) at the current epoch.

@@ -59,19 +59,20 @@ pub use admission::{Admission, AdmissionStats};
 pub use client::Client;
 pub use registry::{Registry, Tenant, TenantStats};
 
+use knn_engine::bundle::BundleEntry;
 use knn_engine::json::Value;
-use knn_engine::{EngineConfig, Request};
+use knn_engine::{AuditOutcome, EngineConfig, Request};
 use knn_telemetry::exposition::{push_header, push_sample, series_key};
-use knn_telemetry::{SpanEvent, Telemetry};
+use knn_telemetry::{AuditJob, SpanEvent, Telemetry};
 use proto::Command;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -102,6 +103,10 @@ struct Shared {
     conn_inflight: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Monotone connection ids. `(conn, seq)` is the capture reference: it
+    /// names one served response in the black-box ring, the slow ring, and
+    /// forced spans, and is the selector `repro` drills down on.
+    conn_counter: AtomicU64,
     /// Bind time, for the `uptime_ms` field of `stats` — the cluster
     /// router's health probe wants a cheap liveness answer that never waits
     /// on the admission queue (and `stats` never does: it only snapshots
@@ -119,6 +124,9 @@ struct Shared {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    /// The shadow auditor (see [`auditor_loop`]): joined when the accept
+    /// loop ends, after closing its queue.
+    auditor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -140,10 +148,15 @@ impl Server {
             conn_inflight: config.conn_inflight.max(1),
             shutdown: AtomicBool::new(false),
             addr,
+            conn_counter: AtomicU64::new(0),
             started: Instant::now(),
             top_baseline: Mutex::new(BTreeMap::new()),
         });
-        Ok(Server { listener, shared })
+        let auditor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || auditor_loop(&shared))
+        };
+        Ok(Server { listener, shared, auditor: Some(auditor) })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -158,7 +171,7 @@ impl Server {
 
     /// Accepts connections until a client sends `shutdown`. Each connection
     /// gets its own reader/worker/writer threads.
-    pub fn serve(self) -> std::io::Result<()> {
+    pub fn serve(mut self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -170,6 +183,11 @@ impl Server {
                 // connection; they must never take the server down.
                 let _ = serve_connection(stream, &shared);
             });
+        }
+        // Wake the auditor out of its queue wait and let it drain.
+        self.shared.telemetry.audit().close();
+        if let Some(auditor) = self.auditor.take() {
+            let _ = auditor.join();
         }
         Ok(())
     }
@@ -208,8 +226,10 @@ impl ServerHandle {
 }
 
 /// One in-flight query job: output slot, tenant, request, trace id (the
-/// client's `"trace"` member — out-of-band, never echoed in the response).
-type Job = (u64, Arc<Tenant>, Request, Option<String>);
+/// client's `"trace"` member — out-of-band, never echoed in the response),
+/// connection id, and the raw request line (kept for the capture ring, so
+/// a repro bundle replays exactly the bytes the client sent).
+type Job = (u64, Arc<Tenant>, Request, Option<String>, u64, String);
 
 /// The `"trace"` member of a request line, if it is a string. Any other
 /// shape is ignored — the member is an out-of-band diagnostic hint, so it
@@ -223,6 +243,9 @@ fn trace_member(v: &Value) -> Option<String> {
 
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
+    // Connection ids start at 1: `(conn:0, seq:0)` stays an impossible
+    // capture reference (what in-process callers without a connection get).
+    let conn = shared.conn_counter.fetch_add(1, Ordering::Relaxed) + 1;
 
     // Writer thread: receives (seq, line) in completion order, emits in
     // request order, flushing each line as soon as its turn comes (streamed).
@@ -244,14 +267,15 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
             let completed = completed.clone();
             std::thread::spawn(move || loop {
                 let job = job_rx.lock().unwrap().recv();
-                let Ok((seq, tenant, request, trace)) = job else { break };
-                let resp = tenant.run(&shared.admission, &request, trace.as_deref());
+                let Ok((seq, tenant, request, trace, conn, raw)) = job else { break };
+                let line =
+                    tenant.serve(&shared.admission, &request, trace.as_deref(), conn, seq, &raw);
                 // A failed send just means the writer died with the client;
                 // keep draining jobs anyway — the barrier below counts every
                 // dispatched query, so a worker that stopped early would
                 // strand the reader in `cv.wait` forever (thread + fd leak
                 // per abandoned connection).
-                let _ = out_tx.send((seq, resp.to_json_line()));
+                let _ = out_tx.send((seq, line));
                 let (count, cv) = &*completed;
                 *count.lock().unwrap() += 1;
                 cv.notify_all();
@@ -284,7 +308,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
             Ok((parsed, value)) => match parsed.command {
                 Command::Query { dataset, request } => match shared.registry.get(&dataset) {
                     Some(tenant) => {
-                        let _ = job_tx.send((seq, tenant, request, trace_member(&value)));
+                        let raw = String::from_utf8_lossy(line).into_owned();
+                        let _ =
+                            job_tx.send((seq, tenant, request, trace_member(&value), conn, raw));
                         dispatched += 1;
                     }
                     None => {
@@ -334,6 +360,85 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<
     Ok(())
 }
 
+/// The continuous shadow audit: drains the sampler's queue and re-executes
+/// each elected query against the live engine, comparing response bytes.
+/// A re-execution is only sound at the epoch the original answered at, so
+/// jobs whose tenant has moved on (or been reloaded) are dropped as stale —
+/// the audit is opportunistic coverage, not a completeness proof. On
+/// divergence the auditor force-records an `audit` span (anomaly
+/// `diverged`, so `dump`/`trace` surface it) and auto-exports a repro
+/// bundle for the offline `xknn replay` debugger.
+fn auditor_loop(shared: &Arc<Shared>) {
+    let audit = shared.telemetry.audit();
+    loop {
+        let Some(job) = audit.next(Duration::from_millis(50)) else {
+            if audit.is_closed() {
+                return;
+            }
+            continue;
+        };
+        let Some(tenant) = shared.registry.get(&job.tenant) else { continue };
+        let Ok(req) = Request::from_json_bytes(job.request.as_bytes(), &job.id) else { continue };
+        match tenant.engine.audit_replay(&req, job.epoch, &job.response) {
+            AuditOutcome::Match | AuditOutcome::Stale => {}
+            AuditOutcome::Diverged { got } => report_divergence(shared, &tenant, &job, &got),
+        }
+    }
+}
+
+/// A shadow-audit divergence is the one condition this whole plane exists
+/// to catch: same request, same epoch, different bytes. Record it loudly
+/// (forced anomaly span) and durably (auto-exported bundle under the OS
+/// temp dir, path on stderr) — the serving path itself is never touched.
+fn report_divergence(shared: &Arc<Shared>, tenant: &Tenant, job: &AuditJob, got: &str) {
+    let recorder = shared.telemetry.recorder();
+    recorder.push(
+        SpanEvent {
+            trace: job.trace.clone().unwrap_or_default(),
+            seq: recorder.next_seq(),
+            parent: 0,
+            name: "audit",
+            detail: format!(
+                "conn={} seq={} got {} bytes, served {}",
+                job.conn,
+                job.seq,
+                got.len(),
+                job.response.len()
+            ),
+            tenant: job.tenant.clone(),
+            epoch: job.epoch,
+            start_us: recorder.now_us(),
+            dur_us: 0,
+            anomaly: "diverged",
+        },
+        true,
+    );
+    let bundle = tenant.bundle_with(vec![BundleEntry {
+        conn: job.conn,
+        seq: job.seq,
+        backend: None,
+        epoch: job.epoch,
+        trace: job.trace.clone(),
+        request: job.request.clone(),
+        response: job.response.clone(),
+    }]);
+    let path = std::env::temp_dir()
+        .join(format!("xknn-audit-{}-{}-{}.json", job.tenant, job.conn, job.seq));
+    match std::fs::write(&path, bundle.to_json() + "\n") {
+        Ok(()) => eprintln!(
+            "xknn shadow audit: divergence on tenant `{}` (conn={} seq={}); repro bundle at {}",
+            job.tenant,
+            job.conn,
+            job.seq,
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "xknn shadow audit: divergence on tenant `{}` (conn={} seq={}); bundle export failed: {e}",
+            job.tenant, job.conn, job.seq
+        ),
+    }
+}
+
 fn writer_loop(stream: TcpStream, rx: Receiver<(u64, String)>) {
     let mut out = BufWriter::new(stream);
     let mut next = 0u64;
@@ -368,7 +473,7 @@ fn run_mutation(
         let msg = format!("no dataset named `{name}` (try the load verb)");
         return (proto::error_line(id, &msg), false);
     };
-    match tenant.engine.apply(mutation) {
+    match tenant.apply_logged(mutation) {
         Err(e) => (proto::error_line(id, &e), false),
         Ok(receipt) => {
             let line = proto::ok_line(
@@ -628,6 +733,32 @@ fn engine_series(shared: &Arc<Shared>) -> String {
                 w.solve_us,
             );
         }
+    }
+    push_header(
+        &mut out,
+        "knn_audit_checked_total",
+        "counter",
+        "Shadow-audit re-executions compared against served bytes.",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_audit_checked_total", &[("tenant", &s.name)]),
+            s.engine.audit_checked,
+        );
+    }
+    push_header(
+        &mut out,
+        "knn_audit_diverged_total",
+        "counter",
+        "Shadow-audit re-executions whose bytes diverged from the served response.",
+    );
+    for s in &stats {
+        push_sample(
+            &mut out,
+            &series_key("knn_audit_diverged_total", &[("tenant", &s.name)]),
+            s.engine.audit_diverged,
+        );
     }
     push_header(&mut out, "knn_server_requests_total", "counter", "Queries completed per tenant.");
     for s in &stats {
@@ -915,6 +1046,8 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                         ("artifacts_carried".into(), num64(s.engine.artifacts_carried)),
                         ("artifact_build_us".into(), num64(s.engine.artifact_build_us)),
                         ("revalidation_failed".into(), num64(s.engine.revalidation_failed)),
+                        ("audit_checked".into(), num64(s.engine.audit_checked)),
+                        ("audit_diverged".into(), num64(s.engine.audit_diverged)),
                         (
                             "regions".into(),
                             Value::Object(vec![
@@ -1008,6 +1141,8 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                         ("route".into(), Value::String(q.route)),
                         ("cache".into(), Value::String(q.cache)),
                         ("epoch".into(), num64(q.epoch)),
+                        ("conn".into(), num64(q.conn)),
+                        ("seq".into(), num64(q.seq)),
                         ("total_us".into(), num64(q.total_us)),
                         ("admission_us".into(), num64(q.admission_us)),
                         ("plan_us".into(), num64(q.plan_us)),
@@ -1062,6 +1197,73 @@ fn run_control(shared: &Arc<Shared>, id: &str, command: Command) -> (String, boo
                 vec![
                     ("fill".into(), Value::String(name)),
                     ("filled".into(), Value::Bool(installed)),
+                ],
+            );
+            (line, false)
+        }
+        Command::Repro { trace, conn, seq, name } => {
+            let capture = shared.telemetry.capture();
+            let captures = if let Some(trace) = &trace {
+                capture.by_trace(trace)
+            } else if let (Some(conn), Some(seq)) = (conn, seq) {
+                capture.by_ref(conn, seq).into_iter().collect()
+            } else {
+                capture.for_tenant(name.as_deref().unwrap_or_default())
+            };
+            let Some(first) = captures.first() else {
+                let msg = "no captured requests match that selector (the capture ring is bounded and keeps the newest)";
+                return (proto::error_line(id, msg), false);
+            };
+            // A bundle replays one tenant's seed; a trace that touched
+            // several tenants exports against the first one captured.
+            let tenant_name = first.tenant.clone();
+            let Some(tenant) = shared.registry.get(&tenant_name) else {
+                let msg = format!("no dataset named `{tenant_name}` (try the load verb)");
+                return (proto::error_line(id, &msg), false);
+            };
+            let entries: Vec<BundleEntry> = captures
+                .iter()
+                .filter(|e| e.tenant == tenant_name)
+                .map(|e| BundleEntry {
+                    conn: e.conn,
+                    seq: e.seq,
+                    backend: None,
+                    epoch: e.epoch,
+                    trace: e.trace.clone(),
+                    request: e.request.clone(),
+                    response: e.response.clone(),
+                })
+                .collect();
+            let bundle = tenant.bundle_with(entries);
+            let line = proto::ok_line(
+                id,
+                vec![
+                    ("repro".into(), Value::String(tenant_name)),
+                    ("entries".into(), num(bundle.entries.len())),
+                    ("bundle".into(), Value::String(bundle.to_json())),
+                ],
+            );
+            (line, false)
+        }
+        Command::Audit { sample } => {
+            let audit = shared.telemetry.audit();
+            if let Some(rate) = sample {
+                audit.set_rate(rate);
+            }
+            let (mut checked, mut diverged) = (0u64, 0u64);
+            for t in shared.registry.list() {
+                let s = t.stats();
+                checked += s.engine.audit_checked;
+                diverged += s.engine.audit_diverged;
+            }
+            let line = proto::ok_line(
+                id,
+                vec![
+                    ("sample".into(), num64(audit.rate())),
+                    ("checked".into(), num64(checked)),
+                    ("diverged".into(), num64(diverged)),
+                    ("queued".into(), num(audit.queued())),
+                    ("dropped".into(), num64(audit.dropped())),
                 ],
             );
             (line, false)
@@ -1525,6 +1727,100 @@ mod tests {
         // The slow ring links back: the traced counterfactual carries t-7.
         let s = c.roundtrip(r#"{"id":"s","verb":"slow"}"#).unwrap();
         assert!(s.contains(r#""trace":"t-7""#) || s.contains(r#""trace":null"#), "{s}");
+
+        handle.shutdown();
+    }
+
+    /// The forensics close-out plane, end to end: every served response is
+    /// captured, `repro` exports a self-contained bundle (seed plus replay
+    /// ops plus captured lines) whose offline replay is byte-identical even
+    /// across a mid-stream mutation, the slow ring's `(conn, seq)`
+    /// reference drills down into a single-entry bundle, and the shadow
+    /// auditor at sample rate 1 re-checks the traffic with zero
+    /// divergences.
+    #[test]
+    fn repro_verb_exports_bundles_and_the_shadow_audit_stays_clean() {
+        let handle = spawn_server();
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let a = c.roundtrip(r#"{"id":"a","verb":"audit","sample":1}"#).unwrap();
+        for member in [r#""sample":1"#, r#""checked":"#, r#""diverged":0"#, r#""dropped":0"#] {
+            assert!(a.contains(member), "missing {member}: {a}");
+        }
+
+        // Traffic across a mutation: the traced query answers at epoch 0,
+        // the rest at epoch 1 — one bundle must reproduce both.
+        let q0 = r#"{"dataset":"toy","id":"q0","cmd":"counterfactual","metric":"hamming","point":[1,0,1],"trace":"t-r"}"#;
+        let served0 = c.roundtrip(q0).unwrap();
+        let ins =
+            c.roundtrip(r#"{"verb":"insert","name":"toy","label":"+","point":[0,0,1]}"#).unwrap();
+        assert!(ins.contains(r#""version":1"#), "{ins}");
+        let q1 =
+            r#"{"dataset":"toy","id":"q1","cmd":"classify","metric":"hamming","point":[0,0,1]}"#;
+        let served1 = c.roundtrip(q1).unwrap();
+        assert!(served1.contains(r#""label":"+""#), "{served1}");
+
+        // Tenant-window repro: both captures, the seed, and the insert op.
+        let r = c.roundtrip(r#"{"id":"r","verb":"repro","name":"toy"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(r.as_bytes()).unwrap();
+        assert_eq!(parsed.get("repro"), Some(&Value::String("toy".into())));
+        assert_eq!(parsed.get("entries").and_then(Value::as_u64), Some(2), "{r}");
+        let Some(Value::String(text)) = parsed.get("bundle") else { panic!("{r}") };
+        let bundle = knn_engine::bundle::ReproBundle::from_json(text).unwrap();
+        assert_eq!(bundle.replay.len(), 1, "the insert rides the bundle");
+        let report = bundle.replay().unwrap();
+        assert_eq!((report.checked, report.final_epoch), (2, 1));
+        assert!(report.divergences.is_empty(), "{report:?}");
+        assert!(
+            bundle.entries.iter().any(|e| e.response == served0)
+                && bundle.entries.iter().any(|e| e.response == served1),
+            "captured bytes are the served bytes"
+        );
+
+        // Trace-id repro narrows to the traced query.
+        let rt = c.roundtrip(r#"{"id":"rt","verb":"repro","trace":"t-r"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(rt.as_bytes()).unwrap();
+        assert_eq!(parsed.get("entries").and_then(Value::as_u64), Some(1), "{rt}");
+
+        // The slow → repro drill-down: take (conn, seq) off a slow entry.
+        let s = c.roundtrip(r#"{"id":"s","verb":"slow"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(s.as_bytes()).unwrap();
+        let Some(Value::Array(slow)) = parsed.get("slow") else { panic!("{s}") };
+        let entry = slow.first().expect("the counterfactual is in the slow ring");
+        let conn = entry.get("conn").and_then(Value::as_u64).unwrap();
+        let seq = entry.get("seq").and_then(Value::as_u64).unwrap();
+        let rs = c
+            .roundtrip(&format!(r#"{{"id":"rs","verb":"repro","conn":{conn},"seq":{seq}}}"#))
+            .unwrap();
+        let parsed = knn_engine::json::parse_bytes(rs.as_bytes()).unwrap();
+        assert_eq!(parsed.get("entries").and_then(Value::as_u64), Some(1), "{rs}");
+
+        // No matching capture is an error, not an empty bundle.
+        let miss = c.roundtrip(r#"{"verb":"repro","trace":"nope"}"#).unwrap();
+        assert!(miss.contains("no captured requests"), "{miss}");
+
+        // The shadow auditor drains the sampled jobs without divergence;
+        // its counters surface through the audit verb and the exposition.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let a = c.roundtrip(r#"{"id":"a2","verb":"audit"}"#).unwrap();
+            let parsed = knn_engine::json::parse_bytes(a.as_bytes()).unwrap();
+            let checked = parsed.get("checked").and_then(Value::as_u64).unwrap();
+            let queued = parsed.get("queued").and_then(Value::as_u64).unwrap();
+            assert_eq!(parsed.get("diverged").and_then(Value::as_u64), Some(0), "{a}");
+            if checked >= 1 && queued == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "auditor never drained: {a}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let m = c.roundtrip(r#"{"id":"m","verb":"metrics"}"#).unwrap();
+        let parsed = knn_engine::json::parse_bytes(m.as_bytes()).unwrap();
+        let Some(Value::String(text)) = parsed.get("metrics") else { panic!("{m}") };
+        assert!(text.contains(r#"knn_audit_checked_total{tenant="toy"}"#), "{text}");
+        assert!(text.contains(r#"knn_audit_diverged_total{tenant="toy"} 0"#), "{text}");
+        let st = c.roundtrip(r#"{"verb":"stats"}"#).unwrap();
+        assert!(st.contains(r#""audit_checked":"#) && st.contains(r#""audit_diverged":0"#), "{st}");
 
         handle.shutdown();
     }

@@ -21,6 +21,11 @@
 //! {"verb":"trace","trace":"t-42"}
 //! {"verb":"dump"}
 //! {"verb":"fill","name":"demo","epoch":0,"req":"{\"cmd\":...}","resp":"{\"id\":...}"}
+//! {"verb":"repro","trace":"t-42"}
+//! {"verb":"repro","conn":3,"seq":17}
+//! {"verb":"repro","name":"demo"}
+//! {"verb":"audit"}
+//! {"verb":"audit","sample":32}
 //! {"verb":"unload","name":"demo"}
 //! {"verb":"ping"}
 //! {"verb":"quit"}
@@ -166,6 +171,27 @@ pub enum Command {
         /// The computed answer (shipped as its response line).
         response: Response,
     },
+    /// Export a self-contained repro bundle (seed text + replay ops +
+    /// captured request/response lines) from the black-box capture ring.
+    /// Exactly one selector: a trace id, a `(conn, seq)` capture reference
+    /// (the `slow` verb's drill-down link), or a tenant name (every
+    /// retained capture for that tenant).
+    Repro {
+        /// Select every capture carrying this trace id.
+        trace: Option<String>,
+        /// With `seq`: select one capture by its `(conn, seq)` reference.
+        conn: Option<u64>,
+        /// See `conn`.
+        seq: Option<u64>,
+        /// Select every retained capture for this tenant.
+        name: Option<String>,
+    },
+    /// Read the shadow audit's counters, or set its sampling rate when
+    /// `sample` is present (1-in-N; 0 turns the audit off).
+    Audit {
+        /// `Some` sets the election rate; `None` reads the status.
+        sample: Option<u64>,
+    },
     /// Liveness probe.
     Ping,
     /// Close this connection (after the response).
@@ -220,28 +246,16 @@ fn member_index(v: &Value, key: &str) -> Result<usize, String> {
 }
 
 /// Parses the optional `"replay"` member of `load`: the mutation log to
-/// re-apply on top of the loaded text.
+/// re-apply on top of the loaded text. The item format is the canonical
+/// repro-bundle op shape, so the parsing is shared with
+/// [`knn_engine::bundle`].
 fn member_replay(v: &Value) -> Result<Vec<Mutation>, String> {
     let items = match v.get("replay") {
         None => return Ok(Vec::new()),
         Some(Value::Array(items)) => items,
         Some(_) => return Err("`replay` must be an array".into()),
     };
-    items
-        .iter()
-        .map(|item| {
-            if !matches!(item, Value::Object(_)) {
-                return Err("replay items must be objects".into());
-            }
-            match item.get("op").and_then(Value::as_str) {
-                Some("insert") => {
-                    Ok(Mutation::Insert { point: member_point(item)?, label: member_label(item)? })
-                }
-                Some("remove") => Ok(Mutation::Remove { id: member_index(item, "index")? }),
-                _ => Err("replay items need `op` of \"insert\" or \"remove\"".into()),
-            }
-        })
-        .collect()
+    items.iter().map(knn_engine::bundle::mutation_from_op).collect()
 }
 
 /// Parses one request line. Total over arbitrary bytes: any input yields
@@ -352,12 +366,54 @@ pub fn parse_line_value(line: &[u8], default_id: &str) -> Result<(Parsed, Value)
                 .map_err(|e| format!("bad `resp`: {e}"))?;
             Command::Fill { name, epoch, request, response }
         }
+        "repro" => {
+            let trace = match v.get("trace") {
+                None => None,
+                Some(Value::String(s)) => Some(s.clone()),
+                Some(_) => return Err("`trace` must be a string".into()),
+            };
+            let name = match v.get("name") {
+                None => None,
+                Some(Value::String(s)) => Some(s.clone()),
+                Some(_) => return Err("`name` must be a string".into()),
+            };
+            let conn = match v.get("conn") {
+                None => None,
+                Some(x) => Some(
+                    x.as_u64().ok_or_else(|| "`conn` must be a non-negative integer".to_string())?,
+                ),
+            };
+            let seq = match v.get("seq") {
+                None => None,
+                Some(x) => Some(
+                    x.as_u64().ok_or_else(|| "`seq` must be a non-negative integer".to_string())?,
+                ),
+            };
+            if conn.is_some() != seq.is_some() {
+                return Err("`conn` and `seq` select a capture together".into());
+            }
+            if trace.is_none() && conn.is_none() && name.is_none() {
+                return Err(
+                    "repro needs a selector: `trace`, `conn`+`seq`, or a tenant `name`".into()
+                );
+            }
+            Command::Repro { trace, conn, seq, name }
+        }
+        "audit" => Command::Audit {
+            sample: match v.get("sample") {
+                None => None,
+                Some(x) => Some(
+                    x.as_u64()
+                        .ok_or_else(|| "`sample` must be a non-negative integer".to_string())?,
+                ),
+            },
+        },
         "ping" => Command::Ping,
         "quit" => Command::Quit,
         "shutdown" => Command::Shutdown,
         other => {
             return Err(format!(
-            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, top, slo, slow, trace, dump, fill, ping, quit, shutdown)"
+            "unknown verb `{other}` (try query, load, unload, insert, remove, list, stats, metrics, top, slo, slow, trace, dump, fill, repro, audit, ping, quit, shutdown)"
         ))
         }
     };
@@ -427,6 +483,21 @@ mod tests {
             (br#"{"verb":"slow"}"#, Command::Slow),
             (br#"{"verb":"trace","trace":"t-1"}"#, Command::Trace { trace: "t-1".into() }),
             (br#"{"verb":"dump"}"#, Command::Dump),
+            (
+                br#"{"verb":"repro","trace":"t-1"}"#,
+                Command::Repro { trace: Some("t-1".into()), conn: None, seq: None, name: None },
+            ),
+            (
+                br#"{"verb":"repro","conn":3,"seq":17}"#,
+                Command::Repro { trace: None, conn: Some(3), seq: Some(17), name: None },
+            ),
+            (
+                br#"{"verb":"repro","name":"d"}"#,
+                Command::Repro { trace: None, conn: None, seq: None, name: Some("d".into()) },
+            ),
+            (br#"{"verb":"audit"}"#, Command::Audit { sample: None }),
+            (br#"{"verb":"audit","sample":32}"#, Command::Audit { sample: Some(32) }),
+            (br#"{"verb":"audit","sample":0}"#, Command::Audit { sample: Some(0) }),
             (br#"{"verb":"ping"}"#, Command::Ping),
             (br#"{"verb":"quit"}"#, Command::Quit),
             (br#"{"verb":"shutdown"}"#, Command::Shutdown),
@@ -501,6 +572,13 @@ mod tests {
             b"{\"verb\":\"slo\",\"name\":\"d\",\"threshold_us\":1,\"quantile\":\"p99\"}",
             b"{\"verb\":\"slo\",\"name\":\"d\",\"threshold_us\":1,\"windows\":-2}",
             b"{\"verb\":\"load\",\"name\":\"d\",\"text\":\"+ 1\",\"replay\":[{\"op\":\"fly\"}]}",
+            b"{\"verb\":\"repro\"}", // no selector
+            b"{\"verb\":\"repro\",\"conn\":1}", // conn without seq
+            b"{\"verb\":\"repro\",\"seq\":1}", // seq without conn
+            b"{\"verb\":\"repro\",\"trace\":7}",
+            b"{\"verb\":\"repro\",\"conn\":-1,\"seq\":0}",
+            b"{\"verb\":\"audit\",\"sample\":\"fast\"}",
+            b"{\"verb\":\"audit\",\"sample\":-4}",
             b"{\"verb\":\"fill\",\"name\":\"d\"}", // no epoch/req/resp
             b"{\"verb\":\"fill\",\"name\":\"d\",\"epoch\":0,\"req\":\"not json\",\"resp\":\"{}\"}",
             b"{\"verb\":\"fill\",\"name\":\"d\",\"epoch\":0,\"req\":\"{\\\"cmd\\\":\\\"classify\\\",\\\"point\\\":[1]}\",\"resp\":\"nope\"}",

@@ -21,8 +21,11 @@
 //! never observable at an intermediate version.
 
 use crate::admission::Admission;
-use knn_engine::{textfmt, EngineConfig, ExplanationEngine, Mutation, Request, Response};
-use knn_telemetry::{SlowQuery, SpanCtx, SpanEvent, Telemetry};
+use knn_engine::bundle::{BundleEntry, ReproBundle};
+use knn_engine::{
+    textfmt, EngineConfig, ExplanationEngine, Mutation, MutationReceipt, Request, Response,
+};
+use knn_telemetry::{AuditJob, CaptureEntry, SlowQuery, SpanCtx, SpanEvent, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -35,6 +38,18 @@ pub struct Tenant {
     pub name: String,
     /// The shared engine (lazily builds its artifacts on first use).
     pub engine: Arc<ExplanationEngine>,
+    /// The dataset text this tenant was loaded from — the repro bundle's
+    /// seed. The engine compacts its own mutation log to the revalidation
+    /// window and keeps no seed, so bundle assembly needs this tenant-level
+    /// retention.
+    seed: String,
+    /// Every mutation applied since the seed, oldest first (`load`-replay
+    /// entries included): op `i` is the epoch `i → i+1` transition, so
+    /// `ops.len()` always equals the engine's epoch and any captured epoch
+    /// is reconstructible. Grows one op per mutation — mutations are
+    /// control-verb-rare next to queries, and the points they carry are
+    /// exactly what the engine's own dataset holds.
+    ops: Mutex<Vec<Mutation>>,
     /// Queries completed against this tenant.
     requests: AtomicU64,
     /// Completed queries whose response was an error.
@@ -91,6 +106,65 @@ impl Tenant {
     /// capture into the anomaly ring. All of it stays out-of-band: the
     /// response bytes never depend on `trace_id` or the recorder.
     pub fn run(&self, admission: &Admission, req: &Request, trace_id: Option<&str>) -> Response {
+        self.run_impl(admission, req, trace_id, None).0
+    }
+
+    /// The serving path's entry: [`Tenant::run`] plus black-box capture and
+    /// shadow-audit election. `(conn, seq)` is the query's capture
+    /// reference (connection number, line number) and `raw` the request
+    /// line exactly as it arrived. Returns the response line to write —
+    /// serialized once, shared by the wire, the capture ring, and any
+    /// audit job. Capture is always on (like the flight recorder); the
+    /// audit enqueue happens 1-in-N and never blocks.
+    pub fn serve(
+        &self,
+        admission: &Admission,
+        req: &Request,
+        trace_id: Option<&str>,
+        conn: u64,
+        seq: u64,
+        raw: &str,
+    ) -> String {
+        let (resp, epoch) = self.run_impl(admission, req, trace_id, Some((conn, seq)));
+        let line = resp.to_json_line();
+        let telemetry = self.engine.telemetry();
+        telemetry.capture().push(CaptureEntry {
+            tenant: self.name.clone(),
+            epoch,
+            conn,
+            seq,
+            trace: trace_id.map(str::to_string),
+            request: raw.to_string(),
+            response: line.clone(),
+        });
+        let audit = telemetry.audit();
+        if audit.elect() {
+            audit.offer(AuditJob {
+                tenant: self.name.clone(),
+                epoch,
+                id: resp.id.clone(),
+                request: raw.to_string(),
+                response: line.clone(),
+                conn,
+                seq,
+                trace: trace_id.map(str::to_string),
+            });
+        }
+        line
+    }
+
+    /// The body shared by [`Tenant::run`] and [`Tenant::serve`]; returns
+    /// the response and the epoch it answered at. `capture_ref` is the
+    /// `(conn, seq)` reference serving attaches — it flows into slow-ring
+    /// entries and forced span details so `slow`/`trace` output links to a
+    /// replayable capture.
+    fn run_impl(
+        &self,
+        admission: &Admission,
+        req: &Request,
+        trace_id: Option<&str>,
+        capture_ref: Option<(u64, u64)>,
+    ) -> (Response, u64) {
         let telemetry = self.engine.telemetry().clone();
         let recorder = telemetry.recorder();
         let traced = trace_id.is_some();
@@ -114,8 +188,11 @@ impl Tenant {
         if err {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let (Some(t0), Some(admission_us)) = (started, admission_us) else { return resp };
+        let (Some(t0), Some(admission_us)) = (started, admission_us) else {
+            return (resp, qt.epoch);
+        };
         let total_us = t0.elapsed().as_micros() as u64;
+        let (conn, seq) = capture_ref.unwrap_or((0, 0));
         let mut slow = false;
         if enabled {
             telemetry.record_phase(&self.name, "admission", admission_us);
@@ -133,6 +210,8 @@ impl Tenant {
                 cache_us: qt.cache_us,
                 solve_us: qt.solve_us,
                 trace: trace_id.map(str::to_string),
+                conn,
+                seq,
             });
         }
         if let Some(ctx) = ctx {
@@ -167,12 +246,19 @@ impl Tenant {
                 },
                 forced,
             );
+            // The capture reference makes the span (and through `trace`
+            // output, the operator) one `repro` call away from a
+            // replayable request line.
+            let detail = match capture_ref {
+                Some((conn, seq)) => format!("route={} conn={conn} seq={seq}", resp.route),
+                None => format!("route={}", resp.route),
+            };
             recorder.push(
                 SpanEvent {
                     seq: ctx.parent,
                     parent: 0,
                     name: "query",
-                    detail: format!("route={}", resp.route),
+                    detail,
                     start_us,
                     dur_us: total_us,
                     anomaly,
@@ -181,7 +267,32 @@ impl Tenant {
                 forced,
             );
         }
-        resp
+        (resp, qt.epoch)
+    }
+
+    /// Applies one mutation through the engine and records it in the
+    /// tenant's op log on success. The op-log lock is held across the
+    /// engine apply so concurrent mutations append in epoch order —
+    /// `ops[i]` is always the epoch `i → i+1` transition.
+    pub fn apply_logged(&self, m: Mutation) -> Result<MutationReceipt, String> {
+        let mut ops = self.ops.lock().unwrap();
+        let receipt = self.engine.apply(m.clone())?;
+        ops.push(m);
+        debug_assert_eq!(receipt.epoch, ops.len() as u64);
+        Ok(receipt)
+    }
+
+    /// A repro bundle of this tenant's seed, full op log, and `entries`.
+    /// Self-contained: replaying it in a fresh process re-derives every
+    /// entry's served bytes (or proves a divergence).
+    pub fn bundle_with(&self, entries: Vec<BundleEntry>) -> ReproBundle {
+        ReproBundle {
+            tenant: self.name.clone(),
+            config: self.engine.config().clone(),
+            seed: self.seed.clone(),
+            replay: self.ops.lock().unwrap().clone(),
+            entries,
+        }
     }
 
     /// This tenant's counters.
@@ -263,20 +374,29 @@ impl Registry {
         let tenant = Arc::new(Tenant {
             name: name.to_string(),
             engine: Arc::new(engine),
+            seed: text.to_string(),
+            ops: Mutex::new(replay.to_vec()),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             active: AtomicU64::new(0),
         });
         self.tenants.lock().unwrap().insert(name.to_string(), tenant.clone());
+        // Captures recorded against a replaced tenant's old seed are no
+        // longer reproducible — drop them so `repro` never lies.
+        self.telemetry.capture().purge_tenant(name);
         Ok(tenant)
     }
 
     /// Drops the tenant named `name`. In-flight queries holding its `Arc`
-    /// complete against the old engine.
+    /// complete against the old engine. Its black-box captures go with it
+    /// (no seed to replay them against anymore).
     pub fn unload(&self, name: &str) -> Result<(), String> {
         match self.tenants.lock().unwrap().remove(name) {
-            Some(_) => Ok(()),
+            Some(_) => {
+                self.telemetry.capture().purge_tenant(name);
+                Ok(())
+            }
             None => Err(format!("no dataset named `{name}`")),
         }
     }
@@ -365,5 +485,82 @@ mod tests {
         let err = r.load_with_replay("toy", BOOL, &bad).map(|_| ()).unwrap_err();
         assert!(err.contains("replay entry 0"), "{err}");
         assert_eq!(r.get("toy").unwrap().engine.epoch(), 2, "previous tenant survives");
+    }
+
+    /// `serve` is `run` plus the black-box: the response lands in the
+    /// capture ring tagged with its `(conn, seq)` reference, and
+    /// `apply_logged` keeps the tenant's replay ops aligned with the
+    /// engine epoch, so `bundle_with` exports a bundle whose offline
+    /// replay reproduces the served bytes exactly.
+    #[test]
+    fn serve_captures_and_bundles_replay_byte_identically() {
+        let r = Registry::new(EngineConfig::default());
+        let t = r.load("toy", BOOL).unwrap();
+        let adm = Admission::new(2);
+        let raw =
+            r#"{"dataset":"toy","id":"q1","cmd":"classify","metric":"hamming","point":[1,1,1]}"#;
+        let req = Request::from_json_line(raw, "q1").unwrap();
+        let line = t.serve(&adm, &req, Some("t-1"), 7, 3, raw);
+
+        let entry = r.telemetry().capture().by_ref(7, 3).expect("served response captured");
+        assert_eq!((entry.tenant.as_str(), entry.epoch), ("toy", 0));
+        assert_eq!((entry.request.as_str(), entry.response.as_str()), (raw, line.as_str()));
+        assert_eq!(entry.trace.as_deref(), Some("t-1"));
+
+        t.apply_logged(Mutation::Insert {
+            point: vec![0.0, 1.0, 1.0],
+            label: knn_space::Label::Positive,
+        })
+        .unwrap();
+        let raw2 =
+            r#"{"dataset":"toy","id":"q2","cmd":"classify","metric":"hamming","point":[0,1,1]}"#;
+        let req2 = Request::from_json_line(raw2, "q2").unwrap();
+        let line2 = t.serve(&adm, &req2, None, 7, 4, raw2);
+
+        let entries = r
+            .telemetry()
+            .capture()
+            .for_tenant("toy")
+            .into_iter()
+            .map(|e| knn_engine::bundle::BundleEntry {
+                conn: e.conn,
+                seq: e.seq,
+                backend: None,
+                epoch: e.epoch,
+                trace: e.trace,
+                request: e.request,
+                response: e.response,
+            })
+            .collect();
+        let bundle = t.bundle_with(entries);
+        assert_eq!(bundle.replay.len(), 1, "apply_logged retained the op");
+        let report = bundle.replay().unwrap();
+        assert_eq!((report.checked, report.final_epoch), (2, 1));
+        assert!(report.divergences.is_empty(), "served bytes replay clean: {report:?}");
+        drop((line, line2));
+    }
+
+    /// Reload and unload purge the tenant's captures: a bundle must never
+    /// pair old-generation responses with a new-generation seed.
+    #[test]
+    fn reload_and_unload_purge_stale_captures() {
+        let r = Registry::new(EngineConfig::default());
+        let t = r.load("toy", BOOL).unwrap();
+        let adm = Admission::new(2);
+        let raw =
+            r#"{"dataset":"toy","id":"q","cmd":"classify","metric":"hamming","point":[1,1,1]}"#;
+        let req = Request::from_json_line(raw, "q").unwrap();
+        t.serve(&adm, &req, None, 1, 0, raw);
+        assert_eq!(r.telemetry().capture().for_tenant("toy").len(), 1);
+
+        r.load("toy", "+ 1 1\n- 0 0\n").unwrap();
+        assert!(r.telemetry().capture().for_tenant("toy").is_empty(), "reload purges");
+
+        let raw2 = r#"{"dataset":"toy","id":"q","cmd":"classify","point":[1,1]}"#;
+        let req2 = Request::from_json_line(raw2, "q").unwrap();
+        r.get("toy").unwrap().serve(&adm, &req2, None, 1, 1, raw2);
+        assert_eq!(r.telemetry().capture().for_tenant("toy").len(), 1);
+        r.unload("toy").unwrap();
+        assert!(r.telemetry().capture().for_tenant("toy").is_empty(), "unload purges");
     }
 }

@@ -23,20 +23,26 @@
 //!   structured [`span`] events (reservoir-sampled traffic plus forced
 //!   anomaly capture) that the `trace` / `dump` control verbs reconstruct
 //!   into span trees and [`chrome`] trace-event dumps.
+//! * [`capture`] — the always-on black-box ring of raw served
+//!   request/response lines the `repro` verb turns into replayable
+//!   bundles, and the shadow-audit sampler whose background auditor
+//!   re-executes a 1-in-N sample of served queries.
 //!
 //! Everything is std-only and shared behind `Arc`s; the server and router
-//! surface the state through `metrics` / `slow` / `trace` / `dump` control
-//! verbs, and benches snapshot it directly.
+//! surface the state through `metrics` / `slow` / `trace` / `dump` /
+//! `repro` control verbs, and benches snapshot it directly.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod capture;
 pub mod chrome;
 pub mod exposition;
 pub mod recorder;
 pub mod slo;
 pub mod span;
 
+pub use capture::{AuditJob, AuditSampler, CaptureEntry, CaptureRing};
 pub use recorder::Recorder;
 pub use slo::{SloObjective, SloRegistry, SloStatus};
 pub use span::{SpanCtx, SpanEvent};
@@ -322,6 +328,12 @@ pub struct SlowQuery {
     /// the `slow` → `trace <id>` drill-down link. `None` when the query
     /// went uncaptured.
     pub trace: Option<String>,
+    /// Capture reference into the black-box ring ([`capture`]): the
+    /// server connection the query arrived on. Together with `seq` this
+    /// is the `slow` → `repro` drill-down link.
+    pub conn: u64,
+    /// The query's sequence number within its connection (see `conn`).
+    pub seq: u64,
 }
 
 type LabeledHists = RwLock<BTreeMap<String, BTreeMap<String, Arc<Histogram>>>>;
@@ -359,6 +371,12 @@ pub struct Telemetry {
     /// recorder, not gated on `enabled` — but with telemetry off the route
     /// histograms stay empty, so observations see no traffic.
     slo: SloRegistry,
+    /// The always-on black-box capture ring (see [`capture`]). Not gated
+    /// on `enabled` for the same reason as the recorder: `repro` must
+    /// work on a default-configured process.
+    capture: CaptureRing,
+    /// Shadow-audit election + job hand-off (see [`capture`]).
+    audit: AuditSampler,
 }
 
 fn labeled(map: &LabeledHists, a: &str, b: &str) -> Arc<Histogram> {
@@ -393,6 +411,16 @@ impl Telemetry {
     /// The per-tenant SLO registry (see [`slo`]).
     pub fn slo(&self) -> &SloRegistry {
         &self.slo
+    }
+
+    /// The black-box capture ring (always on; see [`capture`]).
+    pub fn capture(&self) -> &CaptureRing {
+        &self.capture
+    }
+
+    /// The shadow-audit sampler (see [`capture`]).
+    pub fn audit(&self) -> &AuditSampler {
+        &self.audit
     }
 
     /// `tenant`'s cumulative end-to-end latency: all of its per-route

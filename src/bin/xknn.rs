@@ -6,6 +6,7 @@
 //! xknn serve     [--addr host:port] [--data name=file ...] [--workers N] ...
 //! xknn client    --addr host:port [--requests <jsonl>]
 //! xknn router    [--addr host:port] [--backend host:port ...] [--spawn N] ...
+//! xknn replay    <bundle.json>
 //!
 //! commands:
 //!   classify          the optimistic k-NN label of the point (§2)
@@ -17,6 +18,7 @@
 //!   serve             multi-tenant TCP server over the explanation engine
 //!   client            stream JSON-lines requests to a running server
 //!   router            sharding/replication router over N `serve` backends
+//!   replay            re-execute a repro bundle offline and byte-diff it
 //!
 //! options:
 //!   --data <file>     labeled points: `+ 1.0 2.0` / `- 0 1 1`; `#` comments
@@ -54,6 +56,13 @@
 //!   --top             one-shot: print the server's per-tenant resource
 //!                     table (`top` verb: bytes, QPS, SLO burn); through a
 //!                     router, rows are merged across the backends
+//!   --repro <sel>     one-shot: export a self-contained repro bundle for a
+//!                     captured query window (the `repro` verb). Selectors:
+//!                     `trace=ID`, `tenant=NAME`, or `conn=C,seq=S` (the
+//!                     reference `slow` entries carry). Replay it offline
+//!                     with `xknn replay`.
+//!   --out <file>      write the one-shot payload (`--trace-dump`, `--trace`,
+//!                     `--repro`, ...) to a file instead of stdout
 //!   --watch <secs>    repeat `--top` (or `--metrics`) every <secs>
 //!                     seconds until interrupted or the server goes away
 //!
@@ -122,11 +131,13 @@ fn main() {
         println!("       xknn serve [--addr host:port] [--data name=<file> ...]");
         println!("            [--workers <n>] [--inflight <n>] [--budget <c>] [--cache <n>]");
         println!("       xknn client --addr host:port [--requests <jsonl>|-]");
-        println!("            [--metrics | --stats-json | --trace <id> | --trace-dump | --top]");
-        println!("            [--watch <secs>]");
+        println!("            [--metrics | --stats-json | --trace <id> | --trace-dump | --top");
+        println!("             | --repro trace=ID|tenant=NAME|conn=C,seq=S]");
+        println!("            [--out <file>] [--watch <secs>]");
         println!("       xknn router [--addr host:port] [--backend host:port ...] [--spawn <n>]");
         println!("            [--replicas <r>] [--data name=<file> ...] [--probe-ms <m>]");
         println!("            [--spread <s>] [--affinity on|off]");
+        println!("       xknn replay <bundle.json>");
         std::process::exit(if argv.len() <= 1 { 0 } else { 2 });
     };
 
@@ -138,6 +149,9 @@ fn main() {
     }
     if command == "router" {
         return router();
+    }
+    if command == "replay" {
+        return replay();
     }
 
     let data_path = arg("--data").unwrap_or_else(|| fail("--data <file> is required"));
@@ -255,7 +269,42 @@ fn try_print(text: &str) -> Result<(), String> {
         .map_err(|e| format!("stdout closed: {e}"))
 }
 
-/// One scrape of `verb` against `addr`, payload printed to stdout.
+/// The one-shot payload sink: `--out <file>` writes the payload to a file
+/// (`xknn client --repro ... --out bug.bundle` pairs with `xknn replay
+/// bug.bundle`); without it, stdout via [`try_print`].
+fn emit(text: &str) -> Result<(), String> {
+    match arg("--out") {
+        Some(path) => std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => try_print(text),
+    }
+}
+
+/// The wire line for the `repro` verb from a `--repro` selector:
+/// `trace=ID`, `tenant=NAME`, or `conn=C,seq=S`.
+fn repro_line(selector: &str) -> String {
+    use knn_engine::json::Value;
+    let mut members = vec![
+        ("id".into(), Value::String("cli".into())),
+        ("verb".into(), Value::String("repro".into())),
+    ];
+    for part in selector.split(',') {
+        let num = |v: &str| -> f64 {
+            v.parse().unwrap_or_else(|_| fail(&format!("--repro: `{part}` wants an integer")))
+        };
+        match part.split_once('=') {
+            Some(("trace", v)) => members.push(("trace".into(), Value::String(v.to_string()))),
+            Some(("tenant", v)) => members.push(("name".into(), Value::String(v.to_string()))),
+            Some(("conn", v)) => members.push(("conn".into(), Value::Number(num(v)))),
+            Some(("seq", v)) => members.push(("seq".into(), Value::Number(num(v)))),
+            _ => fail(&format!(
+                "--repro wants trace=ID, tenant=NAME, or conn=C,seq=S (got `{part}`)"
+            )),
+        }
+    }
+    Value::Object(members).to_json()
+}
+
+/// One scrape of `verb` against `addr`, payload to stdout (or `--out`).
 fn client_one_shot(addr: &str, verb: &str) -> Result<(), String> {
     use knn_engine::json::Value;
     let mut client =
@@ -269,38 +318,91 @@ fn client_one_shot(addr: &str, verb: &str) -> Result<(), String> {
             ("trace".into(), Value::String(tid)),
         ])
         .to_json()
+    } else if verb == "repro" {
+        let selector = arg("--repro")
+            .unwrap_or_else(|| fail("--repro wants trace=ID, tenant=NAME, or conn=C,seq=S"));
+        repro_line(&selector)
     } else {
         format!(r#"{{"id":"cli","verb":"{verb}"}}"#)
     };
     let resp = client.roundtrip(&line).map_err(|e| format!("{verb} failed: {e}"))?;
     if verb == "stats" || verb == "trace" {
         // Already one JSON object (stats / span tree); print verbatim.
-        return try_print(&format!("{resp}\n"));
+        return emit(&format!("{resp}\n"));
     }
     // Unwrap the payload out of the response envelope so the output is
     // directly consumable: Prometheus text for `--metrics`, a Chrome
-    // trace-event array for `--trace-dump`, an aligned table for `--top`.
+    // trace-event array for `--trace-dump`, an aligned table for `--top`,
+    // a replayable bundle for `--repro`.
     let parsed = knn_engine::json::parse_bytes(resp.as_bytes())
         .map_err(|e| format!("unparseable {verb} response: {e}"))?;
     if verb == "top" {
         return match parsed.get("top") {
-            Some(Value::Array(rows)) => try_print(&render_top(rows)),
+            Some(Value::Array(rows)) => emit(&render_top(rows)),
             _ => Err(format!("top verb answered without a top member: {resp}")),
         };
     }
-    let member = if verb == "dump" { "chrome" } else { "metrics" };
+    let member = match verb {
+        "dump" => "chrome",
+        "repro" => "bundle",
+        _ => "metrics",
+    };
     match parsed.get(member) {
-        Some(Value::String(text)) if verb == "dump" => try_print(&format!("{text}\n")),
-        Some(Value::String(text)) => try_print(text),
+        Some(Value::String(text)) if verb == "metrics" => emit(text),
+        Some(Value::String(text)) => emit(&format!("{text}\n")),
         _ => Err(format!("{verb} verb answered without a {member} member: {resp}")),
     }
 }
 
+/// `xknn replay`: load a repro bundle exported by the `repro` verb (or the
+/// shadow auditor), rebuild the tenant in a fresh offline engine — seed
+/// text, then each replay op up to every entry's epoch — re-execute the
+/// captured requests, and **byte-diff** the responses against the captured
+/// ones. Exit 0 on a clean byte-identical replay, 1 on divergence, 2 on a
+/// malformed bundle.
+fn replay() {
+    let argv: Vec<String> = std::env::args().collect();
+    let path = argv
+        .get(2)
+        .filter(|p| !p.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| fail("replay wants a bundle file: xknn replay <bundle.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let bundle = knn_engine::bundle::ReproBundle::from_json(text.trim())
+        .unwrap_or_else(|e| fail(&format!("{path} is not a repro bundle: {e}")));
+    let report = bundle.replay().unwrap_or_else(|e| fail(&format!("replay failed: {e}")));
+    if report.divergences.is_empty() {
+        println!(
+            "replay ok: tenant `{}`, {} response{} byte-identical, final epoch {}",
+            report.tenant,
+            report.checked,
+            if report.checked == 1 { "" } else { "s" },
+            report.final_epoch
+        );
+        return;
+    }
+    for d in &report.divergences {
+        let backend = d.backend.map(|b| format!(" backend={b}")).unwrap_or_default();
+        println!("DIVERGED conn={} seq={}{backend} epoch={}", d.conn, d.seq, d.epoch);
+        println!("  captured: {}", d.expected);
+        println!("  replayed: {}", d.got);
+    }
+    println!(
+        "replay FAILED: {} of {} responses diverged (tenant `{}`)",
+        report.divergences.len(),
+        report.checked,
+        report.tenant
+    );
+    std::process::exit(1);
+}
+
 /// `xknn client`: pipeline a JSON-lines stream to a server, print the
 /// responses in request order. With `--metrics`, `--stats-json`,
-/// `--trace <id>`, `--trace-dump` or `--top`, a one-shot mode instead:
-/// connect, issue the verb, print the payload, exit — the scrape-friendly
-/// path (`xknn client --addr a:p --metrics | ...`, `--trace-dump > t.json`).
+/// `--trace <id>`, `--trace-dump`, `--top` or `--repro <sel>`, a one-shot
+/// mode instead: connect, issue the verb, print the payload (or write it
+/// to `--out <file>`), exit — the scrape-friendly path
+/// (`xknn client --addr a:p --metrics | ...`, `--repro trace=t1 --out b.json`).
 /// `--watch <secs>` repeats the one-shot (`--top` by default) on a fresh
 /// connection each round, exiting cleanly when the server goes away.
 fn client() {
@@ -316,6 +418,8 @@ fn client() {
         Some("dump")
     } else if argv.iter().any(|a| a == "--top") {
         Some("top")
+    } else if argv.iter().any(|a| a == "--repro") {
+        Some("repro")
     } else {
         None
     };
